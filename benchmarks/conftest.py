@@ -1,0 +1,42 @@
+"""Benchmark plumbing.
+
+Each benchmark regenerates one figure/table of the paper, asserts the
+*shape* of the result (who wins, by roughly what factor, where crossovers
+fall — per DESIGN.md the absolute 1994 numbers are out of scope), writes
+the rendered table to ``benchmarks/results/`` and reports its runtime
+through pytest-benchmark.
+
+Experiments are memoised module-level, so one pytest session computes each
+underlying dataset once no matter how many benchmarks consume it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_table(results_dir):
+    """Write a rendered table next to the benchmarks for inspection."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a full experiment exactly once (they take seconds to
+    minutes; statistical repetition adds nothing to a deterministic sim)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

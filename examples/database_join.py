@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""A database-style workload: hot index, cold data, one priority call.
+
+This is the paper's Postgres join scenario (Section 5.1, ``pjn``) at full
+scale: a 3.2 MB outer relation scanned once, a 5 MB non-clustered index
+probed 20,000 times, and a 32 MB heap fetched at random for matching
+tuples.  Index blocks are touched ~6× more often than any heap block, but
+global LRU cannot tell them apart.  The application can — with a single
+directive::
+
+    set_priority("twohundredk_unique1", 1)
+
+Everything at priority 0 (the heap, the outer relation) is now replaced
+before any index block, so the index stays resident.
+
+Run:  python examples/database_join.py [cache_mb ...]
+"""
+
+import sys
+
+from repro import GLOBAL_LRU, LRU_SP, MachineConfig, System
+from repro.workloads import PostgresJoin
+
+
+def run(cache_mb: float, smart: bool):
+    policy = LRU_SP if smart else GLOBAL_LRU
+    system = System(MachineConfig(cache_mb=cache_mb, policy=policy))
+    PostgresJoin(smart=smart).spawn(system)
+    result = system.run()
+    return result.proc("pjn")
+
+
+def main():
+    sizes = [float(a) for a in sys.argv[1:]] or [6.4, 8.0, 12.0, 16.0]
+    print("Index-nested-loop join: global LRU vs index-priority caching")
+    print(f"{'cache':>7}  {'LRU I/Os':>9}  {'smart I/Os':>10}  {'ratio':>6}  "
+          f"{'LRU time':>9}  {'smart time':>10}")
+    for mb in sizes:
+        orig = run(mb, smart=False)
+        smart = run(mb, smart=True)
+        print(
+            f"{mb:6.1f}M  {orig.block_ios:9d}  {smart.block_ios:10d}  "
+            f"{smart.block_ios / orig.block_ios:6.2f}  "
+            f"{orig.elapsed:8.1f}s  {smart.elapsed:9.1f}s"
+        )
+    print("\nThe index file is ~640 blocks; once the cache can hold it on top")
+    print("of the scan working set, the smart version stops paying repeated")
+    print("index misses — the paper's Table 6 shows the same 0.81-0.95 band.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""The done-with-block idiom for pipeline/batch jobs.
+
+A two-pass tool (modelled on the paper's ``ld`` run, which linked the
+Ultrix kernel from 25 MB of object files):
+
+* pass 1 reads the front (symbol tables) of every input;
+* pass 2 streams every input in full and writes an output file.
+
+The pass-1 blocks *will* be re-read, but a whole pass later — beyond any
+LRU horizon.  The fix is not to cache smarter but to *free* dumber: after
+pass 2 consumes a block it tells the kernel it is done with it::
+
+    set_temppri(file, blknum, blknum, -1)
+
+so the very next miss recycles that frame instead of evicting a pass-1
+block that is still awaiting its re-read.  Savings ≈ min(cache size,
+symbol-table footprint).
+
+Run:  python examples/free_behind_pipeline.py
+"""
+
+from repro import GLOBAL_LRU, LRU_SP, MachineConfig, System
+from repro.workloads import LinkEditor
+
+
+def run(cache_mb: float, smart: bool):
+    policy = LRU_SP if smart else GLOBAL_LRU
+    system = System(MachineConfig(cache_mb=cache_mb, policy=policy))
+    LinkEditor(smart=smart).spawn(system)
+    return system.run().proc("ldk")
+
+
+def main():
+    print("Two-pass link of 25 MB of objects (~1500 blocks re-read in pass 2)")
+    print(f"{'cache':>7}  {'plain I/Os':>10}  {'free-behind I/Os':>16}  {'saved':>6}")
+    for mb in (6.4, 8.0, 12.0, 16.0):
+        orig = run(mb, smart=False)
+        smart = run(mb, smart=True)
+        saved = orig.block_ios - smart.block_ios
+        print(f"{mb:6.1f}M  {orig.block_ios:10d}  {smart.block_ios:16d}  {saved:6d}")
+    print("\nThe savings track the cache size until the whole symbol footprint")
+    print("fits — the shape of the paper's ldk column (appendix Table 6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: application-controlled caching in thirty lines.
+
+Builds the paper's machine (DEC 5000/240 with a 6.4 MB file cache), runs a
+program that scans a 12 MB file four times, and compares the original
+kernel's global LRU with an application that issues one directive::
+
+    set_policy(0, MRU)
+
+A cyclic scan is LRU's worst case — every access misses — while MRU pins a
+prefix of the file and re-uses it every pass.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GLOBAL_LRU, LRU_SP, MachineConfig, System
+from repro.sim.ops import BlockRead, Compute
+from repro.workloads.base import set_policy
+
+FILE_BLOCKS = 1536  # 12 MB of 8 KB blocks
+PASSES = 4
+
+
+def scanner(smart: bool):
+    """Read the file beginning-to-end, PASSES times."""
+    if smart:
+        yield set_policy(0, "mru")  # one syscall changes everything
+    for _ in range(PASSES):
+        for block in range(FILE_BLOCKS):
+            yield BlockRead("bigfile", block)
+            yield Compute(0.002)  # 2 ms of processing per block
+
+
+def run(policy, smart):
+    system = System(MachineConfig(cache_mb=6.4, policy=policy))
+    system.add_file("bigfile", nblocks=FILE_BLOCKS)
+    system.spawn("scanner", scanner(smart))
+    result = system.run()
+    return result.proc("scanner")
+
+
+def main():
+    original = run(GLOBAL_LRU, smart=False)
+    controlled = run(LRU_SP, smart=True)
+
+    print("Cyclic scan of a 12 MB file through a 6.4 MB cache, 4 passes")
+    print(f"  original kernel (global LRU): {original.block_ios:5d} block I/Os, "
+          f"{original.elapsed:6.1f} s")
+    print(f"  LRU-SP + set_policy(0, MRU):  {controlled.block_ios:5d} block I/Os, "
+          f"{controlled.elapsed:6.1f} s")
+    print(f"  I/O ratio:     {controlled.block_ios / original.block_ios:.2f}")
+    print(f"  elapsed ratio: {controlled.elapsed / original.elapsed:.2f}")
+
+
+if __name__ == "__main__":
+    main()

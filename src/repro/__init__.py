@@ -1,0 +1,96 @@
+"""repro — Application-Controlled File Caching (OSDI 1994), reproduced.
+
+A faithful, simulator-backed reimplementation of *"Implementation and
+Performance of Application-Controlled File Caching"* (Pei Cao, Edward W.
+Felten, Kai Li): two-level replacement, the LRU-SP allocation policy, the
+``fbehavior`` directive interface, and the full evaluation — every figure
+and table — on a simulated DEC 5000/240 with RZ56/RZ26 SCSI disks.
+
+Quick taste::
+
+    from repro import MachineConfig, System, LRU_SP, GLOBAL_LRU
+    from repro.workloads import Dinero
+
+    cfg = MachineConfig(cache_mb=6.4, policy=LRU_SP)
+    system = System(cfg)
+    Dinero(smart=True).spawn(system)
+    result = system.run()
+    print(result.total_block_ios, result.makespan)
+
+See ``examples/`` for runnable scenarios and ``repro.harness`` for the
+experiment definitions that regenerate the paper's figures and tables.
+"""
+
+from repro.core import (
+    ACM,
+    ALLOC_LRU,
+    GLOBAL_LRU,
+    LRU_S,
+    LRU_SP,
+    AllocationPolicy,
+    BlockId,
+    BufferCache,
+    CacheBlock,
+    FBehaviorError,
+    FBehaviorOp,
+    LRUList,
+    Manager,
+    PlaceholderTable,
+    PoolPolicy,
+    ResourceLimits,
+    RevocationPolicy,
+    fbehavior,
+    policy_by_name,
+)
+from repro.disk import RZ26, RZ56, DiskDrive, DiskParams
+from repro.fs import SimFilesystem
+from repro.kernel import MachineConfig, ProcResult, System, SystemResult
+from repro.sim import Engine, SimProcess
+from repro.trace import TraceRecorder, analyze_trace, read_trace, replay, write_trace
+from repro.vm import ClockPagePool, VmSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "AllocationPolicy",
+    "GLOBAL_LRU",
+    "ALLOC_LRU",
+    "LRU_S",
+    "LRU_SP",
+    "policy_by_name",
+    "ACM",
+    "Manager",
+    "BufferCache",
+    "CacheBlock",
+    "BlockId",
+    "LRUList",
+    "PlaceholderTable",
+    "PoolPolicy",
+    "ResourceLimits",
+    "RevocationPolicy",
+    "FBehaviorOp",
+    "FBehaviorError",
+    "fbehavior",
+    # machine
+    "System",
+    "MachineConfig",
+    "SystemResult",
+    "ProcResult",
+    "Engine",
+    "SimProcess",
+    "DiskParams",
+    "DiskDrive",
+    "RZ56",
+    "RZ26",
+    "SimFilesystem",
+    # traces & extensions
+    "TraceRecorder",
+    "read_trace",
+    "write_trace",
+    "replay",
+    "analyze_trace",
+    "VmSystem",
+    "ClockPagePool",
+]

@@ -1,0 +1,27 @@
+"""Trace analysis: stack distances, miss-ratio curves, working sets.
+
+The paper's argument rests on how reference streams interact with LRU: a
+cyclic scan has every reuse distance equal to its cycle length, so LRU gets
+nothing until the whole cycle fits.  This package quantifies that:
+
+* :mod:`repro.analysis.stackdist` — Mattson's stack algorithm: exact LRU
+  miss counts at *every* cache size from one pass over the trace, plus the
+  reuse-distance histogram;
+* :mod:`repro.analysis.missratio` — miss-ratio curves for LRU (exact, via
+  stack distances) and for any other policy (by replay at chosen sizes);
+* :mod:`repro.analysis.workingset` — Denning working-set sizes over a
+  window, for sizing caches against workloads.
+"""
+
+from repro.analysis.missratio import MissRatioCurve, lru_curve, policy_curve
+from repro.analysis.stackdist import StackDistances, stack_distances
+from repro.analysis.workingset import working_set_profile
+
+__all__ = [
+    "stack_distances",
+    "StackDistances",
+    "lru_curve",
+    "policy_curve",
+    "MissRatioCurve",
+    "working_set_profile",
+]

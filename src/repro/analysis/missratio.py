@@ -1,0 +1,73 @@
+"""Miss-ratio curves.
+
+``lru_curve`` is exact and cheap (one Mattson pass covers every size);
+``policy_curve`` replays the trace at each requested size under any
+allocation policy — the way to see how much of the LRU curve's plateau an
+application-controlled policy removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Sequence
+
+from repro.analysis.stackdist import stack_distances
+from repro.core.allocation import LRU_SP, AllocationPolicy
+from repro.trace.driver import replay
+from repro.trace.events import AccessRecord, TraceEvent
+
+
+@dataclass
+class MissRatioCurve:
+    """Miss ratio as a function of cache size (in blocks)."""
+
+    label: str
+    nrefs: int
+    points: Dict[int, int]  # cache size -> miss count
+
+    def ratio_at(self, size: int) -> float:
+        return self.points[size] / self.nrefs if self.nrefs else 0.0
+
+    def as_rows(self) -> List[tuple]:
+        """(size, misses, miss_ratio) rows, size-ascending."""
+        return [
+            (size, misses, misses / self.nrefs if self.nrefs else 0.0)
+            for size, misses in sorted(self.points.items())
+        ]
+
+    def knee(self, tolerance: float = 0.02) -> int:
+        """Smallest size whose miss ratio is within ``tolerance`` of the
+        curve's minimum — where buying more cache stops paying."""
+        if not self.points:
+            raise ValueError("empty curve")
+        best = min(self.points.values()) / self.nrefs if self.nrefs else 0.0
+        for size, misses in sorted(self.points.items()):
+            if self.nrefs == 0 or misses / self.nrefs <= best + tolerance:
+                return size
+        return max(self.points)
+
+
+def lru_curve(trace: Iterable[Hashable], cache_sizes: Sequence[int]) -> MissRatioCurve:
+    """Exact LRU miss-ratio curve from one stack-distance pass."""
+    refs = list(trace)
+    dist = stack_distances(refs)
+    return MissRatioCurve(
+        label="lru",
+        nrefs=len(refs),
+        points=dist.miss_counts(list(cache_sizes)),
+    )
+
+
+def policy_curve(
+    events: Sequence[TraceEvent],
+    cache_sizes: Sequence[int],
+    policy: AllocationPolicy = LRU_SP,
+    label: str = None,
+) -> MissRatioCurve:
+    """Miss-ratio curve of a full trace (accesses + directives) under a
+    two-level allocation policy, by replay at each size."""
+    nrefs = sum(1 for ev in events if isinstance(ev, AccessRecord))
+    points = {}
+    for size in cache_sizes:
+        points[size] = replay(events, nframes=size, policy=policy).misses
+    return MissRatioCurve(label=label or policy.name, nrefs=nrefs, points=points)

@@ -1,0 +1,125 @@
+"""Mattson stack distances.
+
+For an LRU-managed cache, a reference hits at cache size C exactly when its
+*stack distance* — the number of distinct blocks referenced since its last
+use — is less than C.  One pass computing all stack distances therefore
+yields the exact LRU miss count at every cache size simultaneously
+(Mattson, Gecsei, Slutz & Traiger, 1970).
+
+The implementation uses a Fenwick (binary-indexed) tree over reference
+timestamps: distance queries and updates are O(log n), so a trace of n
+references costs O(n log n) total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Sequence
+
+
+class _Fenwick:
+    """Prefix sums over timestamps (1-indexed)."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        i = index
+        while i <= self.size:
+            self.tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        i = index
+        total = 0
+        while i > 0:
+            total += self.tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum over [lo, hi] inclusive."""
+        if hi < lo:
+            return 0
+        return self.prefix_sum(hi) - self.prefix_sum(lo - 1)
+
+
+@dataclass
+class StackDistances:
+    """Result of one pass: per-reference distances plus summaries.
+
+    ``distances[i]`` is the stack distance of reference ``i``; first-ever
+    references (compulsory misses) get distance ``None``.
+    """
+
+    distances: List
+    nrefs: int
+    nblocks: int
+
+    @property
+    def compulsory(self) -> int:
+        """Number of cold (first-touch) references."""
+        return sum(1 for d in self.distances if d is None)
+
+    def histogram(self) -> Dict[int, int]:
+        """Reuse-distance histogram: distance → count (cold refs omitted)."""
+        hist: Dict[int, int] = {}
+        for d in self.distances:
+            if d is not None:
+                hist[d] = hist.get(d, 0) + 1
+        return hist
+
+    def misses_at(self, cache_size: int) -> int:
+        """Exact LRU miss count for a cache of ``cache_size`` blocks."""
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        return self.compulsory + sum(1 for d in self.distances if d is not None and d >= cache_size)
+
+    def miss_counts(self, cache_sizes: Sequence[int]) -> Dict[int, int]:
+        """Miss counts at several sizes (shares one histogram pass)."""
+        hist = self.histogram()
+        out = {}
+        for size in cache_sizes:
+            if size < 1:
+                raise ValueError("cache sizes must be >= 1")
+            out[size] = self.compulsory + sum(c for d, c in hist.items() if d >= size)
+        return out
+
+    def min_cache_for_hit_ratio(self, target: float) -> int:
+        """Smallest cache size whose LRU hit ratio reaches ``target``."""
+        if not 0.0 <= target <= 1.0:
+            raise ValueError("target must be within [0, 1]")
+        if self.nrefs == 0:
+            return 1
+        hist = self.histogram()
+        hits_needed = target * self.nrefs
+        if hits_needed <= 0:
+            return 1
+        hits = 0
+        for d in sorted(hist):
+            hits += hist[d]
+            if hits >= hits_needed:
+                return d + 1
+        return self.nblocks + 1  # unreachable target: bigger than everything
+
+
+def stack_distances(trace: Iterable[Hashable]) -> StackDistances:
+    """Compute the stack distance of every reference in ``trace``."""
+    refs = list(trace)
+    n = len(refs)
+    tree = _Fenwick(n)
+    last_pos: Dict[Hashable, int] = {}
+    distances: List = []
+    for i, block in enumerate(refs, start=1):
+        prev = last_pos.get(block)
+        if prev is None:
+            distances.append(None)
+        else:
+            # Distinct blocks touched strictly between prev and now: each
+            # live block keeps exactly one marker, at its last position.
+            distances.append(tree.range_sum(prev + 1, i - 1))
+            tree.add(prev, -1)
+        tree.add(i, 1)
+        last_pos[block] = i
+    return StackDistances(distances=distances, nrefs=n, nblocks=len(last_pos))

@@ -1,0 +1,80 @@
+"""Denning working sets.
+
+The working set W(t, τ) is the set of distinct blocks referenced in the
+window (t−τ, t].  Its size over time shows a workload's phase structure —
+e.g. sort's partition phase (input + current run) versus its merge phase
+(eight runs + output) — and its time average estimates the cache allocation
+a process "deserves" under a fair policy like LRU-SP.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, Tuple
+
+
+@dataclass
+class WorkingSetProfile:
+    """Working-set sizes sampled along a trace."""
+
+    window: int
+    samples: List[Tuple[int, int]]  # (reference index, |W|)
+
+    @property
+    def peak(self) -> int:
+        return max((size for _, size in self.samples), default=0)
+
+    @property
+    def average(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(size for _, size in self.samples) / len(self.samples)
+
+    def phases(self, threshold_ratio: float = 0.5) -> int:
+        """A crude phase count: the number of times the working-set size
+        crosses ``threshold_ratio * peak`` upward."""
+        if not self.samples:
+            return 0
+        threshold = self.peak * threshold_ratio
+        crossings = 0
+        below = True
+        for _, size in self.samples:
+            if below and size >= threshold:
+                crossings += 1
+                below = False
+            elif size < threshold:
+                below = True
+        return crossings
+
+
+def working_set_profile(
+    trace: Iterable[Hashable],
+    window: int,
+    sample_every: int = 1,
+) -> WorkingSetProfile:
+    """Sliding-window working-set sizes in O(n).
+
+    ``window`` is in references (the virtual-time τ); a sample is taken
+    every ``sample_every`` references.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if sample_every < 1:
+        raise ValueError("sample_every must be >= 1")
+    last_seen: "OrderedDict[Hashable, int]" = OrderedDict()
+    samples: List[Tuple[int, int]] = []
+    for i, block in enumerate(trace):
+        if block in last_seen:
+            del last_seen[block]
+        last_seen[block] = i
+        # Retire blocks whose last reference fell out of the window.
+        horizon = i - window
+        while last_seen:
+            oldest_block, oldest_i = next(iter(last_seen.items()))
+            if oldest_i > horizon:
+                break
+            del last_seen[oldest_block]
+        if i % sample_every == 0:
+            samples.append((i, len(last_seen)))
+    return WorkingSetProfile(window=window, samples=samples)

@@ -1,0 +1,76 @@
+"""The paper's contribution: two-level replacement with LRU-SP.
+
+Module map (mirroring the kernel structure of the paper's Section 4):
+
+* :mod:`repro.core.buffercache` — **BUF**: frames, lookup, the miss path and
+  the replacement procedure (candidate selection, manager consultation,
+  swapping, placeholder creation).
+* :mod:`repro.core.acm` — **ACM**: per-process managers, priority pools with
+  per-pool LRU/MRU policies, temporary priorities; implements the five
+  BUF↔ACM procedure calls (``new_block``, ``block_gone``, ``block_accessed``,
+  ``replace_block``, ``placeholder_used``).
+* :mod:`repro.core.interface` — the ``fbehavior`` user/kernel interface:
+  ``set_priority`` / ``get_priority`` / ``set_policy`` / ``get_policy`` /
+  ``set_temppri``.
+* :mod:`repro.core.allocation` — the global allocation policies: the original
+  kernel (GLOBAL_LRU) and the two-level policies ALLOC_LRU, LRU_S, LRU_SP.
+* :mod:`repro.core.placeholders`, :mod:`repro.core.lrulist`,
+  :mod:`repro.core.blocks` — supporting data structures.
+* :mod:`repro.core.revocation` — the extension the paper footnotes: revoke
+  cache control from managers whose decisions are consistently wrong.
+* :mod:`repro.core.opt` — offline Belady/OPT miss counts for calibration.
+"""
+
+from repro.core.allocation import (
+    ALLOC_LRU,
+    GLOBAL_LRU,
+    LRU_S,
+    LRU_SP,
+    AllocationPolicy,
+    policy_by_name,
+)
+from repro.core.acm import ACM, Manager, Pool, ResourceLimits
+from repro.core.blocks import BlockId, CacheBlock
+from repro.core.buffercache import AccessOutcome, BufferCache, CacheStats
+from repro.core.interface import FBehaviorError, FBehaviorOp, fbehavior
+from repro.core.lrulist import LRUList
+from repro.core.placeholders import PlaceholderTable
+from repro.core.policies import PoolPolicy
+from repro.core.revocation import RevocationPolicy
+from repro.core.upcall import (
+    LRUHandler,
+    MRUHandler,
+    PinningHandler,
+    UpcallACM,
+    UpcallHandler,
+)
+
+__all__ = [
+    "AllocationPolicy",
+    "GLOBAL_LRU",
+    "ALLOC_LRU",
+    "LRU_S",
+    "LRU_SP",
+    "policy_by_name",
+    "ACM",
+    "Manager",
+    "Pool",
+    "ResourceLimits",
+    "BlockId",
+    "CacheBlock",
+    "BufferCache",
+    "AccessOutcome",
+    "CacheStats",
+    "FBehaviorOp",
+    "FBehaviorError",
+    "fbehavior",
+    "LRUList",
+    "PlaceholderTable",
+    "PoolPolicy",
+    "RevocationPolicy",
+    "UpcallACM",
+    "UpcallHandler",
+    "MRUHandler",
+    "LRUHandler",
+    "PinningHandler",
+]

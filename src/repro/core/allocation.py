@@ -1,0 +1,69 @@
+"""Global allocation policies.
+
+The kernel's "global replacement" policy in two-level replacement "is
+actually not a replacement policy at all … but rather a global *allocation*
+policy" — it only decides which process gives up a block.  The paper studies
+a family of four, all built from one LRU list plus optional features:
+
+================  =======  ========  ============
+policy            consult  swapping  placeholders
+================  =======  ========  ============
+GLOBAL_LRU        no       —         —             (the original kernel)
+ALLOC_LRU         yes      no        no            (Section 6.1 strawman)
+LRU_S             yes      yes       no            ("unprotected" in Table 1)
+LRU_SP            yes      yes       yes           (the paper's policy)
+================  =======  ========  ============
+
+``consult`` — ask the candidate block's manager for an alternative;
+``swapping`` — exchange candidate/alternative positions on the global list
+so a smart manager is not penalised for overruling;
+``placeholders`` — remember overrules so a foolish manager pays for its own
+mistakes instead of draining other processes' allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AllocationPolicy:
+    """One point in the allocation-policy design space."""
+
+    name: str
+    consult: bool
+    swapping: bool
+    placeholders: bool
+
+    def __post_init__(self) -> None:
+        if not self.consult and (self.swapping or self.placeholders):
+            raise ValueError("swapping/placeholders are meaningless without consultation")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+GLOBAL_LRU = AllocationPolicy("global-lru", consult=False, swapping=False, placeholders=False)
+"""The original, unmodified kernel: plain global LRU, no application control."""
+
+ALLOC_LRU = AllocationPolicy("alloc-lru", consult=True, swapping=False, placeholders=False)
+"""Two-level replacement over a straight LRU list (no swapping, no
+placeholders) — the baseline Section 6.1 shows penalises smart managers."""
+
+LRU_S = AllocationPolicy("lru-s", consult=True, swapping=True, placeholders=False)
+"""LRU-SP without placeholders — the "unprotected" kernel of Table 1."""
+
+LRU_SP = AllocationPolicy("lru-sp", consult=True, swapping=True, placeholders=True)
+"""The paper's allocation policy."""
+
+_BY_NAME = {p.name: p for p in (GLOBAL_LRU, ALLOC_LRU, LRU_S, LRU_SP)}
+
+
+def policy_by_name(name: str) -> AllocationPolicy:
+    """Look up one of the four standard policies by name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown allocation policy {name!r} (expected one of {sorted(_BY_NAME)})"
+        ) from None

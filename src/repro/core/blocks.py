@@ -1,0 +1,92 @@
+"""Cache blocks and their identity.
+
+A block is identified by ``(file_id, blockno)`` — the Ultrix buffer cache
+keyed buffers by (vnode, logical block) the same way.  The paper notes that
+stock Ultrix did *not* remember which file's data sat in a buffer and that
+their implementation had to add this bookkeeping; here it is simply part of
+the block.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+BlockId = Tuple[int, int]
+"""(file_id, logical block number) — the cache-wide block key."""
+
+
+class CacheBlock:
+    """One resident 8 KB cache buffer and its bookkeeping.
+
+    Attributes:
+        file_id / blockno: identity within the cache.
+        lba / disk: where the block lives on stable storage (set when the
+            kernel resolved the file mapping; used for write-back).
+        owner_pid: the process whose access brought the block in (updated on
+            later accesses by other processes) — the manager consulted about
+            this block is its owner's.
+        pool_prio: the priority level of the ACM pool currently holding the
+            block (None when the owner has no manager).
+        temp_prio / has_temp: a temporary priority from ``set_temppri``;
+            reverts on the next reference or replacement.
+        dirty / dirty_since: delayed-write state for the update daemon.
+        in_flight: a demand read is outstanding; the frame is claimed but the
+            data has not arrived.  In-flight blocks are never replacement
+            candidates.
+        waiters: processes to resume when the in-flight read completes.
+    """
+
+    __slots__ = (
+        "file_id",
+        "blockno",
+        "lba",
+        "disk",
+        "owner_pid",
+        "pool_prio",
+        "temp_prio",
+        "has_temp",
+        "dirty",
+        "dirty_since",
+        "in_flight",
+        "waiters",
+        "resident",
+    )
+
+    def __init__(
+        self,
+        file_id: int,
+        blockno: int,
+        lba: int = 0,
+        disk: str = "",
+        owner_pid: int = -1,
+    ) -> None:
+        self.file_id = file_id
+        self.blockno = blockno
+        self.lba = lba
+        self.disk = disk
+        self.owner_pid = owner_pid
+        self.pool_prio: Optional[int] = None
+        self.temp_prio: Optional[int] = None
+        self.has_temp = False
+        self.dirty = False
+        self.dirty_since = 0.0
+        self.in_flight = False
+        self.waiters: List[Any] = []
+        self.resident = True
+
+    @property
+    def id(self) -> BlockId:
+        """The cache key for this block."""
+        return (self.file_id, self.blockno)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            flag
+            for flag, on in (
+                ("D", self.dirty),
+                ("F", self.in_flight),
+                ("T", self.has_temp),
+            )
+            if on
+        )
+        return f"<Block f{self.file_id}:{self.blockno} pid={self.owner_pid} {flags}>"

@@ -1,0 +1,81 @@
+"""The ``fbehavior`` user/kernel interface.
+
+The paper multiplexes five operations through a single new system call,
+"in the same way that the Unix ioctl system call multiplexes several
+operations":
+
+* ``set_priority(file, prio)`` / ``get_priority(file)`` — a file's
+  long-term cache priority;
+* ``set_policy(prio, policy)`` / ``get_policy(prio)`` — the replacement
+  policy (LRU or MRU) of one priority level;
+* ``set_temppri(file, startBlock, endBlock, prio)`` — a temporary priority
+  for a range of resident blocks, reverting on reference or replacement.
+
+This module is the syscall layer: it validates arguments, resolves paths to
+file ids through the filesystem, and dispatches to the ACM backends.  The
+first ``set_*`` call a process makes registers it as a manager.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional, Tuple
+
+from repro.core.acm import ACM, AcmError
+from repro.core.policies import PoolPolicy
+
+
+class FBehaviorOp(enum.Enum):
+    """The five multiplexed operations."""
+
+    SET_PRIORITY = "set_priority"
+    GET_PRIORITY = "get_priority"
+    SET_POLICY = "set_policy"
+    GET_POLICY = "get_policy"
+    SET_TEMPPRI = "set_temppri"
+
+
+class FBehaviorError(Exception):
+    """An fbehavior call failed (bad operands, unknown file, limits)."""
+
+
+def fbehavior(acm: ACM, fs, pid: int, op: FBehaviorOp, args: Tuple[Any, ...]) -> Optional[Any]:
+    """Execute one fbehavior call for process ``pid``.
+
+    ``fs`` must offer ``lookup(path) -> File`` (``repro.fs.SimFilesystem``
+    does); get-calls return a value, set-calls return None.
+    """
+    try:
+        if op is FBehaviorOp.SET_PRIORITY:
+            path, prio = args
+            acm.set_priority(pid, _file_id(fs, path), int(prio))
+            return None
+        if op is FBehaviorOp.GET_PRIORITY:
+            (path,) = args
+            return acm.get_priority(pid, _file_id(fs, path))
+        if op is FBehaviorOp.SET_POLICY:
+            prio, policy = args
+            acm.set_policy(pid, int(prio), PoolPolicy.parse(policy))
+            return None
+        if op is FBehaviorOp.GET_POLICY:
+            (prio,) = args
+            return acm.get_policy(pid, int(prio))
+        if op is FBehaviorOp.SET_TEMPPRI:
+            path, start_block, end_block, prio = args
+            acm.set_temppri(pid, _file_id(fs, path), int(start_block), int(end_block), int(prio))
+            return None
+    except AcmError as exc:
+        raise FBehaviorError(str(exc)) from exc
+    except (TypeError, ValueError) as exc:
+        raise FBehaviorError(f"{op.value}: bad operands {args!r}: {exc}") from exc
+    raise FBehaviorError(f"unknown fbehavior op {op!r}")
+
+
+def _file_id(fs, path) -> int:
+    """Resolve a path (or a raw file id) to a file id."""
+    if isinstance(path, int):
+        return path
+    try:
+        return fs.lookup(path).file_id
+    except Exception as exc:
+        raise FBehaviorError(f"fbehavior: cannot resolve file {path!r}: {exc}") from exc

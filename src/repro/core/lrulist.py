@@ -1,0 +1,193 @@
+"""An O(1) doubly-linked LRU list.
+
+Both the kernel's global list and every per-pool list in the ACM are
+instances of this structure.  The list stores arbitrary hashable items
+(cache blocks) and keeps its links in side dictionaries, so one block can
+sit on several lists at once (the global list plus its pool list) without
+the lists interfering.
+
+Convention: the **head is the LRU end** (oldest reference), the **tail is
+the MRU end** (newest).  "Kept in LRU order" in the paper's sense means a
+referenced item moves to the tail.
+
+``swap`` exchanges the positions of two items in place — the operation
+LRU-SP performs when a manager overrules the kernel's candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Optional, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class LRUList:
+    """Doubly-linked list with O(1) push/remove/move/swap."""
+
+    def __init__(self) -> None:
+        self._prev: Dict = {}
+        self._next: Dict = {}
+        self._head: Optional[object] = None
+        self._tail: Optional[object] = None
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._prev)
+
+    def __contains__(self, item) -> bool:
+        return item in self._prev
+
+    def __bool__(self) -> bool:
+        return self._head is not None
+
+    @property
+    def lru(self):
+        """The item at the LRU end (head), or None if empty."""
+        return self._head
+
+    @property
+    def mru(self):
+        """The item at the MRU end (tail), or None if empty."""
+        return self._tail
+
+    def next_toward_mru(self, item):
+        """The neighbour one step toward the MRU end, or None at the tail."""
+        return self._next[item]
+
+    def prev_toward_lru(self, item):
+        """The neighbour one step toward the LRU end, or None at the head."""
+        return self._prev[item]
+
+    def __iter__(self) -> Iterator:
+        """Iterate from the LRU end to the MRU end."""
+        node = self._head
+        while node is not None:
+            nxt = self._next[node]
+            yield node
+            node = nxt
+
+    def items_mru_first(self) -> Iterator:
+        """Iterate from the MRU end to the LRU end."""
+        node = self._tail
+        while node is not None:
+            prv = self._prev[node]
+            yield node
+            node = prv
+
+    # -- mutations ---------------------------------------------------------
+
+    def push_mru(self, item) -> None:
+        """Insert ``item`` at the MRU end (a fresh reference)."""
+        if item in self._prev:
+            raise ValueError(f"{item!r} already on list")
+        self._prev[item] = self._tail
+        self._next[item] = None
+        if self._tail is not None:
+            self._next[self._tail] = item
+        else:
+            self._head = item
+        self._tail = item
+
+    def push_lru(self, item) -> None:
+        """Insert ``item`` at the LRU end (first in line for replacement)."""
+        if item in self._prev:
+            raise ValueError(f"{item!r} already on list")
+        self._next[item] = self._head
+        self._prev[item] = None
+        if self._head is not None:
+            self._prev[self._head] = item
+        else:
+            self._tail = item
+        self._head = item
+
+    def remove(self, item) -> None:
+        """Unlink ``item``; KeyError if absent."""
+        prv = self._prev.pop(item)
+        nxt = self._next.pop(item)
+        if prv is not None:
+            self._next[prv] = nxt
+        else:
+            self._head = nxt
+        if nxt is not None:
+            self._prev[nxt] = prv
+        else:
+            self._tail = prv
+
+    def discard(self, item) -> bool:
+        """Remove ``item`` if present; returns whether it was."""
+        if item not in self._prev:
+            return False
+        self.remove(item)
+        return True
+
+    def move_to_mru(self, item) -> None:
+        """Re-link ``item`` at the MRU end (the "referenced" movement)."""
+        if self._tail is item:
+            return
+        self.remove(item)
+        self.push_mru(item)
+
+    def move_to_lru(self, item) -> None:
+        """Re-link ``item`` at the LRU end."""
+        if self._head is item:
+            return
+        self.remove(item)
+        self.push_lru(item)
+
+    def insert_before(self, item, anchor) -> None:
+        """Insert ``item`` immediately on the LRU side of ``anchor``."""
+        if item in self._prev:
+            raise ValueError(f"{item!r} already on list")
+        if anchor not in self._prev:
+            raise KeyError(f"anchor {anchor!r} not on list")
+        prv = self._prev[anchor]
+        self._prev[item] = prv
+        self._next[item] = anchor
+        self._prev[anchor] = item
+        if prv is not None:
+            self._next[prv] = item
+        else:
+            self._head = item
+
+    def swap(self, a, b) -> None:
+        """Exchange the positions of ``a`` and ``b`` (LRU-SP's "swapping").
+
+        Every other item keeps its position and relative order.
+        """
+        if a is b or a == b:
+            return
+        if a not in self._prev or b not in self._prev:
+            raise KeyError("both items must be on the list")
+        if self._next[a] is b:
+            # Adjacent (a just LRU-ward of b): re-insert b before a.
+            self.remove(b)
+            self.insert_before(b, a)
+            return
+        if self._next[b] is a:
+            self.remove(a)
+            self.insert_before(a, b)
+            return
+        next_a = self._next[a]
+        next_b = self._next[b]
+        self.remove(a)
+        self.remove(b)
+        # a takes b's old slot, b takes a's old slot.
+        if next_b is not None:
+            self.insert_before(a, next_b)
+        else:
+            self.push_mru(a)
+        if next_a is not None:
+            self.insert_before(b, next_a)
+        else:
+            self.push_mru(b)
+
+    def clear(self) -> None:
+        """Empty the list."""
+        self._prev.clear()
+        self._next.clear()
+        self._head = None
+        self._tail = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LRUList len={len(self)}>"

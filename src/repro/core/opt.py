@@ -1,0 +1,91 @@
+"""Offline optimal replacement (Belady's MIN / OPT).
+
+The companion paper [3] proposes that application replacement policies be
+derived from the *optimal replacement principle*.  This module computes the
+offline optimum for a recorded reference string — the unreachable lower
+bound the paper's smart policies chase.  The harness uses it to sanity-check
+calibration (a smart policy must land between LRU and OPT), and an ablation
+benchmark reports how close each application's policy gets.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+
+def opt_misses(trace: Sequence[Hashable], cache_size: int) -> int:
+    """Minimum possible misses for ``trace`` with ``cache_size`` frames.
+
+    Classic Belady with a lazy max-heap of next-use distances; runs in
+    O(n log n) over the trace length.
+    """
+    if cache_size < 1:
+        raise ValueError("cache_size must be >= 1")
+    refs = list(trace)
+    n = len(refs)
+    # next_use[i] = index of the next reference to refs[i] after i, or n.
+    next_use: List[int] = [n] * n
+    last_seen: Dict[Hashable, int] = {}
+    for i in range(n - 1, -1, -1):
+        next_use[i] = last_seen.get(refs[i], n)
+        last_seen[refs[i]] = i
+
+    resident: Dict[Hashable, int] = {}  # block -> its current next-use index
+    heap: List[Tuple[int, int, Hashable]] = []  # (-next_use, tiebreak, block)
+    misses = 0
+    for i, block in enumerate(refs):
+        if block in resident:
+            resident[block] = next_use[i]
+            heapq.heappush(heap, (-next_use[i], i, block))
+            continue
+        misses += 1
+        if len(resident) >= cache_size:
+            # Evict the resident block referenced farthest in the future,
+            # skipping stale heap entries.
+            while True:
+                neg_nu, _, victim = heapq.heappop(heap)
+                if victim in resident and resident[victim] == -neg_nu:
+                    del resident[victim]
+                    break
+        resident[block] = next_use[i]
+        heapq.heappush(heap, (-next_use[i], i, block))
+    return misses
+
+
+def lru_misses(trace: Iterable[Hashable], cache_size: int) -> int:
+    """Miss count for plain LRU on the same trace (reference baseline)."""
+    if cache_size < 1:
+        raise ValueError("cache_size must be >= 1")
+    from collections import OrderedDict
+
+    resident: "OrderedDict[Hashable, None]" = OrderedDict()
+    misses = 0
+    for block in trace:
+        if block in resident:
+            resident.move_to_end(block)
+            continue
+        misses += 1
+        if len(resident) >= cache_size:
+            resident.popitem(last=False)
+        resident[block] = None
+    return misses
+
+
+def mru_misses(trace: Iterable[Hashable], cache_size: int) -> int:
+    """Miss count for a single MRU pool on the same trace."""
+    if cache_size < 1:
+        raise ValueError("cache_size must be >= 1")
+    from collections import OrderedDict
+
+    resident: "OrderedDict[Hashable, None]" = OrderedDict()
+    misses = 0
+    for block in trace:
+        if block in resident:
+            resident.move_to_end(block)
+            continue
+        misses += 1
+        if len(resident) >= cache_size:
+            resident.popitem(last=True)  # evict the most recently used
+        resident[block] = None
+    return misses

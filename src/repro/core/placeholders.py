@@ -1,0 +1,142 @@
+"""The placeholder table.
+
+When a manager overrules the kernel — the kernel suggested candidate A, the
+manager gave up B instead — LRU-SP records a *placeholder* for B pointing at
+A.  If B is missed while the placeholder lives, A becomes the replacement
+candidate: the manager that guessed wrong pays with one of its own blocks,
+and the kernel learns the decision was a mistake (``placeholder_used``).
+
+Lifecycle (these rules are enforced here and exercised by property tests):
+
+* created on overrule, keyed by the replaced block's id;
+* consumed by the next miss on the replaced block (if the kept block is
+  still resident);
+* dropped when the replaced block re-enters the cache by another path, or
+  when the kept block leaves the cache;
+* bounded per manager — the paper's kernel "imposes a limit on kernel
+  resources consumed by these data structures"; the oldest placeholder of
+  the over-quota manager is discarded.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Set
+
+from repro.core.blocks import BlockId, CacheBlock
+
+
+class PlaceholderEntry:
+    """One placeholder: replaced block id → the block that was kept."""
+
+    __slots__ = ("missing_id", "kept", "manager_pid")
+
+    def __init__(self, missing_id: BlockId, kept: CacheBlock, manager_pid: int) -> None:
+        self.missing_id = missing_id
+        self.kept = kept
+        self.manager_pid = manager_pid
+
+
+class PlaceholderTable:
+    """All placeholders in the kernel, with per-manager quotas."""
+
+    def __init__(self, per_manager_limit: int = 4096) -> None:
+        if per_manager_limit < 1:
+            raise ValueError("per-manager placeholder limit must be >= 1")
+        self.per_manager_limit = per_manager_limit
+        self._by_missing: Dict[BlockId, PlaceholderEntry] = {}
+        self._by_kept: Dict[CacheBlock, Set[BlockId]] = {}
+        # Insertion-ordered per-manager index, used for quota eviction.
+        self._by_manager: Dict[int, "OrderedDict[BlockId, None]"] = {}
+        self.created = 0
+        self.consumed = 0
+        self.discarded = 0
+
+    def __len__(self) -> int:
+        return len(self._by_missing)
+
+    def __contains__(self, missing_id: BlockId) -> bool:
+        return missing_id in self._by_missing
+
+    def count_for(self, manager_pid: int) -> int:
+        """Live placeholders charged to one manager."""
+        return len(self._by_manager.get(manager_pid, ()))
+
+    def add(self, missing_id: BlockId, kept: CacheBlock, manager_pid: int) -> None:
+        """Record that ``manager_pid`` replaced ``missing_id`` keeping ``kept``."""
+        if missing_id in self._by_missing:
+            # The block was replaced again before its old placeholder fired;
+            # the newer decision supersedes the stale one.
+            self._drop(missing_id)
+        per_manager = self._by_manager.setdefault(manager_pid, OrderedDict())
+        if len(per_manager) >= self.per_manager_limit:
+            oldest, _ = per_manager.popitem(last=False)
+            self._drop(oldest, already_unindexed_from=manager_pid)
+            self.discarded += 1
+        entry = PlaceholderEntry(missing_id, kept, manager_pid)
+        self._by_missing[missing_id] = entry
+        self._by_kept.setdefault(kept, set()).add(missing_id)
+        per_manager[missing_id] = None
+        self.created += 1
+
+    def consume(self, missing_id: BlockId) -> Optional[PlaceholderEntry]:
+        """A miss occurred on ``missing_id``: pop and return its placeholder.
+
+        Returns None if there is none, or if the kept block has already left
+        the cache (the entry is dropped in that case — it can never fire).
+        The caller decides whether the kept block is usable as a candidate
+        (e.g. not in-flight).
+        """
+        entry = self._by_missing.get(missing_id)
+        if entry is None:
+            return None
+        self._drop(missing_id)
+        if not entry.kept.resident:
+            self.discarded += 1
+            return None
+        self.consumed += 1
+        return entry
+
+    def drop_for_missing(self, missing_id: BlockId) -> bool:
+        """The replaced block re-entered the cache: its placeholder dies."""
+        if missing_id not in self._by_missing:
+            return False
+        self._drop(missing_id)
+        self.discarded += 1
+        return True
+
+    def drop_for_kept(self, kept: CacheBlock) -> int:
+        """The kept block left the cache: every placeholder at it dies."""
+        ids = self._by_kept.pop(kept, None)
+        if not ids:
+            return 0
+        for missing_id in list(ids):
+            entry = self._by_missing.pop(missing_id, None)
+            if entry is None:
+                continue
+            per_manager = self._by_manager.get(entry.manager_pid)
+            if per_manager is not None:
+                per_manager.pop(missing_id, None)
+            self.discarded += 1
+        return len(ids)
+
+    def clear(self) -> None:
+        self._by_missing.clear()
+        self._by_kept.clear()
+        self._by_manager.clear()
+
+    # -- internals ----------------------------------------------------------
+
+    def _drop(self, missing_id: BlockId, already_unindexed_from: Optional[int] = None) -> None:
+        entry = self._by_missing.pop(missing_id, None)
+        if entry is None:
+            return
+        kept_set = self._by_kept.get(entry.kept)
+        if kept_set is not None:
+            kept_set.discard(missing_id)
+            if not kept_set:
+                del self._by_kept[entry.kept]
+        if entry.manager_pid != already_unindexed_from:
+            per_manager = self._by_manager.get(entry.manager_pid)
+            if per_manager is not None:
+                per_manager.pop(missing_id, None)

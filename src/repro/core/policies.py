@@ -1,0 +1,40 @@
+"""Per-pool replacement policies.
+
+The paper's interface offers exactly two: LRU and MRU ("At present, we offer
+only two policies").  A pool's list is always kept in LRU order (head = least
+recently referenced); the policy only decides which end replacement takes:
+
+* **LRU** replaces the head (classic least-recently-used);
+* **MRU** replaces the tail — the right choice for cyclic/sequential reuse,
+  because it pins the prefix of the cycle and sacrifices the block that was
+  just streamed in.
+
+The module also defines the *entry rule* for blocks moved between pools by
+``set_priority`` / ``set_temppri``: a moved block enters at the end that
+causes it to be replaced **later** (tail under LRU, head under MRU).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PoolPolicy(str, enum.Enum):
+    """Replacement policy of one priority pool."""
+
+    LRU = "lru"
+    MRU = "mru"
+
+    @classmethod
+    def parse(cls, value) -> "PoolPolicy":
+        """Accept a PoolPolicy, or the strings ``"lru"`` / ``"mru"``."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ValueError(f"unknown pool policy {value!r} (expected 'lru' or 'mru')") from None
+
+
+DEFAULT_POLICY = PoolPolicy.LRU
+"""Every priority level starts out LRU, as in the paper."""

@@ -1,0 +1,44 @@
+"""Revocation of cache control from foolish managers.
+
+Section 6.2 of the paper concludes that "the best way to provide protection
+from foolish processes is probably for the kernel to revoke the
+cache-control privileges of consistently foolish applications", and a
+footnote says the authors were adding exactly this.  This module implements
+that extension.
+
+Placeholders give the kernel the signal: every ``placeholder_used`` event
+means an earlier overrule was a mistake (the replaced block was missed
+again soon).  A manager whose mistake ratio over a minimum sample of
+decisions exceeds a threshold loses its manager status — the kernel stops
+consulting it, and it behaves like an oblivious process from then on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RevocationPolicy:
+    """When to revoke a manager's control.
+
+    Attributes:
+        min_decisions: don't judge a manager before it has overruled the
+            kernel this many times (avoids revoking on early noise).
+        mistake_ratio: revoke once mistakes / decisions exceeds this.
+    """
+
+    min_decisions: int = 64
+    mistake_ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.min_decisions < 1:
+            raise ValueError("min_decisions must be >= 1")
+        if not 0.0 < self.mistake_ratio <= 1.0:
+            raise ValueError("mistake_ratio must be in (0, 1]")
+
+    def should_revoke(self, decisions: int, mistakes: int) -> bool:
+        """Judge a manager from its lifetime overrule/mistake counts."""
+        if decisions < self.min_decisions:
+            return False
+        return mistakes / decisions > self.mistake_ratio

@@ -1,0 +1,31 @@
+"""Disk substrate: the storage hardware of the simulated testbed.
+
+The paper's machine had two SCSI disks on one bus: an RZ56 (665 MB, 16 ms
+average seek, 8.3 ms average rotational latency, 1.875 MB/s) holding the
+cscope/dinero/glimpse/ld filesets and an RZ26 (1.05 GB, 10.5 ms, 5.54 ms,
+3.3 MB/s) holding the postgres and sort data.  This package models both:
+
+* :mod:`repro.disk.params`   — drive geometry and timing parameters,
+* :mod:`repro.disk.model`    — the analytic seek/rotation/transfer model,
+* :mod:`repro.disk.scheduler`— request-queue ordering (FCFS, SSTF, C-LOOK),
+* :mod:`repro.disk.drive`    — the drive itself: queue, head position,
+  two-phase service (positioning on the drive, transfer on the shared bus).
+"""
+
+from repro.disk.drive import DiskDrive, DiskRequest
+from repro.disk.model import ServiceTimeModel
+from repro.disk.params import RZ26, RZ56, DiskParams
+from repro.disk.scheduler import CLookScheduler, FCFSScheduler, SSTFScheduler, make_scheduler
+
+__all__ = [
+    "DiskParams",
+    "RZ56",
+    "RZ26",
+    "ServiceTimeModel",
+    "DiskDrive",
+    "DiskRequest",
+    "FCFSScheduler",
+    "SSTFScheduler",
+    "CLookScheduler",
+    "make_scheduler",
+]

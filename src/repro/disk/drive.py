@@ -1,0 +1,149 @@
+"""The disk drive: queue, head position, two-phase service.
+
+Service of one request is split into a positioning phase (seek + rotation,
+spent on the drive alone) and a transfer phase.  When the drive is attached
+to a shared SCSI bus (:class:`repro.sim.resources.FCFSResource`), the
+transfer phase queues on the bus, so two drives can overlap seeks but their
+data transfers serialize — the effect the paper's Table 3/Table 4 contrast
+(one-disk anomaly disappearing on two disks) depends on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.disk.model import ServiceTimeModel
+from repro.disk.params import DiskParams
+from repro.disk.scheduler import DiskScheduler, FCFSScheduler
+from repro.sim.engine import Engine
+from repro.sim.resources import FCFSResource
+
+
+class DiskRequest:
+    """One block-granularity transfer request."""
+
+    __slots__ = ("lba", "nblocks", "write", "on_done", "submit_time", "pid")
+
+    def __init__(
+        self,
+        lba: int,
+        nblocks: int,
+        write: bool,
+        on_done: Optional[Callable[[], Any]],
+        pid: int = -1,
+    ) -> None:
+        if lba < 0:
+            raise ValueError(f"negative LBA {lba!r}")
+        if nblocks < 1:
+            raise ValueError(f"request must cover at least one block, got {nblocks!r}")
+        self.lba = lba
+        self.nblocks = nblocks
+        self.write = write
+        self.on_done = on_done
+        self.submit_time = 0.0
+        self.pid = pid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "W" if self.write else "R"
+        return f"<DiskRequest {kind} lba={self.lba} n={self.nblocks}>"
+
+
+class DiskStats:
+    """Aggregate counters for one drive."""
+
+    __slots__ = ("reads", "writes", "blocks_read", "blocks_written", "busy_time", "wait_time")
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.blocks_read = 0
+        self.blocks_written = 0
+        self.busy_time = 0.0
+        self.wait_time = 0.0
+
+    @property
+    def requests(self) -> int:
+        return self.reads + self.writes
+
+
+class DiskDrive:
+    """A drive with a request queue and a moving head."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        params: DiskParams,
+        bus: Optional[FCFSResource] = None,
+        scheduler: Optional[DiskScheduler] = None,
+    ) -> None:
+        self.engine = engine
+        self.params = params
+        self.name = params.name
+        self.model = ServiceTimeModel(params)
+        self.bus = bus
+        self.scheduler = scheduler or FCFSScheduler()
+        self.stats = DiskStats()
+        self._queue: List[DiskRequest] = []
+        self._busy = False
+        self._head_lba = 0  # one past the last block transferred
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def submit(self, request: DiskRequest) -> None:
+        """Queue a request; ``request.on_done`` fires at completion."""
+        request.submit_time = self.engine.now
+        self._queue.append(request)
+        if not self._busy:
+            self._start_next()
+
+    def read(self, lba: int, nblocks: int, on_done: Callable[[], Any], pid: int = -1) -> None:
+        """Convenience wrapper for a read request."""
+        self.submit(DiskRequest(lba, nblocks, write=False, on_done=on_done, pid=pid))
+
+    def write(self, lba: int, nblocks: int, on_done: Optional[Callable[[], Any]] = None, pid: int = -1) -> None:
+        """Convenience wrapper for a write request (``on_done`` optional:
+        write-backs from the update daemon have no waiting process)."""
+        self.submit(DiskRequest(lba, nblocks, write=True, on_done=on_done, pid=pid))
+
+    # -- internal service machinery -------------------------------------
+
+    def _start_next(self) -> None:
+        self._busy = True
+        req = self.scheduler.pick(self._queue, self._head_lba)
+        self.stats.wait_time += self.engine.now - req.submit_time
+        positioning = self.model.positioning_time(self._head_lba, req.lba)
+        self.stats.busy_time += positioning
+        self.engine.after(positioning, self._begin_transfer, req)
+
+    def _begin_transfer(self, req: DiskRequest) -> None:
+        xfer = self.model.transfer_time(req.nblocks)
+        if self.bus is not None:
+            # The drive stays busy while waiting for and using the bus.
+            self.bus.request(xfer, lambda: self._complete(req, xfer))
+        else:
+            self.engine.after(xfer, self._complete, req, xfer)
+
+    def _complete(self, req: DiskRequest, xfer: float) -> None:
+        self.stats.busy_time += xfer
+        self._head_lba = req.lba + req.nblocks
+        if req.write:
+            self.stats.writes += 1
+            self.stats.blocks_written += req.nblocks
+        else:
+            self.stats.reads += 1
+            self.stats.blocks_read += req.nblocks
+        if req.on_done is not None:
+            req.on_done()
+        if self._queue:
+            self._start_next()
+        else:
+            self._busy = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DiskDrive {self.name} busy={self._busy} qlen={len(self._queue)}>"

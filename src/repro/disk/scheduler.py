@@ -1,0 +1,100 @@
+"""Disk request-queue schedulers.
+
+The Ultrix driver of the paper's era serviced requests essentially in
+arrival order, so :class:`FCFSScheduler` is the default everywhere in the
+reproduction.  SSTF and C-LOOK are provided for the ablation benchmark that
+asks how sensitive the paper's elapsed-time results are to disk scheduling
+(the paper's Section 8 names disk scheduling as future work).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol
+
+from repro.disk.params import DiskParams
+
+
+class DiskScheduler(Protocol):
+    """Picks the next request to service from a queue."""
+
+    name: str
+
+    def pick(self, queue: List, head_lba: int) -> object:
+        """Remove and return the next request to serve.
+
+        ``queue`` is the list of pending :class:`~repro.disk.drive.DiskRequest`
+        objects (mutated in place); ``head_lba`` is the current head position.
+        """
+        ...  # pragma: no cover - protocol
+
+
+class FCFSScheduler:
+    """First-come first-served: always the oldest request."""
+
+    name = "fcfs"
+
+    def pick(self, queue: List, head_lba: int) -> object:
+        return queue.pop(0)
+
+
+class SSTFScheduler:
+    """Shortest-seek-time-first: the request closest to the head.
+
+    Ties break toward the earlier arrival so the schedule stays
+    deterministic.
+    """
+
+    name = "sstf"
+
+    def __init__(self, params: DiskParams) -> None:
+        self.params = params
+
+    def pick(self, queue: List, head_lba: int) -> object:
+        head_cyl = self.params.cylinder_of(max(0, head_lba))
+        best_i = 0
+        best_d = None
+        for i, req in enumerate(queue):
+            d = abs(self.params.cylinder_of(req.lba) - head_cyl)
+            if best_d is None or d < best_d:
+                best_d = d
+                best_i = i
+        return queue.pop(best_i)
+
+
+class CLookScheduler:
+    """C-LOOK: sweep upward through pending requests, wrap to the lowest.
+
+    Deterministic and starvation-free, unlike SSTF.
+    """
+
+    name = "clook"
+
+    def __init__(self, params: DiskParams) -> None:
+        self.params = params
+
+    def pick(self, queue: List, head_lba: int) -> object:
+        head_cyl = self.params.cylinder_of(max(0, head_lba))
+        ahead_i: Optional[int] = None
+        ahead_cyl: Optional[int] = None
+        low_i = 0
+        low_cyl: Optional[int] = None
+        for i, req in enumerate(queue):
+            cyl = self.params.cylinder_of(req.lba)
+            if cyl >= head_cyl and (ahead_cyl is None or cyl < ahead_cyl):
+                ahead_i, ahead_cyl = i, cyl
+            if low_cyl is None or cyl < low_cyl:
+                low_i, low_cyl = i, cyl
+        index = ahead_i if ahead_i is not None else low_i
+        return queue.pop(index)
+
+
+def make_scheduler(name: str, params: DiskParams) -> DiskScheduler:
+    """Build a scheduler by name: ``fcfs`` (default), ``sstf`` or ``clook``."""
+    name = name.lower()
+    if name == "fcfs":
+        return FCFSScheduler()
+    if name == "sstf":
+        return SSTFScheduler(params)
+    if name == "clook":
+        return CLookScheduler(params)
+    raise ValueError(f"unknown disk scheduler {name!r} (expected fcfs, sstf or clook)")

@@ -1,0 +1,19 @@
+"""Filesystem substrate.
+
+A deliberately simple UFS stand-in: files are sequences of 8 KB blocks laid
+out in contiguous extents on a named disk.  The layout matters only in that
+it gives sequential file scans sequential disk addresses (so the disk model
+rewards them) and spreads distinct files across the platter (so cross-file
+access pays seeks).  Metadata (inode) caching is out of scope, exactly as in
+the paper ("our current implementation ignores metadata blocks").
+
+:mod:`repro.fs.filesystem` — files, extents, allocation;
+:mod:`repro.fs.syncer`     — the 30-second update daemon that flushes aged
+dirty blocks, which is how written data reaches the disk when eviction
+doesn't get there first.
+"""
+
+from repro.fs.filesystem import BLOCK_SIZE, Extent, File, FsError, SimFilesystem
+from repro.fs.syncer import UpdateDaemon
+
+__all__ = ["SimFilesystem", "File", "Extent", "FsError", "BLOCK_SIZE", "UpdateDaemon"]

@@ -1,0 +1,35 @@
+"""Experiment harness: regenerate every figure and table of the paper.
+
+* :mod:`repro.harness.runner` — build a machine, install workloads, run.
+* :mod:`repro.harness.experiments` — one function per figure/table.
+* :mod:`repro.harness.paperdata` — the numbers the paper reports, for
+  side-by-side comparison.
+* :mod:`repro.harness.report` — ASCII table formatting.
+* :mod:`repro.harness.cli` — ``repro-accfc fig4`` etc.
+"""
+
+from repro.harness.runner import AppSpec, run_mix, run_single
+from repro.harness.experiments import (
+    ablation_policies,
+    fig4_single_apps,
+    fig5_multi_apps,
+    fig6_alloc_lru,
+    table1_placeholders,
+    table2_foolish,
+    table3_smart_one_disk,
+    table4_smart_two_disks,
+)
+
+__all__ = [
+    "AppSpec",
+    "run_mix",
+    "run_single",
+    "fig4_single_apps",
+    "fig5_multi_apps",
+    "fig6_alloc_lru",
+    "table1_placeholders",
+    "table2_foolish",
+    "table3_smart_one_disk",
+    "table4_smart_two_disks",
+    "ablation_policies",
+]

@@ -1,0 +1,202 @@
+"""Command-line entry point: ``repro-accfc <experiment>``.
+
+Examples::
+
+    repro-accfc fig4                 # single apps, all cache sizes
+    repro-accfc fig4 --apps din cs1 --sizes 6.4 8
+    repro-accfc table1               # the placeholder-protection study
+    repro-accfc all                  # everything (several minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness import experiments, paperdata, report
+
+
+def _sizes(args) -> tuple:
+    return tuple(args.sizes) if args.sizes else paperdata.CACHE_SIZES_MB
+
+
+def _run_fig4(args) -> str:
+    apps = tuple(args.apps) if args.apps else paperdata.APP_ORDER
+    return report.render_fig4(experiments.fig4_single_apps(apps, _sizes(args)))
+
+
+def _run_table5(args) -> str:
+    apps = tuple(args.apps) if args.apps else paperdata.APP_ORDER
+    data = experiments.fig4_single_apps(apps, _sizes(args))
+    return "Table 5: elapsed time (s)\n" + report.render_table56(data, "elapsed")
+
+
+def _run_table6(args) -> str:
+    apps = tuple(args.apps) if args.apps else paperdata.APP_ORDER
+    data = experiments.fig4_single_apps(apps, _sizes(args))
+    return "Table 6: block I/Os\n" + report.render_table56(data, "ios")
+
+
+def _run_fig5(args) -> str:
+    mixes = tuple(args.mixes) if args.mixes else paperdata.FIG5_MIXES
+    return report.render_mixes(experiments.fig5_multi_apps(mixes, _sizes(args)), "Figure 5")
+
+
+def _run_fig6(args) -> str:
+    mixes = tuple(args.mixes) if args.mixes else paperdata.FIG6_MIXES
+    return report.render_mixes(experiments.fig6_alloc_lru(mixes, _sizes(args)), "Figure 6")
+
+
+def _run_table1(args) -> str:
+    return "Table 1: placeholder protection\n" + report.render_table1(
+        experiments.table1_placeholders()
+    )
+
+
+def _run_table2(args) -> str:
+    return "Table 2: effect of a foolish process\n" + report.render_table2(
+        experiments.table2_foolish()
+    )
+
+
+def _run_table3(args) -> str:
+    return "Table 3: Read300 next to oblivious/smart apps (one disk)\n" + report.render_table34(
+        experiments.table3_smart_one_disk(), paperdata.PAPER_TABLE3
+    )
+
+
+def _run_table4(args) -> str:
+    return "Table 4: Read300 on its own disk\n" + report.render_table34(
+        experiments.table4_smart_two_disks(), paperdata.PAPER_TABLE4
+    )
+
+
+def _run_sweep(args) -> str:
+    from repro.harness.sweep import cache_size_sweep
+
+    sizes = args.sizes or [2, 4, 6.4, 8, 10, 12, 14, 16, 20]
+    kind = (args.apps or ["din"])[0]
+    points = cache_size_sweep(kind, sizes)
+    lines = [f"Cache-size sweep: {kind}", f"{'MB':>6} {'orig-IO':>8} {'sp-IO':>8} {'io-ratio':>8} {'t-ratio':>8}"]
+    for pt in points:
+        lines.append(
+            f"{pt.cache_mb:6.1f} {pt.orig_ios:8d} {pt.sp_ios:8d} "
+            f"{pt.io_ratio:8.2f} {pt.elapsed_ratio:8.2f}"
+        )
+    lines.append("")
+    lines.append(report.ascii_chart(
+        {"io-ratio": [pt.io_ratio for pt in points],
+         "t-ratio": [pt.elapsed_ratio for pt in points]},
+        labels=[f"{pt.cache_mb:g}" for pt in points],
+        hi=1.0,
+    ))
+    return "\n".join(lines)
+
+
+def _run_zoo(args) -> str:
+    from repro.harness.sweep import policy_zoo_sweep
+
+    kind = (args.apps or ["din"])[0]
+    frames = int((args.sizes or [6.4])[0] * 1024 * 1024 // 8192)
+    misses = policy_zoo_sweep(kind, frames)
+    lines = [f"Policy zoo on {kind}'s reference trace @ {frames} frames",
+             f"{'policy':>8} {'misses':>8}"]
+    for name, count in sorted(misses.items(), key=lambda kv: kv[1]):
+        lines.append(f"{name:>8} {count:8d}")
+    return "\n".join(lines)
+
+
+def _run_validate(args) -> str:
+    from repro.harness.validate import render_validation, run_validation
+
+    return render_validation(run_validation())
+
+
+def _run_ablation(args) -> str:
+    parts = [
+        report.render_ablation(
+            experiments.ablation_policies(mix=args.mix),
+            f"Allocation-policy ablation on {args.mix} @ 6.4MB",
+        ),
+        report.render_ablation(
+            experiments.ablation_readahead(),
+            "Read-ahead ablation on din @ 6.4MB (original kernel)",
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+_EXPERIMENTS = {
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "table4": _run_table4,
+    "table5": _run_table5,
+    "table6": _run_table6,
+    "ablation": _run_ablation,
+    "sweep": _run_sweep,
+    "zoo": _run_zoo,
+    "validate": _run_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-accfc",
+        description="Regenerate the figures and tables of 'Application-Controlled File Caching' (OSDI '94).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument("--sizes", type=float, nargs="+", help="cache sizes in MB")
+    parser.add_argument("--apps", nargs="+", help="subset of applications (fig4/table5/table6)")
+    parser.add_argument("--mixes", nargs="+", help="subset of mixes (fig5/fig6)")
+    parser.add_argument("--mix", default="cs2+gli", help="mix for the ablation experiment")
+    parser.add_argument("--csv", metavar="DIR", help="also export fig4/fig5/fig6 data as CSV into DIR")
+    args = parser.parse_args(argv)
+
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        output = _EXPERIMENTS[name](args)
+        print(f"=== {name} ({time.time() - start:.1f}s) ===")
+        print(output)
+        print()
+        if args.csv and name in ("fig4", "fig5", "fig6"):
+            _export_csv(name, args)
+    return 0
+
+
+def _export_csv(name: str, args) -> None:
+    import os
+
+    from repro.harness import experiments
+    from repro.harness.export import rows_from_grid, save, to_csv
+
+    if name == "fig4":
+        apps = tuple(args.apps) if args.apps else paperdata.APP_ORDER
+        grid = experiments.fig4_single_apps(apps, _sizes(args))
+        rows = rows_from_grid(grid, key_names=("app", "cache_mb"))
+    elif name == "fig5":
+        mixes = tuple(args.mixes) if args.mixes else paperdata.FIG5_MIXES
+        grid = experiments.fig5_multi_apps(mixes, _sizes(args))
+        rows = rows_from_grid(grid, key_names=("mix", "cache_mb"))
+    else:
+        mixes = tuple(args.mixes) if args.mixes else paperdata.FIG6_MIXES
+        grid = experiments.fig6_alloc_lru(mixes, _sizes(args))
+        rows = rows_from_grid(grid, key_names=("mix", "cache_mb"))
+    os.makedirs(args.csv, exist_ok=True)
+    path = os.path.join(args.csv, f"{name}.csv")
+    save(to_csv(rows), path)
+    print(f"(wrote {path})")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

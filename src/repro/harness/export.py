@@ -1,0 +1,81 @@
+"""Machine-readable export of experiment results (CSV and JSON).
+
+Every experiment in :mod:`repro.harness.experiments` returns nested
+dataclasses; these helpers flatten them to rows so results can feed
+plotting scripts or spreadsheets.  The CLI exposes them via ``--csv DIR``
+and ``--json DIR``.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from typing import Any, Dict, Iterable, List
+
+
+def _flatten(obj: Any, prefix: str = "") -> Dict[str, Any]:
+    """Flatten a dataclass (including computed properties) to a flat dict."""
+    out: Dict[str, Any] = {}
+    if dataclasses.is_dataclass(obj):
+        for f in dataclasses.fields(obj):
+            out.update(_flatten(getattr(obj, f.name), f"{prefix}{f.name}."))
+        for name in dir(type(obj)):
+            if name.startswith("_"):
+                continue
+            attr = getattr(type(obj), name)
+            if isinstance(attr, property):
+                out[f"{prefix}{name}"] = getattr(obj, name)
+        return out
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            out.update(_flatten(value, f"{prefix}{key}."))
+        return out
+    out[prefix.rstrip(".")] = obj
+    return out
+
+
+def rows_from_grid(grid: Dict[str, Dict[Any, Any]], key_names=("name", "cache_mb")) -> List[Dict[str, Any]]:
+    """Flatten the standard experiment shape {name: {size: cell}} to rows."""
+    rows = []
+    for name, per_key in grid.items():
+        for key, cell in per_key.items():
+            row = {key_names[0]: name, key_names[1]: key}
+            row.update(_flatten(cell))
+            rows.append(row)
+    return rows
+
+
+def to_csv(rows: Iterable[Dict[str, Any]]) -> str:
+    """Render rows as CSV text (stable column order: first-row order, then
+    any later-appearing columns alphabetically)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    columns = list(rows[0])
+    extra = sorted({c for row in rows for c in row} - set(columns))
+    columns += extra
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=columns, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def to_json(grid: Any) -> str:
+    """Render any experiment result as pretty JSON."""
+
+    def default(obj):
+        if dataclasses.is_dataclass(obj):
+            return dataclasses.asdict(obj)
+        raise TypeError(f"not JSON-serialisable: {type(obj)}")
+
+    return json.dumps(grid, default=default, indent=2, sort_keys=True)
+
+
+def save(text: str, path: str) -> None:
+    """Write exported text to a file."""
+    with open(path, "w") as f:
+        f.write(text)

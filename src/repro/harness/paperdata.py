@@ -1,0 +1,100 @@
+"""The numbers the paper reports, transcribed for side-by-side comparison.
+
+Sources: Table 5 (elapsed seconds) and Table 6 (block I/Os) of the appendix
+for the single-application runs; Tables 1–4 for the ReadN studies.  Figures
+4–6 are the normalized forms of the same measurements; the paper publishes
+the multi-application raw data only as plots, so Figure 5/6 comparisons in
+EXPERIMENTS.md are qualitative (direction and rough magnitude).
+"""
+
+from __future__ import annotations
+
+CACHE_SIZES_MB = (6.4, 8.0, 12.0, 16.0)
+
+#: Table 5 — elapsed time in seconds, {app: {"original": (...), "lru-sp": (...)}}
+PAPER_ELAPSED = {
+    "din": {"original": (117, 99, 99, 99), "lru-sp": (106, 99, 100, 100)},
+    "cs1": {"original": (62, 61, 28, 28), "lru-sp": (38, 33, 27, 28)},
+    "cs3": {"original": (96, 96, 57, 47), "lru-sp": (79, 71, 50, 48)},
+    "cs2": {"original": (191, 190, 188, 184), "lru-sp": (172, 168, 152, 128)},
+    "gli": {"original": (126, 123, 113, 97), "lru-sp": (114, 108, 92, 84)},
+    "ldk": {"original": (66, 65, 65, 65), "lru-sp": (66, 64, 60, 56)},
+    "pjn": {"original": (225, 220, 202, 187), "lru-sp": (199, 192, 185, 174)},
+    "sort": {"original": (339, 338, 339, 336), "lru-sp": (294, 281, 256, 243)},
+}
+
+#: Table 6 — block I/O counts, same shape.
+PAPER_BLOCK_IOS = {
+    "din": {"original": (8888, 998, 997, 998), "lru-sp": (2573, 1003, 997, 997)},
+    "cs1": {"original": (8634, 8630, 1141, 1141), "lru-sp": (3066, 1628, 1141, 1141)},
+    "cs3": {"original": (6575, 6571, 2815, 1728), "lru-sp": (4394, 3548, 1903, 1733)},
+    "cs2": {"original": (11785, 11762, 11717, 11647), "lru-sp": (9680, 9091, 7650, 5597)},
+    "gli": {"original": (10435, 10321, 9720, 7508), "lru-sp": (8870, 8308, 7120, 6275)},
+    "ldk": {"original": (5395, 5389, 5397, 5390), "lru-sp": (5011, 4760, 4385, 3898)},
+    "pjn": {"original": (7166, 6738, 5897, 5257), "lru-sp": (5800, 5635, 5334, 4993)},
+    "sort": {"original": (14670, 14671, 14639, 14520), "lru-sp": (12462, 11884, 10400, 9460)},
+}
+
+#: the order the paper's appendix lists the applications
+APP_ORDER = ("din", "cs1", "cs3", "cs2", "gli", "ldk", "pjn", "sort")
+
+#: Figure 5 — the nine concurrent mixes ("+"-joined registry names).
+FIG5_MIXES = (
+    "cs2+gli",
+    "cs3+ldk",
+    "gli+sort",
+    "din+sort",
+    "sort+ldk",
+    "pjn+ldk",
+    "din+cs2+ldk",
+    "cs1+gli+ldk",
+    "din+cs3+gli+ldk",
+)
+
+#: Figure 6 — the five mixes rerun under ALLOC-LRU.
+FIG6_MIXES = (
+    "cs2+gli",
+    "cs3+ldk",
+    "din+cs2+ldk",
+    "cs1+gli+ldk",
+    "din+cs3+gli+ldk",
+)
+
+#: Table 1 — ReadN with a background Read300, 6.4 MB cache.
+TABLE1_READN = (390, 400, 490, 500)
+PAPER_TABLE1_ELAPSED = {
+    "oblivious": (53, 58, 59, 72),
+    "unprotected": (73, 89, 76, 122),
+    "protected": (75, 75, 72, 91),
+}
+PAPER_TABLE1_IOS = {
+    "oblivious": (1172, 1181, 1176, 1481),
+    "unprotected": (1300, 1538, 1465, 2294),
+    "protected": (1170, 1170, 1199, 1580),
+}
+
+#: ReadN file sizes chosen so compulsory misses equal the paper's I/O counts.
+READN_FILE_BLOCKS = {300: 1310, 390: 1172, 400: 1181, 490: 1176, 500: 1481}
+
+#: Table 2 — smart apps vs an oblivious/foolish Read300 (one disk).
+TABLE2_APPS = ("din", "cs2", "gli", "ldk")
+PAPER_TABLE2_ELAPSED = {
+    "oblivious": (155, 225, 156, 112),
+    "foolish": (202, 339, 261, 208),
+}
+PAPER_TABLE2_IOS = {
+    "oblivious": (3067, 9760, 9086, 5201),
+    "foolish": (3495, 10542, 9759, 5374),
+}
+
+#: Table 3 — Read300's elapsed time next to oblivious/smart apps, one disk.
+PAPER_TABLE3 = {
+    "oblivious": (87, 88, 60, 78),
+    "smart": (67, 83, 64, 76),
+}
+
+#: Table 4 — same with Read300 on its own disk.
+PAPER_TABLE4 = {
+    "oblivious": (20, 18, 19, 17),
+    "smart": (20, 17.5, 18, 17),
+}

@@ -1,0 +1,198 @@
+"""ASCII rendering of the reproduced figures and tables.
+
+Each ``render_*`` function takes the corresponding experiment result and
+returns a string laid out like the paper's table, with the paper's own
+numbers alongside for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.harness import paperdata
+
+
+def _grid(rows: Sequence[Sequence[str]], header: Sequence[str]) -> str:
+    """Simple fixed-width table."""
+    table = [list(header)] + [list(r) for r in rows]
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = []
+    for idx, row in enumerate(table):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: float, integer: bool = False) -> str:
+    if integer:
+        return str(int(round(value)))
+    return f"{value:.2f}"
+
+
+def render_fig4(results: Dict[str, Dict[float, object]]) -> str:
+    """Tables 5+6 style: per app, elapsed and I/Os for both kernels plus
+    ratios, with the paper's ratios next to ours."""
+    sizes = sorted(next(iter(results.values())).keys())
+    header = ["app", "metric", "kernel"] + [f"{mb:g}MB" for mb in sizes]
+    rows: List[List[str]] = []
+    for kind in results:
+        per = results[kind]
+        p_el = paperdata.PAPER_ELAPSED.get(kind)
+        p_io = paperdata.PAPER_BLOCK_IOS.get(kind)
+        rows.append([kind, "time(s)", "original"] + [_fmt(per[mb].orig_elapsed, True) for mb in sizes])
+        rows.append(["", "", "lru-sp"] + [_fmt(per[mb].sp_elapsed, True) for mb in sizes])
+        rows.append(["", "", "ratio"] + [_fmt(per[mb].elapsed_ratio) for mb in sizes])
+        if p_el is not None and len(sizes) == len(p_el["original"]):
+            paper_ratio = [o and s / o for s, o in zip(p_el["lru-sp"], p_el["original"])]
+            rows.append(["", "", "paper-ratio"] + [_fmt(r) for r in paper_ratio])
+        rows.append([kind, "blockIO", "original"] + [_fmt(per[mb].orig_ios, True) for mb in sizes])
+        rows.append(["", "", "lru-sp"] + [_fmt(per[mb].sp_ios, True) for mb in sizes])
+        rows.append(["", "", "ratio"] + [_fmt(per[mb].io_ratio) for mb in sizes])
+        if p_io is not None and len(sizes) == len(p_io["original"]):
+            paper_ratio = [s / o for s, o in zip(p_io["lru-sp"], p_io["original"])]
+            rows.append(["", "", "paper-ratio"] + [_fmt(r) for r in paper_ratio])
+        rows.append([""] * len(header))
+    return _grid(rows, header)
+
+
+def render_table56(results: Dict[str, Dict[float, object]], metric: str) -> str:
+    """Exactly the appendix layout: original / LRU-SP / ratio rows.
+
+    ``metric`` is 'elapsed' (Table 5) or 'ios' (Table 6).
+    """
+    sizes = sorted(next(iter(results.values())).keys())
+    header = ["application", ""] + [f"{mb:g}MB" for mb in sizes]
+    rows: List[List[str]] = []
+    for kind in results:
+        per = results[kind]
+        if metric == "elapsed":
+            orig = [per[mb].orig_elapsed for mb in sizes]
+            sp = [per[mb].sp_elapsed for mb in sizes]
+        elif metric == "ios":
+            orig = [per[mb].orig_ios for mb in sizes]
+            sp = [per[mb].sp_ios for mb in sizes]
+        else:
+            raise ValueError(f"unknown metric {metric!r} (expected 'elapsed' or 'ios')")
+        rows.append([kind, "original"] + [_fmt(v, True) for v in orig])
+        rows.append(["", "lru-sp"] + [_fmt(v, True) for v in sp])
+        rows.append(["", "ratio"] + [_fmt(s / o) for s, o in zip(sp, orig)])
+    return _grid(rows, header)
+
+
+def render_mixes(results: Dict[str, Dict[float, object]], title: str) -> str:
+    """Figure 5/6 style: normalized elapsed time and block I/Os per mix."""
+    sizes = sorted(next(iter(results.values())).keys())
+    header = ["mix", "metric"] + [f"{mb:g}MB" for mb in sizes]
+    rows: List[List[str]] = []
+    for mix, per in results.items():
+        rows.append([mix, "time-ratio"] + [_fmt(per[mb].elapsed_ratio) for mb in sizes])
+        rows.append(["", "io-ratio"] + [_fmt(per[mb].io_ratio) for mb in sizes])
+    sample = next(iter(results.values()))[sizes[0]]
+    caption = f"{title} ({sample.test_policy} normalized to {sample.base_policy})"
+    return caption + "\n" + _grid(rows, header)
+
+
+def render_table1(results: Dict[str, Dict[int, object]]) -> str:
+    ns = sorted(next(iter(results.values())).keys())
+    header = ["setting"] + [f"t(read{n})" for n in ns] + [f"IO(read{n})" for n in ns]
+    rows = []
+    for setting in ("oblivious", "unprotected", "protected"):
+        per = results[setting]
+        rows.append(
+            [setting]
+            + [_fmt(per[n].elapsed, True) for n in ns]
+            + [_fmt(per[n].block_ios, True) for n in ns]
+        )
+    rows.append(["paper:"] + [""] * (2 * len(ns)))
+    for setting in ("oblivious", "unprotected", "protected"):
+        rows.append(
+            [f"  {setting}"]
+            + [str(v) for v in paperdata.PAPER_TABLE1_ELAPSED[setting]]
+            + [str(v) for v in paperdata.PAPER_TABLE1_IOS[setting]]
+        )
+    return _grid(rows, header)
+
+
+def render_table2(results: Dict[str, Dict[str, object]]) -> str:
+    apps = list(next(iter(results.values())).keys())
+    header = ["Read300 policy"] + [f"t({a})" for a in apps] + [f"IO({a})" for a in apps]
+    rows = []
+    for background in ("oblivious", "foolish"):
+        per = results[background]
+        rows.append(
+            [background]
+            + [_fmt(per[a].elapsed, True) for a in apps]
+            + [_fmt(per[a].block_ios, True) for a in apps]
+        )
+    rows.append(["paper:"] + [""] * (2 * len(apps)))
+    for background in ("oblivious", "foolish"):
+        rows.append(
+            [f"  {background}"]
+            + [str(v) for v in paperdata.PAPER_TABLE2_ELAPSED[background]]
+            + [str(v) for v in paperdata.PAPER_TABLE2_IOS[background]]
+        )
+    return _grid(rows, header)
+
+
+def render_table34(results: Dict[str, Dict[str, object]], paper: Dict[str, Sequence[float]]) -> str:
+    apps = list(next(iter(results.values())).keys())
+    header = ["app policies"] + [f"w. {a}" for a in apps]
+    rows = []
+    for mode in ("oblivious", "smart"):
+        per = results[mode]
+        rows.append([mode] + [_fmt(per[a].read300_elapsed, True) for a in apps])
+    rows.append(["paper:"] + [""] * len(apps))
+    for mode in ("oblivious", "smart"):
+        rows.append([f"  {mode}"] + [str(v) for v in paper[mode]])
+    return _grid(rows, header)
+
+
+def ascii_chart(
+    series: Dict[str, List[float]],
+    labels: Sequence[str],
+    height: int = 12,
+    lo: float = 0.0,
+    hi: float = None,
+) -> str:
+    """A terminal chart of one or more numeric series over shared x labels.
+
+    Good enough to eyeball a miss-ratio curve without plotting libraries:
+    each series gets a marker character; rows run from ``hi`` down to
+    ``lo``.
+    """
+    if not series:
+        return "(no data)"
+    npoints = len(labels)
+    for name, values in series.items():
+        if len(values) != npoints:
+            raise ValueError(f"series {name!r} has {len(values)} points, expected {npoints}")
+    if hi is None:
+        hi = max(max(v) for v in series.values()) or 1.0
+    if hi <= lo:
+        hi = lo + 1.0
+    markers = "*o+x#@%&"
+    rows = []
+    grid = [[" "] * npoints for _ in range(height)]
+    for si, (name, values) in enumerate(series.items()):
+        mark = markers[si % len(markers)]
+        for x, v in enumerate(values):
+            frac = (min(max(v, lo), hi) - lo) / (hi - lo)
+            y = height - 1 - int(round(frac * (height - 1)))
+            grid[y][x] = mark
+    for y, row in enumerate(grid):
+        level = hi - (hi - lo) * y / (height - 1)
+        rows.append(f"{level:7.2f} |" + "  ".join(row))
+    rows.append(" " * 8 + "+" + "-" * (3 * npoints - 2))
+    rows.append(" " * 9 + " ".join(f"{str(lbl):<2}" for lbl in labels))
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    rows.append("legend: " + legend)
+    return "\n".join(rows)
+
+
+def render_ablation(results: Dict[str, tuple], title: str) -> str:
+    header = ["variant", "elapsed(s)", "block I/Os"]
+    rows = [[name, _fmt(el, True), _fmt(io, True)] for name, (el, io) in results.items()]
+    return title + "\n" + _grid(rows, header)

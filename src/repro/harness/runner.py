@@ -1,0 +1,69 @@
+"""Run one experiment configuration: machine + workload mix → results.
+
+Workload generators are single-use, so experiments describe *specs* (which
+application, smart or oblivious, any parameter overrides) and the runner
+builds fresh instances per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.core.allocation import LRU_SP, AllocationPolicy
+from repro.kernel.system import MachineConfig, System, SystemResult
+from repro.workloads.registry import make_workload
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """A workload to include in a run.
+
+    ``kind`` is a registry name ("din", "cs2", "sort", "readn", ...);
+    ``name`` defaults to the kind; ``kwargs`` are extra constructor
+    arguments (stored as a tuple of pairs so specs stay hashable).
+    """
+
+    kind: str
+    name: Optional[str] = None
+    smart: bool = True
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def build(self):
+        return make_workload(self.kind, name=self.name, smart=self.smart, **dict(self.kwargs))
+
+    @property
+    def display_name(self) -> str:
+        return self.name or self.kind
+
+
+def app(kind: str, name: Optional[str] = None, smart: bool = True, **kwargs: Any) -> AppSpec:
+    """Shorthand AppSpec constructor."""
+    return AppSpec(kind=kind, name=name, smart=smart, kwargs=tuple(sorted(kwargs.items())))
+
+
+def run_mix(
+    specs: Iterable[AppSpec],
+    cache_mb: float = 6.4,
+    policy: AllocationPolicy = LRU_SP,
+    **config_kwargs: Any,
+) -> SystemResult:
+    """Run a mix of applications on one freshly-built machine."""
+    config = MachineConfig(cache_mb=cache_mb, policy=policy, **config_kwargs)
+    system = System(config)
+    for spec in specs:
+        spec.build().spawn(system)
+    return system.run()
+
+
+def run_single(
+    kind: str,
+    cache_mb: float = 6.4,
+    policy: AllocationPolicy = LRU_SP,
+    smart: bool = True,
+    config_kwargs: Optional[Dict[str, Any]] = None,
+    **workload_kwargs: Any,
+) -> SystemResult:
+    """Run one application alone (the Figure 4 / Table 5–6 setting)."""
+    spec = app(kind, smart=smart, **workload_kwargs)
+    return run_mix([spec], cache_mb=cache_mb, policy=policy, **(config_kwargs or {}))

@@ -1,0 +1,94 @@
+"""Fine-grained sweeps: the paper's four cache sizes, or any curve.
+
+Figure 4 samples {6.4, 8, 12, 16} MB; ``cache_size_sweep`` produces the
+whole curve for one application at any resolution, and
+``policy_zoo_sweep`` compares the paper's approach to the standalone
+policy zoo on the application's recorded trace (cache-only, no timing —
+fast enough for dozens of points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.allocation import GLOBAL_LRU, LRU_SP
+from repro.harness.runner import app, run_mix
+from repro.policies.base import simulate
+from repro.policies.offline import BeladyCache
+from repro.policies.registry import POLICY_FACTORIES
+from repro.trace.events import AccessRecord
+from repro.trace.driver import replay
+from repro.trace.recorder import record_workload
+from repro.workloads.registry import make_workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (cache size, kernel) measurement for one app."""
+
+    cache_mb: float
+    orig_elapsed: float
+    orig_ios: int
+    sp_elapsed: float
+    sp_ios: int
+
+    @property
+    def io_ratio(self) -> float:
+        return self.sp_ios / self.orig_ios
+
+    @property
+    def elapsed_ratio(self) -> float:
+        return self.sp_elapsed / self.orig_elapsed
+
+
+def cache_size_sweep(
+    kind: str,
+    cache_sizes_mb: Sequence[float],
+    **workload_kwargs,
+) -> List[SweepPoint]:
+    """Full-simulation sweep of one application over many cache sizes."""
+    points = []
+    for mb in cache_sizes_mb:
+        orig = run_mix([app(kind, smart=False, **workload_kwargs)], cache_mb=mb, policy=GLOBAL_LRU)
+        sp = run_mix([app(kind, smart=True, **workload_kwargs)], cache_mb=mb, policy=LRU_SP)
+        points.append(
+            SweepPoint(
+                cache_mb=mb,
+                orig_elapsed=orig.proc(kind).elapsed,
+                orig_ios=orig.proc(kind).block_ios,
+                sp_elapsed=sp.proc(kind).elapsed,
+                sp_ios=sp.proc(kind).block_ios,
+            )
+        )
+    return points
+
+
+def policy_zoo_sweep(
+    kind: str,
+    nframes: int,
+    policies: Optional[Sequence[str]] = None,
+    include_opt: bool = True,
+    include_lru_sp: bool = True,
+    **workload_kwargs,
+) -> Dict[str, int]:
+    """Miss counts of one application's reference trace under the zoo.
+
+    Returns ``{policy_name: misses}`` including:
+
+    * every requested zoo policy (default: all of them),
+    * ``lru-sp`` — the paper's system replaying the trace *with its
+      directives* (application control in action),
+    * ``opt`` — Belady's bound.
+    """
+    workload = make_workload(kind, smart=True, **workload_kwargs)
+    events = record_workload(workload)
+    refs = [(ev.path, ev.blockno) for ev in events if isinstance(ev, AccessRecord)]
+    out: Dict[str, int] = {}
+    for name in policies if policies is not None else sorted(POLICY_FACTORIES):
+        out[name] = simulate(POLICY_FACTORIES[name](nframes), refs).misses
+    if include_lru_sp:
+        out["lru-sp"] = replay(events, nframes=nframes, policy=LRU_SP).misses
+    if include_opt:
+        out["opt"] = simulate(BeladyCache(nframes, refs), refs).misses
+    return out

@@ -1,0 +1,11 @@
+"""The simulated machine: cache + disks + filesystem + processes.
+
+:class:`repro.kernel.system.System` assembles one DEC-5000/240-shaped
+machine — a uniprocessor CPU, one or two SCSI disks on a shared bus, the
+buffer cache under a chosen allocation policy, and the update daemon — and
+runs simulated processes on it to completion.
+"""
+
+from repro.kernel.system import MachineConfig, ProcResult, System, SystemResult
+
+__all__ = ["System", "MachineConfig", "SystemResult", "ProcResult"]

@@ -1,0 +1,480 @@
+"""The simulated machine and its kernel.
+
+:class:`System` is the top of the stack: it owns the event engine, the CPU,
+the disks and bus, the filesystem, the buffer cache (BUF + ACM) and the
+update daemon, and it executes simulated processes — generators yielding
+:mod:`repro.sim.ops` primitives — to completion.
+
+The execution model mirrors the paper's testbed:
+
+* one CPU (the DEC 5000/240 was a uniprocessor): compute chunks and
+  per-access kernel costs queue FCFS;
+* a cache **hit** costs a small kernel copy; a **miss** blocks the process
+  for the disk round trip (plus a synchronous write-back first if the
+  reclaimed buffer was dirty, as in the real buffer cache);
+* **writes** are delayed: they dirty the buffer and return; the data reaches
+  disk via eviction write-back or the 30-second update daemon;
+* elapsed time of a run is the makespan over its processes; trailing
+  flushes after the last exit are counted in block I/Os but not in time,
+  matching how the paper's measurements would see a final sync.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.acm import ACM, ResourceLimits
+from repro.core.allocation import LRU_SP, AllocationPolicy
+from repro.core.buffercache import AccessOutcome, BufferCache, CacheStats
+from repro.core.interface import fbehavior
+from repro.core.revocation import RevocationPolicy
+from repro.disk.drive import DiskDrive
+from repro.disk.params import BLOCK_SIZE, RZ26, RZ56, DiskParams
+from repro.disk.scheduler import make_scheduler
+from repro.fs.filesystem import File, FsError, SimFilesystem
+from repro.fs.syncer import UpdateDaemon
+from repro.sim.engine import Engine
+from repro.sim.ops import (
+    BlockRead,
+    BlockWrite,
+    Compute,
+    Control,
+    CreateFile,
+    DeleteFile,
+    Fork,
+)
+from repro.sim.process import ProcessState, ProcessStats, SimProcess
+from repro.sim.resources import FCFSResource, PreemptiveCPU
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything configurable about the simulated machine.
+
+    The defaults are the paper's testbed: a 6.4 MB cache (10 % of the
+    machine's 64 MB, the Ultrix default), LRU-SP, an RZ56 and an RZ26 on one
+    SCSI bus, FCFS disk scheduling, and a 30 s update daemon.
+    """
+
+    cache_mb: float = 6.4
+    policy: AllocationPolicy = LRU_SP
+    disks: Tuple[DiskParams, ...] = (RZ56, RZ26)
+    shared_bus: bool = True
+    disk_scheduler: str = "fcfs"
+    readahead: bool = True
+    hit_cpu_ms: float = 0.2
+    miss_cpu_ms: float = 1.5
+    syscall_cpu_ms: float = 0.05
+    upcall_cpu_ms: float = 1.0
+    sync_interval_s: float = 5.0
+    sync_age_s: float = 25.0
+    placeholder_limit: int = 4096
+    #: sample per-process frame occupancy every N seconds (None = off)
+    sample_occupancy_s: Optional[float] = None
+    limits: ResourceLimits = field(default_factory=ResourceLimits)
+    revocation: Optional[RevocationPolicy] = None
+
+    @property
+    def cache_frames(self) -> int:
+        """Cache size in 8 KB frames (6.4 MB → 819, as in the paper)."""
+        return max(1, int(self.cache_mb * 1024 * 1024) // BLOCK_SIZE)
+
+
+@dataclass
+class ProcResult:
+    """Outcome of one process."""
+
+    name: str
+    pid: int
+    elapsed: float
+    finish_time: float
+    stats: ProcessStats
+
+    @property
+    def block_ios(self) -> int:
+        return self.stats.block_ios
+
+
+@dataclass
+class SystemResult:
+    """Outcome of one full run."""
+
+    makespan: float
+    settle_time: float
+    procs: Dict[str, ProcResult]
+    cache: CacheStats
+    policy: str
+    cache_mb: float
+    placeholders_created: int
+    placeholders_used: int
+    disk_stats: Dict[str, Dict[str, float]]
+    revocations: int = 0
+    occupancy_samples: List = field(default_factory=list)
+
+    @property
+    def total_block_ios(self) -> int:
+        return sum(p.stats.block_ios for p in self.procs.values())
+
+    @property
+    def total_elapsed(self) -> float:
+        return self.makespan
+
+    def proc(self, name: str) -> ProcResult:
+        return self.procs[name]
+
+
+def _noop() -> None:
+    """Completion for kernel work no process waits on."""
+
+
+class System:
+    """One simulated machine; create, populate, spawn, run."""
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        acm: Optional[ACM] = None,
+        trace_recorder: Optional[Any] = None,
+    ) -> None:
+        self.config = config or MachineConfig()
+        self.engine = Engine()
+        self.cpu = PreemptiveCPU(self.engine, "cpu")
+        self.bus = FCFSResource(self.engine, "scsi-bus") if self.config.shared_bus else None
+        self.drives: Dict[str, DiskDrive] = {}
+        for params in self.config.disks:
+            scheduler = make_scheduler(self.config.disk_scheduler, params)
+            self.drives[params.name] = DiskDrive(self.engine, params, bus=self.bus, scheduler=scheduler)
+        self.fs = SimFilesystem({p.name: p.total_blocks for p in self.config.disks})
+        # An alternative ACM (e.g. repro.core.upcall.UpcallACM) may be
+        # injected; upcall-counting ACMs get their CPU cost charged below.
+        self.acm = acm if acm is not None else ACM(
+            limits=self.config.limits, revocation=self.config.revocation
+        )
+        self.cache = BufferCache(
+            self.config.cache_frames,
+            acm=self.acm,
+            policy=self.config.policy,
+            clock=lambda: self.engine.now,
+            placeholder_limit=self.config.placeholder_limit,
+        )
+        self.syncer = UpdateDaemon(
+            self.engine,
+            self.cache,
+            self.drives,
+            interval=self.config.sync_interval_s,
+            age_threshold=self.config.sync_age_s,
+            on_flush=self._on_daemon_flush,
+        )
+        #: optional repro.trace.TraceRecorder capturing the global-order
+        #: reference stream (accesses + directives) of this run
+        self.trace_recorder = trace_recorder
+        self.occupancy_samples: List[Tuple[float, Dict[int, int]]] = []
+        self._procs: List[SimProcess] = []
+        self._by_pid: Dict[int, SimProcess] = {}
+        self._next_pid = 1
+        self._active = 0
+        self._makespan: Optional[float] = None
+        self._ran = False
+
+    # -- setup ----------------------------------------------------------
+
+    def add_file(
+        self,
+        path: str,
+        nblocks: Optional[int] = None,
+        mb: Optional[float] = None,
+        disk: Optional[str] = None,
+    ) -> File:
+        """Create a pre-existing input file (sized in blocks or MB)."""
+        if nblocks is None:
+            if mb is None:
+                raise ValueError("give nblocks or mb")
+            nblocks = max(1, int(mb * 1024 * 1024) // BLOCK_SIZE)
+        return self.fs.create(path, size_blocks=nblocks, disk=disk)
+
+    def spawn(self, name: str, program) -> SimProcess:
+        """Register a process; it starts when :meth:`run` is called (or
+        immediately, for forks during a run)."""
+        pid = self._next_pid
+        self._next_pid += 1
+        proc = SimProcess(pid, name, program)
+        self._procs.append(proc)
+        self._by_pid[pid] = proc
+        self._active += 1
+        if self._ran:
+            proc.start_time = self.engine.now
+            proc.state = ProcessState.RUNNING
+            self.engine.after(0.0, self._step, proc, None)
+        return proc
+
+    # -- the run ----------------------------------------------------------
+
+    def run(self, settle: bool = True) -> SystemResult:
+        """Execute every spawned process to completion.
+
+        ``settle`` also flushes all remaining dirty blocks at the end (the
+        trailing sync); those writes count as block I/Os but happen after
+        the recorded makespan.
+        """
+        if self._ran:
+            raise RuntimeError("System.run() may only be called once")
+        self._ran = True
+        self._settle = settle
+        for proc in self._procs:
+            proc.start_time = 0.0
+            proc.state = ProcessState.RUNNING
+            self.engine.after(0.0, self._step, proc, None)
+        if self._procs:
+            self.syncer.start()
+            if self.config.sample_occupancy_s:
+                self.engine.after(self.config.sample_occupancy_s, self._sample_occupancy)
+        self.engine.run()
+        stuck = [p.name for p in self._procs if not p.finished]
+        if stuck:
+            raise RuntimeError(f"simulation drained with unfinished processes: {stuck}")
+        return self._result()
+
+    # -- process stepping ---------------------------------------------------
+
+    def _step(self, proc: SimProcess, send_value: Any = None) -> None:
+        op = proc.next_op(send_value)
+        if op is None:
+            self._finish(proc)
+            return
+        if isinstance(op, Compute):
+            proc.stats.cpu_time += op.seconds
+            self.cpu.request(op.seconds, lambda: self._step(proc))
+        elif isinstance(op, BlockRead):
+            self._do_read(proc, op)
+        elif isinstance(op, BlockWrite):
+            self._do_write(proc, op)
+        elif isinstance(op, Control):
+            self._do_control(proc, op)
+        elif isinstance(op, CreateFile):
+            size = max(0, op.size_hint)
+            self.fs.create(op.path, size_blocks=size, disk=op.disk)
+            self._kernel_cpu(proc, self.config.syscall_cpu_ms)
+        elif isinstance(op, DeleteFile):
+            self._do_delete(proc, op)
+        elif isinstance(op, Fork):
+            self.spawn(op.name, op.program)
+            self._kernel_cpu(proc, self.config.syscall_cpu_ms)
+        else:
+            raise TypeError(f"process {proc.name} yielded unknown op {op!r}")
+
+    def _kernel_cpu(self, proc: SimProcess, ms: float, send_value: Any = None) -> None:
+        # Outstanding upcall time (kernel/user crossings waiting on a
+        # user-level manager's answer) rides on the process's next slice.
+        debt = getattr(proc, "_upcall_debt_ms", 0.0)
+        if debt:
+            ms += debt
+            proc._upcall_debt_ms = 0.0  # type: ignore[attr-defined]
+        self.cpu.request(ms / 1e3, lambda: self._step(proc, send_value))
+
+    def _sample_occupancy(self) -> None:
+        self.occupancy_samples.append((self.engine.now, self.cache.occupancy()))
+        if self._active > 0:
+            self.engine.after(self.config.sample_occupancy_s, self._sample_occupancy)
+
+    def _finish(self, proc: SimProcess) -> None:
+        proc.state = ProcessState.FINISHED
+        proc.finish_time = self.engine.now
+        self._active -= 1
+        if self._active == 0:
+            self._makespan = self.engine.now
+            self.syncer.stop()
+            if self._settle:
+                self.syncer.flush_all()
+
+    # -- reads and writes ------------------------------------------------------
+
+    def _do_read(self, proc: SimProcess, op: BlockRead) -> None:
+        f = self.fs.lookup(op.path)
+        if op.blockno >= f.nblocks:
+            raise FsError(f"{proc.name}: read past EOF: {op.path} block {op.blockno} of {f.nblocks}")
+        lba = f.lba_of(op.blockno)
+        if self.trace_recorder is not None:
+            self.trace_recorder.record_access(proc.pid, op.path, op.blockno, False, False)
+        before = getattr(self.acm, "upcalls", 0)
+        outcome = self.cache.access(proc.pid, f.file_id, op.blockno, lba, f.disk, write=False)
+        self._charge_upcalls(proc, before)
+        self._account_access(proc, outcome)
+        self._maybe_readahead(proc, f, op.blockno)
+        self._continue_access(proc, outcome, f.disk)
+
+    def _maybe_readahead(self, proc: SimProcess, f: File, blockno: int) -> None:
+        """One-block sequential read-ahead, like the Ultrix buffer cache.
+
+        When a process reads block ``b`` right after reading ``b-1`` of the
+        same file, the kernel starts fetching ``b+1`` in the background.
+        For sequential scans whose per-block compute exceeds the transfer
+        time this hides nearly the whole disk latency — which is why the
+        paper's dinero run is CPU-bound despite streaming 73 MB.
+        """
+        last = getattr(proc, "_last_read", None)
+        if last is None:
+            last = proc._last_read = {}  # type: ignore[attr-defined]
+        sequential = last.get(f.file_id) == blockno - 1
+        last[f.file_id] = blockno
+        if not (self.config.readahead and sequential):
+            return
+        nxt = blockno + 1
+        if nxt >= f.nblocks:
+            return
+        block, evicted = self.cache.prefetch(proc.pid, f.file_id, nxt, f.lba_of(nxt), f.disk)
+        if block is None:
+            return
+        proc.stats.disk_reads += 1
+
+        self.drives[f.disk].read(block.lba, 1, on_done=lambda: self._prefetch_done(block), pid=proc.pid)
+        if evicted is not None and evicted.dirty:
+            self._charge_write(evicted.owner_pid)
+            self.drives[evicted.disk].write(evicted.lba, 1, on_done=None, pid=evicted.owner_pid)
+
+    def _prefetch_done(self, block) -> None:
+        # The driver/interrupt/buffer work of the I/O still costs CPU even
+        # though no process waits for it; it competes with app compute.
+        self.cpu.request(self.config.miss_cpu_ms / 1e3, _noop)
+        for waiter in self.cache.loaded(block):
+            self._resume_from_io(waiter, self.config.hit_cpu_ms)
+
+    def _do_write(self, proc: SimProcess, op: BlockWrite) -> None:
+        f = self.fs.lookup(op.path)
+        lba = self.fs.ensure_block(f, op.blockno)
+        if self.trace_recorder is not None:
+            self.trace_recorder.record_access(proc.pid, op.path, op.blockno, True, op.whole)
+        before = getattr(self.acm, "upcalls", 0)
+        outcome = self.cache.access(
+            proc.pid, f.file_id, op.blockno, lba, f.disk, write=True, whole=op.whole
+        )
+        self._charge_upcalls(proc, before)
+        self._account_access(proc, outcome)
+        self._continue_access(proc, outcome, f.disk)
+
+    def _charge_upcalls(self, proc: SimProcess, upcalls_before: int) -> None:
+        """Upcall-based managers pay per kernel/user crossing — the cost
+        the paper's directive interface was designed to avoid.  The time
+        lands on the faulting process's critical path: the kernel cannot
+        complete the access until the user-level manager has answered."""
+        delta = getattr(self.acm, "upcalls", 0) - upcalls_before
+        if delta > 0 and self.config.upcall_cpu_ms > 0:
+            cost_ms = delta * self.config.upcall_cpu_ms
+            proc.stats.cpu_time += cost_ms / 1e3
+            proc._upcall_debt_ms = getattr(proc, "_upcall_debt_ms", 0.0) + cost_ms  # type: ignore[attr-defined]
+
+    def _account_access(self, proc: SimProcess, outcome: AccessOutcome) -> None:
+        proc.stats.accesses += 1
+        if outcome.hit:
+            proc.stats.hits += 1
+        else:
+            proc.stats.misses += 1
+
+    def _continue_access(self, proc: SimProcess, outcome: AccessOutcome, disk: str) -> None:
+        block = outcome.block
+        if outcome.hit and not outcome.must_wait:
+            self._kernel_cpu(proc, self.config.hit_cpu_ms)
+            return
+        if outcome.must_wait:
+            # Another process's demand read is in flight; park until loaded.
+            proc.state = ProcessState.BLOCKED
+            proc._wait_start = self.engine.now  # type: ignore[attr-defined]
+            block.waiters.append(proc)
+            return
+        # Miss.  The demand read goes out first; a dirty victim is pushed
+        # out *asynchronously* behind it (as getnewbuf does — a reader never
+        # waits for someone else's delayed write to complete).
+        proc.state = ProcessState.BLOCKED
+        proc._wait_start = self.engine.now  # type: ignore[attr-defined]
+        if outcome.read_needed:
+            proc.stats.disk_reads += 1
+            self.drives[disk].read(block.lba, 1, on_done=lambda: self._read_done(proc, block), pid=proc.pid)
+        else:
+            # Whole-block overwrite: the frame is usable immediately.
+            self._resume_from_io(proc, self.config.hit_cpu_ms)
+        if outcome.writeback:
+            victim = outcome.evicted
+            self._charge_write(victim.owner_pid)
+            self.drives[victim.disk].write(victim.lba, 1, on_done=None, pid=victim.owner_pid)
+
+    def _read_done(self, proc: SimProcess, block) -> None:
+        waiters = self.cache.loaded(block)
+        self._resume_from_io(proc, self.config.miss_cpu_ms + self.config.hit_cpu_ms)
+        for waiter in waiters:
+            self._resume_from_io(waiter, self.config.hit_cpu_ms)
+
+    def _resume_from_io(self, proc: SimProcess, cpu_ms: float) -> None:
+        start = getattr(proc, "_wait_start", None)
+        if start is not None:
+            proc.stats.io_wait_time += self.engine.now - start
+            proc._wait_start = None  # type: ignore[attr-defined]
+        proc.state = ProcessState.RUNNING
+        self._kernel_cpu(proc, cpu_ms)
+
+    def _charge_write(self, pid: int) -> None:
+        owner = self._by_pid.get(pid)
+        if owner is not None:
+            owner.stats.disk_writes += 1
+
+    def _on_daemon_flush(self, block) -> None:
+        self._charge_write(block.owner_pid)
+
+    # -- control ops ----------------------------------------------------------
+
+    def _do_control(self, proc: SimProcess, op: Control) -> None:
+        proc.stats.directives += 1
+        if self.trace_recorder is not None:
+            op_name = op.op.value if hasattr(op.op, "value") else str(op.op)
+            self.trace_recorder.record_directive(proc.pid, op_name, op.args)
+        result = fbehavior(self.acm, self.fs, proc.pid, op.op, tuple(op.args))
+        proc.manager = self.acm.managers.get(proc.pid)
+        self._kernel_cpu(proc, self.config.syscall_cpu_ms, send_value=result)
+
+    def _do_delete(self, proc: SimProcess, op: DeleteFile) -> None:
+        if self.trace_recorder is not None:
+            self.trace_recorder.record_directive(proc.pid, "delete", (op.path,))
+        f = self.fs.lookup(op.path)
+        dropped = self.cache.invalidate_file(f.file_id)
+        for block in dropped:
+            # An in-flight read of a dying block still completes; wake any
+            # waiters so no process is stranded.
+            for waiter in block.waiters:
+                self._resume_from_io(waiter, self.config.hit_cpu_ms)
+            block.waiters = []
+        self.fs.unlink(op.path)
+        self._kernel_cpu(proc, self.config.syscall_cpu_ms)
+
+    # -- results ----------------------------------------------------------
+
+    def _result(self) -> SystemResult:
+        procs = {}
+        for p in self._procs:
+            procs[p.name] = ProcResult(
+                name=p.name,
+                pid=p.pid,
+                elapsed=p.elapsed(self.engine.now),
+                finish_time=p.finish_time if p.finish_time is not None else self.engine.now,
+                stats=p.stats,
+            )
+        disk_stats = {
+            name: {
+                "reads": d.stats.reads,
+                "writes": d.stats.writes,
+                "busy_time": d.stats.busy_time,
+                "wait_time": d.stats.wait_time,
+            }
+            for name, d in self.drives.items()
+        }
+        return SystemResult(
+            occupancy_samples=self.occupancy_samples,
+            makespan=self._makespan if self._makespan is not None else self.engine.now,
+            settle_time=self.engine.now,
+            procs=procs,
+            cache=self.cache.stats,
+            policy=self.config.policy.name,
+            cache_mb=self.config.cache_mb,
+            placeholders_created=self.cache.placeholders.created,
+            placeholders_used=self.cache.placeholders.consumed,
+            disk_stats=disk_stats,
+            revocations=self.acm.revocations,
+        )

@@ -1,0 +1,55 @@
+"""A standalone eviction-policy zoo for trace-driven comparison.
+
+The paper's related work (Chou & DeWitt's DBMIN, O'Neil's LRU-K) and two
+decades of successors all compete on the same question LRU-SP answers with
+application knowledge: *which block won't be needed soon?*  This package
+implements the classic policies behind that literature with one tiny
+interface, so any recorded trace (:mod:`repro.trace`) can be replayed under
+all of them and compared against application-controlled caching:
+
+======== ==============================================================
+fifo     evict the oldest-loaded block
+lru      evict the least recently used
+mru      evict the most recently used (the cyclic-scan special)
+clock    one-bit second-chance approximation of LRU
+random   uniform random victim (seeded, deterministic)
+lru2     LRU-K with K=2: evict by penultimate-reference recency
+arc      ARC: adaptive recency/frequency balance with ghost lists
+twoq     simplified 2Q: probational FIFO + protected LRU
+slru     segmented LRU: probational/protected segments
+opt      Belady's clairvoyant optimum (offline)
+======== ==============================================================
+
+All policies share :class:`~repro.policies.base.EvictionPolicy`:
+``access(key) -> bool`` (hit?) is the entire protocol.
+"""
+
+from repro.policies.base import EvictionPolicy, compare_policies, simulate
+from repro.policies.classic import (
+    ClockCache,
+    FIFOCache,
+    LRUCache,
+    MRUCache,
+    RandomCache,
+)
+from repro.policies.advanced import ARCCache, LRUKCache, SLRUCache, TwoQCache
+from repro.policies.offline import BeladyCache
+from repro.policies.registry import POLICY_FACTORIES, make_policy
+
+__all__ = [
+    "EvictionPolicy",
+    "simulate",
+    "compare_policies",
+    "FIFOCache",
+    "LRUCache",
+    "MRUCache",
+    "ClockCache",
+    "RandomCache",
+    "LRUKCache",
+    "ARCCache",
+    "TwoQCache",
+    "SLRUCache",
+    "BeladyCache",
+    "POLICY_FACTORIES",
+    "make_policy",
+]

@@ -1,0 +1,218 @@
+"""Scan-resistant policies from the database literature.
+
+* **LRU-K** (O'Neil, O'Neil & Weikum 1993, cited by the paper's related
+  work): order blocks by the recency of their K-th most recent reference;
+  single-touch scan blocks have no K-th reference and die first.
+* **2Q** (Johnson & Shasha 1994, simplified): new blocks enter a small
+  probational FIFO; only a re-reference promotes into the protected LRU.
+* **SLRU** — segmented LRU, the cache-management cousin of 2Q.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Dict, Hashable
+
+from repro.policies.base import EvictionPolicy
+
+
+class LRUKCache(EvictionPolicy):
+    """LRU-K (default K=2), with LRU tiebreak for under-referenced blocks."""
+
+    name = "lru2"
+
+    def __init__(self, capacity: int, k: int = 2) -> None:
+        super().__init__(capacity)
+        if k < 1:
+            raise ValueError("K must be >= 1")
+        self.k = k
+        self._clock = 0
+        self._history: Dict[Hashable, deque] = {}
+
+    def _tick(self, key: Hashable) -> None:
+        self._clock += 1
+        hist = self._history.setdefault(key, deque(maxlen=self.k))
+        hist.append(self._clock)
+
+    def _on_hit(self, key: Hashable) -> None:
+        self._tick(key)
+
+    def _on_insert(self, key: Hashable) -> None:
+        self._tick(key)
+
+    def _kth_recency(self, key: Hashable) -> int:
+        hist = self._history[key]
+        if len(hist) < self.k:
+            return 0  # -inf: no K-th reference yet -> evict first
+        return hist[0]
+
+    def _choose_victim(self, incoming: Hashable) -> Hashable:
+        # Smallest K-th-reference time loses; ties broken by last reference.
+        return min(self._resident, key=lambda b: (self._kth_recency(b), self._history[b][-1]))
+
+    def _on_evict(self, key: Hashable) -> None:
+        # Full LRU-K retains history for non-resident pages; this variant
+        # drops it (the common simplification), making it self-contained.
+        self._history.pop(key, None)
+
+
+class TwoQCache(EvictionPolicy):
+    """Simplified 2Q: A1 (probational FIFO) + Am (protected LRU).
+
+    ``probation_fraction`` sizes A1 (the paper's Kin, default 25 %).
+    """
+
+    name = "twoq"
+
+    def __init__(self, capacity: int, probation_fraction: float = 0.25) -> None:
+        super().__init__(capacity)
+        if not 0.0 < probation_fraction < 1.0:
+            raise ValueError("probation fraction must be in (0, 1)")
+        self._a1_max = max(1, int(capacity * probation_fraction))
+        self._a1: "OrderedDict[Hashable, None]" = OrderedDict()  # FIFO
+        self._am: "OrderedDict[Hashable, None]" = OrderedDict()  # LRU
+
+    def _on_hit(self, key: Hashable) -> None:
+        if key in self._a1:
+            # Re-referenced while on probation: promote.
+            del self._a1[key]
+            self._am[key] = None
+        else:
+            self._am.move_to_end(key)
+
+    def _on_insert(self, key: Hashable) -> None:
+        self._a1[key] = None
+
+    def _choose_victim(self, incoming: Hashable) -> Hashable:
+        if len(self._a1) >= self._a1_max or not self._am:
+            victim, _ = self._a1.popitem(last=False)
+        else:
+            victim, _ = self._am.popitem(last=False)
+        return victim
+
+    def _on_evict(self, key: Hashable) -> None:
+        self._a1.pop(key, None)
+        self._am.pop(key, None)
+
+
+class ARCCache(EvictionPolicy):
+    """ARC (Megiddo & Modha, FAST 2003), the self-tuning landmark.
+
+    Two LRU lists — T1 (seen once recently) and T2 (seen at least twice) —
+    plus ghost lists B1/B2 remembering recent evictions.  A hit in a ghost
+    list shifts the adaptive target ``p`` toward the list that missed,
+    letting the cache float between recency- and frequency-favouring
+    behaviour.  Included in the zoo as the strongest *general* online
+    baseline to hold against application-controlled caching.
+    """
+
+    name = "arc"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._p = 0.0  # target size of T1
+        self._t1: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._t2: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._b1: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._b2: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._incoming_from_ghost = False
+
+    def _on_hit(self, key: Hashable) -> None:
+        # A real hit promotes to T2's MRU end.
+        if key in self._t1:
+            del self._t1[key]
+        else:
+            del self._t2[key]
+        self._t2[key] = None
+
+    def _on_insert(self, key: Hashable) -> None:
+        if self._incoming_from_ghost:
+            self._t2[key] = None
+        else:
+            self._t1[key] = None
+        self._incoming_from_ghost = False
+
+    def _choose_victim(self, incoming: Hashable) -> Hashable:
+        c = self.capacity
+        # Ghost adaptation happens at miss time, before replacement.
+        if incoming in self._b1:
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self._p = min(float(c), self._p + delta)
+            del self._b1[incoming]
+            self._incoming_from_ghost = True
+        elif incoming in self._b2:
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self._p = max(0.0, self._p - delta)
+            del self._b2[incoming]
+            self._incoming_from_ghost = True
+        victim = self._replace(incoming)
+        self._trim_ghosts()
+        return victim
+
+    def _replace(self, incoming: Hashable) -> Hashable:
+        from_b2 = self._incoming_from_ghost and incoming not in self._b1
+        if self._t1 and (
+            len(self._t1) > self._p
+            or (from_b2 and len(self._t1) == int(self._p))
+            or not self._t2
+        ):
+            victim, _ = self._t1.popitem(last=False)
+            self._b1[victim] = None
+        else:
+            victim, _ = self._t2.popitem(last=False)
+            self._b2[victim] = None
+        return victim
+
+    def _trim_ghosts(self) -> None:
+        # Standard ARC bound: |T1|+|B1| <= c and total directory <= 2c.
+        c = self.capacity
+        while len(self._t1) + len(self._b1) > c and self._b1:
+            self._b1.popitem(last=False)
+        while len(self._t1) + len(self._t2) + len(self._b1) + len(self._b2) > 2 * c and self._b2:
+            self._b2.popitem(last=False)
+
+    def _on_evict(self, key: Hashable) -> None:
+        pass  # eviction bookkeeping handled in _replace
+
+
+class SLRUCache(EvictionPolicy):
+    """Segmented LRU: probational + protected LRU segments.
+
+    Hits promote to protected; protected overflow demotes back to the
+    probational segment's MRU end (unlike 2Q, nothing is evicted on
+    demotion).
+    """
+
+    name = "slru"
+
+    def __init__(self, capacity: int, protected_fraction: float = 0.75) -> None:
+        super().__init__(capacity)
+        if not 0.0 < protected_fraction < 1.0:
+            raise ValueError("protected fraction must be in (0, 1)")
+        self._prot_max = max(1, int(capacity * protected_fraction))
+        self._probation: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._protected: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def _on_hit(self, key: Hashable) -> None:
+        if key in self._protected:
+            self._protected.move_to_end(key)
+            return
+        del self._probation[key]
+        self._protected[key] = None
+        if len(self._protected) > self._prot_max:
+            demoted, _ = self._protected.popitem(last=False)
+            self._probation[demoted] = None  # back on probation, MRU end
+
+    def _on_insert(self, key: Hashable) -> None:
+        self._probation[key] = None
+
+    def _choose_victim(self, incoming: Hashable) -> Hashable:
+        if self._probation:
+            victim, _ = self._probation.popitem(last=False)
+        else:
+            victim, _ = self._protected.popitem(last=False)
+        return victim
+
+    def _on_evict(self, key: Hashable) -> None:
+        self._probation.pop(key, None)
+        self._protected.pop(key, None)

@@ -1,0 +1,116 @@
+"""The eviction-policy protocol and comparison helpers."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, Sequence
+
+
+class EvictionPolicy(abc.ABC):
+    """A fixed-capacity cache over opaque keys.
+
+    Subclasses implement :meth:`_on_hit`, :meth:`_on_insert` and
+    :meth:`_choose_victim`; the base class keeps the resident set and the
+    counters so every policy reports statistics identically.
+    """
+
+    name = "abstract"
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._resident: set = set()
+
+    # -- protocol ----------------------------------------------------------
+
+    def access(self, key: Hashable) -> bool:
+        """Reference ``key``; returns True on a hit."""
+        if key in self._resident:
+            self.hits += 1
+            self._on_hit(key)
+            return True
+        self.misses += 1
+        if len(self._resident) >= self.capacity:
+            victim = self._choose_victim(key)
+            if victim not in self._resident:
+                raise RuntimeError(f"{self.name}: chose non-resident victim {victim!r}")
+            self._resident.remove(victim)
+            self._on_evict(victim)
+        self._resident.add(key)
+        self._on_insert(key)
+        return False
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    # -- subclass hooks -------------------------------------------------------
+
+    @abc.abstractmethod
+    def _on_hit(self, key: Hashable) -> None:
+        """Update recency/frequency state for a hit."""
+
+    @abc.abstractmethod
+    def _on_insert(self, key: Hashable) -> None:
+        """Record a newly inserted key."""
+
+    @abc.abstractmethod
+    def _choose_victim(self, incoming: Hashable) -> Hashable:
+        """Pick a resident key to evict for ``incoming``."""
+
+    def _on_evict(self, key: Hashable) -> None:
+        """Optional cleanup when a key leaves (default: nothing extra)."""
+
+
+@dataclass
+class PolicyRun:
+    """Outcome of one simulate() call."""
+
+    policy: str
+    capacity: int
+    accesses: int
+    hits: int
+    misses: int
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+def simulate(policy: EvictionPolicy, trace: Iterable[Hashable]) -> PolicyRun:
+    """Feed a reference trace through a policy instance."""
+    for key in trace:
+        policy.access(key)
+    return PolicyRun(
+        policy=policy.name,
+        capacity=policy.capacity,
+        accesses=policy.accesses,
+        hits=policy.hits,
+        misses=policy.misses,
+    )
+
+
+def compare_policies(
+    trace: Sequence[Hashable],
+    capacity: int,
+    factories: Dict[str, Callable[[int], EvictionPolicy]],
+) -> Dict[str, PolicyRun]:
+    """Replay one trace under many policies at one capacity."""
+    results = {}
+    for name, factory in factories.items():
+        results[name] = simulate(factory(capacity), trace)
+    return results

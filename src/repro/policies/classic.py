@@ -1,0 +1,130 @@
+"""The classic policies: FIFO, LRU, MRU, CLOCK, RANDOM."""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict, deque
+from typing import Hashable
+
+from repro.policies.base import EvictionPolicy
+
+
+class FIFOCache(EvictionPolicy):
+    """Evict in insertion order; references don't rejuvenate."""
+
+    name = "fifo"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._queue: deque = deque()
+
+    def _on_hit(self, key: Hashable) -> None:
+        pass  # FIFO ignores references
+
+    def _on_insert(self, key: Hashable) -> None:
+        self._queue.append(key)
+
+    def _choose_victim(self, incoming: Hashable) -> Hashable:
+        return self._queue.popleft()
+
+
+class LRUCache(EvictionPolicy):
+    """Evict the least recently used."""
+
+    name = "lru"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def _on_hit(self, key: Hashable) -> None:
+        self._order.move_to_end(key)
+
+    def _on_insert(self, key: Hashable) -> None:
+        self._order[key] = None
+
+    def _choose_victim(self, incoming: Hashable) -> Hashable:
+        victim, _ = self._order.popitem(last=False)
+        return victim
+
+
+class MRUCache(EvictionPolicy):
+    """Evict the most recently used — optimal-ish for cyclic scans."""
+
+    name = "mru"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def _on_hit(self, key: Hashable) -> None:
+        self._order.move_to_end(key)
+
+    def _on_insert(self, key: Hashable) -> None:
+        self._order[key] = None
+
+    def _choose_victim(self, incoming: Hashable) -> Hashable:
+        victim, _ = self._order.popitem(last=True)
+        return victim
+
+
+class ClockCache(EvictionPolicy):
+    """One-bit second chance: the classic VM approximation of LRU."""
+
+    name = "clock"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._ring: list = []
+        self._ref_bits: dict = {}
+        self._hand = 0
+
+    def _on_hit(self, key: Hashable) -> None:
+        self._ref_bits[key] = True
+
+    def _on_insert(self, key: Hashable) -> None:
+        self._ring.append(key)
+        self._ref_bits[key] = True
+
+    def _choose_victim(self, incoming: Hashable) -> Hashable:
+        while True:
+            if self._hand >= len(self._ring):
+                self._hand = 0
+            key = self._ring[self._hand]
+            if self._ref_bits.get(key, False):
+                self._ref_bits[key] = False
+                self._hand += 1
+            else:
+                self._ring.pop(self._hand)
+                del self._ref_bits[key]
+                return key
+
+
+class RandomCache(EvictionPolicy):
+    """Uniform random victim, deterministic under a fixed seed."""
+
+    name = "random"
+
+    def __init__(self, capacity: int, seed: int = 1) -> None:
+        super().__init__(capacity)
+        self._rng = random.Random(seed)
+        self._keys: list = []
+        self._index: dict = {}
+
+    def _on_hit(self, key: Hashable) -> None:
+        pass
+
+    def _on_insert(self, key: Hashable) -> None:
+        self._index[key] = len(self._keys)
+        self._keys.append(key)
+
+    def _choose_victim(self, incoming: Hashable) -> Hashable:
+        i = self._rng.randrange(len(self._keys))
+        victim = self._keys[i]
+        # Swap-remove keeps choice O(1).
+        last = self._keys.pop()
+        if last is not victim:
+            self._keys[i] = last
+            self._index[last] = i
+        del self._index[victim]
+        return victim

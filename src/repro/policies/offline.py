@@ -1,0 +1,71 @@
+"""Belady's OPT as an online-interface policy (fed the future up front)."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.policies.base import EvictionPolicy
+
+
+class BeladyCache(EvictionPolicy):
+    """Clairvoyant optimal replacement.
+
+    Construct with the full trace; then drive it through ``access`` in the
+    same order.  Each eviction takes the resident block whose next use is
+    farthest in the future.
+    """
+
+    name = "opt"
+
+    def __init__(self, capacity: int, trace: Sequence[Hashable]) -> None:
+        super().__init__(capacity)
+        self._refs = list(trace)
+        n = len(self._refs)
+        self._next_use: List[int] = [n] * n
+        last: Dict[Hashable, int] = {}
+        for i in range(n - 1, -1, -1):
+            self._next_use[i] = last.get(self._refs[i], n)
+            last[self._refs[i]] = i
+        self._pos = 0
+        self._current_next: Dict[Hashable, int] = {}
+        self._heap: List[Tuple[int, int, Hashable]] = []
+
+    def access(self, key: Hashable) -> bool:
+        if self._pos >= len(self._refs):
+            raise RuntimeError("accessed past the provided trace")
+        if self._refs[self._pos] != key:
+            raise RuntimeError(
+                f"access order diverged from trace at {self._pos}: "
+                f"expected {self._refs[self._pos]!r}, got {key!r}"
+            )
+        nxt = self._next_use[self._pos]
+        self._pos += 1
+        self._current_next[key] = nxt
+        heapq.heappush(self._heap, (-nxt, self._pos, key))
+        return super().access(key)
+
+    def _on_hit(self, key: Hashable) -> None:
+        pass  # next-use bookkeeping done in access()
+
+    def _on_insert(self, key: Hashable) -> None:
+        pass
+
+    def _choose_victim(self, incoming: Hashable) -> Hashable:
+        # The incoming key already has a (valid) heap entry but is not yet
+        # resident; set such entries aside and restore them afterwards.
+        saved = []
+        while True:
+            entry = heapq.heappop(self._heap)
+            neg_next, _, key = entry
+            if key == incoming and self._current_next.get(key) == -neg_next:
+                saved.append(entry)
+                continue
+            if key in self._resident and self._current_next.get(key) == -neg_next:
+                for item in saved:
+                    heapq.heappush(self._heap, item)
+                return key
+            # Anything else is a stale entry; drop it.
+
+    def _on_evict(self, key: Hashable) -> None:
+        self._current_next.pop(key, None)

@@ -1,0 +1,36 @@
+"""Name → policy factory, for CLIs and sweeps.
+
+``opt`` is deliberately absent: it needs the future (construct
+:class:`repro.policies.offline.BeladyCache` with the trace yourself).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.policies.advanced import ARCCache, LRUKCache, SLRUCache, TwoQCache
+from repro.policies.base import EvictionPolicy
+from repro.policies.classic import ClockCache, FIFOCache, LRUCache, MRUCache, RandomCache
+
+POLICY_FACTORIES: Dict[str, Callable[[int], EvictionPolicy]] = {
+    "fifo": FIFOCache,
+    "lru": LRUCache,
+    "mru": MRUCache,
+    "clock": ClockCache,
+    "random": RandomCache,
+    "lru2": LRUKCache,
+    "twoq": TwoQCache,
+    "slru": SLRUCache,
+    "arc": ARCCache,
+}
+
+
+def make_policy(name: str, capacity: int) -> EvictionPolicy:
+    """Instantiate a policy by registry name."""
+    try:
+        factory = POLICY_FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r} (expected one of {sorted(POLICY_FACTORIES)})"
+        ) from None
+    return factory(capacity)

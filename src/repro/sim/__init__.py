@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate.
+
+The paper ran on a real DEC 5000/240; this package provides the simulated
+machine the reproduction runs on: a virtual clock (:class:`~repro.sim.engine.Engine`),
+FCFS service resources such as the CPU and the SCSI bus
+(:class:`~repro.sim.resources.FCFSResource`), and the process abstraction
+(:class:`~repro.sim.process.SimProcess`) whose programs are Python generators
+yielding the primitive operations in :mod:`repro.sim.ops`.
+"""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.ops import (
+    BlockRead,
+    BlockWrite,
+    Compute,
+    Control,
+    CreateFile,
+    DeleteFile,
+    Fork,
+)
+from repro.sim.process import ProcessState, SimProcess
+from repro.sim.resources import FCFSResource, PreemptiveCPU
+
+__all__ = [
+    "Engine",
+    "Event",
+    "FCFSResource",
+    "PreemptiveCPU",
+    "SimProcess",
+    "ProcessState",
+    "Compute",
+    "BlockRead",
+    "BlockWrite",
+    "Control",
+    "CreateFile",
+    "DeleteFile",
+    "Fork",
+]

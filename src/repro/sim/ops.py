@@ -1,0 +1,90 @@
+"""Primitive operations a simulated process can yield.
+
+Workload programs are Python generators.  Each ``yield`` hands one of these
+operations to the kernel (:class:`repro.kernel.system.System`), which
+performs it — consuming virtual time on the CPU and disks — and then resumes
+the generator.  File reads and writes are expressed at block granularity
+(8 KB, like the Ultrix buffer cache); :mod:`repro.workloads.base` provides
+file-level helpers that expand byte-range I/O into these primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Burn ``seconds`` of CPU time (application computation)."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"negative compute time {self.seconds!r}")
+
+
+@dataclass(frozen=True)
+class BlockRead:
+    """Read one 8 KB block ``blockno`` of the file at ``path``."""
+
+    path: str
+    blockno: int
+
+
+@dataclass(frozen=True)
+class BlockWrite:
+    """Write to block ``blockno`` of the file at ``path``.
+
+    ``whole`` marks a full-block overwrite: the kernel can allocate a buffer
+    without first reading the block from disk (the common case for files
+    written sequentially, e.g. sort's temporary runs).  A partial write of a
+    block that is not cached forces a read-modify-write.
+    """
+
+    path: str
+    blockno: int
+    whole: bool = True
+
+
+@dataclass(frozen=True)
+class Control:
+    """An ``fbehavior`` directive (the paper's user-to-kernel interface).
+
+    ``op`` is one of the :class:`repro.core.interface.FBehaviorOp` values;
+    ``args`` are its operands, e.g. ``("cscope.out", 0)`` for SET_PRIORITY.
+    A process that issues any Control op becomes a *manager* (it controls
+    its own replacement); a process that never does is *oblivious*.
+    """
+
+    op: Any
+    args: Tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateFile:
+    """Create an (initially empty) file on ``disk`` (a disk name, or None
+    for the system's default disk).  Writing past the end of any file grows
+    it, so ``size_hint`` only guides contiguous layout."""
+
+    path: str
+    size_hint: int = 0
+    disk: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DeleteFile:
+    """Unlink ``path``: resident blocks are invalidated *without* write-back,
+    exactly like removing a temporary file before the update daemon runs."""
+
+    path: str
+
+
+@dataclass(frozen=True)
+class Fork:
+    """Spawn a child process running ``program`` (used by multi-phase
+    workloads that want concurrency within one application)."""
+
+    name: str
+    program: Any = field(hash=False)

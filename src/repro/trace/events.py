@@ -1,0 +1,48 @@
+"""Trace record types.
+
+A trace is a sequence of two kinds of events, in program order:
+
+* :class:`AccessRecord` — one block reference (read or write);
+* :class:`DirectiveRecord` — one fbehavior call.
+
+Records carry *paths*, not file ids, so a trace is meaningful independent
+of the filesystem instance it was recorded on; the replay driver assigns
+its own ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One block reference by one process."""
+
+    pid: int
+    path: str
+    blockno: int
+    write: bool = False
+    whole: bool = False
+
+    def __post_init__(self) -> None:
+        if self.blockno < 0:
+            raise ValueError(f"negative block number {self.blockno}")
+
+
+@dataclass(frozen=True)
+class DirectiveRecord:
+    """One fbehavior call: op name plus its operands.
+
+    ``op`` is the :class:`repro.core.interface.FBehaviorOp` value string
+    ("set_priority", ...); ``args`` are its operands with file arguments as
+    paths.
+    """
+
+    pid: int
+    op: str
+    args: Tuple = ()
+
+
+TraceEvent = Union[AccessRecord, DirectiveRecord]

@@ -1,0 +1,120 @@
+"""The on-disk trace format.
+
+One event per line, whitespace-separated, ``#`` comments allowed:
+
+.. code-block:: text
+
+    # repro-trace v1
+    A <pid> <r|w|W> <blockno> <path>
+    D <pid> <op> <args...>
+
+``r`` is a read, ``w`` a partial write, ``W`` a whole-block write.  Paths
+come last on access lines so they may contain spaces-free arbitrary text;
+directive args are rendered with ``repr``-free simple tokens (ints and
+paths).  The format round-trips exactly: ``read_trace(write_trace(t)) == t``.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from repro.trace.events import AccessRecord, DirectiveRecord, TraceEvent
+
+HEADER = "# repro-trace v1"
+
+
+class TraceFormatError(ValueError):
+    """Malformed trace input."""
+
+
+def _access_line(ev: AccessRecord) -> str:
+    if ev.write:
+        kind = "W" if ev.whole else "w"
+    else:
+        kind = "r"
+    return f"A {ev.pid} {kind} {ev.blockno} {ev.path}"
+
+
+def _directive_line(ev: DirectiveRecord) -> str:
+    parts = [f"D {ev.pid} {ev.op}"]
+    parts += [str(a) for a in ev.args]
+    return " ".join(parts)
+
+
+def write_trace(events: Iterable[TraceEvent], out: Union[TextIO, str, None] = None) -> str:
+    """Serialise ``events``.
+
+    ``out`` may be a file-like object, a filesystem path, or None (return
+    the text).  Returns the serialised text in every case.
+    """
+    buf = io.StringIO()
+    buf.write(HEADER + "\n")
+    for ev in events:
+        if isinstance(ev, AccessRecord):
+            buf.write(_access_line(ev) + "\n")
+        elif isinstance(ev, DirectiveRecord):
+            buf.write(_directive_line(ev) + "\n")
+        else:
+            raise TypeError(f"not a trace event: {ev!r}")
+    text = buf.getvalue()
+    if out is None:
+        return text
+    if isinstance(out, str):
+        with open(out, "w") as f:
+            f.write(text)
+        return text
+    out.write(text)
+    return text
+
+
+def _parse_access(parts: List[str], lineno: int) -> AccessRecord:
+    if len(parts) < 5:
+        raise TraceFormatError(f"line {lineno}: access record needs 5 fields")
+    _, pid, kind, blockno, path = parts[0], parts[1], parts[2], parts[3], " ".join(parts[4:])
+    if kind not in ("r", "w", "W"):
+        raise TraceFormatError(f"line {lineno}: unknown access kind {kind!r}")
+    return AccessRecord(
+        pid=int(pid),
+        path=path,
+        blockno=int(blockno),
+        write=kind in ("w", "W"),
+        whole=kind == "W",
+    )
+
+
+def _parse_directive(parts: List[str], lineno: int) -> DirectiveRecord:
+    if len(parts) < 3:
+        raise TraceFormatError(f"line {lineno}: directive record needs >= 3 fields")
+    args = []
+    for token in parts[3:]:
+        try:
+            args.append(int(token))
+        except ValueError:
+            args.append(token)
+    return DirectiveRecord(pid=int(parts[1]), op=parts[2], args=tuple(args))
+
+
+def read_trace(source: Union[TextIO, str]) -> List[TraceEvent]:
+    """Parse a trace from a file-like object or a string of text.
+
+    (To read a file by path, pass an open handle: the string form is the
+    text itself, which keeps tests and round-trips simple.)
+    """
+    if isinstance(source, str):
+        lines: Iterator[str] = iter(source.splitlines())
+    else:
+        lines = iter(source.read().splitlines())
+    events: List[TraceEvent] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "A":
+            events.append(_parse_access(parts, lineno))
+        elif parts[0] == "D":
+            events.append(_parse_directive(parts, lineno))
+        else:
+            raise TraceFormatError(f"line {lineno}: unknown record type {parts[0]!r}")
+    return events

@@ -1,0 +1,72 @@
+"""Turn workload programs into traces.
+
+A workload program already *is* a reference stream plus directives; the
+recorder walks it and keeps the cache-visible events, dropping pure
+compute.  File creation and deletion become pseudo-directives (``create`` /
+``delete``) so the replay driver can reproduce invalidations.
+
+Recording a live multi-process :class:`repro.kernel.System` run is also
+supported: pass a recorder as the system's ``trace`` hook and every access
+is appended in *global* order (which, unlike per-workload recording,
+captures the interleaving that timing produced).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.core.interface import FBehaviorOp
+from repro.sim.ops import BlockRead, BlockWrite, Compute, Control, CreateFile, DeleteFile, Fork
+from repro.trace.events import AccessRecord, DirectiveRecord, TraceEvent
+
+
+class TraceRecorder:
+    """Accumulates trace events."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def record_access(self, pid: int, path: str, blockno: int, write: bool, whole: bool) -> None:
+        self.events.append(AccessRecord(pid, path, blockno, write, whole))
+
+    def record_directive(self, pid: int, op: str, args) -> None:
+        self.events.append(DirectiveRecord(pid, op, tuple(args)))
+
+
+def record_program(program: Iterable, pid: int = 1, recorder: TraceRecorder = None) -> List[TraceEvent]:
+    """Record a single program's cache-visible events in program order.
+
+    ``Fork`` ops are recorded depth-first with child pids allocated
+    sequentially — adequate for single-workload traces (for true
+    interleavings, record a live System run instead).
+    """
+    rec = recorder if recorder is not None else TraceRecorder()
+    next_child = pid * 100 + 1
+    for op in program:
+        if isinstance(op, Compute):
+            continue
+        if isinstance(op, BlockRead):
+            rec.record_access(pid, op.path, op.blockno, write=False, whole=False)
+        elif isinstance(op, BlockWrite):
+            rec.record_access(pid, op.path, op.blockno, write=True, whole=op.whole)
+        elif isinstance(op, Control):
+            op_name = op.op.value if isinstance(op.op, FBehaviorOp) else str(op.op)
+            rec.record_directive(pid, op_name, op.args)
+        elif isinstance(op, CreateFile):
+            rec.record_directive(pid, "create", (op.path, op.size_hint))
+        elif isinstance(op, DeleteFile):
+            rec.record_directive(pid, "delete", (op.path,))
+        elif isinstance(op, Fork):
+            record_program(op.program, pid=next_child, recorder=rec)
+            next_child += 1
+        else:
+            raise TypeError(f"cannot record op {op!r}")
+    return rec.events
+
+
+def record_workload(workload, pid: int = 1) -> List[TraceEvent]:
+    """Record one workload instance's program."""
+    return record_program(workload.program(), pid=pid)

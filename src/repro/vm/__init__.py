@@ -1,0 +1,30 @@
+"""Application-controlled *virtual memory* — the paper's Section 7 sketch.
+
+The paper argues its approach "applies to virtual memory cache management
+as well, with some minor modifications":
+
+* "one can swap positions of pages on the two-hand-clock list, and can
+  build placeholders to catch foolish decisions";
+* "our interface can be modified to apply to virtual memory context, i.e.
+  instead of files, we use a range of virtual addresses (or memory
+  regions)";
+* unlike file caching, the kernel cannot capture the exact reference
+  stream — only what the clock's reference bits reveal.
+
+This package realises that sketch:
+
+* :mod:`repro.vm.clock` — a two-hand-clock frame pool
+  (:class:`ClockPagePool`): the front hand clears reference bits, the back
+  hand selects eviction candidates, and — the paper's extensions — an
+  overruled candidate *swaps ring positions* with the manager's choice and
+  leaves a *placeholder*;
+* :mod:`repro.vm.system` — :class:`VmSystem`: per-process memory regions,
+  page-fault accounting, and the region-based advice interface
+  (``set_region_priority`` / ``set_region_policy`` / ``advise_done_with``),
+  backed by the same ACM manager structures as the file cache.
+"""
+
+from repro.vm.clock import ClockPagePool
+from repro.vm.system import Region, VmSystem
+
+__all__ = ["ClockPagePool", "VmSystem", "Region"]

@@ -1,0 +1,216 @@
+"""A two-hand-clock page pool with swapping and placeholders.
+
+Classic BSD/Ultrix paging keeps page frames on a circular list with two
+hands a fixed *spread* apart: the front hand clears reference bits and the
+back hand reclaims pages whose bit is still clear when it arrives — a page
+survives one lap per reference, approximating LRU without per-reference
+bookkeeping (exactly the "cannot capture the exact reference stream"
+property the paper notes for VM).
+
+Two-level replacement grafts on precisely as the paper sketches:
+
+* the back hand's pick is only a *candidate*; if its owner has a manager,
+  the manager may hand back a different page of its own;
+* on an overrule the two pages **swap ring positions** — the kept page
+  inherits the candidate's slot (and its just-inspected status), so the
+  manager is not penalised for cooperating;
+* a **placeholder** records the overrule; a later fault on the replaced
+  page makes the kept page the next candidate and tells the ACM the
+  decision was a mistake.
+
+The pool reuses the file cache's ACM, placeholder table and allocation
+policy flags: a page is a :class:`repro.core.blocks.CacheBlock` whose
+``file_id`` is a region id.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.acm import ACM
+from repro.core.allocation import LRU_SP, AllocationPolicy
+from repro.core.blocks import BlockId, CacheBlock
+from repro.core.placeholders import PlaceholderTable
+
+
+class PoolStats:
+    """Counters for one pool."""
+
+    __slots__ = ("accesses", "hits", "faults", "evictions", "overrules", "swaps", "hand_steps")
+
+    def __init__(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.faults = 0
+        self.evictions = 0
+        self.overrules = 0
+        self.swaps = 0
+        self.hand_steps = 0
+
+
+class ClockPagePool:
+    """``nframes`` page frames on a two-hand clock, under a policy."""
+
+    def __init__(
+        self,
+        nframes: int,
+        acm: Optional[ACM] = None,
+        policy: AllocationPolicy = LRU_SP,
+        spread: Optional[int] = None,
+        placeholder_limit: int = 4096,
+    ) -> None:
+        if nframes < 2:
+            raise ValueError("a two-hand clock needs at least two frames")
+        self.nframes = nframes
+        self.policy = policy
+        self.acm = acm if acm is not None else ACM()
+        self.acm.attach(self)
+        self.spread = spread if spread is not None else max(1, nframes // 2)
+        if not 1 <= self.spread < nframes:
+            raise ValueError("hand spread must be in [1, nframes)")
+        self.placeholders = PlaceholderTable(per_manager_limit=placeholder_limit)
+        self.stats = PoolStats()
+        self._ring: List[CacheBlock] = []
+        self._slot: Dict[CacheBlock, int] = {}
+        self._pages: Dict[BlockId, CacheBlock] = {}
+        self._by_region: Dict[int, Dict[int, CacheBlock]] = {}
+        self._back = 0
+        #: reference bits live here, not on the block, mirroring hardware
+        self._ref: Dict[CacheBlock, bool] = {}
+
+    # -- queries (ACM duck-type + introspection) ----------------------------
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def resident(self) -> int:
+        return len(self._pages)
+
+    def peek(self, region_id: int, pageno: int) -> Optional[CacheBlock]:
+        return self._pages.get((region_id, pageno))
+
+    def blocks_of_file(self, region_id: int) -> List[CacheBlock]:
+        """ACM interface: resident pages of one region."""
+        return list(self._by_region.get(region_id, {}).values())
+
+    def blocks_owned_by(self, pid: int) -> List[CacheBlock]:
+        """ACM interface: resident pages owned by one process."""
+        return [p for p in self._pages.values() if p.owner_pid == pid]
+
+    def referenced(self, page: CacheBlock) -> bool:
+        return self._ref.get(page, False)
+
+    # -- the access path ------------------------------------------------------
+
+    def access(self, pid: int, region_id: int, pageno: int, write: bool = False) -> Tuple[bool, Optional[CacheBlock]]:
+        """Touch a page.  Returns ``(fault, evicted_page)``."""
+        self.stats.accesses += 1
+        key = (region_id, pageno)
+        page = self._pages.get(key)
+        if page is not None:
+            self.stats.hits += 1
+            self._ref[page] = True
+            if page.owner_pid != pid:
+                self.acm.on_foreign_access(page, pid)
+            self.acm.block_accessed(page)
+            if write:
+                page.dirty = True
+            return False, None
+
+        self.stats.faults += 1
+        evicted = None
+        if len(self._pages) >= self.nframes:
+            evicted = self._replace(key)
+        page = CacheBlock(region_id, pageno, owner_pid=self.acm.home_pid_for(pid, region_id))
+        page.dirty = write
+        self._install(page, evicted)
+        return True, evicted
+
+    # -- replacement ----------------------------------------------------------
+
+    def _replace(self, missing: BlockId) -> CacheBlock:
+        candidate = None
+        if self.policy.placeholders:
+            entry = self.placeholders.consume(missing)
+            if entry is not None and not entry.kept.in_flight:
+                candidate = entry.kept
+                self.acm.placeholder_used(entry.manager_pid, missing, entry.kept)
+        if candidate is None:
+            candidate = self._sweep()
+
+        chosen = candidate
+        if self.policy.consult:
+            chosen = self.acm.replace_block(candidate, missing)
+            if not chosen.resident or chosen.in_flight:
+                chosen = candidate
+        if chosen is not candidate:
+            self.stats.overrules += 1
+            if self.policy.swapping:
+                self._swap_slots(candidate, chosen)
+                self.stats.swaps += 1
+            if self.policy.placeholders:
+                self.placeholders.add(chosen.id, candidate, manager_pid=chosen.owner_pid)
+        self._evict(chosen)
+        return chosen
+
+    def _sweep(self) -> CacheBlock:
+        """Advance the hands until the back hand finds a victim."""
+        n = len(self._ring)
+        for _ in range(2 * n + 1):
+            self.stats.hand_steps += 1
+            front = self._ring[(self._back + self.spread) % n]
+            self._ref[front] = False
+            page = self._ring[self._back]
+            if not self._ref.get(page, False) and not page.in_flight:
+                return page
+            # Referenced since the front hand passed (or pinned): skip.
+            self._back = (self._back + 1) % n
+        raise RuntimeError("clock swept two laps without finding a victim")
+
+    def _swap_slots(self, a: CacheBlock, b: CacheBlock) -> None:
+        ia, ib = self._slot[a], self._slot[b]
+        self._ring[ia], self._ring[ib] = b, a
+        self._slot[a], self._slot[b] = ib, ia
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _install(self, page: CacheBlock, evicted: Optional[CacheBlock]) -> None:
+        self._pages[page.id] = page
+        self._by_region.setdefault(page.file_id, {})[page.blockno] = page
+        if evicted is not None:
+            # Reuse the victim's slot, like a real frame reclaim.
+            slot = self._freed_slot
+            self._ring[slot] = page
+            self._slot[page] = slot
+        else:
+            self._slot[page] = len(self._ring)
+            self._ring.append(page)
+        self._ref[page] = True
+        self.acm.new_block(page)
+        self.placeholders.drop_for_missing(page.id)
+
+    def _evict(self, page: CacheBlock) -> None:
+        self.stats.evictions += 1
+        self._freed_slot = self._slot.pop(page)
+        del self._pages[page.id]
+        per_region = self._by_region.get(page.file_id)
+        if per_region is not None:
+            per_region.pop(page.blockno, None)
+        self._ref.pop(page, None)
+        self.acm.block_gone(page)
+        self.placeholders.drop_for_kept(page)
+        page.resident = False
+        # Move the back hand off the freed slot so the next sweep starts
+        # at the following frame.
+        self._back = (self._freed_slot + 1) % len(self._ring)
+
+    def check_invariants(self) -> None:
+        """Consistency assertions for tests."""
+        assert len(self._pages) <= self.nframes
+        assert len(self._slot) == len(self._pages)
+        live = [p for p in self._ring if p in self._slot]
+        assert len(live) == len(self._pages)
+        for page, slot in self._slot.items():
+            assert self._ring[slot] is page
+            assert page.resident

@@ -1,0 +1,132 @@
+"""VmSystem: regions, faults, and the region-advice interface.
+
+Where the file cache speaks (file, block), virtual memory speaks (region,
+page): "instead of files, we use a range of virtual addresses (or memory
+regions)".  The interface mirrors ``fbehavior``:
+
+* ``set_region_priority(pid, region, prio)`` — long-term priority for a
+  whole region (e.g. pin an index structure above scan data);
+* ``set_region_policy(pid, prio, policy)`` — LRU or MRU per level;
+* ``advise_done_with(pid, region, lo, hi)`` — the done-with idiom for a
+  page range (madvise(MADV_DONTNEED)'s cooperative cousin);
+* ``advise_will_need`` — temporarily raise a range that is about to be hot.
+
+Faults are the VM analogue of block I/Os; VmSystem counts them per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.acm import ACM, ResourceLimits
+from repro.core.allocation import LRU_SP, AllocationPolicy
+from repro.core.policies import PoolPolicy
+from repro.core.revocation import RevocationPolicy
+from repro.vm.clock import ClockPagePool
+
+
+@dataclass
+class Region:
+    """A named range of virtual pages."""
+
+    region_id: int
+    name: str
+    npages: int
+
+    def __post_init__(self) -> None:
+        if self.npages < 1:
+            raise ValueError(f"region {self.name!r} needs at least one page")
+
+
+@dataclass
+class VmProcStats:
+    accesses: int = 0
+    faults: int = 0
+
+    @property
+    def fault_ratio(self) -> float:
+        return self.faults / self.accesses if self.accesses else 0.0
+
+
+class VmError(Exception):
+    """Bad region name or page range."""
+
+
+class VmSystem:
+    """A page pool plus the region namespace and advice calls."""
+
+    def __init__(
+        self,
+        nframes: int,
+        policy: AllocationPolicy = LRU_SP,
+        spread: Optional[int] = None,
+        limits: Optional[ResourceLimits] = None,
+        revocation: Optional[RevocationPolicy] = None,
+        high_temp_priority: int = 8,
+    ) -> None:
+        self.acm = ACM(limits=limits, revocation=revocation)
+        self.pool = ClockPagePool(nframes, acm=self.acm, policy=policy, spread=spread)
+        self.high_temp_priority = high_temp_priority
+        self._regions: Dict[str, Region] = {}
+        self._next_region_id = 1
+        self.per_pid: Dict[int, VmProcStats] = {}
+
+    # -- regions ----------------------------------------------------------
+
+    def create_region(self, name: str, npages: int) -> Region:
+        if name in self._regions:
+            raise VmError(f"region exists: {name!r}")
+        region = Region(self._next_region_id, name, npages)
+        self._next_region_id += 1
+        self._regions[name] = region
+        return region
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise VmError(f"no such region: {name!r}") from None
+
+    # -- the reference stream ------------------------------------------------
+
+    def touch(self, pid: int, region_name: str, pageno: int, write: bool = False) -> bool:
+        """One page reference; returns True if it faulted."""
+        region = self.region(region_name)
+        if not 0 <= pageno < region.npages:
+            raise VmError(f"{region_name}: page {pageno} outside [0, {region.npages})")
+        stats = self.per_pid.setdefault(pid, VmProcStats())
+        stats.accesses += 1
+        fault, _ = self.pool.access(pid, region.region_id, pageno, write=write)
+        if fault:
+            stats.faults += 1
+        return fault
+
+    def faults(self, pid: int) -> int:
+        stats = self.per_pid.get(pid)
+        return stats.faults if stats else 0
+
+    # -- the advice interface ---------------------------------------------------
+
+    def set_region_priority(self, pid: int, region_name: str, prio: int) -> None:
+        """Long-term priority for every page of a region."""
+        self.acm.set_priority(pid, self.region(region_name).region_id, prio)
+
+    def set_region_policy(self, pid: int, prio: int, policy) -> None:
+        """Replacement policy (LRU/MRU) of one priority level."""
+        self.acm.set_policy(pid, prio, PoolPolicy.parse(policy))
+
+    def advise_done_with(self, pid: int, region_name: str, lo: int, hi: int) -> None:
+        """The pages [lo, hi] will not be needed for a long time: make them
+        first in line for reclaim (reverts per page on reference)."""
+        self._temppri(pid, region_name, lo, hi, -1)
+
+    def advise_will_need(self, pid: int, region_name: str, lo: int, hi: int) -> None:
+        """The pages [lo, hi] are about to be hot: keep them longer."""
+        self._temppri(pid, region_name, lo, hi, self.high_temp_priority)
+
+    def _temppri(self, pid: int, region_name: str, lo: int, hi: int, prio: int) -> None:
+        region = self.region(region_name)
+        if not (0 <= lo <= hi < region.npages):
+            raise VmError(f"{region_name}: bad page range [{lo}, {hi}]")
+        self.acm.set_temppri(pid, region.region_id, lo, hi, prio)

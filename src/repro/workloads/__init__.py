@@ -1,0 +1,59 @@
+"""Workloads: the paper's applications as access-pattern generators.
+
+The cache never sees an application — only its block reference string plus
+its ``fbehavior`` directives.  Each module here generates exactly the
+pattern the paper describes for one application, sized so the compulsory
+miss counts land near the paper's appendix numbers, and carries the *smart*
+directive prologue of Section 5.1 (plus an *oblivious* variant that issues
+no directives, and for ReadN a deliberately *foolish* one).
+
+=======  ===========================================================
+name     pattern
+=======  ===========================================================
+cs1      cscope symbol search: 8 cyclic scans of the 9 MB database
+cs2      cscope text search: 4 cyclic scans of the 18 MB source set
+cs3      cscope text search: 4 cyclic scans of the 10 MB source set
+din      dinero: 9 sequential passes over an 8 MB trace file
+gli      glimpse: 5 queries, index files then partition subsets
+ldk      link editor: symbol pass + full pass over 25 MB of objects
+pjn      postgres join: sequential outer, indexed random inner
+sort     external sort: partition into runs, 8-way cascaded merge
+readN    the Section 6 microbenchmark (N-block groups read 5×)
+=======  ===========================================================
+"""
+
+from repro.workloads.base import FileSpec, Workload, seq_read, seq_write
+from repro.workloads.cscope import CscopeMixed, CscopeSymbol, CscopeText, make_cs1, make_cs2, make_cs3
+from repro.workloads.dinero import Dinero
+from repro.workloads.glimpse import Glimpse
+from repro.workloads.ld import LinkEditor
+from repro.workloads.postgres import PostgresJoin
+from repro.workloads.readn import ReadN
+from repro.workloads.sort import ExternalSort
+from repro.workloads.synthetic import Phased, SequentialScan, WriteBurst, ZipfHotCold
+from repro.workloads.registry import WORKLOADS, make_workload
+
+__all__ = [
+    "Workload",
+    "FileSpec",
+    "seq_read",
+    "seq_write",
+    "CscopeSymbol",
+    "CscopeMixed",
+    "CscopeText",
+    "make_cs1",
+    "make_cs2",
+    "make_cs3",
+    "Dinero",
+    "Glimpse",
+    "LinkEditor",
+    "PostgresJoin",
+    "ExternalSort",
+    "ReadN",
+    "SequentialScan",
+    "ZipfHotCold",
+    "WriteBurst",
+    "Phased",
+    "WORKLOADS",
+    "make_workload",
+]

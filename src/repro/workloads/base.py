@@ -1,0 +1,146 @@
+"""Workload plumbing: file declarations and program helpers.
+
+A workload is (a) a set of input files to lay out on a disk before the run
+and (b) a *program* — a generator of :mod:`repro.sim.ops` primitives.  The
+``smart`` flag selects between the application-controlled variant (the
+directive prologue from Section 5.1 of the paper, plus any per-block
+``set_temppri`` calls) and the oblivious variant that relies on the kernel's
+default policy.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from repro.core.interface import FBehaviorOp
+from repro.sim.ops import BlockRead, BlockWrite, Compute, Control
+
+
+@dataclass(frozen=True)
+class FileSpec:
+    """An input file the harness must create before the workload runs."""
+
+    path: str
+    nblocks: int
+    disk: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.nblocks < 1:
+            raise ValueError(f"file {self.path!r} needs at least one block")
+
+
+def set_priority(path: str, prio: int) -> Control:
+    """The ``set_priority(file, prio)`` directive."""
+    return Control(FBehaviorOp.SET_PRIORITY, (path, prio))
+
+
+def set_policy(prio: int, policy: str) -> Control:
+    """The ``set_policy(prio, policy)`` directive (policy: 'lru'/'mru')."""
+    return Control(FBehaviorOp.SET_POLICY, (prio, policy))
+
+
+def set_temppri(path: str, start: int, end: int, prio: int) -> Control:
+    """The ``set_temppri(file, startBlock, endBlock, prio)`` directive."""
+    return Control(FBehaviorOp.SET_TEMPPRI, (path, start, end, prio))
+
+
+def seq_read(
+    path: str,
+    nblocks: int,
+    cpu_per_block: float = 0.0,
+    start: int = 0,
+    free_behind: bool = False,
+) -> Iterator:
+    """Read ``nblocks`` blocks of ``path`` sequentially.
+
+    ``cpu_per_block`` seconds of application compute follow each block.
+    ``free_behind`` issues the paper's done-with-block idiom after each
+    block: ``set_temppri(file, blknum, blknum, -1)``.
+    """
+    for b in range(start, start + nblocks):
+        yield BlockRead(path, b)
+        if cpu_per_block > 0:
+            yield Compute(cpu_per_block)
+        if free_behind:
+            yield set_temppri(path, b, b, -1)
+
+
+def seq_write(
+    path: str,
+    nblocks: int,
+    cpu_per_block: float = 0.0,
+    start: int = 0,
+) -> Iterator:
+    """Write ``nblocks`` whole blocks of ``path`` sequentially."""
+    for b in range(start, start + nblocks):
+        yield BlockWrite(path, b, whole=True)
+        if cpu_per_block > 0:
+            yield Compute(cpu_per_block)
+
+
+class Workload(abc.ABC):
+    """One application instance.
+
+    Subclasses define the access pattern; the harness asks for
+    :meth:`file_specs` to populate the filesystem and :meth:`program` to
+    spawn the process.  ``name`` must be unique within a mix (it prefixes
+    the workload's file paths, so two instances never collide).
+    """
+
+    #: short identifier of the application family ("din", "cs1", ...)
+    kind: str = "workload"
+    #: which of the paper's disks the data lives on by default
+    default_disk: Optional[str] = "RZ56"
+    #: None → contiguous files; an int → scatter the input files across the
+    #: disk in chunks of this many blocks (aged-filesystem layout)
+    interleave_chunk: Optional[int] = None
+
+    def __init__(self, name: Optional[str] = None, smart: bool = True, disk: Optional[str] = None):
+        self.name = name or self.kind
+        self.smart = smart
+        self.disk = disk if disk is not None else self.default_disk
+
+    def path(self, basename: str) -> str:
+        """Namespace a file under this instance."""
+        return f"{self.name}/{basename}"
+
+    @abc.abstractmethod
+    def file_specs(self) -> List[FileSpec]:
+        """Input files to create before the run."""
+
+    @abc.abstractmethod
+    def program(self) -> Iterator:
+        """The op generator (honours ``self.smart``)."""
+
+    # -- conveniences -------------------------------------------------------
+
+    def install(self, system) -> None:
+        """Create this workload's input files in ``system``."""
+        specs = self.file_specs()
+        if self.interleave_chunk is not None:
+            system.fs.create_interleaved(
+                [(s.path, s.nblocks) for s in specs],
+                disk=self.disk,
+                chunk=self.interleave_chunk,
+            )
+            return
+        for spec in specs:
+            system.add_file(spec.path, nblocks=spec.nblocks, disk=spec.disk or self.disk)
+
+    def spawn(self, system):
+        """Install files and spawn the process on ``system``."""
+        self.install(system)
+        return system.spawn(self.name, self.program())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "smart" if self.smart else "oblivious"
+        return f"<{type(self).__name__} {self.name} ({mode})>"
+
+
+def chain(*parts: Iterable) -> Iterator:
+    """Concatenate op generators (itertools.chain that reads as intent)."""
+    for part in parts:
+        for op in part:
+            yield op

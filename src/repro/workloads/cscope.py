@@ -1,0 +1,238 @@
+"""cs1/cs2/cs3 — the cscope workloads.
+
+Cscope answers two kinds of queries:
+
+* **symbol-oriented** queries read the database file ``cscope.out``
+  sequentially on every query — cs1 is eight symbol searches over the
+  database built from an 18 MB kernel source (a ~9 MB database);
+* **text (egrep-like)** searches read *all the source files in the same
+  order* on every query — cs2 is four patterns over the 18 MB source set,
+  cs3 four patterns over the 10 MB source set.
+
+The right policy is MRU (Section 5.1): for symbol queries, on
+``cscope.out``::
+
+    set_priority("cscope.out", 0);  set_policy(0, MRU);
+
+and for text queries, on every source file, which all share default
+priority 0, so one call suffices::
+
+    set_policy(0, MRU);
+
+Source-set sizes are chosen so the total per-scan block count matches the
+paper's appendix I/O counts (cs2 scans ≈ 2912 blocks/query, 4 × 2912 ≈ the
+11 647 block I/Os the original kernel does even at 16 MB).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.workloads.base import FileSpec, Workload, seq_read, set_policy, set_priority
+
+
+class CscopeSymbol(Workload):
+    """Symbol search: cyclic scans of cscope.out."""
+
+    kind = "cs1"
+    default_disk = "RZ56"
+
+    def __init__(
+        self,
+        name=None,
+        smart: bool = True,
+        disk=None,
+        db_blocks: int = 1141,
+        queries: int = 8,
+        cpu_per_block: float = 0.0021,
+    ) -> None:
+        super().__init__(name=name, smart=smart, disk=disk)
+        self.db_blocks = db_blocks
+        self.queries = queries
+        self.cpu_per_block = cpu_per_block
+
+    @property
+    def db_path(self) -> str:
+        return self.path("cscope.out")
+
+    def file_specs(self) -> List[FileSpec]:
+        return [FileSpec(self.db_path, self.db_blocks)]
+
+    def program(self) -> Iterator:
+        if self.smart:
+            yield set_priority(self.db_path, 0)
+            yield set_policy(0, "mru")
+        for _ in range(self.queries):
+            for op in seq_read(self.db_path, self.db_blocks, self.cpu_per_block):
+                yield op
+
+
+class CscopeText(Workload):
+    """Text search: cyclic scans over all source files, in the same order.
+
+    The source files live scattered across the disk (an aged source tree),
+    so even a "sequential" scan of the set repositions the head every few
+    blocks — the reason the paper's text searches cost roughly twice as
+    much per block as the contiguous database scans of cs1.
+    """
+
+    kind = "cs2"
+    default_disk = "RZ56"
+    interleave_chunk = 1
+
+    def __init__(
+        self,
+        name=None,
+        smart: bool = True,
+        disk=None,
+        total_blocks: int = 2912,
+        nfiles: int = 160,
+        queries: int = 4,
+        cpu_per_block: float = 0.0030,
+        seed: int = 18,
+    ) -> None:
+        super().__init__(name=name, smart=smart, disk=disk)
+        self.total_blocks = total_blocks
+        self.nfiles = nfiles
+        self.queries = queries
+        self.cpu_per_block = cpu_per_block
+        self.seed = seed
+        self._sizes = self._make_sizes()
+
+    def _make_sizes(self) -> List[int]:
+        """Deterministic per-file sizes summing to total_blocks."""
+        rng = random.Random(self.seed)
+        weights = [rng.uniform(0.3, 3.0) for _ in range(self.nfiles)]
+        scale = self.total_blocks / sum(weights)
+        sizes = [max(1, int(w * scale)) for w in weights]
+        # Adjust the largest file to hit the total exactly.
+        sizes[sizes.index(max(sizes))] += self.total_blocks - sum(sizes)
+        if min(sizes) < 1:
+            raise ValueError("source-set too small for file count")
+        return sizes
+
+    def source_path(self, i: int) -> str:
+        return self.path(f"src/file{i:04d}.c")
+
+    def file_specs(self) -> List[FileSpec]:
+        return [FileSpec(self.source_path(i), n) for i, n in enumerate(self._sizes)]
+
+    def program(self) -> Iterator:
+        if self.smart:
+            # All source files sit at default priority 0 already.
+            yield set_policy(0, "mru")
+        for _ in range(self.queries):
+            for i, nblocks in enumerate(self._sizes):
+                for op in seq_read(self.source_path(i), nblocks, self.cpu_per_block):
+                    yield op
+
+
+class CscopeMixed(Workload):
+    """Interleaved symbol and text queries with *dynamic* re-prioritisation.
+
+    Section 5.1's parenthetical: "When there is a mix of these queries,
+    cscope can keep or discard 'cscope.out' in cache when necessary by
+    raising or lowering its priority."  This workload does exactly that:
+
+    * before a symbol query it raises ``cscope.out`` to priority 1 so the
+      next symbol query finds it resident;
+    * before a run of text queries it drops the database back to priority
+      -1, ceding its frames to the source files the text scan cycles over.
+
+    The paper never benchmarks this variant; it is the natural next
+    experiment, and `benchmarks/test_extension_mixed_queries.py` measures
+    what the dynamic strategy buys over the best static choice.
+    """
+
+    kind = "csm"
+    default_disk = "RZ56"
+    interleave_chunk = 1
+
+    def __init__(
+        self,
+        name=None,
+        smart: bool = True,
+        disk=None,
+        db_blocks: int = 640,
+        source_blocks: int = 1200,
+        nfiles: int = 80,
+        # query plan: 's' = symbol search, 't' = text search
+        plan: str = "sstts sstts",
+        cpu_per_block: float = 0.0024,
+        seed: int = 27,
+        dynamic: bool = True,
+    ) -> None:
+        super().__init__(name=name, smart=smart, disk=disk)
+        self.db_blocks = db_blocks
+        self.source_blocks = source_blocks
+        self.nfiles = nfiles
+        self.plan = [q for q in plan if q in "st"]
+        if not self.plan:
+            raise ValueError("query plan needs at least one 's' or 't'")
+        self.cpu_per_block = cpu_per_block
+        self.seed = seed
+        self.dynamic = dynamic
+        self._sizes = self._make_sizes()
+
+    def _make_sizes(self) -> List[int]:
+        rng = random.Random(self.seed)
+        weights = [rng.uniform(0.3, 3.0) for _ in range(self.nfiles)]
+        scale = self.source_blocks / sum(weights)
+        sizes = [max(1, int(w * scale)) for w in weights]
+        sizes[sizes.index(max(sizes))] += self.source_blocks - sum(sizes)
+        return sizes
+
+    @property
+    def db_path(self) -> str:
+        return self.path("cscope.out")
+
+    def source_path(self, i: int) -> str:
+        return self.path(f"src/file{i:04d}.c")
+
+    def file_specs(self) -> List[FileSpec]:
+        specs = [FileSpec(self.db_path, self.db_blocks)]
+        specs += [FileSpec(self.source_path(i), n) for i, n in enumerate(self._sizes)]
+        return specs
+
+    def program(self) -> Iterator:
+        if self.smart:
+            yield set_policy(0, "mru")
+            yield set_policy(1, "mru")
+            yield set_policy(-1, "mru")
+        for kind in self.plan:
+            if kind == "s":
+                if self.smart and self.dynamic:
+                    # Keep the database around: symbol queries are coming.
+                    yield set_priority(self.db_path, 1)
+                for op in seq_read(self.db_path, self.db_blocks, self.cpu_per_block):
+                    yield op
+            else:
+                if self.smart and self.dynamic:
+                    # Discard the database quickly; the text scan needs
+                    # every frame for the source cycle.
+                    yield set_priority(self.db_path, -1)
+                for i, nblocks in enumerate(self._sizes):
+                    for op in seq_read(self.source_path(i), nblocks, self.cpu_per_block):
+                        yield op
+
+
+def make_cs1(name="cs1", smart=True, **kwargs) -> CscopeSymbol:
+    """cs1: symbol search over the 18 MB source's ~9 MB database."""
+    return CscopeSymbol(name=name, smart=smart, **kwargs)
+
+
+def make_cs2(name="cs2", smart=True, **kwargs) -> CscopeText:
+    """cs2: text search over the 18 MB source set."""
+    return CscopeText(name=name, smart=smart, **kwargs)
+
+
+def make_cs3(name="cs3", smart=True, **kwargs) -> CscopeText:
+    """cs3: text search over the 10 MB source set."""
+    kwargs.setdefault("total_blocks", 1644)
+    kwargs.setdefault("nfiles", 90)
+    kwargs.setdefault("cpu_per_block", 0.0022)
+    kwargs.setdefault("seed", 10)
+    wl = CscopeText(name=name, smart=smart, **kwargs)
+    wl.kind = "cs3"
+    return wl

@@ -1,0 +1,57 @@
+"""din — the dinero cache simulator workload.
+
+The paper ran Mark Hill's dinero on the ~8 MB "cc" trace from the Hennessy &
+Patterson course material, sweeping cache line size over {32, 64, 128} bytes
+and set associativity over {1, 2, 4}: nine simulations, each reading the
+trace file sequentially from beginning to end.
+
+The right policy is MRU on the trace file::
+
+    set_priority(trace, 0);
+    set_policy(0, MRU);
+
+The trace is 998 blocks so that the compulsory-miss count matches the
+paper's appendix (997–998 block I/Os once the file fits in cache).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.workloads.base import FileSpec, Workload, seq_read, set_policy, set_priority
+
+
+class Dinero(Workload):
+    """Nine sequential passes over one trace file."""
+
+    kind = "din"
+    default_disk = "RZ56"
+
+    def __init__(
+        self,
+        name=None,
+        smart: bool = True,
+        disk=None,
+        trace_blocks: int = 998,
+        passes: int = 9,
+        cpu_per_block: float = 0.0105,
+    ) -> None:
+        super().__init__(name=name, smart=smart, disk=disk)
+        self.trace_blocks = trace_blocks
+        self.passes = passes
+        self.cpu_per_block = cpu_per_block
+
+    @property
+    def trace_path(self) -> str:
+        return self.path("cc.trace")
+
+    def file_specs(self) -> List[FileSpec]:
+        return [FileSpec(self.trace_path, self.trace_blocks)]
+
+    def program(self) -> Iterator:
+        if self.smart:
+            yield set_priority(self.trace_path, 0)
+            yield set_policy(0, "mru")
+        for _ in range(self.passes):
+            for op in seq_read(self.trace_path, self.trace_blocks, self.cpu_per_block):
+                yield op

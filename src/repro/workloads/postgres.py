@@ -1,0 +1,102 @@
+"""pjn — the Postgres join workload.
+
+The paper's query joins ``twentyk`` (20,000 tuples, ~3.2 MB, no index) with
+``twohundredk`` (200,000 tuples, ~32 MB) on ``unique1`` using the
+non-clustered index ``twohundredk_unique1`` (~5 MB).  Postgres scans
+``twentyk`` as the outer relation and probes the index per outer tuple;
+``unique1`` in ``twentyk`` is uniformly random within 1..1,000,020 while
+``twohundredk`` covers 1..200,000, so about one probe in five matches and
+fetches a (randomly placed) data block of the big relation.
+
+Index blocks are far hotter than data blocks, so the strategy is a single
+call (Section 5.1)::
+
+    set_priority("twohundredk_unique1", 1);
+
+— the index gets priority 1, data files keep default priority 0, LRU on
+both levels.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List
+
+from repro.sim.ops import BlockRead, Compute
+from repro.workloads.base import FileSpec, Workload, set_priority
+
+KEY_SPACE = 1_000_020
+MATCH_SPACE = 200_000
+
+
+class PostgresJoin(Workload):
+    """Index-nested-loop join of twentyk against twohundredk."""
+
+    kind = "pjn"
+    default_disk = "RZ26"
+
+    def __init__(
+        self,
+        name=None,
+        smart: bool = True,
+        disk=None,
+        outer_blocks: int = 410,
+        index_blocks: int = 640,
+        data_blocks: int = 4096,
+        tuples_per_block: int = 49,
+        cpu_per_probe: float = 0.0058,
+        cpu_per_block: float = 0.0004,
+        seed: int = 200,
+    ) -> None:
+        super().__init__(name=name, smart=smart, disk=disk)
+        self.outer_blocks = outer_blocks
+        self.index_blocks = index_blocks
+        self.data_blocks = data_blocks
+        self.tuples_per_block = tuples_per_block
+        self.cpu_per_probe = cpu_per_probe
+        self.cpu_per_block = cpu_per_block
+        self.seed = seed
+
+    @property
+    def outer_path(self) -> str:
+        return self.path("twentyk")
+
+    @property
+    def index_path(self) -> str:
+        return self.path("twohundredk_unique1")
+
+    @property
+    def data_path(self) -> str:
+        return self.path("twohundredk")
+
+    def file_specs(self) -> List[FileSpec]:
+        return [
+            FileSpec(self.outer_path, self.outer_blocks),
+            FileSpec(self.index_path, self.index_blocks),
+            FileSpec(self.data_path, self.data_blocks),
+        ]
+
+    def program(self) -> Iterator:
+        if self.smart:
+            yield set_priority(self.index_path, 1)
+        rng = random.Random(self.seed)
+        # Leaves cover keys 1..MATCH_SPACE; block 0 doubles as the root.
+        leaves = self.index_blocks - 1
+        for outer_block in range(self.outer_blocks):
+            yield BlockRead(self.outer_path, outer_block)
+            yield Compute(self.cpu_per_block)
+            for _ in range(self.tuples_per_block):
+                key = rng.randrange(1, KEY_SPACE + 1)
+                yield Compute(self.cpu_per_probe)
+                # B-tree descent: the root, then the leaf on the key's path.
+                yield BlockRead(self.index_path, 0)
+                if key <= MATCH_SPACE:
+                    leaf = 1 + (key - 1) * leaves // MATCH_SPACE
+                    yield BlockRead(self.index_path, leaf)
+                    # A match: fetch the tuple from its (random) heap block.
+                    heap_block = rng.randrange(self.data_blocks)
+                    yield BlockRead(self.data_path, heap_block)
+                    yield Compute(self.cpu_per_block)
+                else:
+                    # Keys past the indexed range all land on the last leaf.
+                    yield BlockRead(self.index_path, self.index_blocks - 1)

@@ -1,0 +1,81 @@
+"""ReadN — the Section 6 microbenchmark.
+
+ReadN "sequentially reads the first N 8K-byte blocks from a file in
+sequence, repeating this sequence five times, then reads the next N blocks
+five times, and so on".  Under LRU its miss ratio is low iff it holds at
+least N cache blocks, so its I/O count *measures its cache allocation* —
+which is how the paper uses it in Tables 1–4.
+
+Three behaviours:
+
+* **oblivious** — no directives at all; the kernel's default (LRU) applies.
+* **smart** — registers a manager with the (correct) LRU policy; identical
+  references, but the kernel now consults it on replacement.
+* **foolish** — registers MRU, which is terrible for this pattern: each
+  new group's blocks land at the pool's MRU end and are evicted by the
+  very next miss, so every repetition of a group misses in full.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, List
+
+from repro.workloads.base import FileSpec, Workload, seq_read, set_policy
+
+
+class ReadNBehavior(str, enum.Enum):
+    OBLIVIOUS = "oblivious"
+    SMART = "smart"
+    FOOLISH = "foolish"
+
+
+class ReadN(Workload):
+    """Group-wise repeated sequential reads."""
+
+    kind = "readn"
+    default_disk = "RZ56"
+
+    def __init__(
+        self,
+        name=None,
+        n: int = 300,
+        file_blocks: int = 1310,
+        repeats: int = 5,
+        behavior: ReadNBehavior = ReadNBehavior.OBLIVIOUS,
+        disk=None,
+        cpu_per_block: float = 0.0015,
+    ) -> None:
+        if n < 1:
+            raise ValueError("N must be positive")
+        behavior = ReadNBehavior(behavior)
+        super().__init__(
+            name=name or f"read{n}",
+            smart=behavior is not ReadNBehavior.OBLIVIOUS,
+            disk=disk,
+        )
+        self.n = n
+        self.file_blocks = file_blocks
+        self.repeats = repeats
+        self.behavior = behavior
+        self.cpu_per_block = cpu_per_block
+
+    @property
+    def data_path(self) -> str:
+        return self.path("data")
+
+    def file_specs(self) -> List[FileSpec]:
+        return [FileSpec(self.data_path, self.file_blocks)]
+
+    def program(self) -> Iterator:
+        if self.behavior is ReadNBehavior.SMART:
+            yield set_policy(0, "lru")
+        elif self.behavior is ReadNBehavior.FOOLISH:
+            yield set_policy(0, "mru")
+        start = 0
+        while start < self.file_blocks:
+            count = min(self.n, self.file_blocks - start)
+            for _ in range(self.repeats):
+                for op in seq_read(self.data_path, count, self.cpu_per_block, start=start):
+                    yield op
+            start += count

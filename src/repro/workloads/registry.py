@@ -1,0 +1,61 @@
+"""Workload registry: the paper's application names → factories.
+
+The disks follow the paper's placement: cs[1-3], din, gli and ldk run on
+the RZ56; pjn and sort on the RZ26.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.workloads.base import Workload
+from repro.workloads.cscope import CscopeMixed, make_cs1, make_cs2, make_cs3
+from repro.workloads.dinero import Dinero
+from repro.workloads.glimpse import Glimpse
+from repro.workloads.ld import LinkEditor
+from repro.workloads.postgres import PostgresJoin
+from repro.workloads.readn import ReadN
+from repro.workloads.sort import ExternalSort
+
+WORKLOADS: Dict[str, Callable[..., Workload]] = {
+    "cs1": make_cs1,
+    "cs2": make_cs2,
+    "cs3": make_cs3,
+    "csm": lambda name="csm", **kw: CscopeMixed(name=name, **kw),
+    "din": lambda name="din", **kw: Dinero(name=name, **kw),
+    "gli": lambda name="gli", **kw: Glimpse(name=name, **kw),
+    "ldk": lambda name="ldk", **kw: LinkEditor(name=name, **kw),
+    "pjn": lambda name="pjn", **kw: PostgresJoin(name=name, **kw),
+    "sort": lambda name="sort", **kw: ExternalSort(name=name, **kw),
+    # ReadN's behaviour is three-valued (oblivious/smart/foolish); the
+    # registry's boolean `smart` maps onto it only when no explicit
+    # `behavior` is given.
+    "readn": lambda name=None, smart=False, **kw: ReadN(
+        name=name,
+        behavior=kw.pop("behavior", "smart" if smart else "oblivious"),
+        **kw,
+    ),
+}
+
+#: The paper's access-pattern categories (used to pick the Figure 5 mixes).
+CATEGORIES = {
+    "cs1": "cyclic",
+    "cs2": "cyclic",
+    "cs3": "cyclic",
+    "din": "cyclic",
+    "gli": "hot/cold",
+    "pjn": "hot/cold",
+    "ldk": "ld",
+    "sort": "sort",
+}
+
+
+def make_workload(kind: str, name: str = None, smart: bool = True, **kwargs) -> Workload:
+    """Instantiate a workload by its paper name ('cs1', 'din', 'sort', ...)."""
+    try:
+        factory = WORKLOADS[kind]
+    except KeyError:
+        raise ValueError(f"unknown workload {kind!r} (expected one of {sorted(WORKLOADS)})") from None
+    if name is None:
+        return factory(smart=smart, **kwargs)
+    return factory(name=name, smart=smart, **kwargs)

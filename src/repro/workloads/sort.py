@@ -1,0 +1,141 @@
+"""sort — the UNIX external-sort workload.
+
+The paper sorted a 200,000-line, 17 MB text file numerically.  ``sort`` has
+two phases: it partitions the input into sorted *runs* stored in temporary
+files, then merges the runs eight at a time, in the order in which they
+were created, cascading until one output remains.
+
+Access characteristics (Section 5.1): input is read once; temporaries are
+written once and read once; runs are merged oldest-first.  The strategy::
+
+    set_policy(-1, MRU);
+    set_policy(0, MRU);
+    set_priority(input_file, -1);
+
+plus the free-behind idiom in ``readline`` — after the last byte of an 8 K
+block is consumed, ``set_temppri(file, blknum, blknum, -1)``.
+
+MRU at level 0 keeps the *earliest-written* temporary blocks resident,
+which are precisely the ones merged first; freeing merged blocks and
+deleting consumed run files lets written-but-merged data die in the cache
+before the update daemon flushes it — the two effects behind the paper's
+growing I/O savings at larger cache sizes (0.85 → 0.65 of the original
+kernel's block I/Os from 6.4 MB to 16 MB).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.sim.ops import BlockRead, BlockWrite, Compute, CreateFile, DeleteFile
+from repro.workloads.base import FileSpec, Workload, set_policy, set_priority, set_temppri
+
+
+class ExternalSort(Workload):
+    """Partition into runs, then 8-way cascaded merge."""
+
+    kind = "sort"
+    default_disk = "RZ26"
+
+    def __init__(
+        self,
+        name=None,
+        smart: bool = True,
+        disk=None,
+        input_blocks: int = 2176,
+        run_blocks: int = 96,
+        merge_width: int = 8,
+        cpu_per_block: float = 0.006,
+        delete_temps: bool = True,
+    ) -> None:
+        super().__init__(name=name, smart=smart, disk=disk)
+        if run_blocks < 1 or merge_width < 2:
+            raise ValueError("need positive run size and merge width >= 2")
+        self.input_blocks = input_blocks
+        self.run_blocks = run_blocks
+        self.merge_width = merge_width
+        self.cpu_per_block = cpu_per_block
+        self.delete_temps = delete_temps
+
+    @property
+    def input_path(self) -> str:
+        return self.path("input.txt")
+
+    @property
+    def output_path(self) -> str:
+        return self.path("output.txt")
+
+    def temp_path(self, i: int) -> str:
+        return self.path(f"tmp/run{i:04d}")
+
+    def file_specs(self) -> List[FileSpec]:
+        return [FileSpec(self.input_path, self.input_blocks)]
+
+    # -- the program -------------------------------------------------------
+
+    def program(self) -> Iterator:
+        if self.smart:
+            yield set_policy(-1, "mru")
+            yield set_policy(0, "mru")
+            yield set_priority(self.input_path, -1)
+
+        # Phase 1: partition the input into sorted runs.
+        runs: List[tuple] = []  # (path, nblocks)
+        next_temp = 0
+        offset = 0
+        while offset < self.input_blocks:
+            size = min(self.run_blocks, self.input_blocks - offset)
+            path = self.temp_path(next_temp)
+            next_temp += 1
+            yield CreateFile(path, size_hint=size, disk=self.disk)
+            for b in range(offset, offset + size):
+                yield BlockRead(self.input_path, b)
+                yield Compute(self.cpu_per_block)
+                if self.smart:
+                    yield set_temppri(self.input_path, b, b, -1)
+            for b in range(size):
+                yield BlockWrite(path, b, whole=True)
+                yield Compute(self.cpu_per_block)
+            runs.append((path, size))
+            offset += size
+
+        # Phase 2: cascaded merge, oldest runs first, merge_width at a time.
+        while len(runs) > 1:
+            group = runs[: self.merge_width]
+            runs = runs[self.merge_width :]
+            last_round = not runs and len(group) <= self.merge_width
+            out_path = self.output_path if last_round else self.temp_path(next_temp)
+            next_temp += 1
+            out_size = sum(n for _, n in group)
+            yield CreateFile(out_path, size_hint=out_size, disk=self.disk)
+            for op in self._merge(group, out_path):
+                yield op
+            if self.delete_temps:
+                for path, _ in group:
+                    yield DeleteFile(path)
+            if not last_round:
+                runs.append((out_path, out_size))
+
+    def _merge(self, group: Sequence[tuple], out_path: str) -> Iterator:
+        """Round-robin consumption of the input runs, 1:1 output emission.
+
+        Real merge consumption follows the data; for uniformly distributed
+        keys the streams drain near-uniformly, which round-robin models.
+        """
+        cursors = [0] * len(group)
+        emitted = 0
+        remaining = sum(n for _, n in group)
+        while remaining > 0:
+            for i, (path, nblocks) in enumerate(group):
+                if cursors[i] >= nblocks:
+                    continue
+                b = cursors[i]
+                cursors[i] += 1
+                remaining -= 1
+                yield BlockRead(path, b)
+                yield Compute(self.cpu_per_block)
+                if self.smart:
+                    yield set_temppri(path, b, b, -1)
+                yield BlockWrite(out_path, emitted, whole=True)
+                yield Compute(self.cpu_per_block)
+                emitted += 1

@@ -1,0 +1,212 @@
+"""Synthetic workload generators for studies beyond the paper's eight.
+
+The paper's applications cover four access-pattern categories (cyclic,
+hot/cold, access-once, sort-like).  These parametrisable generators let a
+user compose the same categories at any scale — for sizing a cache with
+:mod:`repro.analysis`, stress-testing a new policy, or building new
+mixes for the harness.
+
+Every generator is deterministic under its ``seed`` and follows the same
+conventions as the paper workloads (namespaced files, ``smart`` directive
+prologues, `cpu_per_block` pacing).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Sequence
+
+from repro.sim.ops import BlockRead, BlockWrite, Compute, CreateFile
+from repro.workloads.base import (
+    FileSpec,
+    Workload,
+    seq_read,
+    set_policy,
+    set_priority,
+)
+
+
+class SequentialScan(Workload):
+    """Scan one file start-to-finish, optionally repeatedly.
+
+    Smart strategy: MRU for repeated scans (the cyclic pattern), priority
+    -1 with free-behind for a single pass (the read-once pattern).
+    """
+
+    kind = "scan"
+    default_disk = "RZ56"
+
+    def __init__(
+        self,
+        name=None,
+        smart: bool = True,
+        disk=None,
+        nblocks: int = 1000,
+        passes: int = 1,
+        cpu_per_block: float = 0.002,
+    ) -> None:
+        super().__init__(name=name, smart=smart, disk=disk)
+        if nblocks < 1 or passes < 1:
+            raise ValueError("need at least one block and one pass")
+        self.nblocks = nblocks
+        self.passes = passes
+        self.cpu_per_block = cpu_per_block
+
+    @property
+    def data_path(self) -> str:
+        return self.path("data")
+
+    def file_specs(self) -> List[FileSpec]:
+        return [FileSpec(self.data_path, self.nblocks)]
+
+    def program(self) -> Iterator:
+        read_once = self.passes == 1
+        if self.smart:
+            if read_once:
+                yield set_priority(self.data_path, -1)
+            else:
+                yield set_policy(0, "mru")
+        for _ in range(self.passes):
+            for op in seq_read(
+                self.data_path,
+                self.nblocks,
+                self.cpu_per_block,
+                free_behind=self.smart and read_once,
+            ):
+                yield op
+
+
+class ZipfHotCold(Workload):
+    """Zipf-skewed random accesses over a hot file and a cold file.
+
+    Smart strategy: long-term priority 1 on the hot file — the gli/pjn
+    pattern reduced to its essence.
+    """
+
+    kind = "zipf"
+    default_disk = "RZ56"
+
+    def __init__(
+        self,
+        name=None,
+        smart: bool = True,
+        disk=None,
+        hot_blocks: int = 200,
+        cold_blocks: int = 2000,
+        accesses: int = 5000,
+        hot_fraction: float = 0.8,
+        cpu_per_block: float = 0.001,
+        seed: int = 11,
+    ) -> None:
+        super().__init__(name=name, smart=smart, disk=disk)
+        if not 0.0 < hot_fraction < 1.0:
+            raise ValueError("hot fraction must be in (0, 1)")
+        self.hot_blocks = hot_blocks
+        self.cold_blocks = cold_blocks
+        self.accesses = accesses
+        self.hot_fraction = hot_fraction
+        self.cpu_per_block = cpu_per_block
+        self.seed = seed
+
+    @property
+    def hot_path(self) -> str:
+        return self.path("hot")
+
+    @property
+    def cold_path(self) -> str:
+        return self.path("cold")
+
+    def file_specs(self) -> List[FileSpec]:
+        return [
+            FileSpec(self.hot_path, self.hot_blocks),
+            FileSpec(self.cold_path, self.cold_blocks),
+        ]
+
+    def program(self) -> Iterator:
+        if self.smart:
+            yield set_priority(self.hot_path, 1)
+        rng = random.Random(self.seed)
+        for _ in range(self.accesses):
+            if rng.random() < self.hot_fraction:
+                yield BlockRead(self.hot_path, rng.randrange(self.hot_blocks))
+            else:
+                yield BlockRead(self.cold_path, rng.randrange(self.cold_blocks))
+            if self.cpu_per_block:
+                yield Compute(self.cpu_per_block)
+
+
+class WriteBurst(Workload):
+    """Create a file, write it whole, optionally read it back once.
+
+    Models log/spool producers; smart strategy frees blocks after the
+    read-back (they will not be touched again).
+    """
+
+    kind = "burst"
+    default_disk = "RZ26"
+
+    def __init__(
+        self,
+        name=None,
+        smart: bool = True,
+        disk=None,
+        nblocks: int = 500,
+        read_back: bool = True,
+        cpu_per_block: float = 0.001,
+    ) -> None:
+        super().__init__(name=name, smart=smart, disk=disk)
+        self.nblocks = nblocks
+        self.read_back = read_back
+        self.cpu_per_block = cpu_per_block
+
+    @property
+    def out_path(self) -> str:
+        return self.path("spool")
+
+    def file_specs(self) -> List[FileSpec]:
+        return []  # creates its own output
+
+    def program(self) -> Iterator:
+        yield CreateFile(self.out_path, size_hint=self.nblocks, disk=self.disk)
+        if self.smart:
+            yield set_policy(0, "mru")  # written-once data: sacrifice newest
+        for b in range(self.nblocks):
+            yield BlockWrite(self.out_path, b, whole=True)
+            if self.cpu_per_block:
+                yield Compute(self.cpu_per_block)
+        if self.read_back:
+            for op in seq_read(
+                self.out_path, self.nblocks, self.cpu_per_block,
+                free_behind=self.smart,
+            ):
+                yield op
+
+
+class Phased(Workload):
+    """Concatenate other workloads' programs into phases of one process.
+
+    The classic multi-phase job (e.g. build-then-test): each phase's files
+    and directives stand alone; priorities persist across phases exactly as
+    they would for a real process.
+    """
+
+    kind = "phased"
+    default_disk = "RZ56"
+
+    def __init__(self, phases: Sequence[Workload], name: Optional[str] = None):
+        if not phases:
+            raise ValueError("need at least one phase")
+        smart = any(p.smart for p in phases)
+        super().__init__(name=name or "phased", smart=smart, disk=phases[0].disk)
+        self.phases = list(phases)
+
+    def file_specs(self) -> List[FileSpec]:
+        specs: List[FileSpec] = []
+        for phase in self.phases:
+            specs.extend(phase.file_specs())
+        return specs
+
+    def program(self) -> Iterator:
+        for phase in self.phases:
+            for op in phase.program():
+                yield op

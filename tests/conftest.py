@@ -1,0 +1,37 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acm import ACM, ResourceLimits
+from repro.core.allocation import GLOBAL_LRU, LRU_S, LRU_SP, ALLOC_LRU
+from repro.core.buffercache import BufferCache
+
+
+def make_cache(nframes=8, policy=LRU_SP, acm=None, **kwargs):
+    """A small BufferCache for unit tests."""
+    return BufferCache(nframes, acm=acm, policy=policy, **kwargs)
+
+
+def touch(cache, pid, file_id, blockno, write=False, whole=False):
+    """One access with throwaway disk placement (unit tests don't do I/O)."""
+    lba = file_id * 100000 + blockno
+    outcome = cache.access(pid, file_id, blockno, lba, "disk0", write=write, whole=whole)
+    if outcome.read_needed:
+        cache.loaded(outcome.block)
+    return outcome
+
+
+@pytest.fixture
+def cache():
+    return make_cache()
+
+
+@pytest.fixture
+def acm():
+    return ACM(limits=ResourceLimits())
+
+
+# Re-exported so tests can `from conftest import ...` policies uniformly.
+POLICIES = (GLOBAL_LRU, ALLOC_LRU, LRU_S, LRU_SP)

@@ -1,0 +1,334 @@
+"""ACM: managers, pools, priorities, temp priorities, revocation, limits."""
+
+import pytest
+
+from repro.core.acm import ACM, AcmError, Manager, Pool, ResourceLimits
+from repro.core.blocks import CacheBlock
+from repro.core.policies import PoolPolicy
+from repro.core.revocation import RevocationPolicy
+
+
+def block(file_id=1, blockno=0, pid=1):
+    return CacheBlock(file_id, blockno, owner_pid=pid)
+
+
+def manager(pid=1, **limits):
+    return Manager(pid, ResourceLimits(**limits))
+
+
+class TestPool:
+    def test_replacement_choice_lru_is_head(self):
+        pool = Pool(0)
+        a, b = block(blockno=0), block(blockno=1)
+        pool.insert_referenced(a)
+        pool.insert_referenced(b)
+        assert pool.replacement_choice(PoolPolicy.LRU) is a
+
+    def test_replacement_choice_mru_is_tail(self):
+        pool = Pool(0)
+        a, b = block(blockno=0), block(blockno=1)
+        pool.insert_referenced(a)
+        pool.insert_referenced(b)
+        assert pool.replacement_choice(PoolPolicy.MRU) is b
+
+    def test_choice_skips_in_flight(self):
+        pool = Pool(0)
+        a, b = block(blockno=0), block(blockno=1)
+        a.in_flight = True
+        pool.insert_referenced(a)
+        pool.insert_referenced(b)
+        assert pool.replacement_choice(PoolPolicy.LRU) is b
+
+    def test_choice_none_when_all_in_flight(self):
+        pool = Pool(0)
+        a = block()
+        a.in_flight = True
+        pool.insert_referenced(a)
+        assert pool.replacement_choice(PoolPolicy.LRU) is None
+
+    def test_touched_moves_to_mru(self):
+        pool = Pool(0)
+        a, b = block(blockno=0), block(blockno=1)
+        pool.insert_referenced(a)
+        pool.insert_referenced(b)
+        pool.touched(a)
+        assert pool.replacement_choice(PoolPolicy.LRU) is b
+
+    def test_insert_moved_lru_goes_to_tail(self):
+        pool = Pool(0)
+        a, b = block(blockno=0), block(blockno=1)
+        pool.insert_referenced(a)
+        pool.insert_moved(b, PoolPolicy.LRU)
+        # LRU replaces the head; the moved block should be replaced later.
+        assert pool.replacement_choice(PoolPolicy.LRU) is a
+
+    def test_insert_moved_mru_goes_to_head(self):
+        pool = Pool(0)
+        a, b = block(blockno=0), block(blockno=1)
+        pool.insert_referenced(a)
+        pool.insert_moved(b, PoolPolicy.MRU)
+        # MRU replaces the tail; the moved block sits at the head.
+        assert pool.replacement_choice(PoolPolicy.MRU) is a
+
+
+class TestManagerPools:
+    def test_default_policy_is_lru(self):
+        assert manager().policy_of(0) is PoolPolicy.LRU
+
+    def test_set_policy(self):
+        m = manager()
+        m.set_policy(0, PoolPolicy.MRU)
+        assert m.policy_of(0) is PoolPolicy.MRU
+
+    def test_set_policy_parses_strings(self):
+        m = manager()
+        m.set_policy(1, "mru")
+        assert m.policy_of(1) is PoolPolicy.MRU
+
+    def test_priority_levels_limit(self):
+        m = manager(max_priority_levels=2)
+        m.set_policy(0, "lru")
+        m.set_policy(1, "lru")
+        with pytest.raises(AcmError):
+            m.set_policy(2, "lru")
+
+    def test_file_priority_roundtrip(self):
+        m = manager()
+        m.set_file_prio(5, 2)
+        assert m.long_term_prio(5) == 2
+        assert m.long_term_prio(6) == 0
+
+    def test_zero_priority_frees_record(self):
+        m = manager(max_priority_files=1)
+        m.set_file_prio(5, 1)
+        m.set_file_prio(5, 0)
+        m.set_file_prio(6, 1)  # fits because 5's record was freed
+        assert m.long_term_prio(5) == 0
+        assert m.long_term_prio(6) == 1
+
+    def test_priority_files_limit(self):
+        m = manager(max_priority_files=1)
+        m.set_file_prio(5, 1)
+        with pytest.raises(AcmError):
+            m.set_file_prio(6, 1)
+
+    def test_add_block_uses_long_term_priority(self):
+        m = manager()
+        m.set_file_prio(9, 3)
+        b = block(file_id=9)
+        m.add_block(b)
+        assert b.pool_prio == 3
+        assert b in m.pools[3].blocks
+
+    def test_remove_block_resets_state(self):
+        m = manager()
+        b = block()
+        m.add_block(b)
+        b.has_temp = True
+        b.temp_prio = -1
+        m.remove_block(b)
+        assert b.pool_prio is None
+        assert not b.has_temp
+        assert b.temp_prio is None
+        assert len(m.pools[0]) == 0
+
+    def test_move_block(self):
+        m = manager()
+        b = block()
+        m.add_block(b)
+        m.move_block(b, -1)
+        assert b.pool_prio == -1
+        assert b in m.pools[-1].blocks
+        assert b not in m.pools[0].blocks
+
+    def test_move_block_same_pool_noop(self):
+        m = manager()
+        b = block()
+        m.add_block(b)
+        m.move_block(b, 0)
+        assert b.pool_prio == 0
+
+
+class TestPickReplacement:
+    def test_lowest_priority_pool_first(self):
+        m = manager()
+        lo, hi = block(blockno=0), block(file_id=2, blockno=0)
+        m.set_file_prio(2, 1)
+        m.add_block(lo)   # prio 0
+        m.add_block(hi)   # prio 1
+        assert m.pick_replacement() is lo
+
+    def test_negative_priorities_go_first(self):
+        m = manager()
+        freed, normal = block(blockno=0), block(blockno=1)
+        m.add_block(freed)
+        m.add_block(normal)
+        m.move_block(freed, -1)
+        assert m.pick_replacement() is freed
+
+    def test_empty_manager_returns_none(self):
+        assert manager().pick_replacement() is None
+
+    def test_skips_empty_pools(self):
+        m = manager()
+        b = block()
+        m.set_policy(-1, "lru")  # priority level exists but holds nothing
+        m.add_block(b)
+        assert m.pick_replacement() is b
+
+    def test_respects_pool_policy(self):
+        m = manager()
+        m.set_policy(0, "mru")
+        a, b = block(blockno=0), block(blockno=1)
+        m.add_block(a)
+        m.add_block(b)
+        assert m.pick_replacement() is b
+
+
+class TestTempPriority:
+    def test_touch_reverts_temp(self):
+        m = manager()
+        b = block()
+        m.add_block(b)
+        m.move_block(b, -1)
+        b.has_temp = True
+        b.temp_prio = -1
+        m.touch_block(b)
+        assert not b.has_temp
+        assert b.pool_prio == 0
+
+    def test_revert_goes_to_long_term_priority(self):
+        m = manager()
+        m.set_file_prio(1, 2)
+        b = block(file_id=1)
+        m.add_block(b)
+        m.move_block(b, -1)
+        b.has_temp = True
+        m.touch_block(b)
+        assert b.pool_prio == 2
+
+    def test_touch_without_temp_keeps_pool(self):
+        m = manager()
+        a, b = block(blockno=0), block(blockno=1)
+        m.add_block(a)
+        m.add_block(b)
+        m.touch_block(a)
+        assert m.pick_replacement() is b  # a became most recent
+
+
+class TestRevocation:
+    def test_revoke_dissolves_pools(self):
+        m = manager()
+        b = block()
+        m.add_block(b)
+        m.revoke()
+        assert m.revoked
+        assert m.pools == {}
+        assert b.pool_prio is None
+
+    def test_policy_thresholds(self):
+        pol = RevocationPolicy(min_decisions=10, mistake_ratio=0.5)
+        assert not pol.should_revoke(5, 5)          # too few decisions
+        assert not pol.should_revoke(10, 5)         # exactly at ratio
+        assert pol.should_revoke(10, 6)
+
+    def test_bad_policy_args(self):
+        with pytest.raises(ValueError):
+            RevocationPolicy(min_decisions=0)
+        with pytest.raises(ValueError):
+            RevocationPolicy(mistake_ratio=0.0)
+        with pytest.raises(ValueError):
+            RevocationPolicy(mistake_ratio=1.5)
+
+    def test_acm_revokes_after_mistakes(self):
+        acm = ACM(revocation=RevocationPolicy(min_decisions=1, mistake_ratio=0.4))
+        m = acm.register(1)
+        m.decisions = 2
+        acm.placeholder_used(1, (1, 5), block())
+        # one mistake over two decisions (0.5) exceeds the 0.4 threshold
+        assert m.revoked
+        assert acm.revocations == 1
+
+    def test_acm_does_not_revoke_below_threshold(self):
+        acm = ACM(revocation=RevocationPolicy(min_decisions=1, mistake_ratio=0.6))
+        m = acm.register(1)
+        m.decisions = 2
+        acm.placeholder_used(1, (1, 5), block())
+        assert not m.revoked
+
+    def test_revoked_manager_not_consulted(self):
+        acm = ACM()
+        m = acm.register(1)
+        b = block()
+        acm.new_block(b)
+        m.revoke()
+        candidate = block(blockno=9)
+        assert acm.replace_block(candidate, (1, 99)) is candidate
+
+    def test_register_after_revocation_fails(self):
+        acm = ACM()
+        m = acm.register(1)
+        m.revoke()
+        with pytest.raises(AcmError):
+            acm.register(1)
+
+
+class TestACMCalls:
+    def test_unmanaged_blocks_have_no_pool(self):
+        acm = ACM()
+        b = block(pid=42)
+        acm.new_block(b)
+        assert b.pool_prio is None
+
+    def test_new_block_pools_for_manager(self):
+        acm = ACM()
+        acm.register(1)
+        b = block(pid=1)
+        acm.new_block(b)
+        assert b.pool_prio == 0
+
+    def test_replace_block_unmanaged_returns_candidate(self):
+        acm = ACM()
+        candidate = block(pid=99)
+        assert acm.replace_block(candidate, (1, 0)) is candidate
+
+    def test_replace_block_counts_overrules(self):
+        acm = ACM()
+        m = acm.register(1)
+        old, new = block(blockno=0), block(blockno=1)
+        acm.new_block(old)
+        acm.new_block(new)
+        candidate = new  # manager prefers the LRU head (old)
+        chosen = acm.replace_block(candidate, (9, 9))
+        assert chosen is old
+        assert m.decisions == 1
+
+    def test_replace_block_same_choice_not_an_overrule(self):
+        acm = ACM()
+        m = acm.register(1)
+        only = block()
+        acm.new_block(only)
+        assert acm.replace_block(only, (9, 9)) is only
+        assert m.decisions == 0
+
+    def test_transfer_ownership(self):
+        acm = ACM()
+        acm.register(1)
+        acm.register(2)
+        b = block(pid=1)
+        acm.new_block(b)
+        acm.transfer_ownership(b, 2)
+        assert b.owner_pid == 2
+        assert b in acm.managers[2].pools[0].blocks
+        assert len(acm.managers[1].pools[0]) == 0
+
+    def test_get_priority_without_manager(self):
+        assert ACM().get_priority(5, 1) == 0
+
+    def test_get_policy_without_manager(self):
+        assert ACM().get_policy(5, 0) is PoolPolicy.LRU
+
+    def test_set_temppri_empty_range_rejected(self):
+        acm = ACM()
+        with pytest.raises(AcmError):
+            acm.set_temppri(1, 1, 5, 4, -1)

@@ -1,0 +1,123 @@
+"""Allocation-policy presets, pool-policy parsing, block/opt helpers."""
+
+import pytest
+
+from repro.core.allocation import (
+    ALLOC_LRU,
+    GLOBAL_LRU,
+    LRU_S,
+    LRU_SP,
+    AllocationPolicy,
+    policy_by_name,
+)
+from repro.core.blocks import CacheBlock
+from repro.core.opt import lru_misses, mru_misses, opt_misses
+from repro.core.policies import DEFAULT_POLICY, PoolPolicy
+
+
+class TestAllocationPresets:
+    def test_global_lru_flags(self):
+        assert not GLOBAL_LRU.consult
+        assert not GLOBAL_LRU.swapping
+        assert not GLOBAL_LRU.placeholders
+
+    def test_alloc_lru_flags(self):
+        assert ALLOC_LRU.consult
+        assert not ALLOC_LRU.swapping and not ALLOC_LRU.placeholders
+
+    def test_lru_s_flags(self):
+        assert LRU_S.consult and LRU_S.swapping and not LRU_S.placeholders
+
+    def test_lru_sp_flags(self):
+        assert LRU_SP.consult and LRU_SP.swapping and LRU_SP.placeholders
+
+    def test_lookup_by_name(self):
+        assert policy_by_name("lru-sp") is LRU_SP
+        assert policy_by_name("GLOBAL-LRU") is GLOBAL_LRU
+
+    def test_lookup_unknown(self):
+        with pytest.raises(ValueError):
+            policy_by_name("mystery")
+
+    def test_inconsistent_flags_rejected(self):
+        with pytest.raises(ValueError):
+            AllocationPolicy("bad", consult=False, swapping=True, placeholders=False)
+
+    def test_str(self):
+        assert str(LRU_SP) == "lru-sp"
+
+
+class TestPoolPolicy:
+    def test_parse_strings(self):
+        assert PoolPolicy.parse("lru") is PoolPolicy.LRU
+        assert PoolPolicy.parse("MRU") is PoolPolicy.MRU
+
+    def test_parse_passthrough(self):
+        assert PoolPolicy.parse(PoolPolicy.MRU) is PoolPolicy.MRU
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            PoolPolicy.parse("clock")
+
+    def test_default_is_lru(self):
+        assert DEFAULT_POLICY is PoolPolicy.LRU
+
+
+class TestCacheBlock:
+    def test_id(self):
+        assert CacheBlock(3, 7).id == (3, 7)
+
+    def test_initial_state(self):
+        b = CacheBlock(1, 0)
+        assert not b.dirty and not b.in_flight and not b.has_temp
+        assert b.resident
+        assert b.waiters == []
+
+
+class TestOfflineOpt:
+    def test_opt_on_cyclic_beats_lru(self):
+        trace = list(range(10)) * 5
+        assert opt_misses(trace, 5) < lru_misses(trace, 5)
+
+    def test_lru_cyclic_all_miss(self):
+        trace = list(range(10)) * 5
+        assert lru_misses(trace, 5) == 50
+
+    def test_mru_cyclic_near_optimal(self):
+        trace = list(range(10)) * 5
+        assert mru_misses(trace, 5) <= opt_misses(trace, 5) * 1.5
+
+    def test_opt_lower_bound_property(self):
+        trace = [1, 2, 3, 1, 2, 4, 1, 5, 2, 3]
+        for size in (1, 2, 3, 4):
+            o = opt_misses(trace, size)
+            assert o <= lru_misses(trace, size)
+            assert o <= mru_misses(trace, size)
+
+    def test_all_fit_only_compulsory(self):
+        trace = [1, 2, 3] * 4
+        assert opt_misses(trace, 3) == 3
+        assert lru_misses(trace, 3) == 3
+        assert mru_misses(trace, 3) == 3
+
+    def test_empty_trace(self):
+        assert opt_misses([], 4) == 0
+        assert lru_misses([], 4) == 0
+
+    def test_single_frame(self):
+        trace = [1, 2, 1, 2]
+        assert opt_misses(trace, 1) == 4
+
+    def test_bad_cache_size(self):
+        with pytest.raises(ValueError):
+            opt_misses([1], 0)
+        with pytest.raises(ValueError):
+            lru_misses([1], 0)
+        with pytest.raises(ValueError):
+            mru_misses([1], 0)
+
+    def test_opt_classic_example(self):
+        # Belady's example-style check with known answer.
+        trace = [1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]
+        assert opt_misses(trace, 3) == 7
+        assert lru_misses(trace, 3) == 10

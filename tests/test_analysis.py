@@ -1,0 +1,154 @@
+"""Stack distances, miss-ratio curves, working sets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    lru_curve,
+    policy_curve,
+    stack_distances,
+    working_set_profile,
+)
+from repro.core.allocation import LRU_SP
+from repro.core.opt import lru_misses
+from repro.trace.events import AccessRecord, DirectiveRecord
+from repro.trace.recorder import record_workload
+from repro.workloads import Dinero
+
+
+class TestStackDistances:
+    def test_cold_references_have_none(self):
+        d = stack_distances([1, 2, 3])
+        assert d.distances == [None, None, None]
+        assert d.compulsory == 3
+        assert d.nblocks == 3
+
+    def test_immediate_reuse_distance_zero(self):
+        d = stack_distances([1, 1])
+        assert d.distances == [None, 0]
+
+    def test_classic_example(self):
+        # refs:      a  b  c  b  a
+        # distances: -  -  -  1  2
+        d = stack_distances("abcba")
+        assert d.distances == [None, None, None, 1, 2]
+
+    def test_cyclic_distances_equal_cycle_minus_one(self):
+        trace = [0, 1, 2, 3] * 3
+        d = stack_distances(trace)
+        reuse = [x for x in d.distances if x is not None]
+        assert set(reuse) == {3}
+
+    def test_misses_at_matches_lru_simulation(self):
+        trace = [(i * 13) % 7 for i in range(100)]
+        d = stack_distances(trace)
+        for size in (1, 2, 3, 5, 8):
+            assert d.misses_at(size) == lru_misses(trace, size), size
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 20), max_size=150), st.integers(1, 12))
+    def test_matches_lru_simulation_property(self, trace, size):
+        assert stack_distances(trace).misses_at(size) == lru_misses(trace, size)
+
+    def test_miss_counts_bulk(self):
+        trace = [0, 1, 2, 0, 1, 2]
+        d = stack_distances(trace)
+        counts = d.miss_counts([1, 2, 3, 4])
+        assert counts == {1: 6, 2: 6, 3: 3, 4: 3}
+
+    def test_monotone_in_cache_size(self):
+        trace = [(i * 7) % 11 for i in range(200)]
+        d = stack_distances(trace)
+        misses = [d.misses_at(s) for s in range(1, 12)]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_histogram(self):
+        hist = stack_distances([1, 1, 2, 1]).histogram()
+        assert hist == {0: 1, 1: 1}
+
+    def test_min_cache_for_hit_ratio(self):
+        trace = [0, 1, 2] * 10
+        d = stack_distances(trace)
+        # All reuses have distance 2: a 3-frame cache hits all 27 reuses.
+        assert d.min_cache_for_hit_ratio(0.9) == 3
+        assert d.min_cache_for_hit_ratio(0.0) == 1
+
+    def test_validation(self):
+        d = stack_distances([1])
+        with pytest.raises(ValueError):
+            d.misses_at(0)
+        with pytest.raises(ValueError):
+            d.min_cache_for_hit_ratio(2.0)
+
+    def test_empty_trace(self):
+        d = stack_distances([])
+        assert d.misses_at(4) == 0
+        assert d.min_cache_for_hit_ratio(0.5) == 1
+
+
+class TestCurves:
+    def test_lru_curve_exact(self):
+        trace = [(i * 3) % 8 for i in range(120)]
+        curve = lru_curve(trace, [1, 2, 4, 8])
+        for size in (1, 2, 4, 8):
+            assert curve.points[size] == lru_misses(trace, size)
+
+    def test_lru_curve_ratio(self):
+        curve = lru_curve([0, 1] * 10, [2])
+        assert curve.ratio_at(2) == pytest.approx(2 / 20)
+
+    def test_policy_curve_beats_lru_on_cycles(self):
+        din = Dinero(trace_blocks=20, passes=4)
+        events = record_workload(din)
+        refs = [(ev.path, ev.blockno) for ev in events if isinstance(ev, AccessRecord)]
+        lru = lru_curve(refs, [10])
+        sp = policy_curve(events, [10], policy=LRU_SP)
+        assert sp.points[10] < lru.points[10]
+
+    def test_curve_rows_sorted(self):
+        curve = lru_curve([0, 1, 0, 1], [4, 1, 2])
+        assert [r[0] for r in curve.as_rows()] == [1, 2, 4]
+
+    def test_knee(self):
+        trace = [0, 1, 2] * 20
+        curve = lru_curve(trace, [1, 2, 3, 4, 5])
+        assert curve.knee() == 3  # the cycle fits at 3 frames
+
+    def test_knee_empty_curve_rejected(self):
+        from repro.analysis.missratio import MissRatioCurve
+
+        with pytest.raises(ValueError):
+            MissRatioCurve("x", 0, {}).knee()
+
+
+class TestWorkingSet:
+    def test_constant_workload(self):
+        profile = working_set_profile([0, 1, 2] * 10, window=6)
+        assert profile.peak == 3
+        assert profile.samples[-1][1] == 3
+
+    def test_window_limits_size(self):
+        profile = working_set_profile(range(100), window=10)
+        assert profile.peak == 10
+
+    def test_phase_change_visible(self):
+        trace = [0, 1] * 20 + list(range(100, 130)) + [0, 1] * 20
+        profile = working_set_profile(trace, window=8)
+        assert profile.peak > 2
+        assert profile.average < profile.peak
+
+    def test_phases_counted(self):
+        quiet = [0] * 30
+        busy = list(range(1, 16))
+        profile = working_set_profile(quiet + busy + quiet + busy, window=15)
+        assert profile.phases() >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            working_set_profile([1], window=0)
+        with pytest.raises(ValueError):
+            working_set_profile([1], window=1, sample_every=0)
+
+    def test_sampling_interval(self):
+        profile = working_set_profile(range(50), window=5, sample_every=10)
+        assert len(profile.samples) == 5

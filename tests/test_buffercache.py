@@ -1,0 +1,276 @@
+"""BUF: the access path and the LRU-SP replacement procedure."""
+
+import pytest
+
+from conftest import make_cache, touch
+from repro.core.acm import ACM
+from repro.core.allocation import ALLOC_LRU, GLOBAL_LRU, LRU_S, LRU_SP
+from repro.core.buffercache import BufferCache, CacheFullError
+from repro.core.interface import FBehaviorOp
+
+
+class TestAccessPath:
+    def test_first_access_misses(self, cache):
+        outcome = touch(cache, 1, 1, 0)
+        assert not outcome.hit
+        assert outcome.read_needed
+
+    def test_second_access_hits(self, cache):
+        touch(cache, 1, 1, 0)
+        assert touch(cache, 1, 1, 0).hit
+
+    def test_capacity_never_exceeded(self):
+        cache = make_cache(nframes=4)
+        for b in range(20):
+            touch(cache, 1, 1, b)
+            assert cache.resident <= 4
+        cache.check_invariants()
+
+    def test_eviction_is_lru_for_oblivious(self):
+        cache = make_cache(nframes=2)
+        touch(cache, 1, 1, 0)
+        touch(cache, 1, 1, 1)
+        touch(cache, 1, 1, 0)       # refresh block 0
+        touch(cache, 1, 1, 2)       # evicts block 1
+        assert cache.peek(1, 0) is not None
+        assert cache.peek(1, 1) is None
+
+    def test_whole_block_write_needs_no_read(self, cache):
+        outcome = touch(cache, 1, 1, 0, write=True, whole=True)
+        assert not outcome.hit
+        assert not outcome.read_needed
+        assert outcome.block.dirty
+
+    def test_partial_write_miss_needs_read(self, cache):
+        outcome = touch(cache, 1, 1, 0, write=True, whole=False)
+        assert outcome.read_needed
+        assert outcome.block.dirty
+
+    def test_write_hit_dirties(self, cache):
+        touch(cache, 1, 1, 0)
+        outcome = touch(cache, 1, 1, 0, write=True)
+        assert outcome.hit
+        assert outcome.block.dirty
+
+    def test_dirty_eviction_reports_writeback(self):
+        cache = make_cache(nframes=1)
+        touch(cache, 1, 1, 0, write=True, whole=True)
+        outcome = touch(cache, 1, 1, 1)
+        assert outcome.writeback
+        assert outcome.evicted.id == (1, 0)
+
+    def test_clean_eviction_no_writeback(self):
+        cache = make_cache(nframes=1)
+        touch(cache, 1, 1, 0)
+        outcome = touch(cache, 1, 1, 1)
+        assert outcome.evicted is not None
+        assert not outcome.writeback
+
+    def test_in_flight_access_must_wait(self, cache):
+        out1 = cache.access(1, 1, 0, 0, "disk0")
+        out2 = cache.access(2, 1, 0, 0, "disk0")
+        assert out2.hit and out2.must_wait
+        waiters = cache.loaded(out1.block)
+        assert waiters == []
+
+    def test_loaded_returns_waiters(self, cache):
+        out = cache.access(1, 1, 0, 0, "disk0")
+        out.block.waiters.append("proc-a")
+        assert cache.loaded(out.block) == ["proc-a"]
+        assert out.block.waiters == []
+        assert not out.block.in_flight
+
+    def test_stats_counters(self, cache):
+        touch(cache, 1, 1, 0)
+        touch(cache, 1, 1, 0)
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_ratio == 0.5
+
+    def test_per_pid_counters(self, cache):
+        touch(cache, 1, 1, 0)
+        touch(cache, 2, 1, 0)
+        assert cache.per_pid[1].misses == 1
+        assert cache.per_pid[2].hits == 1
+
+    def test_ownership_transfers_to_last_accessor(self, cache):
+        touch(cache, 1, 1, 0)
+        touch(cache, 2, 1, 0)
+        assert cache.peek(1, 0).owner_pid == 2
+
+    def test_invalid_nframes(self):
+        with pytest.raises(ValueError):
+            make_cache(nframes=0)
+
+    def test_all_in_flight_raises(self):
+        cache = make_cache(nframes=1)
+        cache.access(1, 1, 0, 0, "disk0")  # in flight, not loaded
+        with pytest.raises(CacheFullError):
+            cache.access(1, 1, 1, 1, "disk0")
+
+    def test_blocks_of_file_and_owned_by(self, cache):
+        touch(cache, 1, 1, 0)
+        touch(cache, 1, 1, 1)
+        touch(cache, 2, 7, 0)
+        assert {b.blockno for b in cache.blocks_of_file(1)} == {0, 1}
+        assert len(cache.blocks_owned_by(2)) == 1
+
+    def test_invalidate_file_drops_without_writeback(self, cache):
+        touch(cache, 1, 1, 0, write=True, whole=True)
+        touch(cache, 1, 1, 1)
+        dropped = cache.invalidate_file(1)
+        assert len(dropped) == 2
+        assert cache.resident == 0
+        cache.check_invariants()
+
+    def test_dirty_blocks_listing(self, cache):
+        touch(cache, 1, 1, 0, write=True, whole=True)
+        touch(cache, 1, 1, 1)
+        assert [b.id for b in cache.dirty_blocks()] == [(1, 0)]
+
+    def test_mark_clean(self, cache):
+        touch(cache, 1, 1, 0, write=True, whole=True)
+        cache.mark_clean(cache.peek(1, 0))
+        assert cache.dirty_blocks() == []
+
+
+class TestPrefetch:
+    def test_prefetch_installs_in_flight(self, cache):
+        block, evicted = cache.prefetch(1, 1, 5, 5, "disk0")
+        assert block.in_flight
+        assert evicted is None
+        assert cache.stats.prefetches == 1
+
+    def test_prefetch_of_resident_is_noop(self, cache):
+        touch(cache, 1, 1, 5)
+        block, evicted = cache.prefetch(1, 1, 5, 5, "disk0")
+        assert block is None and evicted is None
+
+    def test_prefetch_not_counted_as_access(self, cache):
+        cache.prefetch(1, 1, 5, 5, "disk0")
+        assert cache.stats.accesses == 0
+
+    def test_prefetch_evicts_when_full(self):
+        cache = make_cache(nframes=1)
+        touch(cache, 1, 1, 0)
+        block, evicted = cache.prefetch(1, 1, 1, 1, "disk0")
+        assert evicted is not None and evicted.id == (1, 0)
+
+    def test_prefetched_block_hit_after_load(self, cache):
+        block, _ = cache.prefetch(1, 1, 5, 5, "disk0")
+        cache.loaded(block)
+        assert touch(cache, 1, 1, 5).hit
+
+
+class TestReplacementProcedure:
+    """The four allocation policies share one code path; pin its behaviour."""
+
+    def _smart_mru_cache(self, nframes=4, policy=LRU_SP):
+        """A cache whose pid-1 manager uses MRU at level 0."""
+        acm = ACM()
+        cache = make_cache(nframes=nframes, policy=policy, acm=acm)
+        acm.register(1)
+        acm.set_policy(1, 0, "mru")
+        return cache
+
+    def test_global_lru_never_consults(self):
+        cache = self._smart_mru_cache(policy=GLOBAL_LRU)
+        for b in range(6):
+            touch(cache, 1, 1, b)
+        # Under the original kernel the MRU manager is ignored: LRU evicts
+        # the oldest, so the newest 4 remain.
+        assert {b.blockno for b in cache.blocks_of_file(1)} == {2, 3, 4, 5}
+        assert cache.stats.consultations == 0
+
+    def test_lru_sp_consults_manager(self):
+        cache = self._smart_mru_cache(policy=LRU_SP)
+        for b in range(6):
+            touch(cache, 1, 1, b)
+        # MRU keeps the prefix and thrashes the tail.
+        resident = {b.blockno for b in cache.blocks_of_file(1)}
+        assert {0, 1, 2}.issubset(resident)
+        assert cache.stats.consultations > 0
+
+    def test_overrule_swaps_positions(self):
+        cache = self._smart_mru_cache(policy=LRU_SP)
+        for b in range(4):
+            touch(cache, 1, 1, b)
+        before_lru = cache.global_list.lru
+        touch(cache, 1, 1, 4)  # candidate = block0; manager gives block 3
+        assert cache.stats.swaps == 1
+        # The candidate (block 0) moved into the evictee's recent position.
+        assert cache.global_list.lru is not before_lru or cache.global_list.lru.blockno != 0
+
+    def test_overrule_creates_placeholder(self):
+        cache = self._smart_mru_cache(policy=LRU_SP)
+        for b in range(5):
+            touch(cache, 1, 1, b)
+        assert cache.placeholders.created >= 1
+
+    def test_lru_s_swaps_but_no_placeholders(self):
+        cache = self._smart_mru_cache(policy=LRU_S)
+        for b in range(5):
+            touch(cache, 1, 1, b)
+        assert cache.stats.swaps >= 1
+        assert cache.placeholders.created == 0
+
+    def test_alloc_lru_consults_but_neither(self):
+        cache = self._smart_mru_cache(policy=ALLOC_LRU)
+        for b in range(5):
+            touch(cache, 1, 1, b)
+        assert cache.stats.consultations > 0
+        assert cache.stats.swaps == 0
+        assert cache.placeholders.created == 0
+
+    def test_placeholder_fires_on_remiss(self):
+        cache = self._smart_mru_cache(nframes=3, policy=LRU_SP)
+        for b in range(3):
+            touch(cache, 1, 1, b)
+        touch(cache, 1, 1, 3)        # evicts 2 (MRU), placeholder 2 -> 0
+        created = cache.placeholders.created
+        assert created == 1
+        touch(cache, 1, 1, 2)        # re-miss on 2: placeholder fires
+        assert cache.placeholders.consumed == 1
+        m = cache.acm.managers[1]
+        assert m.mistakes == 1
+
+    def test_placeholder_dropped_when_block_reloaded_without_replacement(self):
+        acm = ACM()
+        cache = make_cache(nframes=10, policy=LRU_SP, acm=acm)
+        acm.register(1)
+        acm.set_policy(1, 0, "mru")
+        for b in range(10):
+            touch(cache, 1, 1, b)
+        touch(cache, 1, 1, 10)      # overrule creates placeholder for 9
+        assert (1, 9) in cache.placeholders
+        cache.invalidate_file(1)    # plenty of room now
+        touch(cache, 1, 1, 9)       # reload without needing replacement
+        assert (1, 9) not in cache.placeholders
+
+    def test_placeholder_dropped_when_kept_block_evicted(self):
+        cache = self._smart_mru_cache(nframes=3, policy=LRU_SP)
+        for b in range(4):
+            touch(cache, 1, 1, b)   # placeholder (3 -> 0) exists
+        assert len(cache.placeholders) == 1
+        kept = cache.peek(1, 0)
+        cache.invalidate_file(1)    # evicts the kept block
+        assert len(cache.placeholders) == 0
+        assert kept is not None
+
+    def test_oblivious_process_unaffected_by_placeholders_of_others(self):
+        acm = ACM()
+        cache = make_cache(nframes=4, policy=LRU_SP, acm=acm)
+        acm.register(1)
+        acm.set_policy(1, 0, "mru")
+        touch(cache, 1, 1, 0)
+        touch(cache, 2, 2, 0)
+        touch(cache, 2, 2, 1)
+        cache.check_invariants()
+
+    def test_check_invariants_across_policies(self):
+        for policy in (GLOBAL_LRU, ALLOC_LRU, LRU_S, LRU_SP):
+            cache = self._smart_mru_cache(nframes=5, policy=policy)
+            for i in range(40):
+                touch(cache, 1, 1, (i * 3) % 11)
+                cache.check_invariants()

@@ -1,0 +1,90 @@
+"""Cross-validation: the timing kernel and the trace replayer must agree.
+
+With read-ahead disabled (prefetching is the one mechanism that touches
+the cache outside the reference stream), a single process's kernel run and
+a replay of its recorded trace drive the identical BufferCache logic — so
+hit/miss counts must match *exactly*.  This pins the two execution paths
+to each other and has caught real bookkeeping bugs.
+"""
+
+import pytest
+
+from repro.core.allocation import ALLOC_LRU, GLOBAL_LRU, LRU_S, LRU_SP
+from repro.kernel.system import MachineConfig, System
+from repro.trace import TraceRecorder, read_trace, replay, write_trace
+from repro.trace.recorder import record_workload
+from repro.workloads import Dinero, ExternalSort, Glimpse, LinkEditor, make_cs1
+from repro.workloads.registry import make_workload
+
+SMALL = {
+    "din": dict(trace_blocks=120, passes=3, cpu_per_block=0.0),
+    "cs1": dict(db_blocks=90, queries=3, cpu_per_block=0.0),
+    "gli": dict(npartitions=6, partition_blocks=12, queries=3,
+                partitions_per_query=3, hot_partitions=1, cpu_per_block=0.0),
+    "ldk": dict(nobjects=10, total_blocks=120, output_blocks=20, cpu_per_block=0.0),
+    "sort": dict(input_blocks=64, run_blocks=16, cpu_per_block=0.0),
+}
+
+
+def kernel_counts(kind, smart, policy, frames):
+    system = System(MachineConfig(
+        cache_mb=frames * 8192 / 1024 / 1024, policy=policy, readahead=False))
+    make_workload(kind, smart=smart, **SMALL[kind]).spawn(system)
+    result = system.run()
+    proc = next(iter(result.procs.values()))
+    return proc.stats.hits, proc.stats.misses
+
+
+def replay_counts(kind, smart, policy, frames):
+    events = record_workload(make_workload(kind, smart=smart, **SMALL[kind]))
+    result = replay(events, nframes=frames, policy=policy)
+    return result.hits, result.misses
+
+
+@pytest.mark.parametrize("kind", sorted(SMALL))
+@pytest.mark.parametrize("policy", [GLOBAL_LRU, LRU_SP], ids=["global-lru", "lru-sp"])
+def test_kernel_and_replay_agree(kind, policy):
+    smart = policy.consult
+    frames = 48
+    assert kernel_counts(kind, smart, policy, frames) == replay_counts(
+        kind, smart, policy, frames
+    )
+
+
+@pytest.mark.parametrize("policy", [ALLOC_LRU, LRU_S], ids=["alloc-lru", "lru-s"])
+def test_agreement_holds_for_partial_policies(policy):
+    frames = 40
+    assert kernel_counts("din", True, policy, frames) == replay_counts(
+        "din", True, policy, frames
+    )
+
+
+def test_live_system_recording_roundtrips():
+    """A System-recorded trace, serialised and parsed, replays to the same
+    counts as the run that produced it."""
+    recorder = TraceRecorder()
+    frames = 48
+    system = System(
+        MachineConfig(cache_mb=frames * 8192 / 1024 / 1024, policy=LRU_SP, readahead=False),
+        trace_recorder=recorder,
+    )
+    Dinero(smart=True, **SMALL["din"]).spawn(system)
+    result = system.run()
+    events = read_trace(write_trace(recorder.events))
+    replayed = replay(events, nframes=frames, policy=LRU_SP)
+    proc = result.proc("din")
+    assert (replayed.hits, replayed.misses) == (proc.stats.hits, proc.stats.misses)
+
+
+def test_live_recording_captures_multi_process_interleaving():
+    recorder = TraceRecorder()
+    system = System(MachineConfig(cache_mb=0.5, readahead=False), trace_recorder=recorder)
+    Dinero(name="a", smart=False, trace_blocks=30, passes=1, cpu_per_block=0.001).spawn(system)
+    Dinero(name="b", smart=False, trace_blocks=30, passes=1, cpu_per_block=0.001).spawn(system)
+    system.run()
+    pids = {ev.pid for ev in recorder.events}
+    assert len(pids) == 2
+    # the streams interleave rather than run back-to-back
+    order = [ev.pid for ev in recorder.events]
+    switches = sum(1 for a, b in zip(order, order[1:]) if a != b)
+    assert switches > 2

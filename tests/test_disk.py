@@ -1,0 +1,212 @@
+"""Disk substrate: parameters, service-time model, schedulers, the drive."""
+
+import pytest
+
+from repro.disk.drive import DiskDrive, DiskRequest
+from repro.disk.model import ServiceTimeModel
+from repro.disk.params import BLOCK_SIZE, RZ26, RZ56, DiskParams
+from repro.disk.scheduler import CLookScheduler, FCFSScheduler, SSTFScheduler, make_scheduler
+from repro.sim.engine import Engine
+from repro.sim.resources import FCFSResource
+
+
+class TestParams:
+    def test_presets_match_paper(self):
+        assert RZ56.capacity_mb == 665.0
+        assert RZ56.avg_seek_ms == 16.0
+        assert RZ56.avg_rot_ms == 8.3
+        assert RZ56.transfer_mb_s == 1.875
+        assert RZ26.capacity_mb == 1050.0
+        assert RZ26.avg_seek_ms == 10.5
+        assert RZ26.avg_rot_ms == 5.54
+        assert RZ26.transfer_mb_s == 3.3
+
+    def test_total_blocks(self):
+        assert RZ56.total_blocks == int(665 * 1024 * 1024) // BLOCK_SIZE
+
+    def test_cylinder_mapping(self):
+        assert RZ56.cylinder_of(0) == 0
+        assert RZ56.cylinder_of(RZ56.total_blocks - 1) == RZ56.cylinders - 1
+
+    def test_transfer_time(self):
+        assert RZ56.transfer_time(1) == pytest.approx(BLOCK_SIZE / (1.875e6))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskParams("x", -1, 10, 1, 5, 1.0, 100)
+        with pytest.raises(ValueError):
+            DiskParams("x", 100, 10, 20, 5, 1.0, 100)  # min seek > avg
+        with pytest.raises(ValueError):
+            DiskParams("x", 100, 10, 1, 5, 0, 100)
+        with pytest.raises(ValueError):
+            DiskParams("x", 100, 10, 1, 5, 1.0, 1)
+
+
+class TestServiceModel:
+    def test_seek_zero_distance(self):
+        assert ServiceTimeModel(RZ56).seek_time(0) == 0.0
+
+    def test_seek_single_cylinder_is_min(self):
+        m = ServiceTimeModel(RZ56)
+        assert m.seek_time(1) == pytest.approx(RZ56.min_seek_ms / 1e3)
+
+    def test_seek_mean_distance_is_average(self):
+        m = ServiceTimeModel(RZ56)
+        assert m.seek_time(int(RZ56.cylinders / 3)) == pytest.approx(
+            RZ56.avg_seek_ms / 1e3, rel=0.01
+        )
+
+    def test_seek_monotone(self):
+        m = ServiceTimeModel(RZ56)
+        assert m.seek_time(10) < m.seek_time(100) < m.seek_time(1000)
+
+    def test_sequential_request_pays_only_gap(self):
+        m = ServiceTimeModel(RZ56)
+        assert m.positioning_time(100, 100) == pytest.approx(RZ56.seq_gap_ms / 1e3)
+
+    def test_same_cylinder_pays_partial_rotation(self):
+        m = ServiceTimeModel(RZ56)
+        t = m.positioning_time(0, 5)  # same cylinder, not contiguous
+        assert t == pytest.approx(0.5 * RZ56.avg_rot_ms / 1e3)
+
+    def test_random_request_pays_seek_and_rotation(self):
+        m = ServiceTimeModel(RZ56)
+        far = RZ56.blocks_per_cylinder * 500
+        t = m.positioning_time(0, far)
+        assert t > (RZ56.avg_rot_ms / 1e3)
+
+    def test_service_time_totals(self):
+        m = ServiceTimeModel(RZ56)
+        assert m.service_time(100, 100, 1) == pytest.approx(
+            RZ56.seq_gap_ms / 1e3 + m.transfer_time(1)
+        )
+
+    def test_sequential_cheaper_than_random(self):
+        m = ServiceTimeModel(RZ56)
+        seq = m.service_time(100, 100)
+        rnd = m.service_time(0, RZ56.total_blocks // 2)
+        assert seq * 3 < rnd
+
+
+class TestSchedulers:
+    def make_reqs(self, lbas):
+        return [DiskRequest(lba, 1, False, None) for lba in lbas]
+
+    def test_fcfs_order(self):
+        sched = FCFSScheduler()
+        queue = self.make_reqs([500, 100, 300])
+        assert sched.pick(queue, 0).lba == 500
+        assert sched.pick(queue, 0).lba == 100
+
+    def test_sstf_picks_closest(self):
+        sched = SSTFScheduler(RZ56)
+        bpc = RZ56.blocks_per_cylinder
+        queue = self.make_reqs([bpc * 100, bpc * 10, bpc * 50])
+        assert sched.pick(queue, 0).lba == bpc * 10
+
+    def test_sstf_tie_breaks_by_arrival(self):
+        sched = SSTFScheduler(RZ56)
+        queue = self.make_reqs([100, 101])  # same cylinder
+        assert sched.pick(queue, 0).lba == 100
+
+    def test_clook_sweeps_upward(self):
+        sched = CLookScheduler(RZ56)
+        bpc = RZ56.blocks_per_cylinder
+        queue = self.make_reqs([bpc * 5, bpc * 50, bpc * 20])
+        head = bpc * 10
+        assert sched.pick(queue, head).lba == bpc * 20
+
+    def test_clook_wraps_to_lowest(self):
+        sched = CLookScheduler(RZ56)
+        bpc = RZ56.blocks_per_cylinder
+        queue = self.make_reqs([bpc * 5, bpc * 2])
+        head = bpc * 100
+        assert sched.pick(queue, head).lba == bpc * 2
+
+    def test_factory(self):
+        assert isinstance(make_scheduler("fcfs", RZ56), FCFSScheduler)
+        assert isinstance(make_scheduler("sstf", RZ56), SSTFScheduler)
+        assert isinstance(make_scheduler("clook", RZ56), CLookScheduler)
+        with pytest.raises(ValueError):
+            make_scheduler("elevator-music", RZ56)
+
+
+class TestDrive:
+    def test_read_completes_with_service_time(self):
+        eng = Engine()
+        drive = DiskDrive(eng, RZ56)
+        done = []
+        drive.read(0, 1, lambda: done.append(eng.now))
+        eng.run()
+        assert len(done) == 1
+        assert done[0] > 0
+
+    def test_sequential_stream_faster_than_random(self):
+        def run(lbas):
+            eng = Engine()
+            drive = DiskDrive(eng, RZ56)
+            for lba in lbas:
+                drive.read(lba, 1, lambda: None)
+            eng.run()
+            return eng.now
+
+        seq = run(range(100))
+        rnd = run([(i * 7919) % RZ56.total_blocks for i in range(100)])
+        assert seq * 2 < rnd
+
+    def test_stats(self):
+        eng = Engine()
+        drive = DiskDrive(eng, RZ26)
+        drive.read(0, 1, lambda: None)
+        drive.write(100, 2, None)
+        eng.run()
+        assert drive.stats.reads == 1
+        assert drive.stats.writes == 1
+        assert drive.stats.blocks_read == 1
+        assert drive.stats.blocks_written == 2
+        assert drive.stats.requests == 2
+        assert drive.stats.busy_time > 0
+
+    def test_fcfs_completion_order(self):
+        eng = Engine()
+        drive = DiskDrive(eng, RZ56)
+        order = []
+        drive.read(5000, 1, lambda: order.append("far"))
+        drive.read(0, 1, lambda: order.append("near"))
+        eng.run()
+        assert order == ["far", "near"]
+
+    def test_write_without_callback(self):
+        eng = Engine()
+        drive = DiskDrive(eng, RZ56)
+        drive.write(0, 1)
+        eng.run()
+        assert drive.stats.writes == 1
+
+    def test_shared_bus_serializes_transfers(self):
+        def run(shared):
+            eng = Engine()
+            bus = FCFSResource(eng, "bus") if shared else None
+            d1 = DiskDrive(eng, RZ56, bus=bus)
+            d2 = DiskDrive(eng, RZ26, bus=bus)
+            for i in range(50):
+                d1.read(i, 1, lambda: None)
+                d2.read(i, 1, lambda: None)
+            eng.run()
+            return eng.now
+
+        assert run(shared=True) > run(shared=False)
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            DiskRequest(-1, 1, False, None)
+        with pytest.raises(ValueError):
+            DiskRequest(0, 0, False, None)
+
+    def test_wait_time_accumulates_under_load(self):
+        eng = Engine()
+        drive = DiskDrive(eng, RZ56)
+        for i in range(10):
+            drive.read(i * 1000, 1, lambda: None)
+        eng.run()
+        assert drive.stats.wait_time > 0

@@ -1,0 +1,102 @@
+"""CSV/JSON export and the sweep utilities."""
+
+import json
+
+import pytest
+
+from repro.harness.experiments import MixResult, SingleAppResult
+from repro.harness.export import rows_from_grid, save, to_csv, to_json
+from repro.harness.sweep import cache_size_sweep, policy_zoo_sweep
+
+
+@pytest.fixture
+def grid():
+    return {
+        "din": {
+            6.4: SingleAppResult("din", 6.4, 100, 1000, 90, 290),
+            8.0: SingleAppResult("din", 8.0, 99, 998, 99, 1003),
+        },
+        "cs1": {
+            6.4: SingleAppResult("cs1", 6.4, 62, 9000, 36, 3300),
+        },
+    }
+
+
+class TestExport:
+    def test_rows_from_grid(self, grid):
+        rows = rows_from_grid(grid, key_names=("app", "cache_mb"))
+        assert len(rows) == 3
+        din = next(r for r in rows if r["app"] == "din" and r["cache_mb"] == 6.4)
+        assert din["orig_ios"] == 1000
+        assert din["io_ratio"] == pytest.approx(0.29)
+
+    def test_to_csv_roundtrips_columns(self, grid):
+        text = to_csv(rows_from_grid(grid, key_names=("app", "cache_mb")))
+        lines = text.strip().splitlines()
+        header = lines[0].split(",")
+        assert "app" in header and "io_ratio" in header
+        assert len(lines) == 4  # header + 3 rows
+
+    def test_to_csv_empty(self):
+        assert to_csv([]) == ""
+
+    def test_to_csv_union_of_columns(self):
+        text = to_csv([{"a": 1}, {"a": 2, "b": 3}])
+        lines = text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,"
+
+    def test_to_json_dataclasses(self, grid):
+        text = to_json(grid["din"][6.4])
+        payload = json.loads(text)
+        assert payload["orig_ios"] == 1000
+
+    def test_to_json_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            to_json(object())
+
+    def test_save(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        save("a,b\n1,2\n", path)
+        with open(path) as f:
+            assert f.read() == "a,b\n1,2\n"
+
+    def test_mix_rows(self):
+        grid = {"a+b": {6.4: MixResult("a+b", 6.4, 10, 100, 9, 90)}}
+        rows = rows_from_grid(grid, key_names=("mix", "cache_mb"))
+        assert rows[0]["io_ratio"] == pytest.approx(0.9)
+
+
+class TestSweeps:
+    def test_cache_size_sweep_shapes(self):
+        points = cache_size_sweep(
+            "din", [0.5, 1.0, 2.0],
+            trace_blocks=150, passes=3, cpu_per_block=0.001,
+        )
+        assert [p.cache_mb for p in points] == [0.5, 1.0, 2.0]
+        # Smart dinero's I/O ratio improves (or stays 1.0) monotonically
+        # until the trace fits, then snaps to parity.
+        assert points[0].io_ratio < 1.0
+        assert points[-1].io_ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_policy_zoo_sweep_contains_bounds(self):
+        misses = policy_zoo_sweep(
+            "din", 64, trace_blocks=100, passes=3, cpu_per_block=0.0,
+        )
+        assert "opt" in misses and "lru-sp" in misses and "lru" in misses
+        assert misses["opt"] <= min(v for k, v in misses.items() if k != "opt")
+
+    def test_policy_zoo_lru_sp_uses_directives(self):
+        misses = policy_zoo_sweep(
+            "din", 64, trace_blocks=100, passes=3, cpu_per_block=0.0,
+        )
+        # The MRU directive makes LRU-SP track the mru policy, not lru.
+        assert misses["lru-sp"] == misses["mru"]
+        assert misses["lru-sp"] < misses["lru"]
+
+    def test_policy_zoo_subset(self):
+        misses = policy_zoo_sweep(
+            "din", 64, policies=["fifo"], include_opt=False, include_lru_sp=False,
+            trace_blocks=50, passes=2, cpu_per_block=0.0,
+        )
+        assert set(misses) == {"fifo"}

@@ -1,0 +1,174 @@
+"""Harness: runner specs, report formatting, CLI plumbing."""
+
+import pytest
+
+from repro.core.allocation import GLOBAL_LRU, LRU_SP
+from repro.harness import paperdata, report
+from repro.harness.cli import main
+from repro.harness.experiments import MixResult, SingleAppResult, Table1Cell
+from repro.harness.runner import AppSpec, app, run_mix, run_single
+
+
+class TestAppSpec:
+    def test_app_shorthand(self):
+        spec = app("din", smart=False, trace_blocks=10)
+        assert spec.kind == "din"
+        assert not spec.smart
+        assert dict(spec.kwargs) == {"trace_blocks": 10}
+
+    def test_build_produces_fresh_instances(self):
+        spec = app("din", trace_blocks=10, passes=1, cpu_per_block=0.0)
+        a, b = spec.build(), spec.build()
+        assert a is not b
+        assert a.trace_blocks == 10
+
+    def test_specs_hashable(self):
+        assert hash(app("din", trace_blocks=10)) == hash(app("din", trace_blocks=10))
+
+    def test_display_name(self):
+        assert app("din").display_name == "din"
+        assert app("din", name="d2").display_name == "d2"
+
+
+class TestRunner:
+    def test_run_single(self):
+        result = run_single(
+            "din", cache_mb=0.5, policy=GLOBAL_LRU, smart=False,
+            trace_blocks=20, passes=2, cpu_per_block=0.0,
+        )
+        assert result.proc("din").stats.accesses == 40
+
+    def test_run_mix_namespaces_files(self):
+        result = run_mix(
+            [
+                app("din", name="a", trace_blocks=10, passes=1, cpu_per_block=0.0),
+                app("din", name="b", trace_blocks=10, passes=1, cpu_per_block=0.0),
+            ],
+            cache_mb=0.5,
+        )
+        assert set(result.procs) == {"a", "b"}
+
+    def test_config_kwargs_forwarded(self):
+        result = run_mix(
+            [app("din", smart=False, trace_blocks=10, passes=1, cpu_per_block=0.0)],
+            cache_mb=0.5,
+            policy=GLOBAL_LRU,
+            readahead=False,
+        )
+        assert result.cache.prefetches == 0
+
+
+class TestResultTypes:
+    def test_single_app_ratios(self):
+        r = SingleAppResult("din", 6.4, orig_elapsed=100, orig_ios=1000, sp_elapsed=50, sp_ios=300)
+        assert r.elapsed_ratio == 0.5
+        assert r.io_ratio == 0.3
+
+    def test_mix_ratios(self):
+        r = MixResult("a+b", 6.4, base_elapsed=10, base_ios=100, test_elapsed=12, test_ios=110)
+        assert r.elapsed_ratio == pytest.approx(1.2)
+        assert r.io_ratio == pytest.approx(1.1)
+
+
+class TestReport:
+    def _fig4_data(self):
+        return {
+            "din": {
+                6.4: SingleAppResult("din", 6.4, 100, 1000, 90, 290),
+                8.0: SingleAppResult("din", 8.0, 99, 998, 99, 1003),
+            }
+        }
+
+    def test_render_fig4_contains_ratios(self):
+        text = report.render_fig4(self._fig4_data())
+        assert "din" in text
+        assert "0.29" in text  # io ratio at 6.4
+
+    def test_render_table56(self):
+        text = report.render_table56(self._fig4_data(), "ios")
+        assert "original" in text and "lru-sp" in text
+        text = report.render_table56(self._fig4_data(), "elapsed")
+        assert "0.90" in text
+
+    def test_render_table56_bad_metric(self):
+        with pytest.raises(ValueError):
+            report.render_table56(self._fig4_data(), "joules")
+
+    def test_render_mixes(self):
+        data = {
+            "a+b": {
+                6.4: MixResult("a+b", 6.4, 10, 100, 9, 90),
+            }
+        }
+        text = report.render_mixes(data, "Figure 5")
+        assert "Figure 5" in text and "0.90" in text
+
+    def test_render_table1(self):
+        cells = {
+            setting: {n: Table1Cell(setting, n, 50.0, 1200) for n in (390, 400, 490, 500)}
+            for setting in ("oblivious", "unprotected", "protected")
+        }
+        text = report.render_table1(cells)
+        assert "unprotected" in text
+        assert "1200" in text
+
+    def test_render_ablation(self):
+        text = report.render_ablation({"lru-sp": (10.0, 100)}, "title")
+        assert "title" in text and "lru-sp" in text
+
+
+class TestCli:
+    def test_cli_runs_small_fig4(self, capsys):
+        rc = main(["fig4", "--apps", "din", "--sizes", "0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "din" in out and "fig4" in out
+
+    def test_cli_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_paperdata_shapes(self):
+        for table in (paperdata.PAPER_ELAPSED, paperdata.PAPER_BLOCK_IOS):
+            assert set(table) == set(paperdata.APP_ORDER)
+            for entry in table.values():
+                assert len(entry["original"]) == 4
+                assert len(entry["lru-sp"]) == 4
+
+    def test_readn_file_sizes_match_table(self):
+        assert set(paperdata.READN_FILE_BLOCKS) == {300, 390, 400, 490, 500}
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        text = report.ascii_chart({"a": [0.0, 0.5, 1.0]}, labels=["x", "y", "z"], hi=1.0)
+        lines = text.splitlines()
+        assert lines[0].startswith("   1.00 |")
+        assert "legend: * a" in text
+
+    def test_extremes_land_on_edge_rows(self):
+        text = report.ascii_chart({"a": [0.0, 1.0]}, labels=["p", "q"], hi=1.0, height=5)
+        lines = text.splitlines()
+        assert "*" in lines[0]      # the 1.0 point on the top row
+        assert "*" in lines[4]      # the 0.0 point on the bottom row
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = report.ascii_chart(
+            {"a": [0.2, 0.2], "b": [0.8, 0.8]}, labels=["p", "q"], hi=1.0
+        )
+        assert "* a" in text and "o b" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            report.ascii_chart({"a": [1.0]}, labels=["x", "y"])
+
+    def test_empty_series(self):
+        assert report.ascii_chart({}, labels=[]) == "(no data)"
+
+    def test_auto_scale(self):
+        text = report.ascii_chart({"a": [10.0, 20.0]}, labels=["p", "q"])
+        assert text.splitlines()[0].startswith("  20.00")
+
+    def test_values_clamped_to_range(self):
+        text = report.ascii_chart({"a": [5.0]}, labels=["x"], hi=1.0)
+        assert "*" in text.splitlines()[0]

@@ -1,0 +1,177 @@
+"""Integration: the paper's headline effects on scaled-down configurations.
+
+These run the real kernel + workloads end-to-end, but with smaller caches
+and datasets than the benchmarks, so the whole file stays fast.
+"""
+
+import pytest
+
+from repro.core.allocation import ALLOC_LRU, GLOBAL_LRU, LRU_S, LRU_SP
+from repro.core.revocation import RevocationPolicy
+from repro.harness.runner import app, run_mix, run_single
+from repro.kernel.system import MachineConfig, System
+from repro.workloads import Dinero, ReadN
+from repro.workloads.readn import ReadNBehavior
+
+
+def din_result(policy, smart, cache_mb=1.0, trace_blocks=200, passes=4):
+    return run_single(
+        "din",
+        cache_mb=cache_mb,
+        policy=policy,
+        smart=smart,
+        trace_blocks=trace_blocks,
+        passes=passes,
+        cpu_per_block=0.002,
+    )
+
+
+class TestSingleAppEffects:
+    def test_mru_beats_lru_on_cyclic_scan(self):
+        orig = din_result(GLOBAL_LRU, smart=False)
+        sp = din_result(LRU_SP, smart=True)
+        # MRU ideal here: 200 compulsory + 3x(200-128+1) = 419 of 800
+        assert sp.proc("din").block_ios < 0.6 * orig.proc("din").block_ios
+
+    def test_smart_never_worse_when_fits(self):
+        # Cache larger than the trace: both kernels see compulsory misses.
+        orig = din_result(GLOBAL_LRU, smart=False, cache_mb=2.0)
+        sp = din_result(LRU_SP, smart=True, cache_mb=2.0)
+        assert sp.proc("din").block_ios == orig.proc("din").block_ios
+
+    def test_smart_reduces_elapsed_time(self):
+        orig = din_result(GLOBAL_LRU, smart=False)
+        sp = din_result(LRU_SP, smart=True)
+        assert sp.makespan <= orig.makespan
+
+    def test_oblivious_under_lru_sp_equals_original(self):
+        """Criterion 1: oblivious processes do no worse than under LRU."""
+        orig = din_result(GLOBAL_LRU, smart=False)
+        sp_obl = din_result(LRU_SP, smart=False)
+        assert sp_obl.proc("din").block_ios == orig.proc("din").block_ios
+
+    def test_free_behind_reduces_ldk_ios(self):
+        kwargs = dict(
+            nobjects=20, total_blocks=320, output_blocks=60, cpu_per_block=0.002
+        )
+        orig = run_single("ldk", cache_mb=1.0, policy=GLOBAL_LRU, smart=False, **kwargs)
+        sp = run_single("ldk", cache_mb=1.0, policy=LRU_SP, smart=True, **kwargs)
+        assert sp.proc("ldk").block_ios < orig.proc("ldk").block_ios
+
+    def test_pjn_index_priority_reduces_ios(self):
+        kwargs = dict(
+            outer_blocks=40, index_blocks=64, data_blocks=400,
+            tuples_per_block=10, cpu_per_probe=0.0005,
+        )
+        orig = run_single("pjn", cache_mb=0.8, policy=GLOBAL_LRU, smart=False, **kwargs)
+        sp = run_single("pjn", cache_mb=0.8, policy=LRU_SP, smart=True, **kwargs)
+        assert sp.proc("pjn").block_ios < orig.proc("pjn").block_ios
+
+    def test_sort_strategy_reduces_ios(self):
+        kwargs = dict(input_blocks=256, run_blocks=32, cpu_per_block=0.001)
+        orig = run_single("sort", cache_mb=1.0, policy=GLOBAL_LRU, smart=False, **kwargs)
+        sp = run_single("sort", cache_mb=1.0, policy=LRU_SP, smart=True, **kwargs)
+        assert sp.proc("sort").block_ios < orig.proc("sort").block_ios
+
+
+class TestProtection:
+    def _readn(self, n, file_blocks, behavior):
+        return app(
+            "readn",
+            name=f"read{n}",
+            n=n,
+            file_blocks=file_blocks,
+            behavior=behavior,
+            cpu_per_block=0.0005,
+        )
+
+    def test_placeholders_protect_oblivious_neighbour(self):
+        """Mini Table 1: a foolish MRU process steals frames under LRU-S
+        but not under LRU-SP."""
+        fg = lambda: self._readn(60, 200, ReadNBehavior.OBLIVIOUS)
+        bg = lambda: self._readn(40, 180, ReadNBehavior.FOOLISH)
+        cache_mb = 0.9  # ~115 frames: 60 + 40 fit with slack
+        unprotected = run_mix([fg(), bg()], cache_mb=cache_mb, policy=LRU_S)
+        protected = run_mix([fg(), bg()], cache_mb=cache_mb, policy=LRU_SP)
+        assert protected.proc("read60").block_ios < unprotected.proc("read60").block_ios
+
+    def test_protected_near_oblivious_background(self):
+        fg = lambda: self._readn(60, 200, ReadNBehavior.OBLIVIOUS)
+        cache_mb = 0.9
+        baseline = run_mix(
+            [fg(), self._readn(40, 180, ReadNBehavior.OBLIVIOUS)],
+            cache_mb=cache_mb, policy=LRU_SP,
+        )
+        protected = run_mix(
+            [fg(), self._readn(40, 180, ReadNBehavior.FOOLISH)],
+            cache_mb=cache_mb, policy=LRU_SP,
+        )
+        base = baseline.proc("read60").block_ios
+        assert protected.proc("read60").block_ios <= base * 1.3
+
+    def test_placeholders_fire_under_lru_sp(self):
+        fg = self._readn(60, 200, ReadNBehavior.OBLIVIOUS)
+        bg = self._readn(40, 180, ReadNBehavior.FOOLISH)
+        result = run_mix([fg, bg], cache_mb=0.9, policy=LRU_SP)
+        assert result.placeholders_created > 0
+        assert result.placeholders_used > 0
+
+    def test_revocation_disarms_foolish_manager(self):
+        fg = lambda: self._readn(60, 200, ReadNBehavior.OBLIVIOUS)
+        bg = lambda: self._readn(40, 180, ReadNBehavior.FOOLISH)
+        without = run_mix([fg(), bg()], cache_mb=0.9, policy=LRU_SP)
+        with_rev = run_mix(
+            [fg(), bg()],
+            cache_mb=0.9,
+            policy=LRU_SP,
+            revocation=RevocationPolicy(min_decisions=16, mistake_ratio=0.3),
+        )
+        assert with_rev.revocations == 1
+        # After revocation the foolish process becomes oblivious (LRU),
+        # which is strictly better for its own pattern.
+        assert with_rev.proc("read40").block_ios <= without.proc("read40").block_ios
+
+
+class TestMultiProgramming:
+    def test_mix_improves_under_lru_sp(self):
+        """Mini Figure 5: two smart cyclic apps beat the original kernel."""
+        kwargs = dict(trace_blocks=150, passes=3, cpu_per_block=0.002)
+        orig = run_mix(
+            [app("din", name="a", smart=False, **kwargs), app("din", name="b", smart=False, **kwargs)],
+            cache_mb=1.0, policy=GLOBAL_LRU,
+        )
+        sp = run_mix(
+            [app("din", name="a", smart=True, **kwargs), app("din", name="b", smart=True, **kwargs)],
+            cache_mb=1.0, policy=LRU_SP,
+        )
+        assert sp.total_block_ios < orig.total_block_ios
+        assert sp.makespan < orig.makespan
+
+    def test_alloc_lru_worse_than_lru_sp(self):
+        """Mini Figure 6: dropping swapping+placeholders hurts."""
+        kwargs = dict(trace_blocks=150, passes=4, cpu_per_block=0.002)
+        specs = lambda: [
+            app("din", name="a", smart=True, **kwargs),
+            app("din", name="b", smart=True, **kwargs),
+        ]
+        sp = run_mix(specs(), cache_mb=1.0, policy=LRU_SP)
+        alloc = run_mix(specs(), cache_mb=1.0, policy=ALLOC_LRU)
+        assert alloc.total_block_ios >= sp.total_block_ios
+
+    def test_foolish_neighbour_slows_elapsed_not_ios(self):
+        """Mini Table 2: contention costs time, not (many) blocks."""
+        din_kwargs = dict(trace_blocks=150, passes=3, cpu_per_block=0.002)
+        quiet = run_mix(
+            [app("din", smart=True, **din_kwargs),
+             app("readn", name="read40", n=40, file_blocks=180,
+                 behavior=ReadNBehavior.OBLIVIOUS, cpu_per_block=0.0005)],
+            cache_mb=1.0, policy=LRU_SP,
+        )
+        noisy = run_mix(
+            [app("din", smart=True, **din_kwargs),
+             app("readn", name="read40", n=40, file_blocks=180,
+                 behavior=ReadNBehavior.FOOLISH, cpu_per_block=0.0005)],
+            cache_mb=1.0, policy=LRU_SP,
+        )
+        assert noisy.proc("din").elapsed > quiet.proc("din").elapsed
+        assert noisy.proc("din").block_ios <= quiet.proc("din").block_ios * 1.25

@@ -1,0 +1,155 @@
+"""The fbehavior syscall layer."""
+
+import pytest
+
+from conftest import make_cache, touch
+from repro.core.acm import ACM
+from repro.core.interface import FBehaviorError, FBehaviorOp, fbehavior
+from repro.core.policies import PoolPolicy
+from repro.fs.filesystem import SimFilesystem
+
+
+@pytest.fixture
+def env():
+    fs = SimFilesystem({"disk0": 10000})
+    fs.create("data", size_blocks=10)
+    fs.create("index", size_blocks=5)
+    acm = ACM()
+    cache = make_cache(nframes=16, acm=acm)
+    return fs, acm, cache
+
+
+def call(env, pid, op, *args):
+    fs, acm, _ = env
+    return fbehavior(acm, fs, pid, op, tuple(args))
+
+
+class TestDispatch:
+    def test_set_then_get_priority(self, env):
+        call(env, 1, FBehaviorOp.SET_PRIORITY, "data", 2)
+        assert call(env, 1, FBehaviorOp.GET_PRIORITY, "data") == 2
+
+    def test_default_priority_is_zero(self, env):
+        assert call(env, 1, FBehaviorOp.GET_PRIORITY, "data") == 0
+
+    def test_set_then_get_policy(self, env):
+        call(env, 1, FBehaviorOp.SET_POLICY, 0, "mru")
+        assert call(env, 1, FBehaviorOp.GET_POLICY, 0) is PoolPolicy.MRU
+
+    def test_default_policy_is_lru(self, env):
+        assert call(env, 1, FBehaviorOp.GET_POLICY, 0) is PoolPolicy.LRU
+
+    def test_priorities_are_per_process(self, env):
+        call(env, 1, FBehaviorOp.SET_PRIORITY, "data", 2)
+        assert call(env, 2, FBehaviorOp.GET_PRIORITY, "data") == 0
+
+    def test_first_set_registers_manager(self, env):
+        fs, acm, _ = env
+        assert acm.manager(1) is None
+        call(env, 1, FBehaviorOp.SET_POLICY, 0, "mru")
+        assert acm.manager(1) is not None
+
+    def test_get_does_not_register(self, env):
+        fs, acm, _ = env
+        call(env, 1, FBehaviorOp.GET_PRIORITY, "data")
+        assert acm.manager(1) is None
+
+    def test_unknown_file_fails(self, env):
+        with pytest.raises(FBehaviorError):
+            call(env, 1, FBehaviorOp.SET_PRIORITY, "missing", 1)
+
+    def test_raw_file_id_accepted(self, env):
+        fs, acm, _ = env
+        fid = fs.lookup("data").file_id
+        call(env, 1, FBehaviorOp.SET_PRIORITY, fid, 3)
+        assert call(env, 1, FBehaviorOp.GET_PRIORITY, "data") == 3
+
+    def test_bad_policy_string_fails(self, env):
+        with pytest.raises(FBehaviorError):
+            call(env, 1, FBehaviorOp.SET_POLICY, 0, "fifo")
+
+    def test_wrong_arity_fails(self, env):
+        with pytest.raises(FBehaviorError):
+            call(env, 1, FBehaviorOp.SET_PRIORITY, "data")
+
+    def test_temppri_range_validated(self, env):
+        with pytest.raises(FBehaviorError):
+            call(env, 1, FBehaviorOp.SET_TEMPPRI, "data", 5, 2, -1)
+
+
+class TestSemantics:
+    def test_set_priority_moves_resident_blocks(self, env):
+        fs, acm, cache = env
+        fid = fs.lookup("data").file_id
+        acm.register(1)
+        touch(cache, 1, fid, 0)
+        touch(cache, 1, fid, 1)
+        fbehavior(acm, fs, 1, FBehaviorOp.SET_PRIORITY, ("data", 2))
+        for b in cache.blocks_of_file(fid):
+            assert b.pool_prio == 2
+
+    def test_set_priority_leaves_other_owners_alone(self, env):
+        fs, acm, cache = env
+        fid = fs.lookup("data").file_id
+        acm.register(1)
+        acm.register(2)
+        touch(cache, 2, fid, 0)
+        fbehavior(acm, fs, 1, FBehaviorOp.SET_PRIORITY, ("data", 2))
+        assert cache.peek(fid, 0).pool_prio == 0
+
+    def test_set_temppri_affects_only_range(self, env):
+        fs, acm, cache = env
+        fid = fs.lookup("data").file_id
+        acm.register(1)
+        for b in range(4):
+            touch(cache, 1, fid, b)
+        fbehavior(acm, fs, 1, FBehaviorOp.SET_TEMPPRI, ("data", 1, 2, -1))
+        prios = {b.blockno: b.pool_prio for b in cache.blocks_of_file(fid)}
+        assert prios == {0: 0, 1: -1, 2: -1, 3: 0}
+        assert cache.peek(fid, 1).has_temp
+
+    def test_set_temppri_only_resident_blocks(self, env):
+        fs, acm, cache = env
+        fid = fs.lookup("data").file_id
+        acm.register(1)
+        touch(cache, 1, fid, 0)
+        fbehavior(acm, fs, 1, FBehaviorOp.SET_TEMPPRI, ("data", 0, 9, -1))
+        # Block 5 was never cached; loading it later uses long-term prio.
+        touch(cache, 1, fid, 5)
+        assert cache.peek(fid, 5).pool_prio == 0
+
+    def test_temp_priority_reverts_on_reference(self, env):
+        fs, acm, cache = env
+        fid = fs.lookup("data").file_id
+        acm.register(1)
+        touch(cache, 1, fid, 0)
+        fbehavior(acm, fs, 1, FBehaviorOp.SET_TEMPPRI, ("data", 0, 0, -1))
+        assert cache.peek(fid, 0).pool_prio == -1
+        touch(cache, 1, fid, 0)
+        block = cache.peek(fid, 0)
+        assert block.pool_prio == 0
+        assert not block.has_temp
+
+    def test_temp_priority_reverts_to_long_term(self, env):
+        fs, acm, cache = env
+        fid = fs.lookup("data").file_id
+        acm.register(1)
+        fbehavior(acm, fs, 1, FBehaviorOp.SET_PRIORITY, ("data", 2))
+        touch(cache, 1, fid, 0)
+        fbehavior(acm, fs, 1, FBehaviorOp.SET_TEMPPRI, ("data", 0, 0, -1))
+        touch(cache, 1, fid, 0)
+        assert cache.peek(fid, 0).pool_prio == 2
+
+    def test_freed_block_is_replaced_first(self, env):
+        """The done-with idiom: set_temppri -1 makes a block the next victim."""
+        fs, acm, cache = env
+        fid = fs.lookup("data").file_id
+        small = make_cache(nframes=3, acm=acm)
+        acm.attach(small)
+        acm.register(1)
+        for b in range(3):
+            touch(small, 1, fid, b)
+        fbehavior(acm, fs, 1, FBehaviorOp.SET_TEMPPRI, ("data", 1, 1, -1))
+        touch(small, 1, fid, 3)
+        assert small.peek(fid, 1) is None          # the freed block went
+        assert small.peek(fid, 0) is not None      # older blocks survived

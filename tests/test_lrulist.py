@@ -1,0 +1,229 @@
+"""LRUList: the O(1) list under the whole system, including LRU-SP's swap."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.lrulist import LRUList
+
+
+def build(items):
+    lst = LRUList()
+    for item in items:
+        lst.push_mru(item)
+    return lst
+
+
+def as_list(lst):
+    return list(lst)
+
+
+class TestBasicOps:
+    def test_empty(self):
+        lst = LRUList()
+        assert len(lst) == 0
+        assert not lst
+        assert lst.lru is None
+        assert lst.mru is None
+        assert as_list(lst) == []
+
+    def test_push_mru_order(self):
+        lst = build(["a", "b", "c"])
+        assert as_list(lst) == ["a", "b", "c"]
+        assert lst.lru == "a"
+        assert lst.mru == "c"
+
+    def test_push_lru_order(self):
+        lst = LRUList()
+        for item in "abc":
+            lst.push_lru(item)
+        assert as_list(lst) == ["c", "b", "a"]
+
+    def test_len_and_contains(self):
+        lst = build(["a", "b"])
+        assert len(lst) == 2
+        assert "a" in lst
+        assert "z" not in lst
+
+    def test_push_duplicate_raises(self):
+        lst = build(["a"])
+        with pytest.raises(ValueError):
+            lst.push_mru("a")
+        with pytest.raises(ValueError):
+            lst.push_lru("a")
+
+    def test_remove_middle(self):
+        lst = build(["a", "b", "c"])
+        lst.remove("b")
+        assert as_list(lst) == ["a", "c"]
+
+    def test_remove_head_updates_lru(self):
+        lst = build(["a", "b"])
+        lst.remove("a")
+        assert lst.lru == "b"
+
+    def test_remove_tail_updates_mru(self):
+        lst = build(["a", "b"])
+        lst.remove("b")
+        assert lst.mru == "a"
+
+    def test_remove_only_element(self):
+        lst = build(["a"])
+        lst.remove("a")
+        assert len(lst) == 0
+        assert lst.lru is None and lst.mru is None
+
+    def test_remove_absent_raises(self):
+        lst = build(["a"])
+        with pytest.raises(KeyError):
+            lst.remove("z")
+
+    def test_discard(self):
+        lst = build(["a"])
+        assert lst.discard("a") is True
+        assert lst.discard("a") is False
+
+    def test_move_to_mru(self):
+        lst = build(["a", "b", "c"])
+        lst.move_to_mru("a")
+        assert as_list(lst) == ["b", "c", "a"]
+
+    def test_move_to_mru_already_there(self):
+        lst = build(["a", "b"])
+        lst.move_to_mru("b")
+        assert as_list(lst) == ["a", "b"]
+
+    def test_move_to_lru(self):
+        lst = build(["a", "b", "c"])
+        lst.move_to_lru("c")
+        assert as_list(lst) == ["c", "a", "b"]
+
+    def test_insert_before(self):
+        lst = build(["a", "c"])
+        lst.insert_before("b", "c")
+        assert as_list(lst) == ["a", "b", "c"]
+
+    def test_insert_before_head(self):
+        lst = build(["b"])
+        lst.insert_before("a", "b")
+        assert lst.lru == "a"
+
+    def test_insert_before_missing_anchor(self):
+        lst = build(["a"])
+        with pytest.raises(KeyError):
+            lst.insert_before("x", "nope")
+
+    def test_iter_mru_first(self):
+        lst = build(["a", "b", "c"])
+        assert list(lst.items_mru_first()) == ["c", "b", "a"]
+
+    def test_neighbours(self):
+        lst = build(["a", "b", "c"])
+        assert lst.next_toward_mru("a") == "b"
+        assert lst.next_toward_mru("c") is None
+        assert lst.prev_toward_lru("c") == "b"
+        assert lst.prev_toward_lru("a") is None
+
+    def test_clear(self):
+        lst = build(["a", "b"])
+        lst.clear()
+        assert len(lst) == 0
+        lst.push_mru("x")
+        assert as_list(lst) == ["x"]
+
+
+class TestSwap:
+    def test_swap_adjacent(self):
+        lst = build(["a", "b", "c", "d"])
+        lst.swap("b", "c")
+        assert as_list(lst) == ["a", "c", "b", "d"]
+
+    def test_swap_adjacent_reversed_args(self):
+        lst = build(["a", "b", "c", "d"])
+        lst.swap("c", "b")
+        assert as_list(lst) == ["a", "c", "b", "d"]
+
+    def test_swap_non_adjacent(self):
+        lst = build(["a", "b", "c", "d"])
+        lst.swap("a", "d")
+        assert as_list(lst) == ["d", "b", "c", "a"]
+
+    def test_swap_head_and_middle(self):
+        lst = build(["a", "b", "c"])
+        lst.swap("a", "c")
+        assert as_list(lst) == ["c", "b", "a"]
+
+    def test_swap_same_item_noop(self):
+        lst = build(["a", "b"])
+        lst.swap("a", "a")
+        assert as_list(lst) == ["a", "b"]
+
+    def test_swap_missing_raises(self):
+        lst = build(["a", "b"])
+        with pytest.raises(KeyError):
+            lst.swap("a", "z")
+
+    def test_swap_two_element_list(self):
+        lst = build(["a", "b"])
+        lst.swap("a", "b")
+        assert as_list(lst) == ["b", "a"]
+        assert lst.lru == "b"
+        assert lst.mru == "a"
+
+    def test_swap_preserves_everything_else(self):
+        lst = build(list("abcdefg"))
+        lst.swap("b", "f")
+        assert as_list(lst) == list("afcdebg")
+
+    @given(
+        st.lists(st.integers(), unique=True, min_size=2, max_size=30),
+        st.data(),
+    )
+    def test_swap_is_a_position_exchange(self, items, data):
+        lst = build(items)
+        a = data.draw(st.sampled_from(items))
+        b = data.draw(st.sampled_from(items))
+        before = as_list(lst)
+        lst.swap(a, b)
+        after = as_list(lst)
+        expected = list(before)
+        ia, ib = before.index(a), before.index(b)
+        expected[ia], expected[ib] = expected[ib], expected[ia]
+        assert after == expected
+
+    @given(st.lists(st.integers(), unique=True, min_size=2, max_size=20))
+    def test_swap_twice_is_identity(self, items):
+        lst = build(items)
+        a, b = items[0], items[-1]
+        lst.swap(a, b)
+        lst.swap(a, b)
+        assert as_list(lst) == items
+
+
+class TestRandomisedConsistency:
+    @given(st.lists(st.tuples(st.sampled_from("pqrm"), st.integers(0, 9)), max_size=200))
+    def test_model_equivalence(self, ops):
+        """Drive LRUList and a plain python-list model with the same ops."""
+        lst = LRUList()
+        model = []
+        for op, key in ops:
+            if op == "p":  # push_mru if absent
+                if key not in model:
+                    lst.push_mru(key)
+                    model.append(key)
+            elif op == "q":  # push_lru if absent
+                if key not in model:
+                    lst.push_lru(key)
+                    model.insert(0, key)
+            elif op == "r":  # remove if present
+                if key in model:
+                    lst.remove(key)
+                    model.remove(key)
+            elif op == "m":  # move_to_mru if present
+                if key in model:
+                    lst.move_to_mru(key)
+                    model.remove(key)
+                    model.append(key)
+            assert as_list(lst) == model
+            assert len(lst) == len(model)
+            assert lst.lru == (model[0] if model else None)
+            assert lst.mru == (model[-1] if model else None)

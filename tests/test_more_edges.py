@@ -1,0 +1,167 @@
+"""Remaining edge coverage: pool policy flips, VM/file-cache parity,
+disk scheduling under load, extent arithmetic, report rendering."""
+
+import pytest
+
+from conftest import make_cache, touch
+from repro.core.acm import ACM
+from repro.core.allocation import GLOBAL_LRU, LRU_SP
+from repro.core.opt import lru_misses
+
+
+class TestPolicyFlips:
+    def test_policy_change_midstream_flips_eviction_end(self):
+        acm = ACM()
+        cache = make_cache(nframes=3, policy=LRU_SP, acm=acm)
+        acm.register(1)
+        for b in range(3):
+            touch(cache, 1, 1, b)
+        # LRU (default): next miss evicts the oldest (block 0)
+        touch(cache, 1, 1, 3)
+        assert cache.peek(1, 0) is None
+        # Switch to MRU: the next miss evicts the newest instead
+        acm.set_policy(1, 0, "mru")
+        touch(cache, 1, 1, 4)
+        assert cache.peek(1, 4) is not None  # freshly loaded (never victim)
+        assert cache.peek(1, 3) is None      # the previously-newest went
+
+    def test_set_priority_then_policy_order_irrelevant(self):
+        def run(order):
+            acm = ACM()
+            cache = make_cache(nframes=4, policy=LRU_SP, acm=acm)
+            if order == "policy-first":
+                acm.set_policy(1, 1, "mru")
+                acm.set_priority(1, 7, 1)
+            else:
+                acm.set_priority(1, 7, 1)
+                acm.set_policy(1, 1, "mru")
+            hits = 0
+            for i in range(40):
+                if touch(cache, 1, 7, i % 6).hit:
+                    hits += 1
+            return hits
+
+        assert run("policy-first") == run("prio-first")
+
+    def test_negative_and_positive_priorities_interleave(self):
+        acm = ACM()
+        cache = make_cache(nframes=6, policy=LRU_SP, acm=acm)
+        acm.set_priority(1, 1, -1)   # victim pool
+        acm.set_priority(1, 2, 0)    # default
+        acm.set_priority(1, 3, 2)    # protected
+        for f in (1, 2, 3):
+            touch(cache, 1, f, 0)
+            touch(cache, 1, f, 1)
+        touch(cache, 1, 9, 0)  # overflow: must come from priority -1
+        remaining = {b.file_id for b in cache.blocks_owned_by(1)}
+        assert 3 in remaining
+        assert len(cache.blocks_of_file(1)) == 1  # one -1 block sacrificed
+
+
+class TestVmFileCacheParity:
+    def test_mru_gain_appears_in_both_substrates(self):
+        """The same cyclic workload enjoys an MRU win under the exact-LRU
+        file cache and (more coarsely) under the clock page pool."""
+        from repro.vm import ClockPagePool
+
+        trace = [b % 12 for b in range(120)]
+
+        def file_cache(smart):
+            acm = ACM()
+            cache = make_cache(nframes=8, policy=LRU_SP, acm=acm)
+            if smart:
+                acm.register(1)
+                acm.set_policy(1, 0, "mru")
+            return sum(0 if touch(cache, 1, 1, b).hit else 1 for b in trace)
+
+        def vm_pool(smart):
+            pool = ClockPagePool(8, policy=LRU_SP)
+            if smart:
+                pool.acm.register(1)
+                pool.acm.set_policy(1, 0, "mru")
+            return sum(1 for b in trace if pool.access(1, 1, b)[0])
+
+        assert file_cache(True) < file_cache(False)
+        assert vm_pool(True) < vm_pool(False)
+
+    def test_oblivious_clock_never_beats_exact_lru_by_much(self):
+        from repro.vm import ClockPagePool
+
+        trace = [(i * 5) % 17 for i in range(400)]
+        pool = ClockPagePool(8, policy=GLOBAL_LRU)
+        clock_faults = sum(1 for b in trace if pool.access(1, 1, b)[0])
+        assert clock_faults >= lru_misses(trace, 8) * 0.9
+
+
+class TestDiskSchedulingUnderLoad:
+    def test_sstf_reduces_total_seek_time(self):
+        from repro.disk.drive import DiskDrive
+        from repro.disk.params import RZ56
+        from repro.disk.scheduler import FCFSScheduler, SSTFScheduler
+        from repro.sim.engine import Engine
+
+        def run(scheduler_cls):
+            eng = Engine()
+            sched = scheduler_cls(RZ56) if scheduler_cls is SSTFScheduler else scheduler_cls()
+            drive = DiskDrive(eng, RZ56, scheduler=sched)
+            for i in range(60):
+                drive.read((i * 7919) % RZ56.total_blocks, 1, lambda: None)
+            eng.run()
+            return eng.now
+
+        assert run(SSTFScheduler) < run(FCFSScheduler)
+
+    def test_clook_serves_everything(self):
+        from repro.disk.drive import DiskDrive
+        from repro.disk.params import RZ26
+        from repro.disk.scheduler import CLookScheduler
+        from repro.sim.engine import Engine
+
+        eng = Engine()
+        done = []
+        drive = DiskDrive(eng, RZ26, scheduler=CLookScheduler(RZ26))
+        for i in range(40):
+            drive.read((i * 104729) % RZ26.total_blocks, 1, lambda i=i: done.append(i))
+        eng.run()
+        assert sorted(done) == list(range(40))
+
+
+class TestExtentArithmetic:
+    def test_many_small_extents(self):
+        from repro.fs.filesystem import Extent, File
+
+        extents = [Extent(i * 100, 3) for i in range(10)]
+        f = File(1, "frag", "d0", nblocks=30, extents=extents)
+        for blockno in range(30):
+            lba = f.lba_of(blockno)
+            assert lba == (blockno // 3) * 100 + blockno % 3
+
+    def test_capacity_sums_extents(self):
+        from repro.fs.filesystem import Extent, File
+
+        f = File(1, "x", "d0", extents=[Extent(0, 5), Extent(50, 7)])
+        assert f.capacity() == 12
+
+
+class TestRenderingPaperRows:
+    def test_fig4_includes_paper_rows_when_sizes_match(self):
+        from repro.harness import report
+        from repro.harness.experiments import SingleAppResult
+        from repro.harness.paperdata import CACHE_SIZES_MB
+
+        grid = {
+            "din": {
+                mb: SingleAppResult("din", mb, 100, 1000, 50, 500)
+                for mb in CACHE_SIZES_MB
+            }
+        }
+        text = report.render_fig4(grid)
+        assert "paper-ratio" in text
+
+    def test_fig4_omits_paper_rows_for_custom_sizes(self):
+        from repro.harness import report
+        from repro.harness.experiments import SingleAppResult
+
+        grid = {"din": {1.0: SingleAppResult("din", 1.0, 10, 100, 5, 50)}}
+        text = report.render_fig4(grid)
+        assert "paper-ratio" not in text

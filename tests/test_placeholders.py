@@ -1,0 +1,120 @@
+"""Placeholder-table lifecycle and quotas."""
+
+import pytest
+
+from repro.core.blocks import CacheBlock
+from repro.core.placeholders import PlaceholderTable
+
+
+def block(file_id=1, blockno=0, pid=1):
+    return CacheBlock(file_id, blockno, owner_pid=pid)
+
+
+class TestLifecycle:
+    def test_add_and_contains(self):
+        table = PlaceholderTable()
+        kept = block()
+        table.add((1, 5), kept, manager_pid=1)
+        assert (1, 5) in table
+        assert len(table) == 1
+        assert table.created == 1
+
+    def test_consume_returns_entry(self):
+        table = PlaceholderTable()
+        kept = block()
+        table.add((1, 5), kept, manager_pid=7)
+        entry = table.consume((1, 5))
+        assert entry.kept is kept
+        assert entry.manager_pid == 7
+        assert (1, 5) not in table
+        assert table.consumed == 1
+
+    def test_consume_absent_returns_none(self):
+        assert PlaceholderTable().consume((1, 5)) is None
+
+    def test_consume_with_nonresident_kept_drops(self):
+        table = PlaceholderTable()
+        kept = block()
+        table.add((1, 5), kept, manager_pid=1)
+        kept.resident = False
+        assert table.consume((1, 5)) is None
+        assert (1, 5) not in table
+
+    def test_readd_supersedes(self):
+        table = PlaceholderTable()
+        k1, k2 = block(blockno=1), block(blockno=2)
+        table.add((1, 5), k1, manager_pid=1)
+        table.add((1, 5), k2, manager_pid=1)
+        assert len(table) == 1
+        assert table.consume((1, 5)).kept is k2
+
+    def test_drop_for_missing(self):
+        table = PlaceholderTable()
+        table.add((1, 5), block(), manager_pid=1)
+        assert table.drop_for_missing((1, 5)) is True
+        assert table.drop_for_missing((1, 5)) is False
+        assert len(table) == 0
+
+    def test_drop_for_kept_removes_all_pointing(self):
+        table = PlaceholderTable()
+        kept = block()
+        table.add((1, 5), kept, manager_pid=1)
+        table.add((1, 6), kept, manager_pid=1)
+        table.add((2, 0), block(2, 9), manager_pid=1)
+        assert table.drop_for_kept(kept) == 2
+        assert len(table) == 1
+        assert (2, 0) in table
+
+    def test_drop_for_kept_unknown_block(self):
+        assert PlaceholderTable().drop_for_kept(block()) == 0
+
+    def test_clear(self):
+        table = PlaceholderTable()
+        table.add((1, 5), block(), manager_pid=1)
+        table.clear()
+        assert len(table) == 0
+
+
+class TestQuota:
+    def test_per_manager_limit_evicts_oldest(self):
+        table = PlaceholderTable(per_manager_limit=2)
+        k = [block(blockno=i) for i in range(3)]
+        table.add((1, 0), k[0], manager_pid=1)
+        table.add((1, 1), k[1], manager_pid=1)
+        table.add((1, 2), k[2], manager_pid=1)
+        assert len(table) == 2
+        assert (1, 0) not in table  # oldest discarded
+        assert (1, 1) in table and (1, 2) in table
+        assert table.discarded >= 1
+
+    def test_limits_are_per_manager(self):
+        table = PlaceholderTable(per_manager_limit=1)
+        table.add((1, 0), block(blockno=0), manager_pid=1)
+        table.add((2, 0), block(2, 0, pid=2), manager_pid=2)
+        assert len(table) == 2
+
+    def test_count_for(self):
+        table = PlaceholderTable()
+        table.add((1, 0), block(blockno=0), manager_pid=1)
+        table.add((1, 1), block(blockno=1), manager_pid=1)
+        assert table.count_for(1) == 2
+        assert table.count_for(99) == 0
+
+    def test_consume_decrements_count(self):
+        table = PlaceholderTable()
+        table.add((1, 0), block(), manager_pid=1)
+        table.consume((1, 0))
+        assert table.count_for(1) == 0
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ValueError):
+            PlaceholderTable(per_manager_limit=0)
+
+    def test_quota_eviction_cleans_reverse_index(self):
+        table = PlaceholderTable(per_manager_limit=1)
+        kept = block()
+        table.add((1, 0), kept, manager_pid=1)
+        table.add((1, 1), kept, manager_pid=1)  # evicts (1,0)
+        # Dropping the kept block must only find the live entry.
+        assert table.drop_for_kept(kept) == 1
+        assert len(table) == 0

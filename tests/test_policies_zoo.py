@@ -1,0 +1,249 @@
+"""The standalone eviction-policy zoo."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.opt import lru_misses, mru_misses, opt_misses
+from repro.policies import (
+    BeladyCache,
+    ClockCache,
+    FIFOCache,
+    LRUCache,
+    LRUKCache,
+    MRUCache,
+    POLICY_FACTORIES,
+    RandomCache,
+    SLRUCache,
+    TwoQCache,
+    compare_policies,
+    make_policy,
+    simulate,
+)
+
+CYCLIC = [i % 10 for i in range(80)]
+SCAN_THEN_HOT = list(range(50)) + [0, 1, 2, 3] * 25
+ZIPFY = [((i * i) % 23) % 7 for i in range(300)]
+
+traces = st.lists(st.integers(0, 25), max_size=250)
+capacities = st.integers(1, 15)
+
+
+class TestBasics:
+    @pytest.mark.parametrize("name", sorted(POLICY_FACTORIES))
+    def test_capacity_respected(self, name):
+        policy = make_policy(name, 5)
+        for key in range(100):
+            policy.access(key % 17)
+            assert len(policy) <= 5
+
+    @pytest.mark.parametrize("name", sorted(POLICY_FACTORIES))
+    def test_hit_after_insert(self, name):
+        policy = make_policy(name, 4)
+        assert policy.access("a") is False
+        assert policy.access("a") is True
+        assert policy.hits == 1 and policy.misses == 1
+
+    @pytest.mark.parametrize("name", sorted(POLICY_FACTORIES))
+    def test_counters_consistent(self, name):
+        policy = make_policy(name, 3)
+        for key in ZIPFY:
+            policy.access(key)
+        assert policy.accesses == len(ZIPFY)
+        assert policy.hits + policy.misses == policy.accesses
+        assert 0.0 <= policy.hit_ratio <= 1.0
+
+    def test_make_policy_unknown(self):
+        with pytest.raises(ValueError):
+            make_policy("lirs", 10)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestSemantics:
+    def test_lru_matches_reference(self):
+        policy = LRUCache(4)
+        run = simulate(policy, ZIPFY)
+        assert run.misses == lru_misses(ZIPFY, 4)
+
+    def test_mru_matches_reference(self):
+        policy = MRUCache(4)
+        run = simulate(policy, CYCLIC)
+        assert run.misses == mru_misses(CYCLIC, 4)
+
+    def test_fifo_ignores_rejuvenation(self):
+        # a is referenced again but FIFO still evicts it first.
+        policy = FIFOCache(2)
+        for key in ["a", "b", "a", "c"]:
+            policy.access(key)
+        assert "a" not in policy
+        assert "b" in policy and "c" in policy
+
+    def test_clock_gives_second_chance(self):
+        policy = ClockCache(3)
+        for key in ("a", "b", "c", "d"):  # d's miss sweeps: evicts a,
+            policy.access(key)            # clears b and c's bits
+        policy.access("b")                # sets b's reference bit again
+        policy.access("e")                # hand clears b, evicts c
+        assert "b" in policy              # the re-reference saved b
+        assert "c" not in policy
+
+    def test_random_deterministic_given_seed(self):
+        def run(seed):
+            policy = RandomCache(4, seed=seed)
+            return simulate(policy, ZIPFY).misses
+
+        assert run(7) == run(7)
+
+    def test_lruk_evicts_single_touch_scans_first(self):
+        policy = LRUKCache(4, k=2)
+        for key in ["h1", "h1", "h2", "h2"]:  # two blocks with full history
+            policy.access(key)
+        policy.access("scan1")                # single touch
+        policy.access("scan2")                # evicts the other single-touch
+        assert "h1" in policy and "h2" in policy
+
+    def test_lruk_validation(self):
+        with pytest.raises(ValueError):
+            LRUKCache(4, k=0)
+
+    def test_twoq_protects_rereferenced(self):
+        policy = TwoQCache(4, probation_fraction=0.5)
+        policy.access("hot")
+        policy.access("hot")   # promoted to Am
+        for key in range(10):  # scan floods A1
+            policy.access(("scan", key))
+        assert "hot" in policy
+
+    def test_twoq_validation(self):
+        with pytest.raises(ValueError):
+            TwoQCache(4, probation_fraction=0.0)
+
+    def test_slru_protects_rereferenced(self):
+        policy = SLRUCache(4, protected_fraction=0.5)
+        policy.access("hot")
+        policy.access("hot")
+        for key in range(10):
+            policy.access(("scan", key))
+        assert "hot" in policy
+
+    def test_slru_demotion_keeps_block_resident(self):
+        policy = SLRUCache(4, protected_fraction=0.5)  # protected max = 2
+        for key in ["a", "a", "b", "b", "c", "c"]:     # third promotion demotes a
+            policy.access(key)
+        assert len(policy) == 3
+        assert "a" in policy
+
+    def test_belady_matches_reference_opt(self):
+        for trace in (CYCLIC, SCAN_THEN_HOT, ZIPFY):
+            policy = BeladyCache(5, trace)
+            run = simulate(policy, trace)
+            assert run.misses == opt_misses(trace, 5)
+
+    def test_belady_rejects_divergent_stream(self):
+        policy = BeladyCache(2, [1, 2, 3])
+        policy.access(1)
+        with pytest.raises(RuntimeError):
+            policy.access(9)
+
+    def test_belady_rejects_overrun(self):
+        policy = BeladyCache(2, [1])
+        policy.access(1)
+        with pytest.raises(RuntimeError):
+            policy.access(1)
+
+
+class TestComparisons:
+    def test_compare_policies_shape(self):
+        results = compare_policies(ZIPFY, 4, POLICY_FACTORIES)
+        assert set(results) == set(POLICY_FACTORIES)
+        for run in results.values():
+            assert run.accesses == len(ZIPFY)
+
+    def test_mru_wins_cyclic(self):
+        results = compare_policies(CYCLIC, 6, POLICY_FACTORIES)
+        assert results["mru"].misses < results["lru"].misses
+        assert results["mru"].misses < results["clock"].misses
+
+    def test_scan_resistant_policies_beat_lru_on_scan_then_hot(self):
+        trace = SCAN_THEN_HOT * 2
+        results = compare_policies(trace, 6, POLICY_FACTORIES)
+        assert results["twoq"].misses <= results["lru"].misses
+        assert results["slru"].misses <= results["lru"].misses
+
+    @settings(max_examples=30, deadline=None)
+    @given(traces, capacities)
+    def test_opt_lower_bounds_everything(self, trace, capacity):
+        best = opt_misses(trace, capacity)
+        for name in POLICY_FACTORIES:
+            run = simulate(make_policy(name, capacity), trace)
+            assert run.misses >= best, name
+
+    @settings(max_examples=30, deadline=None)
+    @given(traces, capacities)
+    def test_all_policies_capacity_invariant(self, trace, capacity):
+        for name in POLICY_FACTORIES:
+            policy = make_policy(name, capacity)
+            for key in trace:
+                policy.access(key)
+                assert len(policy) <= capacity
+
+
+class TestARC:
+    def make(self, capacity=8):
+        from repro.policies import ARCCache
+
+        return ARCCache(capacity)
+
+    def test_basic_hit_miss(self):
+        arc = self.make(4)
+        assert arc.access("a") is False
+        assert arc.access("a") is True
+
+    def test_capacity_invariant_under_stress(self):
+        arc = self.make(6)
+        for i in range(3000):
+            arc.access(((i * i) % 41) % 17)
+            assert len(arc) <= 6
+
+    def test_rereference_promotes_to_t2(self):
+        arc = self.make(4)
+        arc.access("hot")
+        arc.access("hot")
+        assert "hot" in arc._t2
+
+    def test_ghost_hit_adapts_p(self):
+        arc = self.make(4)
+        for i in range(8):        # flood T1, pushing evictions into B1
+            arc.access(("scan", i))
+        assert len(arc._b1) > 0
+        ghost = next(iter(arc._b1))
+        p_before = arc._p
+        arc.access(ghost)          # B1 hit: p grows (favour recency)
+        assert arc._p > p_before
+        assert ghost in arc._t2    # ghost re-reference lands in T2
+
+    def test_scan_resistance(self):
+        """ARC keeps a re-referenced working set through a one-off scan."""
+        from repro.policies import ARCCache, LRUCache
+        from repro.policies.base import simulate
+
+        hot = [("h", i % 4) for i in range(40)]
+        scan = [("s", i) for i in range(64)]
+        trace = hot + scan + hot
+        arc = simulate(ARCCache(8), trace)
+        lru = simulate(LRUCache(8), trace)
+        assert arc.misses <= lru.misses
+
+    def test_arc_in_registry(self):
+        from repro.policies import make_policy
+
+        assert make_policy("arc", 8).name == "arc"
+
+    def test_directory_bounded(self):
+        arc = self.make(5)
+        for i in range(5000):
+            arc.access((i * 7) % 200)
+        total = len(arc._t1) + len(arc._t2) + len(arc._b1) + len(arc._b2)
+        assert total <= 2 * 5

@@ -1,0 +1,167 @@
+"""Property-based tests of the paper's algorithmic contracts."""
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import make_cache, touch
+from repro.core.acm import ACM
+from repro.core.allocation import ALLOC_LRU, GLOBAL_LRU, LRU_S, LRU_SP
+from repro.core.opt import lru_misses, opt_misses
+from repro.fs.filesystem import SimFilesystem
+from repro.core.interface import FBehaviorOp, fbehavior
+
+# A reference stream over a handful of files/blocks.
+accesses = st.lists(
+    st.tuples(
+        st.integers(1, 3),    # pid
+        st.integers(1, 4),    # file id
+        st.integers(0, 15),   # block number
+        st.booleans(),        # write?
+    ),
+    max_size=300,
+)
+
+
+@st.composite
+def directive(draw):
+    kind = draw(st.sampled_from(["prio", "policy", "temp"]))
+    pid = draw(st.integers(1, 3))
+    if kind == "prio":
+        return ("prio", pid, draw(st.integers(1, 4)), draw(st.integers(-1, 3)))
+    if kind == "policy":
+        return ("policy", pid, draw(st.integers(-1, 3)), draw(st.sampled_from(["lru", "mru"])))
+    start = draw(st.integers(0, 15))
+    return ("temp", pid, draw(st.integers(1, 4)), start, draw(st.integers(start, 15)), -1)
+
+
+mixed_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("access"), st.integers(1, 3), st.integers(1, 4), st.integers(0, 15), st.booleans()),
+        directive(),
+    ),
+    max_size=200,
+)
+
+
+class TestObliviousEquivalence:
+    """If no process manages its cache, LRU-SP *is* global LRU."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(accesses, st.integers(2, 12))
+    def test_identical_hit_miss_sequence(self, stream, nframes):
+        results = []
+        for policy in (GLOBAL_LRU, LRU_SP, LRU_S, ALLOC_LRU):
+            cache = make_cache(nframes=nframes, policy=policy)
+            outcomes = []
+            for pid, fid, blk, write in stream:
+                out = touch(cache, pid, fid, blk, write=write, whole=write)
+                outcomes.append((out.hit, out.evicted.id if out.evicted else None))
+            results.append(outcomes)
+        assert results[0] == results[1] == results[2] == results[3]
+
+    @settings(max_examples=40, deadline=None)
+    @given(accesses, st.integers(2, 12))
+    def test_matches_reference_lru_model(self, stream, nframes):
+        cache = make_cache(nframes=nframes, policy=LRU_SP)
+        misses = 0
+        for pid, fid, blk, write in stream:
+            if not touch(cache, pid, fid, blk, write=write, whole=write).hit:
+                misses += 1
+        assert misses == lru_misses([(f, b) for _, f, b, _ in stream], nframes)
+
+
+class TestInvariantsUnderChaos:
+    """Arbitrary interleavings of accesses and directives keep BUF sane."""
+
+    def _apply(self, cache, fs, op):
+        acm = cache.acm
+        if op[0] == "access":
+            _, pid, fid, blk, write = op
+            touch(cache, pid, fid, blk, write=write, whole=write)
+        elif op[0] == "prio":
+            _, pid, fid, prio = op
+            acm.set_priority(pid, fid, prio)
+        elif op[0] == "policy":
+            _, pid, prio, policy = op
+            acm.set_policy(pid, prio, policy)
+        else:
+            _, pid, fid, start, end, prio = op
+            acm.set_temppri(pid, fid, start, end, prio)
+
+    @settings(max_examples=60, deadline=None)
+    @given(mixed_ops, st.integers(2, 10), st.sampled_from([LRU_SP, LRU_S, ALLOC_LRU]))
+    def test_invariants_hold(self, ops, nframes, policy):
+        cache = make_cache(nframes=nframes, policy=policy)
+        for op in ops:
+            self._apply(cache, None, op)
+            cache.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(mixed_ops, st.integers(2, 10))
+    def test_deterministic_replay(self, ops, nframes):
+        def run():
+            cache = make_cache(nframes=nframes, policy=LRU_SP)
+            for op in ops:
+                self._apply(cache, None, op)
+            return (
+                cache.stats.hits,
+                cache.stats.misses,
+                cache.stats.swaps,
+                sorted(b.id for b in cache.blocks_owned_by(1)),
+            )
+
+        assert run() == run()
+
+    @settings(max_examples=40, deadline=None)
+    @given(mixed_ops, st.integers(2, 10))
+    def test_temp_priorities_revert_on_reference(self, ops, nframes):
+        cache = make_cache(nframes=nframes, policy=LRU_SP)
+        for op in ops:
+            self._apply(cache, None, op)
+            if op[0] == "access":
+                _, pid, fid, blk, _ = op
+                block = cache.peek(fid, blk)
+                if block is not None and block.owner_pid == pid:
+                    assert not block.has_temp
+
+    @settings(max_examples=30, deadline=None)
+    @given(mixed_ops, st.integers(2, 10))
+    def test_placeholder_counts_consistent(self, ops, nframes):
+        cache = make_cache(nframes=nframes, policy=LRU_SP)
+        for op in ops:
+            self._apply(cache, None, op)
+        table = cache.placeholders
+        assert table.created == table.consumed + table.discarded + len(table)
+
+
+class TestPolicyQuality:
+    """A correct MRU manager on a cyclic trace beats global LRU and never
+    beats offline OPT (the optimal replacement principle)."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(4, 20), st.integers(2, 5), st.integers(2, 15))
+    def test_mru_between_opt_and_lru_on_cycles(self, nblocks, passes, nframes):
+        trace = list(range(nblocks)) * passes
+        acm = ACM()
+        cache = make_cache(nframes=nframes, policy=LRU_SP, acm=acm)
+        acm.register(1)
+        acm.set_policy(1, 0, "mru")
+        misses = 0
+        for blk in trace:
+            if not touch(cache, 1, 1, blk).hit:
+                misses += 1
+        assert opt_misses(trace, nframes) <= misses <= lru_misses(trace, nframes)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(6, 20), st.integers(3, 5))
+    def test_mru_strictly_beats_lru_when_cycle_exceeds_cache(self, nblocks, passes):
+        nframes = nblocks - 2
+        trace = list(range(nblocks)) * passes
+        acm = ACM()
+        cache = make_cache(nframes=nframes, policy=LRU_SP, acm=acm)
+        acm.register(1)
+        acm.set_policy(1, 0, "mru")
+        misses = 0
+        for blk in trace:
+            if not touch(cache, 1, 1, blk).hit:
+                misses += 1
+        assert misses < lru_misses(trace, nframes)

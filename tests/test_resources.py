@@ -1,0 +1,171 @@
+"""FCFS resources and the preemptive CPU."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.resources import FCFSResource, PreemptiveCPU
+
+
+class TestFCFSResource:
+    def test_single_request(self):
+        eng = Engine()
+        res = FCFSResource(eng, "r")
+        done = []
+        res.request(2.0, lambda: done.append(eng.now))
+        eng.run()
+        assert done == [2.0]
+
+    def test_requests_queue_fifo(self):
+        eng = Engine()
+        res = FCFSResource(eng, "r")
+        done = []
+        res.request(1.0, lambda: done.append(("a", eng.now)))
+        res.request(2.0, lambda: done.append(("b", eng.now)))
+        eng.run()
+        assert done == [("a", 1.0), ("b", 3.0)]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FCFSResource(Engine(), "r").request(-1, lambda: None)
+
+    def test_busy_flag(self):
+        eng = Engine()
+        res = FCFSResource(eng, "r")
+        assert not res.busy
+        res.request(1.0, lambda: None)
+        assert res.busy
+        eng.run()
+        assert not res.busy
+
+    def test_queue_length(self):
+        eng = Engine()
+        res = FCFSResource(eng, "r")
+        res.request(1.0, lambda: None)
+        res.request(1.0, lambda: None)
+        res.request(1.0, lambda: None)
+        assert res.queue_length == 2  # one in service
+
+    def test_busy_time_and_utilisation(self):
+        eng = Engine()
+        res = FCFSResource(eng, "r")
+        res.request(1.0, lambda: None)
+        res.request(1.0, lambda: None)
+        eng.after(4.0, lambda: None)  # stretch the clock
+        eng.run()
+        assert res.busy_time == pytest.approx(2.0)
+        assert res.utilisation() == pytest.approx(0.5)
+
+    def test_completion_can_enqueue_more(self):
+        eng = Engine()
+        res = FCFSResource(eng, "r")
+        done = []
+
+        def second():
+            done.append(eng.now)
+
+        res.request(1.0, lambda: res.request(1.0, second))
+        eng.run()
+        assert done == [2.0]
+
+    def test_completed_counter(self):
+        eng = Engine()
+        res = FCFSResource(eng, "r")
+        for _ in range(3):
+            res.request(0.5, lambda: None)
+        eng.run()
+        assert res.completed == 3
+
+
+class TestPreemptiveCPU:
+    def make(self, threshold=0.004):
+        eng = Engine()
+        return eng, PreemptiveCPU(eng, "cpu", hi_threshold=threshold)
+
+    def test_short_jobs_run_fifo(self):
+        eng, cpu = self.make()
+        done = []
+        cpu.request(0.001, lambda: done.append(("a", eng.now)))
+        cpu.request(0.001, lambda: done.append(("b", eng.now)))
+        eng.run()
+        assert done == [("a", 0.001), ("b", 0.002)]
+
+    def test_short_preempts_long(self):
+        eng, cpu = self.make()
+        done = []
+        cpu.request(0.100, lambda: done.append(("long", eng.now)))
+        # Arrives mid-service of the long job.
+        eng.at(0.010, cpu.request, 0.001, lambda: done.append(("short", eng.now)))
+        eng.run()
+        assert done[0][0] == "short"
+        assert done[0][1] == pytest.approx(0.011)
+        # The long job resumes and finishes with no lost work.
+        assert done[1][1] == pytest.approx(0.101)
+
+    def test_work_conserving(self):
+        eng, cpu = self.make()
+        cpu.request(0.050, lambda: None)
+        for i in range(5):
+            eng.at(0.005 * (i + 1), cpu.request, 0.001, lambda: None)
+        eng.run()
+        assert cpu.busy_time == pytest.approx(0.055)
+        assert eng.now == pytest.approx(0.055)
+
+    def test_preemption_counted(self):
+        eng, cpu = self.make()
+        cpu.request(0.100, lambda: None)
+        eng.at(0.010, cpu.request, 0.001, lambda: None)
+        eng.run()
+        assert cpu.preemptions == 1
+
+    def test_short_does_not_preempt_short(self):
+        eng, cpu = self.make()
+        done = []
+        cpu.request(0.003, lambda: done.append(("a", eng.now)))
+        eng.at(0.001, cpu.request, 0.001, lambda: done.append(("b", eng.now)))
+        eng.run()
+        assert done[0][0] == "a"
+        assert cpu.preemptions == 0
+
+    def test_long_jobs_fifo_among_themselves(self):
+        eng, cpu = self.make()
+        done = []
+        cpu.request(0.010, lambda: done.append("a"))
+        cpu.request(0.010, lambda: done.append("b"))
+        eng.run()
+        assert done == ["a", "b"]
+
+    def test_preempted_job_resumes_before_later_long_jobs(self):
+        eng, cpu = self.make()
+        done = []
+        cpu.request(0.010, lambda: done.append("first"))
+        eng.at(0.001, cpu.request, 0.001, lambda: done.append("hi"))
+        eng.at(0.002, cpu.request, 0.010, lambda: done.append("second"))
+        eng.run()
+        assert done == ["hi", "first", "second"]
+
+    def test_negative_time_rejected(self):
+        _, cpu = self.make()
+        with pytest.raises(ValueError):
+            cpu.request(-0.1, lambda: None)
+
+    def test_zero_length_job(self):
+        eng, cpu = self.make()
+        done = []
+        cpu.request(0.0, lambda: done.append(eng.now))
+        eng.run()
+        assert done == [0.0]
+
+    def test_many_preemptions_total_time_exact(self):
+        eng, cpu = self.make()
+        cpu.request(1.0, lambda: None)
+        for i in range(100):
+            eng.at(0.005 * (i + 1), cpu.request, 0.002, lambda: None)
+        eng.run()
+        assert cpu.busy_time == pytest.approx(1.0 + 100 * 0.002)
+
+    def test_utilisation(self):
+        eng, cpu = self.make()
+        cpu.request(1.0, lambda: None)
+        eng.after(2.0, lambda: None)
+        eng.run()
+        assert cpu.utilisation() == pytest.approx(0.5)

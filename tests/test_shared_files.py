@@ -1,0 +1,122 @@
+"""Concurrently shared files (the paper's future-work item, implemented)."""
+
+import pytest
+
+from conftest import make_cache, touch
+from repro.core.acm import ACM
+from repro.core.allocation import LRU_SP
+
+
+@pytest.fixture
+def shared_env():
+    acm = ACM()
+    cache = make_cache(nframes=8, policy=LRU_SP, acm=acm)
+    return cache, acm
+
+
+class TestDesignation:
+    def test_default_ownership_follows_accessor(self, shared_env):
+        cache, acm = shared_env
+        touch(cache, 1, 5, 0)
+        touch(cache, 2, 5, 0)
+        assert cache.peek(5, 0).owner_pid == 2
+
+    def test_designated_manager_keeps_ownership(self, shared_env):
+        cache, acm = shared_env
+        acm.share_file(5, manager_pid=1)
+        touch(cache, 1, 5, 0)
+        touch(cache, 2, 5, 0)
+        touch(cache, 3, 5, 0)
+        assert cache.peek(5, 0).owner_pid == 1
+
+    def test_foreign_load_homes_to_designated_manager(self, shared_env):
+        cache, acm = shared_env
+        acm.share_file(5, manager_pid=1)
+        touch(cache, 2, 5, 0)  # pid 2 faults the block in
+        block = cache.peek(5, 0)
+        assert block.owner_pid == 1
+        assert block in acm.managers[1].pools[0].blocks
+
+    def test_designation_adopts_resident_blocks(self, shared_env):
+        cache, acm = shared_env
+        touch(cache, 2, 5, 0)
+        touch(cache, 2, 5, 1)
+        acm.share_file(5, manager_pid=1)
+        for block in cache.blocks_of_file(5):
+            assert block.owner_pid == 1
+
+    def test_unshare_restores_transfer(self, shared_env):
+        cache, acm = shared_env
+        acm.share_file(5, manager_pid=1)
+        touch(cache, 1, 5, 0)
+        acm.unshare_file(5)
+        touch(cache, 2, 5, 0)
+        assert cache.peek(5, 0).owner_pid == 2
+
+    def test_shared_manager_of(self, shared_env):
+        cache, acm = shared_env
+        acm.share_file(5, manager_pid=1)
+        assert acm.shared_manager_of(5) == 1
+        assert acm.shared_manager_of(6) is None
+
+    def test_private_files_unaffected(self, shared_env):
+        cache, acm = shared_env
+        acm.share_file(5, manager_pid=1)
+        touch(cache, 2, 7, 0)  # a different, private file
+        assert cache.peek(7, 0).owner_pid == 2
+
+    def test_invariants_hold_with_sharing(self, shared_env):
+        cache, acm = shared_env
+        acm.share_file(5, manager_pid=1)
+        acm.set_policy(1, 0, "mru")
+        for i in range(60):
+            touch(cache, 1 + (i % 3), 5, i % 12)
+            cache.check_invariants()
+
+
+class TestSharedSemantics:
+    def test_designated_policy_governs_shared_scans(self):
+        """Two processes cyclically scanning one shared file benefit from
+        the designated manager's MRU policy — without the designation,
+        ownership ping-pong keeps re-pooling blocks and each process's
+        manager sees only a fragment of the file."""
+
+        def run(designated: bool) -> int:
+            acm = ACM()
+            cache = make_cache(nframes=10, policy=LRU_SP, acm=acm)
+            acm.register(1)
+            acm.set_policy(1, 0, "mru")
+            if designated:
+                acm.share_file(5, manager_pid=1)
+            misses = 0
+            for _ in range(4):            # alternating cyclic scans
+                for pid in (1, 2):
+                    for b in range(16):
+                        if not touch(cache, pid, 5, b).hit:
+                            misses += 1
+            return misses
+
+        assert run(designated=True) <= run(designated=False)
+
+    def test_sharing_keeps_oblivious_neighbours_safe(self):
+        acm = ACM()
+        cache = make_cache(nframes=8, policy=LRU_SP, acm=acm)
+        acm.share_file(5, manager_pid=1)
+        acm.set_policy(1, 0, "mru")
+        # An oblivious pid 3 with a private file coexists untouched.
+        for i in range(40):
+            touch(cache, 2, 5, i % 10)
+            touch(cache, 3, 9, i % 3)
+            cache.check_invariants()
+        assert cache.per_pid[3].hits > 0
+
+    def test_vm_pool_honours_sharing(self):
+        from repro.vm import ClockPagePool
+
+        pool = ClockPagePool(8, policy=LRU_SP)
+        pool.acm.share_file(5, manager_pid=1)
+        pool.access(2, 5, 0)
+        assert pool.peek(5, 0).owner_pid == 1
+        pool.access(3, 5, 0)
+        assert pool.peek(5, 0).owner_pid == 1
+        pool.check_invariants()

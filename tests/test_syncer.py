@@ -1,0 +1,105 @@
+"""The update daemon."""
+
+import pytest
+
+from conftest import make_cache, touch
+from repro.disk.drive import DiskDrive
+from repro.disk.params import RZ56
+from repro.fs.syncer import UpdateDaemon
+from repro.sim.engine import Engine
+
+
+def build(interval=30.0, age_threshold=0.0):
+    eng = Engine()
+    cache = make_cache(nframes=32, clock=lambda: eng.now)
+    drive = DiskDrive(eng, RZ56)
+    flushed = []
+    daemon = UpdateDaemon(
+        eng, cache, {RZ56.name: drive}, interval=interval,
+        age_threshold=age_threshold, on_flush=flushed.append,
+    )
+    return eng, cache, drive, daemon, flushed
+
+
+def dirty(cache, blockno):
+    outcome = touch(cache, 1, 1, blockno, write=True, whole=True)
+    outcome.block.disk = RZ56.name
+    return outcome.block
+
+
+class TestFlush:
+    def test_periodic_flush(self):
+        eng, cache, drive, daemon, flushed = build(interval=10.0)
+        dirty(cache, 0)
+        daemon.start()
+        eng.run(until=11.0)
+        daemon.stop()
+        eng.run()
+        assert len(flushed) == 1
+        assert drive.stats.writes == 1
+        assert cache.dirty_blocks() == []
+
+    def test_stop_prevents_future_ticks(self):
+        eng, cache, drive, daemon, flushed = build(interval=10.0)
+        daemon.start()
+        daemon.stop()
+        dirty(cache, 0)
+        eng.run()
+        assert flushed == []
+
+    def test_age_threshold_spares_young_blocks(self):
+        eng, cache, drive, daemon, flushed = build(interval=10.0, age_threshold=100.0)
+        dirty(cache, 0)
+        daemon.start()
+        eng.run(until=11.0)
+        assert flushed == []
+
+    def test_flush_all_ignores_age(self):
+        eng, cache, drive, daemon, flushed = build(age_threshold=100.0)
+        dirty(cache, 0)
+        assert daemon.flush_all() == 1
+
+    def test_flush_marks_clean_at_submit(self):
+        eng, cache, drive, daemon, flushed = build()
+        block = dirty(cache, 0)
+        daemon.flush_all()
+        assert not block.dirty
+
+    def test_redirty_after_flush_schedules_again(self):
+        eng, cache, drive, daemon, flushed = build(interval=5.0)
+        dirty(cache, 0)
+        daemon.start()
+        eng.run(until=6.0)
+        dirty(cache, 0)
+        eng.run(until=11.0)
+        daemon.stop()
+        eng.run()
+        assert len(flushed) == 2
+
+    def test_clean_cache_flushes_nothing(self):
+        eng, cache, drive, daemon, flushed = build()
+        touch(cache, 1, 1, 0)  # clean read
+        assert daemon.flush_all() == 0
+
+    def test_start_idempotent(self):
+        eng, cache, drive, daemon, flushed = build(interval=10.0)
+        daemon.start()
+        daemon.start()
+        dirty(cache, 0)
+        eng.run(until=11.0)
+        assert len(flushed) == 1
+
+    def test_validation(self):
+        eng = Engine()
+        cache = make_cache()
+        with pytest.raises(ValueError):
+            UpdateDaemon(eng, cache, {}, interval=0)
+        with pytest.raises(ValueError):
+            UpdateDaemon(eng, cache, {}, age_threshold=-1)
+
+    def test_unknown_disk_marks_clean_without_io(self):
+        eng, cache, drive, daemon, flushed = build()
+        block = dirty(cache, 0)
+        block.disk = "ghost"
+        assert daemon.flush_all() == 0
+        assert not block.dirty

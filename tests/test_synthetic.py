@@ -1,0 +1,122 @@
+"""Synthetic workload generators."""
+
+import pytest
+
+from repro.core.allocation import GLOBAL_LRU, LRU_SP
+from repro.core.interface import FBehaviorOp
+from repro.harness.runner import run_mix, AppSpec
+from repro.kernel.system import MachineConfig, System
+from repro.sim.ops import BlockRead, BlockWrite, Control
+from repro.workloads.synthetic import Phased, SequentialScan, WriteBurst, ZipfHotCold
+
+
+def ops_of(wl):
+    return list(wl.program())
+
+
+def run_alone(wl, cache_mb=1.0, policy=LRU_SP):
+    system = System(MachineConfig(cache_mb=cache_mb, policy=policy))
+    wl.spawn(system)
+    return system.run().proc(wl.name)
+
+
+class TestSequentialScan:
+    def test_single_pass_reads_everything_once(self):
+        wl = SequentialScan(nblocks=50, passes=1, smart=False)
+        reads = [op for op in ops_of(wl) if isinstance(op, BlockRead)]
+        assert [op.blockno for op in reads] == list(range(50))
+
+    def test_read_once_strategy_uses_priority_minus_one(self):
+        wl = SequentialScan(nblocks=10, passes=1, smart=True)
+        ctl = [op for op in ops_of(wl) if isinstance(op, Control)]
+        assert ctl[0].op is FBehaviorOp.SET_PRIORITY
+        assert ctl[0].args[1] == -1
+
+    def test_cyclic_strategy_uses_mru(self):
+        wl = SequentialScan(nblocks=10, passes=3, smart=True)
+        ctl = [op for op in ops_of(wl) if isinstance(op, Control)]
+        assert ctl[0].op is FBehaviorOp.SET_POLICY
+        assert ctl[0].args == (0, "mru")
+
+    def test_mru_beats_lru_end_to_end(self):
+        smart = run_alone(SequentialScan(nblocks=200, passes=4, smart=True,
+                                         cpu_per_block=0.001))
+        plain = run_alone(SequentialScan(nblocks=200, passes=4, smart=False,
+                                         cpu_per_block=0.001), policy=GLOBAL_LRU)
+        assert smart.block_ios < plain.block_ios
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SequentialScan(nblocks=0)
+        with pytest.raises(ValueError):
+            SequentialScan(passes=0)
+
+
+class TestZipfHotCold:
+    def test_hot_fraction_respected(self):
+        wl = ZipfHotCold(accesses=2000, hot_fraction=0.8, smart=False, seed=3)
+        reads = [op for op in ops_of(wl) if isinstance(op, BlockRead)]
+        hot = sum(1 for op in reads if op.path == wl.hot_path)
+        assert 0.75 < hot / len(reads) < 0.85
+
+    def test_deterministic_under_seed(self):
+        a = [op for op in ops_of(ZipfHotCold(seed=5)) if isinstance(op, BlockRead)]
+        b = [op for op in ops_of(ZipfHotCold(seed=5)) if isinstance(op, BlockRead)]
+        assert [(o.path, o.blockno) for o in a] == [(o.path, o.blockno) for o in b]
+
+    def test_hot_priority_reduces_ios(self):
+        kwargs = dict(hot_blocks=64, cold_blocks=600, accesses=4000,
+                      cpu_per_block=0.0)
+        smart = run_alone(ZipfHotCold(smart=True, **kwargs), cache_mb=0.8)
+        plain = run_alone(ZipfHotCold(smart=False, **kwargs), cache_mb=0.8,
+                          policy=GLOBAL_LRU)
+        assert smart.block_ios < plain.block_ios
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfHotCold(hot_fraction=1.5)
+
+
+class TestWriteBurst:
+    def test_writes_then_reads_back(self):
+        wl = WriteBurst(nblocks=20, smart=False)
+        ops = ops_of(wl)
+        writes = [op for op in ops if isinstance(op, BlockWrite)]
+        reads = [op for op in ops if isinstance(op, BlockRead)]
+        assert len(writes) == 20 and len(reads) == 20
+
+    def test_no_read_back(self):
+        wl = WriteBurst(nblocks=20, read_back=False, smart=False)
+        assert not [op for op in ops_of(wl) if isinstance(op, BlockRead)]
+
+    def test_runs_end_to_end(self):
+        proc = run_alone(WriteBurst(nblocks=100, cpu_per_block=0.0))
+        # 100 writes (flushed) and the read-back hits warm cache.
+        assert proc.stats.disk_writes == 100
+        assert proc.stats.hits >= 80
+
+
+class TestPhased:
+    def test_concatenates_phases(self):
+        p1 = SequentialScan(name="ph1", nblocks=5, passes=1, smart=False)
+        p2 = SequentialScan(name="ph2", nblocks=7, passes=1, smart=False)
+        combined = Phased([p1, p2], name="job")
+        reads = [op for op in ops_of(combined) if isinstance(op, BlockRead)]
+        assert len(reads) == 12
+        assert len(combined.file_specs()) == 2
+
+    def test_smart_if_any_phase_smart(self):
+        p1 = SequentialScan(name="ph1", nblocks=5, smart=False)
+        p2 = SequentialScan(name="ph2", nblocks=5, smart=True)
+        assert Phased([p1, p2]).smart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Phased([])
+
+    def test_runs_end_to_end(self):
+        p1 = SequentialScan(name="ph1", nblocks=30, passes=2, smart=True,
+                            cpu_per_block=0.0)
+        p2 = WriteBurst(name="ph2", nblocks=20, cpu_per_block=0.0)
+        proc = run_alone(Phased([p1, p2], name="job"), cache_mb=0.5)
+        assert proc.stats.accesses == 60 + 40

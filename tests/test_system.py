@@ -1,0 +1,288 @@
+"""The kernel (System): end-to-end behaviour of small programs."""
+
+import pytest
+
+from repro.core.allocation import GLOBAL_LRU, LRU_SP
+from repro.core.interface import FBehaviorOp
+from repro.fs.filesystem import FsError
+from repro.kernel.system import MachineConfig, System
+from repro.sim.ops import (
+    BlockRead,
+    BlockWrite,
+    Compute,
+    Control,
+    CreateFile,
+    DeleteFile,
+    Fork,
+)
+
+
+def small_config(**kwargs):
+    kwargs.setdefault("cache_mb", 0.5)
+    return MachineConfig(**kwargs)
+
+
+def run_program(program, nblocks=64, config=None, name="p"):
+    system = System(config or small_config())
+    system.add_file("data", nblocks=nblocks)
+    system.spawn(name, program)
+    result = system.run()
+    return system, result
+
+
+class TestPrograms:
+    def test_empty_program(self):
+        _, result = run_program(iter(()))
+        assert result.proc("p").elapsed == 0.0
+
+    def test_compute_takes_time(self):
+        def prog():
+            yield Compute(2.0)
+
+        _, result = run_program(prog())
+        assert result.proc("p").elapsed == pytest.approx(2.0)
+        assert result.proc("p").stats.cpu_time == pytest.approx(2.0)
+
+    def test_read_counts_miss_then_hit(self):
+        def prog():
+            yield BlockRead("data", 0)
+            yield BlockRead("data", 0)
+
+        _, result = run_program(prog())
+        st = result.proc("p").stats
+        assert st.misses == 1 and st.hits == 1
+        assert st.disk_reads == 1
+
+    def test_read_past_eof_raises(self):
+        def prog():
+            yield BlockRead("data", 99)
+
+        with pytest.raises(FsError):
+            run_program(prog(), nblocks=10)
+
+    def test_read_missing_file_raises(self):
+        def prog():
+            yield BlockRead("nope", 0)
+
+        with pytest.raises(FsError):
+            run_program(prog())
+
+    def test_write_extends_file(self):
+        def prog():
+            yield CreateFile("out")
+            for b in range(10):
+                yield BlockWrite("out", b)
+
+        system, result = run_program(prog())
+        assert system.fs.lookup("out").nblocks == 10
+        # Delayed writes flush at settle and count as block I/Os.
+        assert result.proc("p").stats.disk_writes == 10
+
+    def test_makespan_excludes_settle_flush(self):
+        def prog():
+            yield CreateFile("out")
+            yield BlockWrite("out", 0)
+
+        _, result = run_program(prog())
+        assert result.settle_time >= result.makespan
+
+    def test_delete_file_discards_dirty_blocks(self):
+        def prog():
+            yield CreateFile("tmp")
+            for b in range(5):
+                yield BlockWrite("tmp", b)
+            yield DeleteFile("tmp")
+
+        system, result = run_program(prog())
+        assert not system.fs.exists("tmp")
+        assert result.proc("p").stats.disk_writes == 0  # never reached disk
+
+    def test_partial_write_reads_first(self):
+        def prog():
+            yield BlockWrite("data", 0, whole=False)
+
+        _, result = run_program(prog())
+        st = result.proc("p").stats
+        assert st.disk_reads == 1
+        assert st.disk_writes == 1  # flushed at settle
+
+    def test_control_registers_manager(self):
+        def prog():
+            yield Control(FBehaviorOp.SET_POLICY, (0, "mru"))
+            yield BlockRead("data", 0)
+
+        system, result = run_program(prog())
+        assert system.acm.manager(result.proc("p").pid) is not None
+        assert result.proc("p").stats.directives == 1
+
+    def test_control_get_returns_value(self):
+        seen = {}
+
+        def prog():
+            yield Control(FBehaviorOp.SET_PRIORITY, ("data", 2))
+            seen["prio"] = yield Control(FBehaviorOp.GET_PRIORITY, ("data",))
+
+        run_program(prog())
+        assert seen["prio"] == 2
+
+    def test_fork_spawns_concurrent_child(self):
+        def child():
+            yield Compute(1.0)
+
+        def parent():
+            yield Fork("kid", child())
+            yield Compute(0.5)
+
+        system = System(small_config())
+        system.spawn("parent", parent())
+        result = system.run()
+        assert "kid" in result.procs
+        # one CPU: the parent's 0.5 s and the child's 1.0 s serialize
+        assert result.makespan == pytest.approx(1.5, abs=0.01)
+
+    def test_unknown_op_rejected(self):
+        def prog():
+            yield "not-an-op"
+
+        with pytest.raises(TypeError):
+            run_program(prog())
+
+    def test_run_twice_rejected(self):
+        system = System(small_config())
+        system.run()
+        with pytest.raises(RuntimeError):
+            system.run()
+
+
+class TestTiming:
+    def test_miss_waits_for_disk(self):
+        def prog():
+            yield BlockRead("data", 0)
+
+        _, result = run_program(prog())
+        assert result.proc("p").stats.io_wait_time > 0
+        assert result.makespan > 0
+
+    def test_hits_are_fast(self):
+        def prog():
+            yield BlockRead("data", 0)
+            for _ in range(100):
+                yield BlockRead("data", 0)
+
+        _, result = run_program(prog())
+        # 100 hits at hit_cpu (0.2 ms) ~ 20 ms; one miss dominates.
+        assert result.makespan < 0.2
+
+    def test_two_processes_share_cpu(self):
+        def prog():
+            yield Compute(1.0)
+
+        system = System(small_config())
+        system.spawn("a", prog())
+        system.spawn("b", prog())
+        result = system.run()
+        assert result.makespan == pytest.approx(2.0)
+
+    def test_processes_on_different_disks_overlap(self):
+        def reader(path, n):
+            def prog():
+                for b in range(n):
+                    yield BlockRead(path, b)
+
+            return prog()
+
+        def build(two_disks):
+            system = System(MachineConfig(cache_mb=0.5, shared_bus=False))
+            system.add_file("a", nblocks=50, disk="RZ56")
+            system.add_file("b", nblocks=50, disk="RZ26" if two_disks else "RZ56")
+            system.spawn("pa", reader("a", 50))
+            system.spawn("pb", reader("b", 50))
+            return system.run().makespan
+
+        assert build(two_disks=True) < build(two_disks=False)
+
+    def test_deterministic(self):
+        def once():
+            def prog():
+                for b in range(30):
+                    yield BlockRead("data", b % 10)
+                    yield Compute(0.001)
+
+            _, result = run_program(prog(), nblocks=10)
+            return result.makespan, result.total_block_ios
+
+        assert once() == once()
+
+
+class TestReadahead:
+    def test_sequential_scan_prefetches(self):
+        def prog():
+            for b in range(20):
+                yield BlockRead("data", b)
+
+        _, result = run_program(prog())
+        assert result.cache.prefetches > 0
+
+    def test_random_access_does_not_prefetch(self):
+        def prog():
+            for b in (0, 5, 2, 9, 4, 7):
+                yield BlockRead("data", b)
+
+        _, result = run_program(prog())
+        assert result.cache.prefetches == 0
+
+    def test_readahead_can_be_disabled(self):
+        def prog():
+            for b in range(20):
+                yield BlockRead("data", b)
+
+        _, result = run_program(prog(), config=small_config(readahead=False))
+        assert result.cache.prefetches == 0
+
+    def test_readahead_speeds_up_io_bound_scan(self):
+        def make_prog():
+            def prog():
+                for b in range(200):
+                    yield BlockRead("data", b)
+                    yield Compute(0.004)
+
+            return prog()
+
+        def run(ra):
+            _, r = run_program(make_prog(), nblocks=200, config=small_config(readahead=ra))
+            return r.makespan
+
+        assert run(True) < run(False)
+
+    def test_prefetch_counts_as_block_io(self):
+        def prog():
+            for b in range(20):
+                yield BlockRead("data", b)
+
+        _, result = run_program(prog(), nblocks=20)
+        # every one of the 20 blocks came off the disk exactly once
+        # (the file ends at block 20, so read-ahead cannot overshoot)
+        assert result.proc("p").stats.disk_reads == 20
+
+
+class TestResults:
+    def test_block_io_accounting_consistent(self):
+        def prog():
+            for b in range(30):
+                yield BlockRead("data", b)
+
+        system, result = run_program(prog(), nblocks=30)
+        drive = system.drives["RZ56"]
+        assert result.proc("p").stats.disk_reads == drive.stats.reads
+
+    def test_disk_stats_exposed(self):
+        _, result = run_program(iter(()))
+        assert set(result.disk_stats) == {"RZ56", "RZ26"}
+
+    def test_policy_name_recorded(self):
+        _, result = run_program(iter(()), config=small_config(policy=GLOBAL_LRU))
+        assert result.policy == "global-lru"
+
+    def test_cache_frames_from_mb(self):
+        assert MachineConfig(cache_mb=6.4).cache_frames == 819
+        assert MachineConfig(cache_mb=16).cache_frames == 2048

@@ -1,0 +1,267 @@
+"""Kernel edge cases: attribution, contention, daemon interplay, sharing."""
+
+import pytest
+
+from repro.core.allocation import GLOBAL_LRU, LRU_SP
+from repro.core.interface import FBehaviorOp
+from repro.kernel.system import MachineConfig, System
+from repro.sim.ops import BlockRead, BlockWrite, Compute, Control, CreateFile
+
+
+def cfg(**kw):
+    kw.setdefault("cache_mb", 0.5)
+    return MachineConfig(**kw)
+
+
+class TestAttribution:
+    def test_writeback_charged_to_dirtier_not_evictor(self):
+        """Process A dirties blocks; B's misses push them out.  The write
+        I/Os must appear in A's counters (it created the traffic)."""
+        system = System(cfg(cache_mb=0.25, sync_interval_s=10_000.0))
+        system.add_file("bdata", nblocks=64)
+
+        def writer():
+            yield CreateFile("out")
+            for b in range(24):
+                yield BlockWrite("out", b)
+
+        def reader():
+            yield Compute(0.5)  # let the writer fill the cache first
+            for b in range(64):
+                yield BlockRead("bdata", b)
+
+        system.spawn("writer", writer())
+        system.spawn("reader", reader())
+        result = system.run()
+        assert result.proc("writer").stats.disk_writes == 24
+        assert result.proc("reader").stats.disk_writes == 0
+
+    def test_daemon_flush_charged_to_owner(self):
+        system = System(cfg(sync_interval_s=1.0))
+
+        def writer():
+            yield CreateFile("out")
+            yield BlockWrite("out", 0)
+            yield Compute(3.0)  # stay alive across a daemon tick
+
+        system.spawn("writer", writer())
+        result = system.run()
+        assert result.proc("writer").stats.disk_writes == 1
+
+    def test_no_double_charge_for_flushed_then_evicted(self):
+        """A block flushed by the daemon is clean; its later eviction must
+        not produce a second write."""
+        system = System(cfg(cache_mb=0.25, sync_interval_s=1.0))
+        system.add_file("bdata", nblocks=64)
+
+        def prog():
+            yield CreateFile("out")
+            yield BlockWrite("out", 0)
+            yield Compute(2.0)               # daemon flushes the block
+            for b in range(64):              # churn evicts it (clean)
+                yield BlockRead("bdata", b)
+
+        system.spawn("p", prog())
+        result = system.run()
+        assert result.proc("p").stats.disk_writes == 1
+
+
+class TestSpawnAndScheduling:
+    def test_late_spawn_during_run(self):
+        """A Fork-spawned process starting mid-run finishes and is counted."""
+        from repro.sim.ops import Fork
+
+        def child():
+            yield Compute(0.2)
+
+        def parent():
+            yield Compute(0.1)
+            yield Fork("late", child())
+
+        system = System(cfg())
+        system.spawn("parent", parent())
+        result = system.run()
+        assert result.procs["late"].finish_time > 0.2
+
+    def test_io_bound_not_starved_by_compute_bound(self):
+        """The preemptive CPU: a hit-loop reader beside a cruncher."""
+        system = System(cfg(cache_mb=1.0))
+        system.add_file("hot", nblocks=8)
+
+        def cruncher():
+            for _ in range(100):
+                yield Compute(0.010)
+
+        def reader():
+            for i in range(200):
+                yield BlockRead("hot", i % 8)
+
+        system.spawn("cruncher", cruncher())
+        system.spawn("reader", reader())
+        result = system.run()
+        # The reader's work is ~8 misses + 200 cheap hits: far less than a
+        # second of CPU.  Without preemption it would wait ~0.5 s of
+        # cruncher chunks; with it, it finishes long before the cruncher.
+        assert result.proc("reader").finish_time < result.proc("cruncher").finish_time * 0.7
+
+    def test_bus_contention_extends_two_disk_runs(self):
+        def reader(path, n):
+            def prog():
+                for b in range(n):
+                    yield BlockRead(path, b)
+
+            return prog()
+
+        def run(shared_bus):
+            system = System(cfg(shared_bus=shared_bus))
+            system.add_file("a", nblocks=200, disk="RZ56")
+            system.add_file("b", nblocks=200, disk="RZ26")
+            system.spawn("pa", reader("a", 200))
+            system.spawn("pb", reader("b", 200))
+            return system.run().makespan
+
+        assert run(shared_bus=True) >= run(shared_bus=False)
+
+
+class TestSharedFilesInKernel:
+    def test_shared_file_keeps_designated_manager(self):
+        system = System(cfg(cache_mb=1.0, policy=LRU_SP))
+        system.add_file("shared", nblocks=16)
+
+        def manager_proc():
+            yield Control(FBehaviorOp.SET_POLICY, (0, "mru"))
+            for b in range(16):
+                yield BlockRead("shared", b)
+            yield Compute(0.5)
+
+        def other_proc():
+            yield Compute(0.2)
+            for b in range(16):
+                yield BlockRead("shared", b)
+
+        mgr = system.spawn("mgr", manager_proc())
+        system.spawn("other", other_proc())
+        fid = system.fs.lookup("shared").file_id
+        system.acm.share_file(fid, mgr.pid)
+        system.run()
+        for block in system.cache.blocks_of_file(fid):
+            assert block.owner_pid == mgr.pid
+
+    def test_second_reader_of_shared_file_hits(self):
+        system = System(cfg(cache_mb=1.0))
+        system.add_file("shared", nblocks=16)
+
+        def first():
+            for b in range(16):
+                yield BlockRead("shared", b)
+
+        def second():
+            yield Compute(1.0)
+            for b in range(16):
+                yield BlockRead("shared", b)
+
+        system.spawn("first", first())
+        system.spawn("second", second())
+        result = system.run()
+        assert result.proc("second").stats.hits == 16
+        assert result.proc("second").stats.disk_reads == 0
+
+
+class TestConfig:
+    def test_single_disk_machine(self):
+        from repro.disk.params import RZ56
+
+        system = System(MachineConfig(cache_mb=0.5, disks=(RZ56,)))
+        system.add_file("f", nblocks=4)
+
+        def prog():
+            yield BlockRead("f", 0)
+
+        system.spawn("p", prog())
+        result = system.run()
+        assert set(result.disk_stats) == {"RZ56"}
+
+    def test_settle_false_leaves_dirty_uncounted(self):
+        def prog():
+            yield CreateFile("out")
+            yield BlockWrite("out", 0)
+
+        system = System(cfg(sync_interval_s=10_000.0))
+        system.spawn("p", prog())
+        result = system.run(settle=False)
+        assert result.proc("p").stats.disk_writes == 0
+
+    def test_upcall_cost_configurable(self):
+        from repro.core.upcall import MRUHandler, UpcallACM
+        from repro.workloads import Dinero
+
+        def run(ms):
+            acm = UpcallACM()
+            system = System(cfg(cache_mb=0.5, upcall_cpu_ms=ms), acm=acm)
+            Dinero(smart=False, trace_blocks=100, passes=3, cpu_per_block=0.001).spawn(system)
+            system.acm.register_handler(1, MRUHandler())
+            return system.run().proc("din").elapsed
+
+        assert run(5.0) > run(0.0)
+
+
+class TestOccupancySampling:
+    def test_disabled_by_default(self):
+        system = System(cfg())
+        system.spawn("p", iter([Compute(1.0)]))
+        result = system.run()
+        assert result.occupancy_samples == []
+
+    def test_samples_collected_at_interval(self):
+        system = System(cfg(sample_occupancy_s=0.5))
+        system.add_file("f", nblocks=8)
+
+        def prog():
+            for i in range(8):
+                yield BlockRead("f", i)
+                yield Compute(0.3)
+
+        system.spawn("p", prog())
+        result = system.run()
+        assert len(result.occupancy_samples) >= 3
+        times = [t for t, _ in result.occupancy_samples]
+        assert times == sorted(times)
+
+    def test_occupancy_counts_frames_per_pid(self):
+        system = System(cfg(cache_mb=1.0, sample_occupancy_s=0.5))
+        system.add_file("f", nblocks=8)
+
+        def prog():
+            for i in range(8):
+                yield BlockRead("f", i)
+            yield Compute(1.0)
+
+        proc = system.spawn("p", prog())
+        result = system.run()
+        final = result.occupancy_samples[-1][1]
+        assert final[proc.pid] == 8
+
+    def test_lru_sp_preserves_victim_allocation(self):
+        """The allocation view of Table 1: with placeholders the oblivious
+        reader keeps ~its working set; without, the fool erodes it."""
+        from repro.core.allocation import LRU_S
+        from repro.workloads import ReadN
+        from repro.workloads.readn import ReadNBehavior
+
+        def run(policy):
+            system = System(MachineConfig(
+                cache_mb=6.4, policy=policy, sample_occupancy_s=5.0))
+            fg = ReadN(n=490, file_blocks=1176,
+                       behavior=ReadNBehavior.OBLIVIOUS, cpu_per_block=0.0015)
+            bg = ReadN(n=300, file_blocks=1310,
+                       behavior=ReadNBehavior.FOOLISH, cpu_per_block=0.0015)
+            p_fg = fg.spawn(system)
+            bg.spawn(system)
+            result = system.run()
+            mids = [s for t, s in result.occupancy_samples if 10 < t < 40]
+            return sum(s.get(p_fg.pid, 0) for s in mids) / max(1, len(mids))
+
+        protected = run(LRU_SP)
+        unprotected = run(LRU_S)
+        assert protected > 450        # near its full 490-frame working set
+        assert unprotected < protected - 50

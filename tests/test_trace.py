@@ -1,0 +1,217 @@
+"""The trace package: record → serialise → parse → replay."""
+
+import io
+
+import pytest
+
+from repro.core.allocation import GLOBAL_LRU, LRU_SP
+from repro.core.opt import lru_misses
+from repro.sim.ops import BlockRead, BlockWrite, Compute, CreateFile, DeleteFile, Fork
+from repro.trace import (
+    AccessRecord,
+    DirectiveRecord,
+    analyze_trace,
+    read_trace,
+    replay,
+    write_trace,
+)
+from repro.trace.format import TraceFormatError
+from repro.trace.recorder import record_program, record_workload
+from repro.workloads import Dinero
+from repro.workloads.base import set_policy, set_priority, set_temppri
+
+
+def simple_trace():
+    return [
+        DirectiveRecord(1, "set_policy", (0, "mru")),
+        AccessRecord(1, "f", 0),
+        AccessRecord(1, "f", 1, write=True, whole=True),
+        AccessRecord(1, "f", 2, write=True, whole=False),
+        DirectiveRecord(1, "delete", ("f",)),
+    ]
+
+
+class TestEvents:
+    def test_access_validation(self):
+        with pytest.raises(ValueError):
+            AccessRecord(1, "f", -1)
+
+    def test_records_hashable_and_equal(self):
+        assert AccessRecord(1, "f", 0) == AccessRecord(1, "f", 0)
+        assert DirectiveRecord(1, "set_policy", (0, "mru")) == DirectiveRecord(
+            1, "set_policy", (0, "mru")
+        )
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        text = write_trace(simple_trace())
+        assert read_trace(text) == simple_trace()
+
+    def test_header_and_kinds(self):
+        text = write_trace(simple_trace())
+        lines = text.splitlines()
+        assert lines[0].startswith("# repro-trace")
+        assert any(line.startswith("A 1 r 0") for line in lines)
+        assert any(line.startswith("A 1 W 1") for line in lines)
+        assert any(line.startswith("A 1 w 2") for line in lines)
+
+    def test_write_to_stream(self):
+        buf = io.StringIO()
+        write_trace(simple_trace(), buf)
+        buf.seek(0)
+        assert read_trace(buf) == simple_trace()
+
+    def test_write_to_path(self, tmp_path):
+        path = str(tmp_path / "t.trace")
+        write_trace(simple_trace(), path)
+        with open(path) as f:
+            assert read_trace(f) == simple_trace()
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# hello\n\nA 1 r 0 f\n   \n# bye\n"
+        assert read_trace(text) == [AccessRecord(1, "f", 0)]
+
+    def test_integer_directive_args_parse_as_ints(self):
+        events = read_trace("D 1 set_temppri f 3 5 -1\n")
+        assert events[0].args == ("f", 3, 5, -1)
+
+    def test_malformed_lines_rejected(self):
+        with pytest.raises(TraceFormatError):
+            read_trace("A 1 r\n")
+        with pytest.raises(TraceFormatError):
+            read_trace("X 1 2 3\n")
+        with pytest.raises(TraceFormatError):
+            read_trace("A 1 z 0 f\n")
+
+    def test_non_event_rejected_on_write(self):
+        with pytest.raises(TypeError):
+            write_trace(["nope"])
+
+
+class TestRecorder:
+    def test_records_reads_and_writes(self):
+        def prog():
+            yield BlockRead("f", 0)
+            yield Compute(1.0)
+            yield BlockWrite("f", 1, whole=True)
+
+        events = record_program(prog())
+        assert events == [
+            AccessRecord(1, "f", 0),
+            AccessRecord(1, "f", 1, write=True, whole=True),
+        ]
+
+    def test_records_directives_with_names(self):
+        def prog():
+            yield set_priority("f", 2)
+            yield set_policy(0, "mru")
+            yield set_temppri("f", 0, 0, -1)
+
+        ops = [ev.op for ev in record_program(prog())]
+        assert ops == ["set_priority", "set_policy", "set_temppri"]
+
+    def test_records_create_delete(self):
+        def prog():
+            yield CreateFile("tmp", size_hint=4)
+            yield DeleteFile("tmp")
+
+        events = record_program(prog())
+        assert events[0].op == "create"
+        assert events[1].op == "delete"
+
+    def test_fork_children_get_distinct_pids(self):
+        def child():
+            yield BlockRead("c", 0)
+
+        def prog():
+            yield Fork("kid", child())
+            yield BlockRead("p", 0)
+
+        events = record_program(prog())
+        pids = {ev.pid for ev in events}
+        assert len(pids) == 2
+
+    def test_record_workload_matches_op_count(self):
+        din = Dinero(trace_blocks=10, passes=2)
+        events = record_workload(din)
+        accesses = [ev for ev in events if isinstance(ev, AccessRecord)]
+        assert len(accesses) == 20
+
+
+class TestReplay:
+    def test_replay_counts(self):
+        events = [AccessRecord(1, "f", b % 3) for b in range(9)]
+        result = replay(events, nframes=3, policy=GLOBAL_LRU)
+        assert result.accesses == 9
+        assert result.misses == 3
+        assert result.hits == 6
+
+    def test_replay_matches_reference_lru(self):
+        events = [AccessRecord(1, "f", (b * 7) % 13) for b in range(200)]
+        result = replay(events, nframes=5, policy=GLOBAL_LRU)
+        refs = [("f", (b * 7) % 13) for b in range(200)]
+        assert result.misses == lru_misses(refs, 5)
+
+    def test_directives_affect_replay(self):
+        scan = [AccessRecord(1, "f", b) for b in range(10)] * 3
+        plain = replay(scan, nframes=5, policy=LRU_SP)
+        smart = replay(
+            [DirectiveRecord(1, "set_policy", (0, "mru"))] + scan,
+            nframes=5,
+            policy=LRU_SP,
+        )
+        assert smart.misses < plain.misses
+
+    def test_dirty_final_flush_counted(self):
+        events = [AccessRecord(1, "f", b, write=True, whole=True) for b in range(3)]
+        with_flush = replay(events, nframes=8, count_final_flush=True)
+        without = replay(events, nframes=8, count_final_flush=False)
+        assert with_flush.disk_writes == 3
+        assert without.disk_writes == 0
+
+    def test_delete_discards_dirty(self):
+        events = [
+            AccessRecord(1, "tmp", 0, write=True, whole=True),
+            DirectiveRecord(1, "delete", ("tmp",)),
+        ]
+        result = replay(events, nframes=8)
+        assert result.disk_writes == 0
+
+    def test_whole_write_miss_needs_no_read(self):
+        events = [AccessRecord(1, "f", 0, write=True, whole=True)]
+        result = replay(events, nframes=4, count_final_flush=False)
+        assert result.misses == 1
+        assert result.disk_reads == 0
+
+    def test_per_pid_breakdown(self):
+        events = [AccessRecord(1, "a", 0), AccessRecord(2, "b", 0), AccessRecord(2, "b", 0)]
+        result = replay(events, nframes=8)
+        assert result.per_pid[1]["accesses"] == 1
+        assert result.per_pid[2]["hits"] == 1
+
+    def test_replay_records_placeholder_activity(self):
+        din = Dinero(trace_blocks=20, passes=3)
+        events = record_workload(din)
+        result = replay(events, nframes=10, policy=LRU_SP)
+        assert result.overrules > 0
+
+
+class TestAnalyze:
+    def test_bounds_ordering(self):
+        din = Dinero(trace_blocks=20, passes=4)
+        events = record_workload(din)
+        analysis = analyze_trace(events, nframes=10)
+        assert analysis["opt"] <= analysis["lru_sp"] <= analysis["lru"]
+        # MRU is the right policy for this trace, so LRU-SP (with the MRU
+        # directive in the trace) tracks the plain-MRU bound closely.
+        assert analysis["lru_sp"] <= analysis["mru"] * 1.2
+
+    def test_full_workload_roundtrip_through_text(self):
+        din = Dinero(trace_blocks=15, passes=2)
+        events = record_workload(din)
+        text = write_trace(events)
+        again = read_trace(text)
+        a = replay(events, nframes=8)
+        b = replay(again, nframes=8)
+        assert (a.misses, a.hits, a.block_ios) == (b.misses, b.hits, b.block_ios)

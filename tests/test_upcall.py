@@ -1,0 +1,162 @@
+"""Upcall-based managers (the general interface the paper argued against)."""
+
+import pytest
+
+from conftest import make_cache, touch
+from repro.core.allocation import GLOBAL_LRU, LRU_SP
+from repro.core.blocks import CacheBlock
+from repro.core.upcall import (
+    LRUHandler,
+    MRUHandler,
+    PinningHandler,
+    UpcallACM,
+    UpcallHandler,
+)
+from repro.kernel.system import MachineConfig, System
+from repro.workloads import Dinero
+
+
+def upcall_cache(nframes=4, handler=None, pid=1, policy=LRU_SP):
+    acm = UpcallACM()
+    cache = make_cache(nframes=nframes, policy=policy, acm=acm)
+    if handler is not None:
+        acm.register_handler(pid, handler)
+    return cache, acm
+
+
+class TestHandlers:
+    def test_mru_handler_tracks_and_evicts_mru(self):
+        cache, acm = upcall_cache(nframes=3, handler=MRUHandler())
+        for b in range(3):
+            touch(cache, 1, 1, b)
+        touch(cache, 1, 1, 3)  # MRU handler gives up block 2
+        assert cache.peek(1, 2) is None
+        assert cache.peek(1, 0) is not None
+
+    def test_lru_handler_matches_oblivious(self):
+        """An LRU handler makes the same decisions as no handler at all."""
+        stream = [(1, 1, (i * 7) % 9) for i in range(120)]
+        managed, acm = upcall_cache(nframes=4, handler=LRUHandler())
+        plain = make_cache(nframes=4, policy=GLOBAL_LRU)
+        a = [touch(managed, *ref).hit for ref in stream]
+        b = [touch(plain, *ref).hit for ref in stream]
+        assert a == b
+
+    def test_pinning_handler_protects_file(self):
+        cache, acm = upcall_cache(nframes=4, handler=PinningHandler({9}))
+        touch(cache, 1, 9, 0)  # the pinned file
+        for b in range(8):
+            touch(cache, 1, 1, b)
+        assert cache.peek(9, 0) is not None
+
+    def test_pinning_handler_falls_back_when_all_pinned(self):
+        cache, acm = upcall_cache(nframes=2, handler=PinningHandler({9}))
+        touch(cache, 1, 9, 0)
+        touch(cache, 1, 9, 1)
+        touch(cache, 1, 9, 2)  # must evict a pinned block anyway
+        assert cache.resident == 2
+
+    def test_handler_tracks_resident_set_via_upcalls(self):
+        handler = MRUHandler()
+        cache, acm = upcall_cache(nframes=2, handler=handler)
+        touch(cache, 1, 1, 0)
+        touch(cache, 1, 1, 1)
+        touch(cache, 1, 1, 2)
+        resident = {b.id for b in cache.blocks_owned_by(1)}
+        assert {b.id for b in handler.order} == resident
+
+    def test_upcall_counter(self):
+        cache, acm = upcall_cache(nframes=2, handler=MRUHandler())
+        touch(cache, 1, 1, 0)
+        touch(cache, 1, 1, 1)
+        touch(cache, 1, 1, 2)
+        # new_block x3 + accessed? (miss path: no accessed) + replace x1
+        assert acm.upcalls >= 4
+
+
+class TestSafety:
+    class EvilHandler(UpcallHandler):
+        """Returns garbage; the kernel must not trust it."""
+
+        def __init__(self, answer):
+            self.answer = answer
+
+        def replace_block(self, candidate, missing_id):
+            return self.answer
+
+    def test_none_answer_falls_back_to_candidate(self):
+        cache, acm = upcall_cache(nframes=2, handler=self.EvilHandler(None))
+        for b in range(4):
+            touch(cache, 1, 1, b)
+        cache.check_invariants()
+
+    def test_foreign_block_answer_rejected(self):
+        foreign = CacheBlock(7, 7, owner_pid=99)
+        cache, acm = upcall_cache(nframes=2, handler=self.EvilHandler(foreign))
+        for b in range(4):
+            touch(cache, 1, 1, b)
+        cache.check_invariants()
+
+    def test_nonresident_answer_rejected(self):
+        stale = CacheBlock(1, 0, owner_pid=1)
+        stale.resident = False
+        cache, acm = upcall_cache(nframes=2, handler=self.EvilHandler(stale))
+        for b in range(4):
+            touch(cache, 1, 1, b)
+        cache.check_invariants()
+
+    def test_directive_and_upcall_processes_coexist(self):
+        acm = UpcallACM()
+        cache = make_cache(nframes=6, policy=LRU_SP, acm=acm)
+        acm.register_handler(1, MRUHandler())
+        acm.register(2)
+        acm.set_policy(2, 0, "mru")
+        for i in range(30):
+            touch(cache, 1, 1, i % 5)
+            touch(cache, 2, 2, i % 5)
+            cache.check_invariants()
+
+    def test_ownership_transfer_between_handler_and_manager(self):
+        acm = UpcallACM()
+        cache = make_cache(nframes=6, policy=LRU_SP, acm=acm)
+        handler = MRUHandler()
+        acm.register_handler(1, handler)
+        acm.register(2)
+        touch(cache, 1, 5, 0)
+        touch(cache, 2, 5, 0)  # pid 2 takes the block over
+        block = cache.peek(5, 0)
+        assert block.owner_pid == 2
+        assert block not in handler.order
+        assert block in acm.managers[2].pools[0].blocks
+        touch(cache, 1, 5, 0)  # and back again
+        assert cache.peek(5, 0).owner_pid == 1
+        assert cache.peek(5, 0) in handler.order
+
+    def test_register_handler_adopts_existing_blocks(self):
+        acm = UpcallACM()
+        cache = make_cache(nframes=6, policy=LRU_SP, acm=acm)
+        touch(cache, 1, 1, 0)
+        handler = MRUHandler()
+        acm.register_handler(1, handler)
+        assert len(handler.order) == 1
+
+
+class TestKernelIntegration:
+    def _run(self, use_upcalls: bool):
+        acm = UpcallACM() if use_upcalls else None
+        system = System(MachineConfig(cache_mb=1.0, policy=LRU_SP), acm=acm)
+        Dinero(smart=not use_upcalls, trace_blocks=200, passes=3,
+               cpu_per_block=0.002).spawn(system)
+        if use_upcalls:
+            system.acm.register_handler(1, MRUHandler())
+        return system.run().proc("din")
+
+    def test_same_decisions_either_interface(self):
+        directives = self._run(use_upcalls=False)
+        upcalls = self._run(use_upcalls=True)
+        assert directives.block_ios == upcalls.block_ios
+
+    def test_upcalls_cost_elapsed_time(self):
+        directives = self._run(use_upcalls=False)
+        upcalls = self._run(use_upcalls=True)
+        assert upcalls.elapsed > directives.elapsed * 1.02

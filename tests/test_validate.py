@@ -1,0 +1,49 @@
+"""The self-validation report (rendering and claim wiring)."""
+
+import pytest
+
+from repro.harness.validate import Check, render_validation
+
+
+class TestRender:
+    def test_pass_and_fail_marks(self):
+        checks = [
+            Check("fig4/din", "io-ratio", "0.27", "0.29", True),
+            Check("fig5", "grows", "False", "True", False),
+        ]
+        text = render_validation(checks)
+        assert "[PASS] fig4/din" in text
+        assert "[FAIL] fig5" in text
+        assert "1/2 claims reproduced" in text
+
+    def test_alignment_uses_longest_names(self):
+        checks = [
+            Check("a", "short", "1", "1", True),
+            Check("a-much-longer-name", "a longer claim text", "2", "2", True),
+        ]
+        text = render_validation(checks)
+        lines = text.splitlines()
+        assert lines[0].index("ours=") == lines[1].index("ours=")
+
+    def test_all_pass_summary(self):
+        checks = [Check("x", "c", "1", "1", True)]
+        assert "1/1 claims reproduced" in render_validation(checks)
+
+
+class TestSections:
+    def test_sections_registered(self):
+        from repro.harness import validate
+
+        names = [fn.__name__ for fn in validate._SECTIONS]
+        assert "_ratio_checks" in names
+        assert "_table1_checks" in names
+        assert "_table34_checks" in names
+        assert len(names) == 7
+
+    def test_small_scale_validation_runs(self):
+        """Exercise the fig4 ratio section on a reduced configuration by
+        priming the memoised experiment with small inputs."""
+        from repro.harness.experiments import fig4_single_apps
+
+        data = fig4_single_apps(("din",), (1.0,))
+        assert data["din"][1.0].io_ratio <= 1.0

@@ -1,0 +1,209 @@
+"""Virtual-memory extension: the two-hand clock with swapping/placeholders."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocation import ALLOC_LRU, GLOBAL_LRU, LRU_S, LRU_SP
+from repro.vm import ClockPagePool, VmSystem
+from repro.vm.system import VmError
+
+
+class TestClockBasics:
+    def test_fault_then_hit(self):
+        pool = ClockPagePool(4, policy=GLOBAL_LRU)
+        fault, _ = pool.access(1, 1, 0)
+        assert fault
+        fault, _ = pool.access(1, 1, 0)
+        assert not fault
+
+    def test_capacity(self):
+        pool = ClockPagePool(4, policy=GLOBAL_LRU)
+        for p in range(20):
+            pool.access(1, 1, p)
+            assert pool.resident <= 4
+        pool.check_invariants()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClockPagePool(1)
+        with pytest.raises(ValueError):
+            ClockPagePool(4, spread=0)
+        with pytest.raises(ValueError):
+            ClockPagePool(4, spread=4)
+
+    def test_reference_bit_set_on_access(self):
+        pool = ClockPagePool(4, policy=GLOBAL_LRU)
+        pool.access(1, 1, 0)
+        page = pool.peek(1, 0)
+        assert pool.referenced(page)
+
+    def test_second_chance(self):
+        """A re-referenced page survives one extra lap."""
+        pool = ClockPagePool(3, spread=1, policy=GLOBAL_LRU)
+        for p in (0, 1, 2):
+            pool.access(1, 1, p)
+        pool.access(1, 1, 0)        # keep page 0's bit set
+        pool.access(1, 1, 3)        # needs a frame
+        assert pool.peek(1, 0) is not None
+
+    def test_clock_tracks_lru_coarsely(self):
+        """CLOCK is an approximation: near LRU, never wildly off it."""
+        from repro.core.opt import lru_misses
+
+        trace = [((i * i) % 31) % 12 for i in range(600)]
+        pool = ClockPagePool(6, policy=GLOBAL_LRU)
+        faults = sum(1 for p in trace if pool.access(1, 1, p)[0])
+        reference = lru_misses(trace, 6)
+        assert reference * 0.8 <= faults <= reference * 1.7
+
+    def test_hand_steps_accounted(self):
+        pool = ClockPagePool(3, policy=GLOBAL_LRU)
+        for p in range(10):
+            pool.access(1, 1, p)
+        assert pool.stats.hand_steps > 0
+
+    def test_invariants_under_churn(self):
+        pool = ClockPagePool(5, policy=LRU_SP)
+        pool.acm.register(1)
+        pool.acm.set_policy(1, 0, "mru")
+        for i in range(200):
+            pool.access(1, 1, (i * 3) % 13)
+            pool.check_invariants()
+
+
+class TestTwoLevelOnClock:
+    def _mru_pool(self, nframes=4, policy=LRU_SP):
+        pool = ClockPagePool(nframes, policy=policy)
+        pool.acm.register(1)
+        pool.acm.set_policy(1, 0, "mru")
+        return pool
+
+    def test_consultation_changes_evictions(self):
+        oblivious = ClockPagePool(4, policy=LRU_SP)
+        smart = self._mru_pool(4)
+        trace = [p % 6 for p in range(60)]
+        base = sum(1 for p in trace if oblivious.access(1, 1, p)[0])
+        managed = sum(1 for p in trace if smart.access(1, 1, p)[0])
+        assert managed < base  # MRU wins the cyclic scan on the clock too
+
+    def test_overrules_swap_ring_slots(self):
+        pool = self._mru_pool(4)
+        for p in range(6):
+            pool.access(1, 1, p)
+        assert pool.stats.swaps >= 1
+
+    def test_lru_s_no_placeholders(self):
+        pool = self._mru_pool(4, policy=LRU_S)
+        for p in range(8):
+            pool.access(1, 1, p)
+        assert pool.stats.swaps >= 1
+        assert len(pool.placeholders) == 0
+
+    def test_alloc_clock_neither(self):
+        pool = self._mru_pool(4, policy=ALLOC_LRU)
+        for p in range(8):
+            pool.access(1, 1, p)
+        assert pool.stats.swaps == 0
+        assert len(pool.placeholders) == 0
+
+    def test_placeholder_fires_on_refault(self):
+        pool = self._mru_pool(3)
+        for p in (0, 1, 2):
+            pool.access(1, 1, p)
+        pool.access(1, 1, 3)   # MRU gives up page 2, placeholder 2 -> cand
+        assert pool.placeholders.created >= 1
+        pool.access(1, 1, 2)   # refault: the placeholder fires
+        assert pool.placeholders.consumed >= 1
+        assert pool.acm.managers[1].mistakes >= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(1, 2), st.integers(0, 12)), max_size=150))
+    def test_invariants_property(self, refs):
+        pool = ClockPagePool(5, policy=LRU_SP)
+        pool.acm.register(1)
+        pool.acm.set_policy(1, 0, "mru")
+        for pid, pageno in refs:
+            pool.access(pid, pid, pageno)
+            pool.check_invariants()
+        table = pool.placeholders
+        assert table.created == table.consumed + table.discarded + len(table)
+
+
+class TestVmSystem:
+    def test_region_lifecycle(self):
+        vm = VmSystem(8)
+        vm.create_region("heap", 16)
+        assert vm.region("heap").npages == 16
+        with pytest.raises(VmError):
+            vm.create_region("heap", 4)
+        with pytest.raises(VmError):
+            vm.region("stack")
+
+    def test_touch_bounds_checked(self):
+        vm = VmSystem(8)
+        vm.create_region("heap", 4)
+        with pytest.raises(VmError):
+            vm.touch(1, "heap", 4)
+
+    def test_fault_accounting(self):
+        vm = VmSystem(8)
+        vm.create_region("heap", 4)
+        vm.touch(1, "heap", 0)
+        vm.touch(1, "heap", 0)
+        assert vm.faults(1) == 1
+        assert vm.per_pid[1].accesses == 2
+        assert vm.per_pid[1].fault_ratio == 0.5
+
+    def test_faults_for_unknown_pid(self):
+        assert VmSystem(8).faults(42) == 0
+
+    def test_region_priority_protects_index_pages(self):
+        def run(smart):
+            vm = VmSystem(16, spread=4)
+            vm.create_region("index", 8)
+            vm.create_region("data", 64)
+            if smart:
+                vm.set_region_priority(1, "index", 1)
+            # interleave hot index touches with a long data scan
+            for round_ in range(4):
+                for p in range(8):
+                    vm.touch(1, "index", p)
+                for p in range(64):
+                    vm.touch(1, "data", p)
+            return vm.faults(1)
+
+        assert run(smart=True) < run(smart=False)
+
+    def test_done_with_advice_recycles_scan_pages(self):
+        def run(advise):
+            vm = VmSystem(16, spread=4)
+            vm.create_region("hot", 8)
+            vm.create_region("scan", 64)
+            vm.set_region_priority(1, "hot", 0)  # register the manager
+            for p in range(8):
+                vm.touch(1, "hot", p)
+            for p in range(64):
+                vm.touch(1, "scan", p)
+                if advise:
+                    vm.advise_done_with(1, "scan", p, p)
+            for p in range(8):
+                vm.touch(1, "hot", p)
+            return vm.faults(1)
+
+        assert run(advise=True) < run(advise=False)
+
+    def test_will_need_advice(self):
+        vm = VmSystem(8, spread=2)
+        vm.create_region("r", 16)
+        vm.set_region_priority(1, "r", 0)
+        for p in range(8):
+            vm.touch(1, "r", p)
+        vm.advise_will_need(1, "r", 0, 1)
+        page = vm.pool.peek(vm.region("r").region_id, 0)
+        assert page.pool_prio == vm.high_temp_priority
+
+    def test_advice_range_validation(self):
+        vm = VmSystem(8)
+        vm.create_region("r", 4)
+        with pytest.raises(VmError):
+            vm.advise_done_with(1, "r", 2, 9)

@@ -1,0 +1,389 @@
+"""Workload generators: shapes, counts, and directive prologues."""
+
+import pytest
+
+from repro.core.interface import FBehaviorOp
+from repro.sim.ops import BlockRead, BlockWrite, Compute, Control, CreateFile, DeleteFile
+from repro.workloads import (
+    Dinero,
+    ExternalSort,
+    Glimpse,
+    LinkEditor,
+    PostgresJoin,
+    ReadN,
+    make_cs1,
+    make_cs2,
+    make_cs3,
+)
+from repro.workloads.base import FileSpec, seq_read, seq_write
+from repro.workloads.readn import ReadNBehavior
+from repro.workloads.registry import WORKLOADS, make_workload
+
+
+def ops_of(workload):
+    return list(workload.program())
+
+
+def reads(ops):
+    return [op for op in ops if isinstance(op, BlockRead)]
+
+
+def writes(ops):
+    return [op for op in ops if isinstance(op, BlockWrite)]
+
+
+def controls(ops):
+    return [op for op in ops if isinstance(op, Control)]
+
+
+class TestHelpers:
+    def test_seq_read_order(self):
+        ops = list(seq_read("f", 3, 0.0))
+        assert [op.blockno for op in ops] == [0, 1, 2]
+
+    def test_seq_read_with_cpu_interleaves(self):
+        ops = list(seq_read("f", 2, 0.01))
+        assert isinstance(ops[0], BlockRead) and isinstance(ops[1], Compute)
+
+    def test_seq_read_free_behind_emits_temppri(self):
+        ops = list(seq_read("f", 2, 0.0, free_behind=True))
+        temps = [op for op in ops if isinstance(op, Control)]
+        assert len(temps) == 2
+        assert temps[0].op is FBehaviorOp.SET_TEMPPRI
+        assert temps[0].args == ("f", 0, 0, -1)
+
+    def test_seq_write_whole_blocks(self):
+        ops = list(seq_write("f", 3))
+        assert all(op.whole for op in ops)
+
+    def test_file_spec_validation(self):
+        with pytest.raises(ValueError):
+            FileSpec("x", 0)
+
+
+class TestDinero:
+    def test_access_count(self):
+        din = Dinero()
+        assert len(reads(ops_of(din))) == din.passes * din.trace_blocks
+
+    def test_smart_prologue(self):
+        ctl = controls(ops_of(Dinero(smart=True)))
+        assert [c.op for c in ctl] == [FBehaviorOp.SET_PRIORITY, FBehaviorOp.SET_POLICY]
+        assert ctl[1].args == (0, "mru")
+
+    def test_oblivious_has_no_directives(self):
+        assert controls(ops_of(Dinero(smart=False))) == []
+
+    def test_cyclic_pattern(self):
+        din = Dinero(trace_blocks=5, passes=2)
+        assert [op.blockno for op in reads(ops_of(din))] == [0, 1, 2, 3, 4] * 2
+
+    def test_file_specs(self):
+        din = Dinero()
+        (spec,) = din.file_specs()
+        assert spec.nblocks == 998
+
+
+class TestCscope:
+    def test_cs1_scans_database(self):
+        cs1 = make_cs1()
+        rs = reads(ops_of(cs1))
+        assert len(rs) == 8 * 1141
+        assert all(op.path == cs1.db_path for op in rs)
+
+    def test_cs2_total_blocks_per_query(self):
+        cs2 = make_cs2()
+        rs = reads(ops_of(cs2))
+        assert len(rs) == cs2.queries * cs2.total_blocks
+
+    def test_cs2_same_order_every_query(self):
+        cs2 = make_cs2(total_blocks=50, nfiles=5, queries=2)
+        rs = reads(ops_of(cs2))
+        per_query = len(rs) // 2
+        assert [(op.path, op.blockno) for op in rs[:per_query]] == [
+            (op.path, op.blockno) for op in rs[per_query:]
+        ]
+
+    def test_cs3_is_smaller(self):
+        assert make_cs3().total_blocks < make_cs2().total_blocks
+
+    def test_cs_text_sizes_sum_exactly(self):
+        cs2 = make_cs2()
+        assert sum(s.nblocks for s in cs2.file_specs()) == cs2.total_blocks
+
+    def test_cs_text_deterministic_sizes(self):
+        assert make_cs2()._sizes == make_cs2()._sizes
+
+    def test_smart_prologue_single_policy_call(self):
+        ctl = controls(ops_of(make_cs2()))
+        assert len(ctl) == 1
+        assert ctl[0].args == (0, "mru")
+
+
+class TestGlimpse:
+    def test_index_files_first_every_query(self):
+        gli = Glimpse()
+        rs = reads(ops_of(gli))
+        # first 250 reads of each query are the index files
+        per_query = len(rs) // gli.queries
+        first = rs[:250]
+        assert all(".glimpse" in op.path for op in first)
+        second_query = rs[per_query : per_query + 250]
+        assert all(".glimpse" in op.path for op in second_query)
+
+    def test_partition_subsets_differ_across_queries(self):
+        gli = Glimpse()
+        assert len({tuple(q) for q in gli._query_sets}) > 1
+
+    def test_hot_partitions_in_every_query(self):
+        gli = Glimpse()
+        shared = set.intersection(*(set(q) for q in gli._query_sets))
+        assert len(shared) >= gli.hot_partitions
+
+    def test_partitions_scanned_in_order(self):
+        gli = Glimpse()
+        for q in gli._query_sets:
+            assert q == sorted(q)
+
+    def test_smart_prologue_sets_index_priority(self):
+        ctl = controls(ops_of(Glimpse()))
+        prios = [c for c in ctl if c.op is FBehaviorOp.SET_PRIORITY]
+        assert len(prios) == 4
+        assert all(c.args[1] == 1 for c in prios)
+        policies = [c for c in ctl if c.op is FBehaviorOp.SET_POLICY]
+        assert {c.args for c in policies} == {(1, "mru"), (0, "mru")}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Glimpse(hot_partitions=10, partitions_per_query=5)
+        with pytest.raises(ValueError):
+            Glimpse(partitions_per_query=99)
+
+
+class TestLinkEditor:
+    def test_two_passes(self):
+        ldk = LinkEditor()
+        rs = reads(ops_of(ldk))
+        sym = sum(ldk.symbol_blocks(i) for i in range(ldk.nobjects))
+        assert len(rs) == sym + ldk.total_blocks
+
+    def test_output_written_fully(self):
+        ldk = LinkEditor()
+        ws = writes(ops_of(ldk))
+        assert len(ws) == ldk.output_blocks
+        assert {op.blockno for op in ws} == set(range(ldk.output_blocks))
+
+    def test_free_behind_only_when_smart(self):
+        assert controls(ops_of(LinkEditor(smart=False))) == []
+        smart_ctl = controls(ops_of(LinkEditor(smart=True)))
+        assert len(smart_ctl) == LinkEditor().total_blocks
+
+    def test_object_sizes_sum(self):
+        ldk = LinkEditor()
+        assert sum(ldk._sizes) == ldk.total_blocks
+
+    def test_creates_output_file(self):
+        ops = ops_of(LinkEditor())
+        assert isinstance(ops[0], CreateFile)
+
+
+class TestPostgres:
+    def test_outer_scanned_sequentially(self):
+        pjn = PostgresJoin(outer_blocks=5, tuples_per_block=2)
+        outer = [op.blockno for op in reads(ops_of(pjn)) if op.path == pjn.outer_path]
+        assert outer == [0, 1, 2, 3, 4]
+
+    def test_probe_count(self):
+        pjn = PostgresJoin(outer_blocks=10, tuples_per_block=3)
+        root_reads = [
+            op for op in reads(ops_of(pjn)) if op.path == pjn.index_path and op.blockno == 0
+        ]
+        assert len(root_reads) == 30
+
+    def test_match_rate_about_one_fifth(self):
+        pjn = PostgresJoin()
+        data_reads = [op for op in reads(ops_of(pjn)) if op.path == pjn.data_path]
+        probes = pjn.outer_blocks * pjn.tuples_per_block
+        assert 0.15 < len(data_reads) / probes < 0.25
+
+    def test_deterministic_given_seed(self):
+        a = [(op.path, op.blockno) for op in reads(ops_of(PostgresJoin(seed=7)))]
+        b = [(op.path, op.blockno) for op in reads(ops_of(PostgresJoin(seed=7)))]
+        assert a == b
+
+    def test_smart_prologue(self):
+        ctl = controls(ops_of(PostgresJoin()))
+        assert len(ctl) == 1
+        assert ctl[0].op is FBehaviorOp.SET_PRIORITY
+        assert ctl[0].args[1] == 1
+
+
+class TestSort:
+    def test_run_count(self):
+        srt = ExternalSort(input_blocks=20, run_blocks=8)
+        ops = ops_of(srt)
+        creates = [op for op in ops if isinstance(op, CreateFile)]
+        # 3 runs (8+8+4) + 1 final output
+        assert len(creates) == 4
+
+    def test_io_totals(self):
+        srt = ExternalSort()
+        ops = ops_of(srt)
+        total = len(reads(ops)) + len(writes(ops))
+        # paper's sort does ~14,670 block I/Os; the generator is sized to it
+        assert 13000 <= total <= 15500
+
+    def test_input_read_once(self):
+        srt = ExternalSort(input_blocks=32, run_blocks=8)
+        in_reads = [op for op in reads(ops_of(srt)) if op.path == srt.input_path]
+        assert sorted(op.blockno for op in in_reads) == list(range(32))
+
+    def test_temps_deleted(self):
+        srt = ExternalSort(input_blocks=32, run_blocks=8)
+        ops = ops_of(srt)
+        deletes = [op for op in ops if isinstance(op, DeleteFile)]
+        creates = [op for op in ops if isinstance(op, CreateFile)]
+        assert len(deletes) == len(creates) - 1  # all but the output
+
+    def test_cascaded_merge_consumes_everything(self):
+        srt = ExternalSort(input_blocks=100, run_blocks=4, merge_width=3)
+        ops = ops_of(srt)
+        out_writes = [op for op in writes(ops) if op.path == srt.output_path]
+        assert len(out_writes) == 100
+
+    def test_smart_prologue(self):
+        ctl = controls(ops_of(ExternalSort(input_blocks=8, run_blocks=8)))
+        heads = [c for c in ctl if c.op is not FBehaviorOp.SET_TEMPPRI]
+        assert [c.args for c in heads] == [(-1, "mru"), (0, "mru"), ("sort/input.txt", -1)]
+
+    def test_oblivious_emits_no_controls(self):
+        assert controls(ops_of(ExternalSort(smart=False, input_blocks=8, run_blocks=8))) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExternalSort(run_blocks=0)
+        with pytest.raises(ValueError):
+            ExternalSort(merge_width=1)
+
+
+class TestReadN:
+    def test_group_structure(self):
+        rn = ReadN(n=3, file_blocks=7, repeats=2)
+        blocknos = [op.blockno for op in reads(ops_of(rn))]
+        assert blocknos == [0, 1, 2] * 2 + [3, 4, 5] * 2 + [6] * 2
+
+    def test_total_accesses(self):
+        rn = ReadN(n=300, file_blocks=1310, repeats=5)
+        assert len(reads(ops_of(rn))) == 5 * 1310
+
+    def test_oblivious_by_default(self):
+        rn = ReadN(n=10, file_blocks=10)
+        assert rn.behavior is ReadNBehavior.OBLIVIOUS
+        assert controls(ops_of(rn)) == []
+
+    def test_foolish_registers_mru(self):
+        rn = ReadN(n=10, file_blocks=10, behavior="foolish")
+        ctl = controls(ops_of(rn))
+        assert ctl[0].args == (0, "mru")
+
+    def test_smart_registers_lru(self):
+        rn = ReadN(n=10, file_blocks=10, behavior=ReadNBehavior.SMART)
+        ctl = controls(ops_of(rn))
+        assert ctl[0].args == (0, "lru")
+
+    def test_default_name_from_n(self):
+        assert ReadN(n=300).name == "read300"
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            ReadN(n=0)
+
+
+class TestRegistry:
+    def test_all_kinds_buildable(self):
+        for kind in WORKLOADS:
+            wl = make_workload(kind)
+            assert wl.file_specs()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_workload("tetris")
+
+    def test_names_are_namespaced(self):
+        a = make_workload("din", name="din-a")
+        b = make_workload("din", name="din-b")
+        assert a.file_specs()[0].path != b.file_specs()[0].path
+
+    def test_paper_disk_placement(self):
+        assert make_workload("cs1").disk == "RZ56"
+        assert make_workload("gli").disk == "RZ56"
+        assert make_workload("ldk").disk == "RZ56"
+        assert make_workload("pjn").disk == "RZ26"
+        assert make_workload("sort").disk == "RZ26"
+
+    def test_readn_behavior_passthrough(self):
+        rn = make_workload("readn", n=5, file_blocks=5, behavior="foolish")
+        assert rn.behavior is ReadNBehavior.FOOLISH
+
+    def test_readn_smart_flag_maps(self):
+        rn = make_workload("readn", smart=True, n=5, file_blocks=5)
+        assert rn.behavior is ReadNBehavior.SMART
+
+
+class TestCscopeMixed:
+    def _ops(self, **kwargs):
+        from repro.workloads import CscopeMixed
+
+        return ops_of(CscopeMixed(**kwargs))
+
+    def test_plan_parsing(self):
+        from repro.workloads import CscopeMixed
+
+        wl = CscopeMixed(plan="s t s")
+        assert wl.plan == ["s", "t", "s"]
+        with pytest.raises(ValueError):
+            CscopeMixed(plan="xyz")
+
+    def test_symbol_queries_read_database(self):
+        from repro.workloads import CscopeMixed
+
+        wl = CscopeMixed(plan="s", db_blocks=10, source_blocks=20, nfiles=4)
+        rs = reads(wl.program() and ops_of(wl))
+        assert all(op.path == wl.db_path for op in rs)
+        assert len(rs) == 10
+
+    def test_text_queries_read_sources(self):
+        from repro.workloads import CscopeMixed
+
+        wl = CscopeMixed(plan="t", db_blocks=10, source_blocks=20, nfiles=4)
+        rs = reads(ops_of(wl))
+        assert all(op.path != wl.db_path for op in rs)
+        assert len(rs) == 20
+
+    def test_dynamic_repri_raises_and_lowers(self):
+        from repro.workloads import CscopeMixed
+
+        wl = CscopeMixed(plan="st", db_blocks=5, source_blocks=10, nfiles=2, dynamic=True)
+        prios = [
+            c.args for c in controls(ops_of(wl))
+            if c.op is FBehaviorOp.SET_PRIORITY and c.args[0] == wl.db_path
+        ]
+        assert (wl.db_path, 1) in prios     # raised before the symbol query
+        assert (wl.db_path, -1) in prios    # lowered before the text query
+
+    def test_static_variant_never_touches_db_priority(self):
+        from repro.workloads import CscopeMixed
+
+        wl = CscopeMixed(plan="st", db_blocks=5, source_blocks=10, nfiles=2, dynamic=False)
+        prio_calls = [c for c in controls(ops_of(wl)) if c.op is FBehaviorOp.SET_PRIORITY]
+        assert prio_calls == []
+
+    def test_oblivious_variant_silent(self):
+        from repro.workloads import CscopeMixed
+
+        wl = CscopeMixed(plan="st", smart=False, db_blocks=5, source_blocks=10, nfiles=2)
+        assert controls(ops_of(wl)) == []
+
+    def test_registry_knows_csm(self):
+        wl = make_workload("csm")
+        assert wl.kind == "csm"
