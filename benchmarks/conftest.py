@@ -19,6 +19,23 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _sanitized_smoke():
+    """Run one tiny LRU-SP workload with the invariant checker attached
+    before each benchmark module.  Sanitizing the full experiments would
+    swamp their runtimes; a cheap sanitized smoke run still catches protocol
+    regressions before minutes are spent benchmarking on top of them (see
+    docs/invariants.md)."""
+    from repro.kernel.system import MachineConfig, System
+    from repro.workloads.readn import ReadN, ReadNBehavior
+
+    system = System(MachineConfig(cache_mb=0.25, sanitize=True))
+    ReadN(n=8, file_blocks=24, repeats=2, behavior=ReadNBehavior.SMART).spawn(system)
+    system.run()
+    system.cache.sanitizer.check_now("benchmark smoke")
+    yield
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)

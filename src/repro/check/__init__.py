@@ -1,0 +1,38 @@
+"""Analysis and verification layer for the cache simulator.
+
+Two complementary guards over the BUF↔ACM contract of the paper's
+Section 4:
+
+* :mod:`repro.check.invariants` — a **runtime sanitizer**
+  (:class:`InvariantChecker`) that re-validates the structural invariants
+  of the cache after every BUF operation: list/pool membership, LRU
+  ordering, placeholder lifecycle and allocation accounting.  Off by
+  default; enabled by ``REPRO_SANITIZE=1`` or ``MachineConfig(sanitize=True)``.
+* :mod:`repro.check.lint` — a **static protocol lint** (``repro-lint``)
+  with AST rules scoped to this codebase: R001 (only BUF may invoke the
+  five ACM procedures), R002 (no wall clock / unseeded RNG in the
+  deterministic core), R003 (registry policies implement the eviction
+  protocol), R004 (no mutable defaults; config dataclasses frozen),
+  R005 (sim ops are interpreted only by the kernel).
+
+See ``docs/invariants.md`` for the invariant/rule catalogue and its paper
+citations.
+"""
+
+from repro.check.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    install_auto_sanitizer,
+    sanitize_enabled,
+)
+from repro.check.lint import Finding, lint_source, lint_tree
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "install_auto_sanitizer",
+    "sanitize_enabled",
+    "Finding",
+    "lint_source",
+    "lint_tree",
+]

@@ -1,0 +1,473 @@
+"""Runtime sanitizer for the BUF↔ACM protocol.
+
+The paper's correctness story rests on bookkeeping that is easy to drift
+out of sync under refactoring: every resident block must sit on the global
+LRU list *and* in at most one ACM pool, pool lists must stay in LRU order,
+LRU-SP's swap must really exchange global-list positions, and placeholders
+must always point at resident blocks and fire at most once.  None of that
+is visible in normal test assertions — a plausible-but-wrong replacement
+path still produces hit/miss numbers.
+
+:class:`InvariantChecker` makes the contract mechanical.  It observes the
+cache through small hooks (``BufferCache.sanitizer`` and the ACM's pool
+observer), maintains two redundant models —
+
+* a **shadow order** for the global LRU list, driven by the *semantic*
+  events (install → MRU, hit → MRU, overrule under a swapping policy →
+  exchange positions, evict → remove); and
+* a **position stamp** per block for pool lists, refreshed on every pool
+  placement the ACM performs —
+
+and after every public BUF operation sweeps the real structures, comparing
+them against the models and against each other.  Any mismatch raises a
+structured :class:`InvariantViolation` naming the operation, the block and
+the invariant.
+
+The checks (catalogued with paper citations in ``docs/invariants.md``):
+
+I1  residency — frames, global list, and the per-file index agree; no
+    block is simultaneously free and mapped.
+I2  pool membership — a block appears in **exactly one** pool iff its
+    owner has an active manager (and none otherwise); pools hold only
+    resident blocks whose ``pool_prio`` matches.
+I3  pool ordering — pool lists are LRU-ordered by position stamp: an LRU
+    pool is strictly increasing toward the MRU end (head-replace); an MRU
+    pool is "valley"-shaped, the only order reachable through its legal
+    two-ended insertions (tail-replace).
+I4  global order — the real global list order equals the shadow order
+    (this is what catches a skipped or botched LRU-SP swap).
+I5  placeholders — every entry points at a resident kept block, its
+    missing block is absent, the three indexes mirror each other, per-
+    manager quotas hold, and created == consumed + discarded + live
+    (consumed exactly once).
+I6  allocation accounting — per-manager pooled-block counts equal the
+    owner's resident blocks; temporary priorities are internally
+    consistent; only in-flight frames have waiters.
+
+Enabled off by default.  ``REPRO_SANITIZE=1`` (or
+``MachineConfig(sanitize=True)``) turns it on for every cache built
+afterwards; the test suite installs it via an autouse conftest fixture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.blocks import CacheBlock
+
+
+def sanitize_enabled() -> bool:
+    """True when the ``REPRO_SANITIZE`` environment flag asks for checking."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+class InvariantViolation(AssertionError):
+    """A structural invariant of the cache was broken.
+
+    Attributes:
+        operation: the BUF operation after which the sweep ran.
+        invariant: the catalogue id (``I1`` … ``I6``).
+        block: the block the violation is about, when one is identifiable.
+    """
+
+    def __init__(
+        self,
+        operation: str,
+        invariant: str,
+        message: str,
+        block: Optional[CacheBlock] = None,
+    ) -> None:
+        self.operation = operation
+        self.invariant = invariant
+        self.block = block
+        where = f" block={block!r}" if block is not None else ""
+        super().__init__(f"[{invariant}] after {operation!r}:{where} {message}")
+
+
+class InvariantChecker:
+    """Differential checker attached to one :class:`BufferCache`.
+
+    Construction attaches the checker (``cache.sanitizer``) and registers
+    it as the ACM's pool observer; :meth:`detach` undoes both.  ``stride``
+    trades coverage for speed: a full sweep runs every ``stride``-th BUF
+    operation (1 = every operation, the default).
+    """
+
+    def __init__(self, cache, stride: int = 1) -> None:
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.cache = cache
+        self.stride = stride
+        self.sweeps = 0
+        self._ops = 0
+        self._tick = 0
+        # Shadow global-list order: block -> monotone position; the real
+        # list must equal this mapping sorted by position.
+        self._gpos: Dict[CacheBlock, int] = {}
+        # Pool position stamps: refreshed on every ACM pool placement.
+        self._pstamp: Dict[CacheBlock, int] = {}
+        self._adopt_existing_state()
+        cache.sanitizer = self
+        cache.acm.attach_observer(self)
+
+    def detach(self) -> None:
+        """Stop checking this cache."""
+        if self.cache.sanitizer is self:
+            self.cache.sanitizer = None
+        if getattr(self.cache.acm, "observer", None) is self:
+            self.cache.acm.attach_observer(None)
+
+    def _adopt_existing_state(self) -> None:
+        """Stamp whatever is already resident (attach to a live cache)."""
+        for block in self.cache.global_list:
+            self._gpos[block] = self._next_tick()
+        for manager in self.cache.acm.managers.values():
+            for pool in manager.pools.values():
+                for block in pool.blocks:
+                    self._pstamp[block] = self._next_tick()
+
+    def _next_tick(self) -> int:
+        self._tick += 1
+        return self._tick
+
+    # -- event hooks (called from BUF and the ACM) -----------------------
+
+    def on_install(self, block: CacheBlock) -> None:
+        """BUF installed ``block`` (miss fill or prefetch): global MRU end."""
+        self._gpos[block] = self._next_tick()
+
+    def on_hit(self, block: CacheBlock) -> None:
+        """BUF satisfied a hit: the block moves to the global MRU end."""
+        self._gpos[block] = self._next_tick()
+
+    def on_swap(self, candidate: CacheBlock, chosen: CacheBlock) -> None:
+        """An overrule under a swapping policy: positions are exchanged."""
+        pc = self._gpos.get(candidate)
+        ph = self._gpos.get(chosen)
+        if pc is not None and ph is not None:
+            self._gpos[candidate], self._gpos[chosen] = ph, pc
+
+    def on_evict(self, block: CacheBlock) -> None:
+        """BUF removed ``block`` from the cache."""
+        self._gpos.pop(block, None)
+        self._pstamp.pop(block, None)
+
+    def pool_positioned(self, pid: int, block: CacheBlock) -> None:
+        """The ACM (re)placed ``block`` on some pool list."""
+        self._pstamp[block] = self._next_tick()
+
+    # -- the sweep ---------------------------------------------------------
+
+    def verify(self, operation: str, block: Optional[CacheBlock] = None) -> None:
+        """Run the full invariant sweep (honouring ``stride``)."""
+        self._ops += 1
+        if self._ops % self.stride:
+            return
+        self.check_now(operation)
+
+    def check_now(self, operation: str = "explicit") -> None:
+        """Run the full invariant sweep unconditionally."""
+        self.sweeps += 1
+        cache = self.cache
+        self._check_residency(operation, cache)
+        pooled = self._check_pool_membership(operation, cache)
+        self._check_pool_ordering(operation, cache)
+        self._check_global_order(operation, cache)
+        self._check_placeholders(operation, cache)
+        self._check_accounting(operation, cache, pooled)
+
+    # -- I1: residency -----------------------------------------------------
+
+    def _check_residency(self, op: str, cache) -> None:
+        blocks = cache._blocks
+        if len(blocks) > cache.nframes:
+            raise InvariantViolation(
+                op, "I1", f"{len(blocks)} blocks resident in {cache.nframes} frames"
+            )
+        if len(cache.global_list) != len(blocks):
+            raise InvariantViolation(
+                op,
+                "I1",
+                f"global list holds {len(cache.global_list)} entries "
+                f"but {len(blocks)} blocks are mapped",
+            )
+        per_file = 0
+        for file_id, by_no in cache._by_file.items():
+            for blockno, block in by_no.items():
+                per_file += 1
+                if blocks.get((file_id, blockno)) is not block:
+                    raise InvariantViolation(
+                        op, "I1", "file index points at a block the cache does not map",
+                        block,
+                    )
+        if per_file != len(blocks):
+            raise InvariantViolation(
+                op, "I1", f"file index covers {per_file} of {len(blocks)} blocks"
+            )
+        for bid, block in blocks.items():
+            if block.id != bid:
+                raise InvariantViolation(op, "I1", "block mapped under a foreign id", block)
+            if not block.resident:
+                raise InvariantViolation(
+                    op, "I1", "mapped block is marked non-resident (free and mapped)", block
+                )
+            if block not in cache.global_list:
+                raise InvariantViolation(op, "I1", "mapped block missing from global list", block)
+            if not block.in_flight and block.waiters:
+                raise InvariantViolation(
+                    op, "I6", f"{len(block.waiters)} waiters parked on a settled frame", block
+                )
+
+    # -- I2: pool membership -----------------------------------------------
+
+    def _check_pool_membership(self, op: str, cache) -> Dict[CacheBlock, Tuple[int, int]]:
+        acm = cache.acm
+        handlers = getattr(acm, "_handlers", {})
+        seen: Dict[CacheBlock, Tuple[int, int]] = {}
+        for pid, manager in acm.managers.items():
+            if manager.revoked and manager.pools:
+                raise InvariantViolation(op, "I2", f"revoked manager {pid} still owns pools")
+            for prio, pool in manager.pools.items():
+                if pool.prio != prio:
+                    raise InvariantViolation(
+                        op, "I2", f"manager {pid} files pool {pool.prio} under prio {prio}"
+                    )
+                for block in pool.blocks:
+                    if block in seen:
+                        raise InvariantViolation(
+                            op,
+                            "I2",
+                            f"block on two pools: {seen[block]} and {(pid, prio)}",
+                            block,
+                        )
+                    seen[block] = (pid, prio)
+        for block, (pid, prio) in seen.items():
+            if cache._blocks.get(block.id) is not block:
+                raise InvariantViolation(
+                    op, "I2", f"pool ({pid},{prio}) holds a non-resident block", block
+                )
+            if block.owner_pid != pid:
+                raise InvariantViolation(
+                    op, "I2", f"block owned by {block.owner_pid} sits in pid {pid}'s pool", block
+                )
+            if block.pool_prio != prio:
+                raise InvariantViolation(
+                    op,
+                    "I2",
+                    f"block.pool_prio={block.pool_prio} but the block sits in pool {prio}",
+                    block,
+                )
+        for block in cache._blocks.values():
+            manager = acm.manager(block.owner_pid)
+            if block.pool_prio is not None:
+                if block not in seen:
+                    raise InvariantViolation(
+                        op, "I2", f"pool_prio={block.pool_prio} but the block is on no pool",
+                        block,
+                    )
+                if manager is None:
+                    raise InvariantViolation(
+                        op, "I2", "pooled block whose owner has no active manager", block
+                    )
+            else:
+                if block in seen:
+                    raise InvariantViolation(
+                        op, "I2", "pool_prio is None but the block sits on a pool", block
+                    )
+                if manager is not None and block.owner_pid not in handlers:
+                    raise InvariantViolation(
+                        op, "I2", "managed block escaped pool bookkeeping", block
+                    )
+            if block.has_temp:
+                if block.temp_prio is None or block.pool_prio != block.temp_prio:
+                    raise InvariantViolation(
+                        op,
+                        "I6",
+                        f"temporary priority out of sync: temp={block.temp_prio} "
+                        f"pool={block.pool_prio}",
+                        block,
+                    )
+        return seen
+
+    # -- I3: pool ordering -------------------------------------------------
+
+    def _check_pool_ordering(self, op: str, cache) -> None:
+        for pid, manager in cache.acm.managers.items():
+            for prio, pool in manager.pools.items():
+                stamps: List[int] = []
+                for block in pool.blocks:  # LRU end toward MRU end
+                    stamp = self._pstamp.get(block)
+                    if stamp is None:
+                        raise InvariantViolation(
+                            op,
+                            "I3",
+                            f"pool ({pid},{prio}) member was never positioned "
+                            "through the ACM protocol",
+                            block,
+                        )
+                    stamps.append(stamp)
+                policy = manager.policy_of(prio)
+                if policy.value == "mru":
+                    ok = _is_valley(stamps)
+                    shape = "two-ended (valley) order"
+                else:
+                    ok = all(a < b for a, b in zip(stamps, stamps[1:]))
+                    shape = "strict LRU order"
+                if not ok:
+                    raise InvariantViolation(
+                        op,
+                        "I3",
+                        f"pool ({pid},{prio}, {policy.value}) violates {shape}: "
+                        f"stamps {stamps}",
+                    )
+
+    # -- I4: global order --------------------------------------------------
+
+    def _check_global_order(self, op: str, cache) -> None:
+        actual = list(cache.global_list)
+        if len(actual) != len(self._gpos):
+            raise InvariantViolation(
+                op,
+                "I4",
+                f"shadow tracks {len(self._gpos)} blocks, global list has {len(actual)}",
+            )
+        expected = sorted(self._gpos, key=self._gpos.__getitem__)
+        for i, (got, want) in enumerate(zip(actual, expected)):
+            if got is not want:
+                raise InvariantViolation(
+                    op,
+                    "I4",
+                    f"global list diverges from the shadow order at index {i}: "
+                    f"found {got!r}, the event stream implies {want!r} "
+                    f"(policy {cache.policy.name}, features {cache.policy.features}; "
+                    "was an LRU-SP swap skipped?)",
+                    got,
+                )
+
+    # -- I5: placeholders --------------------------------------------------
+
+    def _check_placeholders(self, op: str, cache) -> None:
+        ph = cache.placeholders
+        for missing_id, entry in ph._by_missing.items():
+            if entry.missing_id != missing_id:
+                raise InvariantViolation(op, "I5", "placeholder filed under a foreign id")
+            kept = entry.kept
+            if not kept.resident or cache._blocks.get(kept.id) is not kept:
+                raise InvariantViolation(
+                    op,
+                    "I5",
+                    f"placeholder for {missing_id} points at a non-resident kept block",
+                    kept,
+                )
+            if missing_id in cache._blocks:
+                raise InvariantViolation(
+                    op,
+                    "I5",
+                    f"placeholder survives although {missing_id} re-entered the cache",
+                )
+            if missing_id not in ph._by_kept.get(kept, ()):
+                raise InvariantViolation(
+                    op, "I5", f"placeholder {missing_id} missing from the kept-block index"
+                )
+            if missing_id not in ph._by_manager.get(entry.manager_pid, ()):
+                raise InvariantViolation(
+                    op, "I5", f"placeholder {missing_id} missing from manager {entry.manager_pid}'s index"
+                )
+        by_kept_total = sum(len(ids) for ids in ph._by_kept.values())
+        by_manager_total = sum(len(ids) for ids in ph._by_manager.values())
+        if by_kept_total != len(ph._by_missing) or by_manager_total != len(ph._by_missing):
+            raise InvariantViolation(
+                op,
+                "I5",
+                f"placeholder indexes disagree: {len(ph._by_missing)} entries, "
+                f"{by_kept_total} by kept block, {by_manager_total} by manager",
+            )
+        for pid, ids in ph._by_manager.items():
+            if len(ids) > ph.per_manager_limit:
+                raise InvariantViolation(
+                    op,
+                    "I5",
+                    f"manager {pid} holds {len(ids)} placeholders "
+                    f"(limit {ph.per_manager_limit})",
+                )
+        live = len(ph._by_missing)
+        if ph.created != ph.consumed + ph.discarded + live:
+            raise InvariantViolation(
+                op,
+                "I5",
+                "placeholder accounting broken (each must be consumed or discarded "
+                f"exactly once): created={ph.created} consumed={ph.consumed} "
+                f"discarded={ph.discarded} live={live}",
+            )
+
+    # -- I6: allocation accounting ----------------------------------------
+
+    def _check_accounting(
+        self, op: str, cache, pooled: Dict[CacheBlock, Tuple[int, int]]
+    ) -> None:
+        owned_pooled: Dict[int, int] = {}
+        for block in cache._blocks.values():
+            if block.pool_prio is not None:
+                owned_pooled[block.owner_pid] = owned_pooled.get(block.owner_pid, 0) + 1
+        for pid, manager in cache.acm.managers.items():
+            in_pools = sum(len(pool) for pool in manager.pools.values())
+            if in_pools != owned_pooled.get(pid, 0):
+                raise InvariantViolation(
+                    op,
+                    "I6",
+                    f"manager {pid} pools {in_pools} blocks but owns "
+                    f"{owned_pooled.get(pid, 0)} pooled residents",
+                )
+        occupancy_total = sum(cache.occupancy().values())
+        if occupancy_total != len(cache._blocks):
+            raise InvariantViolation(
+                op,
+                "I6",
+                f"occupancy sums to {occupancy_total}, {len(cache._blocks)} frames mapped",
+            )
+
+
+def _is_valley(stamps: List[int]) -> bool:
+    """True when ``stamps`` strictly decreases then strictly increases.
+
+    This is exactly the set of orders an MRU pool can legally reach: every
+    placement event pushes a fresh maximum at the head (moved-in blocks) or
+    the tail (referenced blocks), and removals anywhere preserve the shape.
+    """
+    n = len(stamps)
+    if n <= 1:
+        return True
+    i = 1
+    while i < n and stamps[i] < stamps[i - 1]:
+        i += 1
+    while i < n and stamps[i] > stamps[i - 1]:
+        i += 1
+    return i == n
+
+
+def install_auto_sanitizer(stride: int = 1):
+    """Attach an :class:`InvariantChecker` to every cache built from now on.
+
+    Patches :class:`repro.core.buffercache.BufferCache` construction; used
+    by the test suites under ``REPRO_SANITIZE=1``.  Returns an uninstall
+    callable.  Idempotent: a second install is a no-op.
+    """
+    from repro.core.buffercache import BufferCache
+
+    if getattr(BufferCache, "_auto_sanitized", False):
+        return lambda: None
+    original = BufferCache.__init__
+
+    def patched(self, *args, **kwargs):
+        original(self, *args, **kwargs)
+        InvariantChecker(self, stride=stride)
+
+    BufferCache.__init__ = patched  # type: ignore[method-assign]
+    BufferCache._auto_sanitized = True  # type: ignore[attr-defined]
+
+    def uninstall() -> None:
+        BufferCache.__init__ = original  # type: ignore[method-assign]
+        BufferCache._auto_sanitized = False  # type: ignore[attr-defined]
+
+    return uninstall

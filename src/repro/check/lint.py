@@ -1,0 +1,446 @@
+"""``repro-lint`` — static protocol lint for this codebase.
+
+Custom AST rules encoding contracts the paper (and our determinism story)
+relies on but Python cannot enforce:
+
+R001  Only BUF may invoke the five ACM procedure calls (``new_block``,
+      ``block_gone``, ``block_accessed``, ``replace_block``,
+      ``placeholder_used``).  The paper's Section 4 defines them as the
+      *entire* BUF→ACM interface; sim/harness/workload code reaching
+      around BUF would corrupt pool bookkeeping invisibly.
+R002  No wall clock and no unseeded RNG in the deterministic core
+      (``repro/{core,sim,disk,fs}``): service times are expected values
+      and "the only randomness in the repository lives in seeded workload
+      generators".
+R003  Every policy registered in ``repro/policies/registry.py`` subclasses
+      :class:`~repro.policies.base.EvictionPolicy` and implements the
+      required hooks (``_on_hit``, ``_on_insert``, ``_choose_victim``).
+R004  No mutable default arguments anywhere; configuration dataclasses in
+      ``repro/{core,disk,kernel}`` (``*Params``/``*Limits``/``*Config``/
+      ``*Policy``) must be frozen — simulations share them across runs.
+R005  :mod:`repro.sim.ops` primitives are *data*: only the kernel
+      (``repro/kernel/system.py``) and the trace recorder may interpret
+      them (isinstance dispatch).  Everything else yields them.
+
+Usage::
+
+    repro-lint src/            # lint a source tree containing repro/
+    repro-lint src/repro/core  # or any file/subpackage inside it
+    python -m repro.check.lint src/
+
+Exit status is the number of findings capped at 1, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+ACM_PROCEDURES = frozenset(
+    {"new_block", "block_gone", "block_accessed", "replace_block", "placeholder_used"}
+)
+#: Modules allowed to speak the BUF→ACM protocol: BUF itself, the ACM and
+#: its upcall variant (which forwards the calls to user-level handlers),
+#: and the VM page cache, which is the BUF of the virtual-memory system.
+ACM_CALLERS = frozenset(
+    {
+        "repro/core/buffercache.py",
+        "repro/core/acm.py",
+        "repro/core/upcall.py",
+        "repro/vm/clock.py",
+    }
+)
+
+#: The deterministic core: no wall clock, no unseeded randomness.
+DETERMINISTIC_DIRS = ("repro/core/", "repro/sim/", "repro/disk/", "repro/fs/")
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+#: Dirs whose config dataclasses must be frozen, and the name suffixes
+#: that mark a dataclass as configuration.
+CONFIG_DIRS = ("repro/core/", "repro/disk/", "repro/kernel/")
+CONFIG_SUFFIXES = ("Params", "Limits", "Config", "Policy")
+
+OP_CLASSES = frozenset(
+    {"Compute", "BlockRead", "BlockWrite", "Control", "CreateFile", "DeleteFile", "Fork"}
+)
+#: Modules allowed to *interpret* sim ops (rather than just construct them).
+OP_CONSUMERS = frozenset(
+    {"repro/kernel/system.py", "repro/trace/recorder.py", "repro/sim/ops.py"}
+)
+
+POLICY_HOOKS = ("_on_hit", "_on_insert", "_choose_victim")
+POLICY_BASE = "EvictionPolicy"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _in_dirs(relpath: str, dirs: Sequence[str]) -> bool:
+    return any(relpath.startswith(d) for d in dirs)
+
+
+MUTABLE_DEFAULT_NODES = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Runs the per-file rules (R001, R002, R004, R005) over one module."""
+
+    def __init__(self, relpath: str) -> None:
+        self.relpath = relpath
+        self.findings: List[Finding] = []
+
+    def _add(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(rule, self.relpath, node.lineno, message))
+
+    # R001 / R002 -------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in ACM_PROCEDURES:
+            if self.relpath not in ACM_CALLERS:
+                self._add(
+                    "R001",
+                    node,
+                    f"call to ACM procedure '{func.attr}' outside BUF — the five "
+                    "BUF↔ACM calls may only be made by the buffer cache "
+                    "(repro/core/buffercache.py and peers)",
+                )
+        if _in_dirs(self.relpath, DETERMINISTIC_DIRS):
+            dotted = _dotted(func)
+            if dotted is not None:
+                tail = ".".join(dotted.split(".")[-2:])
+                if tail in WALL_CLOCK_CALLS:
+                    self._add(
+                        "R002",
+                        node,
+                        f"wall-clock call '{dotted}' in the deterministic core — "
+                        "simulated time comes from the engine",
+                    )
+                elif dotted.startswith("random.") and dotted.count(".") == 1:
+                    if not (dotted == "random.Random" and (node.args or node.keywords)):
+                        self._add(
+                            "R002",
+                            node,
+                            f"'{dotted}' uses the unseeded module-level RNG — "
+                            "construct random.Random(seed) instead",
+                        )
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "isinstance"
+            and len(node.args) == 2
+            and self.relpath not in OP_CONSUMERS
+        ):
+            classes = node.args[1]
+            names: List[ast.expr] = list(classes.elts) if isinstance(classes, ast.Tuple) else [classes]
+            for cls in names:
+                name = cls.attr if isinstance(cls, ast.Attribute) else getattr(cls, "id", None)
+                if name in OP_CLASSES:
+                    self._add(
+                        "R005",
+                        node,
+                        f"isinstance dispatch on sim op '{name}' outside the kernel — "
+                        "ops are consumed via the engine (repro/kernel/system.py)",
+                    )
+        self.generic_visit(node)
+
+    # R004: mutable defaults --------------------------------------------
+
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d is not None]:
+            bad = isinstance(default, MUTABLE_DEFAULT_NODES) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in MUTABLE_CONSTRUCTORS
+            )
+            if bad:
+                self._add(
+                    "R004",
+                    default,
+                    f"mutable default argument in '{node.name}' — default objects are "
+                    "shared across calls; use None and create inside",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # R004: frozen config dataclasses -----------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if _in_dirs(self.relpath, CONFIG_DIRS) and node.name.endswith(CONFIG_SUFFIXES):
+            for deco in node.decorator_list:
+                if isinstance(deco, ast.Name) and deco.id == "dataclass":
+                    frozen = False
+                elif (
+                    isinstance(deco, ast.Call)
+                    and _dotted(deco.func) in ("dataclass", "dataclasses.dataclass")
+                ):
+                    frozen = any(
+                        kw.arg == "frozen"
+                        and isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                        for kw in deco.keywords
+                    )
+                else:
+                    continue
+                if not frozen:
+                    self._add(
+                        "R004",
+                        node,
+                        f"config dataclass '{node.name}' is not frozen — shared "
+                        "configuration must be immutable (@dataclass(frozen=True))",
+                    )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, relpath: str) -> List[Finding]:
+    """Run the per-file rules over ``source`` as if it lived at ``relpath``
+    (a path relative to the source root, e.g. ``repro/core/acm.py``)."""
+    relpath = relpath.replace("\\", "/")
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return [Finding("R000", relpath, exc.lineno or 0, f"syntax error: {exc.msg}")]
+    linter = _FileLinter(relpath)
+    linter.visit(tree)
+    return linter.findings
+
+
+# -- R003: the policy registry (cross-file) ------------------------------
+
+
+class _ClassInfo:
+    __slots__ = ("name", "bases", "methods", "relpath", "line")
+
+    def __init__(self, name: str, bases: List[str], methods: Set[str], relpath: str, line: int):
+        self.name = name
+        self.bases = bases
+        self.methods = methods
+        self.relpath = relpath
+        self.line = line
+
+
+def _class_table(policies_dir: Path, root: Path) -> Dict[str, _ClassInfo]:
+    table: Dict[str, _ClassInfo] = {}
+    for path in sorted(policies_dir.glob("*.py")):
+        relpath = path.relative_to(root).as_posix()
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError:
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                bases = [b.attr if isinstance(b, ast.Attribute) else getattr(b, "id", "") for b in node.bases]
+                methods = {
+                    item.name
+                    for item in node.body
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                table[node.name] = _ClassInfo(node.name, bases, methods, relpath, node.lineno)
+    return table
+
+
+def _registered_factories(registry_path: Path) -> List[Tuple[str, str, int]]:
+    """The ``(key, class_name, line)`` entries of POLICY_FACTORIES."""
+    tree = ast.parse(registry_path.read_text(), filename=str(registry_path))
+    entries: List[Tuple[str, str, int]] = []
+    for node in ast.walk(tree):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        named = any(isinstance(t, ast.Name) and t.id == "POLICY_FACTORIES" for t in targets)
+        if not named or not isinstance(value, ast.Dict):
+            continue
+        for key, val in zip(value.keys, value.values):
+            key_name = key.value if isinstance(key, ast.Constant) else "?"
+            cls = val.attr if isinstance(val, ast.Attribute) else getattr(val, "id", None)
+            if cls is not None:
+                entries.append((str(key_name), cls, val.lineno))
+    return entries
+
+
+def check_policy_registry(root: Path) -> List[Finding]:
+    """R003 over ``<root>/repro/policies`` (``root`` is the source root)."""
+    policies_dir = root / "repro" / "policies"
+    registry = policies_dir / "registry.py"
+    if not registry.exists():
+        return []
+    rel_registry = registry.relative_to(root).as_posix()
+    table = _class_table(policies_dir, root)
+    findings: List[Finding] = []
+    entries = _registered_factories(registry)
+    if not entries:
+        findings.append(
+            Finding("R003", rel_registry, 1, "POLICY_FACTORIES dict literal not found")
+        )
+        return findings
+    for key, cls_name, line in entries:
+        info = table.get(cls_name)
+        if info is None:
+            findings.append(
+                Finding(
+                    "R003",
+                    rel_registry,
+                    line,
+                    f"registered policy '{key}' -> {cls_name} is not a class "
+                    "defined in repro/policies",
+                )
+            )
+            continue
+        # Walk the base chain inside the package.
+        chain: List[_ClassInfo] = []
+        seen: Set[str] = set()
+        cursor: Optional[_ClassInfo] = info
+        reaches_base = False
+        while cursor is not None and cursor.name not in seen:
+            seen.add(cursor.name)
+            chain.append(cursor)
+            nxt = None
+            for base in cursor.bases:
+                if base == POLICY_BASE:
+                    reaches_base = True
+                elif base in table:
+                    nxt = table[base]
+            cursor = nxt
+        if not reaches_base:
+            findings.append(
+                Finding(
+                    "R003",
+                    info.relpath,
+                    info.line,
+                    f"policy '{key}' ({cls_name}) does not subclass {POLICY_BASE}",
+                )
+            )
+        implemented = set().union(*(c.methods for c in chain))
+        missing = [hook for hook in POLICY_HOOKS if hook not in implemented]
+        if missing:
+            findings.append(
+                Finding(
+                    "R003",
+                    info.relpath,
+                    info.line,
+                    f"policy '{key}' ({cls_name}) is missing required hooks: "
+                    + ", ".join(missing),
+                )
+            )
+    return findings
+
+
+# -- tree driver ---------------------------------------------------------
+
+
+def _find_root(path: Path) -> Path:
+    """The source root: the directory that contains the ``repro`` package."""
+    path = path.resolve()
+    probe = path if path.is_dir() else path.parent
+    while probe != probe.parent:
+        if (probe / "repro" / "__init__.py").exists():
+            return probe
+        if probe.name == "repro" and (probe / "__init__.py").exists():
+            return probe.parent
+        probe = probe.parent
+    return path if path.is_dir() else path.parent
+
+
+def lint_tree(path) -> List[Finding]:
+    """Lint every ``.py`` under ``path`` (a source tree, package or file)."""
+    path = Path(path)
+    root = _find_root(path)
+    files: Iterable[Path]
+    if path.is_file():
+        files = [path]
+    else:
+        files = sorted(p for p in path.rglob("*.py"))
+    findings: List[Finding] = []
+    for file in files:
+        try:
+            rel = file.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = file.as_posix()
+        findings.extend(lint_source(file.read_text(), rel))
+    findings.extend(check_policy_registry(root))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def render(findings: List[Finding]) -> str:
+    if not findings:
+        return "repro-lint: clean"
+    lines = [str(f) for f in findings]
+    lines.append(f"repro-lint: {len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Protocol lint for the application-controlled caching codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    args = parser.parse_args(argv)
+    findings: List[Finding] = []
+    for path in args.paths:
+        if not Path(path).exists():
+            print(f"repro-lint: error: no such file or directory: {path}")
+            return 1
+        findings.extend(lint_tree(path))
+    print(render(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

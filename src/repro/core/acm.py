@@ -115,6 +115,12 @@ class Manager:
         self.decisions = 0
         self.mistakes = 0
         self._prio_order: List[int] = []
+        #: pool observer (the runtime sanitizer); told about every placement.
+        self.observer = None
+
+    def _notify_positioned(self, block: CacheBlock) -> None:
+        if self.observer is not None:
+            self.observer.pool_positioned(self.pid, block)
 
     # -- configuration ------------------------------------------------------
 
@@ -170,6 +176,7 @@ class Manager:
         else:
             pool.insert_moved(block, self.policy_of(prio))
         block.pool_prio = prio
+        self._notify_positioned(block)
 
     def remove_block(self, block: CacheBlock) -> None:
         """Unlink a departing block and reset its pool state."""
@@ -192,6 +199,7 @@ class Manager:
         dest = self.pool(prio)
         dest.insert_moved(block, self.policy_of(prio))
         block.pool_prio = prio
+        self._notify_positioned(block)
 
     def touch_block(self, block: CacheBlock) -> None:
         """A reference: revert any temporary priority, then record recency."""
@@ -207,11 +215,13 @@ class Manager:
             # its long-term pool at the MRU end.
             self.pool(long_prio).insert_referenced(block)
             block.pool_prio = long_prio
+            self._notify_positioned(block)
             return
         if block.pool_prio is not None:
             pool = self.pools.get(block.pool_prio)
             if pool is not None:
                 pool.touched(block)
+                self._notify_positioned(block)
 
     # -- the replacement decision ------------------------------------------------
 
@@ -256,6 +266,8 @@ class ACM:
         self.revocation = revocation
         self.managers: Dict[int, Manager] = {}
         self._cache = None  # attached by BufferCache
+        #: pool observer (the runtime sanitizer), propagated to managers.
+        self.observer = None
         self.revocations = 0
         # Concurrently shared files (the paper's future-work item): a file
         # may have a *designated* manager; other processes' accesses then
@@ -268,6 +280,15 @@ class ACM:
         """Connect the BUF module (needed to adopt already-resident blocks
         when a process registers, and to find a file's resident blocks)."""
         self._cache = cache
+
+    def attach_observer(self, observer) -> None:
+        """Connect (or, with None, disconnect) a pool observer — an object
+        with a ``pool_positioned(pid, block)`` method, called after every
+        pool placement any manager performs.  Used by the runtime
+        sanitizer (:mod:`repro.check.invariants`)."""
+        self.observer = observer
+        for manager in self.managers.values():
+            manager.observer = observer
 
     # -- manager lifecycle ---------------------------------------------------
 
@@ -290,6 +311,7 @@ class ACM:
                 raise AcmError(f"pid {pid}: cache control was revoked")
             return existing
         m = Manager(pid, self.limits)
+        m.observer = self.observer
         self.managers[pid] = m
         if self._cache is not None:
             for block in self._cache.blocks_owned_by(pid):

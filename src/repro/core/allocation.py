@@ -39,6 +39,20 @@ class AllocationPolicy:
         if not self.consult and (self.swapping or self.placeholders):
             raise ValueError("swapping/placeholders are meaningless without consultation")
 
+    @property
+    def features(self) -> tuple:
+        """The enabled feature names, e.g. ``('consult', 'swapping')`` —
+        used by diagnostics (the sanitizer's violation messages) and docs."""
+        return tuple(
+            name
+            for name, on in (
+                ("consult", self.consult),
+                ("swapping", self.swapping),
+                ("placeholders", self.placeholders),
+            )
+            if on
+        )
+
     def __str__(self) -> str:
         return self.name
 

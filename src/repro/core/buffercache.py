@@ -117,6 +117,10 @@ class BufferCache:
         self.per_pid: Dict[int, PidCounters] = {}
         self._blocks: Dict[BlockId, CacheBlock] = {}
         self._by_file: Dict[int, Dict[int, CacheBlock]] = {}
+        #: optional repro.check.invariants.InvariantChecker; when attached
+        #: it observes the semantic events below and sweeps the structures
+        #: after every public operation.
+        self.sanitizer = None
 
     # -- queries ----------------------------------------------------------
 
@@ -189,11 +193,15 @@ class BufferCache:
             if block.owner_pid != pid:
                 self.acm.on_foreign_access(block, pid)
             self.global_list.move_to_mru(block)
+            if self.sanitizer is not None:
+                self.sanitizer.on_hit(block)
             self.acm.block_accessed(block)
             if write:
                 if not block.dirty:
                     block.dirty = True
                     block.dirty_since = self.clock()
+            if self.sanitizer is not None:
+                self.sanitizer.verify("access", block)
             return AccessOutcome(hit=True, block=block, must_wait=block.in_flight)
 
         # Miss: claim a frame (possibly evicting), then decide whether the
@@ -211,6 +219,8 @@ class BufferCache:
             block.dirty = True
             block.dirty_since = self.clock()
         self._install(block)
+        if self.sanitizer is not None:
+            self.sanitizer.verify("access", block)
         return AccessOutcome(
             hit=False,
             block=block,
@@ -246,6 +256,8 @@ class BufferCache:
         block = CacheBlock(file_id, blockno, lba=lba, disk=disk, owner_pid=home)
         block.in_flight = True
         self._install(block, referenced=False)
+        if self.sanitizer is not None:
+            self.sanitizer.verify("prefetch", block)
         return block, evicted
 
     def loaded(self, block: CacheBlock) -> List:
@@ -253,11 +265,15 @@ class BufferCache:
         block.in_flight = False
         waiters = block.waiters
         block.waiters = []
+        if self.sanitizer is not None:
+            self.sanitizer.verify("loaded", block)
         return waiters
 
     def mark_clean(self, block: CacheBlock) -> None:
         """The update daemon wrote the block out."""
         block.dirty = False
+        if self.sanitizer is not None:
+            self.sanitizer.verify("mark_clean", block)
 
     def invalidate_file(self, file_id: int) -> List[CacheBlock]:
         """Drop a deleted file's blocks with *no* write-back.
@@ -268,6 +284,8 @@ class BufferCache:
         dropped = self.blocks_of_file(file_id)
         for block in dropped:
             self._evict(block)
+        if self.sanitizer is not None:
+            self.sanitizer.verify("invalidate_file")
         return dropped
 
     # -- the replacement procedure (the heart of LRU-SP) ------------------------
@@ -294,6 +312,10 @@ class BufferCache:
         if chosen is not candidate:
             self.stats.overrules += 1
             if self.policy.swapping:
+                if self.sanitizer is not None:
+                    # The shadow model records the *intended* exchange; a
+                    # swap the real list skips shows up in the next sweep.
+                    self.sanitizer.on_swap(candidate, chosen)
                 self.global_list.swap(candidate, chosen)
                 self.stats.swaps += 1
             if self.policy.placeholders:
@@ -317,6 +339,8 @@ class BufferCache:
         self._blocks[block.id] = block
         self._by_file.setdefault(block.file_id, {})[block.blockno] = block
         self.global_list.push_mru(block)
+        if self.sanitizer is not None:
+            self.sanitizer.on_install(block)
         self.acm.new_block(block, referenced=referenced)
         # The block is back in the cache: any placeholder for it is moot.
         self.placeholders.drop_for_missing(block.id)
@@ -326,6 +350,8 @@ class BufferCache:
         if block.dirty:
             self.stats.dirty_evictions += 1
         self.global_list.remove(block)
+        if self.sanitizer is not None:
+            self.sanitizer.on_evict(block)
         self.acm.block_gone(block)
         self.placeholders.drop_for_kept(block)
         del self._blocks[block.id]

@@ -66,8 +66,11 @@ class PlaceholderTable:
         """Record that ``manager_pid`` replaced ``missing_id`` keeping ``kept``."""
         if missing_id in self._by_missing:
             # The block was replaced again before its old placeholder fired;
-            # the newer decision supersedes the stale one.
+            # the newer decision supersedes the stale one.  The superseded
+            # entry counts as discarded, so every placeholder ever created
+            # is accounted for exactly once (consumed or discarded).
             self._drop(missing_id)
+            self.discarded += 1
         per_manager = self._by_manager.setdefault(manager_pid, OrderedDict())
         if len(per_manager) >= self.per_manager_limit:
             oldest, _ = per_manager.popitem(last=False)
@@ -121,6 +124,7 @@ class PlaceholderTable:
         return len(ids)
 
     def clear(self) -> None:
+        self.discarded += len(self._by_missing)
         self._by_missing.clear()
         self._by_kept.clear()
         self._by_manager.clear()

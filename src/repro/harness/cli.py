@@ -5,6 +5,7 @@ Examples::
     repro-accfc fig4                 # single apps, all cache sizes
     repro-accfc fig4 --apps din cs1 --sizes 6.4 8
     repro-accfc table1               # the placeholder-protection study
+    repro-accfc check                # protocol lint + sanitized smoke run
     repro-accfc all                  # everything (several minutes)
 """
 
@@ -128,7 +129,42 @@ def _run_ablation(args) -> str:
     return "\n\n".join(parts)
 
 
+class _CheckFailed(Exception):
+    """Raised by ``repro-accfc check`` when lint or the sanitizer finds
+    something; carries the rendered report."""
+
+
+def _run_check(args) -> str:
+    """Protocol conformance: static lint over the installed package, then a
+    small LRU-SP workload with the runtime sanitizer attached."""
+    import os
+
+    import repro
+    from repro.check.lint import lint_tree, render
+    from repro.check.invariants import InvariantChecker, InvariantViolation
+    from repro.kernel.system import MachineConfig, System
+    from repro.workloads.readn import ReadN, ReadNBehavior
+
+    findings = lint_tree(os.path.dirname(repro.__file__))
+    lines = [render(findings)]
+    system = System(MachineConfig(cache_mb=0.25, sanitize=True))
+    wl = ReadN(n=8, file_blocks=24, repeats=2, behavior=ReadNBehavior.SMART)
+    wl.spawn(system)
+    try:
+        system.run()
+    except InvariantViolation as exc:
+        lines.append(f"sanitizer: {exc}")
+        raise _CheckFailed("\n".join(lines)) from exc
+    checker: InvariantChecker = system.cache.sanitizer
+    checker.check_now("final")
+    lines.append(f"sanitizer: clean ({checker.sweeps} sweeps)")
+    if findings:
+        raise _CheckFailed("\n".join(lines))
+    return "\n".join(lines)
+
+
 _EXPERIMENTS = {
+    "check": _run_check,
     "fig4": _run_fig4,
     "fig5": _run_fig5,
     "fig6": _run_fig6,
@@ -163,15 +199,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    failed = False
     for name in names:
         start = time.time()
-        output = _EXPERIMENTS[name](args)
+        try:
+            output = _EXPERIMENTS[name](args)
+        except _CheckFailed as exc:
+            output = str(exc)
+            failed = True
         print(f"=== {name} ({time.time() - start:.1f}s) ===")
         print(output)
         print()
         if args.csv and name in ("fig4", "fig5", "fig6"):
             _export_csv(name, args)
-    return 0
+    return 1 if failed else 0
 
 
 def _export_csv(name: str, args) -> None:

@@ -74,6 +74,19 @@ class MachineConfig:
     sample_occupancy_s: Optional[float] = None
     limits: ResourceLimits = field(default_factory=ResourceLimits)
     revocation: Optional[RevocationPolicy] = None
+    #: run the BUF↔ACM invariant sanitizer (repro.check.invariants) on this
+    #: machine's cache.  None follows the REPRO_SANITIZE environment flag;
+    #: True/False override it either way.
+    sanitize: Optional[bool] = None
+
+    @property
+    def sanitize_effective(self) -> bool:
+        """Whether this configuration enables the invariant checker."""
+        if self.sanitize is not None:
+            return self.sanitize
+        from repro.check.invariants import sanitize_enabled
+
+        return sanitize_enabled()
 
     @property
     def cache_frames(self) -> int:
@@ -158,6 +171,10 @@ class System:
             clock=lambda: self.engine.now,
             placeholder_limit=self.config.placeholder_limit,
         )
+        if self.cache.sanitizer is None and self.config.sanitize_effective:
+            from repro.check.invariants import InvariantChecker
+
+            InvariantChecker(self.cache)
         self.syncer = UpdateDaemon(
             self.engine,
             self.cache,

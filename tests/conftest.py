@@ -2,11 +2,28 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.acm import ACM, ResourceLimits
 from repro.core.allocation import GLOBAL_LRU, LRU_S, LRU_SP, ALLOC_LRU
 from repro.core.buffercache import BufferCache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitize_suite():
+    """Under ``REPRO_SANITIZE=1`` every BufferCache any test builds gets an
+    InvariantChecker attached, so the whole suite doubles as a protocol
+    conformance run (see docs/invariants.md)."""
+    if os.environ.get("REPRO_SANITIZE", "") in ("", "0"):
+        yield
+        return
+    from repro.check.invariants import install_auto_sanitizer
+
+    uninstall = install_auto_sanitizer()
+    yield
+    uninstall()
 
 
 def make_cache(nframes=8, policy=LRU_SP, acm=None, **kwargs):

@@ -128,6 +128,27 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["fig99"])
 
+    def test_cli_check_is_clean(self, capsys):
+        rc = main(["check"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro-lint: clean" in out
+        assert "sanitizer: clean" in out
+
+    def test_cli_check_fails_on_findings(self, capsys, monkeypatch):
+        from repro.check.lint import Finding
+        from repro.harness import cli
+
+        monkeypatch.setattr(
+            cli, "_run_check", lambda args: (_ for _ in ()).throw(
+                cli._CheckFailed("repro/core/x.py:1: R002 wall clock")
+            )
+        )
+        monkeypatch.setitem(cli._EXPERIMENTS, "check", cli._run_check)
+        rc = cli.main(["check"])
+        assert rc == 1
+        assert "R002" in capsys.readouterr().out
+
     def test_paperdata_shapes(self):
         for table in (paperdata.PAPER_ELAPSED, paperdata.PAPER_BLOCK_IOS):
             assert set(table) == set(paperdata.APP_ORDER)

@@ -1,0 +1,249 @@
+"""The runtime sanitizer: invariants hold on correct code, break on bugs."""
+
+import pytest
+
+from conftest import make_cache, touch
+from repro.check.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    install_auto_sanitizer,
+)
+from repro.core.acm import ACM
+from repro.core.allocation import LRU_S, LRU_SP
+from repro.core.buffercache import CacheFullError
+from repro.kernel.system import MachineConfig, System
+from repro.workloads.readn import ReadN, ReadNBehavior
+
+
+def overrule_once(cache):
+    """Drive one LRU-SP overrule: an MRU manager keeps the kernel's LRU
+    candidate and gives up its newest block instead."""
+    acm = cache.acm
+    acm.register(1)
+    acm.set_policy(1, 0, "mru")
+    for b in range(cache.nframes):
+        touch(cache, 1, 1, b)
+    touch(cache, 1, 1, cache.nframes)  # miss: candidate=oldest, manager picks newest
+
+
+class TestCleanRuns:
+    def test_checker_attach_detach(self):
+        cache = make_cache(nframes=8)
+        checker = InvariantChecker(cache)
+        assert cache.sanitizer is checker
+        assert cache.acm.observer is checker
+        touch(cache, 1, 1, 0)
+        assert checker.sweeps >= 1
+        checker.detach()
+        assert cache.sanitizer is None
+
+    def test_mixed_directive_workload_is_clean(self):
+        cache = make_cache(nframes=6)
+        checker = InvariantChecker(cache)
+        acm = cache.acm
+        acm.register(1)
+        acm.register(2)
+        acm.set_policy(2, 0, "mru")
+        acm.set_priority(1, 5, 2)
+        for rep in range(3):
+            for b in range(8):
+                touch(cache, 1, 5, b)
+            for b in range(4):
+                touch(cache, 2, 9, b, write=True, whole=True)
+        acm.set_temppri(1, 5, 0, 3, -1)
+        for b in range(8):
+            touch(cache, 1, 5, b)
+        assert checker.sweeps > 0
+
+    def test_overrule_and_placeholder_consumption_instrumented(self):
+        """The LRU-SP mistake path, swept after every operation: the
+        overrule creates a placeholder; missing the replaced block consumes
+        it exactly once and charges the manager a mistake."""
+        cache = make_cache(nframes=4)
+        InvariantChecker(cache)
+        overrule_once(cache)
+        assert cache.stats.overrules == 1
+        assert cache.stats.swaps == 1
+        assert cache.placeholders.created == 1
+        replaced = (1, cache.nframes - 1)  # the manager's newest block went
+        assert replaced in cache.placeholders
+        touch(cache, 1, *replaced)  # miss on the replaced block: it fires
+        assert cache.placeholders.consumed == 1
+        assert replaced not in cache.placeholders
+        assert cache.acm.managers[1].mistakes == 1
+        table = cache.placeholders
+        assert table.created == table.consumed + table.discarded + len(table)
+
+    def test_lru_s_has_no_placeholders_but_stays_consistent(self):
+        cache = make_cache(nframes=4, policy=LRU_S)
+        checker = InvariantChecker(cache)
+        overrule_once(cache)
+        assert cache.stats.overrules == 1
+        assert cache.placeholders.created == 0
+        checker.check_now()
+
+    def test_sanitized_system_run(self):
+        """MachineConfig(sanitize=True) wires a checker into the kernel."""
+        system = System(MachineConfig(cache_mb=0.25, sanitize=True))
+        assert system.cache.sanitizer is not None
+        ReadN(n=8, file_blocks=24, repeats=2, behavior=ReadNBehavior.SMART).spawn(system)
+        system.run()
+        assert system.cache.sanitizer.sweeps > 0
+
+    def test_install_auto_sanitizer_is_idempotent(self):
+        uninstall = install_auto_sanitizer()
+        second = install_auto_sanitizer()
+        try:
+            cache = make_cache(nframes=4)
+            assert cache.sanitizer is not None
+        finally:
+            second()
+            uninstall()
+        cache = make_cache(nframes=4)
+        # conftest may have installed suite-wide sanitizing already; only
+        # assert that *our* patch is gone, not that none is active.
+        from repro.core.buffercache import BufferCache
+
+        import os
+
+        if os.environ.get("REPRO_SANITIZE", "") in ("", "0"):
+            assert cache.sanitizer is None
+
+
+class TestMutationsAreCaught:
+    def test_skipped_lru_sp_swap_is_caught(self):
+        """The acceptance mutation: eliding the swap step of LRU-SP leaves
+        the global list diverging from what the protocol implies."""
+        cache = make_cache(nframes=4)
+        InvariantChecker(cache)
+        acm = cache.acm
+        acm.register(1)
+        acm.set_policy(1, 0, "mru")
+        for b in range(4):
+            touch(cache, 1, 1, b)
+        cache.global_list.swap = lambda a, b: None  # the "bug": swap elided
+        with pytest.raises(InvariantViolation) as exc:
+            touch(cache, 1, 1, 4)
+        assert exc.value.invariant == "I4"
+        assert "swap" in str(exc.value)
+
+    def test_wrong_end_pool_insertion_is_caught(self):
+        """A broken ACM that inserts new blocks at the replace-first end of
+        an LRU pool — it even reports the placement, but the order is
+        impossible under the protocol."""
+
+        class BrokenACM(ACM):
+            def new_block(self, block, referenced=True):
+                m = self.manager(block.owner_pid)
+                if m is None:
+                    block.pool_prio = None
+                    return
+                prio = m.long_term_prio(block.file_id)
+                m.pool(prio).blocks.push_lru(block)  # wrong end for LRU
+                block.pool_prio = prio
+                m._notify_positioned(block)
+
+        cache = make_cache(nframes=4, acm=BrokenACM())
+        InvariantChecker(cache)
+        cache.acm.register(1)
+        touch(cache, 1, 1, 0)
+        with pytest.raises(InvariantViolation) as exc:
+            touch(cache, 1, 1, 1)
+        assert exc.value.invariant == "I3"
+
+    def test_pool_order_corruption_is_caught(self):
+        cache = make_cache(nframes=8)
+        checker = InvariantChecker(cache)
+        cache.acm.register(1)
+        for b in range(4):
+            touch(cache, 1, 1, b)
+        pool = cache.acm.managers[1].pools[0]
+        pool.blocks.move_to_lru(cache.peek(1, 3))  # recency corrupted
+        with pytest.raises(InvariantViolation) as exc:
+            checker.check_now("corruption")
+        assert exc.value.invariant == "I3"
+
+    def test_stale_placeholder_at_evicted_block_is_caught(self):
+        """A placeholder must die with its kept block; a leak points the
+        table at a non-resident frame."""
+        cache = make_cache(nframes=4)
+        InvariantChecker(cache)
+        overrule_once(cache)
+        assert len(cache.placeholders) == 1
+        cache.placeholders.drop_for_kept = lambda kept: 0  # the "bug"
+        with pytest.raises(InvariantViolation) as exc:
+            for b in range(10, 14):  # churn until the kept block is evicted
+                touch(cache, 2, 2, b)
+        assert exc.value.invariant == "I5"
+
+    def test_double_pool_membership_is_caught(self):
+        cache = make_cache(nframes=8)
+        checker = InvariantChecker(cache)
+        acm = cache.acm
+        acm.register(1)
+        touch(cache, 1, 1, 0)
+        block = cache.peek(1, 0)
+        manager = acm.managers[1]
+        manager.pool(7).blocks.push_mru(block)  # linked twice
+        with pytest.raises(InvariantViolation) as exc:
+            checker.check_now("double-link")
+        assert exc.value.invariant == "I2"
+
+    def test_global_list_desync_is_caught(self):
+        cache = make_cache(nframes=8)
+        checker = InvariantChecker(cache)
+        touch(cache, 1, 1, 0)
+        touch(cache, 1, 1, 1)
+        cache.global_list.remove(cache.peek(1, 0))  # frame freed but mapped
+        with pytest.raises(InvariantViolation) as exc:
+            checker.check_now("desync")
+        assert exc.value.invariant == "I1"
+
+    def test_placeholder_accounting_identity_enforced(self):
+        cache = make_cache(nframes=4)
+        checker = InvariantChecker(cache)
+        overrule_once(cache)
+        cache.placeholders.created += 1  # phantom placeholder
+        with pytest.raises(InvariantViolation) as exc:
+            checker.check_now("accounting")
+        assert exc.value.invariant == "I5"
+
+
+class TestCacheFullPath:
+    def test_all_frames_pinned_raises_and_state_survives(self):
+        """Every frame pinned by an in-flight read: no victim exists, the
+        access fails, and the cache structures stay fully consistent."""
+        cache = make_cache(nframes=2)
+        checker = InvariantChecker(cache)
+        first = cache.access(1, 1, 0, 0, "disk0")
+        second = cache.access(1, 1, 1, 1, "disk0")
+        assert first.block.in_flight and second.block.in_flight
+        with pytest.raises(CacheFullError):
+            cache.access(1, 1, 2, 2, "disk0")
+        checker.check_now("after CacheFullError")
+        assert cache.resident == 2
+
+    def test_recovers_once_a_read_completes(self):
+        cache = make_cache(nframes=2)
+        checker = InvariantChecker(cache)
+        first = cache.access(1, 1, 0, 0, "disk0")
+        cache.access(1, 1, 1, 1, "disk0")
+        with pytest.raises(CacheFullError):
+            cache.access(1, 1, 2, 2, "disk0")
+        cache.loaded(first.block)
+        outcome = cache.access(1, 1, 2, 2, "disk0")
+        assert not outcome.hit
+        assert outcome.evicted is first.block  # the only unpinned frame
+        cache.loaded(outcome.block)
+        checker.check_now("after recovery")
+
+    def test_full_cache_with_managed_pools(self):
+        """Consultation cannot conjure a victim when everything is pinned:
+        the manager's pools hold only in-flight frames."""
+        cache = make_cache(nframes=2)
+        InvariantChecker(cache)
+        cache.acm.register(1)
+        cache.access(1, 1, 0, 0, "disk0")
+        cache.access(1, 1, 1, 1, "disk0")
+        with pytest.raises(CacheFullError):
+            cache.access(1, 1, 2, 2, "disk0")

@@ -1,0 +1,309 @@
+"""The static protocol lint: each rule fires on a synthetic violation and
+stays silent on the real tree."""
+
+import textwrap
+from pathlib import Path
+
+from repro.check.lint import (
+    Finding,
+    check_policy_registry,
+    lint_source,
+    lint_tree,
+    main,
+    render,
+)
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+
+def lint(source, relpath):
+    return lint_source(textwrap.dedent(source), relpath)
+
+
+def rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestR001AcmProtocol:
+    def test_acm_call_outside_buf_fires(self):
+        findings = lint(
+            """
+            def sneaky(acm, block):
+                acm.replace_block(block)
+            """,
+            "repro/sim/engine.py",
+        )
+        assert rules(findings) == ["R001"]
+        assert "replace_block" in findings[0].message
+
+    def test_all_five_procedures_covered(self):
+        for proc in ("new_block", "block_gone", "block_accessed", "replace_block", "placeholder_used"):
+            findings = lint(f"def f(acm, b):\n    acm.{proc}(b)\n", "repro/harness/cli.py")
+            assert rules(findings) == ["R001"], proc
+
+    def test_buf_itself_is_allowed(self):
+        findings = lint(
+            "def f(acm, b):\n    acm.new_block(b)\n",
+            "repro/core/buffercache.py",
+        )
+        assert findings == []
+
+    def test_plain_function_of_same_name_is_ignored(self):
+        findings = lint("def f(b):\n    new_block(b)\n", "repro/sim/engine.py")
+        assert findings == []
+
+
+class TestR002Determinism:
+    def test_wall_clock_in_core_fires(self):
+        findings = lint(
+            "import time\n\ndef stamp():\n    return time.time()\n",
+            "repro/core/buffercache.py",
+        )
+        assert rules(findings) == ["R002"]
+
+    def test_datetime_now_fires(self):
+        findings = lint(
+            "from datetime import datetime\n\ndef f():\n    return datetime.now()\n",
+            "repro/sim/engine.py",
+        )
+        assert rules(findings) == ["R002"]
+
+    def test_unseeded_module_rng_fires(self):
+        findings = lint(
+            "import random\n\ndef f():\n    return random.randint(0, 9)\n",
+            "repro/disk/model.py",
+        )
+        assert rules(findings) == ["R002"]
+
+    def test_seeded_rng_instance_is_allowed(self):
+        findings = lint(
+            "import random\n\ndef f(seed):\n    return random.Random(seed).randint(0, 9)\n",
+            "repro/disk/model.py",
+        )
+        assert findings == []
+
+    def test_wall_clock_outside_core_is_allowed(self):
+        findings = lint(
+            "import time\n\ndef stamp():\n    return time.time()\n",
+            "repro/harness/cli.py",
+        )
+        assert findings == []
+
+
+class TestR004MutableState:
+    def test_mutable_default_argument_fires(self):
+        findings = lint("def f(xs=[]):\n    return xs\n", "repro/workloads/base.py")
+        assert rules(findings) == ["R004"]
+
+    def test_dict_call_default_fires(self):
+        findings = lint("def f(m=dict()):\n    return m\n", "repro/core/acm.py")
+        assert rules(findings) == ["R004"]
+
+    def test_kwonly_mutable_default_fires(self):
+        findings = lint("def f(*, xs={}):\n    return xs\n", "repro/sim/engine.py")
+        assert rules(findings) == ["R004"]
+
+    def test_none_default_is_allowed(self):
+        findings = lint("def f(xs=None):\n    return xs or []\n", "repro/core/acm.py")
+        assert findings == []
+
+    def test_unfrozen_config_dataclass_fires(self):
+        findings = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class DiskParams:
+                rpm: int = 5400
+            """,
+            "repro/disk/model.py",
+        )
+        assert rules(findings) == ["R004"]
+        assert "frozen" in findings[0].message
+
+    def test_frozen_config_dataclass_is_allowed(self):
+        findings = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class DiskParams:
+                rpm: int = 5400
+            """,
+            "repro/disk/model.py",
+        )
+        assert findings == []
+
+    def test_non_config_dataclass_may_be_mutable(self):
+        findings = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class RunningTotals:
+                hits: int = 0
+            """,
+            "repro/core/buffercache.py",
+        )
+        assert findings == []
+
+
+class TestR005OpConsumers:
+    def test_isinstance_dispatch_outside_kernel_fires(self):
+        findings = lint(
+            """
+            from repro.sim import ops
+
+            def f(op):
+                if isinstance(op, ops.BlockRead):
+                    return op.blockno
+            """,
+            "repro/workloads/base.py",
+        )
+        assert rules(findings) == ["R005"]
+
+    def test_tuple_of_ops_fires(self):
+        findings = lint(
+            """
+            def f(op, BlockRead, BlockWrite):
+                return isinstance(op, (BlockRead, BlockWrite))
+            """,
+            "repro/harness/cli.py",
+        )
+        assert rules(findings) == ["R005"]
+
+    def test_kernel_is_allowed(self):
+        findings = lint(
+            """
+            def f(op, BlockRead):
+                return isinstance(op, BlockRead)
+            """,
+            "repro/kernel/system.py",
+        )
+        assert findings == []
+
+    def test_unrelated_isinstance_is_allowed(self):
+        findings = lint(
+            "def f(x):\n    return isinstance(x, int)\n",
+            "repro/workloads/base.py",
+        )
+        assert findings == []
+
+
+class TestR003Registry:
+    def _write_tree(self, tmp_path, registry, extra=""):
+        pkg = tmp_path / "repro" / "policies"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "base.py").write_text(
+            textwrap.dedent(
+                """
+                class EvictionPolicy:
+                    def _on_hit(self, block): ...
+                    def _on_insert(self, block): ...
+                    def _choose_victim(self): ...
+                """
+            )
+        )
+        (pkg / "impl.py").write_text(textwrap.dedent(extra))
+        (pkg / "registry.py").write_text(textwrap.dedent(registry))
+        return tmp_path
+
+    def test_good_registry_is_clean(self, tmp_path):
+        root = self._write_tree(
+            tmp_path,
+            registry="""
+            from .impl import Good
+
+            POLICY_FACTORIES = {"good": Good}
+            """,
+            extra="""
+            from .base import EvictionPolicy
+
+            class Good(EvictionPolicy):
+                def _on_hit(self, block): ...
+                def _on_insert(self, block): ...
+                def _choose_victim(self):
+                    return None
+            """,
+        )
+        assert check_policy_registry(root) == []
+
+    def test_non_subclass_fires(self, tmp_path):
+        root = self._write_tree(
+            tmp_path,
+            registry="""
+            from .impl import Rogue
+
+            POLICY_FACTORIES = {"rogue": Rogue}
+            """,
+            extra="""
+            class Rogue:
+                def _on_hit(self, block): ...
+                def _on_insert(self, block): ...
+                def _choose_victim(self): ...
+            """,
+        )
+        findings = check_policy_registry(root)
+        assert rules(findings) == ["R003"]
+        assert "subclass" in findings[0].message
+
+    def test_missing_hook_fires(self, tmp_path):
+        root = self._write_tree(
+            tmp_path,
+            registry="""
+            from .impl import Lazy
+
+            POLICY_FACTORIES = {"lazy": Lazy}
+            """,
+            extra="""
+            class Lazy:
+                pass
+            """,
+        )
+        findings = check_policy_registry(root)
+        messages = " ".join(f.message for f in findings)
+        assert "_choose_victim" in messages
+
+    def test_unknown_class_fires(self, tmp_path):
+        root = self._write_tree(
+            tmp_path,
+            registry="""
+            POLICY_FACTORIES = {"ghost": Ghost}
+            """,
+        )
+        findings = check_policy_registry(root)
+        assert rules(findings) == ["R003"]
+
+
+class TestRealTree:
+    def test_src_is_clean(self):
+        findings = lint_tree(SRC_ROOT)
+        assert findings == [], render(findings)
+
+    def test_real_registry_is_clean(self):
+        assert check_policy_registry(SRC_ROOT) == []
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        assert main([str(SRC_ROOT / "repro" / "core")]) == 0
+        bad = tmp_path / "repro" / "sim"
+        bad.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (bad / "__init__.py").write_text("")
+        (bad / "rogue.py").write_text("import time\n\ndef f():\n    return time.time()\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "R002" in out
+
+    def test_main_rejects_missing_path(self, capsys):
+        assert main(["/no/such/tree"]) == 1
+        assert "no such file" in capsys.readouterr().out
+
+    def test_syntax_error_is_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", "repro/core/x.py")
+        assert rules(findings) == ["R000"]
+
+    def test_finding_str_is_clickable(self):
+        f = Finding("R001", "repro/sim/engine.py", 12, "msg")
+        assert str(f) == "repro/sim/engine.py:12: R001 msg"

@@ -48,6 +48,22 @@ class TestLifecycle:
         assert len(table) == 1
         assert table.consume((1, 5)).kept is k2
 
+    def test_supersede_counts_as_discarded(self):
+        # Regression: the superseded entry used to vanish without being
+        # counted, breaking created == consumed + discarded + live.
+        table = PlaceholderTable()
+        table.add((1, 5), block(blockno=1), manager_pid=1)
+        table.add((1, 5), block(blockno=2), manager_pid=1)
+        assert table.discarded == 1
+        assert table.created == table.consumed + table.discarded + len(table)
+
+    def test_clear_counts_as_discarded(self):
+        table = PlaceholderTable()
+        table.add((1, 5), block(), manager_pid=1)
+        table.clear()
+        assert table.discarded == 1
+        assert table.created == table.consumed + table.discarded + len(table)
+
     def test_drop_for_missing(self):
         table = PlaceholderTable()
         table.add((1, 5), block(), manager_pid=1)
