@@ -1,0 +1,82 @@
+"""Throughput of the cache daemon: requests/second through the full stack.
+
+Performance benchmarks (not reproduction): four concurrent clients each
+stream block reads at a shared daemon, over the in-process queue transport
+and over loopback TCP.  Each run reports ops/sec into
+``benchmarks/results/server_throughput.json`` so regressions in the
+protocol/queueing layers show up as numbers, not vibes.
+"""
+
+import asyncio
+import json
+import time
+
+from conftest import run_once
+
+from repro.server import CacheClient, CacheDaemon, build_config
+
+CLIENTS = 4
+OPS_PER_CLIENT = 1_000
+FILE_BLOCKS = 64  # per client; small enough that the steady state is hits
+
+
+async def _drive(connect, teardown=None):
+    """Time CLIENTS clients doing OPS_PER_CLIENT reads each."""
+    daemon = CacheDaemon(build_config(cache_mb=4))
+    address = await connect(daemon)
+    clients = []
+    for i in range(CLIENTS):
+        if address is None:
+            client = await CacheClient.connect_inproc(daemon, name=f"bench-{i}")
+        else:
+            client = await CacheClient.connect_tcp(*address, name=f"bench-{i}")
+        await client.open(f"bench-{i}", size_blocks=FILE_BLOCKS)
+        clients.append(client)
+
+    async def hammer(i, client):
+        for op in range(OPS_PER_CLIENT):
+            await client.read(f"bench-{i}", op % FILE_BLOCKS)
+
+    start = time.perf_counter()
+    await asyncio.gather(*(hammer(i, c) for i, c in enumerate(clients)))
+    elapsed = time.perf_counter() - start
+    for client in clients:
+        await client.aclose()
+    await daemon.aclose()
+    if teardown is not None:
+        teardown()
+    assert daemon.requests_served >= CLIENTS * OPS_PER_CLIENT
+    return elapsed
+
+
+def _record(results_dir, transport, elapsed):
+    ops = CLIENTS * OPS_PER_CLIENT
+    path = results_dir / "server_throughput.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[transport] = {
+        "clients": CLIENTS,
+        "ops": ops,
+        "elapsed_s": round(elapsed, 4),
+        "ops_per_sec": round(ops / elapsed, 1),
+    }
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"\nserver throughput [{transport}]: {ops / elapsed:,.0f} ops/sec")
+
+
+def test_inproc_throughput(benchmark, results_dir):
+    async def connect(daemon):
+        await daemon.start()
+        return None
+
+    elapsed = run_once(benchmark, lambda: asyncio.run(_drive(connect)))
+    assert elapsed > 0
+    _record(results_dir, "inproc", elapsed)
+
+
+def test_tcp_loopback_throughput(benchmark, results_dir):
+    async def connect(daemon):
+        return await daemon.start_tcp("127.0.0.1", 0)
+
+    elapsed = run_once(benchmark, lambda: asyncio.run(_drive(connect)))
+    assert elapsed > 0
+    _record(results_dir, "tcp", elapsed)

@@ -21,6 +21,11 @@ R004  No mutable default arguments anywhere; configuration dataclasses in
 R005  :mod:`repro.sim.ops` primitives are *data*: only the kernel
       (``repro/kernel/system.py``) and the trace recorder may interpret
       them (isinstance dispatch).  Everything else yields them.
+R006  Within ``repro/server`` only the service layer
+      (``repro/server/service.py``) may import ``repro.kernel`` or
+      ``repro.core``: handlers, sessions and transports stay
+      protocol-only, so every kernel mutation funnels through the single
+      serialized service gate.
 
 Usage::
 
@@ -87,6 +92,12 @@ OP_CONSUMERS = frozenset(
 
 POLICY_HOOKS = ("_on_hit", "_on_insert", "_choose_victim")
 POLICY_BASE = "EvictionPolicy"
+
+#: The server package and its single kernel gate (R006): everything else
+#: in the package speaks the wire protocol only.
+SERVER_DIR = "repro/server/"
+SERVER_KERNEL_GATE = "repro/server/service.py"
+SERVER_FORBIDDEN_MODULES = ("repro.kernel", "repro.core")
 
 
 @dataclass(frozen=True)
@@ -181,6 +192,53 @@ class _FileLinter(ast.NodeVisitor):
                         f"isinstance dispatch on sim op '{name}' outside the kernel — "
                         "ops are consumed via the engine (repro/kernel/system.py)",
                     )
+        self.generic_visit(node)
+
+    # R006: server package layering -------------------------------------
+
+    def _check_server_import(self, node: ast.AST, module: Optional[str]) -> bool:
+        if module is None:
+            return False
+        if not self.relpath.startswith(SERVER_DIR) or self.relpath == SERVER_KERNEL_GATE:
+            return False
+        if any(
+            module == gated or module.startswith(gated + ".")
+            for gated in SERVER_FORBIDDEN_MODULES
+        ):
+            self._add(
+                "R006",
+                node,
+                f"import of '{module}' outside the service gate — within "
+                "repro/server only service.py may call into repro.kernel/"
+                "repro.core; handlers and transports stay protocol-only",
+            )
+            return True
+        return False
+
+    def _resolve_relative(self, node: ast.ImportFrom) -> Optional[str]:
+        """The absolute module a relative import refers to, given where
+        this file sits in the tree (``from ..core import acm`` inside
+        repro/server/ is still repro.core)."""
+        package = self.relpath.rsplit("/", 1)[0].split("/")
+        if node.level > len(package):
+            return None
+        base = package[: len(package) - (node.level - 1)]
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_server_import(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = self._resolve_relative(node) if node.level else node.module
+        if not self._check_server_import(node, module) and module is not None:
+            # ``from repro import core`` smuggles the package in under a
+            # bare name; check each imported name as a module path too.
+            for alias in node.names:
+                self._check_server_import(node, f"{module}.{alias.name}")
         self.generic_visit(node)
 
     # R004: mutable defaults --------------------------------------------

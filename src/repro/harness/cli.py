@@ -6,6 +6,7 @@ Examples::
     repro-accfc fig4 --apps din cs1 --sizes 6.4 8
     repro-accfc table1               # the placeholder-protection study
     repro-accfc check                # protocol lint + sanitized smoke run
+    repro-accfc serve --port 7481    # run the multi-client cache daemon
     repro-accfc all                  # everything (several minutes)
 """
 
@@ -182,9 +183,18 @@ _EXPERIMENTS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        # The daemon has its own option set; hand over before the
+        # experiment parser rejects its flags.
+        from repro.server.daemon import serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-accfc",
-        description="Regenerate the figures and tables of 'Application-Controlled File Caching' (OSDI '94).",
+        description="Regenerate the figures and tables of 'Application-Controlled File Caching' (OSDI '94). "
+        "The extra subcommand 'serve' (repro-accfc serve --help) runs the multi-client cache daemon.",
     )
     parser.add_argument(
         "experiment",

@@ -1,0 +1,195 @@
+"""``CacheClient`` — the convenience API for talking to the daemon.
+
+One client is one session (one kernel pid, one per-process ACM manager).
+Requests are pipelined: a background reader task matches replies to
+request ids, and a client-side semaphore keeps at most ``window`` requests
+outstanding — sized at or below the server's per-session window, so normal
+use never trips the daemon's flow control.
+
+    client = await CacheClient.connect_tcp("127.0.0.1", port, name="cs1")
+    await client.open("cscope.out", size_blocks=1141)
+    await client.set_priority("cscope.out", 0)
+    await client.set_policy(0, "mru")
+    hit = await client.read("cscope.out", 17)
+    print(await client.stats())
+    await client.aclose()
+
+Failure replies raise :class:`ServerError` (or :class:`ServerBusy` for the
+429-style backpressure code, so callers can back off and retry).  Protocol
+only — the kernel lives on the other side of the wire (lint rule R006).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+from repro.server.protocol import Transport, request
+
+
+class ServerError(Exception):
+    """The daemon replied with an error."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServerBusy(ServerError):
+    """The daemon is over its global pending limit; retry later."""
+
+
+#: default number of outstanding requests a client keeps in flight
+DEFAULT_CLIENT_WINDOW = 16
+
+
+class CacheClient:
+    """One session against a cache daemon, over any transport."""
+
+    def __init__(self, transport: Transport, window: int = DEFAULT_CLIENT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError("client window must be at least 1")
+        self._transport = transport
+        self._window = asyncio.Semaphore(window)
+        self._pending: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._next_id = 0
+        self._closing = False
+        self._reader_task: Optional["asyncio.Task[None]"] = None
+        #: the kernel pid of this session (set by the hello handshake)
+        self.pid: Optional[int] = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    async def connect_tcp(
+        cls, host: str, port: int, name: Optional[str] = None, window: int = DEFAULT_CLIENT_WINDOW
+    ) -> "CacheClient":
+        from repro.server.protocol import StreamTransport
+
+        reader, writer = await asyncio.open_connection(host, port)
+        return await cls._started(StreamTransport(reader, writer), name, window)
+
+    @classmethod
+    async def connect_unix(
+        cls, path: str, name: Optional[str] = None, window: int = DEFAULT_CLIENT_WINDOW
+    ) -> "CacheClient":
+        from repro.server.protocol import StreamTransport
+
+        reader, writer = await asyncio.open_unix_connection(path)
+        return await cls._started(StreamTransport(reader, writer), name, window)
+
+    @classmethod
+    async def connect_inproc(
+        cls, daemon, name: Optional[str] = None, window: int = DEFAULT_CLIENT_WINDOW
+    ) -> "CacheClient":
+        """Connect to a :class:`~repro.server.daemon.CacheDaemon` in this
+        process (tests, benchmarks, demos)."""
+        transport = await daemon.connect_inproc()
+        return await cls._started(transport, name, window)
+
+    @classmethod
+    async def _started(
+        cls, transport: Transport, name: Optional[str], window: int
+    ) -> "CacheClient":
+        client = cls(transport, window=window)
+        client._reader_task = asyncio.get_running_loop().create_task(client._read_replies())
+        hello = await client.call("hello", name=name) if name else await client.call("hello")
+        client.pid = hello.get("pid") if isinstance(hello, dict) else None
+        return client
+
+    # -- plumbing ----------------------------------------------------------
+
+    async def _read_replies(self) -> None:
+        while True:
+            msg = await self._transport.recv()
+            if msg is None:
+                break
+            future = self._pending.pop(msg.get("id"), None)
+            if future is not None and not future.done():
+                future.set_result(msg)
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(ConnectionError("server connection closed"))
+        self._pending.clear()
+
+    async def call(self, verb: str, **params: Any) -> Any:
+        """One request/response round trip; returns the reply value."""
+        if self._closing:
+            raise ConnectionError("client is closed")
+        async with self._window:
+            self._next_id += 1
+            req_id = self._next_id
+            future: "asyncio.Future[Dict[str, Any]]" = asyncio.get_running_loop().create_future()
+            self._pending[req_id] = future
+            await self._transport.send(request(req_id, verb, **params))
+            reply = await future
+        if reply.get("ok"):
+            return reply.get("value")
+        code = reply.get("code", "INTERNAL")
+        error = ServerBusy if code == "BUSY" else ServerError
+        raise error(code, str(reply.get("error", "")))
+
+    # -- the file API ------------------------------------------------------
+
+    async def open(
+        self, path: str, size_blocks: Optional[int] = None, disk: Optional[str] = None
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {"path": path}
+        if size_blocks is not None:
+            params["size_blocks"] = size_blocks
+        if disk is not None:
+            params["disk"] = disk
+        return await self.call("open", **params)
+
+    async def read(self, path: str, blockno: int) -> bool:
+        """Read one block; returns whether it was a cache hit."""
+        value = await self.call("read", path=path, blockno=blockno)
+        return bool(value.get("hit"))
+
+    async def write(self, path: str, blockno: int, whole: bool = True) -> bool:
+        """Write one block (delayed write); returns whether it hit."""
+        value = await self.call("write", path=path, blockno=blockno, whole=whole)
+        return bool(value.get("hit"))
+
+    # -- the five paper directives ----------------------------------------
+
+    async def set_priority(self, path: str, prio: int) -> None:
+        await self.call("set_priority", path=path, prio=prio)
+
+    async def get_priority(self, path: str) -> int:
+        return int(await self.call("get_priority", path=path))
+
+    async def set_policy(self, prio: int, policy: str) -> None:
+        await self.call("set_policy", prio=prio, policy=policy)
+
+    async def get_policy(self, prio: int) -> str:
+        return str(await self.call("get_policy", prio=prio))
+
+    async def set_temppri(self, path: str, start: int, end: int, prio: int) -> None:
+        await self.call("set_temppri", path=path, start=start, end=end, prio=prio)
+
+    # -- service verbs -----------------------------------------------------
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self.call("ping")
+
+    async def stats(self) -> Dict[str, Any]:
+        """The live server/cache/per-session statistics snapshot."""
+        return await self.call("stats")
+
+    async def aclose(self) -> None:
+        """Polite shutdown: ``close`` the session, then drop the transport."""
+        if self._closing:
+            return
+        try:
+            await self.call("close")
+        except (ConnectionError, ServerError):
+            pass
+        self._closing = True
+        self._transport.close()
+        if self._reader_task is not None:
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:  # pragma: no cover - teardown race
+                pass

@@ -1,0 +1,376 @@
+"""The asyncio cache daemon: many clients, one kernel task.
+
+:class:`CacheDaemon` accepts connections over TCP, Unix sockets and the
+in-process queue transport, and funnels every kernel-bound request through
+**one logical kernel task**.  Each session owns a FIFO request queue; the
+kernel task round-robins across ready sessions, applying one request at a
+time to the :class:`~repro.server.service.CacheService` — so the shared
+cache always sees a serial, deterministic reference stream no matter how
+many clients are connected.
+
+Backpressure is two-layered, per the paper's spirit of making costs land
+on their causer:
+
+* **per-session inflight window** — once a session has ``window`` queued
+  requests, the daemon stops reading its transport until the kernel drains
+  below the window (TCP flow control / a blocked queue put does the rest);
+* **global pending limit** — when the total queued across all sessions
+  reaches ``global_limit``, further requests get an immediate 429-style
+  ``BUSY`` error reply instead of queueing.
+
+Graceful shutdown stops accepting connections, drains every queue, flushes
+all dirty blocks (charged to their owners) and closes the transports.
+
+``repro-accfc serve`` (:func:`serve_main`) wraps all of this in a CLI.
+This module is protocol-only (lint rule R006): kernel access goes through
+the service layer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.server import protocol
+from repro.server.protocol import (
+    KERNEL_VERBS,
+    StreamTransport,
+    Transport,
+    error_response,
+    ok_response,
+    queue_pair,
+)
+from repro.server.service import CacheService, ServiceError, build_config
+from repro.server.session import DEFAULT_GLOBAL_LIMIT, DEFAULT_WINDOW, Session
+
+
+class CacheDaemon:
+    """The server: transports in front, one serialized kernel behind."""
+
+    def __init__(
+        self,
+        config: Optional[Any] = None,
+        *,
+        service: Optional[CacheService] = None,
+        window: int = DEFAULT_WINDOW,
+        global_limit: int = DEFAULT_GLOBAL_LIMIT,
+        trace_recorder: Optional[Any] = None,
+    ) -> None:
+        if global_limit < 1:
+            raise ValueError("global limit must be at least 1")
+        self.service = service if service is not None else CacheService(
+            config, trace_recorder=trace_recorder
+        )
+        self.window = window
+        self.global_limit = global_limit
+        self.sessions: Dict[int, Session] = {}
+        self.pending_total = 0
+        self.busy_rejections = 0
+        self.requests_served = 0
+        #: unexpected exceptions raised while applying requests (each also
+        #: produced an INTERNAL error reply); tests assert this stays empty
+        self.errors: List[BaseException] = []
+        self._ready: Deque[Session] = deque()
+        self._work = asyncio.Event()
+        self._gate = asyncio.Event()
+        self._gate.set()
+        self._closing = False
+        self._stopping = False
+        self._closed_result: Optional[Dict[str, Any]] = None
+        self._kernel_task: Optional["asyncio.Task[None]"] = None
+        self._servers: List[asyncio.AbstractServer] = []
+        self._session_tasks: set = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the kernel task (idempotent; listeners call it too)."""
+        if self._kernel_task is None:
+            self._kernel_task = asyncio.get_running_loop().create_task(self._kernel_loop())
+
+    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Listen on TCP; returns the bound (host, port)."""
+        await self.start()
+        server = await asyncio.start_server(self._on_stream, host=host, port=port)
+        self._servers.append(server)
+        bound = server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def start_unix(self, path: str) -> str:
+        """Listen on a Unix-domain socket at ``path``."""
+        await self.start()
+        server = await asyncio.start_unix_server(self._on_stream, path=path)
+        self._servers.append(server)
+        return path
+
+    async def connect_inproc(self) -> Transport:
+        """A new in-process connection; returns the client-side transport."""
+        await self.start()
+        server_side, client_side = queue_pair()
+        self._spawn_session(server_side)
+        return client_side
+
+    def pause(self) -> None:
+        """Hold the kernel task (requests queue but are not applied)."""
+        self._gate.clear()
+
+    def resume(self) -> None:
+        self._gate.set()
+
+    async def aclose(self) -> Dict[str, Any]:
+        """Graceful shutdown: drain queues, flush dirty blocks, close."""
+        if self._closed_result is not None:
+            return self._closed_result
+        self._closing = True
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self.resume()
+        while self.pending_total > 0:
+            self._work.set()
+            await asyncio.sleep(0)
+        self._stopping = True
+        self._work.set()
+        if self._kernel_task is not None:
+            await self._kernel_task
+        flushed = self.service.flush_all()
+        for session in list(self.sessions.values()):
+            session.closed = True
+            session.release()
+            session.transport.close()
+        for task in list(self._session_tasks):
+            task.cancel()
+        if self._session_tasks:
+            await asyncio.gather(*self._session_tasks, return_exceptions=True)
+        self._closed_result = {
+            "flushed_blocks": flushed,
+            "requests_served": self.requests_served,
+        }
+        return self._closed_result
+
+    # -- connection handling ----------------------------------------------
+
+    def _on_stream(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._spawn_session(StreamTransport(reader, writer))
+
+    def _spawn_session(self, transport: Transport) -> None:
+        task = asyncio.get_running_loop().create_task(self._run_session(transport))
+        self._session_tasks.add(task)
+        task.add_done_callback(self._session_tasks.discard)
+
+    async def _run_session(self, transport: Transport) -> None:
+        pid = self.service.register_session()
+        session = Session(pid, transport, window=self.window)
+        self.sessions[pid] = session
+        try:
+            while True:
+                msg = await transport.recv()
+                if msg is None:
+                    break
+                req_id = protocol.request_id_of(msg)
+                verb = msg.get("verb")
+                if verb == "ping":
+                    await transport.send(ok_response(req_id, {"pong": True, "pid": pid}))
+                    continue
+                if verb == "hello":
+                    name = msg.get("name")
+                    if isinstance(name, str) and name:
+                        session.name = name[:64]
+                    await transport.send(ok_response(req_id, {"pid": pid, "name": session.name}))
+                    continue
+                if not isinstance(verb, str) or verb not in KERNEL_VERBS:
+                    await transport.send(
+                        error_response(req_id, "BAD_REQUEST", f"unknown verb {verb!r}")
+                    )
+                    continue
+                if self._closing:
+                    await transport.send(
+                        error_response(req_id, "SHUTTING_DOWN", "daemon is draining")
+                    )
+                    continue
+                if self.pending_total >= self.global_limit and verb != "close":
+                    self.service.counters_for(pid).busy_rejections += 1
+                    self.busy_rejections += 1
+                    await transport.send(
+                        error_response(
+                            req_id,
+                            "BUSY",
+                            f"server over capacity ({self.pending_total} pending)",
+                        )
+                    )
+                    continue
+                self._enqueue(session, msg)
+                if verb == "close":
+                    break
+                # Inflight window: stop reading while this session has a
+                # full queue — backpressure reaches the client through the
+                # transport.
+                await session.wait_for_slot()
+        finally:
+            await self._drain(session)
+            session.closed = True
+            session.release()
+            self.service.release_session(pid)
+            transport.close()
+
+    def _enqueue(self, session: Session, msg: Dict[str, Any]) -> None:
+        session.push(msg)
+        self.pending_total += 1
+        if not session.in_ready:
+            session.in_ready = True
+            self._ready.append(session)
+        self._work.set()
+
+    async def _drain(self, session: Session) -> None:
+        """Let the kernel finish a departing session's queued requests."""
+        while session.queue and not self._stopping:
+            self._work.set()
+            await asyncio.sleep(0)
+
+    # -- the kernel task ---------------------------------------------------
+
+    async def _kernel_loop(self) -> None:
+        while True:
+            await self._work.wait()
+            self._work.clear()
+            while self._ready:
+                await self._gate.wait()
+                session = self._ready.popleft()
+                msg = session.pop()
+                if msg is None:
+                    session.in_ready = False
+                    continue
+                self.pending_total -= 1
+                resp = self._safe_apply(session, msg)
+                if session.queue:
+                    self._ready.append(session)
+                else:
+                    session.in_ready = False
+                await session.transport.send(resp)
+                self.requests_served += 1
+            if self._stopping:
+                break
+
+    def _safe_apply(self, session: Session, msg: Dict[str, Any]) -> Dict[str, Any]:
+        req_id = protocol.request_id_of(msg)
+        try:
+            return ok_response(req_id, self._apply(session, msg))
+        except ServiceError as exc:
+            return error_response(req_id, exc.code, str(exc))
+        except Exception as exc:  # noqa: BLE001 - a reply must always go out
+            self.errors.append(exc)
+            return error_response(req_id, "INTERNAL", f"{type(exc).__name__}: {exc}")
+
+    def _apply(self, session: Session, msg: Dict[str, Any]) -> Any:
+        verb = msg["verb"]
+        pid = session.pid
+        if verb == "open":
+            return self.service.open(
+                pid, msg.get("path"), msg.get("size_blocks"), msg.get("disk")
+            )
+        if verb == "read":
+            return self.service.read(pid, msg.get("path"), msg.get("blockno"))
+        if verb == "write":
+            return self.service.write(
+                pid, msg.get("path"), msg.get("blockno"), msg.get("whole", True)
+            )
+        if verb == "stats":
+            return self.snapshot()
+        if verb == "close":
+            session.closed = True
+            return {"closed": True}
+        return self.service.directive(pid, verb, msg)
+
+    # -- stats -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``stats`` reply: server + cache + per-session numbers."""
+        sessions = []
+        for pid in sorted(self.sessions):
+            session = self.sessions[pid]
+            entry = self.service.session_snapshot(pid)
+            entry.update(session.snapshot())
+            sessions.append(entry)
+        return {
+            "server": {
+                "sessions": len(self.sessions),
+                "pending_total": self.pending_total,
+                "busy_rejections": self.busy_rejections,
+                "requests_served": self.requests_served,
+                "window": self.window,
+                "global_limit": self.global_limit,
+                "closing": self._closing,
+            },
+            "cache": self.service.cache_snapshot(),
+            "sessions": sessions,
+        }
+
+
+# -- the ``repro-accfc serve`` CLI ----------------------------------------
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-accfc serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-accfc serve",
+        description="Serve the application-controlled buffer cache to many clients.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    parser.add_argument("--port", type=int, default=0, help="TCP port (0 = ephemeral)")
+    parser.add_argument("--unix", metavar="PATH", help="listen on a Unix socket instead of TCP")
+    parser.add_argument("--cache-mb", type=float, default=6.4, help="cache size in MB")
+    parser.add_argument(
+        "--policy",
+        default="lru-sp",
+        help="allocation policy (global-lru, alloc-lru, lru-s, lru-sp)",
+    )
+    parser.add_argument("--window", type=int, default=DEFAULT_WINDOW, help="per-session inflight window")
+    parser.add_argument(
+        "--global-limit",
+        type=int,
+        default=DEFAULT_GLOBAL_LIMIT,
+        help="total pending requests before BUSY replies",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="attach the runtime invariant sanitizer to the cache",
+    )
+    args = parser.parse_args(argv)
+    config = build_config(
+        cache_mb=args.cache_mb,
+        policy=args.policy,
+        sanitize=True if args.sanitize else None,
+    )
+    return asyncio.run(_serve(args, config))
+
+
+async def _serve(args: argparse.Namespace, config: Any) -> int:
+    daemon = CacheDaemon(config, window=args.window, global_limit=args.global_limit)
+    await daemon.start()
+    if args.unix:
+        await daemon.start_unix(args.unix)
+        print(f"repro-accfc serve: listening on unix:{args.unix}", flush=True)
+    else:
+        host, port = await daemon.start_tcp(args.host, args.port)
+        print(f"repro-accfc serve: listening on {host}:{port}", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-posix
+            pass
+    await stop.wait()
+    summary = await daemon.aclose()
+    print(
+        "repro-accfc serve: shut down cleanly; served "
+        f"{summary['requests_served']} requests, flushed "
+        f"{summary['flushed_blocks']} dirty blocks",
+        flush=True,
+    )
+    return 0

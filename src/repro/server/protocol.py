@@ -1,0 +1,272 @@
+"""The wire protocol: length-prefixed JSON frames over a transport.
+
+A frame is a 4-byte big-endian payload length followed by a UTF-8 JSON
+object.  Requests and responses are plain dicts:
+
+* request — ``{"id": <int>, "verb": <str>, ...params}``;
+* success — ``{"id": <int>, "ok": true, "value": <any>}``;
+* failure — ``{"id": <int>, "ok": false, "code": <str>, "error": <str>}``.
+
+The verbs cover the file API (``open``/``read``/``write``/``close``), the
+five paper directives (``set_priority``, ``get_priority``, ``set_policy``,
+``get_policy``, ``set_temppri``) and the service verbs (``ping``,
+``hello``, ``stats``).  Error codes are listed in :data:`ERROR_CODES`;
+``BUSY`` is the 429-style backpressure reply.
+
+This module is transport- and kernel-agnostic: it knows bytes and dicts,
+nothing else (lint rule R006 keeps it that way).  The same
+:class:`Transport` interface backs real sockets (:class:`StreamTransport`)
+and the in-process queue pair used by tests and benchmarks
+(:class:`QueueTransport`), so every path through the daemon exercises the
+same frame codec.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+_HEADER = struct.Struct(">I")
+
+#: refuse frames larger than this (a corrupt length prefix would otherwise
+#: make the reader wait for gigabytes)
+MAX_FRAME_BYTES = 1 << 20
+
+#: verbs that reach the kernel task (everything else is answered by the
+#: session handler without touching the cache)
+KERNEL_VERBS = frozenset(
+    {
+        "open",
+        "read",
+        "write",
+        "close",
+        "set_priority",
+        "get_priority",
+        "set_policy",
+        "get_policy",
+        "set_temppri",
+        "stats",
+    }
+)
+
+#: verbs answered directly by the session handler
+PROTOCOL_VERBS = frozenset({"ping", "hello"})
+
+ALL_VERBS = KERNEL_VERBS | PROTOCOL_VERBS
+
+#: error codes a failure reply may carry
+ERROR_CODES = (
+    "BAD_REQUEST",  # malformed frame, unknown verb, bad params
+    "BUSY",  # global pending limit reached; retry later (429-style)
+    "SHUTTING_DOWN",  # daemon is draining; no new work accepted
+    "FS",  # filesystem error (unknown file, read past EOF, ...)
+    "DIRECTIVE",  # an fbehavior call failed (bad operands, limits)
+    "INTERNAL",  # unexpected server-side failure
+)
+
+
+class ProtocolError(Exception):
+    """A frame could not be encoded or decoded."""
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """Serialise one message to its wire form."""
+    try:
+        payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"unencodable message {obj!r}: {exc}") from exc
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> Dict[str, Any]:
+    """Parse one frame payload back into a message dict."""
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(f"frame is not an object: {obj!r}")
+    return obj
+
+
+class FrameDecoder:
+    """Incremental frame decoder (transport-agnostic, synchronous).
+
+    Feed it byte chunks as they arrive; it yields complete messages.  Used
+    directly by :class:`QueueTransport` and by protocol unit tests; the
+    stream transport reads exact lengths instead.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        """Absorb ``data``; return every message completed by it."""
+        self._buffer.extend(data)
+        messages: List[Dict[str, Any]] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return messages
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return messages
+            payload = bytes(self._buffer[_HEADER.size:end])
+            del self._buffer[:end]
+            messages.append(decode_payload(payload))
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+# -- message constructors -------------------------------------------------
+
+
+def request(req_id: int, verb: str, **params: Any) -> Dict[str, Any]:
+    msg = {"id": req_id, "verb": verb}
+    msg.update(params)
+    return msg
+
+
+def ok_response(req_id: Optional[int], value: Any = None) -> Dict[str, Any]:
+    return {"id": req_id, "ok": True, "value": value}
+
+
+def error_response(req_id: Optional[int], code: str, message: str) -> Dict[str, Any]:
+    if code not in ERROR_CODES:
+        raise ProtocolError(f"unknown error code {code!r}")
+    return {"id": req_id, "ok": False, "code": code, "error": message}
+
+
+def request_id_of(msg: Any) -> Optional[int]:
+    """The request id of a (possibly malformed) message, if it has one."""
+    if isinstance(msg, dict):
+        req_id = msg.get("id")
+        if isinstance(req_id, int):
+            return req_id
+    return None
+
+
+# -- transports -----------------------------------------------------------
+
+
+class Transport:
+    """One bidirectional message channel (either end of a connection)."""
+
+    async def recv(self) -> Optional[Dict[str, Any]]:
+        """The next message, or None once the peer is gone."""
+        raise NotImplementedError
+
+    async def send(self, msg: Dict[str, Any]) -> None:
+        """Deliver one message (no-op after close)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Tear the channel down; pending ``recv`` calls return None."""
+        raise NotImplementedError
+
+    @property
+    def closed(self) -> bool:
+        raise NotImplementedError
+
+
+class StreamTransport(Transport):
+    """A transport over an asyncio stream pair (TCP or Unix socket)."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._closed = False
+
+    async def recv(self) -> Optional[Dict[str, Any]]:
+        try:
+            header = await self._reader.readexactly(_HEADER.size)
+            (length,) = _HEADER.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+            payload = await self._reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            return None
+        return decode_payload(payload)
+
+    async def send(self, msg: Dict[str, Any]) -> None:
+        if self._closed:
+            return
+        try:
+            self._writer.write(encode_frame(msg))
+            await self._writer.drain()
+        except (ConnectionError, OSError):
+            self._closed = True
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._writer.close()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class QueueTransport(Transport):
+    """An in-process transport: encoded frames through two asyncio queues.
+
+    Frames travel as bytes, so the loopback path exercises exactly the
+    same codec as a socket; only the kernel-bypassing copy differs.
+    """
+
+    _EOF = b""
+
+    def __init__(self, inbox: "asyncio.Queue[bytes]", outbox: "asyncio.Queue[bytes]") -> None:
+        self._inbox = inbox
+        self._outbox = outbox
+        self._decoder = FrameDecoder()
+        self._ready: List[Dict[str, Any]] = []
+        self._closed = False
+        self._eof = False
+
+    async def recv(self) -> Optional[Dict[str, Any]]:
+        while not self._ready:
+            if self._eof or self._closed:
+                return None
+            chunk = await self._inbox.get()
+            if chunk == self._EOF:
+                self._eof = True
+                return None
+            self._ready.extend(self._decoder.feed(chunk))
+        return self._ready.pop(0)
+
+    async def send(self, msg: Dict[str, Any]) -> None:
+        if self._closed:
+            return
+        await self._outbox.put(encode_frame(msg))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Wake both ends: our reader and the peer's.
+        self._inbox.put_nowait(self._EOF)
+        self._outbox.put_nowait(self._EOF)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+def queue_pair() -> Tuple[QueueTransport, QueueTransport]:
+    """A connected (server_side, client_side) in-process transport pair."""
+    a: "asyncio.Queue[bytes]" = asyncio.Queue()
+    b: "asyncio.Queue[bytes]" = asyncio.Queue()
+    return QueueTransport(inbox=a, outbox=b), QueueTransport(inbox=b, outbox=a)

@@ -1,0 +1,265 @@
+"""The service layer: the only bridge between the wire and the kernel.
+
+:class:`CacheService` owns one deterministic kernel stack — a
+:class:`~repro.fs.filesystem.SimFilesystem`, an :class:`~repro.core.acm.ACM`
+and a :class:`~repro.core.buffercache.BufferCache` configured by the same
+:class:`~repro.kernel.system.MachineConfig` the simulator uses — and applies
+requests to it **one at a time, in arrival order**.  The daemon's single
+kernel task is the only caller, so the cache sees a serial reference
+stream exactly as the paper's uniprocessor kernel does; concurrency lives
+entirely in the transport and queueing layers.
+
+Block I/O accounting matches :func:`repro.trace.driver.replay` and the
+simulated kernel: a demand read per miss that needs disk, a write-back per
+dirty eviction charged to the evicted block's *owner*, and one write per
+dirty block at the shutdown flush.  That makes the service's per-client
+numbers directly comparable to driving the same workloads through
+:class:`repro.kernel.system.System` — the equivalence the server test
+suite asserts.
+
+Lint rule R006 enforces the layering: within ``repro/server`` only this
+module may import ``repro.kernel``/``repro.core``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.acm import ACM
+from repro.core.allocation import policy_by_name
+from repro.core.buffercache import BufferCache
+from repro.core.interface import FBehaviorError, FBehaviorOp, fbehavior
+from repro.core.policies import PoolPolicy
+from repro.fs.filesystem import FsError, SimFilesystem
+from repro.kernel.system import MachineConfig
+from repro.server.stats import SessionCounters
+
+
+class ServiceError(Exception):
+    """A request failed; ``code`` selects the wire error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+#: wire params of each directive verb, in fbehavior operand order
+_DIRECTIVE_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "set_priority": ("path", "prio"),
+    "get_priority": ("path",),
+    "set_policy": ("prio", "policy"),
+    "get_policy": ("prio",),
+    "set_temppri": ("path", "start", "end", "prio"),
+}
+
+
+class CacheService:
+    """The shared cache behind the daemon: one kernel, many sessions."""
+
+    def __init__(
+        self,
+        config: Optional[MachineConfig] = None,
+        trace_recorder: Optional[Any] = None,
+    ) -> None:
+        self.config = config or MachineConfig()
+        self.fs = SimFilesystem({p.name: p.total_blocks for p in self.config.disks})
+        self.acm = ACM(limits=self.config.limits, revocation=self.config.revocation)
+        # Logical time is the operation sequence number: deterministic, and
+        # monotone like the engine clock the simulator feeds the cache.
+        self._op_seq = 0
+        self.cache = BufferCache(
+            self.config.cache_frames,
+            acm=self.acm,
+            policy=self.config.policy,
+            clock=lambda: float(self._op_seq),
+            placeholder_limit=self.config.placeholder_limit,
+        )
+        if self.cache.sanitizer is None and self.config.sanitize_effective:
+            from repro.check.invariants import InvariantChecker
+
+            InvariantChecker(self.cache)
+        #: optional repro.trace.TraceRecorder capturing the global-order
+        #: reference stream (accesses + directives) the service applied
+        self.trace_recorder = trace_recorder
+        self.counters: Dict[int, SessionCounters] = {}
+        self._next_pid = 1
+        self.flushed_blocks = 0
+
+    # -- session lifecycle -------------------------------------------------
+
+    def register_session(self) -> int:
+        """Allocate the kernel pid for a new connection."""
+        pid = self._next_pid
+        self._next_pid += 1
+        self.counters[pid] = SessionCounters()
+        return pid
+
+    def release_session(self, pid: int) -> None:
+        """A connection ended.  Like a real process exit, the blocks it
+        owns stay resident (dirty data still reaches disk through eviction
+        or the shutdown flush); counters persist for ``stats``."""
+
+    def counters_for(self, pid: int) -> SessionCounters:
+        counters = self.counters.get(pid)
+        if counters is None:
+            counters = self.counters[pid] = SessionCounters()
+        return counters
+
+    # -- the file API ------------------------------------------------------
+
+    def open(
+        self,
+        pid: int,
+        path: str,
+        size_blocks: Optional[int] = None,
+        disk: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Open ``path``, creating it when ``size_blocks`` is given."""
+        if not isinstance(path, str) or not path:
+            raise ServiceError("BAD_REQUEST", f"open: bad path {path!r}")
+        if not self.fs.exists(path):
+            if size_blocks is None:
+                raise ServiceError("FS", f"open: no such file {path!r}")
+            try:
+                self.fs.create(path, size_blocks=int(size_blocks), disk=disk)
+            except (FsError, ValueError) as exc:
+                raise ServiceError("FS", f"open: cannot create {path!r}: {exc}") from exc
+            if self.trace_recorder is not None:
+                self.trace_recorder.record_directive(pid, "create", (path, int(size_blocks)))
+        f = self.fs.lookup(path)
+        self.counters_for(pid).opens += 1
+        return {"path": path, "nblocks": f.nblocks, "disk": f.disk}
+
+    def read(self, pid: int, path: str, blockno: int) -> Dict[str, Any]:
+        """One block read on behalf of session ``pid``."""
+        f, blockno = self._resolve(path, blockno)
+        if blockno >= f.nblocks:
+            raise ServiceError("FS", f"read past EOF: {path} block {blockno} of {f.nblocks}")
+        return self._access(pid, path, f, blockno, f.lba_of(blockno), write=False, whole=False)
+
+    def write(self, pid: int, path: str, blockno: int, whole: bool = True) -> Dict[str, Any]:
+        """One delayed block write; ``whole`` skips the read-modify-write."""
+        f, blockno = self._resolve(path, blockno)
+        try:
+            lba = self.fs.ensure_block(f, blockno)
+        except FsError as exc:
+            raise ServiceError("FS", f"write: {exc}") from exc
+        return self._access(pid, path, f, blockno, lba, write=True, whole=bool(whole))
+
+    def _resolve(self, path: str, blockno: Any):
+        try:
+            f = self.fs.lookup(path)
+        except FsError as exc:
+            raise ServiceError("FS", str(exc)) from exc
+        try:
+            blockno = int(blockno)
+        except (TypeError, ValueError) as exc:
+            raise ServiceError("BAD_REQUEST", f"bad block number {blockno!r}") from exc
+        if blockno < 0:
+            raise ServiceError("BAD_REQUEST", f"negative block number {blockno}")
+        return f, blockno
+
+    def _access(
+        self, pid: int, path: str, f, blockno: int, lba: int, write: bool, whole: bool
+    ) -> Dict[str, Any]:
+        self._op_seq += 1
+        if self.trace_recorder is not None:
+            self.trace_recorder.record_access(pid, path, blockno, write, whole)
+        outcome = self.cache.access(
+            pid, f.file_id, blockno, lba, f.disk, write=write, whole=whole
+        )
+        if outcome.read_needed:
+            # The service performs I/O synchronously: the frame is loaded
+            # before the reply goes out, so ``must_wait`` never arises.
+            self.cache.loaded(outcome.block)
+        counters = self.counters_for(pid)
+        counters.accesses += 1
+        if outcome.hit:
+            counters.hits += 1
+        else:
+            counters.misses += 1
+            if outcome.read_needed:
+                counters.disk_reads += 1
+        if outcome.writeback:
+            self.counters_for(outcome.evicted.owner_pid).disk_writes += 1
+        return {"hit": outcome.hit}
+
+    # -- directives --------------------------------------------------------
+
+    def directive(self, pid: int, verb: str, params: Dict[str, Any]) -> Any:
+        """Apply one fbehavior directive; returns the get-call value."""
+        names = _DIRECTIVE_PARAMS.get(verb)
+        if names is None:
+            raise ServiceError("BAD_REQUEST", f"unknown directive {verb!r}")
+        missing = [name for name in names if name not in params]
+        if missing:
+            raise ServiceError(
+                "BAD_REQUEST", f"{verb}: missing parameter(s) {', '.join(missing)}"
+            )
+        args = tuple(params[name] for name in names)
+        self._op_seq += 1
+        if self.trace_recorder is not None:
+            self.trace_recorder.record_directive(pid, verb, args)
+        try:
+            result = fbehavior(self.acm, self.fs, pid, FBehaviorOp(verb), args)
+        except FBehaviorError as exc:
+            raise ServiceError("DIRECTIVE", str(exc)) from exc
+        self.counters_for(pid).directives += 1
+        if isinstance(result, PoolPolicy):
+            return result.value
+        return result
+
+    # -- shutdown ----------------------------------------------------------
+
+    def flush_all(self) -> int:
+        """Write out every dirty block (graceful-shutdown sync).
+
+        Each flush is charged to the block's owner, the same attribution
+        the simulated update daemon uses.  Returns the number flushed.
+        """
+        flushed = 0
+        for block in self.cache.dirty_blocks():
+            self.cache.mark_clean(block)
+            self.counters_for(block.owner_pid).disk_writes += 1
+            flushed += 1
+        self.flushed_blocks += flushed
+        return flushed
+
+    # -- stats -------------------------------------------------------------
+
+    def cache_snapshot(self) -> Dict[str, Any]:
+        """Kernel-side portion of the ``stats`` reply."""
+        stats = self.cache.stats
+        return {
+            "policy": self.config.policy.name,
+            "frames": self.cache.nframes,
+            "resident": self.cache.resident,
+            "accesses": stats.accesses,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "hit_ratio": stats.hit_ratio,
+            "evictions": stats.evictions,
+            "dirty_evictions": stats.dirty_evictions,
+            "consultations": stats.consultations,
+            "overrules": stats.overrules,
+            "swaps": stats.swaps,
+            "placeholders_created": self.cache.placeholders.created,
+            "placeholders_used": self.cache.placeholders.consumed,
+            "dirty_blocks": len(self.cache.dirty_blocks()),
+            "flushed_blocks": self.flushed_blocks,
+        }
+
+    def session_snapshot(self, pid: int) -> Dict[str, Any]:
+        """Kernel-side per-session fields (counters + frame allocation)."""
+        entry = self.counters_for(pid).as_dict()
+        entry["frames"] = self.cache.occupancy().get(pid, 0)
+        return entry
+
+
+def build_config(
+    cache_mb: float = 6.4,
+    policy: str = "lru-sp",
+    sanitize: Optional[bool] = None,
+) -> MachineConfig:
+    """A MachineConfig from CLI-friendly arguments (used by ``serve``)."""
+    return MachineConfig(cache_mb=cache_mb, policy=policy_by_name(policy), sanitize=sanitize)

@@ -1,0 +1,85 @@
+"""Per-session counters and the ``stats`` snapshot shape.
+
+The service layer keeps one :class:`SessionCounters` per connection pid;
+the daemon merges them with queue state into the reply of the ``stats``
+verb.  The counting rules mirror :mod:`repro.trace.driver.replay` and the
+kernel's :class:`~repro.sim.process.ProcessStats` exactly — a demand read
+per miss that needs disk, a write-back per dirty eviction charged to the
+*owner* of the evicted block, and one write per dirty block at the final
+flush — so service-side numbers are directly comparable to simulation
+results.  (This module itself is protocol-only: it never touches the
+kernel; see lint rule R006.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass
+class SessionCounters:
+    """Cache-visible work done on behalf of one session."""
+
+    opens: int = 0
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    disk_reads: int = 0
+    disk_writes: int = 0
+    directives: int = 0
+    busy_rejections: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def block_ios(self) -> int:
+        """The paper's headline metric: 8 KB transfers for this session."""
+        return self.disk_reads + self.disk_writes
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "opens": self.opens,
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+            "disk_reads": self.disk_reads,
+            "disk_writes": self.disk_writes,
+            "block_ios": self.block_ios,
+            "directives": self.directives,
+            "busy_rejections": self.busy_rejections,
+        }
+
+
+def render_stats(snapshot: Dict[str, Any]) -> str:
+    """A human-readable rendering of one ``stats`` reply (demo/CLI)."""
+    server = snapshot.get("server", {})
+    cache = snapshot.get("cache", {})
+    lines = [
+        "cache service: policy={policy} frames={frames} resident={resident}".format(
+            policy=cache.get("policy", "?"),
+            frames=cache.get("frames", "?"),
+            resident=cache.get("resident", "?"),
+        ),
+        "requests served={served} pending={pending} busy-rejections={busy}".format(
+            served=server.get("requests_served", 0),
+            pending=server.get("pending_total", 0),
+            busy=server.get("busy_rejections", 0),
+        ),
+        f"{'session':>12} {'pid':>4} {'acc':>7} {'hit%':>6} {'reads':>6} "
+        f"{'writes':>6} {'dirs':>5} {'frames':>6} {'queue':>5}",
+    ]
+    for sess in snapshot.get("sessions", []):
+        lines.append(
+            f"{sess.get('name', '?'):>12} {sess.get('pid', 0):>4} "
+            f"{sess.get('accesses', 0):>7} {100.0 * sess.get('hit_ratio', 0.0):>5.1f}% "
+            f"{sess.get('disk_reads', 0):>6} {sess.get('disk_writes', 0):>6} "
+            f"{sess.get('directives', 0):>5} {sess.get('frames', 0):>6} "
+            f"{sess.get('queue_depth', 0):>5}"
+        )
+    return "\n".join(lines)

@@ -52,6 +52,8 @@ class ReplayResult:
     placeholders_used: int = 0
     overrules: int = 0
     per_pid: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    #: resident frames per pid at end of trace
+    occupancy: Dict[int, int] = field(default_factory=dict)
 
     @property
     def block_ios(self) -> int:
@@ -120,6 +122,7 @@ def replay(
             pid_stats(block.owner_pid)["writes"] += 1
     result.placeholders_used = cache.placeholders.consumed
     result.overrules = cache.stats.overrules
+    result.occupancy = dict(cache.occupancy())
     return result
 
 

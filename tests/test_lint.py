@@ -190,6 +190,49 @@ class TestR005OpConsumers:
         assert findings == []
 
 
+class TestR006ServerLayering:
+    def test_kernel_import_in_daemon_fires(self):
+        findings = lint("import repro.kernel.system\n", "repro/server/daemon.py")
+        assert rules(findings) == ["R006"]
+        assert "service" in findings[0].message
+
+    def test_core_from_import_fires(self):
+        findings = lint(
+            "from repro.core.buffercache import BufferCache\n",
+            "repro/server/protocol.py",
+        )
+        assert rules(findings) == ["R006"]
+
+    def test_relative_import_is_resolved(self):
+        findings = lint("from ..core import acm\n", "repro/server/session.py")
+        assert rules(findings) == ["R006"]
+
+    def test_package_smuggling_fires(self):
+        findings = lint("from repro import core\n", "repro/server/client.py")
+        assert rules(findings) == ["R006"]
+
+    def test_service_gate_is_allowed(self):
+        findings = lint(
+            "from repro.kernel.system import MachineConfig, System\nfrom repro.core.acm import ACM\n",
+            "repro/server/service.py",
+        )
+        assert findings == []
+
+    def test_protocol_only_imports_are_clean(self):
+        findings = lint(
+            "import asyncio\nfrom repro.server.protocol import Transport\nfrom repro.server.stats import SessionCounters\n",
+            "repro/server/session.py",
+        )
+        assert findings == []
+
+    def test_outside_server_package_is_allowed(self):
+        findings = lint(
+            "from repro.core.buffercache import BufferCache\n",
+            "repro/harness/experiments.py",
+        )
+        assert findings == []
+
+
 class TestR003Registry:
     def _write_tree(self, tmp_path, registry, extra=""):
         pkg = tmp_path / "repro" / "policies"

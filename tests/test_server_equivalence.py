@@ -1,0 +1,144 @@
+"""Acceptance: the daemon's cache behaves exactly like the simulator's.
+
+Four concurrent clients drive the daemon (sanitizer attached) with the
+same per-client scripts a :class:`repro.kernel.system.System` run executes
+as four processes.  The scripts use disjoint files, the cache is large
+enough that nothing is evicted, and every written block is written once —
+so each per-client counter is independent of how asyncio interleaves the
+sessions, and must equal the simulator's numbers exactly.
+
+The eviction-pressure case (where interleaving *does* matter) is covered
+by ``tests/test_server_concurrency.py`` via trace replay of the daemon's
+actual arrival order.
+"""
+
+import asyncio
+
+from repro.kernel.system import MachineConfig, System
+from repro.server import CacheClient, CacheDaemon, build_config
+from repro.sim.ops import BlockRead, BlockWrite
+from repro.workloads.base import set_policy, set_priority, set_temppri
+
+# -- the shared scripts ----------------------------------------------------
+#
+# One script per client: (file, nblocks, [steps]).  Steps are plain tuples
+# so the same list drives both the wire client and the simulated process.
+
+def _scan(path, nblocks, passes):
+    return [("read", path, b) for _ in range(passes) for b in range(nblocks)]
+
+
+def _scripts():
+    sym = [  # cscope-symbol-like: smart, MRU over one priority pool
+        ("set_priority", "sym", 0),
+        ("set_policy", 0, "mru"),
+    ] + _scan("sym", 24, 3)
+    text = [  # cscope-text-like: smart LRU, free-behind on the first pass
+        ("set_priority", "text", 0),
+        ("set_policy", 0, "lru"),
+    ]
+    for b in range(20):
+        text.append(("read", "text", b))
+        text.append(("set_temppri", "text", b, b, -1))
+    text += _scan("text", 20, 1)
+    sort = [("write", "out", b) for b in range(16)] + _scan("out", 16, 1)
+    seq = _scan("seq", 30, 2)  # oblivious sequential reader
+    return {
+        "sym": (24, sym),
+        "text": (20, text),
+        "out": (16, sort),
+        "seq": (30, seq),
+    }
+
+
+CACHE_MB = 2  # 256 frames; the scripts touch 90 distinct blocks — no eviction
+
+
+async def _drive_daemon(scripts):
+    daemon = CacheDaemon(build_config(cache_mb=CACHE_MB, sanitize=True))
+    clients = {}
+    for path, (nblocks, _) in scripts.items():  # sequential: pids 1..4
+        client = await CacheClient.connect_inproc(daemon, name=path)
+        await client.open(path, size_blocks=nblocks)
+        clients[path] = client
+
+    async def run_script(client, steps):
+        for step in steps:
+            verb = step[0]
+            if verb == "read":
+                await client.read(step[1], step[2])
+            elif verb == "write":
+                await client.write(step[1], step[2], whole=True)
+            elif verb == "set_priority":
+                await client.set_priority(step[1], step[2])
+            elif verb == "set_policy":
+                await client.set_policy(step[1], step[2])
+            else:
+                await client.set_temppri(step[1], step[2], step[3], step[4])
+
+    await asyncio.gather(
+        *(run_script(clients[path], steps) for path, (_, steps) in scripts.items())
+    )
+    for client in clients.values():
+        await client.aclose()
+    await daemon.aclose()  # flushes dirty blocks, charged to their owners
+    daemon.service.cache.sanitizer.check_now("final")
+    assert daemon.errors == []
+    return {
+        pid: daemon.service.counters_for(pid).as_dict()
+        for pid in sorted(daemon.service.counters)
+    }
+
+
+def _drive_system(scripts):
+    config = MachineConfig(cache_mb=CACHE_MB, readahead=False, sanitize=True)
+    system = System(config)
+
+    def program(steps):
+        for step in steps:
+            verb = step[0]
+            if verb == "read":
+                yield BlockRead(step[1], step[2])
+            elif verb == "write":
+                yield BlockWrite(step[1], step[2], whole=True)
+            elif verb == "set_priority":
+                yield set_priority(step[1], step[2])
+            elif verb == "set_policy":
+                yield set_policy(step[1], step[2])
+            else:
+                yield set_temppri(step[1], step[2], step[3], step[4])
+
+    for path, (nblocks, steps) in scripts.items():  # spawn order = pids 1..4
+        system.add_file(path, nblocks=nblocks)  # as the daemon's open-create
+        system.spawn(path, program(steps))
+    result = system.run(settle=True)
+    system.cache.sanitizer.check_now("final")
+    return {p.pid: p.stats for p in result.procs.values()}
+
+
+def test_four_clients_match_the_simulator():
+    scripts = _scripts()
+    server = asyncio.run(_drive_daemon(scripts))
+    sim = _drive_system(scripts)
+    assert sorted(server) == sorted(sim) == [1, 2, 3, 4]
+    for pid in sim:
+        stats = sim[pid]
+        entry = server[pid]
+        assert entry["accesses"] == stats.accesses, pid
+        assert entry["hits"] == stats.hits, pid
+        assert entry["misses"] == stats.misses, pid
+        assert entry["disk_reads"] == stats.disk_reads, pid
+        assert entry["disk_writes"] == stats.disk_writes, pid
+        assert entry["directives"] == stats.directives, pid
+
+
+def test_block_ios_match_in_aggregate():
+    scripts = _scripts()
+    server = asyncio.run(_drive_daemon(scripts))
+    sim = _drive_system(scripts)
+    server_ios = sum(e["disk_reads"] + e["disk_writes"] for e in server.values())
+    sim_ios = sum(s.disk_reads + s.disk_writes for s in sim.values())
+    assert server_ios == sim_ios
+    # 90 distinct blocks: 74 demand reads (16 written whole, never read
+    # from disk) and 16 flush writes.
+    assert server_ios == 74 + 16
