@@ -26,6 +26,11 @@ R006  Within ``repro/server`` only the service layer
       ``repro.core``: handlers, sessions and transports stay
       protocol-only, so every kernel mutation funnels through the single
       serialized service gate.
+R007  Code under ``repro/`` outside ``repro/faults`` may not raise bare
+      ``OSError``/``IOError``: simulated I/O failures must use the typed
+      exceptions of :mod:`repro.faults.errors`, so recovery code can tell
+      an injected fault from a real host-filesystem problem.  (Catching
+      OS errors from genuine host I/O remains fine.)
 
 Usage::
 
@@ -98,6 +103,11 @@ POLICY_BASE = "EvictionPolicy"
 SERVER_DIR = "repro/server/"
 SERVER_KERNEL_GATE = "repro/server/service.py"
 SERVER_FORBIDDEN_MODULES = ("repro.kernel", "repro.core")
+
+#: R007: the fault package owns the typed simulated-I/O exceptions; the
+#: rest of the tree may not fake I/O failures with bare OS errors.
+FAULTS_DIR = "repro/faults/"
+BARE_IO_EXCEPTIONS = frozenset({"OSError", "IOError"})
 
 
 @dataclass(frozen=True)
@@ -239,6 +249,26 @@ class _FileLinter(ast.NodeVisitor):
             # bare name; check each imported name as a module path too.
             for alias in node.names:
                 self._check_server_import(node, f"{module}.{alias.name}")
+        self.generic_visit(node)
+
+    # R007: no bare OSError/IOError for simulated I/O --------------------
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        if self.relpath.startswith("repro/") and not self.relpath.startswith(FAULTS_DIR):
+            exc = node.exc
+            name: Optional[str] = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in BARE_IO_EXCEPTIONS:
+                self._add(
+                    "R007",
+                    node,
+                    f"raise of bare '{name}' outside repro/faults — simulated "
+                    "I/O failures must use the typed exceptions of "
+                    "repro.faults.errors (InjectedIOError and friends)",
+                )
         self.generic_visit(node)
 
     # R004: mutable defaults --------------------------------------------

@@ -29,10 +29,15 @@ from repro.core.allocation import (
     AllocationPolicy,
     policy_by_name,
 )
-from repro.core.acm import ACM, Manager, Pool, ResourceLimits
+from repro.core.acm import ACM, Manager, Pool, ResourceLimits, RevokedError
 from repro.core.blocks import BlockId, CacheBlock
 from repro.core.buffercache import AccessOutcome, BufferCache, CacheStats
-from repro.core.interface import FBehaviorError, FBehaviorOp, fbehavior
+from repro.core.interface import (
+    FBehaviorError,
+    FBehaviorOp,
+    FBehaviorRevokedError,
+    fbehavior,
+)
 from repro.core.lrulist import LRUList
 from repro.core.placeholders import PlaceholderTable
 from repro.core.policies import PoolPolicy
@@ -63,6 +68,8 @@ __all__ = [
     "CacheStats",
     "FBehaviorOp",
     "FBehaviorError",
+    "FBehaviorRevokedError",
+    "RevokedError",
     "fbehavior",
     "LRUList",
     "PlaceholderTable",

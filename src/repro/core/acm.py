@@ -28,7 +28,7 @@ Replacement semantics implemented here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.blocks import BlockId, CacheBlock
 from repro.core.lrulist import LRUList
@@ -38,6 +38,16 @@ from repro.core.revocation import RevocationPolicy
 
 class AcmError(Exception):
     """An interface call failed (bad arguments or resource limits)."""
+
+
+class RevokedError(AcmError):
+    """The calling process's cache control was revoked.
+
+    After revocation the kernel treats the process as oblivious (global
+    LRU).  Further interface calls — gets as much as sets — are *errors*,
+    never silent defaults or re-grants: a manager must learn it lost
+    control rather than keep steering a cache that stopped listening.
+    """
 
 
 @dataclass(frozen=True)
@@ -268,6 +278,9 @@ class ACM:
         self._cache = None  # attached by BufferCache
         #: pool observer (the runtime sanitizer), propagated to managers.
         self.observer = None
+        #: optional repro.faults.FaultInjector simulating manager
+        #: misbehaviour at the consultation boundary.
+        self.injector: Optional[Any] = None
         self.revocations = 0
         # Concurrently shared files (the paper's future-work item): a file
         # may have a *designated* manager; other processes' accesses then
@@ -308,7 +321,7 @@ class ACM:
         existing = self.managers.get(pid)
         if existing is not None:
             if existing.revoked:
-                raise AcmError(f"pid {pid}: cache control was revoked")
+                raise RevokedError(f"pid {pid}: cache control was revoked")
             return existing
         m = Manager(pid, self.limits)
         m.observer = self.observer
@@ -348,17 +361,44 @@ class ACM:
         """BUF asks: which block should go instead of ``candidate``?
 
         Consults the candidate's owner's manager; an unmanaged (or revoked)
-        owner simply loses the candidate.
+        owner simply loses the candidate.  Under fault injection a
+        consultation can misbehave (bad reply, timeout, exception); the
+        kernel then ignores the manager for this decision — the candidate
+        goes — and, past the plan's tolerance, revokes it outright: the
+        paper's fallback of degrading a faulty manager's process to plain
+        global LRU.
         """
         m = self.manager(candidate.owner_pid)
         if m is None:
             return candidate
+        if self.injector is not None:
+            kind = self.injector.manager_fault(m.pid)
+            if kind is not None:
+                self._manager_misbehaved(m, kind)
+                return candidate
         choice = m.pick_replacement()
         if choice is None:
             return candidate
         if choice is not candidate:
             m.decisions += 1
         return choice
+
+    def _manager_misbehaved(self, m: Manager, kind: str) -> None:
+        """Tally one injected misbehaviour; revoke past the tolerance."""
+        if kind == "forced":
+            self._revoke_for_faults(m)
+            return
+        total = self.injector.note_manager_fault(m.pid)
+        if total >= self.injector.plan.manager_fault_limit:
+            self._revoke_for_faults(m)
+
+    def _revoke_for_faults(self, m: Manager) -> None:
+        if m.revoked:
+            return
+        m.revoke()
+        self.revocations += 1
+        if self.injector is not None:
+            self.injector.note_manager_revoked()
 
     def placeholder_used(self, manager_pid: int, missing_id: BlockId, kept: CacheBlock) -> None:
         """BUF reports that a previous overrule by ``manager_pid`` was a
@@ -449,6 +489,8 @@ class ACM:
         m = self.managers.get(pid)
         if m is None:
             return 0
+        if m.revoked:
+            raise RevokedError(f"pid {pid}: cache control was revoked")
         return m.long_term_prio(file_id)
 
     def set_policy(self, pid: int, prio: int, policy: PoolPolicy) -> None:
@@ -459,6 +501,8 @@ class ACM:
         m = self.managers.get(pid)
         if m is None:
             return DEFAULT_POLICY
+        if m.revoked:
+            raise RevokedError(f"pid {pid}: cache control was revoked")
         return m.policy_of(prio)
 
     def set_temppri(self, pid: int, file_id: int, start_block: int, end_block: int, prio: int) -> None:

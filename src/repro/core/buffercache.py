@@ -275,6 +275,36 @@ class BufferCache:
         if self.sanitizer is not None:
             self.sanitizer.verify("mark_clean", block)
 
+    def mark_dirty(self, block: CacheBlock) -> None:
+        """Re-dirty a resident block whose writeback failed.
+
+        The data in the frame is still newer than the (unwritten) disk
+        copy, so the block re-enters the update daemon's worklist as if
+        freshly modified.
+        """
+        if not block.dirty:
+            block.dirty = True
+            block.dirty_since = self.clock()
+        if self.sanitizer is not None:
+            self.sanitizer.verify("mark_dirty", block)
+
+    def abort_load(self, block: CacheBlock) -> List:
+        """A demand read failed for good: release the in-flight frame.
+
+        The frame is freed through the normal eviction path with no
+        write-back — the data never arrived, so there is nothing to save.
+        Returns the parked waiters so the caller can resume them with the
+        error.
+        """
+        block.in_flight = False
+        block.dirty = False  # a write-miss frame holds no loaded data yet
+        waiters = block.waiters
+        block.waiters = []
+        self._evict(block)
+        if self.sanitizer is not None:
+            self.sanitizer.verify("abort_load")
+        return waiters
+
     def invalidate_file(self, file_id: int) -> List[CacheBlock]:
         """Drop a deleted file's blocks with *no* write-back.
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 from typing import Any, Optional, Tuple
 
-from repro.core.acm import ACM, AcmError
+from repro.core.acm import ACM, AcmError, RevokedError
 from repro.core.policies import PoolPolicy
 
 
@@ -37,6 +37,16 @@ class FBehaviorOp(enum.Enum):
 
 class FBehaviorError(Exception):
     """An fbehavior call failed (bad operands, unknown file, limits)."""
+
+
+class FBehaviorRevokedError(FBehaviorError):
+    """The calling process's cache control was revoked.
+
+    Distinguished from a generic failure so callers (and the wire
+    protocol) can report "you lost control" rather than "bad call" — a
+    revoked manager must not be silently re-registered or handed default
+    answers.
+    """
 
 
 def fbehavior(acm: ACM, fs, pid: int, op: FBehaviorOp, args: Tuple[Any, ...]) -> Optional[Any]:
@@ -64,6 +74,8 @@ def fbehavior(acm: ACM, fs, pid: int, op: FBehaviorOp, args: Tuple[Any, ...]) ->
             path, start_block, end_block, prio = args
             acm.set_temppri(pid, _file_id(fs, path), int(start_block), int(end_block), int(prio))
             return None
+    except RevokedError as exc:
+        raise FBehaviorRevokedError(str(exc)) from exc
     except AcmError as exc:
         raise FBehaviorError(str(exc)) from exc
     except (TypeError, ValueError) as exc:

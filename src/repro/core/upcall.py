@@ -30,7 +30,7 @@ from __future__ import annotations
 import abc
 from typing import Dict, List, Optional, Set
 
-from repro.core.acm import ACM, ResourceLimits
+from repro.core.acm import ACM, Manager, ResourceLimits, RevokedError
 from repro.core.blocks import BlockId, CacheBlock
 from repro.core.revocation import RevocationPolicy
 
@@ -135,14 +135,43 @@ class UpcallACM(ACM):
         super().__init__(limits=limits, revocation=revocation)
         self._handlers: Dict[int, UpcallHandler] = {}
         self.upcalls = 0
+        self.handler_failures = 0
 
     def register_handler(self, pid: int, handler: UpcallHandler) -> None:
         """Attach a user-level handler to ``pid`` (adopting its resident
-        blocks, like directive registration does)."""
+        blocks, like directive registration does).
+
+        A pid whose control was revoked stays revoked: registering a new
+        handler is refused, exactly as directive re-registration is —
+        otherwise a crashing manager could regain control by reconnecting.
+        """
+        m = self.managers.get(pid)
+        if m is not None and m.revoked:
+            raise RevokedError(f"pid {pid}: cache control was revoked")
         self._handlers[pid] = handler
         if self._cache is not None:
             for block in self._cache.blocks_owned_by(pid):
                 handler.new_block(block)
+
+    def _handler_failed(self, pid: int) -> None:
+        """A handler raised into the kernel: strip it and revoke control.
+
+        The process degrades to plain global LRU (the paper's fallback for
+        misbehaving managers); the revoked marker persists so later
+        registration attempts get :class:`RevokedError`.
+        """
+        self._handlers.pop(pid, None)
+        self.handler_failures += 1
+        m = self.managers.get(pid)
+        if m is None:
+            m = Manager(pid, self.limits)
+            m.observer = self.observer
+            self.managers[pid] = m
+        if not m.revoked:
+            m.revoke()
+            self.revocations += 1
+            if self.injector is not None:
+                self.injector.note_manager_revoked()
 
     def handler(self, pid: int) -> Optional[UpcallHandler]:
         return self._handlers.get(pid)
@@ -153,7 +182,10 @@ class UpcallACM(ACM):
         handler = self._handlers.get(block.owner_pid)
         if handler is not None:
             self.upcalls += 1
-            handler.new_block(block)
+            try:
+                handler.new_block(block)
+            except Exception:
+                self._handler_failed(block.owner_pid)
             return
         super().new_block(block, referenced=referenced)
 
@@ -161,7 +193,10 @@ class UpcallACM(ACM):
         handler = self._handlers.get(block.owner_pid)
         if handler is not None:
             self.upcalls += 1
-            handler.block_gone(block)
+            try:
+                handler.block_gone(block)
+            except Exception:
+                self._handler_failed(block.owner_pid)
             return
         super().block_gone(block)
 
@@ -169,7 +204,10 @@ class UpcallACM(ACM):
         handler = self._handlers.get(block.owner_pid)
         if handler is not None:
             self.upcalls += 1
-            handler.block_accessed(block)
+            try:
+                handler.block_accessed(block)
+            except Exception:
+                self._handler_failed(block.owner_pid)
             return
         super().block_accessed(block, offset, size)
 
@@ -177,7 +215,13 @@ class UpcallACM(ACM):
         handler = self._handlers.get(candidate.owner_pid)
         if handler is not None:
             self.upcalls += 1
-            chosen = handler.replace_block(candidate, missing_id)
+            try:
+                chosen = handler.replace_block(candidate, missing_id)
+            except Exception:
+                # A handler that *raises* into the kernel loses control
+                # outright; the candidate is replaced as global LRU would.
+                self._handler_failed(candidate.owner_pid)
+                return candidate
             if (
                 chosen is None
                 or not chosen.resident

@@ -6,6 +6,14 @@ to a shared SCSI bus (:class:`repro.sim.resources.FCFSResource`), the
 transfer phase queues on the bus, so two drives can overlap seeks but their
 data transfers serialize — the effect the paper's Table 3/Table 4 contrast
 (one-disk anomaly disappearing on two disks) depends on.
+
+A drive may carry a :class:`~repro.faults.injector.FaultInjector`; each
+request then gets a fate decided at service start — ``stall`` lengthens the
+positioning phase, ``error``/``torn`` complete the service *without* the
+data arriving (or surviving), reported to the submitter through the
+request's ``on_error`` hook instead of ``on_done``.  The drive itself never
+retries: recovery policy (requeue a dirty block, resubmit a demand read,
+give up) belongs to the layer that submitted the request.
 """
 
 from __future__ import annotations
@@ -22,7 +30,17 @@ from repro.sim.resources import FCFSResource
 class DiskRequest:
     """One block-granularity transfer request."""
 
-    __slots__ = ("lba", "nblocks", "write", "on_done", "submit_time", "pid")
+    __slots__ = (
+        "lba",
+        "nblocks",
+        "write",
+        "on_done",
+        "submit_time",
+        "pid",
+        "on_error",
+        "attempt",
+        "fault",
+    )
 
     def __init__(
         self,
@@ -31,17 +49,29 @@ class DiskRequest:
         write: bool,
         on_done: Optional[Callable[[], Any]],
         pid: int = -1,
+        on_error: Optional[Callable[["DiskRequest", Any], Any]] = None,
+        attempt: int = 1,
     ) -> None:
         if lba < 0:
             raise ValueError(f"negative LBA {lba!r}")
         if nblocks < 1:
             raise ValueError(f"request must cover at least one block, got {nblocks!r}")
+        if attempt < 1:
+            raise ValueError(f"attempt numbers start at 1, got {attempt!r}")
         self.lba = lba
         self.nblocks = nblocks
         self.write = write
         self.on_done = on_done
         self.submit_time = 0.0
         self.pid = pid
+        #: called as ``on_error(request, fault)`` when an injected fault
+        #: consumes this service attempt (None = the error is only counted)
+        self.on_error = on_error
+        #: 1 for the first submission; resubmissions bump it so rate-based
+        #: faults stop firing past the plan's retry budget
+        self.attempt = attempt
+        #: the injected fate of the current attempt (set at service start)
+        self.fault = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "W" if self.write else "R"
@@ -51,7 +81,7 @@ class DiskRequest:
 class DiskStats:
     """Aggregate counters for one drive."""
 
-    __slots__ = ("reads", "writes", "blocks_read", "blocks_written", "busy_time", "wait_time")
+    __slots__ = ("reads", "writes", "blocks_read", "blocks_written", "busy_time", "wait_time", "faults")
 
     def __init__(self) -> None:
         self.reads = 0
@@ -60,6 +90,8 @@ class DiskStats:
         self.blocks_written = 0
         self.busy_time = 0.0
         self.wait_time = 0.0
+        #: service attempts consumed by injected errors/torn writes
+        self.faults = 0
 
     @property
     def requests(self) -> int:
@@ -75,6 +107,7 @@ class DiskDrive:
         params: DiskParams,
         bus: Optional[FCFSResource] = None,
         scheduler: Optional[DiskScheduler] = None,
+        injector: Optional[Any] = None,
     ) -> None:
         self.engine = engine
         self.params = params
@@ -82,6 +115,8 @@ class DiskDrive:
         self.model = ServiceTimeModel(params)
         self.bus = bus
         self.scheduler = scheduler or FCFSScheduler()
+        #: optional repro.faults.FaultInjector deciding request fates
+        self.injector = injector
         self.stats = DiskStats()
         self._queue: List[DiskRequest] = []
         self._busy = False
@@ -102,14 +137,46 @@ class DiskDrive:
         if not self._busy:
             self._start_next()
 
-    def read(self, lba: int, nblocks: int, on_done: Callable[[], Any], pid: int = -1) -> None:
+    def read(
+        self,
+        lba: int,
+        nblocks: int,
+        on_done: Callable[[], Any],
+        pid: int = -1,
+        on_error: Optional[Callable[[DiskRequest, Any], Any]] = None,
+    ) -> None:
         """Convenience wrapper for a read request."""
-        self.submit(DiskRequest(lba, nblocks, write=False, on_done=on_done, pid=pid))
+        self.submit(DiskRequest(lba, nblocks, write=False, on_done=on_done, pid=pid, on_error=on_error))
 
-    def write(self, lba: int, nblocks: int, on_done: Optional[Callable[[], Any]] = None, pid: int = -1) -> None:
+    def write(
+        self,
+        lba: int,
+        nblocks: int,
+        on_done: Optional[Callable[[], Any]] = None,
+        pid: int = -1,
+        on_error: Optional[Callable[[DiskRequest, Any], Any]] = None,
+    ) -> None:
         """Convenience wrapper for a write request (``on_done`` optional:
         write-backs from the update daemon have no waiting process)."""
-        self.submit(DiskRequest(lba, nblocks, write=True, on_done=on_done, pid=pid))
+        self.submit(DiskRequest(lba, nblocks, write=True, on_done=on_done, pid=pid, on_error=on_error))
+
+    def retry(self, req: DiskRequest) -> None:
+        """Resubmit a faulted request as its next attempt.
+
+        The attempt number climbs so rate-based faults respect the plan's
+        ``max_disk_retries`` budget; scheduled bad sectors keep failing.
+        """
+        self.submit(
+            DiskRequest(
+                req.lba,
+                req.nblocks,
+                write=req.write,
+                on_done=req.on_done,
+                pid=req.pid,
+                on_error=req.on_error,
+                attempt=req.attempt + 1,
+            )
+        )
 
     # -- internal service machinery -------------------------------------
 
@@ -118,6 +185,14 @@ class DiskDrive:
         req = self.scheduler.pick(self._queue, self._head_lba)
         self.stats.wait_time += self.engine.now - req.submit_time
         positioning = self.model.positioning_time(self._head_lba, req.lba)
+        req.fault = (
+            self.injector.disk_fault(self.name, req.lba, req.write, req.attempt)
+            if self.injector is not None
+            else None
+        )
+        if req.fault is not None and req.fault.kind == "stall":
+            # A stall is pure extra latency on the drive-private phase.
+            positioning += req.fault.delay_s
         self.stats.busy_time += positioning
         self.engine.after(positioning, self._begin_transfer, req)
 
@@ -132,14 +207,22 @@ class DiskDrive:
     def _complete(self, req: DiskRequest, xfer: float) -> None:
         self.stats.busy_time += xfer
         self._head_lba = req.lba + req.nblocks
-        if req.write:
-            self.stats.writes += 1
-            self.stats.blocks_written += req.nblocks
+        fault = req.fault
+        if fault is not None and fault.kind in ("error", "torn"):
+            # The attempt consumed drive time but the data did not make it;
+            # recovery (retry, requeue, give up) is the submitter's call.
+            self.stats.faults += 1
+            if req.on_error is not None:
+                req.on_error(req, fault)
         else:
-            self.stats.reads += 1
-            self.stats.blocks_read += req.nblocks
-        if req.on_done is not None:
-            req.on_done()
+            if req.write:
+                self.stats.writes += 1
+                self.stats.blocks_written += req.nblocks
+            else:
+                self.stats.reads += 1
+                self.stats.blocks_read += req.nblocks
+            if req.on_done is not None:
+                req.on_done()
         if self._queue:
             self._start_next()
         else:

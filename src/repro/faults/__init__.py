@@ -1,0 +1,46 @@
+"""``repro.faults`` — deterministic, seedable fault injection.
+
+The paper's two-level scheme is only credible if the kernel stays correct
+when processes misbehave and I/O fails mid-stream; the Ultrix
+implementation survives manager errors by falling back to global LRU.
+This package makes such failures schedulable so the rest of the repository
+can prove it does the same:
+
+* :class:`FaultPlan` / :class:`BlockFault` — the declarative schedule
+  (rates + per-block scripts), JSON-round-trippable for ``--faults``;
+* :class:`FaultInjector` / :class:`FaultStats` — seeded decisions and the
+  degraded-mode accounting the daemon reports under ``stats["faults"]``;
+* :class:`FaultyTransport` — frame drop/garble/slow-loris for the server;
+* the typed exceptions of :mod:`repro.faults.errors` — the only way
+  simulated I/O failures may surface (lint rule R007).
+
+The injection *points* live in the layers themselves: the disk drive
+(errors, stalls, torn writes), the update daemon (failed writebacks
+requeue dirty blocks), the ACM (misbehaving managers are revoked to global
+LRU) and the cache service/daemon (I/O retry, flush requeue, transport
+faults).  Each layer only ever *asks* the injector — this package imports
+no kernel code, so the dependency arrow points one way.
+"""
+
+from repro.faults.errors import (
+    FaultError,
+    InjectedIOError,
+    ManagerFaultError,
+    TornWriteError,
+    TransportFaultError,
+)
+from repro.faults.injector import DiskFault, FaultInjector, FaultStats
+from repro.faults.plan import BlockFault, FaultPlan
+
+__all__ = [
+    "BlockFault",
+    "DiskFault",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "InjectedIOError",
+    "ManagerFaultError",
+    "TornWriteError",
+    "TransportFaultError",
+]

@@ -1,0 +1,61 @@
+"""Typed exceptions for *simulated* failures.
+
+Everything the fault layer injects surfaces through these classes, never
+through bare ``OSError``/``IOError``: a bare OS error from simulation code
+is indistinguishable from a real host-filesystem problem (a genuinely full
+``/tmp``, a dead socket), so recovery code could not tell "the experiment
+asked for this" from "the harness is broken".  Lint rule R007 enforces the
+split — code under ``repro/`` outside this package may not raise bare
+``OSError``/``IOError`` for simulated I/O.
+"""
+
+from __future__ import annotations
+
+
+class FaultError(Exception):
+    """Base class of every injected-fault exception."""
+
+
+class InjectedIOError(FaultError):
+    """A simulated disk I/O failed (the injected analogue of ``EIO``).
+
+    Attributes:
+        disk: name of the drive the request targeted.
+        lba: first block of the failed request.
+        write: whether the failed request was a write.
+        kind: the fault kind (``error`` or ``torn``).
+    """
+
+    def __init__(self, disk: str, lba: int, write: bool, kind: str = "error") -> None:
+        self.disk = disk
+        self.lba = lba
+        self.write = write
+        self.kind = kind
+        what = "write" if write else "read"
+        super().__init__(f"injected {kind} on {what} {disk}:{lba}")
+
+
+class TornWriteError(InjectedIOError):
+    """A write "completed" but left the block torn (partially durable)."""
+
+    def __init__(self, disk: str, lba: int) -> None:
+        super().__init__(disk, lba, write=True, kind="torn")
+
+
+class ManagerFaultError(FaultError):
+    """A user-level manager misbehaved (bad reply, timeout or exception).
+
+    Raised *inside* the BUF/ACM boundary to model the manager's failure;
+    the kernel catches it there, falls back to the global-LRU candidate and
+    (per the paper's protection discussion) eventually revokes the manager.
+    It must never escape the kernel.
+    """
+
+    def __init__(self, pid: int, kind: str) -> None:
+        self.pid = pid
+        self.kind = kind
+        super().__init__(f"manager {pid} misbehaved: {kind}")
+
+
+class TransportFaultError(FaultError):
+    """A transport-level fault (garbled frame) was injected."""

@@ -1,0 +1,228 @@
+"""The stateful half of the fault layer: seeded decisions plus accounting.
+
+One :class:`FaultInjector` is shared by every layer of one machine (or one
+server): the disk drives ask it whether a request errors, stalls or tears;
+the ACM asks it whether a manager consultation misbehaves; the server
+transports ask it whether a frame is dropped, garbled or slow-loris'd.
+Decisions come from a single ``random.Random(plan.seed)``, so a plan plus a
+request order reproduces the exact same fault sequence — which is what
+makes fault tests debuggable at all.
+
+The injector also owns :class:`FaultStats`, the degraded-mode accounting
+the daemon surfaces under the ``faults`` key of its ``stats`` reply:
+injected counts on one side, recovery counts (retries, requeues,
+revocations) on the other, so "the system survived" is observable rather
+than inferred.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+
+
+@dataclass
+class FaultStats:
+    """Injected faults and the recoveries they triggered."""
+
+    # injected
+    disk_errors: int = 0
+    disk_stalls: int = 0
+    torn_writes: int = 0
+    manager_bad_replies: int = 0
+    manager_timeouts: int = 0
+    manager_exceptions: int = 0
+    manager_forced_revocations: int = 0
+    frames_dropped: int = 0
+    frames_garbled: int = 0
+    frames_delayed: int = 0
+    # recovered
+    disk_retries: int = 0
+    writeback_requeues: int = 0
+    flush_retries: int = 0
+    managers_revoked: int = 0
+    aborted_reads: int = 0
+
+    @property
+    def injected_total(self) -> int:
+        return (
+            self.disk_errors
+            + self.disk_stalls
+            + self.torn_writes
+            + self.manager_bad_replies
+            + self.manager_timeouts
+            + self.manager_exceptions
+            + self.manager_forced_revocations
+            + self.frames_dropped
+            + self.frames_garbled
+            + self.frames_delayed
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        out = asdict(self)
+        out["injected_total"] = self.injected_total
+        return out
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """One decision about one disk request."""
+
+    kind: str  # error | stall | torn
+    delay_s: float = 0.0
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into per-event decisions."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan or FaultPlan()
+        self._rng = random.Random(self.plan.seed)
+        self.stats = FaultStats()
+        # Remaining hit counts of scheduled block faults (-1 = unbounded).
+        self._block_budget: Dict[int, int] = {
+            i: bf.count for i, bf in enumerate(self.plan.block_faults)
+        }
+        # Manager consultation counts and fault tallies, per pid.
+        self._consults: Dict[int, int] = {}
+        self._manager_faults: Dict[int, int] = {}
+        self._forced: set = set()
+
+    # -- disk -------------------------------------------------------------
+
+    def disk_fault(
+        self, disk: str, lba: int, write: bool, attempt: int = 1
+    ) -> Optional[DiskFault]:
+        """Decide the fate of one disk request (None = it succeeds).
+
+        ``attempt`` is 1 for the first submission; rate-based faults stop
+        firing past ``plan.max_disk_retries`` attempts so retry loops
+        always terminate.  Scheduled :class:`BlockFault` entries are exempt
+        from the attempt gate — a bad sector stays bad.
+        """
+        plan = self.plan
+        for i, bf in enumerate(plan.block_faults):
+            if bf.disk != disk or bf.lba != lba:
+                continue
+            if bf.write is not None and bf.write != write:
+                continue
+            budget = self._block_budget[i]
+            if budget == 0:
+                continue
+            if budget > 0:
+                self._block_budget[i] = budget - 1
+            return self._record_disk(bf.kind, write)
+        if attempt > plan.max_disk_retries:
+            return None
+        if plan.disk_error_rate and self._rng.random() < plan.disk_error_rate:
+            return self._record_disk("error", write)
+        if write and plan.torn_write_rate and self._rng.random() < plan.torn_write_rate:
+            return self._record_disk("torn", write)
+        if plan.disk_stall_rate and self._rng.random() < plan.disk_stall_rate:
+            return self._record_disk("stall", write)
+        return None
+
+    def _record_disk(self, kind: str, write: bool) -> Optional[DiskFault]:
+        if kind == "torn" and not write:
+            kind = "error"  # a scheduled torn fault degrades to error on reads
+        if kind == "error":
+            self.stats.disk_errors += 1
+            return DiskFault("error")
+        if kind == "torn":
+            self.stats.torn_writes += 1
+            return DiskFault("torn")
+        self.stats.disk_stalls += 1
+        return DiskFault("stall", delay_s=self.plan.disk_stall_s)
+
+    # -- BUF/ACM boundary --------------------------------------------------
+
+    def manager_fault(self, pid: int) -> Optional[str]:
+        """Decide whether this consultation of ``pid``'s manager misbehaves.
+
+        Returns the fault kind (``bad_reply`` / ``timeout`` / ``exception``
+        / ``forced``) or None.  The caller (the ACM) treats any kind as a
+        misbehaviour: it falls back to the global-LRU candidate and, past
+        the plan's tolerance, revokes the manager.
+        """
+        plan = self.plan
+        count = self._consults.get(pid, 0) + 1
+        self._consults[pid] = count
+        if (
+            pid in plan.revoke_pids
+            and pid not in self._forced
+            and count >= plan.revoke_after_consults
+        ):
+            self._forced.add(pid)
+            self.stats.manager_forced_revocations += 1
+            return "forced"
+        if plan.manager_bad_reply_rate and self._rng.random() < plan.manager_bad_reply_rate:
+            self.stats.manager_bad_replies += 1
+            return "bad_reply"
+        if plan.manager_timeout_rate and self._rng.random() < plan.manager_timeout_rate:
+            self.stats.manager_timeouts += 1
+            return "timeout"
+        if plan.manager_exception_rate and self._rng.random() < plan.manager_exception_rate:
+            self.stats.manager_exceptions += 1
+            return "exception"
+        return None
+
+    def manager_fault_count(self, pid: int) -> int:
+        """How many times ``pid``'s manager has misbehaved so far."""
+        return self._manager_faults.get(pid, 0)
+
+    def note_manager_fault(self, pid: int) -> int:
+        """Tally one misbehaviour; returns the new total for ``pid``."""
+        total = self._manager_faults.get(pid, 0) + 1
+        self._manager_faults[pid] = total
+        return total
+
+    # -- server transport --------------------------------------------------
+
+    def frame_fault(self) -> Optional[Tuple[str, float]]:
+        """Decide the fate of one inbound frame.
+
+        Returns ``(kind, delay_s)`` — kind ``drop`` (frame vanishes),
+        ``garble`` (frame arrives undecodable) or ``slow`` (frame arrives
+        after ``delay_s``) — or None for clean delivery.
+        """
+        plan = self.plan
+        if plan.drop_frame_rate and self._rng.random() < plan.drop_frame_rate:
+            self.stats.frames_dropped += 1
+            return ("drop", 0.0)
+        if plan.garble_frame_rate and self._rng.random() < plan.garble_frame_rate:
+            self.stats.frames_garbled += 1
+            return ("garble", 0.0)
+        if plan.slow_loris_rate and self._rng.random() < plan.slow_loris_rate:
+            self.stats.frames_delayed += 1
+            return ("slow", plan.slow_loris_s)
+        return None
+
+    # -- recovery accounting ----------------------------------------------
+
+    def note_disk_retry(self) -> None:
+        self.stats.disk_retries += 1
+
+    def note_writeback_requeue(self) -> None:
+        self.stats.writeback_requeues += 1
+
+    def note_flush_retry(self) -> None:
+        self.stats.flush_retries += 1
+
+    def note_manager_revoked(self) -> None:
+        self.stats.managers_revoked += 1
+
+    def note_aborted_read(self) -> None:
+        self.stats.aborted_reads += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``faults`` section of a ``stats`` reply."""
+        return {
+            "enabled": True,
+            "seed": self.plan.seed,
+            **self.stats.as_dict(),
+        }

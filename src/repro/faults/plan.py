@@ -1,0 +1,203 @@
+"""Fault plans: the declarative half of the fault-injection layer.
+
+A :class:`FaultPlan` says *what* may fail and *how often*; the stateful
+:class:`~repro.faults.injector.FaultInjector` turns it into concrete,
+seed-deterministic decisions.  Plans are frozen (they are shared between a
+system, its drives, its syncer and its server) and JSON-round-trippable so
+``repro-accfc serve --faults plan.json`` and the harness's ``--faults``
+flag can load them from disk or from an inline JSON literal.
+
+Two injection styles compose:
+
+* **rates** — each decision point draws from the seeded RNG
+  (``disk_error_rate``, ``manager_timeout_rate``, ``drop_frame_rate`` …);
+* **per-block schedules** — explicit :class:`BlockFault` entries pin a
+  fault to a ``(disk, lba)`` pair for a bounded number of hits, which is
+  how tests script "this exact writeback tears twice, then heals".
+
+Retry budgets live here too: rate faults stop firing once a request's
+``attempt`` exceeds ``max_disk_retries``, so any bounded retry loop is
+guaranteed to terminate no matter how high the rates are set.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: fault kinds a disk request can suffer
+DISK_FAULT_KINDS = ("error", "stall", "torn")
+
+#: fault kinds a manager consultation can suffer
+MANAGER_FAULT_KINDS = ("bad_reply", "timeout", "exception")
+
+
+@dataclass(frozen=True)
+class BlockFault:
+    """A scheduled fault pinned to one ``(disk, lba)`` address.
+
+    ``count`` bounds how many requests it hits (-1 = every request
+    forever, which models a genuinely bad sector: retries never help).
+    """
+
+    disk: str
+    lba: int
+    kind: str = "error"
+    count: int = 1
+    #: restrict to writes (True), reads (False) or both (None)
+    write: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in DISK_FAULT_KINDS:
+            raise ValueError(f"unknown disk fault kind {self.kind!r}")
+        if self.lba < 0:
+            raise ValueError(f"negative LBA {self.lba}")
+        if self.count == 0 or self.count < -1:
+            raise ValueError(f"count must be positive or -1, got {self.count}")
+        if self.kind == "torn" and self.write is False:
+            raise ValueError("torn faults apply to writes")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything configurable about injected failure.
+
+    All rates are probabilities in [0, 1] drawn per decision from one
+    seeded RNG, so a plan plus a seed reproduces the exact same fault
+    sequence for the same request order.
+    """
+
+    seed: int = 0
+
+    # -- disk model -------------------------------------------------------
+    disk_error_rate: float = 0.0
+    disk_stall_rate: float = 0.0
+    #: extra service time an injected stall adds, seconds
+    disk_stall_s: float = 0.05
+    torn_write_rate: float = 0.0
+    #: rate faults stop firing once a request's attempt exceeds this, so
+    #: retry loops terminate; scheduled BlockFaults are exempt.
+    max_disk_retries: int = 8
+    #: explicit per-block schedules
+    block_faults: Tuple[BlockFault, ...] = field(default_factory=tuple)
+
+    # -- BUF/ACM boundary -------------------------------------------------
+    manager_bad_reply_rate: float = 0.0
+    manager_timeout_rate: float = 0.0
+    manager_exception_rate: float = 0.0
+    #: consecutive-ish fault tolerance: a manager is revoked to global LRU
+    #: once it has misbehaved this many times
+    manager_fault_limit: int = 3
+    #: pids whose manager is force-revoked at its Nth consultation
+    #: (scripted single revocations for tests and demos)
+    revoke_pids: Tuple[int, ...] = field(default_factory=tuple)
+    revoke_after_consults: int = 1
+
+    # -- server transport -------------------------------------------------
+    drop_frame_rate: float = 0.0
+    garble_frame_rate: float = 0.0
+    #: slow-loris: delay injected before delivering an inbound frame, s
+    slow_loris_rate: float = 0.0
+    slow_loris_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in (
+            "disk_error_rate",
+            "disk_stall_rate",
+            "torn_write_rate",
+            "manager_bad_reply_rate",
+            "manager_timeout_rate",
+            "manager_exception_rate",
+            "drop_frame_rate",
+            "garble_frame_rate",
+            "slow_loris_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if self.disk_stall_s < 0 or self.slow_loris_s < 0:
+            raise ValueError("injected delays cannot be negative")
+        if self.max_disk_retries < 0:
+            raise ValueError("max_disk_retries cannot be negative")
+        if self.manager_fault_limit < 1:
+            raise ValueError("manager_fault_limit must be >= 1")
+        if self.revoke_after_consults < 1:
+            raise ValueError("revoke_after_consults must be >= 1")
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def wants_disk_faults(self) -> bool:
+        return bool(
+            self.disk_error_rate
+            or self.disk_stall_rate
+            or self.torn_write_rate
+            or self.block_faults
+        )
+
+    @property
+    def wants_manager_faults(self) -> bool:
+        return bool(
+            self.manager_bad_reply_rate
+            or self.manager_timeout_rate
+            or self.manager_exception_rate
+            or self.revoke_pids
+        )
+
+    @property
+    def wants_transport_faults(self) -> bool:
+        return bool(self.drop_frame_rate or self.garble_frame_rate or self.slow_loris_rate)
+
+    # -- (de)serialisation -------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "block_faults":
+                value = [
+                    {
+                        "disk": bf.disk,
+                        "lba": bf.lba,
+                        "kind": bf.kind,
+                        "count": bf.count,
+                        "write": bf.write,
+                    }
+                    for bf in value
+                ]
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown fault-plan field(s): {', '.join(unknown)}")
+        kwargs: Dict[str, Any] = dict(data)
+        if "block_faults" in kwargs:
+            kwargs["block_faults"] = tuple(
+                bf if isinstance(bf, BlockFault) else BlockFault(**bf)
+                for bf in kwargs["block_faults"]
+            )
+        if "revoke_pids" in kwargs:
+            kwargs["revoke_pids"] = tuple(int(p) for p in kwargs["revoke_pids"])
+        return cls(**kwargs)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a CLI ``--faults`` argument: inline JSON or a file path."""
+        text = spec.strip()
+        if not text.startswith("{"):
+            with open(spec, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ValueError(f"bad fault plan {spec!r}: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ValueError(f"fault plan must be a JSON object, got {type(data).__name__}")
+        return cls.from_dict(data)

@@ -10,15 +10,22 @@ large cache.
 Flush writes are asynchronous: no process waits on them, but they occupy
 the disk and the shared bus, so they delay demand reads — part of the disk
 contention the paper's multi-programming experiments observe.
+
+Under fault injection a flush write can fail (error or torn write).  The
+daemon then *requeues* the block — it is marked dirty again, so the next
+sync interval rewrites it — rather than dropping data that never reached
+disk.  During end-of-run settling (daemon stopped) there is no next
+interval, so failed writes are resubmitted directly; either way a dirty
+block is only forgotten once some write of it has actually completed.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.core.blocks import CacheBlock
 from repro.core.buffercache import BufferCache
-from repro.disk.drive import DiskDrive
+from repro.disk.drive import DiskDrive, DiskRequest
 from repro.sim.engine import Engine
 
 
@@ -33,6 +40,7 @@ class UpdateDaemon:
         interval: float = 30.0,
         age_threshold: float = 0.0,
         on_flush: Optional[Callable[[CacheBlock], None]] = None,
+        injector: Optional[Any] = None,
     ) -> None:
         """``age_threshold`` 0 reproduces the classic BSD/Ultrix update
         daemon, which called sync() every ``interval`` seconds and flushed
@@ -48,7 +56,11 @@ class UpdateDaemon:
         self.interval = interval
         self.age_threshold = age_threshold
         self.on_flush = on_flush
+        #: optional repro.faults.FaultInjector (recovery accounting)
+        self.injector = injector
         self.flushes = 0
+        #: writebacks abandoned after exhausting the retry budget
+        self.lost_writes = 0
         self._running = False
 
     def start(self) -> None:
@@ -94,9 +106,48 @@ class UpdateDaemon:
             # Mark clean at submit time: a re-dirtying write after this
             # point legitimately schedules another flush later.
             self.cache.mark_clean(block)
-            drive.write(block.lba, 1, on_done=None, pid=block.owner_pid)
+            drive.write(
+                block.lba,
+                1,
+                on_done=None,
+                pid=block.owner_pid,
+                on_error=lambda req, fault, b=block, d=drive: self._writeback_failed(d, req, fault, b),
+            )
             if self.on_flush is not None:
                 self.on_flush(block)
             count += 1
             self.flushes += 1
         return count
+
+    def _writeback_failed(self, drive: DiskDrive, req: DiskRequest, fault: object, block: CacheBlock) -> None:
+        """Recover from a failed flush write — the data never reached disk.
+
+        While the daemon runs and the block is still resident and clean, the
+        cheapest recovery is to re-dirty it: the next sync interval rewrites
+        it (and coalesces with any newer modification).  If the block was
+        re-dirtied meanwhile a flush is already owed, so nothing to do.  If
+        the block has been evicted or the daemon is settling (stopped),
+        there is no later interval — resubmit the raw request directly,
+        giving up only past the plan's retry budget.
+        """
+        budget = self.plan_retry_budget()
+        resident = self.cache.peek(block.file_id, block.blockno) is block
+        if self._running and resident:
+            if block.dirty:
+                return  # re-dirtied since submit; the owed flush covers us
+            self.cache.mark_dirty(block)
+            if self.injector is not None:
+                self.injector.note_writeback_requeue()
+            return
+        if req.attempt <= budget:
+            drive.retry(req)
+            if self.injector is not None:
+                self.injector.note_disk_retry()
+            return
+        self.lost_writes += 1
+
+    def plan_retry_budget(self) -> int:
+        """Max resubmissions for one write, from the plan (default 8)."""
+        if self.injector is not None:
+            return int(self.injector.plan.max_disk_retries)
+        return 8

@@ -7,6 +7,7 @@ Examples::
     repro-accfc table1               # the placeholder-protection study
     repro-accfc check                # protocol lint + sanitized smoke run
     repro-accfc serve --port 7481    # run the multi-client cache daemon
+    repro-accfc serve --faults plan.json   # ... under an injected-fault plan
     repro-accfc all                  # everything (several minutes)
 """
 

@@ -29,9 +29,10 @@ from repro.core.allocation import LRU_SP, AllocationPolicy
 from repro.core.buffercache import AccessOutcome, BufferCache, CacheStats
 from repro.core.interface import fbehavior
 from repro.core.revocation import RevocationPolicy
-from repro.disk.drive import DiskDrive
+from repro.disk.drive import DiskDrive, DiskRequest
 from repro.disk.params import BLOCK_SIZE, RZ26, RZ56, DiskParams
 from repro.disk.scheduler import make_scheduler
+from repro.faults import FaultInjector, FaultPlan, InjectedIOError
 from repro.fs.filesystem import File, FsError, SimFilesystem
 from repro.fs.syncer import UpdateDaemon
 from repro.sim.engine import Engine
@@ -74,6 +75,8 @@ class MachineConfig:
     sample_occupancy_s: Optional[float] = None
     limits: ResourceLimits = field(default_factory=ResourceLimits)
     revocation: Optional[RevocationPolicy] = None
+    #: fault-injection schedule (repro.faults.FaultPlan); None = no faults
+    faults: Optional[FaultPlan] = None
     #: run the BUF↔ACM invariant sanitizer (repro.check.invariants) on this
     #: machine's cache.  None follows the REPRO_SANITIZE environment flag;
     #: True/False override it either way.
@@ -124,6 +127,8 @@ class SystemResult:
     disk_stats: Dict[str, Dict[str, float]]
     revocations: int = 0
     occupancy_samples: List = field(default_factory=list)
+    #: fault-injection accounting (None when the run had no fault plan)
+    faults: Optional[Dict[str, object]] = None
 
     @property
     def total_block_ios(self) -> int:
@@ -154,16 +159,26 @@ class System:
         self.engine = Engine()
         self.cpu = PreemptiveCPU(self.engine, "cpu")
         self.bus = FCFSResource(self.engine, "scsi-bus") if self.config.shared_bus else None
+        #: fault injector shared by every layer of this machine (None = off)
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(self.config.faults) if self.config.faults is not None else None
+        )
+        #: asynchronous writes abandoned after the retry budget ran out
+        self.lost_writes = 0
         self.drives: Dict[str, DiskDrive] = {}
         for params in self.config.disks:
             scheduler = make_scheduler(self.config.disk_scheduler, params)
-            self.drives[params.name] = DiskDrive(self.engine, params, bus=self.bus, scheduler=scheduler)
+            self.drives[params.name] = DiskDrive(
+                self.engine, params, bus=self.bus, scheduler=scheduler, injector=self.injector
+            )
         self.fs = SimFilesystem({p.name: p.total_blocks for p in self.config.disks})
         # An alternative ACM (e.g. repro.core.upcall.UpcallACM) may be
         # injected; upcall-counting ACMs get their CPU cost charged below.
         self.acm = acm if acm is not None else ACM(
             limits=self.config.limits, revocation=self.config.revocation
         )
+        if self.injector is not None:
+            self.acm.injector = self.injector
         self.cache = BufferCache(
             self.config.cache_frames,
             acm=self.acm,
@@ -182,6 +197,7 @@ class System:
             interval=self.config.sync_interval_s,
             age_threshold=self.config.sync_age_s,
             on_flush=self._on_daemon_flush,
+            injector=self.injector,
         )
         #: optional repro.trace.TraceRecorder capturing the global-order
         #: reference stream (accesses + directives) of this run
@@ -344,10 +360,17 @@ class System:
             return
         proc.stats.disk_reads += 1
 
-        self.drives[f.disk].read(block.lba, 1, on_done=lambda: self._prefetch_done(block), pid=proc.pid)
+        drive = self.drives[f.disk]
+        drive.read(
+            block.lba,
+            1,
+            on_done=lambda: self._prefetch_done(block),
+            pid=proc.pid,
+            on_error=lambda req, fault, d=drive, b=block: self._prefetch_failed(d, req, fault, b),
+        )
         if evicted is not None and evicted.dirty:
             self._charge_write(evicted.owner_pid)
-            self.drives[evicted.disk].write(evicted.lba, 1, on_done=None, pid=evicted.owner_pid)
+            self._async_write(evicted)
 
     def _prefetch_done(self, block) -> None:
         # The driver/interrupt/buffer work of the I/O still costs CPU even
@@ -405,19 +428,75 @@ class System:
         proc._wait_start = self.engine.now  # type: ignore[attr-defined]
         if outcome.read_needed:
             proc.stats.disk_reads += 1
-            self.drives[disk].read(block.lba, 1, on_done=lambda: self._read_done(proc, block), pid=proc.pid)
+            drive = self.drives[disk]
+            drive.read(
+                block.lba,
+                1,
+                on_done=lambda: self._read_done(proc, block),
+                pid=proc.pid,
+                on_error=lambda req, fault, d=drive: self._demand_read_failed(d, req, fault),
+            )
         else:
             # Whole-block overwrite: the frame is usable immediately.
             self._resume_from_io(proc, self.config.hit_cpu_ms)
         if outcome.writeback:
             victim = outcome.evicted
             self._charge_write(victim.owner_pid)
-            self.drives[victim.disk].write(victim.lba, 1, on_done=None, pid=victim.owner_pid)
+            self._async_write(victim)
 
     def _read_done(self, proc: SimProcess, block) -> None:
         waiters = self.cache.loaded(block)
         self._resume_from_io(proc, self.config.miss_cpu_ms + self.config.hit_cpu_ms)
         for waiter in waiters:
+            self._resume_from_io(waiter, self.config.hit_cpu_ms)
+
+    # -- injected-fault recovery ---------------------------------------------
+
+    def _retry_budget(self) -> int:
+        return self.injector.plan.max_disk_retries if self.injector is not None else 8
+
+    def _retry_io(self, drive: DiskDrive, req: DiskRequest) -> bool:
+        """Resubmit a faulted request if the budget allows; True if retried."""
+        if req.attempt > self._retry_budget():
+            return False
+        drive.retry(req)
+        if self.injector is not None:
+            self.injector.note_disk_retry()
+        return True
+
+    def _async_write(self, victim) -> None:
+        """A writeback no process waits on (eviction push-out)."""
+        drive = self.drives[victim.disk]
+        drive.write(
+            victim.lba,
+            1,
+            on_done=None,
+            pid=victim.owner_pid,
+            on_error=lambda req, fault, d=drive: self._async_write_failed(d, req, fault),
+        )
+
+    def _async_write_failed(self, drive: DiskDrive, req: DiskRequest, fault: Any) -> None:
+        if not self._retry_io(drive, req):
+            # Persistent bad sector: the block is already gone from the
+            # cache, so after the budget its data is genuinely lost.
+            self.lost_writes += 1
+
+    def _demand_read_failed(self, drive: DiskDrive, req: DiskRequest, fault: Any) -> None:
+        if not self._retry_io(drive, req):
+            # A process is blocked on this data and a scheduled fault makes
+            # the sector permanently unreadable: fail the run in a defined
+            # way rather than strand the process forever.
+            raise InjectedIOError(drive.name, req.lba, write=False, kind=fault.kind)
+
+    def _prefetch_failed(self, drive: DiskDrive, req: DiskRequest, fault: Any, block) -> None:
+        if self._retry_io(drive, req):
+            return
+        # Nobody demanded this block; release the frame.  Any process that
+        # piggy-backed on the prefetch resumes and will fault it in again
+        # if it still cares.
+        if self.injector is not None:
+            self.injector.note_aborted_read()
+        for waiter in self.cache.abort_load(block):
             self._resume_from_io(waiter, self.config.hit_cpu_ms)
 
     def _resume_from_io(self, proc: SimProcess, cpu_ms: float) -> None:
@@ -479,9 +558,14 @@ class System:
                 "writes": d.stats.writes,
                 "busy_time": d.stats.busy_time,
                 "wait_time": d.stats.wait_time,
+                "faults": d.stats.faults,
             }
             for name, d in self.drives.items()
         }
+        fault_snapshot = None
+        if self.injector is not None:
+            fault_snapshot = self.injector.snapshot()
+            fault_snapshot["lost_writes"] = self.lost_writes + self.syncer.lost_writes
         return SystemResult(
             occupancy_samples=self.occupancy_samples,
             makespan=self._makespan if self._makespan is not None else self.engine.now,
@@ -494,4 +578,5 @@ class System:
             placeholders_used=self.cache.placeholders.consumed,
             disk_stats=disk_stats,
             revocations=self.acm.revocations,
+            faults=fault_snapshot,
         )

@@ -15,16 +15,29 @@ use never trips the daemon's flow control.
     await client.aclose()
 
 Failure replies raise :class:`ServerError` (or :class:`ServerBusy` for the
-429-style backpressure code, so callers can back off and retry).  Protocol
-only — the kernel lives on the other side of the wire (lint rule R006).
+429-style backpressure code, so callers can back off and retry).
+
+Resilience (for lossy transports and fault-injection runs) is governed by
+a :class:`RetryPolicy`: every request carries a timeout; ``BUSY`` replies
+and — for **idempotent** verbs only — timeouts and connection losses are
+retried with bounded exponential backoff.  Non-idempotent verbs (``write``
+and the ``set_*`` directives) are never auto-retried after a timeout,
+because a dropped *reply* means the kernel may already have applied the
+request.  A lost connection is re-dialed and the session resumed with the
+token from the hello handshake, so the same kernel pid (and its manager
+state and counters) carries on.
+
+Protocol only — the kernel lives on the other side of the wire (lint rule
+R006).
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, Optional
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Dict, Optional
 
-from repro.server.protocol import Transport, request
+from repro.server.protocol import ProtocolError, Transport, request
 
 
 class ServerError(Exception):
@@ -40,14 +53,63 @@ class ServerBusy(ServerError):
     """The daemon is over its global pending limit; retry later."""
 
 
+class RequestTimeout(ConnectionError):
+    """No reply arrived within the policy's timeout (request or reply may
+    have been lost in flight — the kernel may or may not have applied it)."""
+
+
 #: default number of outstanding requests a client keeps in flight
 DEFAULT_CLIENT_WINDOW = 16
+
+#: verbs safe to re-send after a timeout: applying them twice leaves the
+#: kernel in the same state (reads and gets; ``open`` re-opens, ``ping``/
+#: ``hello``/``stats`` are pure).  ``write``/``set_*`` are excluded — a
+#: duplicate would double-apply side effects the first delivery had.
+IDEMPOTENT_VERBS = frozenset(
+    {"ping", "hello", "stats", "read", "open", "get_priority", "get_policy"}
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-request timeout and bounded-exponential-backoff retry budget."""
+
+    timeout_s: Optional[float] = 30.0
+    max_retries: int = 3
+    backoff_base_s: float = 0.02
+    backoff_max_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout must be positive (or None for no timeout)")
+        if self.max_retries < 0:
+            raise ValueError("retry budget cannot be negative")
+        if self.backoff_base_s < 0 or self.backoff_max_s < self.backoff_base_s:
+            raise ValueError("bad backoff range")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), capped."""
+        return min(self.backoff_base_s * (2 ** (attempt - 1)), self.backoff_max_s)
+
+
+#: policy used when none is given: a generous timeout but *no* automatic
+#: retries — callers see BUSY and timeouts directly, as they always did.
+#: Fault-tolerant callers opt in with an explicit RetryPolicy.
+DEFAULT_RETRY_POLICY = RetryPolicy(timeout_s=30.0, max_retries=0)
+
+#: no-timeout, no-retry policy (what pre-resilience callers effectively had)
+NO_RETRY = RetryPolicy(timeout_s=None, max_retries=0)
 
 
 class CacheClient:
     """One session against a cache daemon, over any transport."""
 
-    def __init__(self, transport: Transport, window: int = DEFAULT_CLIENT_WINDOW) -> None:
+    def __init__(
+        self,
+        transport: Transport,
+        window: int = DEFAULT_CLIENT_WINDOW,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         if window < 1:
             raise ValueError("client window must be at least 1")
         self._transport = transport
@@ -56,79 +118,213 @@ class CacheClient:
         self._next_id = 0
         self._closing = False
         self._reader_task: Optional["asyncio.Task[None]"] = None
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
+        #: async factory for a replacement transport (None = cannot redial)
+        self._connector: Optional[Callable[[], Awaitable[Transport]]] = None
         #: the kernel pid of this session (set by the hello handshake)
         self.pid: Optional[int] = None
+        #: resume token from the hello handshake
+        self.token: Optional[str] = None
+        self.name: Optional[str] = None
+        # resilience accounting
+        self.retries = 0
+        self.timeouts = 0
+        self.reconnects = 0
 
     # -- constructors ------------------------------------------------------
 
     @classmethod
     async def connect_tcp(
-        cls, host: str, port: int, name: Optional[str] = None, window: int = DEFAULT_CLIENT_WINDOW
+        cls,
+        host: str,
+        port: int,
+        name: Optional[str] = None,
+        window: int = DEFAULT_CLIENT_WINDOW,
+        retry: Optional[RetryPolicy] = None,
     ) -> "CacheClient":
         from repro.server.protocol import StreamTransport
 
-        reader, writer = await asyncio.open_connection(host, port)
-        return await cls._started(StreamTransport(reader, writer), name, window)
+        async def dial() -> Transport:
+            reader, writer = await asyncio.open_connection(host, port)
+            return StreamTransport(reader, writer)
+
+        return await cls._started(await dial(), name, window, retry, dial)
 
     @classmethod
     async def connect_unix(
-        cls, path: str, name: Optional[str] = None, window: int = DEFAULT_CLIENT_WINDOW
+        cls,
+        path: str,
+        name: Optional[str] = None,
+        window: int = DEFAULT_CLIENT_WINDOW,
+        retry: Optional[RetryPolicy] = None,
     ) -> "CacheClient":
         from repro.server.protocol import StreamTransport
 
-        reader, writer = await asyncio.open_unix_connection(path)
-        return await cls._started(StreamTransport(reader, writer), name, window)
+        async def dial() -> Transport:
+            reader, writer = await asyncio.open_unix_connection(path)
+            return StreamTransport(reader, writer)
+
+        return await cls._started(await dial(), name, window, retry, dial)
 
     @classmethod
     async def connect_inproc(
-        cls, daemon, name: Optional[str] = None, window: int = DEFAULT_CLIENT_WINDOW
+        cls,
+        daemon,
+        name: Optional[str] = None,
+        window: int = DEFAULT_CLIENT_WINDOW,
+        retry: Optional[RetryPolicy] = None,
     ) -> "CacheClient":
         """Connect to a :class:`~repro.server.daemon.CacheDaemon` in this
         process (tests, benchmarks, demos)."""
-        transport = await daemon.connect_inproc()
-        return await cls._started(transport, name, window)
+
+        async def dial() -> Transport:
+            return await daemon.connect_inproc()
+
+        return await cls._started(await dial(), name, window, retry, dial)
 
     @classmethod
     async def _started(
-        cls, transport: Transport, name: Optional[str], window: int
+        cls,
+        transport: Transport,
+        name: Optional[str],
+        window: int,
+        retry: Optional[RetryPolicy] = None,
+        connector: Optional[Callable[[], Awaitable[Transport]]] = None,
     ) -> "CacheClient":
-        client = cls(transport, window=window)
+        client = cls(transport, window=window, retry=retry)
+        client.name = name
+        client._connector = connector
         client._reader_task = asyncio.get_running_loop().create_task(client._read_replies())
         hello = await client.call("hello", name=name) if name else await client.call("hello")
-        client.pid = hello.get("pid") if isinstance(hello, dict) else None
+        client._absorb_hello(hello)
         return client
+
+    def _absorb_hello(self, hello: Any) -> None:
+        if isinstance(hello, dict):
+            self.pid = hello.get("pid", self.pid)
+            self.token = hello.get("token", self.token)
 
     # -- plumbing ----------------------------------------------------------
 
     async def _read_replies(self) -> None:
+        transport = self._transport  # one reader task per transport
         while True:
-            msg = await self._transport.recv()
+            try:
+                msg = await transport.recv()
+            except ProtocolError:
+                # Undecodable reply: framing is gone; treat as a lost
+                # connection (a retryable condition, never a crash).
+                msg = None
             if msg is None:
                 break
             future = self._pending.pop(msg.get("id"), None)
             if future is not None and not future.done():
                 future.set_result(msg)
+        # A transport whose reply stream ended can never answer again;
+        # mark it closed so the next call() knows to re-dial rather than
+        # write into a dead peer and wait out the full timeout.
+        transport.close()
         for future in self._pending.values():
             if not future.done():
                 future.set_exception(ConnectionError("server connection closed"))
         self._pending.clear()
 
     async def call(self, verb: str, **params: Any) -> Any:
-        """One request/response round trip; returns the reply value."""
+        """One request/response round trip; returns the reply value.
+
+        ``BUSY`` replies are always retried within the policy's budget
+        (the request was *not* applied).  Timeouts and connection losses
+        are retried only for idempotent verbs; a lost connection is
+        re-dialed and the session resumed first.
+        """
         if self._closing:
             raise ConnectionError("client is closed")
+        policy = self.retry
+        attempt = 0
+        while True:
+            try:
+                if (
+                    self._transport.closed
+                    and self._connector is not None
+                    and policy.max_retries > 0
+                ):
+                    # Nothing has been sent for this attempt yet, so
+                    # re-dialing and resuming the session is safe for any
+                    # verb — the duplicate hazard only exists for requests
+                    # already in flight.
+                    await self._reconnect()
+                return await self._call_once(verb, params, policy.timeout_s)
+            except ServerBusy:
+                if attempt >= policy.max_retries:
+                    raise
+            except (ConnectionError, asyncio.TimeoutError) as exc:
+                retryable = (
+                    verb in IDEMPOTENT_VERBS
+                    and attempt < policy.max_retries
+                    and not self._closing
+                )
+                if not retryable:
+                    if isinstance(exc, asyncio.TimeoutError):
+                        raise RequestTimeout(
+                            f"{verb}: no reply within {policy.timeout_s}s"
+                        ) from exc
+                    raise
+                if self._transport.closed or isinstance(exc, ConnectionError):
+                    try:
+                        await self._reconnect()
+                    except (ConnectionError, OSError, asyncio.TimeoutError, ServerError):
+                        if attempt + 1 >= policy.max_retries:
+                            raise
+            attempt += 1
+            self.retries += 1
+            await asyncio.sleep(policy.delay(attempt))
+
+    async def _call_once(
+        self, verb: str, params: Dict[str, Any], timeout: Optional[float]
+    ) -> Any:
         async with self._window:
             self._next_id += 1
             req_id = self._next_id
             future: "asyncio.Future[Dict[str, Any]]" = asyncio.get_running_loop().create_future()
             self._pending[req_id] = future
             await self._transport.send(request(req_id, verb, **params))
-            reply = await future
+            try:
+                if timeout is not None:
+                    reply = await asyncio.wait_for(future, timeout)
+                else:
+                    reply = await future
+            except asyncio.TimeoutError:
+                self._pending.pop(req_id, None)
+                self.timeouts += 1
+                raise
         if reply.get("ok"):
             return reply.get("value")
         code = reply.get("code", "INTERNAL")
         error = ServerBusy if code == "BUSY" else ServerError
         raise error(code, str(reply.get("error", "")))
+
+    async def _reconnect(self) -> None:
+        """Re-dial the server and resume the previous kernel session."""
+        if self._connector is None:
+            raise ConnectionError("transport lost and no reconnect path")
+        self.reconnects += 1
+        old_reader = self._reader_task
+        self._transport.close()
+        if old_reader is not None:
+            try:
+                await old_reader
+            except asyncio.CancelledError:  # pragma: no cover - teardown race
+                pass
+        self._transport = await self._connector()
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_replies())
+        params: Dict[str, Any] = {}
+        if self.name:
+            params["name"] = self.name
+        if self.pid is not None and self.token is not None:
+            params["resume"] = self.pid
+            params["token"] = self.token
+        hello = await self._call_once("hello", params, self.retry.timeout_s)
+        self._absorb_hello(hello)
 
     # -- the file API ------------------------------------------------------
 

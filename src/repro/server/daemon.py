@@ -34,9 +34,12 @@ import signal
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+from repro.faults.plan import FaultPlan
+from repro.faults.transport import FaultyTransport
 from repro.server import protocol
 from repro.server.protocol import (
     KERNEL_VERBS,
+    ProtocolError,
     StreamTransport,
     Transport,
     error_response,
@@ -66,10 +69,16 @@ class CacheDaemon:
         )
         self.window = window
         self.global_limit = global_limit
+        #: the service's fault injector, shared with session transports
+        self.injector = self.service.injector
         self.sessions: Dict[int, Session] = {}
         self.pending_total = 0
         self.busy_rejections = 0
         self.requests_served = 0
+        self.protocol_errors = 0
+        #: resume tokens handed out at hello, per kernel pid
+        self._resume_tokens: Dict[int, str] = {}
+        self._token_seq = 0
         #: unexpected exceptions raised while applying requests (each also
         #: produced an INTERNAL error reply); tests assert this stays empty
         self.errors: List[BaseException] = []
@@ -158,9 +167,39 @@ class CacheDaemon:
         self._spawn_session(StreamTransport(reader, writer))
 
     def _spawn_session(self, transport: Transport) -> None:
+        if self.injector is not None and self.injector.plan.wants_transport_faults:
+            transport = FaultyTransport(transport, self.injector)
         task = asyncio.get_running_loop().create_task(self._run_session(transport))
         self._session_tasks.add(task)
         task.add_done_callback(self._session_tasks.discard)
+
+    def _token_for(self, pid: int) -> str:
+        """The resume token of ``pid``, minted at its first hello."""
+        token = self._resume_tokens.get(pid)
+        if token is None:
+            self._token_seq += 1
+            token = self._resume_tokens[pid] = f"tok-{pid}-{self._token_seq}"
+        return token
+
+    def _try_resume(self, session: Session, resume_pid: Any, token: Any) -> bool:
+        """Rebind a reconnecting client to its previous kernel pid.
+
+        Requires the token minted at the original hello, and that no live
+        session currently holds the pid.  On success the freshly allocated
+        pid is discarded and the old pid's counters/manager state carry on.
+        """
+        if not isinstance(resume_pid, int) or resume_pid == session.pid:
+            return False
+        if self._resume_tokens.get(resume_pid) != token or token is None:
+            return False
+        old = self.sessions.get(resume_pid)
+        if old is not None and not old.closed:
+            return False
+        self.sessions.pop(session.pid, None)
+        self.service.release_session(session.pid)
+        session.pid = resume_pid
+        self.sessions[resume_pid] = session
+        return True
 
     async def _run_session(self, transport: Transport) -> None:
         pid = self.service.register_session()
@@ -168,19 +207,55 @@ class CacheDaemon:
         self.sessions[pid] = session
         try:
             while True:
-                msg = await transport.recv()
+                try:
+                    msg = await transport.recv()
+                except ProtocolError as exc:
+                    # A garbled or oversized frame: the stream framing can
+                    # no longer be trusted.  Tell the client why, then
+                    # disconnect cleanly — never let the exception escape
+                    # into the session task.
+                    self.protocol_errors += 1
+                    await transport.send(
+                        error_response(None, "BAD_REQUEST", f"protocol error: {exc}")
+                    )
+                    break
                 if msg is None:
                     break
                 req_id = protocol.request_id_of(msg)
                 verb = msg.get("verb")
                 if verb == "ping":
-                    await transport.send(ok_response(req_id, {"pong": True, "pid": pid}))
+                    await transport.send(
+                        ok_response(req_id, {"pong": True, "pid": session.pid})
+                    )
                     continue
                 if verb == "hello":
                     name = msg.get("name")
                     if isinstance(name, str) and name:
                         session.name = name[:64]
-                    await transport.send(ok_response(req_id, {"pid": pid, "name": session.name}))
+                    resumed = False
+                    if "resume" in msg:
+                        resumed = self._try_resume(session, msg.get("resume"), msg.get("token"))
+                        if not resumed:
+                            await transport.send(
+                                error_response(
+                                    req_id,
+                                    "BAD_REQUEST",
+                                    f"cannot resume session {msg.get('resume')!r}",
+                                )
+                            )
+                            continue
+                        pid = session.pid
+                    await transport.send(
+                        ok_response(
+                            req_id,
+                            {
+                                "pid": session.pid,
+                                "name": session.name,
+                                "token": self._token_for(session.pid),
+                                "resumed": resumed,
+                            },
+                        )
+                    )
                     continue
                 if not isinstance(verb, str) or verb not in KERNEL_VERBS:
                     await transport.send(
@@ -193,7 +268,7 @@ class CacheDaemon:
                     )
                     continue
                 if self.pending_total >= self.global_limit and verb != "close":
-                    self.service.counters_for(pid).busy_rejections += 1
+                    self.service.counters_for(session.pid).busy_rejections += 1
                     self.busy_rejections += 1
                     await transport.send(
                         error_response(
@@ -214,7 +289,7 @@ class CacheDaemon:
             await self._drain(session)
             session.closed = True
             session.release()
-            self.service.release_session(pid)
+            self.service.release_session(session.pid)
             transport.close()
 
     def _enqueue(self, session: Session, msg: Dict[str, Any]) -> None:
@@ -301,11 +376,13 @@ class CacheDaemon:
                 "pending_total": self.pending_total,
                 "busy_rejections": self.busy_rejections,
                 "requests_served": self.requests_served,
+                "protocol_errors": self.protocol_errors,
                 "window": self.window,
                 "global_limit": self.global_limit,
                 "closing": self._closing,
             },
             "cache": self.service.cache_snapshot(),
+            "faults": self.service.faults_snapshot(),
             "sessions": sessions,
         }
 
@@ -340,11 +417,21 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="attach the runtime invariant sanitizer to the cache",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="fault-injection plan: inline JSON ('{...}') or a JSON file path",
+    )
     args = parser.parse_args(argv)
+    try:
+        faults = FaultPlan.from_spec(args.faults) if args.faults else None
+    except (ValueError, OSError) as exc:
+        parser.error(f"--faults: {exc}")
     config = build_config(
         cache_mb=args.cache_mb,
         policy=args.policy,
         sanitize=True if args.sanitize else None,
+        faults=faults,
     )
     return asyncio.run(_serve(args, config))
 

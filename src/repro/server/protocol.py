@@ -63,6 +63,8 @@ ERROR_CODES = (
     "SHUTTING_DOWN",  # daemon is draining; no new work accepted
     "FS",  # filesystem error (unknown file, read past EOF, ...)
     "DIRECTIVE",  # an fbehavior call failed (bad operands, limits)
+    "REVOKED",  # the session's cache control was revoked (fbehavior denied)
+    "IO_ERROR",  # a (simulated) disk I/O failed for good after retries
     "INTERNAL",  # unexpected server-side failure
 )
 

@@ -28,8 +28,14 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.core.acm import ACM
 from repro.core.allocation import policy_by_name
 from repro.core.buffercache import BufferCache
-from repro.core.interface import FBehaviorError, FBehaviorOp, fbehavior
+from repro.core.interface import (
+    FBehaviorError,
+    FBehaviorOp,
+    FBehaviorRevokedError,
+    fbehavior,
+)
 from repro.core.policies import PoolPolicy
+from repro.faults import FaultInjector, FaultPlan
 from repro.fs.filesystem import FsError, SimFilesystem
 from repro.kernel.system import MachineConfig
 from repro.server.stats import SessionCounters
@@ -64,6 +70,14 @@ class CacheService:
         self.config = config or MachineConfig()
         self.fs = SimFilesystem({p.name: p.total_blocks for p in self.config.disks})
         self.acm = ACM(limits=self.config.limits, revocation=self.config.revocation)
+        #: fault injector shared with the daemon's transports (None = off)
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(self.config.faults) if self.config.faults is not None else None
+        )
+        if self.injector is not None:
+            self.acm.injector = self.injector
+        #: writes abandoned after the retry budget (persistent bad sectors)
+        self.lost_writes = 0
         # Logical time is the operation sequence number: deterministic, and
         # monotone like the engine clock the simulator feeds the cache.
         self._op_seq = 0
@@ -122,7 +136,7 @@ class CacheService:
                 raise ServiceError("FS", f"open: no such file {path!r}")
             try:
                 self.fs.create(path, size_blocks=int(size_blocks), disk=disk)
-            except (FsError, ValueError) as exc:
+            except (FsError, TypeError, ValueError) as exc:
                 raise ServiceError("FS", f"open: cannot create {path!r}: {exc}") from exc
             if self.trace_recorder is not None:
                 self.trace_recorder.record_directive(pid, "create", (path, int(size_blocks)))
@@ -147,6 +161,8 @@ class CacheService:
         return self._access(pid, path, f, blockno, lba, write=True, whole=bool(whole))
 
     def _resolve(self, path: str, blockno: Any):
+        if not isinstance(path, str):
+            raise ServiceError("BAD_REQUEST", f"bad path {path!r}")
         try:
             f = self.fs.lookup(path)
         except FsError as exc:
@@ -168,11 +184,20 @@ class CacheService:
         outcome = self.cache.access(
             pid, f.file_id, blockno, lba, f.disk, write=write, whole=whole
         )
+        if outcome.writeback:
+            # The push-out happens regardless of whether the demand read
+            # below succeeds — the victim is already gone from the cache.
+            if not self._store_block(outcome.evicted.disk, outcome.evicted.lba):
+                self.lost_writes += 1
+            self.counters_for(outcome.evicted.owner_pid).disk_writes += 1
+        counters = self.counters_for(pid)
         if outcome.read_needed:
             # The service performs I/O synchronously: the frame is loaded
             # before the reply goes out, so ``must_wait`` never arises.
-            self.cache.loaded(outcome.block)
-        counters = self.counters_for(pid)
+            # Injected read faults are retried within the budget; a
+            # persistently bad sector aborts the load and fails the request
+            # with IO_ERROR, leaving the cache consistent.
+            self._load_block(outcome.block, f.disk)
         counters.accesses += 1
         if outcome.hit:
             counters.hits += 1
@@ -180,9 +205,44 @@ class CacheService:
             counters.misses += 1
             if outcome.read_needed:
                 counters.disk_reads += 1
-        if outcome.writeback:
-            self.counters_for(outcome.evicted.owner_pid).disk_writes += 1
         return {"hit": outcome.hit}
+
+    def _load_block(self, block, disk: str) -> None:
+        inj = self.injector
+        if inj is not None:
+            attempt = 1
+            while True:
+                fault = inj.disk_fault(disk, block.lba, False, attempt)
+                if fault is None or fault.kind == "stall":
+                    break
+                if attempt > inj.plan.max_disk_retries:
+                    inj.note_aborted_read()
+                    self.cache.abort_load(block)
+                    raise ServiceError(
+                        "IO_ERROR",
+                        f"read {disk}:{block.lba} failed after {attempt} attempts",
+                    )
+                attempt += 1
+                inj.note_disk_retry()
+        self.cache.loaded(block)
+
+    def _store_block(self, disk: str, lba: int, flush: bool = False) -> bool:
+        """Simulate one block write; False once the retry budget is spent."""
+        inj = self.injector
+        if inj is None:
+            return True
+        attempt = 1
+        while True:
+            fault = inj.disk_fault(disk, lba, True, attempt)
+            if fault is None or fault.kind == "stall":
+                return True
+            if attempt > inj.plan.max_disk_retries:
+                return False
+            attempt += 1
+            if flush:
+                inj.note_flush_retry()
+            else:
+                inj.note_disk_retry()
 
     # -- directives --------------------------------------------------------
 
@@ -202,6 +262,10 @@ class CacheService:
             self.trace_recorder.record_directive(pid, verb, args)
         try:
             result = fbehavior(self.acm, self.fs, pid, FBehaviorOp(verb), args)
+        except FBehaviorRevokedError as exc:
+            # The session lost cache control (revocation).  A defined,
+            # distinguishable error — never a silent re-registration.
+            raise ServiceError("REVOKED", str(exc)) from exc
         except FBehaviorError as exc:
             raise ServiceError("DIRECTIVE", str(exc)) from exc
         self.counters_for(pid).directives += 1
@@ -219,6 +283,11 @@ class CacheService:
         """
         flushed = 0
         for block in self.cache.dirty_blocks():
+            if not self._store_block(block.disk, block.lba, flush=True):
+                # Persistent bad sector: the data cannot reach disk no
+                # matter how often we retry.  Abandon it (counted) rather
+                # than wedge the shutdown.
+                self.lost_writes += 1
             self.cache.mark_clean(block)
             self.counters_for(block.owner_pid).disk_writes += 1
             flushed += 1
@@ -253,13 +322,27 @@ class CacheService:
         """Kernel-side per-session fields (counters + frame allocation)."""
         entry = self.counters_for(pid).as_dict()
         entry["frames"] = self.cache.occupancy().get(pid, 0)
+        m = self.acm.managers.get(pid)
+        entry["revoked"] = bool(m is not None and m.revoked)
         return entry
+
+    def faults_snapshot(self) -> Dict[str, Any]:
+        """The ``faults`` section of the ``stats`` reply."""
+        if self.injector is None:
+            return {"enabled": False}
+        out = self.injector.snapshot()
+        out["lost_writes"] = self.lost_writes
+        out["revocations"] = self.acm.revocations
+        return out
 
 
 def build_config(
     cache_mb: float = 6.4,
     policy: str = "lru-sp",
     sanitize: Optional[bool] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> MachineConfig:
     """A MachineConfig from CLI-friendly arguments (used by ``serve``)."""
-    return MachineConfig(cache_mb=cache_mb, policy=policy_by_name(policy), sanitize=sanitize)
+    return MachineConfig(
+        cache_mb=cache_mb, policy=policy_by_name(policy), sanitize=sanitize, faults=faults
+    )

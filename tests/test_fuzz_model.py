@@ -1,0 +1,486 @@
+"""Seeded differential fuzz of the LRU-SP kernel against a brute-force model.
+
+Satellite of the fault-injection PR: thousands of short randomized
+directive/access streams run through *two* implementations —
+
+* the real kernel (:class:`repro.core.buffercache.BufferCache` under the
+  LRU-SP allocation policy, with the runtime sanitizer attached), and
+* :class:`ReferenceLruSp`, an independent brute-force re-implementation of
+  the paper's Section-4 replacement procedure written with plain Python
+  lists (no shared code, no linked lists, no indexes — just the rules).
+
+After every operation the two are compared: hit/miss outcome, evicted
+block, global LRU order, per-process occupancy and the headline counters.
+On divergence the failing stream is greedily shrunk and the reproducing
+seed + minimized operation list is printed, so a failure elsewhere can be
+replayed with ``ReferenceLruSp`` as the oracle::
+
+    python -m pytest tests/test_fuzz_model.py -k seed -q  # then paste the seed
+
+Streams are generated from ``random.Random(seed)`` only — no time, no
+global RNG — so every failure is reproducible from the printed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+import pytest
+
+from conftest import make_cache, touch
+from repro.check.invariants import InvariantChecker
+from repro.core.allocation import LRU_SP
+
+BlockKey = Tuple[int, int]
+
+QUICK_STREAMS = 150
+FULL_STREAMS = 1000
+
+
+# -- the brute-force reference model -------------------------------------
+
+
+class _RefBlock:
+    __slots__ = ("key", "owner", "pool_prio", "has_temp")
+
+    def __init__(self, key: BlockKey, owner: int) -> None:
+        self.key = key
+        self.owner = owner
+        self.pool_prio: Optional[int] = None
+        self.has_temp = False
+
+
+class _RefManager:
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self.file_prios: Dict[int, int] = {}
+        self.policies: Dict[int, str] = {}
+        self.pools: Dict[int, List[BlockKey]] = {}
+        self.decisions = 0
+        self.mistakes = 0
+
+    def policy_of(self, prio: int) -> str:
+        return self.policies.get(prio, "lru")
+
+    def long_term(self, file_id: int) -> int:
+        return self.file_prios.get(file_id, 0)
+
+    def add_referenced(self, block: _RefBlock) -> None:
+        prio = self.long_term(block.key[0])
+        self.pools.setdefault(prio, []).append(block.key)
+        block.pool_prio = prio
+
+    def remove(self, block: _RefBlock) -> None:
+        if block.pool_prio is not None:
+            pool = self.pools.get(block.pool_prio)
+            if pool is not None and block.key in pool:
+                pool.remove(block.key)
+        block.pool_prio = None
+        block.has_temp = False
+
+    def move(self, block: _RefBlock, prio: int) -> None:
+        if block.pool_prio == prio:
+            return
+        if block.pool_prio is not None:
+            pool = self.pools.get(block.pool_prio)
+            if pool is not None and block.key in pool:
+                pool.remove(block.key)
+        dest = self.pools.setdefault(prio, [])
+        if self.policy_of(prio) == "lru":
+            dest.append(block.key)  # replaced-later end under LRU: MRU
+        else:
+            dest.insert(0, block.key)  # ... under MRU: LRU
+        block.pool_prio = prio
+
+    def touch(self, block: _RefBlock) -> None:
+        if block.has_temp:
+            block.has_temp = False
+            if block.pool_prio is not None:
+                pool = self.pools.get(block.pool_prio)
+                if pool is not None and block.key in pool:
+                    pool.remove(block.key)
+            self.add_referenced(block)
+            return
+        if block.pool_prio is not None:
+            pool = self.pools.get(block.pool_prio)
+            if pool is not None and block.key in pool:
+                pool.remove(block.key)
+                pool.append(block.key)
+
+    def pick_replacement(self) -> Optional[BlockKey]:
+        for prio in sorted(self.pools):
+            pool = self.pools[prio]
+            if not pool:
+                continue
+            return pool[0] if self.policy_of(prio) == "lru" else pool[-1]
+        return None
+
+
+class ReferenceLruSp:
+    """Brute-force LRU-SP: one flat list per structure, rules verbatim."""
+
+    def __init__(self, nframes: int) -> None:
+        self.nframes = nframes
+        self.blocks: Dict[BlockKey, _RefBlock] = {}  # insertion = install order
+        self.global_list: List[BlockKey] = []  # index 0 = LRU end
+        self.managers: Dict[int, _RefManager] = {}
+        # placeholder: replaced-block key -> (kept key, deciding manager)
+        self.ph_by_missing: Dict[BlockKey, Tuple[BlockKey, int]] = {}
+        self.ph_by_kept: Dict[BlockKey, Set[BlockKey]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.consultations = 0
+        self.overrules = 0
+        self.swaps = 0
+
+    # -- manager lifecycle ------------------------------------------------
+
+    def register(self, pid: int) -> _RefManager:
+        m = self.managers.get(pid)
+        if m is not None:
+            return m
+        m = _RefManager(pid)
+        self.managers[pid] = m
+        for block in list(self.blocks.values()):  # adopt in install order
+            if block.owner == pid:
+                m.add_referenced(block)
+        return m
+
+    # -- directives -------------------------------------------------------
+
+    def set_priority(self, pid: int, file_id: int, prio: int) -> None:
+        m = self.register(pid)
+        if prio == 0:
+            m.file_prios.pop(file_id, None)
+        else:
+            m.file_prios[file_id] = prio
+        for block in self._file_blocks(file_id):
+            if block.owner != pid or block.has_temp:
+                continue
+            m.move(block, prio)
+
+    def set_policy(self, pid: int, prio: int, policy: str) -> None:
+        self.register(pid).policies[prio] = policy
+
+    def set_temppri(self, pid: int, file_id: int, start: int, end: int, prio: int) -> None:
+        m = self.register(pid)
+        for block in self._file_blocks(file_id):
+            if block.owner != pid or not (start <= block.key[1] <= end):
+                continue
+            m.move(block, prio)
+            block.has_temp = True
+
+    # -- the access path --------------------------------------------------
+
+    def access(self, pid: int, file_id: int, blockno: int) -> Tuple[bool, Optional[BlockKey]]:
+        key = (file_id, blockno)
+        block = self.blocks.get(key)
+        if block is not None:
+            self.hits += 1
+            if block.owner != pid:
+                self._transfer(block, pid)
+            self.global_list.remove(key)
+            self.global_list.append(key)
+            m = self.managers.get(block.owner)
+            if m is not None:
+                m.touch(block)
+            return True, None
+
+        self.misses += 1
+        evicted = None
+        if len(self.blocks) >= self.nframes:
+            evicted = self._replace(key)
+        block = _RefBlock(key, pid)
+        self.blocks[key] = block
+        self.global_list.append(key)
+        m = self.managers.get(pid)
+        if m is not None:
+            m.add_referenced(block)
+        self._drop_placeholder(key)
+        return False, evicted
+
+    # -- Section 4: the replacement procedure -----------------------------
+
+    def _replace(self, missing: BlockKey) -> BlockKey:
+        candidate = None
+        entry = self.ph_by_missing.pop(missing, None)
+        if entry is not None:
+            kept_key, manager_pid = entry
+            self._unindex_kept(kept_key, missing)
+            candidate = kept_key
+            mgr = self.managers.get(manager_pid)
+            if mgr is not None:
+                mgr.mistakes += 1
+        if candidate is None:
+            candidate = self.global_list[0]
+
+        self.consultations += 1
+        chosen = candidate
+        m = self.managers.get(self.blocks[candidate].owner)
+        if m is not None:
+            choice = m.pick_replacement()
+            if choice is not None:
+                if choice != candidate:
+                    m.decisions += 1
+                chosen = choice
+
+        if chosen != candidate:
+            self.overrules += 1
+            ci, hi = self.global_list.index(candidate), self.global_list.index(chosen)
+            self.global_list[ci], self.global_list[hi] = chosen, candidate
+            self.swaps += 1
+            self._drop_placeholder(chosen)  # a newer decision supersedes
+            self.ph_by_missing[chosen] = (candidate, self.blocks[chosen].owner)
+            self.ph_by_kept.setdefault(candidate, set()).add(chosen)
+
+        self._evict(chosen)
+        return chosen
+
+    def _evict(self, key: BlockKey) -> None:
+        self.evictions += 1
+        block = self.blocks.pop(key)
+        self.global_list.remove(key)
+        m = self.managers.get(block.owner)
+        if m is not None:
+            m.remove(block)
+        for missing in sorted(self.ph_by_kept.pop(key, ())):
+            self.ph_by_missing.pop(missing, None)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _file_blocks(self, file_id: int) -> List[_RefBlock]:
+        return [b for b in self.blocks.values() if b.key[0] == file_id]
+
+    def _transfer(self, block: _RefBlock, pid: int) -> None:
+        old = self.managers.get(block.owner)
+        if old is not None:
+            old.remove(block)
+        block.pool_prio = None
+        block.has_temp = False
+        block.owner = pid
+        m = self.managers.get(pid)
+        if m is not None:
+            m.add_referenced(block)
+
+    def _drop_placeholder(self, missing: BlockKey) -> None:
+        entry = self.ph_by_missing.pop(missing, None)
+        if entry is not None:
+            self._unindex_kept(entry[0], missing)
+
+    def _unindex_kept(self, kept: BlockKey, missing: BlockKey) -> None:
+        kept_set = self.ph_by_kept.get(kept)
+        if kept_set is not None:
+            kept_set.discard(missing)
+            if not kept_set:
+                del self.ph_by_kept[kept]
+
+    def occupancy(self) -> Dict[int, int]:
+        counts: Dict[int, int] = {}
+        for block in self.blocks.values():
+            counts[block.owner] = counts.get(block.owner, 0) + 1
+        return counts
+
+
+# -- stream generation ----------------------------------------------------
+
+
+def generate_stream(seed: int) -> Tuple[int, List[tuple]]:
+    """A (nframes, ops) pair derived only from ``seed``."""
+    rng = random.Random(seed)
+    nframes = rng.randint(3, 8)
+    ops: List[tuple] = []
+    for _ in range(rng.randint(30, 60)):
+        roll = rng.random()
+        pid = rng.randint(1, 3)
+        if roll < 0.70:
+            ops.append(("access", pid, rng.randint(1, 3), rng.randint(0, 7), rng.random() < 0.3))
+        elif roll < 0.82:
+            ops.append(("prio", pid, rng.randint(1, 3), rng.randint(-1, 3)))
+        elif roll < 0.92:
+            start = rng.randint(0, 7)
+            ops.append(("temp", pid, rng.randint(1, 3), start, rng.randint(start, 7), rng.randint(-1, 2)))
+        else:
+            ops.append(("policy", pid, rng.randint(-1, 3), rng.choice(["lru", "mru"])))
+    return nframes, ops
+
+
+# -- the differential harness ---------------------------------------------
+
+
+def run_differential(nframes: int, ops: List[tuple]) -> Optional[str]:
+    """Run ``ops`` through both implementations; the first divergence, or None."""
+    cache = make_cache(nframes=nframes, policy=LRU_SP)
+    if cache.sanitizer is None:  # REPRO_SANITIZE=1 already attached one
+        InvariantChecker(cache)
+    model = ReferenceLruSp(nframes)
+
+    for step, op in enumerate(ops):
+        if op[0] == "access":
+            _, pid, fid, blk, write = op
+            outcome = touch(cache, pid, fid, blk, write=write, whole=write)
+            got = (outcome.hit, outcome.evicted.id if outcome.evicted else None)
+            want = model.access(pid, fid, blk)
+            if got != want:
+                return f"step {step} {op}: kernel {got} != model {want}"
+        elif op[0] == "prio":
+            _, pid, fid, prio = op
+            cache.acm.set_priority(pid, fid, prio)
+            model.set_priority(pid, fid, prio)
+        elif op[0] == "policy":
+            _, pid, prio, policy = op
+            cache.acm.set_policy(pid, prio, policy)
+            model.set_policy(pid, prio, policy)
+        else:
+            _, pid, fid, start, end, prio = op
+            cache.acm.set_temppri(pid, fid, start, end, prio)
+            model.set_temppri(pid, fid, start, end, prio)
+
+        real_order = [b.id for b in cache.global_list]
+        if real_order != model.global_list:
+            return f"step {step} {op}: global order {real_order} != {model.global_list}"
+        if cache.occupancy() != model.occupancy():
+            return f"step {step} {op}: occupancy {cache.occupancy()} != {model.occupancy()}"
+        cache.check_invariants()
+
+    s = cache.stats
+    got_stats = (s.hits, s.misses, s.evictions, s.consultations, s.overrules, s.swaps)
+    want_stats = (
+        model.hits,
+        model.misses,
+        model.evictions,
+        model.consultations,
+        model.overrules,
+        model.swaps,
+    )
+    if got_stats != want_stats:
+        return f"stats (h,m,e,c,o,s): kernel {got_stats} != model {want_stats}"
+    if len(cache.placeholders) != len(model.ph_by_missing):
+        return (
+            f"placeholders: kernel {len(cache.placeholders)}"
+            f" != model {len(model.ph_by_missing)}"
+        )
+    for pid, m in model.managers.items():
+        real = cache.acm.managers.get(pid)
+        if real is None:
+            return f"manager {pid} missing from kernel"
+        real_pools = {p: [b.id for b in pool.blocks] for p, pool in real.pools.items() if len(pool)}
+        want_pools = {p: keys for p, keys in m.pools.items() if keys}
+        if real_pools != want_pools:
+            return f"manager {pid} pools: kernel {real_pools} != model {want_pools}"
+        if (real.decisions, real.mistakes) != (m.decisions, m.mistakes):
+            return (
+                f"manager {pid} decisions/mistakes: kernel"
+                f" {(real.decisions, real.mistakes)} != model {(m.decisions, m.mistakes)}"
+            )
+    return None
+
+
+def shrink(nframes: int, ops: List[tuple]) -> List[tuple]:
+    """Greedy delta-debugging: drop chunks while the divergence persists."""
+    chunk = max(1, len(ops) // 2)
+    while chunk >= 1:
+        i = 0
+        while i < len(ops):
+            trial = ops[:i] + ops[i + chunk:]
+            if trial != ops and run_differential(nframes, trial) is not None:
+                ops = trial
+            else:
+                i += chunk
+        chunk //= 2
+    return ops
+
+
+def check_seed(seed: int) -> None:
+    nframes, ops = generate_stream(seed)
+    divergence = run_differential(nframes, ops)
+    if divergence is None:
+        return
+    minimal = shrink(nframes, list(ops))
+    final = run_differential(nframes, minimal)
+    pytest.fail(
+        f"kernel/model divergence (seed={seed}, nframes={nframes}): {final}\n"
+        f"minimized stream ({len(minimal)} of {len(ops)} ops):\n"
+        + "\n".join(f"  {op!r}" for op in minimal)
+        + f"\nreplay: run_differential({nframes}, <ops above>)"
+    )
+
+
+# -- the battery ----------------------------------------------------------
+
+
+class TestModelFuzz:
+    def test_quick_battery(self):
+        """A fast sweep that always runs (CI plain jobs, local -x -q)."""
+        for seed in range(QUICK_STREAMS):
+            check_seed(seed)
+
+    @pytest.mark.slow
+    def test_thousand_stream_battery(self):
+        """The full battery of the issue: 1k seeded streams."""
+        for seed in range(FULL_STREAMS):
+            check_seed(seed)
+
+    def test_known_tricky_streams(self):
+        """Hand-picked shapes: placeholder fire, temp revert, MRU pools,
+        ownership transfer — each exercises one Section-4 clause."""
+        streams = [
+            # Overrule then miss the replaced block: the placeholder fires.
+            (2, [
+                ("prio", 1, 1, 2),
+                ("access", 1, 1, 0, False),
+                ("access", 1, 2, 0, False),
+                ("prio", 1, 2, 1),
+                ("access", 1, 3, 0, False),
+                ("access", 1, 2, 0, False),
+            ]),
+            # Temporary priority reverts on the next reference.
+            (3, [
+                ("prio", 2, 1, 3),
+                ("access", 2, 1, 0, False),
+                ("access", 2, 1, 1, True),
+                ("temp", 2, 1, 0, 7, -1),
+                ("access", 2, 1, 0, False),
+                ("access", 2, 2, 0, False),
+                ("access", 2, 2, 1, False),
+            ]),
+            # MRU pool policy: replacement comes from the other end.
+            (3, [
+                ("policy", 1, 0, "mru"),
+                ("access", 1, 1, 0, False),
+                ("access", 1, 1, 1, False),
+                ("access", 1, 1, 2, False),
+                ("access", 1, 1, 3, False),
+            ]),
+            # Ownership follows the last accessor across processes.
+            (4, [
+                ("prio", 1, 1, 1),
+                ("prio", 2, 1, 2),
+                ("access", 1, 1, 0, False),
+                ("access", 2, 1, 0, False),
+                ("access", 1, 2, 0, True),
+                ("access", 2, 3, 0, False),
+                ("access", 2, 3, 1, False),
+            ]),
+        ]
+        for nframes, ops in streams:
+            divergence = run_differential(nframes, ops)
+            assert divergence is None, divergence
+
+    def test_reference_model_is_plain_lru_when_oblivious(self):
+        """With no directives the model must reduce to global LRU."""
+        rng = random.Random(99)
+        nframes = 4
+        model = ReferenceLruSp(nframes)
+        shadow: List[BlockKey] = []
+        for _ in range(300):
+            key = (rng.randint(1, 3), rng.randint(0, 5))
+            hit, evicted = model.access(rng.randint(1, 3), key[0], key[1])
+            assert hit == (key in shadow)
+            if hit:
+                shadow.remove(key)
+            elif len(shadow) >= nframes:
+                assert evicted == shadow.pop(0)
+            shadow.append(key)
+            assert model.global_list == shadow

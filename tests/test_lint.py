@@ -233,6 +233,61 @@ class TestR006ServerLayering:
         assert findings == []
 
 
+class TestR007BareIOErrors:
+    def test_bare_oserror_raise_fires(self):
+        findings = lint(
+            "def f():\n    raise OSError('disk died')\n",
+            "repro/disk/drive.py",
+        )
+        assert rules(findings) == ["R007"]
+        assert "faults" in findings[0].message
+
+    def test_bare_ioerror_without_call_fires(self):
+        findings = lint("def f():\n    raise IOError\n", "repro/fs/syncer.py")
+        assert rules(findings) == ["R007"]
+
+    def test_faults_package_is_exempt(self):
+        findings = lint(
+            "def f():\n    raise OSError('simulated')\n",
+            "repro/faults/errors.py",
+        )
+        assert findings == []
+
+    def test_typed_fault_error_is_allowed(self):
+        findings = lint(
+            "from repro.faults import InjectedIOError\n"
+            "def f():\n    raise InjectedIOError('hda', 4, write=True, kind='error')\n",
+            "repro/kernel/system.py",
+        )
+        assert findings == []
+
+    def test_catching_oserror_is_allowed(self):
+        findings = lint(
+            "def f(path):\n"
+            "    try:\n"
+            "        open(path)\n"
+            "    except OSError:\n"
+            "        pass\n",
+            "repro/harness/cli.py",
+        )
+        assert findings == []
+
+    def test_reraise_is_allowed(self):
+        findings = lint(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except OSError:\n"
+            "        raise\n",
+            "repro/fs/filesystem.py",
+        )
+        assert findings == []
+
+    def test_outside_repro_tree_is_allowed(self):
+        findings = lint("def f():\n    raise OSError('x')\n", "tools/helper.py")
+        assert findings == []
+
+
 class TestR003Registry:
     def _write_tree(self, tmp_path, registry, extra=""):
         pkg = tmp_path / "repro" / "policies"
