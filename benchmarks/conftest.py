@@ -12,11 +12,33 @@ underlying dataset once no matter how many benchmarks consume it.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def jsonable(obj):
+    """Coerce experiment results (dataclasses, tuple-keyed grids) to plain
+    JSON types, so every benchmark emits a machine-readable record without
+    each writer inventing its own serialisation."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {
+            ("|".join(map(str, k)) if isinstance(k, tuple) else str(k)): jsonable(v)
+            for k, v in obj.items()
+        }
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -44,10 +66,18 @@ def results_dir() -> pathlib.Path:
 
 @pytest.fixture
 def save_table(results_dir):
-    """Write a rendered table next to the benchmarks for inspection."""
+    """Write a rendered table next to the benchmarks for inspection, plus a
+    machine-readable ``<name>.json`` twin: the rendered lines and, when the
+    writer passes ``data=``, the underlying result structure."""
 
-    def _save(name: str, text: str) -> None:
+    def _save(name: str, text: str, data=None) -> None:
         (results_dir / f"{name}.txt").write_text(text + "\n")
+        record = {"name": name, "lines": text.splitlines()}
+        if data is not None:
+            record["data"] = jsonable(data)
+        (results_dir / f"{name}.json").write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
         print(f"\n{text}")
 
     return _save

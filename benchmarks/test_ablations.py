@@ -26,7 +26,7 @@ from repro.workloads.readn import ReadNBehavior
 def test_policy_family_benchmark(benchmark, save_table):
     data = run_once(benchmark, ablation_policies, "cs2+gli", 6.4)
     save_table("ablation_policies", report.render_ablation(
-        data, "Allocation-policy ablation on cs2+gli @ 6.4MB"))
+        data, "Allocation-policy ablation on cs2+gli @ 6.4MB"), data=data)
     # Two-level replacement beats the original kernel however configured...
     assert data["lru-sp"][1] < data["global-lru"][1]
     # ...and the full LRU-SP beats the strawman without swapping.
@@ -36,7 +36,7 @@ def test_policy_family_benchmark(benchmark, save_table):
 def test_readahead_benchmark(benchmark, save_table):
     data = run_once(benchmark, ablation_readahead, "din", 6.4)
     save_table("ablation_readahead", report.render_ablation(
-        data, "Read-ahead ablation on din @ 6.4MB (original kernel)"))
+        data, "Read-ahead ablation on din @ 6.4MB (original kernel)"), data=data)
     with_ra, without_ra = data["readahead"], data["no-readahead"]
     # Same I/O count (read-ahead only fetches blocks the scan will use)...
     assert with_ra[1] == pytest.approx(without_ra[1], rel=0.02)
@@ -65,7 +65,7 @@ def test_revocation_benchmark(benchmark, save_table):
 
     (data, revocations) = run_once(benchmark, experiment)
     save_table("ablation_revocation", report.render_ablation(
-        data, "Revocation ablation: foolish read300 vs oblivious read490 @ 6.4MB"))
+        data, "Revocation ablation: foolish read300 vs oblivious read490 @ 6.4MB"), data=data)
     assert revocations == 1
     # Revoking the fool reduces total system I/O.
     assert data["with-revocation"][1] < data["placeholders-only"][1]
@@ -92,7 +92,7 @@ def test_disk_scheduler_benchmark(benchmark, save_table):
 
     data = run_once(benchmark, experiment)
     save_table("ablation_disk_scheduler", report.render_ablation(
-        data, "Disk-scheduler ablation on pjn+sort @ 6.4MB"))
+        data, "Disk-scheduler ablation on pjn+sort @ 6.4MB"), data=data)
     # Scheduling changes service order, not cache behaviour: I/O counts
     # stay within noise (timing shifts interleavings slightly) while the
     # position-aware schedulers win elapsed time.
@@ -124,7 +124,7 @@ def test_upcall_interface_benchmark(benchmark, save_table):
 
     data = run_once(benchmark, experiment)
     save_table("ablation_upcalls", report.render_ablation(
-        data, "Interface ablation on din @ 6.4MB: directives vs upcalls"))
+        data, "Interface ablation on din @ 6.4MB: directives vs upcalls"), data=data)
     directives, upcalls = data["directives"], data["upcalls"]
     assert upcalls[1] == directives[1]                 # identical decisions
     assert 1.03 < upcalls[0] / directives[0] < 1.20    # ~10% dearer calls
@@ -154,7 +154,7 @@ def test_writeback_policy_benchmark(benchmark, save_table):
 
     data = run_once(benchmark, experiment)
     save_table("ablation_writeback", report.render_ablation(
-        data, "Write-back ablation on sort @ 24MB (update daemon period)"))
+        data, "Write-back ablation on sort @ 24MB (update daemon period)"), data=data)
     # At 24 MB eviction pressure is low, so the daemon is the main writer:
     # a lazy one lets whole merged-and-deleted run files die in cache (a
     # third fewer block I/Os), while at 16 MB and below evictions dominate

@@ -41,7 +41,7 @@ def test_allocation_fairness_benchmark(benchmark, save_table):
 
     data = run_once(benchmark, experiment)
     save_table("extension_allocation", report.render_ablation(
-        data, "Mid-run frame allocation (of 819): oblivious read490 vs foolish read300"))
+        data, "Mid-run frame allocation (of 819): oblivious read490 vs foolish read300"), data=data)
 
     # With placeholders the oblivious reader holds essentially its full
     # 490-frame working set; without, the fool erodes it substantially.

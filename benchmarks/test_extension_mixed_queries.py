@@ -38,7 +38,7 @@ def test_mixed_queries_benchmark(benchmark, save_table):
 
     data = run_once(benchmark, experiment)
     save_table("extension_mixed_queries", report.render_ablation(
-        data, "Mixed cscope queries @ 6.4MB: static vs dynamic priorities"))
+        data, "Mixed cscope queries @ 6.4MB: static vs dynamic priorities"), data=data)
 
     oblivious, static, dynamic = data["oblivious"], data["static-mru"], data["dynamic-repri"]
     # Any application control beats the original kernel...

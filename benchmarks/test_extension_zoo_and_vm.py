@@ -30,7 +30,7 @@ def test_policy_zoo_benchmark(benchmark, save_table):
     lines += [header, "-" * len(header)]
     for name in policies:
         lines.append(f"{name:>8}" + "".join(f"{data[k][name]:9d}" for k in ZOO_APPS))
-    save_table("extension_policy_zoo", "\n".join(lines))
+    save_table("extension_policy_zoo", "\n".join(lines), data=data)
 
     for kind in ZOO_APPS:
         misses = data[kind]
@@ -71,7 +71,7 @@ def test_vm_two_level_benchmark(benchmark, save_table):
 
     data = run_once(benchmark, experiment)
     save_table("extension_vm", report.render_ablation(
-        data, "VM paging: index probes + data scans @ 16 frames (faults)"))
+        data, "VM paging: index probes + data scans @ 16 frames (faults)"), data=data)
     plain = data["two-hand-clock"][1]
     advised = data["with-region-advice"][1]
     # The 64-page scan through 16 frames must fault every time (6*64) and

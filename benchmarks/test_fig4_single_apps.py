@@ -24,7 +24,7 @@ def fig4():
 
 def test_fig4_benchmark(benchmark, save_table):
     data = run_once(benchmark, fig4_single_apps, APP_ORDER, CACHE_SIZES_MB)
-    save_table("fig4", report.render_fig4(data))
+    save_table("fig4", report.render_fig4(data), data=data)
     # Core shapes, asserted here too so --benchmark-only runs still verify
     # (the TestShapes class below is skipped in that mode):
     assert data["din"][6.4].io_ratio < 0.45

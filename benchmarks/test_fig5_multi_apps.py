@@ -20,7 +20,7 @@ def fig5():
 
 def test_fig5_benchmark(benchmark, save_table):
     data = run_once(benchmark, fig5_multi_apps, FIG5_MIXES, CACHE_SIZES_MB)
-    save_table("fig5", report.render_mixes(data, "Figure 5"))
+    save_table("fig5", report.render_mixes(data, "Figure 5"), data=data)
     for mix in FIG5_MIXES:
         for mb in CACHE_SIZES_MB:
             assert data[mix][mb].io_ratio < 1.0, (mix, mb)

@@ -20,7 +20,7 @@ def fig6():
 
 def test_fig6_benchmark(benchmark, save_table):
     data = run_once(benchmark, fig6_alloc_lru, FIG6_MIXES, CACHE_SIZES_MB)
-    save_table("fig6", report.render_mixes(data, "Figure 6"))
+    save_table("fig6", report.render_mixes(data, "Figure 6"), data=data)
     for mix in FIG6_MIXES:
         assert data[mix][6.4].io_ratio > 1.0, mix
 

@@ -24,7 +24,7 @@ def table1():
 
 def test_table1_benchmark(benchmark, save_table):
     data = run_once(benchmark, table1_placeholders, TABLE1_READN, 6.4)
-    save_table("table1", "Table 1: placeholder protection\n" + report.render_table1(data))
+    save_table("table1", "Table 1: placeholder protection\n" + report.render_table1(data), data=data)
     for n in (490, 500):
         assert data["unprotected"][n].block_ios > data["oblivious"][n].block_ios * 1.5
         assert data["protected"][n].block_ios <= data["oblivious"][n].block_ios * 1.1

@@ -21,7 +21,7 @@ def table2():
 
 def test_table2_benchmark(benchmark, save_table):
     data = run_once(benchmark, table2_foolish, TABLE2_APPS, 6.4)
-    save_table("table2", "Table 2: effect of a foolish process\n" + report.render_table2(data))
+    save_table("table2", "Table 2: effect of a foolish process\n" + report.render_table2(data), data=data)
     for app in TABLE2_APPS:
         assert data["foolish"][app].elapsed > data["oblivious"][app].elapsed * 1.05, app
         assert data["foolish"][app].block_ios <= data["oblivious"][app].block_ios * 1.15, app

@@ -25,6 +25,7 @@ def test_table3_benchmark(benchmark, save_table):
         "table3",
         "Table 3: Read300 next to oblivious/smart apps (one disk)\n"
         + report.render_table34(data, PAPER_TABLE3),
+        data=data,
     )
     for app in TABLE2_APPS:
         assert data["smart"][app].read300_elapsed <= data["oblivious"][app].read300_elapsed * 1.1

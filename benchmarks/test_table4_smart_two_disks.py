@@ -23,6 +23,7 @@ def test_table4_benchmark(benchmark, save_table):
     save_table(
         "table4",
         "Table 4: Read300 on its own disk\n" + report.render_table34(data, PAPER_TABLE4),
+        data=data,
     )
     for mode in ("oblivious", "smart"):
         for app in TABLE2_APPS:

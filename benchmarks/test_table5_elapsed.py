@@ -20,7 +20,7 @@ def data():
 
 def test_table5_benchmark(benchmark, save_table, data):
     table = run_once(benchmark, fig4_single_apps, APP_ORDER, CACHE_SIZES_MB)
-    save_table("table5", "Table 5: elapsed time (s)\n" + report.render_table56(table, "elapsed"))
+    save_table("table5", "Table 5: elapsed time (s)\n" + report.render_table56(table, "elapsed"), data=table)
 
 
 class TestElapsedTrends:

@@ -20,7 +20,7 @@ def data():
 
 def test_table6_benchmark(benchmark, save_table, data):
     table = run_once(benchmark, fig4_single_apps, APP_ORDER, CACHE_SIZES_MB)
-    save_table("table6", "Table 6: block I/Os\n" + report.render_table56(table, "ios"))
+    save_table("table6", "Table 6: block I/Os\n" + report.render_table56(table, "ios"), data=table)
 
 
 class TestAbsoluteCounts:

@@ -31,6 +31,12 @@ R007  Code under ``repro/`` outside ``repro/faults`` may not raise bare
       exceptions of :mod:`repro.faults.errors`, so recovery code can tell
       an injected fault from a real host-filesystem problem.  (Catching
       OS errors from genuine host I/O remains fine.)
+R008  Instrumentation goes through :mod:`repro.telemetry`: library code
+      under ``repro/`` may not keep ad-hoc counter dicts (string-literal-
+      keyed ``x["hits"] += 1`` bumps) and may not ``print()``.  Counters
+      belong in the metrics registry (or a named attribute on a stats
+      class); human output belongs to the CLI layers (``repro/harness``,
+      ``repro/check``, the serve/metrics entry points), which are exempt.
 
 Usage::
 
@@ -109,6 +115,13 @@ SERVER_FORBIDDEN_MODULES = ("repro.kernel", "repro.core")
 FAULTS_DIR = "repro/faults/"
 BARE_IO_EXCEPTIONS = frozenset({"OSError", "IOError"})
 
+#: R008: counters live in the telemetry registry; only the telemetry
+#: package itself may build raw string-keyed counter bumps.
+COUNTER_DICT_EXEMPT_DIRS = ("repro/telemetry/",)
+#: ...and print() is reserved for the CLI/report layers.
+PRINT_EXEMPT_DIRS = ("repro/telemetry/", "repro/harness/", "repro/check/")
+PRINT_EXEMPT_FILES = frozenset({"repro/server/daemon.py"})  # serve CLI status lines
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -144,7 +157,7 @@ MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
 
 
 class _FileLinter(ast.NodeVisitor):
-    """Runs the per-file rules (R001, R002, R004, R005) over one module."""
+    """Runs the per-file rules (R001, R002, R004–R008) over one module."""
 
     def __init__(self, relpath: str) -> None:
         self.relpath = relpath
@@ -185,6 +198,19 @@ class _FileLinter(ast.NodeVisitor):
                             f"'{dotted}' uses the unseeded module-level RNG — "
                             "construct random.Random(seed) instead",
                         )
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "print"
+            and self.relpath.startswith("repro/")
+            and not _in_dirs(self.relpath, PRINT_EXEMPT_DIRS)
+            and self.relpath not in PRINT_EXEMPT_FILES
+        ):
+            self._add(
+                "R008",
+                node,
+                "print() in library code — human output belongs to the CLI "
+                "layers; instrumentation goes through repro.telemetry",
+            )
         if (
             isinstance(func, ast.Name)
             and func.id == "isinstance"
@@ -268,6 +294,67 @@ class _FileLinter(ast.NodeVisitor):
                     f"raise of bare '{name}' outside repro/faults — simulated "
                     "I/O failures must use the typed exceptions of "
                     "repro.faults.errors (InjectedIOError and friends)",
+                )
+        self.generic_visit(node)
+
+    # R008: ad-hoc counter dicts ----------------------------------------
+
+    def _counter_dicts_banned(self) -> bool:
+        return self.relpath.startswith("repro/") and not _in_dirs(
+            self.relpath, COUNTER_DICT_EXEMPT_DIRS
+        )
+
+    @staticmethod
+    def _str_subscript(node: ast.expr) -> Optional[str]:
+        """The literal key of ``x["key"]``, else None."""
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            return node.slice.value
+        return None
+
+    @staticmethod
+    def _is_number(node: ast.expr) -> bool:
+        return isinstance(node, ast.Constant) and isinstance(node.value, (int, float))
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        key = self._str_subscript(node.target)
+        if (
+            self._counter_dicts_banned()
+            and key is not None
+            and isinstance(node.op, ast.Add)
+            and self._is_number(node.value)
+        ):
+            self._add(
+                "R008",
+                node,
+                f"ad-hoc counter bump on string key '{key}' — counters belong "
+                "in the repro.telemetry registry (or a named attribute on a "
+                "stats class)",
+            )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # x["k"] = x.get("k", 0) + 1 — the defaulting twin of the += bump.
+        if self._counter_dicts_banned() and isinstance(node.value, ast.BinOp):
+            keys = [self._str_subscript(t) for t in node.targets]
+            key = next((k for k in keys if k is not None), None)
+            sides = (node.value.left, node.value.right)
+            uses_get = any(
+                isinstance(side, ast.Call)
+                and isinstance(side.func, ast.Attribute)
+                and side.func.attr in ("get", "setdefault")
+                for side in sides
+            )
+            if key is not None and isinstance(node.value.op, ast.Add) and uses_get:
+                self._add(
+                    "R008",
+                    node,
+                    f"ad-hoc counter bump on string key '{key}' — counters "
+                    "belong in the repro.telemetry registry (or a named "
+                    "attribute on a stats class)",
                 )
         self.generic_visit(node)
 

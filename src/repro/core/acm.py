@@ -281,6 +281,9 @@ class ACM:
         #: optional repro.faults.FaultInjector simulating manager
         #: misbehaviour at the consultation boundary.
         self.injector: Optional[Any] = None
+        #: optional repro.telemetry.Telemetry; revocations and injected
+        #: manager misbehaviour annotate the active trace span.
+        self.telemetry: Optional[Any] = None
         self.revocations = 0
         # Concurrently shared files (the paper's future-work item): a file
         # may have a *designated* manager; other processes' accesses then
@@ -385,6 +388,8 @@ class ACM:
 
     def _manager_misbehaved(self, m: Manager, kind: str) -> None:
         """Tally one injected misbehaviour; revoke past the tolerance."""
+        if self.telemetry is not None:
+            self.telemetry.annotate("fault.manager", pid=m.pid, kind=kind)
         if kind == "forced":
             self._revoke_for_faults(m)
             return
@@ -397,6 +402,8 @@ class ACM:
             return
         m.revoke()
         self.revocations += 1
+        if self.telemetry is not None:
+            self.telemetry.annotate("acm.revoked", pid=m.pid, reason="faults")
         if self.injector is not None:
             self.injector.note_manager_revoked()
 
@@ -410,6 +417,10 @@ class ACM:
         if self.revocation is not None and self.revocation.should_revoke(m.decisions, m.mistakes):
             m.revoke()
             self.revocations += 1
+            if self.telemetry is not None:
+                self.telemetry.annotate(
+                    "acm.revoked", pid=m.pid, reason="mistakes"
+                )
 
     # -- concurrently shared files ---------------------------------------------
 

@@ -121,6 +121,12 @@ class BufferCache:
         #: it observes the semantic events below and sweeps the structures
         #: after every public operation.
         self.sanitizer = None
+        #: optional repro.telemetry.Telemetry; same contract as the
+        #: sanitizer — None means every hook below costs one attribute
+        #: test.  Cache-wide counters are exported by a scrape-time
+        #: collector reading ``stats``/``per_pid``; only spans and the
+        #: consultation-latency histogram touch the access path.
+        self.telemetry = None
 
     # -- queries ----------------------------------------------------------
 
@@ -186,6 +192,16 @@ class BufferCache:
         counters.accesses += 1
         bid = (file_id, blockno)
         block = self._blocks.get(bid)
+        tel = self.telemetry
+        span = None
+        if tel is not None and tel.tracer is not None:
+            span = tel.tracer.begin(
+                "buf.access",
+                layer="kernel",
+                pid=pid,
+                block=f"{file_id}:{blockno}",
+                write=write,
+            )
 
         if block is not None:
             self.stats.hits += 1
@@ -202,6 +218,8 @@ class BufferCache:
                     block.dirty_since = self.clock()
             if self.sanitizer is not None:
                 self.sanitizer.verify("access", block)
+            if span is not None:
+                tel.tracer.finish(span, hit=True)
             return AccessOutcome(hit=True, block=block, must_wait=block.in_flight)
 
         # Miss: claim a frame (possibly evicting), then decide whether the
@@ -210,7 +228,12 @@ class BufferCache:
         counters.misses += 1
         evicted = None
         if len(self._blocks) >= self.nframes:
-            evicted = self._replace(bid)
+            try:
+                evicted = self._replace(bid)
+            except Exception:
+                if span is not None:
+                    tel.tracer.finish(span, error=True)
+                raise
         home = self.acm.home_pid_for(pid, file_id)
         block = CacheBlock(file_id, blockno, lba=lba, disk=disk, owner_pid=home)
         needs_read = not (write and whole)
@@ -221,6 +244,8 @@ class BufferCache:
         self._install(block)
         if self.sanitizer is not None:
             self.sanitizer.verify("access", block)
+        if span is not None:
+            tel.tracer.finish(span, hit=False, read_needed=needs_read)
         return AccessOutcome(
             hit=False,
             block=block,
@@ -334,7 +359,29 @@ class BufferCache:
         chosen = candidate
         if self.policy.consult:
             self.stats.consultations += 1
-            chosen = self.acm.replace_block(candidate, missing_id)
+            tel = self.telemetry
+            if tel is None:
+                chosen = self.acm.replace_block(candidate, missing_id)
+            else:
+                # Time the consultation in *wall* seconds (it is real CPU
+                # spent in manager logic) and scope a span so injected
+                # manager faults annotate this decision.  Span calls are
+                # gated here rather than via tel.span() so the metrics-only
+                # mode pays no kwargs construction per consultation.
+                tracer = tel.tracer
+                cspan = (
+                    tracer.begin("acm.consult", layer="acm", pid=candidate.owner_pid)
+                    if tracer is not None
+                    else None
+                )
+                wall = tel.wall
+                t0 = wall()
+                try:
+                    chosen = self.acm.replace_block(candidate, missing_id)
+                finally:
+                    tel.upcall_latency.observe(wall() - t0)
+                    if cspan is not None:
+                        tracer.finish(cspan, overruled=chosen is not candidate)
             if chosen.in_flight or not chosen.resident:
                 # Defensive: a manager must hand back a replaceable block.
                 chosen = candidate

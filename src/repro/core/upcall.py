@@ -160,6 +160,8 @@ class UpcallACM(ACM):
         misbehaving managers); the revoked marker persists so later
         registration attempts get :class:`RevokedError`.
         """
+        if self.telemetry is not None:
+            self.telemetry.annotate("fault.upcall_handler", pid=pid)
         self._handlers.pop(pid, None)
         self.handler_failures += 1
         m = self.managers.get(pid)

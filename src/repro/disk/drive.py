@@ -40,6 +40,9 @@ class DiskRequest:
         "on_error",
         "attempt",
         "fault",
+        "trace_ctx",
+        "span",
+        "service",
     )
 
     def __init__(
@@ -72,6 +75,14 @@ class DiskRequest:
         self.attempt = attempt
         #: the injected fate of the current attempt (set at service start)
         self.fault = None
+        #: the span that was active when the request was submitted; disk
+        #: service completes asynchronously, so the parent link is carried
+        #: on the request instead of the tracer's context stack
+        self.trace_ctx = None
+        #: the request's own service span (set at service start)
+        self.span = None
+        #: simulated service time accumulated so far (positioning phase)
+        self.service = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "W" if self.write else "R"
@@ -117,6 +128,10 @@ class DiskDrive:
         self.scheduler = scheduler or FCFSScheduler()
         #: optional repro.faults.FaultInjector deciding request fates
         self.injector = injector
+        #: optional repro.telemetry.Telemetry (spans + service histogram);
+        #: ``service_hist`` is the pre-bound per-drive histogram child
+        self.telemetry = None
+        self.service_hist = None
         self.stats = DiskStats()
         self._queue: List[DiskRequest] = []
         self._busy = False
@@ -133,6 +148,9 @@ class DiskDrive:
     def submit(self, request: DiskRequest) -> None:
         """Queue a request; ``request.on_done`` fires at completion."""
         request.submit_time = self.engine.now
+        tel = self.telemetry
+        if tel is not None and tel.tracer is not None and request.trace_ctx is None:
+            request.trace_ctx = tel.tracer.current
         self._queue.append(request)
         if not self._busy:
             self._start_next()
@@ -166,17 +184,17 @@ class DiskDrive:
         The attempt number climbs so rate-based faults respect the plan's
         ``max_disk_retries`` budget; scheduled bad sectors keep failing.
         """
-        self.submit(
-            DiskRequest(
-                req.lba,
-                req.nblocks,
-                write=req.write,
-                on_done=req.on_done,
-                pid=req.pid,
-                on_error=req.on_error,
-                attempt=req.attempt + 1,
-            )
+        again = DiskRequest(
+            req.lba,
+            req.nblocks,
+            write=req.write,
+            on_done=req.on_done,
+            pid=req.pid,
+            on_error=req.on_error,
+            attempt=req.attempt + 1,
         )
+        again.trace_ctx = req.trace_ctx
+        self.submit(again)
 
     # -- internal service machinery -------------------------------------
 
@@ -185,15 +203,38 @@ class DiskDrive:
         req = self.scheduler.pick(self._queue, self._head_lba)
         self.stats.wait_time += self.engine.now - req.submit_time
         positioning = self.model.positioning_time(self._head_lba, req.lba)
-        req.fault = (
-            self.injector.disk_fault(self.name, req.lba, req.write, req.attempt)
-            if self.injector is not None
-            else None
-        )
+        tel = self.telemetry
+        if tel is not None and tel.tracer is not None and req.trace_ctx is not None:
+            req.span = tel.tracer.start_span(
+                "disk.write" if req.write else "disk.read",
+                parent=req.trace_ctx,
+                layer="disk",
+                disk=self.name,
+                lba=req.lba,
+                nblocks=req.nblocks,
+                attempt=req.attempt,
+                sched=self.scheduler.name,
+            )
+        if self.injector is not None:
+            # Scope the request's span so the injector's fault decision
+            # annotates *this* service attempt.
+            if req.span is not None:
+                tel.tracer.push(req.span)
+                try:
+                    req.fault = self.injector.disk_fault(
+                        self.name, req.lba, req.write, req.attempt
+                    )
+                finally:
+                    tel.tracer.pop(req.span)
+            else:
+                req.fault = self.injector.disk_fault(
+                    self.name, req.lba, req.write, req.attempt
+                )
         if req.fault is not None and req.fault.kind == "stall":
             # A stall is pure extra latency on the drive-private phase.
             positioning += req.fault.delay_s
         self.stats.busy_time += positioning
+        req.service = positioning
         self.engine.after(positioning, self._begin_transfer, req)
 
     def _begin_transfer(self, req: DiskRequest) -> None:
@@ -208,6 +249,14 @@ class DiskDrive:
         self.stats.busy_time += xfer
         self._head_lba = req.lba + req.nblocks
         fault = req.fault
+        req.service += xfer
+        if self.service_hist is not None:
+            self.service_hist.observe(req.service)
+        if req.span is not None:
+            req.span.end(
+                ok=not (fault is not None and fault.kind in ("error", "torn")),
+                service=req.service,
+            )
         if fault is not None and fault.kind in ("error", "torn"):
             # The attempt consumed drive time but the data did not make it;
             # recovery (retry, requeue, give up) is the submitter's call.

@@ -28,16 +28,33 @@ class DiskScheduler(Protocol):
         ...  # pragma: no cover - protocol
 
 
-class FCFSScheduler:
+class SchedulerStats:
+    """Decision accounting shared by the concrete schedulers: how many
+    picks were made and the deepest queue ever seen at a decision point.
+    Exported per drive by the telemetry disk collector."""
+
+    def __init__(self) -> None:
+        self.picks = 0
+        self.max_depth = 0
+
+    def _note_pick(self, queue: List) -> None:
+        self.picks += 1
+        depth = len(queue)
+        if depth > self.max_depth:
+            self.max_depth = depth
+
+
+class FCFSScheduler(SchedulerStats):
     """First-come first-served: always the oldest request."""
 
     name = "fcfs"
 
     def pick(self, queue: List, head_lba: int) -> object:
+        self._note_pick(queue)
         return queue.pop(0)
 
 
-class SSTFScheduler:
+class SSTFScheduler(SchedulerStats):
     """Shortest-seek-time-first: the request closest to the head.
 
     Ties break toward the earlier arrival so the schedule stays
@@ -47,9 +64,11 @@ class SSTFScheduler:
     name = "sstf"
 
     def __init__(self, params: DiskParams) -> None:
+        super().__init__()
         self.params = params
 
     def pick(self, queue: List, head_lba: int) -> object:
+        self._note_pick(queue)
         head_cyl = self.params.cylinder_of(max(0, head_lba))
         best_i = 0
         best_d = None
@@ -61,7 +80,7 @@ class SSTFScheduler:
         return queue.pop(best_i)
 
 
-class CLookScheduler:
+class CLookScheduler(SchedulerStats):
     """C-LOOK: sweep upward through pending requests, wrap to the lowest.
 
     Deterministic and starvation-free, unlike SSTF.
@@ -70,9 +89,11 @@ class CLookScheduler:
     name = "clook"
 
     def __init__(self, params: DiskParams) -> None:
+        super().__init__()
         self.params = params
 
     def pick(self, queue: List, head_lba: int) -> object:
+        self._note_pick(queue)
         head_cyl = self.params.cylinder_of(max(0, head_lba))
         ahead_i: Optional[int] = None
         ahead_cyl: Optional[int] = None

@@ -82,6 +82,11 @@ class FaultInjector:
         self.plan = plan or FaultPlan()
         self._rng = random.Random(self.plan.seed)
         self.stats = FaultStats()
+        #: optional repro.telemetry.Telemetry: every injected fault then
+        #: annotates the trace span active at the decision point (the
+        #: drive scopes its request span around ``disk_fault``), so a
+        #: request's trace shows exactly which attempt the fault ate.
+        self.telemetry = None
         # Remaining hit counts of scheduled block faults (-1 = unbounded).
         self._block_budget: Dict[int, int] = {
             i: bf.count for i, bf in enumerate(self.plan.block_faults)
@@ -128,6 +133,8 @@ class FaultInjector:
     def _record_disk(self, kind: str, write: bool) -> Optional[DiskFault]:
         if kind == "torn" and not write:
             kind = "error"  # a scheduled torn fault degrades to error on reads
+        if self.telemetry is not None:
+            self.telemetry.annotate("fault.disk", kind=kind, write=write)
         if kind == "error":
             self.stats.disk_errors += 1
             return DiskFault("error")

@@ -58,6 +58,9 @@ class UpdateDaemon:
         self.on_flush = on_flush
         #: optional repro.faults.FaultInjector (recovery accounting)
         self.injector = injector
+        #: optional repro.telemetry.Telemetry; each flush pass gets a span
+        #: so its writeback disk requests trace back to the daemon tick
+        self.telemetry = None
         self.flushes = 0
         #: writebacks abandoned after exhausting the retry budget
         self.lost_writes = 0
@@ -94,29 +97,35 @@ class UpdateDaemon:
 
     def _flush(self, want: Callable[[CacheBlock], bool]) -> int:
         count = 0
-        for block in self.cache.dirty_blocks():
-            if not want(block):
-                continue
-            drive = self.disks.get(block.disk)
-            if drive is None:
-                # A file whose disk is not simulated (shouldn't happen in a
-                # wired-up system); just mark it clean.
+        tel = self.telemetry
+        span = None if tel is None else tel.span("syncer.flush", layer="fs")
+        try:
+            for block in self.cache.dirty_blocks():
+                if not want(block):
+                    continue
+                drive = self.disks.get(block.disk)
+                if drive is None:
+                    # A file whose disk is not simulated (shouldn't happen in a
+                    # wired-up system); just mark it clean.
+                    self.cache.mark_clean(block)
+                    continue
+                # Mark clean at submit time: a re-dirtying write after this
+                # point legitimately schedules another flush later.
                 self.cache.mark_clean(block)
-                continue
-            # Mark clean at submit time: a re-dirtying write after this
-            # point legitimately schedules another flush later.
-            self.cache.mark_clean(block)
-            drive.write(
-                block.lba,
-                1,
-                on_done=None,
-                pid=block.owner_pid,
-                on_error=lambda req, fault, b=block, d=drive: self._writeback_failed(d, req, fault, b),
-            )
-            if self.on_flush is not None:
-                self.on_flush(block)
-            count += 1
-            self.flushes += 1
+                drive.write(
+                    block.lba,
+                    1,
+                    on_done=None,
+                    pid=block.owner_pid,
+                    on_error=lambda req, fault, b=block, d=drive: self._writeback_failed(d, req, fault, b),
+                )
+                if self.on_flush is not None:
+                    self.on_flush(block)
+                count += 1
+                self.flushes += 1
+        finally:
+            if span is not None:
+                tel.end(span, flushed=count)
         return count
 
     def _writeback_failed(self, drive: DiskDrive, req: DiskRequest, fault: object, block: CacheBlock) -> None:

@@ -8,6 +8,7 @@ Examples::
     repro-accfc check                # protocol lint + sanitized smoke run
     repro-accfc serve --port 7481    # run the multi-client cache daemon
     repro-accfc serve --faults plan.json   # ... under an injected-fault plan
+    repro-accfc metrics --port 7481  # scrape a running daemon (Prometheus text)
     repro-accfc all                  # everything (several minutes)
 """
 
@@ -183,6 +184,48 @@ _EXPERIMENTS = {
 }
 
 
+def metrics_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-accfc metrics``: scrape a running daemon."""
+    import asyncio
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro-accfc metrics",
+        description="Fetch telemetry from a running cache daemon and print it.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="daemon TCP address")
+    parser.add_argument("--port", type=int, help="daemon TCP port")
+    parser.add_argument("--unix", metavar="PATH", help="daemon Unix socket instead of TCP")
+    parser.add_argument(
+        "--format",
+        choices=("prometheus", "json", "trace", "both"),
+        default="prometheus",
+        help="prometheus text exposition (default), JSON snapshot, retained trace spans, or both",
+    )
+    args = parser.parse_args(argv)
+    if not args.unix and not args.port:
+        parser.error("one of --port or --unix is required")
+
+    async def scrape() -> int:
+        from repro.server.client import CacheClient
+
+        if args.unix:
+            client = await CacheClient.connect_unix(args.unix, name="metrics-cli")
+        else:
+            client = await CacheClient.connect_tcp(args.host, args.port, name="metrics-cli")
+        try:
+            reply = await client.metrics(format=args.format)
+        finally:
+            await client.aclose()
+        if args.format == "prometheus":
+            print(reply.get("text", ""), end="")
+        else:
+            print(json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+
+    return asyncio.run(scrape())
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -192,10 +235,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.server.daemon import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "metrics":
+        return metrics_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-accfc",
         description="Regenerate the figures and tables of 'Application-Controlled File Caching' (OSDI '94). "
-        "The extra subcommand 'serve' (repro-accfc serve --help) runs the multi-client cache daemon.",
+        "The extra subcommands 'serve' and 'metrics' (repro-accfc serve --help) run and "
+        "scrape the multi-client cache daemon.",
     )
     parser.add_argument(
         "experiment",

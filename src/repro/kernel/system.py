@@ -81,6 +81,11 @@ class MachineConfig:
     #: machine's cache.  None follows the REPRO_SANITIZE environment flag;
     #: True/False override it either way.
     sanitize: Optional[bool] = None
+    #: attach a repro.telemetry.Telemetry bundle to this machine's layers
+    #: (metrics registry + scrape collectors; spans only when the caller
+    #: passes a Telemetry with a Tracer to :class:`System`).  None follows
+    #: the REPRO_TELEMETRY environment flag; True/False override it.
+    telemetry: Optional[bool] = None
 
     @property
     def sanitize_effective(self) -> bool:
@@ -90,6 +95,15 @@ class MachineConfig:
         from repro.check.invariants import sanitize_enabled
 
         return sanitize_enabled()
+
+    @property
+    def telemetry_effective(self) -> bool:
+        """Whether this configuration enables the telemetry subsystem."""
+        if self.telemetry is not None:
+            return self.telemetry
+        from repro.telemetry import telemetry_enabled
+
+        return telemetry_enabled()
 
     @property
     def cache_frames(self) -> int:
@@ -129,6 +143,8 @@ class SystemResult:
     occupancy_samples: List = field(default_factory=list)
     #: fault-injection accounting (None when the run had no fault plan)
     faults: Optional[Dict[str, object]] = None
+    #: final metrics snapshot (None when the run had no telemetry)
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def total_block_ios(self) -> int:
@@ -154,6 +170,7 @@ class System:
         config: Optional[MachineConfig] = None,
         acm: Optional[ACM] = None,
         trace_recorder: Optional[Any] = None,
+        telemetry: Optional[Any] = None,
     ) -> None:
         self.config = config or MachineConfig()
         self.engine = Engine()
@@ -202,6 +219,16 @@ class System:
         #: optional repro.trace.TraceRecorder capturing the global-order
         #: reference stream (accesses + directives) of this run
         self.trace_recorder = trace_recorder
+        #: optional repro.telemetry.Telemetry observing every layer; an
+        #: explicit bundle wins (it may carry a Tracer), otherwise the
+        #: config/environment flag builds a metrics-only one.
+        self.telemetry: Optional[Any] = telemetry
+        if self.telemetry is None and self.config.telemetry_effective:
+            from repro.telemetry import Telemetry
+
+            self.telemetry = Telemetry()
+        if self.telemetry is not None:
+            self._wire_telemetry()
         self.occupancy_samples: List[Tuple[float, Dict[int, int]]] = []
         self._procs: List[SimProcess] = []
         self._by_pid: Dict[int, SimProcess] = {}
@@ -209,6 +236,31 @@ class System:
         self._active = 0
         self._makespan: Optional[float] = None
         self._ran = False
+
+    def _wire_telemetry(self) -> None:
+        """Attach the bundle to every layer and register the collectors."""
+        from repro.telemetry import attach_standard_collectors
+
+        tel = self.telemetry
+        tracer = tel.tracer
+        if tracer is not None and tracer.default_clock:
+            # Spans of a simulated machine carry simulated timestamps.
+            tracer.clock = lambda: self.engine.now
+        self.cache.telemetry = tel
+        self.acm.telemetry = tel
+        self.syncer.telemetry = tel
+        for drive in self.drives.values():
+            drive.telemetry = tel
+            drive.service_hist = tel.disk_service.labels(disk=drive.name)
+        if self.injector is not None:
+            self.injector.telemetry = tel
+        attach_standard_collectors(
+            tel,
+            cache=self.cache,
+            acm=self.acm,
+            drives=self.drives,
+            injector=self.injector,
+        )
 
     # -- setup ----------------------------------------------------------
 
@@ -329,12 +381,28 @@ class System:
         lba = f.lba_of(op.blockno)
         if self.trace_recorder is not None:
             self.trace_recorder.record_access(proc.pid, op.path, op.blockno, False, False)
-        before = getattr(self.acm, "upcalls", 0)
-        outcome = self.cache.access(proc.pid, f.file_id, op.blockno, lba, f.disk, write=False)
-        self._charge_upcalls(proc, before)
-        self._account_access(proc, outcome)
-        self._maybe_readahead(proc, f, op.blockno)
-        self._continue_access(proc, outcome, f.disk)
+        tel = self.telemetry
+        span = None
+        if tel is not None and tel.tracer is not None:
+            span = tel.tracer.begin(
+                "kernel.read",
+                layer="kernel",
+                pid=proc.pid,
+                path=op.path,
+                blockno=op.blockno,
+            )
+        try:
+            before = getattr(self.acm, "upcalls", 0)
+            outcome = self.cache.access(
+                proc.pid, f.file_id, op.blockno, lba, f.disk, write=False
+            )
+            self._charge_upcalls(proc, before)
+            self._account_access(proc, outcome)
+            self._maybe_readahead(proc, f, op.blockno)
+            self._continue_access(proc, outcome, f.disk)
+        finally:
+            if span is not None:
+                tel.tracer.finish(span)
 
     def _maybe_readahead(self, proc: SimProcess, f: File, blockno: int) -> None:
         """One-block sequential read-ahead, like the Ultrix buffer cache.
@@ -384,13 +452,27 @@ class System:
         lba = self.fs.ensure_block(f, op.blockno)
         if self.trace_recorder is not None:
             self.trace_recorder.record_access(proc.pid, op.path, op.blockno, True, op.whole)
-        before = getattr(self.acm, "upcalls", 0)
-        outcome = self.cache.access(
-            proc.pid, f.file_id, op.blockno, lba, f.disk, write=True, whole=op.whole
-        )
-        self._charge_upcalls(proc, before)
-        self._account_access(proc, outcome)
-        self._continue_access(proc, outcome, f.disk)
+        tel = self.telemetry
+        span = None
+        if tel is not None and tel.tracer is not None:
+            span = tel.tracer.begin(
+                "kernel.write",
+                layer="kernel",
+                pid=proc.pid,
+                path=op.path,
+                blockno=op.blockno,
+            )
+        try:
+            before = getattr(self.acm, "upcalls", 0)
+            outcome = self.cache.access(
+                proc.pid, f.file_id, op.blockno, lba, f.disk, write=True, whole=op.whole
+            )
+            self._charge_upcalls(proc, before)
+            self._account_access(proc, outcome)
+            self._continue_access(proc, outcome, f.disk)
+        finally:
+            if span is not None:
+                tel.tracer.finish(span)
 
     def _charge_upcalls(self, proc: SimProcess, upcalls_before: int) -> None:
         """Upcall-based managers pay per kernel/user crossing — the cost
@@ -566,6 +648,9 @@ class System:
         if self.injector is not None:
             fault_snapshot = self.injector.snapshot()
             fault_snapshot["lost_writes"] = self.lost_writes + self.syncer.lost_writes
+        telemetry_snapshot = (
+            self.telemetry.snapshot() if self.telemetry is not None else None
+        )
         return SystemResult(
             occupancy_samples=self.occupancy_samples,
             makespan=self._makespan if self._makespan is not None else self.engine.now,
@@ -579,4 +664,5 @@ class System:
             disk_stats=disk_stats,
             revocations=self.acm.revocations,
             faults=fault_snapshot,
+            telemetry=telemetry_snapshot,
         )

@@ -66,7 +66,7 @@ DEFAULT_CLIENT_WINDOW = 16
 #: ``hello``/``stats`` are pure).  ``write``/``set_*`` are excluded — a
 #: duplicate would double-apply side effects the first delivery had.
 IDEMPOTENT_VERBS = frozenset(
-    {"ping", "hello", "stats", "read", "open", "get_priority", "get_policy"}
+    {"ping", "hello", "stats", "metrics", "read", "open", "get_priority", "get_policy"}
 )
 
 
@@ -373,6 +373,10 @@ class CacheClient:
     async def stats(self) -> Dict[str, Any]:
         """The live server/cache/per-session statistics snapshot."""
         return await self.call("stats")
+
+    async def metrics(self, format: str = "json") -> Dict[str, Any]:
+        """Exported telemetry: ``json``, ``prometheus``, ``trace`` or ``both``."""
+        return await self.call("metrics", format=format)
 
     async def aclose(self) -> None:
         """Polite shutdown: ``close`` the session, then drop the transport."""

@@ -61,11 +61,12 @@ class CacheDaemon:
         window: int = DEFAULT_WINDOW,
         global_limit: int = DEFAULT_GLOBAL_LIMIT,
         trace_recorder: Optional[Any] = None,
+        telemetry: Optional[Any] = None,
     ) -> None:
         if global_limit < 1:
             raise ValueError("global limit must be at least 1")
         self.service = service if service is not None else CacheService(
-            config, trace_recorder=trace_recorder
+            config, trace_recorder=trace_recorder, telemetry=telemetry
         )
         self.window = window
         self.global_limit = global_limit
@@ -268,7 +269,7 @@ class CacheDaemon:
                     )
                     continue
                 if self.pending_total >= self.global_limit and verb != "close":
-                    self.service.counters_for(session.pid).busy_rejections += 1
+                    self.service.counters_for(session.pid).inc("busy_rejections")
                     self.busy_rejections += 1
                     await transport.send(
                         error_response(
@@ -332,13 +333,38 @@ class CacheDaemon:
 
     def _safe_apply(self, session: Session, msg: Dict[str, Any]) -> Dict[str, Any]:
         req_id = protocol.request_id_of(msg)
+        # Root span of this request's trace.  The trace id is derived from
+        # the wire identity — "<pid>:<req_id>" — so every nested span the
+        # service/kernel/disk layers emit can be matched back to the exact
+        # client request that caused it.
+        tel = self.service.telemetry
+        tracer = tel.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "server.request",
+                trace_id=f"{session.pid}:{req_id}" if req_id is not None else None,
+                layer="server",
+                pid=session.pid,
+                verb=msg.get("verb"),
+                req_id=req_id,
+            )
+        error_code = None
         try:
             return ok_response(req_id, self._apply(session, msg))
         except ServiceError as exc:
+            error_code = exc.code
             return error_response(req_id, exc.code, str(exc))
         except Exception as exc:  # noqa: BLE001 - a reply must always go out
+            error_code = "INTERNAL"
             self.errors.append(exc)
             return error_response(req_id, "INTERNAL", f"{type(exc).__name__}: {exc}")
+        finally:
+            if span is not None:
+                attrs: Dict[str, Any] = {"ok": error_code is None}
+                if error_code is not None:
+                    attrs["code"] = error_code
+                tracer.finish(span, **attrs)
 
     def _apply(self, session: Session, msg: Dict[str, Any]) -> Any:
         verb = msg["verb"]
@@ -355,12 +381,44 @@ class CacheDaemon:
             )
         if verb == "stats":
             return self.snapshot()
+        if verb == "metrics":
+            return self.metrics_reply(msg.get("format"))
         if verb == "close":
             session.closed = True
             return {"closed": True}
         return self.service.directive(pid, verb, msg)
 
     # -- stats -------------------------------------------------------------
+
+    def metrics_reply(self, fmt: Any = None) -> Dict[str, Any]:
+        """The ``metrics`` verb: exported telemetry, by requested format.
+
+        ``json`` (default) is the structured snapshot, ``prometheus`` the
+        text exposition, ``trace`` the retained span records (newest last),
+        and ``both`` bundles snapshot + exposition in one reply.
+        """
+        tel = self.service.telemetry
+        if fmt in (None, "json"):
+            return {"format": "json", "telemetry": tel.snapshot()}
+        if fmt == "prometheus":
+            return {"format": "prometheus", "text": tel.prometheus()}
+        if fmt == "trace":
+            tracer = tel.tracer
+            return {
+                "format": "trace",
+                "tracing": tracer.stats() if tracer is not None else None,
+                "spans": tracer.records() if tracer is not None else [],
+            }
+        if fmt == "both":
+            return {
+                "format": "both",
+                "telemetry": tel.snapshot(),
+                "text": tel.prometheus(),
+            }
+        raise ServiceError(
+            "BAD_REQUEST",
+            f"metrics: unknown format {fmt!r} (expected json, prometheus, trace or both)",
+        )
 
     def snapshot(self) -> Dict[str, Any]:
         """The ``stats`` reply: server + cache + per-session numbers."""
@@ -383,6 +441,14 @@ class CacheDaemon:
             },
             "cache": self.service.cache_snapshot(),
             "faults": self.service.faults_snapshot(),
+            "telemetry": {
+                "hot": self.service.telemetry_hot,
+                "tracing": (
+                    self.service.telemetry.tracer.stats()
+                    if self.service.telemetry.tracer is not None
+                    else None
+                ),
+            },
             "sessions": sessions,
         }
 
@@ -422,6 +488,16 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         metavar="SPEC",
         help="fault-injection plan: inline JSON ('{...}') or a JSON file path",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="attach hot-path telemetry (per-access metrics; same as REPRO_TELEMETRY=1)",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        metavar="PATH",
+        help="enable tracing and append finished spans to PATH as JSON lines",
+    )
     args = parser.parse_args(argv)
     try:
         faults = FaultPlan.from_spec(args.faults) if args.faults else None
@@ -432,12 +508,22 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         policy=args.policy,
         sanitize=True if args.sanitize else None,
         faults=faults,
+        telemetry=True if args.telemetry else None,
     )
     return asyncio.run(_serve(args, config))
 
 
 async def _serve(args: argparse.Namespace, config: Any) -> int:
-    daemon = CacheDaemon(config, window=args.window, global_limit=args.global_limit)
+    telemetry = None
+    sink = None
+    if args.trace_jsonl:
+        from repro.telemetry import Telemetry, Tracer
+
+        sink = open(args.trace_jsonl, "a", encoding="utf-8")
+        telemetry = Telemetry(tracer=Tracer(sink=sink))
+    daemon = CacheDaemon(
+        config, window=args.window, global_limit=args.global_limit, telemetry=telemetry
+    )
     await daemon.start()
     if args.unix:
         await daemon.start_unix(args.unix)
@@ -454,6 +540,11 @@ async def _serve(args: argparse.Namespace, config: Any) -> int:
             pass
     await stop.wait()
     summary = await daemon.aclose()
+    if sink is not None:
+        tracer = daemon.service.telemetry.tracer
+        if tracer is not None:
+            tracer.flush()
+        sink.close()
     print(
         "repro-accfc serve: shut down cleanly; served "
         f"{summary['requests_served']} requests, flushed "

@@ -10,8 +10,8 @@ object.  Requests and responses are plain dicts:
 The verbs cover the file API (``open``/``read``/``write``/``close``), the
 five paper directives (``set_priority``, ``get_priority``, ``set_policy``,
 ``get_policy``, ``set_temppri``) and the service verbs (``ping``,
-``hello``, ``stats``).  Error codes are listed in :data:`ERROR_CODES`;
-``BUSY`` is the 429-style backpressure reply.
+``hello``, ``stats``, ``metrics``).  Error codes are listed in
+:data:`ERROR_CODES`; ``BUSY`` is the 429-style backpressure reply.
 
 This module is transport- and kernel-agnostic: it knows bytes and dicts,
 nothing else (lint rule R006 keeps it that way).  The same
@@ -48,6 +48,7 @@ KERNEL_VERBS = frozenset(
         "get_policy",
         "set_temppri",
         "stats",
+        "metrics",
     }
 )
 

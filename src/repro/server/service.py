@@ -35,10 +35,12 @@ from repro.core.interface import (
     fbehavior,
 )
 from repro.core.policies import PoolPolicy
+from repro.disk.model import ServiceTimeModel
 from repro.faults import FaultInjector, FaultPlan
 from repro.fs.filesystem import FsError, SimFilesystem
 from repro.kernel.system import MachineConfig
 from repro.server.stats import SessionCounters
+from repro.telemetry import Telemetry, attach_standard_collectors
 
 
 class ServiceError(Exception):
@@ -66,6 +68,7 @@ class CacheService:
         self,
         config: Optional[MachineConfig] = None,
         trace_recorder: Optional[Any] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config or MachineConfig()
         self.fs = SimFilesystem({p.name: p.total_blocks for p in self.config.disks})
@@ -95,6 +98,34 @@ class CacheService:
         #: optional repro.trace.TraceRecorder capturing the global-order
         #: reference stream (accesses + directives) the service applied
         self.trace_recorder = trace_recorder
+        # Telemetry: the registry always exists (per-session counters live
+        # in it, and scrape-time collectors copy kernel totals in at export
+        # time — zero hot-path cost).  Hot-path instrumentation on the
+        # cache/ACM attaches only when asked for, via an explicit Telemetry
+        # or MachineConfig(telemetry=True)/REPRO_TELEMETRY=1.
+        if telemetry is not None:
+            self.telemetry = telemetry
+            self.telemetry_hot = True
+        else:
+            self.telemetry = Telemetry()
+            self.telemetry_hot = self.config.telemetry_effective
+        attach_standard_collectors(
+            self.telemetry, cache=self.cache, acm=self.acm, injector=self.injector
+        )
+        #: per-disk service-time model + head position, for the modeled
+        #: service time each demand read / write-back would have cost
+        self._svc_models: Dict[str, ServiceTimeModel] = {}
+        self._svc_heads: Dict[str, int] = {}
+        self._svc_hists: Dict[str, Any] = {}
+        if self.telemetry_hot:
+            self.cache.telemetry = self.telemetry
+            self.acm.telemetry = self.telemetry
+            if self.injector is not None:
+                self.injector.telemetry = self.telemetry
+            for p in self.config.disks:
+                self._svc_models[p.name] = ServiceTimeModel(p)
+                self._svc_heads[p.name] = 0
+                self._svc_hists[p.name] = self.telemetry.disk_service.labels(disk=p.name)
         self.counters: Dict[int, SessionCounters] = {}
         self._next_pid = 1
         self.flushed_blocks = 0
@@ -105,7 +136,7 @@ class CacheService:
         """Allocate the kernel pid for a new connection."""
         pid = self._next_pid
         self._next_pid += 1
-        self.counters[pid] = SessionCounters()
+        self.counters[pid] = SessionCounters(self.telemetry.registry, pid)
         return pid
 
     def release_session(self, pid: int) -> None:
@@ -116,7 +147,7 @@ class CacheService:
     def counters_for(self, pid: int) -> SessionCounters:
         counters = self.counters.get(pid)
         if counters is None:
-            counters = self.counters[pid] = SessionCounters()
+            counters = self.counters[pid] = SessionCounters(self.telemetry.registry, pid)
         return counters
 
     # -- the file API ------------------------------------------------------
@@ -141,7 +172,7 @@ class CacheService:
             if self.trace_recorder is not None:
                 self.trace_recorder.record_directive(pid, "create", (path, int(size_blocks)))
         f = self.fs.lookup(path)
-        self.counters_for(pid).opens += 1
+        self.counters_for(pid).inc("opens")
         return {"path": path, "nblocks": f.nblocks, "disk": f.disk}
 
     def read(self, pid: int, path: str, blockno: int) -> Dict[str, Any]:
@@ -181,68 +212,112 @@ class CacheService:
         self._op_seq += 1
         if self.trace_recorder is not None:
             self.trace_recorder.record_access(pid, path, blockno, write, whole)
-        outcome = self.cache.access(
-            pid, f.file_id, blockno, lba, f.disk, write=write, whole=whole
+        tel = self.telemetry
+        span = tel.span(
+            "service.write" if write else "service.read",
+            layer="service",
+            pid=pid,
+            path=path,
+            blockno=blockno,
         )
-        if outcome.writeback:
-            # The push-out happens regardless of whether the demand read
-            # below succeeds — the victim is already gone from the cache.
-            if not self._store_block(outcome.evicted.disk, outcome.evicted.lba):
-                self.lost_writes += 1
-            self.counters_for(outcome.evicted.owner_pid).disk_writes += 1
-        counters = self.counters_for(pid)
-        if outcome.read_needed:
-            # The service performs I/O synchronously: the frame is loaded
-            # before the reply goes out, so ``must_wait`` never arises.
-            # Injected read faults are retried within the budget; a
-            # persistently bad sector aborts the load and fails the request
-            # with IO_ERROR, leaving the cache consistent.
-            self._load_block(outcome.block, f.disk)
-        counters.accesses += 1
-        if outcome.hit:
-            counters.hits += 1
-        else:
-            counters.misses += 1
+        try:
+            outcome = self.cache.access(
+                pid, f.file_id, blockno, lba, f.disk, write=write, whole=whole
+            )
+            if outcome.writeback:
+                # The push-out happens regardless of whether the demand read
+                # below succeeds — the victim is already gone from the cache.
+                if not self._store_block(outcome.evicted.disk, outcome.evicted.lba):
+                    self.lost_writes += 1
+                self.counters_for(outcome.evicted.owner_pid).inc("disk_writes")
+            counters = self.counters_for(pid)
             if outcome.read_needed:
-                counters.disk_reads += 1
+                # The service performs I/O synchronously: the frame is loaded
+                # before the reply goes out, so ``must_wait`` never arises.
+                # Injected read faults are retried within the budget; a
+                # persistently bad sector aborts the load and fails the request
+                # with IO_ERROR, leaving the cache consistent.
+                self._load_block(outcome.block, f.disk)
+            counters.inc("accesses")
+            if outcome.hit:
+                counters.inc("hits")
+            else:
+                counters.inc("misses")
+                if outcome.read_needed:
+                    counters.inc("disk_reads")
+        except BaseException:
+            tel.end(span, ok=False)
+            raise
+        tel.end(span, ok=True, hit=outcome.hit)
         return {"hit": outcome.hit}
 
+    def _observe_service(self, disk: str, lba: int) -> None:
+        """Record the modeled service time of one block transfer.
+
+        The service performs I/O logically (no simulated clock), so per-disk
+        service-time histograms use the analytic model the simulator's
+        drives use — same geometry, same seek curve — advanced from the
+        head position the previous transfer left behind."""
+        hist = self._svc_hists.get(disk)
+        if hist is None:
+            return
+        model = self._svc_models[disk]
+        hist.observe(model.service_time(self._svc_heads[disk], lba))
+        self._svc_heads[disk] = lba + 1
+
     def _load_block(self, block, disk: str) -> None:
-        inj = self.injector
-        if inj is not None:
-            attempt = 1
-            while True:
-                fault = inj.disk_fault(disk, block.lba, False, attempt)
-                if fault is None or fault.kind == "stall":
-                    break
-                if attempt > inj.plan.max_disk_retries:
-                    inj.note_aborted_read()
-                    self.cache.abort_load(block)
-                    raise ServiceError(
-                        "IO_ERROR",
-                        f"read {disk}:{block.lba} failed after {attempt} attempts",
-                    )
-                attempt += 1
-                inj.note_disk_retry()
-        self.cache.loaded(block)
+        tel = self.telemetry
+        span = tel.span("disk.load", layer="disk", disk=disk, lba=block.lba)
+        attempt = 1
+        try:
+            inj = self.injector
+            if inj is not None:
+                while True:
+                    fault = inj.disk_fault(disk, block.lba, False, attempt)
+                    if fault is None or fault.kind == "stall":
+                        break
+                    if attempt > inj.plan.max_disk_retries:
+                        inj.note_aborted_read()
+                        self.cache.abort_load(block)
+                        raise ServiceError(
+                            "IO_ERROR",
+                            f"read {disk}:{block.lba} failed after {attempt} attempts",
+                        )
+                    attempt += 1
+                    inj.note_disk_retry()
+            self.cache.loaded(block)
+        except BaseException:
+            tel.end(span, ok=False, attempts=attempt)
+            raise
+        self._observe_service(disk, block.lba)
+        tel.end(span, ok=True, attempts=attempt)
 
     def _store_block(self, disk: str, lba: int, flush: bool = False) -> bool:
         """Simulate one block write; False once the retry budget is spent."""
-        inj = self.injector
-        if inj is None:
-            return True
+        tel = self.telemetry
+        span = tel.span("disk.store", layer="disk", disk=disk, lba=lba, flush=flush)
         attempt = 1
-        while True:
-            fault = inj.disk_fault(disk, lba, True, attempt)
-            if fault is None or fault.kind == "stall":
-                return True
-            if attempt > inj.plan.max_disk_retries:
-                return False
-            attempt += 1
-            if flush:
-                inj.note_flush_retry()
-            else:
-                inj.note_disk_retry()
+        ok = True
+        try:
+            inj = self.injector
+            if inj is not None:
+                while True:
+                    fault = inj.disk_fault(disk, lba, True, attempt)
+                    if fault is None or fault.kind == "stall":
+                        break
+                    if attempt > inj.plan.max_disk_retries:
+                        ok = False
+                        break
+                    attempt += 1
+                    if flush:
+                        inj.note_flush_retry()
+                    else:
+                        inj.note_disk_retry()
+        finally:
+            if ok:
+                self._observe_service(disk, lba)
+            tel.end(span, ok=ok, attempts=attempt)
+        return ok
 
     # -- directives --------------------------------------------------------
 
@@ -268,7 +343,7 @@ class CacheService:
             raise ServiceError("REVOKED", str(exc)) from exc
         except FBehaviorError as exc:
             raise ServiceError("DIRECTIVE", str(exc)) from exc
-        self.counters_for(pid).directives += 1
+        self.counters_for(pid).inc("directives")
         if isinstance(result, PoolPolicy):
             return result.value
         return result
@@ -289,7 +364,7 @@ class CacheService:
                 # than wedge the shutdown.
                 self.lost_writes += 1
             self.cache.mark_clean(block)
-            self.counters_for(block.owner_pid).disk_writes += 1
+            self.counters_for(block.owner_pid).inc("disk_writes")
             flushed += 1
         self.flushed_blocks += flushed
         return flushed
@@ -341,8 +416,13 @@ def build_config(
     policy: str = "lru-sp",
     sanitize: Optional[bool] = None,
     faults: Optional[FaultPlan] = None,
+    telemetry: Optional[bool] = None,
 ) -> MachineConfig:
     """A MachineConfig from CLI-friendly arguments (used by ``serve``)."""
     return MachineConfig(
-        cache_mb=cache_mb, policy=policy_by_name(policy), sanitize=sanitize, faults=faults
+        cache_mb=cache_mb,
+        policy=policy_by_name(policy),
+        sanitize=sanitize,
+        faults=faults,
+        telemetry=telemetry,
     )

@@ -9,32 +9,77 @@ per miss that needs disk, a write-back per dirty eviction charged to the
 flush — so service-side numbers are directly comparable to simulation
 results.  (This module itself is protocol-only: it never touches the
 kernel; see lint rule R006.)
+
+Since the telemetry subsystem landed, the counters have exactly one
+home: the server's :class:`~repro.telemetry.metrics.MetricsRegistry`,
+as ``repro_session_<field>_total{pid=...}`` counters.  This class is a
+pid-bound *view* over those registry cells — the attribute surface
+(``counters.hits``, ``counters.hits += 1``) and the ``as_dict()`` wire
+shape are unchanged, but the ``stats`` verb and the ``metrics`` verb can
+no longer drift apart, because they read the same storage.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+
+#: the per-session counter fields, in wire order
+SESSION_FIELDS = (
+    "opens",
+    "accesses",
+    "hits",
+    "misses",
+    "disk_reads",
+    "disk_writes",
+    "directives",
+    "busy_rejections",
+)
+
+_HELP = {
+    "opens": "File opens performed for the session.",
+    "accesses": "Block accesses (reads + writes) issued by the session.",
+    "hits": "Accesses satisfied from the cache.",
+    "misses": "Accesses that missed the cache.",
+    "disk_reads": "Demand reads performed on the session's behalf.",
+    "disk_writes": "Write-backs charged to the session (it owned the block).",
+    "directives": "fbehavior directives applied.",
+    "busy_rejections": "Requests bounced with BUSY by the global limit.",
+}
 
 
-@dataclass
 class SessionCounters:
-    """Cache-visible work done on behalf of one session."""
+    """Cache-visible work done on behalf of one session.
 
-    opens: int = 0
-    accesses: int = 0
-    hits: int = 0
-    misses: int = 0
-    disk_reads: int = 0
-    disk_writes: int = 0
-    directives: int = 0
-    busy_rejections: int = 0
+    A thin view: each field is a labelled child of the registry family
+    ``repro_session_<field>_total``.  Constructing one without a registry
+    (tests, ad-hoc use) gets a private registry, so the class still works
+    standalone.
+    """
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None, pid: int = 0) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        self._cells = {
+            field: registry.counter(
+                f"repro_session_{field}_total", _HELP[field], labels=("pid",)
+            ).labels(pid=pid)
+            for field in SESSION_FIELDS
+        }
+
+    def inc(self, field: str, amount: int = 1) -> None:
+        """Bump one counter (the preferred write path)."""
+        self._cells[field].inc(amount)  # type: ignore[union-attr]
 
     @property
     def hit_ratio(self) -> float:
-        if self.accesses == 0:
+        accesses = self.accesses
+        if accesses == 0:
             return 0.0
-        return self.hits / self.accesses
+        return self.hits / accesses
 
     @property
     def block_ios(self) -> int:
@@ -54,6 +99,23 @@ class SessionCounters:
             "directives": self.directives,
             "busy_rejections": self.busy_rejections,
         }
+
+
+def _field_property(field: str) -> property:
+    def fget(self: SessionCounters) -> int:
+        return int(self._cells[field].value)
+
+    def fset(self: SessionCounters, value: int) -> None:
+        # Supports the historical ``counters.hits += 1`` form (read-modify-
+        # write on the registry cell); inc() is the preferred path.
+        self._cells[field].set_total(value)
+
+    return property(fget, fset, doc=_HELP[field])
+
+
+for _field in SESSION_FIELDS:
+    setattr(SessionCounters, _field, _field_property(_field))
+del _field
 
 
 def render_stats(snapshot: Dict[str, Any]) -> str:

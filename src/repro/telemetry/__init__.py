@@ -1,0 +1,138 @@
+"""repro.telemetry — metrics, tracing and profiling for the cache stack.
+
+A zero-dependency observability subsystem spanning every layer: server
+session → service → kernel → BUF/ACM (including upcalls) → disk drive.
+
+Three pieces:
+
+* :class:`MetricsRegistry` (:mod:`repro.telemetry.metrics`) — counters,
+  gauges and fixed-bucket histograms, with collect-on-scrape collectors
+  (:mod:`repro.telemetry.collectors`) that copy the simulator's existing
+  totals in at export time, so full cache/disk/fault metrics cost the
+  access path nothing.
+* :class:`Tracer` (:mod:`repro.telemetry.spans`) — structured spans with
+  a propagated request id, a bounded ring buffer and an optional JSONL
+  sink; fault injections annotate the span that was active when they
+  fired.
+* Exporters (:mod:`repro.telemetry.exporters`) — Prometheus text
+  exposition and a JSON snapshot, surfaced by the server's ``metrics``
+  verb and the ``repro-accfc metrics`` CLI.
+
+The :class:`Telemetry` facade bundles a registry, an optional tracer and
+a wall clock.  Instrumented layers hold a ``telemetry`` attribute that
+defaults to ``None`` (exactly like the invariant sanitizer), so the
+disabled cost of every hot-path hook is a single attribute test.  Enable
+it per-machine with ``MachineConfig(telemetry=True)`` or globally with
+``REPRO_TELEMETRY=1``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Optional
+
+from repro.telemetry.exporters import render_prometheus, render_snapshot
+from repro.telemetry.metrics import (
+    DEFAULT_DEPTH_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import Span, Tracer
+from repro.telemetry.collectors import (
+    acm_collector,
+    attach_standard_collectors,
+    cache_collector,
+    disk_collector,
+    fault_collector,
+)
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "Span",
+    "render_prometheus",
+    "render_snapshot",
+    "telemetry_enabled",
+    "attach_standard_collectors",
+    "cache_collector",
+    "acm_collector",
+    "disk_collector",
+    "fault_collector",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_DEPTH_BUCKETS",
+]
+
+
+def telemetry_enabled() -> bool:
+    """True when the ``REPRO_TELEMETRY`` environment flag asks for it."""
+    return os.environ.get("REPRO_TELEMETRY", "") not in ("", "0")
+
+
+class Telemetry:
+    """One machine's (or one server's) telemetry bundle.
+
+    Holds the metrics registry, the optional tracer, and the hot-path
+    instruments pre-bound so call sites pay no dictionary lookups.  The
+    ``wall`` clock is real :func:`time.perf_counter` regardless of the
+    simulated clock — it times actual work (manager consultations), not
+    simulated time; simulated durations go through metrics observed with
+    engine timestamps instead.
+    """
+
+    __slots__ = ("registry", "tracer", "wall", "upcall_latency", "disk_service")
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        wall: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.wall = wall if wall is not None else time.perf_counter
+        # Pre-bound hot-path instruments.
+        self.upcall_latency = self.registry.histogram(
+            "repro_upcall_latency_seconds",
+            "Wall-clock time spent consulting a manager (replace_block).",
+        ).unlabelled
+        self.disk_service = self.registry.histogram(
+            "repro_disk_service_seconds",
+            "Simulated service time per disk request (positioning + transfer).",
+            labels=("disk",),
+        )
+
+    # -- spans ----------------------------------------------------------
+    def span(self, name: str, **attrs: Any) -> Optional[Span]:
+        """Begin a nested span if tracing is on (returns None otherwise)."""
+        tracer = self.tracer
+        if tracer is None:
+            return None
+        return tracer.begin(name, **attrs)
+
+    def end(self, span: Optional[Span], **attrs: Any) -> None:
+        """Finish a span from :meth:`span` (tolerates None)."""
+        if span is not None:
+            self.tracer.finish(span, **attrs)
+
+    def annotate(self, name: str, **attrs: Any) -> None:
+        """Attach an event to the active span, if tracing and one exists."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.annotate(name, **attrs)
+
+    # -- exports ---------------------------------------------------------
+    def prometheus(self) -> str:
+        return render_prometheus(self.registry)
+
+    def snapshot(self) -> dict:
+        return render_snapshot(self.registry, self.tracer)

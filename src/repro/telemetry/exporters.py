@@ -1,0 +1,87 @@
+"""Exporters: Prometheus text exposition and JSON snapshots."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+from repro.telemetry.spans import Tracer
+
+__all__ = ["render_prometheus", "render_snapshot"]
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.mtype}")
+        for labels, child in family.children():
+            if isinstance(child, Histogram):
+                for bound, cumulative in child.cumulative():
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _fmt_value(bound)
+                    lines.append(
+                        f"{family.name}_bucket{_fmt_labels(bucket_labels)} {cumulative}"
+                    )
+                lines.append(f"{family.name}_sum{_fmt_labels(labels)} {_fmt_value(child.sum)}")
+                lines.append(f"{family.name}_count{_fmt_labels(labels)} {child.count}")
+            else:
+                lines.append(
+                    f"{family.name}{_fmt_labels(labels)} {_fmt_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def render_snapshot(
+    registry: MetricsRegistry, tracer: Optional[Tracer] = None
+) -> Dict[str, Any]:
+    """A JSON-serialisable snapshot of every family (and tracer stats)."""
+    metrics: Dict[str, Any] = {}
+    for family in registry.collect():
+        samples = []
+        for labels, child in family.children():
+            if isinstance(child, Histogram):
+                samples.append(
+                    {
+                        "labels": labels,
+                        "count": child.count,
+                        "sum": child.sum,
+                        "buckets": [
+                            {"le": b if not math.isinf(b) else "+Inf", "count": n}
+                            for b, n in child.cumulative()
+                        ],
+                    }
+                )
+            else:
+                samples.append({"labels": labels, "value": child.value})
+        metrics[family.name] = {
+            "type": family.mtype,
+            "help": family.help,
+            "samples": samples,
+        }
+    snapshot: Dict[str, Any] = {"metrics": metrics}
+    if tracer is not None:
+        snapshot["tracing"] = tracer.stats()
+    return snapshot

@@ -1,0 +1,275 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+The model follows the Prometheus data model closely enough that the text
+exposition in :mod:`repro.telemetry.exporters` is a faithful rendering,
+but there is no client library involved: a :class:`MetricsRegistry` is a
+plain in-process object holding :class:`MetricFamily` instances, each of
+which owns label-addressed children.
+
+Two idioms keep the hot-path cost negligible:
+
+* **Pre-bound children.**  ``family.labels(pid="3")`` returns a child
+  whose ``inc``/``observe`` is a couple of attribute operations; call
+  sites bind the child once and keep it.
+* **Collect-on-scrape.**  Most of the simulator already counts what we
+  want (``CacheStats``, ``DiskStats``, ``FaultStats`` ...).  Rather than
+  double-increment on the hot path, a *collector* callback registered
+  with :meth:`MetricsRegistry.register_collector` copies those totals
+  into the registry only when somebody actually exports a snapshot.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_DEPTH_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Upper bounds (seconds) suited to both simulated disk times (ms-scale)
+#: and wall-clock upcall latencies (us-scale).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+#: Upper bounds suited to small integer quantities (queue depths, window
+#: occupancy).
+DEFAULT_DEPTH_BUCKETS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class Counter:
+    """A monotonically increasing value.
+
+    ``set_total`` exists for collector-sourced counters: the authoritative
+    count lives elsewhere (e.g. ``CacheStats.hits``) and is copied in
+    absolutely at scrape time.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def set_total(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram with a fixed bucket layout.
+
+    Observations beyond the last upper bound land only in the implicit
+    ``+Inf`` bucket, so the memory footprint is bounded by construction:
+    ``len(buckets) + 1`` integers plus a running sum.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be strictly increasing")
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``[(upper_bound, cumulative_count), ...]`` ending with +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+
+class MetricFamily:
+    """A named metric plus its label-addressed children."""
+
+    __slots__ = ("name", "mtype", "help", "labelnames", "buckets", "_children")
+
+    def __init__(
+        self,
+        name: str,
+        mtype: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"bad metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"bad label name {label!r}")
+        self.name = name
+        self.mtype = mtype
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def _make_child(self):
+        if self.mtype == "counter":
+            return Counter()
+        if self.mtype == "gauge":
+            return Gauge()
+        return Histogram(self.buckets or DEFAULT_LATENCY_BUCKETS)
+
+    def labels(self, **labelvalues: object):
+        """Return (creating if needed) the child for these label values."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, got {tuple(labelvalues)}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make_child()
+        return child
+
+    @property
+    def unlabelled(self):
+        """The single child of a label-less family."""
+        if self.labelnames:
+            raise ValueError(f"{self.name} takes labels {self.labelnames}")
+        return self.labels()
+
+    def children(self) -> List[Tuple[Dict[str, str], object]]:
+        return [
+            (dict(zip(self.labelnames, key)), child)
+            for key, child in sorted(self._children.items())
+        ]
+
+    # Convenience passthroughs for label-less families ------------------
+    def inc(self, amount: float = 1.0) -> None:
+        self.unlabelled.inc(amount)
+
+    def set(self, value: float) -> None:
+        self.unlabelled.set(value)  # type: ignore[union-attr]
+
+    def observe(self, value: float) -> None:
+        self.unlabelled.observe(value)  # type: ignore[union-attr]
+
+
+class MetricsRegistry:
+    """The process-local set of metric families plus scrape collectors."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+        self._collectors: List[Callable[["MetricsRegistry"], None]] = []
+
+    # -- registration ---------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        mtype: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> MetricFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.mtype != mtype:
+                raise ValueError(
+                    f"{name} already registered as {family.mtype}, not {mtype}"
+                )
+            if family.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"{name} already registered with labels {family.labelnames}"
+                )
+            return family
+        family = MetricFamily(name, mtype, help, labelnames, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> MetricFamily:
+        return self._family(name, "counter", help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> MetricFamily:
+        return self._family(name, "gauge", help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help, labels, buckets)
+
+    def register_collector(self, fn: Callable[["MetricsRegistry"], None]) -> None:
+        """``fn(registry)`` runs before every export to copy totals in."""
+        self._collectors.append(fn)
+
+    # -- reading --------------------------------------------------------
+    def collect(self) -> List[MetricFamily]:
+        for fn in self._collectors:
+            fn(self)
+        return [self._families[name] for name in sorted(self._families)]
+
+    def families(self) -> List[MetricFamily]:
+        """Registered families without running collectors (live values)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def value(self, name: str, refresh: bool = False, **labels: object) -> float:
+        """The current value of one counter/gauge child (0.0 if absent)."""
+        if refresh:
+            for fn in self._collectors:
+                fn(self)
+        family = self._families.get(name)
+        if family is None:
+            return 0.0
+        key = tuple(str(labels[n]) for n in family.labelnames)
+        child = family._children.get(key)
+        if child is None:
+            return 0.0
+        return child.value  # type: ignore[union-attr]

@@ -1,0 +1,225 @@
+"""Structured trace spans with propagated request ids.
+
+A :class:`Span` is one timed operation in one layer; spans nest via
+``parent_id`` and share a ``trace_id`` that the server derives from the
+client request (``"<pid>:<req_id>"``), so a single read can be followed
+from the daemon's dispatch loop through the kernel gate, the BUF/ACM
+consultation and down to the disk drive that serviced the miss.
+
+Context propagation is a plain stack (`Tracer._stack`): the simulator is
+single-threaded and the daemon serializes kernel work on one task, so at
+any instant there is at most one active operation per tracer — the same
+property the kernel lock gives the real system.  Layers that complete
+asynchronously (disk requests) capture ``tracer.current`` at submit time
+and pass it along explicitly instead.
+
+Finished spans land in a bounded ring buffer (oldest dropped first, with
+a drop counter) and, optionally, in a JSONL sink file — one JSON object
+per line, append-only, safe to ``tail -f``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import deque
+from typing import Any, Deque, Dict, IO, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One operation: a name, a window of time, attributes and events."""
+
+    #: Total spans ever constructed in this process.  Exists so tests can
+    #: prove the disabled-telemetry fast path allocates no spans at all.
+    allocations = 0
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start",
+        "end_time",
+        "attrs",
+        "events",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        Span.allocations += 1
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end_time: Optional[float] = None
+        self.attrs = attrs
+        self.events: List[Dict[str, Any]] = []
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point-in-time occurrence (e.g. an injected fault)."""
+        record = {"name": name, "t": self._tracer.clock()}
+        record.update(attrs)
+        self.events.append(record)
+
+    def end(self, **attrs: Any) -> None:
+        if attrs:
+            self.attrs.update(attrs)
+        if self.end_time is None:
+            self.end_time = self._tracer.clock()
+            self._tracer._finish(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        end = self.end_time if self.end_time is not None else self.start
+        record: Dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": end,
+            "duration": end - self.start,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.events:
+            record["events"] = self.events
+        return record
+
+
+class Tracer:
+    """Span factory, context stack, ring buffer and JSONL sink."""
+
+    def __init__(
+        self,
+        clock=None,
+        capacity: int = 4096,
+        sink: Optional[IO[str]] = None,
+    ) -> None:
+        #: True when no clock was given; a host (e.g. the simulated
+        #: kernel) may then re-point ``clock`` at its own time base.
+        self.default_clock = clock is None
+        if clock is None:
+            import time
+
+            clock = time.perf_counter
+        self.clock = clock
+        self.capacity = capacity
+        self.sink = sink
+        self.spans_started = 0
+        self.spans_finished = 0
+        self.dropped = 0
+        self._ring: Deque[Dict[str, Any]] = deque()
+        self._stack: List[Span] = []
+        self._ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+
+    # -- context --------------------------------------------------------
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def push(self, span: Span) -> Span:
+        self._stack.append(span)
+        return span
+
+    def pop(self, span: Optional[Span] = None) -> None:
+        if not self._stack:
+            return
+        if span is None or self._stack[-1] is span:
+            self._stack.pop()
+            return
+        # Defensive: unwind to (and including) the requested span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                return
+
+    def annotate(self, name: str, **attrs: Any) -> None:
+        """Attach an event to the current span, if any (no-op otherwise)."""
+        span = self.current
+        if span is not None:
+            span.event(name, **attrs)
+
+    # -- span construction ----------------------------------------------
+    def new_trace_id(self, prefix: str = "t") -> str:
+        return f"{prefix}{next(self._trace_ids):06d}"
+
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        trace_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Start a span; parentage defaults to the current context span."""
+        if parent is None:
+            parent = self.current
+        if trace_id is None:
+            trace_id = parent.trace_id if parent is not None else self.new_trace_id()
+        self.spans_started += 1
+        return Span(
+            tracer=self,
+            name=name,
+            trace_id=trace_id,
+            span_id=f"s{next(self._ids):06d}",
+            parent_id=parent.span_id if parent is not None else None,
+            start=self.clock(),
+            attrs=attrs,
+        )
+
+    def begin(self, name: str, **attrs: Any) -> Span:
+        """start_span + push in one call, for strictly nested layers."""
+        return self.push(self.start_span(name, **attrs))
+
+    def finish(self, span: Span, **attrs: Any) -> None:
+        """pop + end in one call; tolerates a surprised stack."""
+        self.pop(span)
+        span.end(**attrs)
+
+    # -- record keeping -------------------------------------------------
+    def _finish(self, span: Span) -> None:
+        self.spans_finished += 1
+        record = span.to_dict()
+        if len(self._ring) >= self.capacity:
+            self._ring.popleft()
+            self.dropped += 1
+        self._ring.append(record)
+        if self.sink is not None:
+            self.sink.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Finished spans currently retained, oldest first."""
+        return list(self._ring)
+
+    def trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        return [r for r in self._ring if r["trace_id"] == trace_id]
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "started": self.spans_started,
+            "finished": self.spans_finished,
+            "retained": len(self._ring),
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+        }
+
+    def flush(self) -> None:
+        if self.sink is not None:
+            self.sink.flush()

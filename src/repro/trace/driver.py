@@ -22,6 +22,34 @@ from repro.core.revocation import RevocationPolicy
 from repro.trace.events import AccessRecord, DirectiveRecord, TraceEvent
 
 
+class _PidTally:
+    """Per-pid replay counters, bumped as attributes.
+
+    Attribute increments rather than a string-keyed dict: lint rule R008
+    bans ad-hoc counter dicts outside :mod:`repro.telemetry`, and a slots
+    class catches typos a ``dict`` would silently absorb.  ``as_dict``
+    restores the mapping shape :class:`ReplayResult.per_pid` always had.
+    """
+
+    __slots__ = ("accesses", "hits", "misses", "reads", "writes")
+
+    def __init__(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.reads = 0
+        self.writes = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "reads": self.reads,
+            "writes": self.writes,
+        }
+
+
 class _PathTable:
     """Assigns stable file ids to the paths appearing in a trace."""
 
@@ -81,11 +109,13 @@ def replay(
     cache = BufferCache(nframes, acm=acm, policy=policy)
     paths = _PathTable()
     result = ReplayResult(policy=policy.name, nframes=nframes)
+    tallies: Dict[int, _PidTally] = {}
 
-    def pid_stats(pid: int) -> Dict[str, int]:
-        return result.per_pid.setdefault(
-            pid, {"accesses": 0, "hits": 0, "misses": 0, "reads": 0, "writes": 0}
-        )
+    def pid_stats(pid: int) -> _PidTally:
+        tally = tallies.get(pid)
+        if tally is None:
+            tally = tallies[pid] = _PidTally()
+        return tally
 
     for ev in events:
         if isinstance(ev, AccessRecord):
@@ -98,19 +128,19 @@ def replay(
                 cache.loaded(outcome.block)
             stats = pid_stats(ev.pid)
             result.accesses += 1
-            stats["accesses"] += 1
+            stats.accesses += 1
             if outcome.hit:
                 result.hits += 1
-                stats["hits"] += 1
+                stats.hits += 1
             else:
                 result.misses += 1
-                stats["misses"] += 1
+                stats.misses += 1
                 if outcome.read_needed:
                     result.disk_reads += 1
-                    stats["reads"] += 1
+                    stats.reads += 1
             if outcome.writeback:
                 result.disk_writes += 1
-                pid_stats(outcome.evicted.owner_pid)["writes"] += 1
+                pid_stats(outcome.evicted.owner_pid).writes += 1
         elif isinstance(ev, DirectiveRecord):
             _apply_directive(cache, acm, paths, ev)
         else:
@@ -119,7 +149,8 @@ def replay(
     if count_final_flush:
         for block in cache.dirty_blocks():
             result.disk_writes += 1
-            pid_stats(block.owner_pid)["writes"] += 1
+            pid_stats(block.owner_pid).writes += 1
+    result.per_pid = {pid: tally.as_dict() for pid, tally in tallies.items()}
     result.placeholders_used = cache.placeholders.consumed
     result.overrules = cache.stats.overrules
     result.occupancy = dict(cache.occupancy())

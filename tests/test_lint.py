@@ -375,6 +375,58 @@ class TestR003Registry:
         assert rules(findings) == ["R003"]
 
 
+class TestR008Instrumentation:
+    def test_counter_dict_bump_fires(self):
+        findings = lint(
+            "def f(stats):\n    stats['hits'] += 1\n",
+            "repro/server/service.py",
+        )
+        assert rules(findings) == ["R008"]
+        assert "telemetry" in findings[0].message
+
+    def test_get_default_bump_fires(self):
+        findings = lint(
+            "def f(stats):\n    stats['misses'] = stats.get('misses', 0) + 1\n",
+            "repro/trace/driver.py",
+        )
+        assert rules(findings) == ["R008"]
+
+    def test_print_in_library_fires(self):
+        findings = lint(
+            "def f(x):\n    print('hit ratio', x)\n",
+            "repro/core/buffercache.py",
+        )
+        assert rules(findings) == ["R008"]
+
+    def test_telemetry_package_is_exempt(self):
+        findings = lint(
+            "def f(stats):\n    stats['hits'] += 1\n",
+            "repro/telemetry/metrics.py",
+        )
+        assert findings == []
+
+    def test_cli_layers_may_print(self):
+        for relpath in (
+            "repro/harness/cli.py",
+            "repro/check/lint.py",
+            "repro/server/daemon.py",
+        ):
+            assert lint("print('listening on ...')\n", relpath) == []
+
+    def test_non_counter_subscripts_are_allowed(self):
+        # Non-literal keys, non-numeric increments and non-add ops are all
+        # legitimate dict updates, not counters.
+        assert lint("def f(d, k):\n    d[k] += 1\n", "repro/core/acm.py") == []
+        assert lint("def f(d):\n    d['xs'] += [1]\n", "repro/core/acm.py") == []
+        assert lint("def f(d):\n    d['mask'] &= 3\n", "repro/core/acm.py") == []
+        assert (
+            lint("def f(d, v):\n    d['lba'] = v + 1\n", "repro/core/acm.py") == []
+        )
+
+    def test_outside_repro_is_allowed(self):
+        assert lint("def f(d):\n    d['hits'] += 1\n", "tests/test_x.py") == []
+
+
 class TestRealTree:
     def test_src_is_clean(self):
         findings = lint_tree(SRC_ROOT)

@@ -1,0 +1,241 @@
+"""End-to-end telemetry: traces and metrics through a live daemon.
+
+These tests drive a real :class:`~repro.server.daemon.CacheDaemon` over the
+in-process transport with tracing on, and assert the acceptance shape of
+the telemetry subsystem: one request id spanning server → service → BUF →
+disk, fault-injection events annotated on the same trace, and the
+``metrics`` verb exposing Prometheus/JSON/trace views.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.faults.plan import FaultPlan
+from repro.server import CacheClient, CacheDaemon, ServerError, build_config
+from repro.telemetry import Telemetry, Tracer
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def traced_daemon(capacity=8192, **cfg):
+    tel = Telemetry(tracer=Tracer(capacity=capacity))
+    daemon = CacheDaemon(build_config(telemetry=True, **cfg), telemetry=tel)
+    return daemon, tel
+
+
+def spans_by_trace(tracer, trace_id):
+    return [r for r in tracer.records() if r["trace_id"] == trace_id]
+
+
+class TestFaultTrace:
+    def test_disk_fault_annotated_on_single_request_trace(self):
+        """A retried bad sector shows up as fault.disk events on the
+        disk.load span of the *same* trace as the server request."""
+        plan = FaultPlan.from_dict(
+            {"block_faults": [{"disk": "RZ56", "lba": 10, "kind": "error", "count": 2, "write": False}]}
+        )
+
+        async def go():
+            daemon, tel = traced_daemon(cache_mb=0.5, faults=plan)
+            client = await CacheClient.connect_inproc(daemon, name="reader")
+            await client.open("data", size_blocks=32)
+            for blockno in range(32):
+                assert await client.read("data", blockno) is False  # all cold
+            await client.aclose()
+            await daemon.aclose()
+            return tel
+
+        tel = run(go())
+        tracer = tel.tracer
+        faulted = [
+            r for r in tracer.records()
+            if r["name"] == "disk.load" and any(e["name"] == "fault.disk" for e in r.get("events", ()))
+        ]
+        assert len(faulted) == 1, "exactly one load hit the scheduled bad sector"
+        load = faulted[0]
+        kinds = [e["kind"] for e in load["events"] if e["name"] == "fault.disk"]
+        assert kinds == ["error", "error"]  # count=2, then the retry succeeds
+        assert load["attrs"]["attempts"] == 3
+        assert load["attrs"]["ok"] is True
+
+        # The whole request — wire frame to platter — shares one trace id.
+        trace = spans_by_trace(tracer, load["trace_id"])
+        names = {r["name"] for r in trace}
+        assert {"server.request", "service.read", "buf.access", "disk.load"} <= names
+        (root,) = [r for r in trace if r["parent_id"] is None]
+        assert root["name"] == "server.request"
+        assert root["attrs"]["verb"] == "read"
+        assert root["trace_id"] == f"{root['attrs']['pid']}:{root['attrs']['req_id']}"
+
+        # Retries were counted by the fault collectors too.
+        assert tel.registry.value("repro_faults_disk_retries_total", refresh=True) == 2
+
+    def test_manager_revocation_annotated_on_trace(self):
+        """A scripted manager revocation leaves fault.manager and
+        acm.revoked events inside the request trace that triggered it."""
+        plan = FaultPlan.from_dict({"revoke_pids": [1], "revoke_after_consults": 1})
+
+        async def go():
+            daemon, tel = traced_daemon(cache_mb=0.25, faults=plan)  # 32 frames
+            client = await CacheClient.connect_inproc(daemon, name="managed")
+            await client.open("big", size_blocks=64)
+            await client.set_priority("big", 0)  # registers a manager for pid 1
+            for blockno in range(64):  # overflow the cache → consultations
+                await client.read("big", blockno)
+            await client.aclose()
+            await daemon.aclose()
+            return tel
+
+        tel = run(go())
+        events = [e for r in tel.tracer.records() for e in r.get("events", ())]
+        by_name = {}
+        for e in events:
+            by_name.setdefault(e["name"], []).append(e)
+        assert "fault.manager" in by_name
+        assert by_name["fault.manager"][0]["pid"] == 1
+        assert "acm.revoked" in by_name
+        assert by_name["acm.revoked"][0]["reason"] == "faults"
+        # Both events sit on spans of one and the same request trace.
+        carriers = [
+            r for r in tel.tracer.records()
+            if any(e["name"] in ("fault.manager", "acm.revoked") for e in r.get("events", ()))
+        ]
+        assert len({r["trace_id"] for r in carriers}) == 1
+
+
+class TestMetricsVerb:
+    def test_all_formats_and_bad_request(self):
+        async def go():
+            daemon, tel = traced_daemon(cache_mb=0.5)
+            client = await CacheClient.connect_inproc(daemon, name="scraper")
+            await client.open("f", size_blocks=4)
+            await client.read("f", 0)
+            await client.read("f", 0)
+
+            prom = await client.metrics("prometheus")
+            assert prom["format"] == "prometheus"
+            assert "repro_cache_hits_total 1" in prom["text"]
+            assert "repro_session_accesses_total" in prom["text"]
+            assert "repro_disk_service_seconds_bucket" in prom["text"]
+
+            snap = await client.metrics("json")
+            metrics = snap["telemetry"]["metrics"]
+            assert metrics["repro_cache_accesses_total"]["samples"][0]["value"] == 2
+            assert metrics["repro_session_hits_total"]["samples"][0]["labels"] == {"pid": "1"}
+
+            trace = await client.metrics("trace")
+            assert trace["tracing"]["finished"] > 0
+            assert any(r["name"] == "service.read" for r in trace["spans"])
+
+            both = await client.metrics("both")
+            assert "text" in both and "telemetry" in both
+
+            with pytest.raises(ServerError) as err:
+                await client.metrics("xml")
+            assert err.value.code == "BAD_REQUEST"
+
+            await client.aclose()
+            await daemon.aclose()
+
+        run(go())
+
+    def test_metrics_verb_without_tracer_still_serves(self):
+        """metrics works on a hot-but-untraced daemon; trace view is empty."""
+
+        async def go():
+            daemon = CacheDaemon(build_config(cache_mb=0.5, telemetry=True))
+            client = await CacheClient.connect_inproc(daemon)
+            await client.open("f", size_blocks=2)
+            await client.read("f", 1)
+            prom = await client.metrics("prometheus")
+            assert "repro_cache_misses_total 1" in prom["text"]
+            trace = await client.metrics("trace")
+            assert trace["tracing"] is None
+            assert trace["spans"] == []
+            await client.aclose()
+            await daemon.aclose()
+
+        run(go())
+
+
+class TestStatsWireCompat:
+    def test_stats_keeps_session_keys_and_adds_telemetry(self):
+        async def go():
+            daemon, _ = traced_daemon(cache_mb=0.5)
+            client = await CacheClient.connect_inproc(daemon, name="compat")
+            await client.open("f", size_blocks=4)
+            await client.read("f", 0)
+            stats = await client.stats()
+            entry = next(s for s in stats["sessions"] if s["pid"] == client.pid)
+            for key in (
+                "opens", "accesses", "hits", "misses", "hit_ratio",
+                "disk_reads", "disk_writes", "block_ios", "directives",
+                "busy_rejections",
+            ):
+                assert key in entry, key
+            assert entry["accesses"] == 1 and entry["opens"] == 1
+            assert stats["telemetry"]["hot"] is True
+            assert stats["telemetry"]["tracing"]["finished"] > 0
+            await client.aclose()
+            await daemon.aclose()
+
+        run(go())
+
+
+class TestMetricsCli:
+    def test_cli_scrapes_prometheus_from_live_server(self, capsys):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"), str(SRC_ROOT)) if p
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.harness.cli", "serve",
+                "--port", "0", "--cache-mb", "0.25", "--telemetry",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            ready = proc.stdout.readline()
+            assert "listening on" in ready
+            port = int(ready.rsplit(":", 1)[1])
+
+            async def warm():
+                client = await CacheClient.connect_tcp("127.0.0.1", port, name="warm")
+                await client.open("f", size_blocks=4)
+                await client.read("f", 0)
+                await client.aclose()
+
+            run(warm())
+
+            from repro.harness.cli import metrics_main
+
+            assert metrics_main(["--port", str(port)]) == 0
+            out = capsys.readouterr().out
+            assert "# TYPE repro_cache_misses_total counter" in out
+            assert "repro_session_accesses_total" in out
+
+            assert metrics_main(["--port", str(port), "--format", "json"]) == 0
+            out = capsys.readouterr().out
+            assert '"repro_cache_accesses_total"' in out
+
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
