@@ -1,0 +1,108 @@
+"""Cluster scaling: aggregate ops/sec as shards go 1 → 8.
+
+Performance benchmark (not reproduction).  On a single-CPU container the
+shards cannot scale by burning more cores, so the workload is made
+latency-bound instead: every shard's fault plan slow-lorises each inbound
+frame by a fixed delay.  One client session per shard then serves at most
+``1/delay`` ops/sec — but N shards sleep *concurrently*, so aggregate
+throughput scales with the shard count, which is exactly the property the
+consistent-hash router is supposed to buy.  The path set is balanced
+(equal paths per shard) so the ring, not luck, sets the ceiling.
+
+Results land in ``benchmarks/results/cluster_scaling.json``; the test
+asserts ops/sec increases monotonically over 1 → 2 → 4 shards (8 is
+recorded but not asserted — at that scale per-frame event-loop overhead
+starts to rival the injected delay).
+"""
+
+import asyncio
+import json
+import time
+
+from conftest import run_once
+
+from repro.cluster import ClusterClient, ClusterSupervisor
+from repro.faults.plan import FaultPlan
+
+SHARD_COUNTS = (1, 2, 4, 8)
+PATHS_PER_SHARD = 6
+BLOCKS_PER_FILE = 4
+WORKERS = 16
+TOTAL_OPS = 384
+DELAY_S = 0.002
+
+
+def _balanced_paths(cc, shards):
+    """PATHS_PER_SHARD paths owned by each shard, interleaved by owner."""
+    by_shard = {sid: [] for sid in cc.ring.shards}
+    candidate = 0
+    while any(len(owned) < PATHS_PER_SHARD for owned in by_shard.values()):
+        path = f"/scale-{candidate}.dat"
+        candidate += 1
+        assert candidate < 10_000, "ring never produced a balanced path set"
+        owned = by_shard[cc.shard_of(path)]
+        if len(owned) < PATHS_PER_SHARD:
+            owned.append(path)
+    return [path for group in zip(*by_shard.values()) for path in group]
+
+
+async def _drive(shards):
+    plan = FaultPlan(seed=1, slow_loris_rate=1.0, slow_loris_s=DELAY_S)
+    sup = ClusterSupervisor(shards=shards, cache_mb=4, faults=plan)
+    await sup.start()
+    cc = await ClusterClient.connect(sup, name="scale")
+    paths = _balanced_paths(cc, shards)
+    for path in paths:
+        await cc.open(path, size_blocks=BLOCKS_PER_FILE)
+
+    ops_per_worker = TOTAL_OPS // WORKERS
+
+    async def hammer(worker):
+        for op in range(ops_per_worker):
+            path = paths[(worker + op) % len(paths)]
+            await cc.read(path, op % BLOCKS_PER_FILE)
+
+    start = time.perf_counter()
+    await asyncio.gather(*(hammer(w) for w in range(WORKERS)))
+    elapsed = time.perf_counter() - start
+
+    served = sum(sup.daemon_of(sid).requests_served for sid in sup.ring.shards)
+    assert served >= TOTAL_OPS
+    await cc.aclose()
+    await sup.aclose()
+    return elapsed
+
+
+def _sweep():
+    results = {}
+    for shards in SHARD_COUNTS:
+        elapsed = asyncio.run(_drive(shards))
+        results[shards] = {
+            "shards": shards,
+            "ops": TOTAL_OPS,
+            "elapsed_s": round(elapsed, 4),
+            "ops_per_sec": round(TOTAL_OPS / elapsed, 1),
+        }
+    return results
+
+
+def test_cluster_scaling(benchmark, results_dir):
+    results = run_once(benchmark, _sweep)
+
+    rates = {shards: results[shards]["ops_per_sec"] for shards in SHARD_COUNTS}
+    assert rates[1] < rates[2] < rates[4], rates
+
+    record = {
+        "workload": {
+            "total_ops": TOTAL_OPS,
+            "workers": WORKERS,
+            "paths_per_shard": PATHS_PER_SHARD,
+            "slow_loris_s": DELAY_S,
+        },
+        "scales": {str(shards): results[shards] for shards in SHARD_COUNTS},
+        "monotonic_1_to_4": rates[1] < rates[2] < rates[4],
+    }
+    path = results_dir / "cluster_scaling.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    lines = ", ".join(f"{s}x={rates[s]:,.0f}" for s in SHARD_COUNTS)
+    print(f"\ncluster scaling (ops/sec): {lines}")

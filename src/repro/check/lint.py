@@ -37,6 +37,14 @@ R008  Instrumentation goes through :mod:`repro.telemetry`: library code
       belong in the metrics registry (or a named attribute on a stats
       class); human output belongs to the CLI layers (``repro/harness``,
       ``repro/check``, the serve/metrics entry points), which are exempt.
+R009  ``repro/server/protocol.py`` is the single registry of the wire
+      protocol: every verb literal a module compares against (``verb ==
+      "flush"``) or collects into a ``*_VERBS`` set must be declared in
+      ``KERNEL_VERBS``/``PROTOCOL_VERBS`` there, so router, daemon and
+      clients cannot drift apart silently.  And within ``repro/cluster``
+      only the supervisor may instantiate ``CacheDaemon`` — a shard built
+      anywhere else would be invisible to the ring, the health loop and
+      the cluster telemetry.
 
 Usage::
 
@@ -120,7 +128,17 @@ BARE_IO_EXCEPTIONS = frozenset({"OSError", "IOError"})
 COUNTER_DICT_EXEMPT_DIRS = ("repro/telemetry/",)
 #: ...and print() is reserved for the CLI/report layers.
 PRINT_EXEMPT_DIRS = ("repro/telemetry/", "repro/harness/", "repro/check/")
-PRINT_EXEMPT_FILES = frozenset({"repro/server/daemon.py"})  # serve CLI status lines
+PRINT_EXEMPT_FILES = frozenset(
+    {"repro/server/daemon.py", "repro/cluster/cli.py"}  # serve/cluster CLI status lines
+)
+
+#: R009: the single registry of wire verbs, and the verb-set names it
+#: declares them in.
+PROTOCOL_REGISTRY = "repro/server/protocol.py"
+VERB_SET_NAMES = ("KERNEL_VERBS", "PROTOCOL_VERBS")
+#: ...and the cluster's single daemon factory.
+CLUSTER_DIR = "repro/cluster/"
+CLUSTER_DAEMON_FACTORY = "repro/cluster/supervisor.py"
 
 
 @dataclass(frozen=True)
@@ -211,6 +229,17 @@ class _FileLinter(ast.NodeVisitor):
                 "print() in library code — human output belongs to the CLI "
                 "layers; instrumentation goes through repro.telemetry",
             )
+        if self.relpath.startswith(CLUSTER_DIR) and self.relpath != CLUSTER_DAEMON_FACTORY:
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+            if name == "CacheDaemon":
+                self._add(
+                    "R009",
+                    node,
+                    "CacheDaemon instantiated outside the supervisor — within "
+                    "repro/cluster only supervisor.py builds shard daemons, so "
+                    "the ring, the health loop and the cluster telemetry always "
+                    "know the shard exists",
+                )
         if (
             isinstance(func, ast.Name)
             and func.id == "isinstance"
@@ -550,6 +579,138 @@ def check_policy_registry(root: Path) -> List[Finding]:
     return findings
 
 
+# -- R009: wire verbs are declared in the protocol registry (cross-file) --
+
+
+def _is_verb_expr(node: ast.expr) -> bool:
+    """Whether ``node`` reads like the verb of a request (``verb`` or
+    ``msg.verb``/``x.verb`` attribute access)."""
+    return (isinstance(node, ast.Name) and node.id == "verb") or (
+        isinstance(node, ast.Attribute) and node.attr == "verb"
+    )
+
+
+def _str_constants(node: ast.expr) -> List[Tuple[str, int]]:
+    """Every string literal inside a constant/tuple/set/list expression."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [(node.value, node.lineno)]
+    if isinstance(node, (ast.Tuple, ast.Set, ast.List)):
+        out: List[Tuple[str, int]] = []
+        for elt in node.elts:
+            out.extend(_str_constants(elt))
+        return out
+    return []
+
+
+def _verb_literals(tree: ast.AST) -> List[Tuple[str, int, str]]:
+    """Every wire-verb literal this module handles: ``(verb, line, how)``.
+
+    Two shapes count as "handling a verb": comparing a verb expression
+    against string literals (``verb == "flush"``, ``verb in ("ping",
+    "hello")``) and collecting literals into a module-level ``*_VERBS``
+    set (``IDEMPOTENT_VERBS = frozenset({...})``).
+    """
+    found: List[Tuple[str, int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            sides = [node.left] + list(node.comparators)
+            if not any(_is_verb_expr(side) for side in sides):
+                continue
+            if not any(
+                isinstance(op, (ast.Eq, ast.NotEq, ast.In, ast.NotIn)) for op in node.ops
+            ):
+                continue
+            for side in sides:
+                for literal, line in _str_constants(side):
+                    found.append((literal, line, "comparison"))
+        elif isinstance(node, ast.Assign):
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if not any(name.endswith("_VERBS") for name in names):
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("frozenset", "set", "tuple")
+                and value.args
+            ):
+                value = value.args[0]
+            for literal, line in _str_constants(value):
+                found.append((literal, line, "verb set"))
+    return found
+
+
+def _declared_verbs(protocol_path: Path) -> Optional[Set[str]]:
+    """The verbs declared in the protocol registry, or None if unparsable."""
+    try:
+        tree = ast.parse(protocol_path.read_text(), filename=str(protocol_path))
+    except (OSError, SyntaxError):
+        return None
+    declared: Set[str] = set()
+    seen_sets = 0
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if not any(name in VERB_SET_NAMES for name in names):
+            continue
+        seen_sets += 1
+        for literal, _ in _verb_literals_of_value(node.value):
+            declared.add(literal)
+    return declared if seen_sets else None
+
+
+def _verb_literals_of_value(value: ast.expr) -> List[Tuple[str, int]]:
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in ("frozenset", "set", "tuple")
+        and value.args
+    ):
+        value = value.args[0]
+    return _str_constants(value)
+
+
+def check_verb_declarations(root: Path) -> List[Finding]:
+    """R009 (verb half) over ``<root>/repro``: every verb handled anywhere
+    must be declared in the protocol registry."""
+    protocol = root / Path(PROTOCOL_REGISTRY)
+    if not protocol.exists():
+        return []
+    declared = _declared_verbs(protocol)
+    if declared is None:
+        return [
+            Finding(
+                "R009",
+                PROTOCOL_REGISTRY,
+                1,
+                "could not find KERNEL_VERBS/PROTOCOL_VERBS declarations",
+            )
+        ]
+    findings: List[Finding] = []
+    for path in sorted((root / "repro").rglob("*.py")):
+        relpath = path.relative_to(root).as_posix()
+        if relpath == PROTOCOL_REGISTRY:
+            continue
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except (OSError, SyntaxError):
+            continue
+        for verb, line, how in _verb_literals(tree):
+            if verb not in declared:
+                findings.append(
+                    Finding(
+                        "R009",
+                        relpath,
+                        line,
+                        f"wire verb '{verb}' handled here ({how}) but not "
+                        "declared in repro/server/protocol.py — the protocol "
+                        "registry is the single source of the verb surface",
+                    )
+                )
+    return findings
+
+
 # -- tree driver ---------------------------------------------------------
 
 
@@ -583,6 +744,7 @@ def lint_tree(path) -> List[Finding]:
             rel = file.as_posix()
         findings.extend(lint_source(file.read_text(), rel))
     findings.extend(check_policy_registry(root))
+    findings.extend(check_verb_declarations(root))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 

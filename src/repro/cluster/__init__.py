@@ -1,0 +1,35 @@
+"""repro.cluster — a sharded multi-daemon cache cluster.
+
+The paper's kernel serves every process from one buffer cache on one
+machine; this package is the first scale-out layer.  A consistent-hash
+ring (:mod:`repro.cluster.ring`) partitions the file-path space across N
+independent :class:`~repro.server.daemon.CacheDaemon` shards run by a
+:class:`~repro.cluster.supervisor.ClusterSupervisor`; a shard-aware
+:class:`~repro.cluster.client.ClusterClient` routes per-path verbs and
+fans out the service verbs; a :class:`~repro.cluster.health.HealthMonitor`
+pings shards and restarts dead ones, resuming the sessions that were
+bound to them via the hello-token mechanism.
+
+Nothing is replicated: each shard owns its ring span exclusively, so the
+cluster is a partitioned cache, not a replicated store (see
+``docs/cluster.md`` for what that does and does not promise).
+"""
+
+from repro.cluster.aggregate import merge_prometheus, merge_snapshots, merge_stats
+from repro.cluster.client import PATH_VERBS, ClusterClient
+from repro.cluster.health import HealthMonitor
+from repro.cluster.ring import HashRing, stable_hash
+from repro.cluster.supervisor import ClusterSupervisor, ShardHandle
+
+__all__ = [
+    "ClusterClient",
+    "ClusterSupervisor",
+    "HashRing",
+    "HealthMonitor",
+    "PATH_VERBS",
+    "ShardHandle",
+    "merge_prometheus",
+    "merge_snapshots",
+    "merge_stats",
+    "stable_hash",
+]

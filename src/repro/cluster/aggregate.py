@@ -1,0 +1,167 @@
+"""Merging per-shard replies into one cluster-level view.
+
+Three fan-out verbs need aggregation: ``stats`` (JSON counters),
+``metrics`` in Prometheus exposition format (text families) and
+``metrics`` in JSON snapshot format.  The Prometheus merge is the
+delicate one: each family's ``# HELP``/``# TYPE`` header must appear
+exactly once no matter how many shards exported it, and every sample
+line gains a ``shard="..."`` label so a scrape can tell the shards
+apart.  The same merge backs the multi-endpoint ``repro-accfc metrics``
+scraper, where the "shard" is the endpoint string.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple
+
+#: per-session counter keys that sum meaningfully across shards
+_SUMMABLE = (
+    "opens",
+    "accesses",
+    "hits",
+    "misses",
+    "disk_reads",
+    "disk_writes",
+    "block_ios",
+    "directives",
+    "busy_rejections",
+)
+
+
+def merge_stats(per_shard: Mapping[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Cluster totals over per-shard ``stats`` replies.
+
+    The raw per-shard replies ride along under ``"shards"`` so nothing
+    is lost; the top level carries what operators actually page on:
+    summed session counters, total resident frames and an aggregate
+    hit ratio.
+    """
+    totals: Dict[str, int] = {key: 0 for key in _SUMMABLE}
+    sessions = 0
+    requests_served = 0
+    resident = 0
+    frames = 0
+    for reply in per_shard.values():
+        server = reply.get("server", {})
+        cache = reply.get("cache", {})
+        sessions += int(server.get("sessions", 0))
+        requests_served += int(server.get("requests_served", 0))
+        resident += int(cache.get("resident", 0))
+        frames += int(cache.get("frames", 0))
+        for entry in reply.get("sessions", []):
+            for key in _SUMMABLE:
+                totals[key] += int(entry.get(key, 0))
+    accesses = totals["accesses"]
+    return {
+        "shard_count": len(per_shard),
+        "sessions": sessions,
+        "requests_served": requests_served,
+        "resident": resident,
+        "frames": frames,
+        "hit_ratio": (totals["hits"] / accesses) if accesses else 0.0,
+        "totals": totals,
+        "shards": dict(per_shard),
+    }
+
+
+def _label_line(line: str, shard: str) -> str:
+    """Insert ``shard="..."`` into one Prometheus sample line.
+
+    A sample that already carries a ``shard`` label (the cluster's own
+    families do) is passed through unchanged — a duplicated label name
+    would make the exposition invalid.
+    """
+    label = f'shard="{shard}"'
+    brace = line.find("{")
+    if brace >= 0:
+        close = line.rfind("}")
+        body = line[brace + 1 : close]
+        if 'shard="' in body:
+            return line
+        sep = "," if body else ""
+        return f"{line[:brace]}{{{label}{sep}{body}}}{line[close + 1:]}"
+    space = line.find(" ")
+    if space < 0:  # malformed; pass through untouched
+        return line
+    return f"{line[:space]}{{{label}}}{line[space:]}"
+
+
+def merge_prometheus(per_shard: Mapping[str, str]) -> str:
+    """Concatenate per-shard expositions into one, shard-labelled.
+
+    Families are grouped: one ``# HELP`` + ``# TYPE`` header per family
+    name (first shard's wording wins), followed by every shard's samples
+    for that family.  Family order is first-seen across shards, which
+    for identical daemons means the exporter's own sorted order.
+    """
+    headers: Dict[str, List[str]] = {}
+    samples: Dict[str, List[str]] = {}
+    order: List[str] = []
+
+    for shard, text in per_shard.items():
+        family = None
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                name = line.split()[2]
+                if name not in headers:
+                    headers[name] = []
+                    samples[name] = []
+                    order.append(name)
+                # keep the first shard's HELP/TYPE pair only
+                if line not in headers[name] and len(headers[name]) < 2:
+                    headers[name].append(line)
+                family = name
+            elif line.startswith("#"):
+                continue
+            else:
+                name = line.split("{", 1)[0].split(" ", 1)[0]
+                # histogram children (_bucket/_sum/_count) belong to the
+                # parent family whose header we last saw
+                owner = family if family and name.startswith(family) else name
+                if owner not in headers:
+                    headers[owner] = []
+                    samples[owner] = []
+                    order.append(owner)
+                samples[owner].append(_label_line(line, shard))
+
+    out: List[str] = []
+    for name in order:
+        out.extend(headers[name])
+        out.extend(samples[name])
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def merge_snapshots(per_shard: Mapping[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-shard JSON metric snapshots, shard-labelling each sample.
+
+    A snapshot maps family name -> {"help": ..., "type": ...,
+    "samples": [{"labels": {...}, "value": ...}, ...]} (the registry's
+    ``snapshot()`` shape).
+    """
+    merged: Dict[str, Any] = {}
+    for shard, snapshot in per_shard.items():
+        for name, family in snapshot.items():
+            if name not in merged:
+                merged[name] = {k: v for k, v in family.items() if k != "samples"}
+                merged[name]["samples"] = []
+            for sample in family.get("samples", ()):
+                labels = dict(sample.get("labels", {}))
+                labels.setdefault("shard", shard)
+                stamped = dict(sample)
+                stamped["labels"] = labels
+                merged[name]["samples"].append(stamped)
+    return merged
+
+
+def merge_traces(per_shard: Mapping[str, List[Dict[str, Any]]]) -> List[Dict[str, Any]]:
+    """Concatenate per-shard span lists, tagging each span with its shard."""
+    spans: List[Tuple[Any, Dict[str, Any]]] = []
+    for shard, records in per_shard.items():
+        for record in records:
+            tagged = dict(record)
+            tagged["shard"] = shard
+            spans.append((record.get("start", 0), tagged))
+    spans.sort(key=lambda item: item[0])
+    return [span for _, span in spans]

@@ -1,0 +1,147 @@
+"""``repro-accfc cluster``: run a sharded cache cluster from the shell.
+
+Starts N shards under a :class:`~repro.cluster.supervisor.ClusterSupervisor`
+(each listening on TCP so external clients can reach them), prints the
+per-shard addresses and ring spans, and runs the
+:class:`~repro.cluster.health.HealthMonitor` until SIGINT/SIGTERM, then
+shuts every shard down gracefully.
+
+Clients connect with :meth:`ClusterClient.connect_tcp` using the printed
+address list, or scrape any shard (or all of them) with
+``repro-accfc metrics --all-shards N``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+from typing import List, Optional
+
+from repro.cluster.health import (
+    DEFAULT_FAILURES,
+    DEFAULT_INTERVAL_S,
+    DEFAULT_TIMEOUT_S,
+    HealthMonitor,
+)
+from repro.cluster.supervisor import ClusterSupervisor
+from repro.faults.plan import FaultPlan
+from repro.server.session import DEFAULT_GLOBAL_LIMIT, DEFAULT_WINDOW
+
+
+def cluster_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-accfc cluster``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-accfc cluster",
+        description="Run a sharded multi-daemon cache cluster with "
+        "consistent-hash routing and automatic failover.",
+    )
+    parser.add_argument("--shards", type=int, default=3, help="number of shards")
+    parser.add_argument("--vnodes", type=int, default=64, help="virtual nodes per shard")
+    parser.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    parser.add_argument(
+        "--port-base",
+        type=int,
+        default=0,
+        help="shard i listens on port-base+i (0 = ephemeral ports)",
+    )
+    parser.add_argument("--cache-mb", type=float, default=6.4, help="per-shard cache size in MB")
+    parser.add_argument(
+        "--policy",
+        default="lru-sp",
+        help="per-shard allocation policy (global-lru, alloc-lru, lru-s, lru-sp)",
+    )
+    parser.add_argument("--window", type=int, default=DEFAULT_WINDOW, help="per-session inflight window")
+    parser.add_argument(
+        "--global-limit",
+        type=int,
+        default=DEFAULT_GLOBAL_LIMIT,
+        help="per-shard global pending limit (BUSY past this)",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN",
+        help="fault plan for every shard: inline JSON or a JSON file path",
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="attach hot-path telemetry on every shard (same as REPRO_TELEMETRY=1)",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="attach the runtime invariant sanitizer on every shard",
+    )
+    parser.add_argument(
+        "--subprocess",
+        action="store_true",
+        help="run each shard as its own 'repro-accfc serve' process",
+    )
+    parser.add_argument(
+        "--health-interval",
+        type=float,
+        default=max(DEFAULT_INTERVAL_S, 0.5),
+        help="seconds between health sweeps",
+    )
+    parser.add_argument(
+        "--health-failures",
+        type=int,
+        default=DEFAULT_FAILURES,
+        help="consecutive ping failures before a shard is declared DOWN",
+    )
+    args = parser.parse_args(argv)
+    try:
+        faults = FaultPlan.from_spec(args.faults) if args.faults else None
+    except (ValueError, OSError) as exc:
+        parser.error(f"--faults: {exc}")
+    return asyncio.run(_cluster(args, faults))
+
+
+async def _cluster(args: argparse.Namespace, faults: Optional[FaultPlan]) -> int:
+    supervisor = ClusterSupervisor(
+        shards=args.shards,
+        vnodes=args.vnodes,
+        cache_mb=args.cache_mb,
+        policy=args.policy,
+        window=args.window,
+        global_limit=args.global_limit,
+        sanitize=True if args.sanitize else None,
+        faults=faults,
+        telemetry=True if args.telemetry else None,
+        trace=True,
+        spawn="subprocess" if args.subprocess else "inproc",
+    )
+    await supervisor.start_tcp(args.host, args.port_base)
+    spans = supervisor.ring.spans()
+    for sid, handle in supervisor.shards.items():
+        host, port = handle.address  # type: ignore[misc]
+        print(
+            f"repro-accfc cluster: {sid} listening on {host}:{port} "
+            f"(ring span {100.0 * spans[sid]:.1f}%)",
+            flush=True,
+        )
+    monitor = HealthMonitor(
+        supervisor,
+        failures=args.health_failures,
+        interval_s=args.health_interval,
+        timeout_s=DEFAULT_TIMEOUT_S,
+    )
+    monitor.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-posix
+            pass
+    await stop.wait()
+    await monitor.aclose()
+    results = await supervisor.aclose()
+    served = sum(int(r.get("requests_served", 0)) for r in results.values() if isinstance(r, dict))
+    print(
+        f"repro-accfc cluster: shut down cleanly; {len(results)} shards, "
+        f"{monitor.failovers} failovers, {served} requests served",
+        flush=True,
+    )
+    return 0

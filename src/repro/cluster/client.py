@@ -1,0 +1,281 @@
+"""The shard-aware client: route by path, fan out the service verbs.
+
+A :class:`ClusterClient` holds one :class:`~repro.server.client.CacheClient`
+per shard and the same :class:`~repro.cluster.ring.HashRing` the
+supervisor built.  Per-path verbs (``open``/``read``/``write`` and the
+path-keyed fbehavior directives) go to the path's owning shard only;
+service verbs (``stats``/``metrics``/``flush``/``ping``) fan out to every
+shard concurrently and the replies are merged.  ``set_policy`` also fans
+out, because the priority→policy table is global configuration that every
+shard must agree on.
+
+Routing is **stable**: a shard being DOWN does not remap its span.  A
+request to a dead shard retries (the per-shard ``CacheClient`` redials
+through the supervisor's endpoint list) until the health loop restarts
+the daemon — acknowledged writes are never served stale by a neighbour
+that never saw them.  The ring's ``exclude`` lookup exists for an
+explicitly-degraded availability mode; this client does not use it.  See
+``docs/cluster.md``.
+
+Every routed call is wrapped in a ``cluster.route`` span and counted in
+``repro_cluster_requests_total{shard=...}``; fan-outs get a
+``cluster.fanout`` span and ``repro_cluster_fanouts_total{verb=...}``.
+Spans use ``start_span``/``end`` directly (no context-stack push): routed
+calls to different shards overlap, and the tracer stack is only correct
+for strictly nested work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.aggregate import merge_prometheus, merge_snapshots, merge_stats, merge_traces
+from repro.cluster.ring import HashRing
+from repro.server.client import DEFAULT_CLIENT_WINDOW, CacheClient, RetryPolicy
+from repro.telemetry import Telemetry
+
+#: verbs routed to a single shard by their ``path`` parameter
+PATH_VERBS = frozenset(
+    {"open", "read", "write", "set_priority", "get_priority", "set_temppri"}
+)
+
+#: verbs fanned out to every shard
+FANOUT_VERBS = frozenset({"stats", "metrics", "flush", "ping", "set_policy"})
+
+
+class ClusterClient:
+    """One logical client over N shards."""
+
+    def __init__(
+        self,
+        ring: HashRing,
+        clients: Dict[str, CacheClient],
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if set(ring.shards) != set(clients):
+            raise ValueError("ring shards and client map disagree")
+        self.ring = ring
+        self.clients = clients
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        registry = self.telemetry.registry
+        self._requests = registry.counter(
+            "repro_cluster_requests_total",
+            "Requests routed to each shard by the cluster client.",
+            labels=("shard",),
+        )
+        self._fanouts = registry.counter(
+            "repro_cluster_fanouts_total",
+            "Fan-out operations (all-shard verbs) by verb.",
+            labels=("verb",),
+        )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    async def connect(
+        cls,
+        supervisor: Any,
+        name: Optional[str] = None,
+        window: int = DEFAULT_CLIENT_WINDOW,
+        retry: Optional[RetryPolicy] = None,
+    ) -> "ClusterClient":
+        """Dial every shard of a :class:`ClusterSupervisor`.
+
+        Shares the supervisor's cluster telemetry, so routing counters
+        and failover counters land in one registry.
+        """
+        clients: Dict[str, CacheClient] = {}
+        try:
+            for sid in supervisor.ring.shards:
+                shard_name = f"{name}@{sid}" if name else None
+                clients[sid] = await CacheClient.connect(
+                    supervisor.endpoints(sid), shard_name, window, retry
+                )
+        except BaseException:
+            await asyncio.gather(
+                *(c.aclose() for c in clients.values()), return_exceptions=True
+            )
+            raise
+        return cls(supervisor.ring, clients, telemetry=supervisor.telemetry)
+
+    @classmethod
+    async def connect_tcp(
+        cls,
+        addresses: Sequence[Tuple[str, int]],
+        vnodes: int = 64,
+        name: Optional[str] = None,
+        window: int = DEFAULT_CLIENT_WINDOW,
+        retry: Optional[RetryPolicy] = None,
+        telemetry: Optional[Telemetry] = None,
+    ) -> "ClusterClient":
+        """Dial a cluster by address list (shard i = ``addresses[i]``)."""
+        ring = HashRing([f"shard-{i}" for i in range(len(addresses))], vnodes=vnodes)
+        clients: Dict[str, CacheClient] = {}
+        try:
+            for sid, (host, port) in zip(ring.shards, addresses):
+                shard_name = f"{name}@{sid}" if name else None
+                clients[sid] = await CacheClient.connect(
+                    [("tcp", host, port)], shard_name, window, retry
+                )
+        except BaseException:
+            await asyncio.gather(
+                *(c.aclose() for c in clients.values()), return_exceptions=True
+            )
+            raise
+        return cls(ring, clients, telemetry=telemetry)
+
+    # -- routing -----------------------------------------------------------
+
+    def shard_of(self, path: str) -> str:
+        """The shard id owning ``path`` (stable routing; no exclusions)."""
+        return self.ring.shard_for(path)
+
+    def client_of(self, path: str) -> CacheClient:
+        return self.clients[self.shard_of(path)]
+
+    async def _routed(self, verb: str, path: str, call: Callable[[CacheClient], Awaitable[Any]]) -> Any:
+        sid = self.shard_of(path)
+        self._requests.labels(shard=sid).inc()
+        tracer = self.telemetry.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                "cluster.route", layer="cluster", verb=verb, path=path, shard=sid
+            )
+        try:
+            return await call(self.clients[sid])
+        finally:
+            if span is not None:
+                span.end()
+
+    async def call(self, verb: str, **params: Any) -> Any:
+        """Generic wire call, routed the same way the typed methods are.
+
+        Path verbs need a string ``path`` to route on; anything else —
+        including malformed requests a fuzzer may produce — goes to the
+        first shard, which answers with the protocol's own error reply.
+        """
+        path = params.get("path")
+        if verb in PATH_VERBS and isinstance(path, str):
+            return await self._routed(
+                verb, path, lambda client: client.call(verb, **params)
+            )
+        sid = self.ring.shards[0]
+        self._requests.labels(shard=sid).inc()
+        return await self.clients[sid].call(verb, **params)
+
+    # -- fan-out -----------------------------------------------------------
+
+    async def _fanout(
+        self, verb: str, call: Callable[[CacheClient], Awaitable[Any]]
+    ) -> Dict[str, Any]:
+        self._fanouts.labels(verb=verb).inc()
+        tracer = self.telemetry.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                "cluster.fanout", layer="cluster", verb=verb, shards=len(self.clients)
+            )
+        try:
+            sids = list(self.clients)
+            replies = await asyncio.gather(*(call(self.clients[sid]) for sid in sids))
+            return dict(zip(sids, replies))
+        finally:
+            if span is not None:
+                span.end()
+
+    # -- the file API (routed) ---------------------------------------------
+
+    async def open(
+        self, path: str, size_blocks: Optional[int] = None, disk: Optional[str] = None
+    ) -> Dict[str, Any]:
+        return await self._routed(
+            "open", path, lambda c: c.open(path, size_blocks, disk)
+        )
+
+    async def read(self, path: str, blockno: int) -> bool:
+        return await self._routed("read", path, lambda c: c.read(path, blockno))
+
+    async def write(self, path: str, blockno: int, whole: bool = True) -> bool:
+        return await self._routed("write", path, lambda c: c.write(path, blockno, whole))
+
+    # -- fbehavior directives ----------------------------------------------
+
+    async def set_priority(self, path: str, prio: int) -> None:
+        await self._routed("set_priority", path, lambda c: c.set_priority(path, prio))
+
+    async def get_priority(self, path: str) -> int:
+        return await self._routed("get_priority", path, lambda c: c.get_priority(path))
+
+    async def set_temppri(self, path: str, start: int, end: int, prio: int) -> None:
+        await self._routed(
+            "set_temppri", path, lambda c: c.set_temppri(path, start, end, prio)
+        )
+
+    async def set_policy(self, prio: int, policy: str) -> None:
+        """Global configuration: applied on every shard."""
+        await self._fanout("set_policy", lambda c: c.set_policy(prio, policy))
+
+    async def get_policy(self, prio: int) -> str:
+        """Read from the first shard (set_policy keeps them in agreement)."""
+        sid = self.ring.shards[0]
+        return await self.clients[sid].get_policy(prio)
+
+    # -- service verbs (fanned out) ----------------------------------------
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self._fanout("ping", lambda c: c.ping())
+
+    async def stats(self) -> Dict[str, Any]:
+        """Merged cluster statistics (raw per-shard under ``"shards"``)."""
+        return merge_stats(await self._fanout("stats", lambda c: c.stats()))
+
+    async def flush(self) -> int:
+        """Flush every shard; returns the total blocks written."""
+        replies = await self._fanout("flush", lambda c: c.flush())
+        return sum(int(n) for n in replies.values())
+
+    async def metrics(self, format: str = "json") -> Dict[str, Any]:
+        """Aggregated telemetry with a ``shard`` label on every sample.
+
+        The cluster's own families (routing counters, failover counters,
+        shard-up gauges) are appended under the shard label ``cluster``.
+        """
+        replies = await self._fanout(
+            "metrics", lambda c: c.metrics(format=format)
+        )
+        if format == "prometheus":
+            texts = {sid: reply.get("text", "") for sid, reply in replies.items()}
+            texts["cluster"] = self.telemetry.prometheus()
+            return {"format": "prometheus", "text": merge_prometheus(texts)}
+        if format == "trace":
+            spans = {sid: reply.get("spans", []) for sid, reply in replies.items()}
+            tracer = self.telemetry.tracer
+            spans["cluster"] = tracer.records() if tracer is not None else []
+            return {"format": "trace", "spans": merge_traces(spans)}
+        if format in ("json", "both"):
+            snaps = {
+                sid: reply.get("telemetry", {}).get("metrics", {})
+                for sid, reply in replies.items()
+            }
+            snaps["cluster"] = self.telemetry.snapshot()["metrics"]
+            merged: Dict[str, Any] = {
+                "format": format,
+                "telemetry": {"metrics": merge_snapshots(snaps)},
+            }
+            if format == "both":
+                texts = {sid: reply.get("text", "") for sid, reply in replies.items()}
+                texts["cluster"] = self.telemetry.prometheus()
+                merged["text"] = merge_prometheus(texts)
+            return merged
+        # Unknown format: let a shard produce the protocol error reply.
+        return replies  # pragma: no cover - daemon raises BAD_REQUEST first
+
+    # -- teardown ----------------------------------------------------------
+
+    async def aclose(self) -> None:
+        await asyncio.gather(
+            *(client.aclose() for client in self.clients.values()),
+            return_exceptions=True,
+        )

@@ -1,0 +1,137 @@
+"""The health loop: ping shards, declare death, restart, resume.
+
+A :class:`HealthMonitor` pings every shard on a fixed interval over a
+*fresh* connection (a cached transport would test the cache, not the
+shard).  One failed ping means nothing — a slow disk, a dropped frame
+from the shard's fault plan — so a shard is only declared DOWN after
+``failures`` consecutive misses.  Declaring it DOWN triggers failover:
+a ``cluster.failover`` span opens, ``repro_cluster_failovers_total``
+is bumped, the supervisor restarts the daemon (same service, same hello
+tokens for in-process shards) and the span closes once a post-restart
+ping answers.
+
+Clients notice none of this except latency: their per-shard
+``CacheClient`` redials through the supervisor's endpoint list, offers
+its hello token, and resumes the same kernel pid on the restarted
+daemon.  The ring is not remapped — see ``docs/cluster.md`` for why
+stable routing is the default.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional
+
+from repro.cluster.supervisor import ClusterSupervisor
+from repro.server.protocol import ProtocolError, request
+
+#: consecutive ping failures before a shard is declared DOWN
+DEFAULT_FAILURES = 3
+
+DEFAULT_INTERVAL_S = 0.05
+DEFAULT_TIMEOUT_S = 1.0
+
+
+class HealthMonitor:
+    """Watches a supervisor's shards and fails them over when dead."""
+
+    def __init__(
+        self,
+        supervisor: ClusterSupervisor,
+        failures: int = DEFAULT_FAILURES,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ) -> None:
+        if failures < 1:
+            raise ValueError("failure threshold must be at least 1")
+        self.supervisor = supervisor
+        self.failures = failures
+        self.interval_s = interval_s
+        self.timeout_s = timeout_s
+        self.misses: Dict[str, int] = {sid: 0 for sid in supervisor.shards}
+        self.failovers = 0
+        self._task: Optional["asyncio.Task[None]"] = None
+        self._stop = asyncio.Event()
+
+    # -- probes ------------------------------------------------------------
+
+    async def ping(self, sid: str) -> bool:
+        """One health probe over a fresh connection; True when answered."""
+        try:
+            transport = await asyncio.wait_for(
+                self.supervisor.dial(sid), self.timeout_s
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError, LookupError):
+            return False
+        try:
+            await transport.send(request(0, "ping"))
+            reply = await asyncio.wait_for(transport.recv(), self.timeout_s)
+            return reply is not None and reply.get("ok") is True
+        except (ConnectionError, OSError, asyncio.TimeoutError, ProtocolError):
+            return False
+        finally:
+            transport.close()
+
+    async def check_once(self) -> Dict[str, Any]:
+        """Probe every shard once; fail over any that crossed the line."""
+        report: Dict[str, Any] = {}
+        for sid in list(self.supervisor.shards):
+            alive = await self.ping(sid)
+            if alive:
+                self.misses[sid] = 0
+                report[sid] = "up"
+                continue
+            self.misses[sid] += 1
+            report[sid] = f"miss-{self.misses[sid]}"
+            if self.misses[sid] >= self.failures:
+                await self._failover(sid)
+                report[sid] = "failover"
+        return report
+
+    async def _failover(self, sid: str) -> None:
+        """Restart a dead shard; spans + counters record the event."""
+        supervisor = self.supervisor
+        tracer = supervisor.telemetry.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                "cluster.failover", layer="cluster", shard=sid, misses=self.misses[sid]
+            )
+        supervisor.mark_down(sid)
+        supervisor.record_failover(sid)
+        self.failovers += 1
+        try:
+            await supervisor.restart(sid)
+            restored = await self.ping(sid)
+        except Exception as exc:
+            if span is not None:
+                span.end(ok=False, error=f"{type(exc).__name__}: {exc}")
+            raise
+        self.misses[sid] = 0
+        if span is not None:
+            span.end(ok=restored)
+
+    # -- the loop ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Run :meth:`check_once` forever in the background."""
+        if self._task is None:
+            self._stop.clear()
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def _run(self) -> None:
+        while not self._stop.is_set():
+            await self.check_once()
+            try:
+                await asyncio.wait_for(self._stop.wait(), self.interval_s)
+            except asyncio.TimeoutError:
+                continue
+
+    async def aclose(self) -> None:
+        self._stop.set()
+        if self._task is not None:
+            task, self._task = self._task, None
+            try:
+                await task
+            except asyncio.CancelledError:  # pragma: no cover - teardown race
+                pass

@@ -1,0 +1,108 @@
+"""Consistent-hash ring with virtual nodes.
+
+Each shard owns ``vnodes`` points on a 64-bit hash circle; a path is
+served by the shard owning the first point at or clockwise after the
+path's hash.  Virtual nodes smooth the partition: with 64 vnodes per
+shard the largest/smallest span ratio stays small enough that no shard
+becomes a hot spot by construction.
+
+The hash must be stable across processes and Python versions (builtin
+``hash()`` of str is salted per process), so keys are hashed with SHA-1
+and truncated to 64 bits.  Stability matters twice over: the router and
+the equivalence tests must agree on the partition, and a supervisor
+restarted from scratch must rebuild the identical ring.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+_SPACE = 1 << 64
+
+
+def stable_hash(key: str) -> int:
+    """A process-stable 64-bit hash of ``key``."""
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Maps string keys (file paths) to shard ids.
+
+    >>> ring = HashRing(["shard-0", "shard-1"], vnodes=64)
+    >>> ring.shard_for("/data/a.bin") in ("shard-0", "shard-1")
+    True
+    """
+
+    def __init__(self, shards: Iterable[str], vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._hashes: List[int] = []
+        self._owners: List[str] = []
+        self._shards: List[str] = []
+        for shard in shards:
+            self.add_shard(shard)
+        if not self._shards:
+            raise ValueError("ring needs at least one shard")
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        """Shard ids in insertion order."""
+        return tuple(self._shards)
+
+    def add_shard(self, shard: str) -> None:
+        if shard in self._shards:
+            raise ValueError(f"shard {shard!r} already on the ring")
+        self._shards.append(shard)
+        for v in range(self.vnodes):
+            point = stable_hash(f"{shard}#{v}")
+            at = bisect.bisect_left(self._hashes, point)
+            self._hashes.insert(at, point)
+            self._owners.insert(at, shard)
+
+    def remove_shard(self, shard: str) -> None:
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard!r} not on the ring")
+        self._shards.remove(shard)
+        keep = [(h, o) for h, o in zip(self._hashes, self._owners) if o != shard]
+        self._hashes = [h for h, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def shard_for(self, key: str, exclude: FrozenSet[str] = frozenset()) -> str:
+        """The shard owning ``key``.
+
+        ``exclude`` skips shards (e.g. ones currently DOWN) by walking
+        clockwise to the next live owner — the span-remap used by the
+        cluster's optional degraded mode.  Raises LookupError when every
+        shard is excluded.
+        """
+        start = bisect.bisect_right(self._hashes, stable_hash(key))
+        n = len(self._hashes)
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner not in exclude:
+                return owner
+        raise LookupError("every shard is excluded")
+
+    def partition(self, keys: Iterable[str]) -> Dict[str, List[str]]:
+        """Group ``keys`` by owning shard (order preserved within a shard)."""
+        groups: Dict[str, List[str]] = {shard: [] for shard in self._shards}
+        for key in keys:
+            groups[self.shard_for(key)].append(key)
+        return groups
+
+    def spans(self) -> Dict[str, float]:
+        """Fraction of the hash space each shard owns (sums to 1.0)."""
+        totals: Dict[str, int] = {shard: 0 for shard in self._shards}
+        n = len(self._hashes)
+        for i, point in enumerate(self._hashes):
+            prev = self._hashes[i - 1] if i else self._hashes[-1] - _SPACE
+            totals[self._owners[i]] += point - prev
+        return {shard: width / _SPACE for shard, width in totals.items()}
+
+    def points(self) -> Sequence[Tuple[int, str]]:
+        """The (hash, owner) vnode points in ring order (for tests/docs)."""
+        return tuple(zip(self._hashes, self._owners))

@@ -1,0 +1,350 @@
+"""The cluster supervisor: N cache daemons, one ring, one telemetry.
+
+A :class:`ClusterSupervisor` owns the shard processes of the cluster.  A
+shard is one :class:`~repro.server.daemon.CacheDaemon` with its own
+:class:`~repro.server.service.CacheService` (cache, simulated disks,
+fault plan) — shards share nothing, which is the whole point of the
+partition.  Shards run either **in-process** (the default: every daemon
+on this event loop, the mode tests and benchmarks use) or as
+**subprocesses** (each shard is a real ``repro-accfc serve`` process
+reached over TCP).
+
+Failover follows a crash-stop model.  ``kill`` aborts the daemon without
+flushing — queued requests are dropped, dirty blocks stay dirty — but
+the shard's :class:`CacheService` survives, playing the role of the
+machine's kernel and disks outliving the daemon process.  ``restart``
+wraps the same service in a fresh daemon seeded with the predecessor's
+hello tokens, so reconnecting clients resume their kernel pids and every
+acknowledged write is still there.  (Subprocess shards restart cold: a
+new process has new state.  That asymmetry is documented, not hidden —
+see ``docs/cluster.md``.)
+
+Lint rule R009 enforces that this module is the only place in
+``repro/cluster`` allowed to instantiate ``CacheDaemon``: shard
+construction must go through the supervisor, or the health loop and the
+telemetry would not know the shard exists.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.ring import HashRing
+from repro.faults.plan import FaultPlan
+from repro.server.client import EndpointSpec
+from repro.server.daemon import CacheDaemon
+from repro.server.protocol import StreamTransport, Transport
+from repro.server.service import build_config
+from repro.server.session import DEFAULT_GLOBAL_LIMIT, DEFAULT_WINDOW
+from repro.telemetry import Telemetry
+from repro.telemetry.spans import Tracer
+
+_LISTENING = re.compile(r"listening on ([^:\s]+):(\d+)")
+
+
+class ShardHandle:
+    """One shard: its daemon (or subprocess), address and status."""
+
+    def __init__(self, sid: str, index: int) -> None:
+        self.sid = sid
+        self.index = index
+        self.daemon: Optional[CacheDaemon] = None
+        self.proc: Optional[asyncio.subprocess.Process] = None
+        self.address: Optional[Tuple[str, int]] = None
+        self.status = "up"
+        self.restarts = 0
+
+    @property
+    def up(self) -> bool:
+        return self.status == "up"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f"tcp={self.address}" if self.address else "inproc"
+        return f"<ShardHandle {self.sid} {self.status} {where} restarts={self.restarts}>"
+
+
+class ClusterSupervisor:
+    """Start, kill, restart and observe the shards of one cluster."""
+
+    def __init__(
+        self,
+        shards: int = 3,
+        vnodes: int = 64,
+        *,
+        cache_mb: float = 6.4,
+        policy: str = "lru-sp",
+        window: int = DEFAULT_WINDOW,
+        global_limit: int = DEFAULT_GLOBAL_LIMIT,
+        sanitize: Optional[bool] = None,
+        faults: Optional[FaultPlan] = None,
+        shard_faults: Optional[Dict[str, FaultPlan]] = None,
+        telemetry: Optional[bool] = None,
+        trace: bool = False,
+        spawn: str = "inproc",
+    ) -> None:
+        if shards < 1:
+            raise ValueError("cluster needs at least one shard")
+        if spawn not in ("inproc", "subprocess"):
+            raise ValueError(f"unknown spawn mode {spawn!r}")
+        self.spawn = spawn
+        self.cache_mb = cache_mb
+        self.policy = policy
+        self.window = window
+        self.global_limit = global_limit
+        self.sanitize = sanitize
+        self.faults = faults
+        self.shard_faults = dict(shard_faults or {})
+        self.hot_telemetry = telemetry
+        self.shards: Dict[str, ShardHandle] = {}
+        for i in range(shards):
+            sid = f"shard-{i}"
+            self.shards[sid] = ShardHandle(sid, i)
+        self.ring = HashRing(list(self.shards), vnodes=vnodes)
+        #: cluster-level telemetry — routing counters, failover spans.
+        #: Separate from each shard's own registry; the aggregated
+        #: exposition merges all of them.
+        self.telemetry = Telemetry(tracer=Tracer() if trace else None)
+        registry = self.telemetry.registry
+        self._shards_gauge = registry.gauge(
+            "repro_cluster_shards", "Number of shards in the cluster."
+        ).unlabelled
+        self._up_gauge = registry.gauge(
+            "repro_cluster_shard_up",
+            "1 when the shard is serving, 0 while it is DOWN.",
+            labels=("shard",),
+        )
+        self._failovers = registry.counter(
+            "repro_cluster_failovers_total",
+            "Failovers executed (shard marked DOWN and restarted).",
+            labels=("shard",),
+        )
+        self._restarts = registry.counter(
+            "repro_cluster_restarts_total",
+            "Shard daemon restarts performed by the supervisor.",
+            labels=("shard",),
+        )
+        self._host = "127.0.0.1"
+        self._tcp = False
+        self._started = False
+
+    # -- shard construction ------------------------------------------------
+
+    def _plan_for(self, sid: str) -> Optional[FaultPlan]:
+        return self.shard_faults.get(sid, self.faults)
+
+    def _build_daemon(
+        self, sid: str, resume_tokens: Optional[Dict[int, str]] = None, service: Any = None
+    ) -> CacheDaemon:
+        if service is not None:
+            return CacheDaemon(
+                service=service,
+                window=self.window,
+                global_limit=self.global_limit,
+                resume_tokens=resume_tokens,
+            )
+        config = build_config(
+            cache_mb=self.cache_mb,
+            policy=self.policy,
+            sanitize=self.sanitize,
+            faults=self._plan_for(sid),
+            telemetry=self.hot_telemetry,
+        )
+        return CacheDaemon(
+            config,
+            window=self.window,
+            global_limit=self.global_limit,
+            resume_tokens=resume_tokens,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start every shard in-process (no listeners; inproc dialing)."""
+        if self.spawn != "inproc":
+            raise RuntimeError("start() is for in-process shards; use start_tcp()")
+        for handle in self.shards.values():
+            handle.daemon = self._build_daemon(handle.sid)
+            await handle.daemon.start()
+            handle.status = "up"
+            self._up_gauge.labels(shard=handle.sid).set(1)
+        self._shards_gauge.set(len(self.shards))
+        self._started = True
+
+    async def start_tcp(self, host: str = "127.0.0.1", port_base: int = 0) -> None:
+        """Start every shard listening on TCP.
+
+        ``port_base`` of 0 gives each shard an ephemeral port; otherwise
+        shard i listens on ``port_base + i``.  In subprocess mode each
+        shard is a ``repro-accfc serve`` child process.
+        """
+        self._host = host
+        self._tcp = True
+        for handle in self.shards.values():
+            port = 0 if port_base == 0 else port_base + handle.index
+            if self.spawn == "subprocess":
+                await self._spawn_subprocess(handle, host, port)
+            else:
+                handle.daemon = self._build_daemon(handle.sid)
+                handle.address = await handle.daemon.start_tcp(host, port)
+            handle.status = "up"
+            self._up_gauge.labels(shard=handle.sid).set(1)
+        self._shards_gauge.set(len(self.shards))
+        self._started = True
+
+    async def _spawn_subprocess(self, handle: ShardHandle, host: str, port: int) -> None:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.harness.cli",
+            "serve",
+            "--host",
+            host,
+            "--port",
+            str(port),
+            "--cache-mb",
+            str(self.cache_mb),
+            "--policy",
+            self.policy,
+            "--window",
+            str(self.window),
+            "--global-limit",
+            str(self.global_limit),
+        ]
+        plan = self._plan_for(handle.sid)
+        if plan is not None:
+            argv.extend(["--faults", json.dumps(plan.as_dict())])
+        if self.hot_telemetry:
+            argv.append("--telemetry")
+        if self.sanitize:
+            argv.append("--sanitize")
+        proc = await asyncio.create_subprocess_exec(
+            *argv,
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.DEVNULL,
+        )
+        assert proc.stdout is not None
+        line = (await proc.stdout.readline()).decode("utf-8", "replace")
+        match = _LISTENING.search(line)
+        if not match:
+            proc.kill()
+            await proc.wait()
+            raise RuntimeError(f"shard {handle.sid} failed to start: {line!r}")
+        handle.proc = proc
+        handle.address = (match.group(1), int(match.group(2)))
+
+    # -- addressing --------------------------------------------------------
+
+    def daemon_of(self, sid: str) -> CacheDaemon:
+        """The shard's *current* in-process daemon (changes on restart)."""
+        handle = self.shards[sid]
+        if handle.daemon is None:
+            raise LookupError(f"shard {sid} has no in-process daemon")
+        return handle.daemon
+
+    def endpoints(self, sid: str) -> List[EndpointSpec]:
+        """The ordered address list a client should dial for ``sid``.
+
+        The in-process form is a *callable* resolving to the current
+        daemon, so a redial after a failover reaches the restarted one.
+        """
+        handle = self.shards[sid]
+        if handle.address is not None:
+            return [("tcp", handle.address[0], handle.address[1])]
+        return [("inproc", lambda sid=sid: self.daemon_of(sid))]
+
+    async def dial(self, sid: str) -> Transport:
+        """A raw transport to the shard (health pings; no session frills)."""
+        handle = self.shards[sid]
+        if handle.address is not None:
+            reader, writer = await asyncio.open_connection(*handle.address)
+            return StreamTransport(reader, writer)
+        return await self.daemon_of(sid).connect_inproc()
+
+    # -- failover ----------------------------------------------------------
+
+    async def kill(self, sid: str) -> None:
+        """Crash-stop one shard (no drain, no flush) and mark it DOWN."""
+        handle = self.shards[sid]
+        if handle.proc is not None:
+            handle.proc.kill()
+            await handle.proc.wait()
+        elif handle.daemon is not None:
+            await handle.daemon.abort()
+        handle.status = "down"
+        self._up_gauge.labels(shard=sid).set(0)
+
+    def mark_down(self, sid: str) -> None:
+        """Record a shard as DOWN without touching it (health loop)."""
+        handle = self.shards[sid]
+        handle.status = "down"
+        self._up_gauge.labels(shard=sid).set(0)
+
+    async def restart(self, sid: str) -> None:
+        """Bring a dead shard back.
+
+        In-process shards keep their :class:`CacheService` — kernel state
+        and simulated disks survive the daemon crash — and the new daemon
+        inherits the old one's hello tokens, so clients resume their
+        pids.  Subprocess shards come back cold on the same address.
+        """
+        handle = self.shards[sid]
+        if self.spawn == "subprocess":
+            host, port = handle.address if handle.address else (self._host, 0)
+            await self._spawn_subprocess(handle, host, port)
+        else:
+            old = handle.daemon
+            service = old.service if old is not None else None
+            tokens = old.resume_state() if old is not None else None
+            handle.daemon = self._build_daemon(sid, resume_tokens=tokens, service=service)
+            if self._tcp and handle.address is not None:
+                handle.address = await handle.daemon.start_tcp(self._host, handle.address[1])
+            else:
+                await handle.daemon.start()
+        handle.status = "up"
+        handle.restarts += 1
+        self._up_gauge.labels(shard=sid).set(1)
+        self._restarts.labels(shard=sid).inc()
+
+    def record_failover(self, sid: str) -> None:
+        """Bump the failover counter (the health loop calls this)."""
+        self._failovers.labels(shard=sid).inc()
+
+    # -- observation -------------------------------------------------------
+
+    def statuses(self) -> Dict[str, str]:
+        return {sid: handle.status for sid, handle in self.shards.items()}
+
+    def cluster_snapshot(self) -> Dict[str, Any]:
+        """Supervisor-level view: ring spans, shard status, restarts."""
+        return {
+            "shards": {
+                sid: {
+                    "status": handle.status,
+                    "restarts": handle.restarts,
+                    "address": list(handle.address) if handle.address else None,
+                }
+                for sid, handle in self.shards.items()
+            },
+            "spans": self.ring.spans(),
+            "vnodes": self.ring.vnodes,
+            "spawn": self.spawn,
+        }
+
+    async def aclose(self) -> Dict[str, Any]:
+        """Gracefully stop every shard; returns per-shard close results."""
+        results: Dict[str, Any] = {}
+        for sid, handle in self.shards.items():
+            if handle.proc is not None:
+                if handle.proc.returncode is None:
+                    handle.proc.terminate()
+                    await handle.proc.wait()
+                results[sid] = {"returncode": handle.proc.returncode}
+            elif handle.daemon is not None:
+                results[sid] = await handle.daemon.aclose()
+            handle.status = "down"
+            self._up_gauge.labels(shard=sid).set(0)
+        return results

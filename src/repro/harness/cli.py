@@ -8,7 +8,9 @@ Examples::
     repro-accfc check                # protocol lint + sanitized smoke run
     repro-accfc serve --port 7481    # run the multi-client cache daemon
     repro-accfc serve --faults plan.json   # ... under an injected-fault plan
+    repro-accfc cluster --shards 3 --port-base 7490   # sharded cache cluster
     repro-accfc metrics --port 7481  # scrape a running daemon (Prometheus text)
+    repro-accfc metrics --port 7490 --all-shards 3    # merged cluster scrape
     repro-accfc all                  # everything (several minutes)
 """
 
@@ -184,18 +186,61 @@ _EXPERIMENTS = {
 }
 
 
+def _metrics_endpoints(args, parser) -> List[tuple]:
+    """The endpoint list a ``metrics`` invocation scrapes.
+
+    One endpoint is the classic single-daemon scrape; several (via
+    repeated ``--connect`` or ``--all-shards``) get concatenated into a
+    single exposition with a ``shard`` label per endpoint and no
+    duplicate ``# HELP``/``# TYPE`` headers.
+    """
+    endpoints: List[tuple] = []
+    for spec in args.connect or ():
+        host, sep, port = spec.rpartition(":")
+        if not sep or not port.isdigit():
+            parser.error(f"--connect expects HOST:PORT, got {spec!r}")
+        endpoints.append(("tcp", host or args.host, int(port)))
+    if args.all_shards:
+        if not args.port:
+            parser.error("--all-shards needs --port (the port of shard 0)")
+        for i in range(args.all_shards):
+            endpoints.append(("tcp", args.host, args.port + i))
+    if not endpoints:
+        if args.unix:
+            endpoints.append(("unix", args.unix))
+        elif args.port:
+            endpoints.append(("tcp", args.host, args.port))
+        else:
+            parser.error("one of --port, --unix, --connect or --all-shards is required")
+    return endpoints
+
+
 def metrics_main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of ``repro-accfc metrics``: scrape a running daemon."""
+    """Entry point of ``repro-accfc metrics``: scrape one or many daemons."""
     import asyncio
     import json
 
     parser = argparse.ArgumentParser(
         prog="repro-accfc metrics",
-        description="Fetch telemetry from a running cache daemon and print it.",
+        description="Fetch telemetry from running cache daemons and print it. "
+        "Multiple endpoints (--connect repeated, or --all-shards for a cluster's "
+        "consecutive ports) are merged into one exposition with a shard label.",
     )
     parser.add_argument("--host", default="127.0.0.1", help="daemon TCP address")
     parser.add_argument("--port", type=int, help="daemon TCP port")
     parser.add_argument("--unix", metavar="PATH", help="daemon Unix socket instead of TCP")
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        action="append",
+        help="scrape this endpoint too (repeatable)",
+    )
+    parser.add_argument(
+        "--all-shards",
+        type=int,
+        metavar="N",
+        help="scrape N cluster shards on --host at ports --port..--port+N-1",
+    )
     parser.add_argument(
         "--format",
         choices=("prometheus", "json", "trace", "both"),
@@ -203,24 +248,41 @@ def metrics_main(argv: Optional[List[str]] = None) -> int:
         help="prometheus text exposition (default), JSON snapshot, retained trace spans, or both",
     )
     args = parser.parse_args(argv)
-    if not args.unix and not args.port:
-        parser.error("one of --port or --unix is required")
+    endpoints = _metrics_endpoints(args, parser)
 
-    async def scrape() -> int:
+    async def scrape_one(endpoint: tuple):
         from repro.server.client import CacheClient
 
-        if args.unix:
-            client = await CacheClient.connect_unix(args.unix, name="metrics-cli")
-        else:
-            client = await CacheClient.connect_tcp(args.host, args.port, name="metrics-cli")
+        client = await CacheClient.connect([endpoint], name="metrics-cli")
         try:
-            reply = await client.metrics(format=args.format)
+            return await client.metrics(format=args.format)
         finally:
             await client.aclose()
+
+    def endpoint_label(endpoint: tuple) -> str:
+        if endpoint[0] == "unix":
+            return f"unix:{endpoint[1]}"
+        return f"{endpoint[1]}:{endpoint[2]}"
+
+    async def scrape() -> int:
+        replies = [await scrape_one(endpoint) for endpoint in endpoints]
+        if len(replies) == 1:
+            reply = replies[0]
+            if args.format == "prometheus":
+                print(reply.get("text", ""), end="")
+            else:
+                print(json.dumps(reply, indent=2, sort_keys=True))
+            return 0
+        from repro.cluster.aggregate import merge_prometheus
+
+        labelled = {
+            endpoint_label(ep): reply for ep, reply in zip(endpoints, replies)
+        }
         if args.format == "prometheus":
-            print(reply.get("text", ""), end="")
+            texts = {label: reply.get("text", "") for label, reply in labelled.items()}
+            print(merge_prometheus(texts), end="")
         else:
-            print(json.dumps(reply, indent=2, sort_keys=True))
+            print(json.dumps(labelled, indent=2, sort_keys=True))
         return 0
 
     return asyncio.run(scrape())
@@ -237,11 +299,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "metrics":
         return metrics_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        from repro.cluster.cli import cluster_main
+
+        return cluster_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-accfc",
         description="Regenerate the figures and tables of 'Application-Controlled File Caching' (OSDI '94). "
-        "The extra subcommands 'serve' and 'metrics' (repro-accfc serve --help) run and "
-        "scrape the multi-client cache daemon.",
+        "The extra subcommands 'serve', 'cluster' and 'metrics' (repro-accfc serve --help) run and "
+        "scrape the multi-client cache daemon or a sharded cluster of them.",
     )
     parser.add_argument(
         "experiment",

@@ -35,9 +35,15 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass
-from typing import Any, Awaitable, Callable, Dict, Optional
+from typing import Any, Awaitable, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.server.protocol import ProtocolError, Transport, request
+
+#: one dialable address: ``("tcp", host, port)``, ``("unix", path)`` or
+#: ``("inproc", daemon_or_factory)`` — the in-process form accepts either a
+#: daemon instance or a zero-argument callable returning the *current*
+#: daemon, so a redial after a cluster failover reaches the restarted one.
+EndpointSpec = Tuple[Any, ...]
 
 
 class ServerError(Exception):
@@ -66,7 +72,17 @@ DEFAULT_CLIENT_WINDOW = 16
 #: ``hello``/``stats`` are pure).  ``write``/``set_*`` are excluded — a
 #: duplicate would double-apply side effects the first delivery had.
 IDEMPOTENT_VERBS = frozenset(
-    {"ping", "hello", "stats", "metrics", "read", "open", "get_priority", "get_policy"}
+    {
+        "ping",
+        "hello",
+        "stats",
+        "metrics",
+        "flush",
+        "read",
+        "open",
+        "get_priority",
+        "get_policy",
+    }
 )
 
 
@@ -133,6 +149,62 @@ class CacheClient:
 
     # -- constructors ------------------------------------------------------
 
+    @staticmethod
+    async def _dial_endpoint(endpoint: EndpointSpec) -> Transport:
+        """Open one transport to a single :data:`EndpointSpec` address."""
+        from repro.server.protocol import StreamTransport
+
+        kind = endpoint[0]
+        if kind == "tcp":
+            reader, writer = await asyncio.open_connection(endpoint[1], endpoint[2])
+            return StreamTransport(reader, writer)
+        if kind == "unix":
+            reader, writer = await asyncio.open_unix_connection(endpoint[1])
+            return StreamTransport(reader, writer)
+        if kind == "inproc":
+            target = endpoint[1]
+            daemon = target() if callable(target) else target
+            return await daemon.connect_inproc()
+        raise ValueError(f"unknown endpoint kind {kind!r}")
+
+    @classmethod
+    def _list_dialer(
+        cls, endpoints: Sequence[EndpointSpec]
+    ) -> Callable[[], Awaitable[Transport]]:
+        """A dial function over an *ordered* address list.
+
+        Every dial attempt — the initial connect and every redial after a
+        lost connection — walks the list in order and uses the first
+        address that answers, so a client survives any one address dying
+        as long as a later one (a replica, a restarted daemon) is up.
+        """
+        endpoints = list(endpoints)
+        if not endpoints:
+            raise ValueError("endpoint list cannot be empty")
+
+        async def dial() -> Transport:
+            last: Optional[BaseException] = None
+            for endpoint in endpoints:
+                try:
+                    return await cls._dial_endpoint(endpoint)
+                except (ConnectionError, OSError) as exc:
+                    last = exc
+            raise ConnectionError(f"no endpoint answered (last error: {last})")
+
+        return dial
+
+    @classmethod
+    async def connect(
+        cls,
+        endpoints: Sequence[EndpointSpec],
+        name: Optional[str] = None,
+        window: int = DEFAULT_CLIENT_WINDOW,
+        retry: Optional[RetryPolicy] = None,
+    ) -> "CacheClient":
+        """Connect via an ordered address list with per-address redial."""
+        dial = cls._list_dialer(endpoints)
+        return await cls._started(await dial(), name, window, retry, dial)
+
     @classmethod
     async def connect_tcp(
         cls,
@@ -142,13 +214,7 @@ class CacheClient:
         window: int = DEFAULT_CLIENT_WINDOW,
         retry: Optional[RetryPolicy] = None,
     ) -> "CacheClient":
-        from repro.server.protocol import StreamTransport
-
-        async def dial() -> Transport:
-            reader, writer = await asyncio.open_connection(host, port)
-            return StreamTransport(reader, writer)
-
-        return await cls._started(await dial(), name, window, retry, dial)
+        return await cls.connect([("tcp", host, port)], name, window, retry)
 
     @classmethod
     async def connect_unix(
@@ -158,13 +224,7 @@ class CacheClient:
         window: int = DEFAULT_CLIENT_WINDOW,
         retry: Optional[RetryPolicy] = None,
     ) -> "CacheClient":
-        from repro.server.protocol import StreamTransport
-
-        async def dial() -> Transport:
-            reader, writer = await asyncio.open_unix_connection(path)
-            return StreamTransport(reader, writer)
-
-        return await cls._started(await dial(), name, window, retry, dial)
+        return await cls.connect([("unix", path)], name, window, retry)
 
     @classmethod
     async def connect_inproc(
@@ -176,11 +236,7 @@ class CacheClient:
     ) -> "CacheClient":
         """Connect to a :class:`~repro.server.daemon.CacheDaemon` in this
         process (tests, benchmarks, demos)."""
-
-        async def dial() -> Transport:
-            return await daemon.connect_inproc()
-
-        return await cls._started(await dial(), name, window, retry, dial)
+        return await cls.connect([("inproc", daemon)], name, window, retry)
 
     @classmethod
     async def _started(
@@ -323,7 +379,16 @@ class CacheClient:
         if self.pid is not None and self.token is not None:
             params["resume"] = self.pid
             params["token"] = self.token
-        hello = await self._call_once("hello", params, self.retry.timeout_s)
+        try:
+            hello = await self._call_once("hello", params, self.retry.timeout_s)
+        except BaseException:
+            # A connection whose resume hello failed (dropped frame,
+            # timeout) must never be used half-established: the server
+            # would serve us under a fresh pid while we believe we kept
+            # the old one.  Close it so the caller's retry re-dials and
+            # offers the token again.
+            self._transport.close()
+            raise
         self._absorb_hello(hello)
 
     # -- the file API ------------------------------------------------------
@@ -377,6 +442,11 @@ class CacheClient:
     async def metrics(self, format: str = "json") -> Dict[str, Any]:
         """Exported telemetry: ``json``, ``prometheus``, ``trace`` or ``both``."""
         return await self.call("metrics", format=format)
+
+    async def flush(self) -> int:
+        """Write out every dirty block now; returns the number flushed."""
+        value = await self.call("flush")
+        return int(value.get("flushed", 0))
 
     async def aclose(self) -> None:
         """Polite shutdown: ``close`` the session, then drop the transport."""

@@ -62,6 +62,7 @@ class CacheDaemon:
         global_limit: int = DEFAULT_GLOBAL_LIMIT,
         trace_recorder: Optional[Any] = None,
         telemetry: Optional[Any] = None,
+        resume_tokens: Optional[Dict[int, str]] = None,
     ) -> None:
         if global_limit < 1:
             raise ValueError("global limit must be at least 1")
@@ -77,9 +78,12 @@ class CacheDaemon:
         self.busy_rejections = 0
         self.requests_served = 0
         self.protocol_errors = 0
-        #: resume tokens handed out at hello, per kernel pid
-        self._resume_tokens: Dict[int, str] = {}
-        self._token_seq = 0
+        #: resume tokens handed out at hello, per kernel pid.  A restarted
+        #: daemon (cluster failover) is seeded with its predecessor's
+        #: tokens so disconnected clients can resume their kernel pids.
+        self._resume_tokens: Dict[int, str] = dict(resume_tokens or {})
+        self._token_seq = len(self._resume_tokens)
+        self._aborted = False
         #: unexpected exceptions raised while applying requests (each also
         #: produced an INTERNAL error reply); tests assert this stays empty
         self.errors: List[BaseException] = []
@@ -118,6 +122,8 @@ class CacheDaemon:
 
     async def connect_inproc(self) -> Transport:
         """A new in-process connection; returns the client-side transport."""
+        if self._aborted or self._closing:
+            raise ConnectionError("daemon is not accepting connections")
         await self.start()
         server_side, client_side = queue_pair()
         self._spawn_session(server_side)
@@ -161,6 +167,53 @@ class CacheDaemon:
             "requests_served": self.requests_served,
         }
         return self._closed_result
+
+    async def abort(self) -> Dict[str, Any]:
+        """Crash stop: no drain, no flush — the shard just dies.
+
+        Models a cache server falling over mid-flight (the cluster
+        supervisor's ``kill``): listeners close, session tasks are
+        cancelled, queued requests are dropped on the floor and dirty
+        blocks stay wherever they were.  The :class:`CacheService` object
+        is deliberately left intact — it plays the role of the machine's
+        disk and kernel state surviving a daemon crash — so a replacement
+        daemon built around the same service (plus :meth:`resume_state`)
+        carries every acknowledged write and session pid forward.
+        """
+        if self._closed_result is not None:
+            return self._closed_result
+        self._aborted = True
+        self._closing = True
+        self._stopping = True
+        for server in self._servers:
+            server.close()
+        self.resume()
+        self._work.set()
+        if self._kernel_task is not None:
+            self._kernel_task.cancel()
+            try:
+                await self._kernel_task
+            except asyncio.CancelledError:
+                pass
+        for session in list(self.sessions.values()):
+            session.closed = True
+            session.release()
+            session.transport.close()
+        for task in list(self._session_tasks):
+            task.cancel()
+        if self._session_tasks:
+            await asyncio.gather(*self._session_tasks, return_exceptions=True)
+        self._closed_result = {
+            "flushed_blocks": 0,
+            "requests_served": self.requests_served,
+            "aborted": True,
+        }
+        return self._closed_result
+
+    def resume_state(self) -> Dict[int, str]:
+        """The hello tokens minted so far, for seeding a replacement
+        daemon after a crash (cluster failover)."""
+        return dict(self._resume_tokens)
 
     # -- connection handling ----------------------------------------------
 
@@ -383,6 +436,8 @@ class CacheDaemon:
             return self.snapshot()
         if verb == "metrics":
             return self.metrics_reply(msg.get("format"))
+        if verb == "flush":
+            return {"flushed": self.service.flush_all()}
         if verb == "close":
             session.closed = True
             return {"closed": True}

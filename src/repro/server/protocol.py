@@ -10,8 +10,13 @@ object.  Requests and responses are plain dicts:
 The verbs cover the file API (``open``/``read``/``write``/``close``), the
 five paper directives (``set_priority``, ``get_priority``, ``set_policy``,
 ``get_policy``, ``set_temppri``) and the service verbs (``ping``,
-``hello``, ``stats``, ``metrics``).  Error codes are listed in
+``hello``, ``stats``, ``metrics``, ``flush``).  Error codes are listed in
 :data:`ERROR_CODES`; ``BUSY`` is the 429-style backpressure reply.
+
+Every wire verb handled anywhere in the tree must be declared here (lint
+rule R009): this module is the single registry of the protocol surface,
+so the cluster router, the daemon and the clients can never drift apart
+silently.
 
 This module is transport- and kernel-agnostic: it knows bytes and dicts,
 nothing else (lint rule R006 keeps it that way).  The same
@@ -49,6 +54,7 @@ KERNEL_VERBS = frozenset(
         "set_temppri",
         "stats",
         "metrics",
+        "flush",
     }
 )
 

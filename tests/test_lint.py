@@ -7,6 +7,7 @@ from pathlib import Path
 from repro.check.lint import (
     Finding,
     check_policy_registry,
+    check_verb_declarations,
     lint_source,
     lint_tree,
     main,
@@ -425,6 +426,137 @@ class TestR008Instrumentation:
 
     def test_outside_repro_is_allowed(self):
         assert lint("def f(d):\n    d['hits'] += 1\n", "tests/test_x.py") == []
+
+
+class TestR009DaemonFactory:
+    def test_cache_daemon_outside_supervisor_fires(self):
+        findings = lint(
+            """
+            from repro.server import CacheDaemon
+
+            def rogue_shard(cfg):
+                return CacheDaemon(cfg)
+            """,
+            "repro/cluster/health.py",
+        )
+        assert rules(findings) == ["R009"]
+        assert "supervisor" in findings[0].message
+
+    def test_attribute_call_fires_too(self):
+        findings = lint(
+            """
+            from repro.server import daemon
+
+            def rogue_shard(cfg):
+                return daemon.CacheDaemon(cfg)
+            """,
+            "repro/cluster/client.py",
+        )
+        assert rules(findings) == ["R009"]
+
+    def test_supervisor_is_the_factory(self):
+        findings = lint(
+            """
+            from repro.server import CacheDaemon
+
+            def build(cfg):
+                return CacheDaemon(cfg)
+            """,
+            "repro/cluster/supervisor.py",
+        )
+        assert findings == []
+
+    def test_outside_cluster_is_allowed(self):
+        findings = lint(
+            """
+            from repro.server import CacheDaemon
+
+            def build(cfg):
+                return CacheDaemon(cfg)
+            """,
+            "repro/harness/cli.py",
+        )
+        assert findings == []
+
+
+class TestR009VerbRegistry:
+    REGISTRY = """
+    KERNEL_VERBS = frozenset({"open", "read", "write", "stats"})
+    PROTOCOL_VERBS = frozenset({"ping", "hello", "close"})
+    """
+
+    def _write_tree(self, tmp_path, module, registry=REGISTRY):
+        server = tmp_path / "repro" / "server"
+        server.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (server / "__init__.py").write_text("")
+        (server / "protocol.py").write_text(textwrap.dedent(registry))
+        (server / "router.py").write_text(textwrap.dedent(module))
+        return tmp_path
+
+    def test_declared_verbs_are_clean(self, tmp_path):
+        root = self._write_tree(
+            tmp_path,
+            """
+            def dispatch(verb):
+                if verb == "open":
+                    return 1
+                if verb in ("ping", "hello"):
+                    return 2
+            """,
+        )
+        assert check_verb_declarations(root) == []
+
+    def test_undeclared_comparison_fires(self, tmp_path):
+        root = self._write_tree(
+            tmp_path,
+            """
+            def dispatch(msg):
+                if msg.verb == "frobnicate":
+                    return 1
+            """,
+        )
+        findings = check_verb_declarations(root)
+        assert rules(findings) == ["R009"]
+        assert "frobnicate" in findings[0].message
+
+    def test_undeclared_verb_set_fires(self, tmp_path):
+        root = self._write_tree(
+            tmp_path,
+            """
+            MY_VERBS = frozenset({"read", "bogus"})
+            """,
+        )
+        findings = check_verb_declarations(root)
+        assert rules(findings) == ["R009"]
+        assert "bogus" in findings[0].message
+
+    def test_non_verb_comparisons_are_ignored(self, tmp_path):
+        root = self._write_tree(
+            tmp_path,
+            """
+            def f(policy):
+                if policy == "lru-sp":
+                    return 1
+            """,
+        )
+        assert check_verb_declarations(root) == []
+
+    def test_registry_without_sets_fires_at_registry(self, tmp_path):
+        root = self._write_tree(
+            tmp_path,
+            "x = 1\n",
+            registry="NOT_VERBS_AT_ALL = 3\n",
+        )
+        findings = check_verb_declarations(root)
+        assert rules(findings) == ["R009"]
+        assert findings[0].path == "repro/server/protocol.py"
+
+    def test_tree_without_registry_is_skipped(self, tmp_path):
+        (tmp_path / "repro").mkdir()
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (tmp_path / "repro" / "mod.py").write_text('VERBS = ["x"]\n')
+        assert check_verb_declarations(tmp_path) == []
 
 
 class TestRealTree:
