@@ -13,10 +13,19 @@ Section 4:
   five ACM procedures), R002 (no wall clock / unseeded RNG in the
   deterministic core), R003 (registry policies implement the eviction
   protocol), R004 (no mutable defaults; config dataclasses frozen),
-  R005 (sim ops are interpreted only by the kernel).
+  R005 (sim ops are interpreted only by the kernel), R006–R009 (layer
+  and wire-protocol discipline) and R010 (suppression/baseline hygiene).
+* :mod:`repro.check.flow` — a **flow-sensitive analyzer** over the async
+  server/cluster layer: per-function CFGs with ``await`` points as
+  interleaving boundaries drive passes F001 (await-atomicity), F002
+  (blocking calls in coroutines), F003 (task leaks), F004 (wire-param
+  taint) and F005 (lock discipline).
+* :mod:`repro.check.manager` — the shared pass manager: one parse per
+  file, inline ``# repro: allow(...)`` suppressions, the checked-in
+  baseline and the text/github/json output formats.
 
-See ``docs/invariants.md`` for the invariant/rule catalogue and its paper
-citations.
+See ``docs/invariants.md`` for the invariant catalogue and
+``docs/static-analysis.md`` for the full rule reference.
 """
 
 from repro.check.invariants import (
@@ -25,7 +34,8 @@ from repro.check.invariants import (
     install_auto_sanitizer,
     sanitize_enabled,
 )
-from repro.check.lint import Finding, lint_source, lint_tree
+from repro.check.lint import Finding, lint_source, lint_tree, lint_tree_result
+from repro.check.manager import LintResult, PassManager
 
 __all__ = [
     "InvariantChecker",
@@ -33,6 +43,9 @@ __all__ = [
     "install_auto_sanitizer",
     "sanitize_enabled",
     "Finding",
+    "LintResult",
+    "PassManager",
     "lint_source",
     "lint_tree",
+    "lint_tree_result",
 ]

@@ -1,0 +1,27 @@
+"""Flow-sensitive static analysis for the async layer.
+
+:mod:`repro.check.flow.cfg` builds per-function control-flow graphs with
+``await`` points as interleaving boundaries; :mod:`repro.check.flow.passes`
+runs the F001–F005 passes (await-atomicity, blocking calls, task leaks,
+wire taint, lock discipline) over them.  ``repro-lint`` merges these with
+the R-rules through the pass manager in :mod:`repro.check.manager`.
+"""
+
+from repro.check.flow.cfg import CFG, Block, build_cfg, iter_functions
+from repro.check.flow.passes import (
+    FLOW_DIRS,
+    FLOW_PASSES,
+    in_flow_dirs,
+    run_flow_passes,
+)
+
+__all__ = [
+    "CFG",
+    "Block",
+    "build_cfg",
+    "iter_functions",
+    "FLOW_DIRS",
+    "FLOW_PASSES",
+    "in_flow_dirs",
+    "run_flow_passes",
+]

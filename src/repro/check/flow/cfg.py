@@ -1,0 +1,587 @@
+"""AST → control-flow graphs for the flow-sensitive lint passes.
+
+The flow passes (F001–F005) reason about *interleavings*: in asyncio's
+cooperative model a task can only lose the CPU at an ``await``, so an
+``await`` is exactly a point where every other task may observe or mutate
+shared state.  To check "does this read-modify-write of ``self.x`` span an
+await?" we need statement *order* and *branching*, which a plain
+``ast.walk`` cannot give — hence a small CFG.
+
+:func:`build_cfg` turns one ``FunctionDef``/``AsyncFunctionDef`` body into
+basic blocks of ordered :class:`Event` records:
+
+* :class:`Await`        — an ``await`` expression, ``async for`` step or
+  ``async with`` enter/exit (every interleaving point);
+* :class:`Read`         — a load of ``self.<attr>`` (``guard=True`` when it
+  occurs in a branch test — the check half of check-then-act);
+* :class:`Write`        — a store to ``self.<attr>`` (or an element of it),
+  carrying the local names and ``self`` attributes its right-hand side
+  was computed from;
+* :class:`Bind`         — a local-variable assignment with the same
+  dependence sets (how staleness propagates through temporaries);
+* :class:`Acquire`/:class:`Release` — entering/leaving ``async with
+  self.<lock-ish>`` (attribute names matching :data:`LOCK_NAME_RE`);
+* :class:`Call`         — any call, with its dotted name when resolvable.
+
+Graph edges follow ``if``/``while``/``for``/``try``/``with``/``break``/
+``continue``/``return``/``raise``.  ``try`` handlers are approximated as
+reachable from both the start and the end of the protected body (the
+exception may fire anywhere inside it); a constant-``True`` loop has no
+fall-through exit edge.  :func:`CFG.dominators` gives classic iterative
+dominator sets, which pass F001 uses to scope a guard read to the branch
+it actually guards.
+
+Pure standard library, no third-party dependencies, Python 3.9+.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+#: attribute names treated as locks/gates when they appear as ``async with
+#: self.<name>`` context managers
+LOCK_NAME_RE = re.compile(r"lock|gate|mutex", re.IGNORECASE)
+
+
+class Event:
+    """One ordered action inside a basic block."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: ast.AST) -> None:
+        self.node = node
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+class Await(Event):
+    """An interleaving point: any other task may run here."""
+
+    __slots__ = ()
+
+
+class Read(Event):
+    """A load of ``self.<attr>``; ``guard`` marks branch-test reads."""
+
+    __slots__ = ("attr", "guard")
+
+    def __init__(self, node: ast.AST, attr: str, guard: bool = False) -> None:
+        super().__init__(node)
+        self.attr = attr
+        self.guard = guard
+
+
+class Write(Event):
+    """A store to ``self.<attr>`` and what its RHS was computed from."""
+
+    __slots__ = ("attr", "dep_locals", "dep_attrs")
+
+    def __init__(
+        self,
+        node: ast.AST,
+        attr: str,
+        dep_locals: FrozenSet[str],
+        dep_attrs: FrozenSet[str],
+    ) -> None:
+        super().__init__(node)
+        self.attr = attr
+        self.dep_locals = dep_locals
+        self.dep_attrs = dep_attrs
+
+
+class Bind(Event):
+    """A local assignment ``name = <expr over locals and self attrs>``."""
+
+    __slots__ = ("name", "dep_locals", "dep_attrs")
+
+    def __init__(
+        self,
+        node: ast.AST,
+        name: str,
+        dep_locals: FrozenSet[str],
+        dep_attrs: FrozenSet[str],
+    ) -> None:
+        super().__init__(node)
+        self.name = name
+        self.dep_locals = dep_locals
+        self.dep_attrs = dep_attrs
+
+
+class Acquire(Event):
+    __slots__ = ("lock",)
+
+    def __init__(self, node: ast.AST, lock: str) -> None:
+        super().__init__(node)
+        self.lock = lock
+
+
+class Release(Event):
+    __slots__ = ("lock",)
+
+    def __init__(self, node: ast.AST, lock: str) -> None:
+        super().__init__(node)
+        self.lock = lock
+
+
+class Call(Event):
+    """Any call; ``dotted`` is ``a.b.c`` when the callee is a name chain."""
+
+    __slots__ = ("dotted",)
+
+    def __init__(self, node: ast.AST, dotted: Optional[str]) -> None:
+        super().__init__(node)
+        self.dotted = dotted
+
+
+class Block:
+    """One basic block: ordered events plus successor/predecessor edges."""
+
+    __slots__ = ("bid", "events", "succs", "preds")
+
+    def __init__(self, bid: int) -> None:
+        self.bid = bid
+        self.events: List[Event] = []
+        self.succs: List["Block"] = []
+        self.preds: List["Block"] = []
+
+    def link(self, succ: "Block") -> None:
+        if succ not in self.succs:
+            self.succs.append(succ)
+            succ.preds.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Block {self.bid} events={len(self.events)} succs={[s.bid for s in self.succs]}>"
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(self, func: ast.AST, entry: Block, exit_block: Block, blocks: List[Block]):
+        self.func = func
+        self.entry = entry
+        self.exit = exit_block
+        self.blocks = blocks
+        self._dom: Optional[Dict[int, Set[int]]] = None
+
+    def reachable(self) -> List[Block]:
+        """Blocks reachable from entry, in a stable order."""
+        seen: Set[int] = set()
+        order: List[Block] = []
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            if block.bid in seen:
+                continue
+            seen.add(block.bid)
+            order.append(block)
+            stack.extend(reversed(block.succs))
+        return order
+
+    def dominators(self) -> Dict[int, Set[int]]:
+        """``bid -> set of dominating bids`` (classic iterative dataflow)."""
+        if self._dom is not None:
+            return self._dom
+        blocks = self.reachable()
+        all_ids = {b.bid for b in blocks}
+        dom: Dict[int, Set[int]] = {b.bid: set(all_ids) for b in blocks}
+        dom[self.entry.bid] = {self.entry.bid}
+        changed = True
+        while changed:
+            changed = False
+            for block in blocks:
+                if block is self.entry:
+                    continue
+                preds = [p for p in block.preds if p.bid in all_ids]
+                if not preds:
+                    new = {block.bid}
+                else:
+                    new = set.intersection(*(dom[p.bid] for p in preds))
+                    new.add(block.bid)
+                if new != dom[block.bid]:
+                    dom[block.bid] = new
+                    changed = True
+        self._dom = dom
+        return dom
+
+    def block_by_id(self, bid: int) -> Optional[Block]:
+        for block in self.blocks:
+            if block.bid == bid:
+                return block
+        return None
+
+
+def _root_attr(node: ast.expr) -> Optional[str]:
+    """``x`` for ``self.x``, ``self.x.y``, ``self.x[i].z`` — else None."""
+    attr: Optional[str] = None
+    while True:
+        if isinstance(node, ast.Attribute):
+            attr = node.attr
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        else:
+            break
+    if isinstance(node, ast.Name) and node.id == "self":
+        return attr
+    return None
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _deps(node: Optional[ast.expr]) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    """(local names, self attributes) an expression's value depends on."""
+    if node is None:
+        return frozenset(), frozenset()
+    locals_: Set[str] = set()
+    attrs: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute):
+            root = _root_attr(sub)
+            if root is not None:
+                attrs.add(root)
+        elif isinstance(sub, ast.Name) and sub.id != "self":
+            locals_.add(sub.id)
+    return frozenset(locals_), frozenset(attrs)
+
+
+_SKIP_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.GeneratorExp)
+
+
+class _ExprEvents:
+    """Emit events of one expression in (approximate) evaluation order."""
+
+    def __init__(self, events: List[Event], guard: bool = False) -> None:
+        self.events = events
+        self.guard = guard
+
+    def visit(self, node: ast.expr) -> None:
+        if isinstance(node, _SKIP_SCOPES):
+            return  # a nested scope's body does not run here
+        if isinstance(node, ast.Await):
+            self.visit(node.value)
+            self.events.append(Await(node))
+            return
+        if isinstance(node, ast.Attribute):
+            root = _root_attr(node)
+            if root is not None:
+                # Visit subscript indices nested inside the chain first.
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Subscript) and sub is not node:
+                        self.visit(sub.slice)
+                self.events.append(Read(node, root, guard=self.guard))
+                return
+            self.visit(node.value)
+            return
+        if isinstance(node, ast.Subscript):
+            root = _root_attr(node)
+            if root is not None:
+                self.visit(node.slice)
+                self.events.append(Read(node, root, guard=self.guard))
+                return
+            self.visit(node.value)
+            self.visit(node.slice)
+            return
+        if isinstance(node, ast.Call):
+            self.visit(node.func)
+            for arg in node.args:
+                self.visit(arg)
+            for kw in node.keywords:
+                self.visit(kw.value)
+            self.events.append(Call(node, _dotted(node.func)))
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.visit(child)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self._next = 0
+
+    def make_block(self) -> Block:
+        block = Block(self._next)
+        self._next += 1
+        self.blocks.append(block)
+        return block
+
+    def build(self, func: ast.AST) -> CFG:
+        entry = self.make_block()
+        self.exit_block = self.make_block()
+        end = self._stmts(list(func.body), entry, [])
+        if end is not None:
+            end.link(self.exit_block)
+        return CFG(func, entry, self.exit_block, self.blocks)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _expr(self, node: Optional[ast.expr], block: Block, guard: bool = False) -> None:
+        if node is not None:
+            _ExprEvents(block.events, guard=guard).visit(node)
+
+    def _assign_target(self, target: ast.expr, value: Optional[ast.expr], block: Block) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_target(elt, value, block)
+            return
+        dep_locals, dep_attrs = _deps(value)
+        if isinstance(target, ast.Name):
+            block.events.append(Bind(target, target.id, dep_locals, dep_attrs))
+            return
+        root = _root_attr(target)
+        if root is not None:
+            if isinstance(target, ast.Subscript):
+                self._expr(target.slice, block)
+            block.events.append(Write(target, root, dep_locals, dep_attrs))
+
+    # -- statements --------------------------------------------------------
+
+    def _stmts(self, body: List[ast.stmt], cur: Optional[Block], loops: list) -> Optional[Block]:
+        for stmt in body:
+            if cur is None:
+                cur = self.make_block()  # unreachable continuation
+            cur = self._stmt(stmt, cur, loops)
+        return cur
+
+    def _stmt(self, stmt: ast.stmt, cur: Block, loops: list) -> Optional[Block]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return cur  # nested scopes don't execute here
+        if isinstance(stmt, ast.If):
+            self._expr(stmt.test, cur, guard=True)
+            then_entry = self.make_block()
+            cur.link(then_entry)
+            then_end = self._stmts(stmt.body, then_entry, loops)
+            if stmt.orelse:
+                else_entry = self.make_block()
+                cur.link(else_entry)
+                else_end = self._stmts(stmt.orelse, else_entry, loops)
+            else:
+                else_entry = self.make_block()
+                cur.link(else_entry)
+                else_end = else_entry
+            if then_end is None and else_end is None:
+                return None
+            join = self.make_block()
+            if then_end is not None:
+                then_end.link(join)
+            if else_end is not None:
+                else_end.link(join)
+            return join
+        if isinstance(stmt, ast.While):
+            header = self.make_block()
+            cur.link(header)
+            self._expr(stmt.test, header, guard=True)
+            after = self.make_block()
+            const_true = isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+            body_entry = self.make_block()
+            header.link(body_entry)
+            body_end = self._stmts(stmt.body, body_entry, loops + [(header, after)])
+            if body_end is not None:
+                body_end.link(header)
+            if not const_true:
+                if stmt.orelse:
+                    else_entry = self.make_block()
+                    header.link(else_entry)
+                    else_end = self._stmts(stmt.orelse, else_entry, loops)
+                    if else_end is not None:
+                        else_end.link(after)
+                else:
+                    header.link(after)
+            return after if after.preds else None
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, cur)
+            header = self.make_block()
+            cur.link(header)
+            if isinstance(stmt, ast.AsyncFor):
+                header.events.append(Await(stmt))
+            self._assign_target(stmt.target, stmt.iter, header)
+            after = self.make_block()
+            body_entry = self.make_block()
+            header.link(body_entry)
+            body_end = self._stmts(stmt.body, body_entry, loops + [(header, after)])
+            if body_end is not None:
+                body_end.link(header)
+            if stmt.orelse:
+                else_entry = self.make_block()
+                header.link(else_entry)
+                else_end = self._stmts(stmt.orelse, else_entry, loops)
+                if else_end is not None:
+                    else_end.link(after)
+            else:
+                header.link(after)
+            return after if after.preds else None
+        if isinstance(stmt, ast.Try):
+            body_pre = cur
+            body_entry = self.make_block()
+            body_pre.link(body_entry)
+            body_end = self._stmts(stmt.body, body_entry, loops)
+            ends: List[Block] = []
+            if stmt.orelse:
+                if body_end is not None:
+                    else_entry = self.make_block()
+                    body_end.link(else_entry)
+                    else_end = self._stmts(stmt.orelse, else_entry, loops)
+                    if else_end is not None:
+                        ends.append(else_end)
+            elif body_end is not None:
+                ends.append(body_end)
+            for handler in stmt.handlers:
+                h_entry = self.make_block()
+                # The exception may fire before or after any event in the
+                # protected body: join both extremes.
+                body_pre.link(h_entry)
+                if body_end is not None:
+                    body_end.link(h_entry)
+                h_end = self._stmts(handler.body, h_entry, loops)
+                if h_end is not None:
+                    ends.append(h_end)
+            if stmt.finalbody:
+                final_entry = self.make_block()
+                for end in ends:
+                    end.link(final_entry)
+                if not ends:
+                    body_pre.link(final_entry)  # keep finally reachable
+                return self._stmts(stmt.finalbody, final_entry, loops)
+            if not ends:
+                return None
+            join = self.make_block()
+            for end in ends:
+                end.link(join)
+            return join
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            is_async = isinstance(stmt, ast.AsyncWith)
+            locks: List[Tuple[str, ast.AST]] = []
+            for item in stmt.items:
+                self._expr(item.context_expr, cur)
+                root = _root_attr(item.context_expr)
+                if root is None and isinstance(item.context_expr, ast.Call):
+                    root = _root_attr(item.context_expr.func)
+                if is_async:
+                    cur.events.append(Await(item.context_expr))
+                if root is not None and LOCK_NAME_RE.search(root):
+                    cur.events.append(Acquire(item.context_expr, root))
+                    locks.append((root, item.context_expr))
+                if item.optional_vars is not None:
+                    self._assign_target(item.optional_vars, item.context_expr, cur)
+            end = self._stmts(stmt.body, cur, loops)
+            if end is None:
+                return None
+            for root, node in reversed(locks):
+                end.events.append(Release(node, root))
+            if is_async:
+                end.events.append(Await(stmt))  # __aexit__ awaits too
+            return end
+        if isinstance(stmt, ast.Return):
+            self._expr(stmt.value, cur)
+            cur.link(self.exit_block)
+            return None
+        if isinstance(stmt, ast.Raise):
+            self._expr(stmt.exc, cur)
+            cur.link(self.exit_block)
+            return None
+        if isinstance(stmt, ast.Break):
+            if loops:
+                cur.link(loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            if loops:
+                cur.link(loops[-1][0])
+            return None
+        if isinstance(stmt, ast.Assign):
+            self._expr(stmt.value, cur)
+            for target in stmt.targets:
+                self._assign_target(target, stmt.value, cur)
+            return cur
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._expr(stmt.value, cur)
+                self._assign_target(stmt.target, stmt.value, cur)
+            return cur
+        if isinstance(stmt, ast.AugAssign):
+            # ``self.x += v`` reads self.x, computes, writes self.x — the
+            # read and write are one interpreter step, so both land here.
+            root = _root_attr(stmt.target)
+            if root is not None:
+                cur.events.append(Read(stmt.target, root))
+            self._expr(stmt.value, cur)
+            dep_locals, dep_attrs = _deps(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                cur.events.append(
+                    Bind(stmt.target, stmt.target.id, dep_locals | {stmt.target.id}, dep_attrs)
+                )
+            elif root is not None:
+                if isinstance(stmt.target, ast.Subscript):
+                    self._expr(stmt.target.slice, cur)
+                cur.events.append(Write(stmt.target, root, dep_locals, dep_attrs | {root}))
+            return cur
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                root = _root_attr(target)
+                if root is not None:
+                    cur.events.append(Write(target, root, frozenset(), frozenset()))
+            return cur
+        if isinstance(stmt, ast.Assert):
+            self._expr(stmt.test, cur, guard=True)
+            self._expr(stmt.msg, cur)
+            return cur
+        if isinstance(stmt, ast.Expr):
+            self._expr(stmt.value, cur)
+            return cur
+        # Match statements (3.10+): subject, then every case as a branch.
+        match_cls = getattr(ast, "Match", None)
+        if match_cls is not None and isinstance(stmt, match_cls):
+            self._expr(stmt.subject, cur, guard=True)
+            ends: List[Block] = []
+            fallthrough = self.make_block()
+            cur.link(fallthrough)
+            ends.append(fallthrough)
+            for case in stmt.cases:
+                c_entry = self.make_block()
+                cur.link(c_entry)
+                c_end = self._stmts(case.body, c_entry, loops)
+                if c_end is not None:
+                    ends.append(c_end)
+            join = self.make_block()
+            for end in ends:
+                end.link(join)
+            return join
+        # Import / Global / Nonlocal / Pass and anything else: no events.
+        return cur
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """The control-flow graph of one function definition's body."""
+    return _Builder().build(func)
+
+
+def iter_functions(tree: ast.AST):
+    """Every function definition in a module, with its enclosing class.
+
+    Yields ``(func, class_name_or_None)`` for module-level and method
+    definitions (any nesting), skipping nothing — callers filter by
+    ``isinstance(func, ast.AsyncFunctionDef)`` as needed.
+    """
+    def walk(node: ast.AST, cls: Optional[str]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from walk(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, cls
+                yield from walk(child, cls)
+            else:
+                yield from walk(child, cls)
+
+    return walk(tree, None)

@@ -1,0 +1,811 @@
+"""Flow-sensitive lint passes F001–F005 over the async layer.
+
+The paper's two-level split survives concurrency only because every
+kernel mutation funnels through one serialized task; these passes check
+the *async plumbing around* that task for the classic asyncio hazards.
+Await points are interleaving boundaries (see :mod:`repro.check.flow.cfg`):
+
+F001  **await-atomicity** — a read-modify-write of ``self.``-rooted shared
+      state that spans an ``await``: the value read (directly or through a
+      local temporary, or via a check-then-act branch test) is stale by the
+      time it is written back, because another task may have run in
+      between.  Writes made while holding a lock-named ``async with`` are
+      exempt (the region is serialized).
+F002  **blocking calls** — ``time.sleep``, synchronous file I/O,
+      ``socket``/``subprocess`` and never-yielding ``while True`` loops
+      inside ``async def``: each stalls the whole event loop, including
+      the kernel task.
+F003  **task leaks** — calling an ``async def`` without awaiting the
+      coroutine, and ``create_task``/``ensure_future`` results that are
+      dropped on the floor (no handle kept, no done-callback): exceptions
+      in such tasks vanish silently.
+F004  **wire taint** — a value read out of a decoded wire message reaching
+      the service/kernel/filesystem without passing through a validation
+      or coercion function first.
+F005  **lock discipline** — no ``await`` while holding the kernel gate,
+      and no inverted nested lock-acquisition order anywhere in a module.
+
+Passes run only on modules under :data:`FLOW_DIRS` — the async layer the
+rules are about.  Each pass is a callable ``(tree, relpath) ->
+List[Finding]``; the pass manager owns parsing and suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.check.flow.cfg import (
+    Acquire,
+    Await,
+    Bind,
+    Block,
+    Call,
+    CFG,
+    LOCK_NAME_RE,
+    Read,
+    Release,
+    Write,
+    build_cfg,
+    iter_functions,
+)
+
+#: the async layer: where interleaving hazards live
+FLOW_DIRS = ("repro/server/", "repro/cluster/", "repro/fs/")
+
+#: locks whose critical sections must not yield (the kernel gate)
+GATE_NAME_RE = re.compile(r"gate|kernel", re.IGNORECASE)
+
+#: blocking module-level calls (matched on the trailing two dotted parts)
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "request.urlopen",  # urllib.request.urlopen
+        "requests.get",
+        "requests.post",
+    }
+)
+#: blocking builtins when called bare inside ``async def``
+BLOCKING_BUILTINS = frozenset({"open", "input"})
+#: blocking sync-I/O method names (pathlib-style)
+BLOCKING_METHODS = frozenset({"read_text", "write_text", "read_bytes", "write_bytes"})
+
+#: parameter names that carry a decoded wire message (F004 taint sources)
+WIRE_PARAM_NAMES = frozenset({"msg", "message", "request", "req"})
+#: a call through one of these makes a value trusted (F004 sanitizers)
+SANITIZER_CALL_RE = re.compile(r"valid|sanitiz|coerce|check|resolve|clean", re.IGNORECASE)
+SANITIZER_BUILTINS = frozenset({"int", "float", "str", "bool", "len"})
+#: ``self.<root>.<...>()`` roots that reach the kernel/filesystem (sinks)
+SINK_ATTR_ROOTS = frozenset({"service", "fs", "cache", "acm", "kernel"})
+SINK_FUNC_NAMES = frozenset({"fbehavior"})
+
+# Findings are plain tuples here to avoid a circular import with lint.py:
+# (rule, line, message); the pass manager wraps them into Finding objects.
+RawFinding = Tuple[str, int, str]
+
+
+def in_flow_dirs(relpath: str) -> bool:
+    return any(relpath.startswith(d) for d in FLOW_DIRS)
+
+
+def _tail(dotted: Optional[str], n: int = 2) -> Optional[str]:
+    if dotted is None:
+        return None
+    return ".".join(dotted.split(".")[-n:])
+
+
+# -- F001: await-atomicity -------------------------------------------------
+
+FRESH = "F"
+STALE = "S"
+
+
+class _F001State:
+    """Per-program-point facts for one function.
+
+    ``reads[attr]``   possible staleness of the *latest* read of the attr
+                      (a set over {FRESH, STALE} — one entry per merged path);
+    ``taints[name]``  which attr reads a local's value derives from, and
+                      whether each was stale when bound / has gone stale since;
+    ``guards``        outstanding check-then-act branch tests: ``(attr,
+                      guard block id, stale?)``;
+    ``locks``         locks held on every path reaching here (must-hold).
+    """
+
+    __slots__ = ("reads", "taints", "guards", "locks")
+
+    def __init__(
+        self,
+        reads: Dict[str, FrozenSet[str]],
+        taints: Dict[str, FrozenSet[Tuple[str, bool]]],
+        guards: FrozenSet[Tuple[str, int, bool]],
+        locks: Optional[FrozenSet[str]],
+    ) -> None:
+        self.reads = reads
+        self.taints = taints
+        self.guards = guards
+        self.locks = locks  # None = unreached (top for the must-analysis)
+
+    @classmethod
+    def entry(cls) -> "_F001State":
+        return cls({}, {}, frozenset(), frozenset())
+
+    def copy(self) -> "_F001State":
+        return _F001State(dict(self.reads), dict(self.taints), self.guards, self.locks)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, _F001State)
+            and self.reads == other.reads
+            and self.taints == other.taints
+            and self.guards == other.guards
+            and self.locks == other.locks
+        )
+
+    def merge(self, other: "_F001State") -> "_F001State":
+        reads = dict(self.reads)
+        for attr, vals in other.reads.items():
+            reads[attr] = reads.get(attr, frozenset()) | vals
+        taints = dict(self.taints)
+        for name, vals in other.taints.items():
+            taints[name] = taints.get(name, frozenset()) | vals
+        if self.locks is None:
+            locks = other.locks
+        elif other.locks is None:
+            locks = self.locks
+        else:
+            locks = self.locks & other.locks
+        return _F001State(reads, taints, self.guards | other.guards, locks)
+
+
+def _f001_transfer(
+    state: _F001State,
+    block: Block,
+    cfg: CFG,
+    findings: Optional[Set[RawFinding]],
+) -> _F001State:
+    state = state.copy()
+    dom = cfg.dominators()
+    for event in block.events:
+        if isinstance(event, Await):
+            state.reads = {a: frozenset({STALE}) for a in state.reads}
+            state.taints = {
+                n: frozenset((a, True) for a, _ in vals) for n, vals in state.taints.items()
+            }
+            state.guards = frozenset((a, g, True) for a, g, _ in state.guards)
+        elif isinstance(event, Read):
+            state.reads[event.attr] = frozenset({FRESH})
+            if event.guard:
+                state.guards = state.guards | {(event.attr, block.bid, False)}
+        elif isinstance(event, Bind):
+            vals: Set[Tuple[str, bool]] = set()
+            for dep in event.dep_locals:
+                vals |= state.taints.get(dep, frozenset())
+            for attr in event.dep_attrs:
+                staleness = state.reads.get(attr, frozenset({FRESH}))
+                for s in staleness:
+                    vals.add((attr, s == STALE))
+            state.taints[event.name] = frozenset(vals)
+        elif isinstance(event, Write):
+            attr = event.attr
+            if findings is not None and not state.locks:
+                # RMW through a local temporary bound before an await.
+                for dep in event.dep_locals:
+                    for t_attr, stale in state.taints.get(dep, frozenset()):
+                        if stale and t_attr == attr:
+                            findings.add(
+                                (
+                                    "F001",
+                                    event.line,
+                                    f"write of self.{attr} uses a value of "
+                                    f"self.{attr} (via '{dep}') read before an "
+                                    "await — the read-modify-write spans an "
+                                    "interleaving point; recompute after the "
+                                    "await or serialize the section",
+                                )
+                            )
+                # RMW where the attr itself was last read before an await.
+                if attr in event.dep_attrs and STALE in state.reads.get(attr, frozenset()):
+                    findings.add(
+                        (
+                            "F001",
+                            event.line,
+                            f"read-modify-write of self.{attr} spans an await — "
+                            "another task may have updated it in between",
+                        )
+                    )
+                # Check-then-act: a branch tested the attr, an await
+                # happened, and this write sits in the tested branch.
+                write_doms = dom.get(block.bid, set())
+                for g_attr, g_bid, g_stale in state.guards:
+                    if not g_stale or g_attr != attr:
+                        continue
+                    guard_block = cfg.block_by_id(g_bid)
+                    if guard_block is None:
+                        continue
+                    if any(succ.bid in write_doms for succ in guard_block.succs):
+                        findings.add(
+                            (
+                                "F001",
+                                event.line,
+                                f"check-then-act on self.{attr} spans an await — "
+                                "the guard tested a value that may have changed "
+                                "by the time this write runs (e.g. two "
+                                "concurrent calls both passing the guard)",
+                            )
+                        )
+            state.reads[attr] = frozenset({FRESH})
+            state.guards = frozenset(g for g in state.guards if g[0] != attr)
+        elif isinstance(event, Acquire):
+            if state.locks is not None:
+                state.locks = state.locks | {event.lock}
+        elif isinstance(event, Release):
+            if state.locks is not None:
+                state.locks = state.locks - {event.lock}
+    return state
+
+
+def f001_await_atomicity(tree: ast.AST, relpath: str) -> List[RawFinding]:
+    findings: Set[RawFinding] = set()
+    for func, _cls in iter_functions(tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        cfg = build_cfg(func)
+        blocks = cfg.reachable()
+        states: Dict[int, _F001State] = {cfg.entry.bid: _F001State.entry()}
+        # Fixpoint over block-entry states (monotone: all sets only grow
+        # except locks, which shrink to a fixed floor).
+        for _ in range(len(blocks) * 4 + 8):
+            changed = False
+            for block in blocks:
+                if block is cfg.entry:
+                    in_state = states[cfg.entry.bid]
+                else:
+                    preds = [p for p in block.preds if p.bid in states]
+                    if not preds:
+                        continue
+                    merged: Optional[_F001State] = None
+                    for p in preds:
+                        out = _f001_transfer(states[p.bid], p, cfg, None)
+                        merged = out if merged is None else merged.merge(out)
+                    in_state = merged
+                if block.bid not in states or states[block.bid] != in_state:
+                    states[block.bid] = in_state
+                    changed = True
+            if not changed:
+                break
+        for block in blocks:
+            if block.bid in states:
+                _f001_transfer(states[block.bid], block, cfg, findings)
+    return sorted(findings)
+
+
+# -- F002: blocking calls in async code ------------------------------------
+
+
+def _async_body_nodes(func: ast.AsyncFunctionDef):
+    """Every node in the async function's own body (nested defs excluded)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def f002_blocking_calls(tree: ast.AST, relpath: str) -> List[RawFinding]:
+    findings: List[RawFinding] = []
+    for func, _cls in iter_functions(tree):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        for node in _async_body_nodes(func):
+            if isinstance(node, ast.Call):
+                fn = node.func
+                dotted = None
+                if isinstance(fn, ast.Attribute):
+                    parts: List[str] = []
+                    probe: ast.expr = fn
+                    while isinstance(probe, ast.Attribute):
+                        parts.append(probe.attr)
+                        probe = probe.value
+                    if isinstance(probe, ast.Name):
+                        parts.append(probe.id)
+                        dotted = ".".join(reversed(parts))
+                    if fn.attr in BLOCKING_METHODS:
+                        findings.append(
+                            (
+                                "F002",
+                                node.lineno,
+                                f"synchronous file I/O '{fn.attr}()' inside "
+                                "'async def {0}' blocks the event loop — do it "
+                                "before entering the loop or in a thread".format(func.name),
+                            )
+                        )
+                        continue
+                tail = _tail(dotted)
+                if tail in BLOCKING_CALLS:
+                    findings.append(
+                        (
+                            "F002",
+                            node.lineno,
+                            f"blocking call '{dotted}' inside 'async def "
+                            f"{func.name}' stalls the event loop (and the "
+                            "kernel task with it) — use the asyncio equivalent",
+                        )
+                    )
+                elif isinstance(fn, ast.Name) and fn.id in BLOCKING_BUILTINS:
+                    findings.append(
+                        (
+                            "F002",
+                            node.lineno,
+                            f"blocking builtin '{fn.id}()' inside 'async def "
+                            f"{func.name}' — synchronous I/O stalls the event "
+                            "loop; open files before entering async code",
+                        )
+                    )
+            elif isinstance(node, ast.While):
+                test = node.test
+                const_true = isinstance(test, ast.Constant) and bool(test.value)
+                if not const_true:
+                    continue
+                yields = False
+                for sub in ast.walk(node):
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                        continue
+                    if isinstance(
+                        sub, (ast.Await, ast.AsyncFor, ast.AsyncWith, ast.Break, ast.Return, ast.Raise)
+                    ):
+                        yields = True
+                        break
+                if not yields:
+                    findings.append(
+                        (
+                            "F002",
+                            node.lineno,
+                            f"'while True' in 'async def {func.name}' never "
+                            "awaits, breaks or returns — a busy loop that "
+                            "starves every other task forever",
+                        )
+                    )
+    return findings
+
+
+# -- F003: un-awaited coroutines and dropped task handles ------------------
+
+
+def _parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _async_def_names(tree: ast.AST) -> Tuple[Set[str], Dict[str, Set[str]]]:
+    module_level: Set[str] = set()
+    per_class: Dict[str, Set[str]] = {}
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            module_level.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            per_class[node.name] = {
+                item.name
+                for item in node.body
+                if isinstance(item, ast.AsyncFunctionDef)
+            }
+    return module_level, per_class
+
+
+def _is_spawn_call(node: ast.Call) -> bool:
+    fn = node.func
+    name = fn.attr if isinstance(fn, ast.Attribute) else getattr(fn, "id", None)
+    return name in ("create_task", "ensure_future")
+
+
+def f003_task_leaks(tree: ast.AST, relpath: str) -> List[RawFinding]:
+    findings: List[RawFinding] = []
+    parents = _parent_map(tree)
+    module_async, class_async = _async_def_names(tree)
+    for func, cls in iter_functions(tree):
+        own_async = class_async.get(cls, set()) if cls else set()
+
+        def is_known_coroutine_call(call: ast.Call) -> Optional[str]:
+            fn = call.func
+            if isinstance(fn, ast.Name) and fn.id in module_async:
+                return fn.id
+            if (
+                isinstance(fn, ast.Attribute)
+                and isinstance(fn.value, ast.Name)
+                and fn.value.id == "self"
+                and fn.attr in own_async
+            ):
+                return f"self.{fn.attr}"
+            return None
+
+        body_nodes = [n for n in ast.walk(func) if n is not func]
+        for node in body_nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            coro = is_known_coroutine_call(node)
+            if coro is not None and not _is_spawn_call(node):
+                parent = parents.get(node)
+                if isinstance(parent, ast.Expr):
+                    findings.append(
+                        (
+                            "F003",
+                            node.lineno,
+                            f"coroutine '{coro}(...)' is called but never "
+                            "awaited — the body never runs; await it or wrap "
+                            "it in create_task with a kept handle",
+                        )
+                    )
+                continue
+            if not _is_spawn_call(node):
+                continue
+            parent = parents.get(node)
+            if isinstance(parent, ast.Await):
+                continue
+            if isinstance(parent, ast.Expr):
+                findings.append(
+                    (
+                        "F003",
+                        node.lineno,
+                        "create_task result is dropped — a fire-and-forget "
+                        "task's exceptions vanish; keep the handle and add a "
+                        "done-callback or await it at shutdown",
+                    )
+                )
+                continue
+            if isinstance(parent, ast.Assign) and all(
+                isinstance(t, ast.Name) for t in parent.targets
+            ):
+                name = parent.targets[0].id
+                if not _local_task_is_sinked(func, name, parent):
+                    findings.append(
+                        (
+                            "F003",
+                            node.lineno,
+                            f"task handle '{name}' is never awaited, stored or "
+                            "given a done-callback — its exceptions are lost",
+                        )
+                    )
+    return findings
+
+
+def _local_task_is_sinked(func: ast.AST, name: str, assign: ast.Assign) -> bool:
+    """Whether local ``name`` (a task handle) is consumed somewhere."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Await) and _mentions_name(node.value, name):
+            return True
+        if isinstance(node, ast.Return) and node.value is not None and _mentions_name(node.value, name):
+            return True
+        if isinstance(node, ast.Call):
+            fn = node.func
+            # task.add_done_callback(...) / collection.add(task) / gather(task)
+            if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name) and fn.value.id == name:
+                return True
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if _mentions_name(arg, name):
+                    return True
+        if isinstance(node, ast.Assign) and node is not assign:
+            if isinstance(node.value, ast.Name) and node.value.id == name:
+                return True  # re-bound (e.g. onto an attribute)
+            for target in node.targets:
+                if not isinstance(target, ast.Name) and _mentions_name(node.value, name):
+                    return True
+    return False
+
+
+def _mentions_name(node: Optional[ast.AST], name: str) -> bool:
+    if node is None:
+        return False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == name and isinstance(sub.ctx, ast.Load):
+            return True
+    return False
+
+
+# -- F004: wire-param taint to kernel/filesystem sinks ---------------------
+
+
+def _sanitizer_call(call: ast.Call) -> bool:
+    fn = call.func
+    name = fn.attr if isinstance(fn, ast.Attribute) else getattr(fn, "id", None)
+    if name is None:
+        return False
+    return name in SANITIZER_BUILTINS or bool(SANITIZER_CALL_RE.search(name))
+
+
+class _TaintScope:
+    def __init__(self, sources: Set[str]) -> None:
+        self.sources = sources  # parameter names holding the raw wire dict
+        self.tainted: Set[str] = set()
+        self.cleared: Set[str] = set()  # proven clean by an isinstance guard
+
+
+def _expr_tainted(node: ast.expr, scope: _TaintScope) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in scope.tainted and node.id not in scope.cleared
+    if isinstance(node, ast.Call):
+        if _sanitizer_call(node):
+            return False
+        fn = node.func
+        # msg.get("path") — the canonical taint source
+        if (
+            isinstance(fn, ast.Attribute)
+            and fn.attr in ("get", "pop")
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id in scope.sources
+        ):
+            return True
+        return any(
+            _expr_tainted(arg, scope)
+            for arg in list(node.args) + [kw.value for kw in node.keywords]
+        )
+    if isinstance(node, ast.Subscript):
+        if isinstance(node.value, ast.Name) and node.value.id in scope.sources:
+            return True
+        return _expr_tainted(node.value, scope)
+    if isinstance(node, (ast.BinOp,)):
+        return _expr_tainted(node.left, scope) or _expr_tainted(node.right, scope)
+    if isinstance(node, ast.BoolOp):
+        return any(_expr_tainted(v, scope) for v in node.values)
+    if isinstance(node, ast.IfExp):
+        return _expr_tainted(node.body, scope) or _expr_tainted(node.orelse, scope)
+    if isinstance(node, ast.JoinedStr):
+        return False  # string interpolation yields display text, not params
+    return False
+
+
+def _sink_target(call: ast.Call) -> Optional[str]:
+    fn = call.func
+    if isinstance(fn, ast.Name) and fn.id in SINK_FUNC_NAMES:
+        return fn.id
+    parts: List[str] = []
+    probe: ast.expr = fn
+    while isinstance(probe, ast.Attribute):
+        parts.append(probe.attr)
+        probe = probe.value
+    if isinstance(probe, ast.Name) and probe.id == "self" and parts:
+        root = parts[-1]
+        if root in SINK_ATTR_ROOTS:
+            return "self." + ".".join(reversed(parts))
+    return None
+
+
+def _isinstance_cleared_names(test: ast.expr) -> Tuple[Set[str], Set[str]]:
+    """Names proven clean inside the true branch / after a not-guard exit."""
+    positive: Set[str] = set()
+    negative: Set[str] = set()
+
+    def collect(node: ast.expr, negated: bool) -> None:
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            collect(node.operand, not negated)
+            return
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                collect(value, negated)
+            return
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "isinstance"
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+        ):
+            (negative if negated else positive).add(node.args[0].id)
+
+    collect(test, False)
+    return positive, negative
+
+
+def f004_wire_taint(tree: ast.AST, relpath: str) -> List[RawFinding]:
+    findings: List[RawFinding] = []
+    for func, _cls in iter_functions(tree):
+        args = func.args
+        names = [a.arg for a in list(args.args) + list(args.kwonlyargs)]
+        if args.kwarg is not None:
+            names.append(args.kwarg.arg)
+        sources = {n for n in names if n in WIRE_PARAM_NAMES}
+        if not sources:
+            continue
+        scope = _TaintScope(sources)
+        _f004_stmts(func.body, scope, findings)
+    return findings
+
+
+def _f004_stmts(body: List[ast.stmt], scope: _TaintScope, findings: List[RawFinding]) -> None:
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(stmt, ast.Assign):
+            value_tainted = _expr_tainted(stmt.value, scope)
+            for target in stmt.targets:
+                targets = target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+                for t in targets:
+                    if isinstance(t, ast.Name):
+                        if value_tainted:
+                            scope.tainted.add(t.id)
+                            scope.cleared.discard(t.id)
+                        else:
+                            scope.tainted.discard(t.id)
+            _f004_scan_sinks(stmt.value, scope, findings)
+            continue
+        if isinstance(stmt, ast.If):
+            positive, negative = _isinstance_cleared_names(stmt.test)
+            _f004_scan_sinks(stmt.test, scope, findings)
+            saved = set(scope.cleared)
+            scope.cleared |= positive
+            _f004_stmts(stmt.body, scope, findings)
+            scope.cleared = saved
+            _f004_stmts(stmt.orelse, scope, findings)
+            body_exits = bool(stmt.body) and isinstance(
+                stmt.body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+            )
+            if body_exits and negative:
+                # ``if not isinstance(x, T): return`` — x is T afterwards.
+                scope.cleared |= negative
+            continue
+        _f004_scan_compound(stmt, scope, findings)
+
+
+def _f004_scan_compound(stmt: ast.stmt, scope: _TaintScope, findings: List[RawFinding]) -> None:
+    """Sink-scan a statement, recursing into compound bodies in order."""
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        _f004_scan_sinks(stmt.iter, scope, findings)
+        if isinstance(stmt.target, ast.Name) and _expr_tainted(stmt.iter, scope):
+            scope.tainted.add(stmt.target.id)
+        _f004_stmts(stmt.body, scope, findings)
+        _f004_stmts(stmt.orelse, scope, findings)
+        return
+    if isinstance(stmt, ast.While):
+        _f004_scan_sinks(stmt.test, scope, findings)
+        _f004_stmts(stmt.body, scope, findings)
+        _f004_stmts(stmt.orelse, scope, findings)
+        return
+    if isinstance(stmt, ast.Try):
+        _f004_stmts(stmt.body, scope, findings)
+        for handler in stmt.handlers:
+            _f004_stmts(handler.body, scope, findings)
+        _f004_stmts(stmt.orelse, scope, findings)
+        _f004_stmts(stmt.finalbody, scope, findings)
+        return
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            _f004_scan_sinks(item.context_expr, scope, findings)
+        _f004_stmts(stmt.body, scope, findings)
+        return
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.expr):
+            _f004_scan_sinks(node, scope, findings, recurse=False)
+
+
+def _f004_scan_sinks(
+    node: ast.expr, scope: _TaintScope, findings: List[RawFinding], recurse: bool = True
+) -> None:
+    nodes = ast.walk(node) if recurse else [node]
+    for sub in nodes:
+        if not isinstance(sub, ast.Call):
+            continue
+        target = _sink_target(sub)
+        if target is None:
+            continue
+        for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+            if isinstance(arg, ast.Name) and arg.id in scope.sources:
+                findings.append(
+                    (
+                        "F004",
+                        sub.lineno,
+                        f"raw wire message passed whole into '{target}' — "
+                        "decode and validate the fields at the protocol "
+                        "boundary before they reach the kernel",
+                    )
+                )
+            elif _expr_tainted(arg, scope):
+                findings.append(
+                    (
+                        "F004",
+                        sub.lineno,
+                        f"wire-decoded value flows into '{target}' without "
+                        "validation — pass it through a validating/coercing "
+                        "helper at the protocol boundary first",
+                    )
+                )
+
+
+# -- F005: lock discipline -------------------------------------------------
+
+
+def f005_lock_discipline(tree: ast.AST, relpath: str) -> List[RawFinding]:
+    findings: List[RawFinding] = []
+    seen_pairs: Set[Tuple[str, str]] = set()
+
+    def lock_of(item: ast.withitem) -> Optional[str]:
+        expr = item.context_expr
+        root = None
+        probe = expr.func if isinstance(expr, ast.Call) else expr
+        parts: List[str] = []
+        while isinstance(probe, ast.Attribute):
+            parts.append(probe.attr)
+            probe = probe.value
+        if isinstance(probe, ast.Name) and probe.id == "self" and parts:
+            root = parts[-1]
+        if root is not None and LOCK_NAME_RE.search(root):
+            return root
+        return None
+
+    def walk(nodes: Any, held: List[str]) -> None:
+        for child in nodes:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                walk(ast.iter_child_nodes(child), [])
+                continue
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                acquired: List[str] = []
+                for item in child.items:
+                    lock = lock_of(item)
+                    if lock is None:
+                        continue
+                    for outer in held:
+                        if (lock, outer) in seen_pairs and outer != lock:
+                            findings.append(
+                                (
+                                    "F005",
+                                    child.lineno,
+                                    f"lock order inverted: '{lock}' is acquired "
+                                    f"while holding '{outer}', but elsewhere "
+                                    f"'{outer}' is acquired under '{lock}' — "
+                                    "pick one global order to avoid deadlock",
+                                )
+                            )
+                        seen_pairs.add((outer, lock))
+                    acquired.append(lock)
+                walk(child.body, held + acquired)
+                continue
+            if isinstance(child, ast.Await):
+                gates = [l for l in held if GATE_NAME_RE.search(l)]
+                if gates:
+                    findings.append(
+                        (
+                            "F005",
+                            child.lineno,
+                            f"await while holding the kernel gate '{gates[-1]}' "
+                            "— the serialized section must not yield; finish "
+                            "the critical section before awaiting",
+                        )
+                    )
+            walk(ast.iter_child_nodes(child), held)
+
+    walk(ast.iter_child_nodes(tree), [])
+    return findings
+
+
+#: the full pass set, in reporting order
+FLOW_PASSES = (
+    ("F001", f001_await_atomicity),
+    ("F002", f002_blocking_calls),
+    ("F003", f003_task_leaks),
+    ("F004", f004_wire_taint),
+    ("F005", f005_lock_discipline),
+)
+
+
+def run_flow_passes(tree: ast.AST, relpath: str) -> List[RawFinding]:
+    """All F-passes over one parsed module (caller scopes to FLOW_DIRS)."""
+    findings: List[RawFinding] = []
+    for _rule, fn in FLOW_PASSES:
+        findings.extend(fn(tree, relpath))
+    return findings

@@ -45,24 +45,48 @@ R009  ``repro/server/protocol.py`` is the single registry of the wire
       only the supervisor may instantiate ``CacheDaemon`` — a shard built
       anywhere else would be invisible to the ring, the health loop and
       the cluster telemetry.
+R010  Suppression and baseline hygiene (see :mod:`repro.check.manager`):
+      ``# repro: allow(...)`` comments must name valid rules and give a
+      reason, and baseline entries must still match a live finding.
+
+The flow-sensitive passes F001–F005 (await-atomicity, blocking calls in
+``async def``, task leaks, wire-param taint, lock discipline) live in
+:mod:`repro.check.flow` and run over ``repro/server``, ``repro/cluster``
+and ``repro/fs``; all rules share one parse per file through the pass
+manager in :mod:`repro.check.manager`.
 
 Usage::
 
-    repro-lint src/            # lint a source tree containing repro/
-    repro-lint src/repro/core  # or any file/subpackage inside it
+    repro-lint src/                      # lint a source tree containing repro/
+    repro-lint src/repro/core            # or any file/subpackage inside it
+    repro-lint --select F001,F005 src/   # only some rules
+    repro-lint --format github --json findings.json src/
     python -m repro.check.lint src/
 
-Exit status is the number of findings capped at 1, so CI can gate on it.
+Exit status: 0 clean, 1 findings, 2 analyzer error (bad path, crash).
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import json
 import sys
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.check.flow.passes import in_flow_dirs, run_flow_passes
+from repro.check.manager import (
+    BASELINE_RELPATH,
+    FileContext,
+    Finding,
+    LintResult,
+    PassManager,
+    render_github,
+    render_text,
+    result_json,
+    write_baseline,
+)
 
 ACM_PROCEDURES = frozenset(
     {"new_block", "block_gone", "block_accessed", "replace_block", "placeholder_used"}
@@ -141,19 +165,6 @@ CLUSTER_DIR = "repro/cluster/"
 CLUSTER_DAEMON_FACTORY = "repro/cluster/supervisor.py"
 
 
-@dataclass(frozen=True)
-class Finding:
-    """One lint violation."""
-
-    rule: str
-    path: str
-    line: int
-    message: str
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
-
-
 def _dotted(node: ast.expr) -> Optional[str]:
     """``a.b.c`` for a Name/Attribute chain, else None."""
     parts: List[str] = []
@@ -174,15 +185,46 @@ MUTABLE_DEFAULT_NODES = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp
 MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
 
 
+def _local_dict_names(func: ast.AST) -> Set[str]:
+    """Locals assigned a fresh dict (``d = {}`` / ``d = dict()``) in ``func``."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        fresh = isinstance(value, ast.Dict) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "dict"
+        )
+        if not fresh:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
 class _FileLinter(ast.NodeVisitor):
     """Runs the per-file rules (R001, R002, R004–R008) over one module."""
 
-    def __init__(self, relpath: str) -> None:
+    def __init__(self, relpath: str, file_path: str = "") -> None:
         self.relpath = relpath
+        self.file_path = file_path
         self.findings: List[Finding] = []
+        #: per-enclosing-function sets of locals bound to fresh dicts —
+        #: scratch dicts a function assembles and returns are not the
+        #: long-lived ad-hoc counters R008 is about
+        self._local_dicts: List[Set[str]] = []
 
     def _add(self, rule: str, node: ast.AST, message: str) -> None:
-        self.findings.append(Finding(rule, self.relpath, node.lineno, message))
+        self.findings.append(Finding(rule, self.relpath, node.lineno, message, self.file_path))
+
+    def _is_local_dict(self, node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Name)
+            and any(node.id in names for names in self._local_dicts)
+        )
 
     # R001 / R002 -------------------------------------------------------
 
@@ -355,6 +397,7 @@ class _FileLinter(ast.NodeVisitor):
             and key is not None
             and isinstance(node.op, ast.Add)
             and self._is_number(node.value)
+            and not self._is_local_dict(node.target.value)
         ):
             self._add(
                 "R008",
@@ -367,29 +410,46 @@ class _FileLinter(ast.NodeVisitor):
 
     def visit_Assign(self, node: ast.Assign) -> None:
         # x["k"] = x.get("k", 0) + 1 — the defaulting twin of the += bump.
+        # Only the self-referential form with a constant addend counts: the
+        # receiver of .get() must be the assignment target itself, so dict
+        # merges like out["hits"] = out.get("hits", 0) + shard["hits"] (an
+        # aggregation, not a counter) stay legal.
         if self._counter_dicts_banned() and isinstance(node.value, ast.BinOp):
-            keys = [self._str_subscript(t) for t in node.targets]
-            key = next((k for k in keys if k is not None), None)
-            sides = (node.value.left, node.value.right)
-            uses_get = any(
-                isinstance(side, ast.Call)
-                and isinstance(side.func, ast.Attribute)
-                and side.func.attr in ("get", "setdefault")
-                for side in sides
+            target = next(
+                (
+                    t
+                    for t in node.targets
+                    if self._str_subscript(t) is not None and isinstance(t.value, ast.Name)
+                ),
+                None,
             )
-            if key is not None and isinstance(node.value.op, ast.Add) and uses_get:
-                self._add(
-                    "R008",
-                    node,
-                    f"ad-hoc counter bump on string key '{key}' — counters "
-                    "belong in the repro.telemetry registry (or a named "
-                    "attribute on a stats class)",
+            if target is not None and isinstance(node.value.op, ast.Add):
+                key = self._str_subscript(target)
+                sides = (node.value.left, node.value.right)
+                self_get = any(
+                    isinstance(side, ast.Call)
+                    and isinstance(side.func, ast.Attribute)
+                    and side.func.attr in ("get", "setdefault")
+                    and isinstance(side.func.value, ast.Name)
+                    and side.func.value.id == target.value.id
+                    for side in sides
                 )
+                constant_addend = any(self._is_number(side) for side in sides)
+                if self_get and constant_addend and not self._is_local_dict(target.value):
+                    self._add(
+                        "R008",
+                        node,
+                        f"ad-hoc counter bump on string key '{key}' — counters "
+                        "belong in the repro.telemetry registry (or a named "
+                        "attribute on a stats class)",
+                    )
         self.generic_visit(node)
 
     # R004: mutable defaults --------------------------------------------
 
     def _check_defaults(self, node) -> None:
+        if not self.relpath.startswith("repro/"):
+            return  # helper scripts and test scaffolding are out of scope
         args = node.args
         for default in list(args.defaults) + [d for d in args.kw_defaults if d is not None]:
             bad = isinstance(default, MUTABLE_DEFAULT_NODES) or (
@@ -407,11 +467,15 @@ class _FileLinter(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._local_dicts.append(_local_dict_names(node))
         self.generic_visit(node)
+        self._local_dicts.pop()
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._local_dicts.append(_local_dict_names(node))
         self.generic_visit(node)
+        self._local_dicts.pop()
 
     # R004: frozen config dataclasses -----------------------------------
 
@@ -442,17 +506,51 @@ class _FileLinter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def lint_source(source: str, relpath: str) -> List[Finding]:
-    """Run the per-file rules over ``source`` as if it lived at ``relpath``
-    (a path relative to the source root, e.g. ``repro/core/acm.py``)."""
-    relpath = relpath.replace("\\", "/")
-    try:
-        tree = ast.parse(source, filename=relpath)
-    except SyntaxError as exc:
-        return [Finding("R000", relpath, exc.lineno or 0, f"syntax error: {exc.msg}")]
-    linter = _FileLinter(relpath)
-    linter.visit(tree)
+def _rules_pass(ctx: FileContext) -> List[Finding]:
+    """R001/R002/R004–R009 (per-file half) over one parsed module."""
+    linter = _FileLinter(ctx.relpath, ctx.file_path)
+    linter.visit(ctx.tree)
     return linter.findings
+
+
+def _flow_pass(ctx: FileContext) -> List[Finding]:
+    """F001–F005 over the async layer (repro/server, cluster, fs)."""
+    if not in_flow_dirs(ctx.relpath):
+        return []
+    seen = set()
+    findings: List[Finding] = []
+    for rule, line, message in run_flow_passes(ctx.tree, ctx.relpath):
+        key = (rule, line, message)
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.append(Finding(rule, ctx.relpath, line, message, ctx.file_path))
+    return findings
+
+
+def _policy_pass(root: Path, contexts: List[FileContext]) -> List[Finding]:
+    return check_policy_registry(root)
+
+
+def _verbs_pass(root: Path, contexts: List[FileContext]) -> List[Finding]:
+    return check_verb_declarations(root)
+
+
+def default_manager() -> PassManager:
+    """The full pass set ``repro-lint`` runs: R-rules + F-passes."""
+    return PassManager(
+        file_passes=[_rules_pass, _flow_pass],
+        tree_passes=[_policy_pass, _verbs_pass],
+    )
+
+
+def lint_source(source: str, relpath: str) -> List[Finding]:
+    """Run every file-scoped rule over ``source`` as if it lived at
+    ``relpath`` (a path relative to the source root, e.g.
+    ``repro/core/acm.py``).  Inline suppressions apply; no baseline."""
+    ctx = FileContext(relpath, source)
+    findings, _suppressed = default_manager().run_file(ctx)
+    return findings
 
 
 # -- R003: the policy registry (cross-file) ------------------------------
@@ -727,26 +825,48 @@ def _find_root(path: Path) -> Path:
     return path if path.is_dir() else path.parent
 
 
-def lint_tree(path) -> List[Finding]:
-    """Lint every ``.py`` under ``path`` (a source tree, package or file)."""
-    path = Path(path)
-    root = _find_root(path)
+def _tree_contexts(path: Path, root: Path) -> List[FileContext]:
     files: Iterable[Path]
     if path.is_file():
         files = [path]
     else:
         files = sorted(p for p in path.rglob("*.py"))
-    findings: List[Finding] = []
+    contexts = []
     for file in files:
         try:
             rel = file.resolve().relative_to(root).as_posix()
         except ValueError:
             rel = file.as_posix()
-        findings.extend(lint_source(file.read_text(), rel))
-    findings.extend(check_policy_registry(root))
-    findings.extend(check_verb_declarations(root))
-    findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return findings
+        contexts.append(FileContext(rel, file.read_text(), file.as_posix()))
+    return contexts
+
+
+def lint_tree_result(
+    path,
+    select: Optional[Set[str]] = None,
+    ignore: Optional[Set[str]] = None,
+    baseline: Optional[Path] = None,
+    use_default_baseline: bool = True,
+) -> LintResult:
+    """Lint every ``.py`` under ``path`` (a source tree, package or file).
+
+    With ``use_default_baseline`` (and no explicit ``baseline``), the
+    checked-in baseline at ``<root>/repro/check/lint-baseline.json`` is
+    applied when it exists.
+    """
+    path = Path(path)
+    root = _find_root(path)
+    if baseline is None and use_default_baseline:
+        candidate = root / BASELINE_RELPATH
+        if candidate.exists():
+            baseline = candidate
+    contexts = _tree_contexts(path, root)
+    return default_manager().run_tree(root, contexts, select, ignore, baseline)
+
+
+def lint_tree(path) -> List[Finding]:
+    """Effective findings of :func:`lint_tree_result` (back-compat shim)."""
+    return lint_tree_result(path).findings
 
 
 def render(findings: List[Finding]) -> str:
@@ -755,6 +875,12 @@ def render(findings: List[Finding]) -> str:
     lines = [str(f) for f in findings]
     lines.append(f"repro-lint: {len(findings)} finding(s)")
     return "\n".join(lines)
+
+
+def _parse_rule_set(spec: Optional[str]) -> Optional[Set[str]]:
+    if spec is None:
+        return None
+    return {part.strip() for part in spec.split(",") if part.strip()}
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -768,15 +894,94 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=["src"],
         help="files or directories to lint (default: src)",
     )
+    parser.add_argument(
+        "--select", help="comma-separated rule ids to run (e.g. F001,F005)"
+    )
+    parser.add_argument("--ignore", help="comma-separated rule ids to skip")
+    parser.add_argument(
+        "--format",
+        choices=("text", "github", "json"),
+        default="text",
+        help="output format (github emits ::error annotations)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the JSON report to PATH (any --format)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help=f"baseline file (default: <root>/{BASELINE_RELPATH} when present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings: rewrite the baseline and exit 0",
+    )
     args = parser.parse_args(argv)
-    findings: List[Finding] = []
-    for path in args.paths:
-        if not Path(path).exists():
-            print(f"repro-lint: error: no such file or directory: {path}")
-            return 1
-        findings.extend(lint_tree(path))
-    print(render(findings))
-    return 1 if findings else 0
+    select = _parse_rule_set(args.select)
+    ignore = _parse_rule_set(args.ignore)
+
+    try:
+        for path in args.paths:
+            if not Path(path).exists():
+                print(f"repro-lint: error: no such file or directory: {path}")
+                return 2
+
+        if args.write_baseline:
+            # Collect *raw* post-suppression findings (no baseline applied)
+            # and persist them as the new accepted set.
+            all_findings: List[Finding] = []
+            for path in args.paths:
+                result = lint_tree_result(
+                    path, select, ignore, use_default_baseline=False
+                )
+                all_findings.extend(result.findings)
+            root = _find_root(Path(args.paths[0]))
+            baseline_path = (
+                Path(args.baseline) if args.baseline else root / BASELINE_RELPATH
+            )
+            write_baseline(baseline_path, all_findings)
+            print(
+                f"repro-lint: wrote {len(all_findings)} accepted finding(s) "
+                f"to {baseline_path}"
+            )
+            return 0
+
+        findings: List[Finding] = []
+        raw_count = suppressed = baselined = 0
+        for path in args.paths:
+            result = lint_tree_result(
+                path,
+                select,
+                ignore,
+                baseline=Path(args.baseline) if args.baseline else None,
+                use_default_baseline=not args.no_baseline,
+            )
+            findings.extend(result.findings)
+            raw_count += result.raw_count
+            suppressed += result.suppressed
+            baselined += result.baselined
+        merged = LintResult(findings, raw_count, suppressed, baselined)
+
+        if args.json:
+            Path(args.json).write_text(json.dumps(result_json(merged), indent=2) + "\n")
+        if args.format == "github":
+            print(render_github(merged))
+        elif args.format == "json":
+            print(json.dumps(result_json(merged), indent=2))
+        else:
+            print(render_text(merged))
+        return 1 if merged.findings else 0
+    except Exception as exc:  # analyzer crash, not a lint finding
+        print(f"repro-lint: internal error: {exc!r}")
+        return 2
 
 
 if __name__ == "__main__":

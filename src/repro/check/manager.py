@@ -1,0 +1,392 @@
+"""The lint pass manager: one parse per file, many passes, one report.
+
+``repro-lint`` grew from a single AST visitor into two rule families —
+the flat R-rules (:mod:`repro.check.lint`) and the flow-sensitive
+F-passes (:mod:`repro.check.flow`).  This module owns everything they
+share:
+
+* :class:`FileContext` — one file parsed once (source, AST, suppression
+  comments), handed to every file-scoped pass;
+* **inline suppressions** — ``# repro: allow(F001) <reason>`` on the
+  offending line (or alone on the line above it) silences the named rules
+  there; the reason is mandatory, and a malformed comment is itself a
+  finding (R010);
+* **baseline** — a checked-in JSON file of accepted findings
+  (``repro/check/lint-baseline.json``) matched by ``(rule, path,
+  message)`` fingerprint, so pre-existing accepted findings don't fail CI
+  while *stale* entries (fixed code, baseline not updated) do (R010);
+* **per-rule selection** — ``--select``/``--ignore`` rule-id filters;
+* **output formats** — human text, GitHub annotations
+  (``::error file=...``) and machine-readable JSON.
+
+R010 is the manager's own hygiene rule: malformed suppression comments
+and stale baseline entries.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    #: on-disk path (for editor/CI links); empty when linting raw source
+    file: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+#: ``# repro: allow(F001) reason`` or ``# repro: allow(F001|R008) reason``
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)\s*(.*?)\s*$")
+_RULE_ID_RE = re.compile(r"^[A-Z]\d{3}$")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: allow(...)`` comment."""
+
+    line: int  # the line the suppression applies to
+    rules: FrozenSet[str]
+    reason: str
+
+
+def _comment_tokens(source: str) -> List[Tuple[int, int, str]]:
+    """``(line, col, text)`` of every real comment token.
+
+    Tokenizing (rather than scanning lines) keeps ``# repro: allow(...)``
+    examples inside docstrings from being parsed as live suppressions.
+    """
+    out: List[Tuple[int, int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.start[1], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # the parse error is reported separately as R000
+    return out
+
+
+def _line_of(source: str, lineno: int) -> str:
+    lines = source.splitlines()
+    return lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+
+
+def parse_suppressions(source: str, relpath: str) -> Tuple[Dict[int, Suppression], List[Finding]]:
+    """All suppression comments of a file, keyed by the line they cover.
+
+    A trailing comment covers its own line; a comment alone on a line
+    covers the next line.  Returns ``(by_covered_line, malformed)`` where
+    malformed comments (bad rule ids, missing reason) are R010 findings.
+    """
+    by_line: Dict[int, Suppression] = {}
+    malformed: List[Finding] = []
+    for lineno, col, text in _comment_tokens(source):
+        match = SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        standalone = not _line_of(source, lineno)[:col].strip()
+        covered = lineno + 1 if standalone else lineno
+        rule_ids = frozenset(
+            part.strip() for part in re.split(r"[|,]", match.group(1)) if part.strip()
+        )
+        reason = match.group(2).strip()
+        bad_ids = [r for r in rule_ids if not _RULE_ID_RE.match(r)]
+        if not rule_ids or bad_ids:
+            malformed.append(
+                Finding(
+                    "R010",
+                    relpath,
+                    lineno,
+                    "malformed suppression: allow(...) needs one or more "
+                    "rule ids like F001 separated by '|'"
+                    + (f" (got {', '.join(sorted(bad_ids))})" if bad_ids else ""),
+                )
+            )
+            continue
+        if not reason:
+            malformed.append(
+                Finding(
+                    "R010",
+                    relpath,
+                    lineno,
+                    "suppression without a reason — say why the finding is "
+                    "accepted: # repro: allow("
+                    + "|".join(sorted(rule_ids))
+                    + ") <reason>",
+                )
+            )
+            continue
+        by_line[covered] = Suppression(covered, rule_ids, reason)
+    return by_line, malformed
+
+
+class FileContext:
+    """One source file, parsed once and shared by every file pass."""
+
+    def __init__(self, relpath: str, source: str, file_path: str = "") -> None:
+        self.relpath = relpath.replace("\\", "/")
+        self.source = source
+        self.file_path = file_path
+        self.tree: Optional[ast.AST] = None
+        self.parse_error: Optional[Finding] = None
+        try:
+            self.tree = ast.parse(source, filename=self.relpath)
+        except SyntaxError as exc:
+            self.parse_error = Finding(
+                "R000", self.relpath, exc.lineno or 0, f"syntax error: {exc.msg}"
+            )
+        self.suppressions, self.suppression_errors = parse_suppressions(source, self.relpath)
+
+    def suppressed(self, finding: Finding) -> bool:
+        entry = self.suppressions.get(finding.line)
+        return entry is not None and finding.rule in entry.rules
+
+
+#: a file pass: ``run(ctx)`` returns findings for one parsed file
+FilePass = Callable[[FileContext], List[Finding]]
+#: a tree pass: ``run(root, contexts)`` returns cross-file findings
+TreePass = Callable[[Path, List[FileContext]], List[Finding]]
+
+
+# -- baseline --------------------------------------------------------------
+
+BASELINE_VERSION = 1
+#: where the checked-in baseline lives, relative to the source root
+BASELINE_RELPATH = "repro/check/lint-baseline.json"
+
+
+def _fingerprint(finding: Finding) -> Tuple[str, str, str]:
+    # Deliberately line-free: accepted findings survive unrelated edits
+    # above them, and a *fixed* finding goes stale no matter where it was.
+    return (finding.rule, finding.path, finding.message)
+
+
+def load_baseline(path: Path) -> Tuple[Dict[Tuple[str, str, str], int], List[Finding]]:
+    """``fingerprint -> allowed count`` plus R010 findings for bad files."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return {}, [
+            Finding("R010", path.as_posix(), 1, f"unreadable baseline file: {exc}")
+        ]
+    allowed: Dict[Tuple[str, str, str], int] = {}
+    errors: List[Finding] = []
+    for entry in data.get("findings", []):
+        if not isinstance(entry, dict) or not all(
+            isinstance(entry.get(k), str) for k in ("rule", "path", "message")
+        ):
+            errors.append(
+                Finding("R010", path.as_posix(), 1, f"malformed baseline entry: {entry!r}")
+            )
+            continue
+        key = (entry["rule"], entry["path"], entry["message"])
+        allowed[key] = allowed.get(key, 0) + 1
+    return allowed, errors
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    entries = [
+        {"rule": f.rule, "path": f.path, "message": f.message}
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": "Accepted repro-lint findings; regenerate with repro-lint --write-baseline.",
+        "findings": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def apply_baseline(
+    findings: List[Finding],
+    allowed: Dict[Tuple[str, str, str], int],
+    baseline_path: str,
+    analyzed: Optional[Set[str]] = None,
+) -> Tuple[List[Finding], int, List[Finding]]:
+    """Split findings into (kept, baselined_count, stale_entries).
+
+    Each baseline entry absorbs up to its count of matching findings;
+    entries matching nothing are *stale* and become R010 findings — a
+    fixed defect must leave the baseline too.  When ``analyzed`` (the set
+    of relpaths this run actually linted) is given, entries for files
+    outside it are left alone: linting a subtree must not condemn the
+    rest of the baseline.
+    """
+    remaining = dict(allowed)
+    kept: List[Finding] = []
+    baselined = 0
+    for finding in findings:
+        key = _fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined += 1
+        else:
+            kept.append(finding)
+    stale: List[Finding] = []
+    for (rule, path, message), count in sorted(remaining.items()):
+        if analyzed is not None and path not in analyzed:
+            continue
+        if count > 0:
+            stale.append(
+                Finding(
+                    "R010",
+                    baseline_path,
+                    1,
+                    f"stale baseline entry: {rule} at {path} ({message[:60]}...) "
+                    "no longer fires — remove it from the baseline",
+                )
+            )
+    return kept, baselined, stale
+
+
+# -- the manager -----------------------------------------------------------
+
+
+@dataclass
+class LintResult:
+    """What one lint run produced, before and after filtering."""
+
+    findings: List[Finding]  # effective (post suppression + baseline)
+    raw_count: int
+    suppressed: int
+    baselined: int
+
+
+def _rule_enabled(
+    rule: str, select: Optional[Set[str]], ignore: Optional[Set[str]]
+) -> bool:
+    if select is not None and rule not in select and rule != "R000":
+        return False
+    if ignore is not None and rule in ignore:
+        return False
+    return True
+
+
+class PassManager:
+    """Runs file passes and tree passes, merging and filtering findings."""
+
+    def __init__(self, file_passes: Sequence[FilePass], tree_passes: Sequence[TreePass]):
+        self.file_passes = list(file_passes)
+        self.tree_passes = list(tree_passes)
+
+    def run_file(
+        self,
+        ctx: FileContext,
+        select: Optional[Set[str]] = None,
+        ignore: Optional[Set[str]] = None,
+    ) -> Tuple[List[Finding], int]:
+        """Findings of one file (suppressions applied); (findings, n_suppressed)."""
+        raw: List[Finding] = []
+        if ctx.parse_error is not None:
+            raw.append(ctx.parse_error)
+        else:
+            for file_pass in self.file_passes:
+                raw.extend(file_pass(ctx))
+        raw.extend(ctx.suppression_errors)
+        raw = [f for f in raw if _rule_enabled(f.rule, select, ignore)]
+        kept = [f for f in raw if not ctx.suppressed(f)]
+        kept.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+        return kept, len(raw) - len(kept)
+
+    def run_tree(
+        self,
+        root: Path,
+        contexts: List[FileContext],
+        select: Optional[Set[str]] = None,
+        ignore: Optional[Set[str]] = None,
+        baseline: Optional[Path] = None,
+    ) -> LintResult:
+        findings: List[Finding] = []
+        suppressed = 0
+        for ctx in contexts:
+            kept, n_sup = self.run_file(ctx, select, ignore)
+            findings.extend(kept)
+            suppressed += n_sup
+        for tree_pass in self.tree_passes:
+            extra = [
+                f
+                for f in tree_pass(root, contexts)
+                if _rule_enabled(f.rule, select, ignore)
+            ]
+            findings.extend(extra)
+        raw_count = len(findings) + suppressed
+        baselined = 0
+        if baseline is not None and baseline.exists():
+            allowed, baseline_errors = load_baseline(baseline)
+            rel = baseline.as_posix()
+            try:
+                rel = baseline.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                pass
+            analyzed = {ctx.relpath for ctx in contexts}
+            findings, baselined, stale = apply_baseline(findings, allowed, rel, analyzed)
+            findings.extend(f for f in baseline_errors if _rule_enabled(f.rule, select, ignore))
+            findings.extend(f for f in stale if _rule_enabled(f.rule, select, ignore))
+        findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+        return LintResult(findings, raw_count, suppressed, baselined)
+
+
+# -- output formats --------------------------------------------------------
+
+
+def render_text(result: LintResult) -> str:
+    lines = [str(f) for f in result.findings]
+    extras = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    suffix = f" ({', '.join(extras)})" if extras else ""
+    if not result.findings:
+        lines.append(f"repro-lint: clean{suffix}")
+    else:
+        lines.append(f"repro-lint: {len(result.findings)} finding(s){suffix}")
+    return "\n".join(lines)
+
+
+def render_github(result: LintResult) -> str:
+    """GitHub Actions workflow-command annotations, one per finding."""
+    lines = []
+    for f in result.findings:
+        where = f.file or f.path
+        message = f.message.replace("%", "%25").replace("\r", "").replace("\n", "%0A")
+        lines.append(f"::error file={where},line={f.line},title=repro-lint {f.rule}::{message}")
+    lines.append(
+        f"repro-lint: {len(result.findings)} finding(s), "
+        f"{result.suppressed} suppressed, {result.baselined} baselined"
+    )
+    return "\n".join(lines)
+
+
+def result_json(result: LintResult) -> Dict[str, Any]:
+    return {
+        "version": 1,
+        "count": len(result.findings),
+        "raw_count": result.raw_count,
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "file": f.file,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+    }

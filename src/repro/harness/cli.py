@@ -140,7 +140,8 @@ class _CheckFailed(Exception):
 
 
 def _run_check(args) -> str:
-    """Protocol conformance: static lint over the installed package, then a
+    """Protocol conformance: static lint over the installed package (flat
+    R-rules plus the F001–F005 flow passes, baseline applied), then a
     small LRU-SP workload with the runtime sanitizer attached."""
     import os
 

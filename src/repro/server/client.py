@@ -449,14 +449,20 @@ class CacheClient:
         return int(value.get("flushed", 0))
 
     async def aclose(self) -> None:
-        """Polite shutdown: ``close`` the session, then drop the transport."""
+        """Polite shutdown: ``close`` the session, then drop the transport.
+
+        The closing flag flips *before* the first await, so a concurrent
+        ``aclose()`` (or ``call()``) arriving mid-shutdown sees the client
+        as closed instead of racing the polite ``close`` round trip.
+        """
         if self._closing:
             return
-        try:
-            await self.call("close")
-        except (ConnectionError, ServerError):
-            pass
         self._closing = True
+        if not self._transport.closed:
+            try:
+                await self._call_once("close", {}, self.retry.timeout_s)
+            except (ConnectionError, ServerError, asyncio.TimeoutError):
+                pass
         self._transport.close()
         if self._reader_task is not None:
             try:

@@ -94,6 +94,10 @@ class CacheDaemon:
         self._closing = False
         self._stopping = False
         self._closed_result: Optional[Dict[str, Any]] = None
+        #: single-flight shutdown: the first aclose()/abort() call creates
+        #: this task *before its first await*, so concurrent callers all
+        #: join the same shutdown instead of racing past a stale guard.
+        self._shutdown_task: Optional["asyncio.Task[Dict[str, Any]]"] = None
         self._kernel_task: Optional["asyncio.Task[None]"] = None
         self._servers: List[asyncio.AbstractServer] = []
         self._session_tasks: set = set()
@@ -137,10 +141,19 @@ class CacheDaemon:
         self._gate.set()
 
     async def aclose(self) -> Dict[str, Any]:
-        """Graceful shutdown: drain queues, flush dirty blocks, close."""
-        if self._closed_result is not None:
-            return self._closed_result
-        self._closing = True
+        """Graceful shutdown: drain queues, flush dirty blocks, close.
+
+        Safe to call concurrently and repeatedly: every caller awaits the
+        same shutdown task and gets the same summary object back.
+        """
+        if self._shutdown_task is None:
+            self._closing = True
+            self._shutdown_task = asyncio.get_running_loop().create_task(
+                self._aclose_impl()
+            )
+        return await self._shutdown_task
+
+    async def _aclose_impl(self) -> Dict[str, Any]:
         for server in self._servers:
             server.close()
         for server in self._servers:
@@ -179,12 +192,21 @@ class CacheDaemon:
         disk and kernel state surviving a daemon crash — so a replacement
         daemon built around the same service (plus :meth:`resume_state`)
         carries every acknowledged write and session pid forward.
+
+        Joins an in-flight shutdown if one has already started, so
+        ``abort()`` after (or during) ``aclose()`` returns that shutdown's
+        summary rather than tearing down twice.
         """
-        if self._closed_result is not None:
-            return self._closed_result
-        self._aborted = True
-        self._closing = True
-        self._stopping = True
+        if self._shutdown_task is None:
+            self._aborted = True
+            self._closing = True
+            self._stopping = True
+            self._shutdown_task = asyncio.get_running_loop().create_task(
+                self._abort_impl()
+            )
+        return await self._shutdown_task
+
+    async def _abort_impl(self) -> Dict[str, Any]:
         for server in self._servers:
             server.close()
         self.resume()
@@ -420,28 +442,33 @@ class CacheDaemon:
                 tracer.finish(span, **attrs)
 
     def _apply(self, session: Session, msg: Dict[str, Any]) -> Any:
-        verb = msg["verb"]
+        # The wire boundary: nothing from ``msg`` reaches the service
+        # without passing through the protocol validator first.
+        try:
+            verb, fields = protocol.validated_request(msg)
+        except protocol.RequestValidationError as exc:
+            raise ServiceError("BAD_REQUEST", str(exc)) from exc
         pid = session.pid
         if verb == "open":
             return self.service.open(
-                pid, msg.get("path"), msg.get("size_blocks"), msg.get("disk")
+                pid, fields["path"], fields.get("size_blocks"), fields.get("disk")
             )
         if verb == "read":
-            return self.service.read(pid, msg.get("path"), msg.get("blockno"))
+            return self.service.read(pid, fields["path"], fields["blockno"])
         if verb == "write":
             return self.service.write(
-                pid, msg.get("path"), msg.get("blockno"), msg.get("whole", True)
+                pid, fields["path"], fields["blockno"], fields.get("whole", True)
             )
         if verb == "stats":
             return self.snapshot()
         if verb == "metrics":
-            return self.metrics_reply(msg.get("format"))
+            return self.metrics_reply(fields.get("format"))
         if verb == "flush":
             return {"flushed": self.service.flush_all()}
         if verb == "close":
             session.closed = True
             return {"closed": True}
-        return self.service.directive(pid, verb, msg)
+        return self.service.directive(pid, verb, fields)
 
     # -- stats -------------------------------------------------------------
 
@@ -565,10 +592,8 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         faults=faults,
         telemetry=True if args.telemetry else None,
     )
-    return asyncio.run(_serve(args, config))
-
-
-async def _serve(args: argparse.Namespace, config: Any) -> int:
+    # The trace sink is opened here, before the event loop starts:
+    # open() blocks, and inside _serve it would stall every session.
     telemetry = None
     sink = None
     if args.trace_jsonl:
@@ -576,6 +601,19 @@ async def _serve(args: argparse.Namespace, config: Any) -> int:
 
         sink = open(args.trace_jsonl, "a", encoding="utf-8")
         telemetry = Telemetry(tracer=Tracer(sink=sink))
+    try:
+        return asyncio.run(_serve(args, config, telemetry, sink))
+    finally:
+        if sink is not None:
+            sink.close()
+
+
+async def _serve(
+    args: argparse.Namespace,
+    config: Any,
+    telemetry: Any = None,
+    sink: Any = None,
+) -> int:
     daemon = CacheDaemon(
         config, window=args.window, global_limit=args.global_limit, telemetry=telemetry
     )
@@ -599,7 +637,6 @@ async def _serve(args: argparse.Namespace, config: Any) -> int:
         tracer = daemon.service.telemetry.tracer
         if tracer is not None:
             tracer.flush()
-        sink.close()
     print(
         "repro-accfc serve: shut down cleanly; served "
         f"{summary['requests_served']} requests, flushed "

@@ -80,6 +80,54 @@ class ProtocolError(Exception):
     """A frame could not be encoded or decoded."""
 
 
+class RequestValidationError(ProtocolError):
+    """A decoded request failed wire-boundary validation."""
+
+
+#: verbs whose ``path`` parameter must be a non-empty string
+_PATH_VERBS = frozenset(
+    {"open", "read", "write", "set_priority", "get_priority", "set_temppri"}
+)
+#: verbs whose ``blockno`` parameter must be a non-negative integer
+_BLOCK_VERBS = frozenset({"read", "write"})
+
+
+def validated_request(msg: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
+    """Validate a decoded request at the wire boundary; ``(verb, fields)``.
+
+    The protocol layer is the trust boundary: values in ``msg`` came off
+    the wire and may have any shape JSON allows.  This re-checks everything
+    the kernel-facing layers consume — the verb must be registered,
+    ``path`` must be a non-empty string where one is required, ``blockno``
+    is coerced to a non-negative ``int`` — and returns only the parameter
+    fields (never ``verb`` or the request id).  Raises
+    :class:`RequestValidationError` on any violation; the daemon maps that
+    onto a ``BAD_REQUEST`` reply.
+    """
+    verb = msg.get("verb")
+    if not isinstance(verb, str) or verb not in ALL_VERBS:
+        raise RequestValidationError(f"unknown verb {verb!r}")
+    fields: Dict[str, Any] = {
+        key: value for key, value in msg.items() if key not in ("verb", "id")
+    }
+    if verb in _PATH_VERBS:
+        path = fields.get("path")
+        if not isinstance(path, str) or not path:
+            raise RequestValidationError(f"{verb}: bad path {path!r}")
+    if verb in _BLOCK_VERBS:
+        raw = fields.get("blockno")
+        if isinstance(raw, bool):
+            raise RequestValidationError(f"{verb}: bad block number {raw!r}")
+        try:
+            blockno = int(raw)
+        except (TypeError, ValueError) as exc:
+            raise RequestValidationError(f"{verb}: bad block number {raw!r}") from exc
+        if blockno < 0:
+            raise RequestValidationError(f"{verb}: negative block number {blockno}")
+        fields["blockno"] = blockno
+    return verb, fields
+
+
 def encode_frame(obj: Dict[str, Any]) -> bytes:
     """Serialise one message to its wire form."""
     try:

@@ -1,0 +1,33 @@
+"""F001 near-misses: the same surface shapes, with the hazard removed.
+
+``set_fresh`` re-reads after the await (no stale snapshot crosses it);
+``locked_bump`` holds a lock across the whole read-modify-write;
+``flag_first`` flips its guard before the first await, so no other
+caller can pass the guard during the suspension.
+"""
+
+import asyncio
+
+
+class Gauge:
+    def __init__(self):
+        self.value = 0
+        self.closed = False
+        self._lock = asyncio.Lock()
+
+    async def set_fresh(self, delta):
+        await asyncio.sleep(0)
+        snapshot = self.value
+        self.value = snapshot + delta
+
+    async def locked_bump(self, delta):
+        async with self._lock:
+            snapshot = self.value
+            await asyncio.sleep(0)
+            self.value = snapshot + delta
+
+    async def flag_first(self):
+        if self.closed:
+            return
+        self.closed = True
+        await asyncio.sleep(0)

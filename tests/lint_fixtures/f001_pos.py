@@ -1,0 +1,25 @@
+"""F001 positives: read-modify-write of shared state spanning an await.
+
+Both shapes from the daemon's shutdown bug family: a snapshot taken
+before an await and written back after it, and a check-then-act guard
+whose test goes stale while the coroutine is suspended.
+"""
+
+import asyncio
+
+
+class Counter:
+    def __init__(self):
+        self.total = 0
+        self.closed = False
+
+    async def bump(self, delta):
+        snapshot = self.total
+        await asyncio.sleep(0)
+        self.total = snapshot + delta  # EXPECT[F001]
+
+    async def close_once(self):
+        if self.closed:
+            return
+        await asyncio.sleep(0)
+        self.closed = True  # EXPECT[F001]

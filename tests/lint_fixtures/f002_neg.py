@@ -1,0 +1,27 @@
+"""F002 near-misses: the same calls where blocking is harmless.
+
+Synchronous methods may block; awaited sleeps are the async idiom; a
+``while True`` that awaits each iteration yields to the loop; a nested
+synchronous ``def`` runs outside the coroutine's body.
+"""
+
+import asyncio
+import time
+
+
+class Sleeper:
+    def warm_up(self):
+        time.sleep(0.1)
+
+    async def pause(self):
+        await asyncio.sleep(0.1)
+
+    async def spin(self):
+        while True:
+            await asyncio.sleep(1)
+
+    async def helper_scope(self):
+        def inner():
+            return open("/tmp/data")
+
+        return inner

@@ -1,0 +1,14 @@
+"""F002 positives: blocking calls and busy loops inside ``async def``."""
+
+import time
+
+
+class Poller:
+    async def wait_for_data(self):
+        time.sleep(0.1)  # EXPECT[F002]
+        with open("/tmp/data") as fh:  # EXPECT[F002]
+            return fh.read()
+
+    async def spin(self):
+        while True:  # EXPECT[F002]
+            pass

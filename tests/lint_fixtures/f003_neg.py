@@ -1,0 +1,23 @@
+"""F003 near-misses: every coroutine is awaited and every handle kept.
+
+The spawned task is stored in a collection (so its exceptions have an
+owner), and a handle that is awaited before the function returns is not
+fire-and-forget.
+"""
+
+import asyncio
+
+
+class Launcher:
+    def __init__(self):
+        self._tasks = set()
+
+    async def tick(self):
+        pass
+
+    async def run(self):
+        await self.tick()
+        task = asyncio.get_running_loop().create_task(self.tick())
+        self._tasks.add(task)
+        later = asyncio.ensure_future(self.tick())
+        await later

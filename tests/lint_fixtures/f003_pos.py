@@ -1,0 +1,14 @@
+"""F003 positives: un-awaited coroutines and leaked task handles."""
+
+import asyncio
+
+
+class Launcher:
+    async def tick(self):
+        pass
+
+    async def run(self):
+        self.tick()  # EXPECT[F003]
+        asyncio.get_running_loop().create_task(self.tick())  # EXPECT[F003]
+        handle = asyncio.ensure_future(self.tick())  # EXPECT[F003]
+        return None

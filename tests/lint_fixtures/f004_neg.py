@@ -1,0 +1,25 @@
+"""F004 near-misses: the same flows with validation at the boundary.
+
+Coercing through ``int()``, checking ``isinstance`` with an early raise,
+and passing values through a ``validated_*`` helper all count as
+sanitizing the wire input before it reaches the service.
+"""
+
+
+class Handler:
+    def __init__(self, service):
+        self.service = service
+
+    def apply(self, msg):
+        blockno = int(msg.get("blockno"))
+        return self.service.read(0, "fixed", blockno)
+
+    def typed(self, msg):
+        path = msg.get("path")
+        if not isinstance(path, str):
+            raise ValueError(path)
+        return self.service.read(0, path, 0)
+
+    def helper(self, msg):
+        fields = validated_request(msg)
+        return self.service.directive(0, "set_priority", fields)

@@ -1,0 +1,13 @@
+"""F004 positives: wire-decoded values reaching kernel-facing calls raw."""
+
+
+class Handler:
+    def __init__(self, service):
+        self.service = service
+
+    def apply(self, msg):
+        path = msg.get("path")
+        return self.service.read(0, path, msg.get("blockno"))  # EXPECT[F004]
+
+    def forward(self, msg):
+        return self.service.directive(0, "set_priority", msg)  # EXPECT[F004]

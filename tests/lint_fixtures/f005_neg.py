@@ -1,0 +1,36 @@
+"""F005 near-misses: gate released before awaiting, consistent order.
+
+Work done under the gate is synchronous; the await happens after the
+``async with`` block exits.  Both multi-lock functions acquire in the
+same a-then-b order, so no inversion exists.
+"""
+
+import asyncio
+
+
+class Daemon:
+    def __init__(self):
+        self._kernel_gate = asyncio.Lock()
+        self._a_lock = asyncio.Lock()
+        self._b_lock = asyncio.Lock()
+
+    async def apply(self):
+        async with self._kernel_gate:
+            result = self.compute()
+        await self.publish(result)
+
+    def compute(self):
+        return 1
+
+    async def publish(self, result):
+        pass
+
+    async def ab_once(self):
+        async with self._a_lock:
+            async with self._b_lock:
+                pass
+
+    async def ab_again(self):
+        async with self._a_lock:
+            async with self._b_lock:
+                pass

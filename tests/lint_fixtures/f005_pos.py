@@ -1,0 +1,24 @@
+"""F005 positives: awaiting under the kernel gate, inverted lock order."""
+
+import asyncio
+
+
+class Daemon:
+    def __init__(self):
+        self._kernel_gate = asyncio.Lock()
+        self._a_lock = asyncio.Lock()
+        self._b_lock = asyncio.Lock()
+
+    async def apply(self):
+        async with self._kernel_gate:
+            await asyncio.sleep(0)  # EXPECT[F005]
+
+    async def ab(self):
+        async with self._a_lock:
+            async with self._b_lock:
+                pass
+
+    async def ba(self):
+        async with self._b_lock:
+            async with self._a_lock:  # EXPECT[F005]
+                pass

@@ -1,0 +1,396 @@
+"""Tests for the flow-sensitive analyzer (F001–F005) and the pass manager.
+
+The fixture corpus under ``tests/lint_fixtures/`` is the executable
+specification: each ``fNNN_pos.py`` seeds violations marked with
+``EXPECT[rule]`` comments on the offending lines, and each
+``fNNN_neg.py`` is the near-miss variant that must stay silent.  The
+parametrized test below asserts exact ``(rule, line)`` agreement.
+"""
+
+import ast
+import json
+import re
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.check.flow.cfg import build_cfg, iter_functions
+from repro.check.flow.passes import in_flow_dirs, run_flow_passes
+from repro.check.lint import lint_source, lint_tree, lint_tree_result, main
+from repro.check.manager import (
+    FileContext,
+    Finding,
+    apply_baseline,
+    load_baseline,
+    parse_suppressions,
+    write_baseline,
+)
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src"
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+_EXPECT_RE = re.compile(r"EXPECT\[(\w+)\]")
+
+
+def dedent(src: str) -> str:
+    return textwrap.dedent(src).lstrip("\n")
+
+
+def flow_findings(src: str, relpath: str = "repro/server/mod.py"):
+    tree = ast.parse(dedent(src))
+    return sorted({(r, ln) for r, ln, _ in run_flow_passes(tree, relpath)})
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+# -- CFG construction ------------------------------------------------------
+
+
+class TestCfg:
+    def _cfg_of(self, src: str):
+        tree = ast.parse(dedent(src))
+        funcs = list(iter_functions(tree))
+        assert funcs, "fixture must define a function"
+        return build_cfg(funcs[0][0])
+
+    def test_linear_body_is_one_block(self):
+        cfg = self._cfg_of(
+            """
+            def f(x):
+                y = x + 1
+                return y
+            """
+        )
+        reachable = cfg.reachable()
+        # entry block plus the exit block
+        assert len(reachable) == 2
+
+    def test_if_makes_a_diamond(self):
+        cfg = self._cfg_of(
+            """
+            def f(x):
+                if x:
+                    y = 1
+                else:
+                    y = 2
+                return y
+            """
+        )
+        entry = cfg.entry
+        assert len(entry.succs) == 2
+        joins = {b.bid for a in entry.succs for b in a.succs}
+        assert len(joins) == 1  # both arms meet at the join block
+
+    def test_while_loops_back(self):
+        cfg = self._cfg_of(
+            """
+            def f(x):
+                while x:
+                    x -= 1
+                return x
+            """
+        )
+        header = cfg.entry.succs[0]
+        assert any(s is header for b in header.succs for s in b.succs + [b])
+
+    def test_dominators_of_diamond(self):
+        cfg = self._cfg_of(
+            """
+            def f(x):
+                if x:
+                    y = 1
+                else:
+                    y = 2
+                return y
+            """
+        )
+        doms = cfg.dominators()
+        entry = cfg.entry
+        then_block, else_block = entry.succs
+        join = then_block.succs[0]
+        assert entry.bid in doms[join.bid]
+        assert then_block.bid not in doms[join.bid]
+        assert else_block.bid not in doms[join.bid]
+
+    def test_iter_functions_sees_methods(self):
+        tree = ast.parse(
+            dedent(
+                """
+                class C:
+                    def m(self):
+                        pass
+
+                    async def am(self):
+                        pass
+
+                def top():
+                    def nested():
+                        pass
+                """
+            )
+        )
+        names = {(func.name, cls) for func, cls in iter_functions(tree)}
+        assert names == {("m", "C"), ("am", "C"), ("top", None), ("nested", None)}
+
+
+# -- the fixture corpus ----------------------------------------------------
+
+
+def _fixture_params():
+    return sorted(p.name for p in FIXTURES.glob("f*.py"))
+
+
+class TestFixtureCorpus:
+    @pytest.mark.parametrize("name", _fixture_params())
+    def test_fixture(self, name):
+        path = FIXTURES / name
+        src = path.read_text()
+        expected = sorted(
+            {
+                (m.group(1), lineno)
+                for lineno, line in enumerate(src.splitlines(), 1)
+                for m in [_EXPECT_RE.search(line)]
+                if m
+            }
+        )
+        if name.endswith("_pos.py"):
+            assert expected, f"{name}: positive fixture has no EXPECT markers"
+        else:
+            assert not expected, f"{name}: negative fixture must not expect findings"
+        got = flow_findings(src, "repro/server/" + name)
+        assert got == expected, f"{name}: expected {expected}, got {got}"
+
+    def test_corpus_covers_every_pass(self):
+        covered = {name[:4].upper() for name in _fixture_params()}
+        assert covered == {"F001", "F002", "F003", "F004", "F005"}
+        for rule in covered:
+            names = {n for n in _fixture_params() if n.startswith(rule.lower())}
+            assert any(n.endswith("_pos.py") for n in names)
+            assert any(n.endswith("_neg.py") for n in names)
+
+
+# -- scoping ---------------------------------------------------------------
+
+
+class TestScoping:
+    def test_flow_dirs(self):
+        assert in_flow_dirs("repro/server/daemon.py")
+        assert in_flow_dirs("repro/cluster/supervisor.py")
+        assert in_flow_dirs("repro/fs/filesystem.py")
+        assert not in_flow_dirs("repro/core/acm.py")
+        assert not in_flow_dirs("repro/check/lint.py")
+
+    def test_lint_source_skips_flow_outside_async_layer(self):
+        src = (FIXTURES / "f002_pos.py").read_text()
+        assert any(f.rule == "F002" for f in lint_source(src, "repro/server/x.py"))
+        assert not any(f.rule == "F002" for f in lint_source(src, "repro/core/x.py"))
+
+
+# -- suppressions ----------------------------------------------------------
+
+
+class TestSuppressions:
+    SRC = dedent(
+        """
+        import time
+
+
+        class P:
+            async def f(self):
+                time.sleep(1)  # repro: allow(F002) warm-up runs before serving
+        """
+    )
+
+    def test_trailing_suppression_silences_rule(self):
+        assert lint_source(self.SRC, "repro/server/x.py") == []
+
+    def test_standalone_comment_covers_next_line(self):
+        src = dedent(
+            """
+            import time
+
+
+            class P:
+                async def f(self):
+                    # repro: allow(F002) warm-up runs before serving
+                    time.sleep(1)
+            """
+        )
+        assert lint_source(src, "repro/server/x.py") == []
+
+    def test_unrelated_rule_does_not_suppress(self):
+        src = self.SRC.replace("allow(F002)", "allow(F001)")
+        assert rules(lint_source(src, "repro/server/x.py")) == ["F002"]
+
+    def test_missing_reason_is_r010(self):
+        src = self.SRC.replace(
+            "allow(F002) warm-up runs before serving", "allow(F002)"
+        )
+        found = rules(lint_source(src, "repro/server/x.py"))
+        assert "R010" in found and "F002" in found
+
+    def test_bad_rule_id_is_r010(self):
+        src = self.SRC.replace("allow(F002)", "allow(whatever)")
+        assert "R010" in rules(lint_source(src, "repro/server/x.py"))
+
+    def test_docstring_mention_is_not_a_suppression(self):
+        src = dedent(
+            '''
+            def f():
+                """Docs may show ``# repro: allow(...)`` without parsing it."""
+                return 1
+            '''
+        )
+        by_line, malformed = parse_suppressions(src, "repro/core/x.py")
+        assert by_line == {} and malformed == []
+
+    def test_multi_rule_suppression(self):
+        src = dedent(
+            """
+            import time
+
+
+            class P:
+                async def f(self):
+                    time.sleep(1)  # repro: allow(F002|F001) fixture of both
+            """
+        )
+        assert lint_source(src, "repro/server/x.py") == []
+
+
+# -- baseline --------------------------------------------------------------
+
+
+class TestBaseline:
+    def _tree(self, tmp_path, body):
+        pkg = tmp_path / "repro" / "server"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text(body)
+        return tmp_path
+
+    BLOCKING = "import time\n\n\nclass P:\n    async def f(self):\n        time.sleep(1)\n"
+
+    def test_baseline_absorbs_known_finding(self, tmp_path):
+        root = self._tree(tmp_path, self.BLOCKING)
+        findings = lint_tree(root)
+        assert rules(findings) == ["F002"]
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, findings)
+        result = lint_tree_result(root, baseline=baseline)
+        assert result.findings == [] and result.baselined == 1
+
+    def test_stale_entry_is_r010(self, tmp_path):
+        root = self._tree(tmp_path, self.BLOCKING)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, lint_tree(root))
+        # fix the defect but keep the baseline entry
+        (root / "repro" / "server" / "mod.py").write_text(
+            "class P:\n    async def f(self):\n        return 1\n"
+        )
+        result = lint_tree_result(root, baseline=baseline)
+        assert rules(result.findings) == ["R010"]
+        assert "stale baseline entry" in result.findings[0].message
+
+    def test_subtree_run_leaves_other_entries_alone(self):
+        allowed = {("F001", "repro/server/protocol.py", "msg"): 1}
+        kept, baselined, stale = apply_baseline(
+            [], allowed, "baseline.json", analyzed={"repro/core/acm.py"}
+        )
+        assert kept == [] and baselined == 0 and stale == []
+
+    def test_unreadable_baseline_is_r010(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        allowed, errors = load_baseline(bad)
+        assert allowed == {} and rules(errors) == ["R010"]
+
+    def test_checked_in_baseline_stays_small(self):
+        allowed, errors = load_baseline(SRC_ROOT / "repro" / "check" / "lint-baseline.json")
+        assert errors == []
+        assert sum(allowed.values()) <= 5  # the issue's ceiling on accepted findings
+
+
+# -- CLI: exit codes and formats -------------------------------------------
+
+
+class TestCli:
+    def _rogue_tree(self, tmp_path):
+        pkg = tmp_path / "repro" / "server"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text(TestBaseline.BLOCKING)
+        return pkg
+
+    def test_exit_0_on_clean_tree(self):
+        assert main([str(SRC_ROOT / "repro" / "server")]) == 0
+
+    def test_exit_1_on_findings(self, tmp_path, capsys):
+        pkg = self._rogue_tree(tmp_path)
+        assert main([str(pkg)]) == 1
+        assert "F002" in capsys.readouterr().out
+
+    def test_exit_2_on_missing_path(self, capsys):
+        assert main(["/no/such/tree"]) == 2
+        assert "no such file" in capsys.readouterr().out
+
+    def test_select_filters_rules(self, tmp_path, capsys):
+        pkg = self._rogue_tree(tmp_path)
+        assert main(["--select", "F001", str(pkg)]) == 0
+        assert main(["--select", "F002", str(pkg)]) == 1
+
+    def test_ignore_filters_rules(self, tmp_path, capsys):
+        pkg = self._rogue_tree(tmp_path)
+        assert main(["--ignore", "F002", str(pkg)]) == 0
+
+    def test_github_format(self, tmp_path, capsys):
+        pkg = self._rogue_tree(tmp_path)
+        assert main(["--format", "github", str(pkg)]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out and "line=6" in out and "F002" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        pkg = self._rogue_tree(tmp_path)
+        report = tmp_path / "findings.json"
+        assert main(["--format", "json", "--json", str(report), str(pkg)]) == 1
+        payload = json.loads(report.read_text())
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "F002"
+        printed = json.loads(capsys.readouterr().out)
+        assert printed == payload
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        pkg = self._rogue_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--write-baseline", "--baseline", str(baseline), str(pkg)]) == 0
+        assert main(["--baseline", str(baseline), str(pkg)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+
+# -- the real tree ---------------------------------------------------------
+
+
+class TestRealTree:
+    def test_flow_passes_clean_after_fixes(self):
+        result = lint_tree_result(SRC_ROOT)
+        assert result.findings == []
+        # the two accepted transport-latch findings are absorbed, not hidden
+        assert result.baselined == 2
+
+    def test_full_run_is_fast(self):
+        start = time.monotonic()
+        lint_tree(SRC_ROOT)
+        assert time.monotonic() - start < 5.0
+
+    def test_daemon_shutdown_is_single_flight(self):
+        src = (SRC_ROOT / "repro" / "server" / "daemon.py").read_text()
+        tree = ast.parse(src)
+        found = [r for r, _, _ in run_flow_passes(tree, "repro/server/daemon.py")]
+        assert "F001" not in found and "F004" not in found

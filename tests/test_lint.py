@@ -108,6 +108,12 @@ class TestR004MutableState:
         findings = lint("def f(xs=None):\n    return xs or []\n", "repro/core/acm.py")
         assert findings == []
 
+    def test_helper_scripts_are_out_of_scope(self):
+        # Mutable defaults in throwaway scaffolding outside repro/ are the
+        # author's business; the rule guards the shipped package only.
+        findings = lint("def f(xs=[]):\n    return xs\n", "scripts/plot_results.py")
+        assert findings == []
+
     def test_unfrozen_config_dataclass_fires(self):
         findings = lint(
             """
@@ -427,6 +433,46 @@ class TestR008Instrumentation:
     def test_outside_repro_is_allowed(self):
         assert lint("def f(d):\n    d['hits'] += 1\n", "tests/test_x.py") == []
 
+    def test_local_scratch_dict_is_allowed(self):
+        # A dict created and consumed inside one function is scratch state,
+        # not instrumentation that belongs in the metrics registry.
+        src = """
+            def summarize(events):
+                counts = {}
+                for ev in events:
+                    counts['seen'] += 1
+                return counts
+            """
+        assert lint(src, "repro/core/acm.py") == []
+
+    def test_local_dict_get_form_is_allowed(self):
+        src = """
+            def summarize(events):
+                counts = dict()
+                counts['seen'] = counts.get('seen', 0) + 1
+                return counts
+            """
+        assert lint(src, "repro/core/acm.py") == []
+
+    def test_dict_merge_get_form_is_allowed(self):
+        # Merging two dicts key-by-key reads from a *different* receiver
+        # than it writes — that's data plumbing, not a counter bump.
+        src = """
+            def merge(a, b, out):
+                for k in b:
+                    out[k] = a.get(k, 0) + b.get(k, 0)
+            """
+        assert lint(src, "repro/core/acm.py") == []
+
+    def test_attribute_counter_dict_still_fires(self):
+        # The local-dict exemption must not leak to shared state.
+        src = """
+            class S:
+                def f(self):
+                    self.stats['hits'] += 1
+            """
+        assert rules(lint(src, "repro/core/acm.py")) == ["R008"]
+
 
 class TestR009DaemonFactory:
     def test_cache_daemon_outside_supervisor_fires(self):
@@ -579,7 +625,8 @@ class TestRealTree:
         assert "R002" in out
 
     def test_main_rejects_missing_path(self, capsys):
-        assert main(["/no/such/tree"]) == 1
+        # exit 2 distinguishes analyzer/usage errors from findings (exit 1)
+        assert main(["/no/such/tree"]) == 2
         assert "no such file" in capsys.readouterr().out
 
     def test_syntax_error_is_reported_not_raised(self):
