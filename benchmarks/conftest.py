@@ -6,39 +6,41 @@ fall — per DESIGN.md the absolute 1994 numbers are out of scope), writes
 the rendered table to ``benchmarks/results/`` and reports its runtime
 through pytest-benchmark.
 
+Every module also feeds the performance version system: the module-scoped
+:func:`perf_profile` fixture collects named metrics (throughputs, ratios,
+runtimes) and files them as a schema'd :class:`repro.perf.Profile` under
+``.perf/profiles/<git-sha>/<family>.json`` on teardown, where ``family``
+is the module name minus its ``test_`` prefix.  ``repro-accfc perf
+diff|check`` then compares runs across commits (see docs/perf.md).
+
+All result persistence funnels through this module — ``save_table`` for
+rendered tables, ``save_json`` for raw result structures, ``perf_profile``
+for versioned metrics.  Benchmark files themselves may not write files
+(lint rule R011 enforces it).
+
 Experiments are memoised module-level, so one pytest session computes each
 underlying dataset once no matter how many benchmarks consume it.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
+import os
 import pathlib
+import time
+from typing import Any, Dict, List, Optional
 
 import pytest
 
+from repro.perf import Profile, ProfileStore, current_sha, machine_fingerprint
+from repro.perf.profile import HIGHER, LOWER, jsonable  # noqa: F401  (re-export)
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
-
-def jsonable(obj):
-    """Coerce experiment results (dataclasses, tuple-keyed grids) to plain
-    JSON types, so every benchmark emits a machine-readable record without
-    each writer inventing its own serialisation."""
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {
-            f.name: jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)
-        }
-    if isinstance(obj, dict):
-        return {
-            ("|".join(map(str, k)) if isinstance(k, tuple) else str(k)): jsonable(v)
-            for k, v in obj.items()
-        }
-    if isinstance(obj, (list, tuple)):
-        return [jsonable(v) for v in obj]
-    if isinstance(obj, (str, int, float, bool)) or obj is None:
-        return obj
-    return repr(obj)
+#: ``REPRO_PERF_SMOKE=1`` trims the gated families to their CI shape:
+#: fewer shard counts, fewer rounds — fast enough for a PR gate while
+#: still exercising the same code paths (see docs/perf.md).
+PERF_SMOKE = os.environ.get("REPRO_PERF_SMOKE", "") not in ("", "0")
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -83,7 +85,100 @@ def save_table(results_dir):
     return _save
 
 
+@pytest.fixture
+def save_json(results_dir):
+    """Merge a raw result structure into ``results/<name>.json``.
+
+    Merging (rather than overwriting) lets several tests of one module
+    contribute sections to the same record — e.g. the in-process and TCP
+    halves of the server-throughput file — regardless of which subset ran.
+    """
+
+    def _save(name: str, data: Dict[str, Any]) -> None:
+        path = results_dir / f"{name}.json"
+        record: Dict[str, Any] = {}
+        if path.exists():
+            try:
+                existing = json.loads(path.read_text())
+                if isinstance(existing, dict):
+                    record = existing
+            except ValueError:
+                pass
+        record.update(jsonable(data))
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    return _save
+
+
+class PerfRecorder:
+    """The mutable face of the module's :class:`~repro.perf.Profile`.
+
+    Benchmarks call :meth:`metric` with scalars they already computed (a
+    throughput, a miss-ratio, a speedup); the fixture saves the profile
+    once per module on teardown.  Failed benchmarks simply never record,
+    so partial profiles hold only what actually ran.
+    """
+
+    def __init__(self, family: str) -> None:
+        self.profile = Profile(
+            family=family, sha="", machine=machine_fingerprint()
+        )
+
+    def metric(
+        self,
+        name: str,
+        value: Optional[float],
+        unit: str,
+        direction: str = HIGHER,
+        samples: Optional[List[float]] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.profile.add(name, value, unit, direction, samples=samples, params=params)
+
+    def runtime(self, name: str, seconds: float) -> None:
+        """Record a wall-clock runtime (direction: lower is better)."""
+        self.metric(name, seconds, "s", LOWER)
+
+
+@pytest.fixture(scope="module")
+def perf_profile(request) -> PerfRecorder:
+    """Per-module metric recorder, saved to the profile store on teardown.
+
+    The family name is the module basename minus ``test_``:
+    ``test_micro_perf.py`` files under family ``micro_perf``.
+    """
+    module_name = pathlib.Path(request.module.__file__).stem
+    family = module_name[5:] if module_name.startswith("test_") else module_name
+    recorder = PerfRecorder(family)
+    yield recorder
+    if not recorder.profile.metrics:
+        return
+    store = ProfileStore()
+    recorder.profile.sha = current_sha(store.repo_root)
+    path = store.record(recorder.profile)
+    print(f"\n[perf] {family}: {len(recorder.profile.metrics)} metric(s) -> {path}")
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark a full experiment exactly once (they take seconds to
     minutes; statistical repetition adds nothing to a deterministic sim)."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def bench_seconds(benchmark) -> List[float]:
+    """The raw per-round wall times pytest-benchmark collected (sorted)."""
+    stats = benchmark.stats.stats
+    return [float(t) for t in stats.sorted_data]
+
+
+def ops_per_sec(benchmark, n_ops: int) -> List[float]:
+    """Per-round throughput samples for a benchmark of ``n_ops`` operations."""
+    return [n_ops / t for t in bench_seconds(benchmark) if t > 0]
+
+
+def timed(fn, *args, **kwargs):
+    """``(result, seconds)`` of one call — for benchmarks that measure
+    sub-phases themselves rather than through pytest-benchmark."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -11,7 +11,7 @@ DESIGN.md calls out three design choices worth isolating:
 
 import pytest
 
-from conftest import run_once
+from conftest import LOWER, bench_seconds, run_once
 from repro.core.allocation import ALLOC_LRU, GLOBAL_LRU, LRU_S, LRU_SP
 from repro.core.revocation import RevocationPolicy
 from repro.core.upcall import MRUHandler, UpcallACM
@@ -23,7 +23,7 @@ from repro.harness.runner import app, run_mix
 from repro.workloads.readn import ReadNBehavior
 
 
-def test_policy_family_benchmark(benchmark, save_table):
+def test_policy_family_benchmark(benchmark, save_table, perf_profile):
     data = run_once(benchmark, ablation_policies, "cs2+gli", 6.4)
     save_table("ablation_policies", report.render_ablation(
         data, "Allocation-policy ablation on cs2+gli @ 6.4MB"), data=data)
@@ -31,6 +31,13 @@ def test_policy_family_benchmark(benchmark, save_table):
     assert data["lru-sp"][1] < data["global-lru"][1]
     # ...and the full LRU-SP beats the strawman without swapping.
     assert data["lru-sp"][1] <= data["alloc-lru"][1]
+    perf_profile.runtime("policy_family_runtime_s", min(bench_seconds(benchmark)))
+    perf_profile.metric(
+        "lru_sp_vs_global_lru_io_ratio",
+        data["lru-sp"][1] / data["global-lru"][1],
+        "ratio",
+        LOWER,
+    )
 
 
 def test_readahead_benchmark(benchmark, save_table):
@@ -102,7 +109,7 @@ def test_disk_scheduler_benchmark(benchmark, save_table):
         assert data[sched][0] <= base[0] * 1.02
 
 
-def test_upcall_interface_benchmark(benchmark, save_table):
+def test_upcall_interface_benchmark(benchmark, save_table, perf_profile):
     """Directive interface vs upcall interface (Section 3's design choice).
 
     Same replacement decisions either way; upcalls pay a kernel/user
@@ -128,6 +135,9 @@ def test_upcall_interface_benchmark(benchmark, save_table):
     directives, upcalls = data["directives"], data["upcalls"]
     assert upcalls[1] == directives[1]                 # identical decisions
     assert 1.03 < upcalls[0] / directives[0] < 1.20    # ~10% dearer calls
+    perf_profile.metric(
+        "upcall_overhead_ratio", upcalls[0] / directives[0], "x", LOWER
+    )
 
 
 def test_writeback_policy_benchmark(benchmark, save_table):

@@ -9,22 +9,24 @@ throughput scales with the shard count, which is exactly the property the
 consistent-hash router is supposed to buy.  The path set is balanced
 (equal paths per shard) so the ring, not luck, sets the ceiling.
 
-Results land in ``benchmarks/results/cluster_scaling.json``; the test
-asserts ops/sec increases monotonically over 1 → 2 → 4 shards (8 is
-recorded but not asserted — at that scale per-frame event-loop overhead
-starts to rival the injected delay).
+Results land in the ``cluster_scaling`` perf profile (1-shard ops/sec and
+the 1→2 speedup are gated by ``repro-accfc perf check``) plus
+``benchmarks/results/cluster_scaling.json``.  The test asserts ops/sec
+increases monotonically over 1 → 2 → 4 shards (8 is recorded but not
+asserted — at that scale per-frame event-loop overhead starts to rival
+the injected delay).  Under ``REPRO_PERF_SMOKE=1`` only 1 → 2 shards run,
+which is all the CI gate compares.
 """
 
 import asyncio
-import json
 import time
 
-from conftest import run_once
+from conftest import PERF_SMOKE, run_once
 
 from repro.cluster import ClusterClient, ClusterSupervisor
 from repro.faults.plan import FaultPlan
 
-SHARD_COUNTS = (1, 2, 4, 8)
+SHARD_COUNTS = (1, 2) if PERF_SMOKE else (1, 2, 4, 8)
 PATHS_PER_SHARD = 6
 BLOCKS_PER_FILE = 4
 WORKERS = 16
@@ -86,23 +88,39 @@ def _sweep():
     return results
 
 
-def test_cluster_scaling(benchmark, results_dir):
+def test_cluster_scaling(benchmark, perf_profile, save_json):
     results = run_once(benchmark, _sweep)
 
     rates = {shards: results[shards]["ops_per_sec"] for shards in SHARD_COUNTS}
-    assert rates[1] < rates[2] < rates[4], rates
+    assert rates[1] < rates[2], rates
+    if 4 in rates:
+        assert rates[2] < rates[4], rates
 
-    record = {
-        "workload": {
-            "total_ops": TOTAL_OPS,
-            "workers": WORKERS,
-            "paths_per_shard": PATHS_PER_SHARD,
-            "slow_loris_s": DELAY_S,
-        },
-        "scales": {str(shards): results[shards] for shards in SHARD_COUNTS},
-        "monotonic_1_to_4": rates[1] < rates[2] < rates[4],
+    params = {
+        "total_ops": TOTAL_OPS,
+        "workers": WORKERS,
+        "paths_per_shard": PATHS_PER_SHARD,
+        "slow_loris_s": DELAY_S,
+        "shard_counts": list(SHARD_COUNTS),
     }
-    path = results_dir / "cluster_scaling.json"
-    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    perf_profile.metric(
+        "ops_per_sec_1_shard", rates[1], "ops/s", params=params
+    )
+    perf_profile.metric(
+        "speedup_1_to_2", rates[2] / rates[1], "x", params=params
+    )
+
+    save_json(
+        "cluster_scaling",
+        {
+            "workload": params,
+            "scales": {str(shards): results[shards] for shards in SHARD_COUNTS},
+            "monotonic": all(
+                rates[a] < rates[b]
+                for a, b in zip(SHARD_COUNTS, SHARD_COUNTS[1:])
+                if b <= 4
+            ),
+        },
+    )
     lines = ", ".join(f"{s}x={rates[s]:,.0f}" for s in SHARD_COUNTS)
     print(f"\ncluster scaling (ops/sec): {lines}")

@@ -4,9 +4,15 @@ These are performance (not reproduction) benchmarks: they keep the core
 data structures honest about their O(1)/O(log n) claims and give a
 throughput baseline for the simulator itself.  Unlike the table
 benchmarks, these run multiple rounds and report real statistics.
+
+Every test files its per-round throughput samples into the ``micro_perf``
+perf profile; the two BUF access-loop metrics are gated by ``repro-accfc
+perf check`` (see repro/perf/families.py).
 """
 
 import pytest
+
+from conftest import ops_per_sec
 
 from repro.analysis.stackdist import stack_distances
 from repro.core.acm import ACM
@@ -18,9 +24,17 @@ from repro.trace.events import AccessRecord
 from repro.trace.driver import replay
 
 N = 10_000
+FRAMES = 819
 
 
-def test_engine_event_throughput(benchmark):
+def _throughput(perf_profile, benchmark, name, **params):
+    samples = ops_per_sec(benchmark, N)
+    perf_profile.metric(
+        name, max(samples), "ops/s", samples=samples, params={"n": N, **params}
+    )
+
+
+def test_engine_event_throughput(benchmark, perf_profile):
     """Schedule-and-fire cycles per second on the event heap."""
 
     def run():
@@ -31,9 +45,10 @@ def test_engine_event_throughput(benchmark):
         return eng.events_fired
 
     assert benchmark(run) == N
+    _throughput(perf_profile, benchmark, "engine_events_per_sec")
 
 
-def test_lrulist_churn(benchmark):
+def test_lrulist_churn(benchmark, perf_profile):
     """push / move_to_mru / remove cycles on the O(1) list."""
     items = list(range(512))
 
@@ -48,9 +63,10 @@ def test_lrulist_churn(benchmark):
         return len(lst)
 
     assert benchmark(run) == 0
+    _throughput(perf_profile, benchmark, "lrulist_churn_ops_per_sec", items=512)
 
 
-def test_lrulist_swap(benchmark):
+def test_lrulist_swap(benchmark, perf_profile):
     """The LRU-SP swap primitive."""
     items = list(range(512))
 
@@ -63,13 +79,14 @@ def test_lrulist_swap(benchmark):
         return len(lst)
 
     assert benchmark(run) == 512
+    _throughput(perf_profile, benchmark, "lrulist_swap_ops_per_sec", items=512)
 
 
-def test_cache_access_throughput_global_lru(benchmark):
+def test_cache_access_throughput_global_lru(benchmark, perf_profile):
     """Block accesses per second through BUF (no managers)."""
 
     def run():
-        cache = BufferCache(819, policy=GLOBAL_LRU)
+        cache = BufferCache(FRAMES, policy=GLOBAL_LRU)
         for i in range(N):
             out = cache.access(1, 1, (i * 17) % 2000, i, "d")
             if out.read_needed:
@@ -77,15 +94,18 @@ def test_cache_access_throughput_global_lru(benchmark):
         return cache.stats.accesses
 
     assert benchmark(run) == N
+    _throughput(
+        perf_profile, benchmark, "buf_access_global_lru_ops_per_sec", frames=FRAMES
+    )
 
 
-def test_cache_access_throughput_lru_sp_managed(benchmark):
+def test_cache_access_throughput_lru_sp_managed(benchmark, perf_profile):
     """Same, with an MRU manager being consulted (the worst-case path:
     overrule + swap + placeholder on most misses)."""
 
     def run():
         acm = ACM()
-        cache = BufferCache(819, acm=acm, policy=LRU_SP)
+        cache = BufferCache(FRAMES, acm=acm, policy=LRU_SP)
         acm.register(1)
         acm.set_policy(1, 0, "mru")
         for i in range(N):
@@ -95,19 +115,23 @@ def test_cache_access_throughput_lru_sp_managed(benchmark):
         return cache.stats.accesses
 
     assert benchmark(run) == N
+    _throughput(
+        perf_profile, benchmark, "buf_access_lru_sp_ops_per_sec", frames=FRAMES
+    )
 
 
-def test_trace_replay_throughput(benchmark):
+def test_trace_replay_throughput(benchmark, perf_profile):
     """End-to-end replay speed (events/s through the trace driver)."""
     events = [AccessRecord(1, "f", (i * 17) % 2000) for i in range(N)]
 
     def run():
-        return replay(events, nframes=819, policy=GLOBAL_LRU).accesses
+        return replay(events, nframes=FRAMES, policy=GLOBAL_LRU).accesses
 
     assert benchmark(run) == N
+    _throughput(perf_profile, benchmark, "trace_replay_ops_per_sec", frames=FRAMES)
 
 
-def test_stack_distance_throughput(benchmark):
+def test_stack_distance_throughput(benchmark, perf_profile):
     """Mattson pass speed (O(n log n) Fenwick updates)."""
     trace = [(i * 17) % 2000 for i in range(N)]
 
@@ -115,3 +139,4 @@ def test_stack_distance_throughput(benchmark):
         return stack_distances(trace).nrefs
 
     assert benchmark(run) == N
+    _throughput(perf_profile, benchmark, "stack_distance_refs_per_sec")

@@ -2,22 +2,26 @@
 
 Performance benchmarks (not reproduction): four concurrent clients each
 stream block reads at a shared daemon, over the in-process queue transport
-and over loopback TCP.  Each run reports ops/sec into
-``benchmarks/results/server_throughput.json`` so regressions in the
-protocol/queueing layers show up as numbers, not vibes.
+and over loopback TCP.  Each run reports ops/sec into the
+``server_throughput`` perf profile (the in-process number is gated by
+``repro-accfc perf check``) plus ``benchmarks/results/
+server_throughput.json`` for quick inspection.
+
+Under ``REPRO_PERF_SMOKE=1`` each transport runs best-of-3 rounds, so the
+CI gate compares noise-guarded maxima rather than one cold sample.
 """
 
 import asyncio
-import json
 import time
 
-from conftest import run_once
+from conftest import PERF_SMOKE
 
 from repro.server import CacheClient, CacheDaemon, build_config
 
 CLIENTS = 4
 OPS_PER_CLIENT = 1_000
 FILE_BLOCKS = 64  # per client; small enough that the steady state is hits
+ROUNDS = 3 if PERF_SMOKE else 1
 
 
 async def _drive(connect, teardown=None):
@@ -49,34 +53,57 @@ async def _drive(connect, teardown=None):
     return elapsed
 
 
-def _record(results_dir, transport, elapsed):
+def _run_transport(benchmark, connect):
+    """Best-of-ROUNDS drive; returns the per-round elapsed times."""
+    elapsed_samples = []
+
+    def once():
+        elapsed_samples.append(asyncio.run(_drive(connect)))
+        return elapsed_samples[-1]
+
+    benchmark.pedantic(once, rounds=ROUNDS, iterations=1)
+    assert all(t > 0 for t in elapsed_samples)
+    return elapsed_samples
+
+
+def _record(perf_profile, save_json, transport, metric_name, elapsed_samples):
     ops = CLIENTS * OPS_PER_CLIENT
-    path = results_dir / "server_throughput.json"
-    data = json.loads(path.read_text()) if path.exists() else {}
-    data[transport] = {
-        "clients": CLIENTS,
-        "ops": ops,
-        "elapsed_s": round(elapsed, 4),
-        "ops_per_sec": round(ops / elapsed, 1),
-    }
-    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
-    print(f"\nserver throughput [{transport}]: {ops / elapsed:,.0f} ops/sec")
+    samples = [ops / t for t in elapsed_samples]
+    perf_profile.metric(
+        metric_name,
+        max(samples),
+        "ops/s",
+        samples=samples,
+        params={"clients": CLIENTS, "ops": ops, "rounds": ROUNDS},
+    )
+    best = min(elapsed_samples)
+    save_json(
+        "server_throughput",
+        {
+            transport: {
+                "clients": CLIENTS,
+                "ops": ops,
+                "elapsed_s": round(best, 4),
+                "ops_per_sec": round(ops / best, 1),
+                "rounds": ROUNDS,
+            }
+        },
+    )
+    print(f"\nserver throughput [{transport}]: {ops / best:,.0f} ops/sec")
 
 
-def test_inproc_throughput(benchmark, results_dir):
+def test_inproc_throughput(benchmark, perf_profile, save_json):
     async def connect(daemon):
         await daemon.start()
         return None
 
-    elapsed = run_once(benchmark, lambda: asyncio.run(_drive(connect)))
-    assert elapsed > 0
-    _record(results_dir, "inproc", elapsed)
+    elapsed_samples = _run_transport(benchmark, connect)
+    _record(perf_profile, save_json, "inproc", "inproc_ops_per_sec", elapsed_samples)
 
 
-def test_tcp_loopback_throughput(benchmark, results_dir):
+def test_tcp_loopback_throughput(benchmark, perf_profile, save_json):
     async def connect(daemon):
         return await daemon.start_tcp("127.0.0.1", 0)
 
-    elapsed = run_once(benchmark, lambda: asyncio.run(_drive(connect)))
-    assert elapsed > 0
-    _record(results_dir, "tcp", elapsed)
+    elapsed_samples = _run_transport(benchmark, connect)
+    _record(perf_profile, save_json, "tcp", "tcp_ops_per_sec", elapsed_samples)

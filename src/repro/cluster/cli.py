@@ -90,6 +90,11 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
         default=DEFAULT_FAILURES,
         help="consecutive ping failures before a shard is declared DOWN",
     )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-shard/shutdown status lines on stderr",
+    )
     args = parser.parse_args(argv)
     try:
         faults = FaultPlan.from_spec(args.faults) if args.faults else None
@@ -112,14 +117,16 @@ async def _cluster(args: argparse.Namespace, faults: Optional[FaultPlan]) -> int
         trace=True,
         spawn="subprocess" if args.subprocess else "inproc",
     )
+    from repro.harness.cli import status_line
+
     await supervisor.start_tcp(args.host, args.port_base)
     spans = supervisor.ring.spans()
     for sid, handle in supervisor.shards.items():
         host, port = handle.address  # type: ignore[misc]
-        print(
+        status_line(
             f"repro-accfc cluster: {sid} listening on {host}:{port} "
             f"(ring span {100.0 * spans[sid]:.1f}%)",
-            flush=True,
+            quiet=args.quiet,
         )
     monitor = HealthMonitor(
         supervisor,
@@ -139,9 +146,9 @@ async def _cluster(args: argparse.Namespace, faults: Optional[FaultPlan]) -> int
     await monitor.aclose()
     results = await supervisor.aclose()
     served = sum(int(r.get("requests_served", 0)) for r in results.values() if isinstance(r, dict))
-    print(
+    status_line(
         f"repro-accfc cluster: shut down cleanly; {len(results)} shards, "
         f"{monitor.failovers} failovers, {served} requests served",
-        flush=True,
+        quiet=args.quiet,
     )
     return 0

@@ -11,7 +11,13 @@ Examples::
     repro-accfc cluster --shards 3 --port-base 7490   # sharded cache cluster
     repro-accfc metrics --port 7481  # scrape a running daemon (Prometheus text)
     repro-accfc metrics --port 7490 --all-shards 3    # merged cluster scrape
+    repro-accfc perf diff            # compare HEAD profiles to the baseline
+    repro-accfc perf check           # the CI perf gate (exit 1 on DEGRADED)
     repro-accfc all                  # everything (several minutes)
+
+Scrape payloads (metrics/stats output) go to stdout; status and
+diagnostic lines go to stderr so piping the payload stays clean, and
+``--quiet`` silences them entirely.
 """
 
 from __future__ import annotations
@@ -187,6 +193,27 @@ _EXPERIMENTS = {
 }
 
 
+def emit_payload(text: str) -> None:
+    """Write a data payload to stdout as one flushed block.
+
+    Status lines (ours and the daemon's trace-sink diagnostics) live on
+    stderr; draining stderr first and flushing stdout after keeps the
+    two streams from interleaving mid-payload on slow terminals, where
+    stdout is block-buffered once piped but stderr is not.
+    """
+    sys.stderr.flush()
+    sys.stdout.write(text)
+    if not text.endswith("\n"):
+        sys.stdout.write("\n")
+    sys.stdout.flush()
+
+
+def status_line(message: str, quiet: bool = False) -> None:
+    """A human status/diagnostic line: stderr, flushed, silenced by --quiet."""
+    if not quiet:
+        print(message, file=sys.stderr, flush=True)
+
+
 def _metrics_endpoints(args, parser) -> List[tuple]:
     """The endpoint list a ``metrics`` invocation scrapes.
 
@@ -248,6 +275,11 @@ def metrics_main(argv: Optional[List[str]] = None) -> int:
         default="prometheus",
         help="prometheus text exposition (default), JSON snapshot, retained trace spans, or both",
     )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress status lines on stderr; only the scrape payload is printed",
+    )
     args = parser.parse_args(argv)
     endpoints = _metrics_endpoints(args, parser)
 
@@ -266,13 +298,18 @@ def metrics_main(argv: Optional[List[str]] = None) -> int:
         return f"{endpoint[1]}:{endpoint[2]}"
 
     async def scrape() -> int:
+        if len(endpoints) > 1:
+            status_line(
+                f"repro-accfc metrics: scraping {len(endpoints)} endpoints",
+                quiet=args.quiet,
+            )
         replies = [await scrape_one(endpoint) for endpoint in endpoints]
         if len(replies) == 1:
             reply = replies[0]
             if args.format == "prometheus":
-                print(reply.get("text", ""), end="")
+                emit_payload(reply.get("text", ""))
             else:
-                print(json.dumps(reply, indent=2, sort_keys=True))
+                emit_payload(json.dumps(reply, indent=2, sort_keys=True))
             return 0
         from repro.cluster.aggregate import merge_prometheus
 
@@ -281,9 +318,9 @@ def metrics_main(argv: Optional[List[str]] = None) -> int:
         }
         if args.format == "prometheus":
             texts = {label: reply.get("text", "") for label, reply in labelled.items()}
-            print(merge_prometheus(texts), end="")
+            emit_payload(merge_prometheus(texts))
         else:
-            print(json.dumps(labelled, indent=2, sort_keys=True))
+            emit_payload(json.dumps(labelled, indent=2, sort_keys=True))
         return 0
 
     return asyncio.run(scrape())
@@ -304,11 +341,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.cluster.cli import cluster_main
 
         return cluster_main(argv[1:])
+    if argv and argv[0] == "perf":
+        from repro.perf.cli import perf_main
+
+        return perf_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-accfc",
         description="Regenerate the figures and tables of 'Application-Controlled File Caching' (OSDI '94). "
         "The extra subcommands 'serve', 'cluster' and 'metrics' (repro-accfc serve --help) run and "
-        "scrape the multi-client cache daemon or a sharded cluster of them.",
+        "scrape the multi-client cache daemon or a sharded cluster of them; 'perf' "
+        "(repro-accfc perf --help) versions and gates benchmark profiles.",
     )
     parser.add_argument(
         "experiment",

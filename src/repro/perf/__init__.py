@@ -1,0 +1,80 @@
+"""repro.perf — the performance version system.
+
+Benchmarks have always emitted machine-readable JSON, but each run
+landed in a transient ``benchmarks/results/`` directory and nothing
+compared runs across commits; regressions in the BUF hot loop, server
+throughput or cluster scaling surfaced by accident.  This package is the
+perun-inspired layer that closes that loop:
+
+* :mod:`repro.perf.profile` — the schema'd :class:`Profile` record: one
+  benchmark *family* per file, metrics with units and a higher/lower
+  direction, optional raw samples (the best-of-N noise guard), and a
+  machine fingerprint so cross-machine comparisons are *flagged* rather
+  than trusted.
+* :mod:`repro.perf.store` — profiles versioned on disk under
+  ``.perf/profiles/<git-sha>/<family>.json`` plus the committed
+  reference baseline in ``.perf/baseline/``.
+* :mod:`repro.perf.checkers` — degradation detection between two
+  profiles: direction-aware ratio thresholds emitting typed findings
+  (OK / WARN / DEGRADED / IMPROVED / MISSING / INCOMPARABLE).
+* :mod:`repro.perf.cli` — ``repro-accfc perf list|show|diff|check|promote``
+  mirroring the ``repro.check`` manager conventions (``--select`` /
+  ``--ignore``, text/github/json output, exit 1 on DEGRADED).
+
+See ``docs/perf.md`` for the profile format, checker semantics and the
+baseline-refresh workflow behind the perf-smoke CI gate.
+"""
+
+from repro.perf.checkers import (
+    DEFAULT_FAIL_RATIO,
+    DEFAULT_WARN_RATIO,
+    STATUS_DEGRADED,
+    STATUS_IMPROVED,
+    STATUS_INCOMPARABLE,
+    STATUS_MISSING,
+    STATUS_OK,
+    STATUS_WARN,
+    FamilyCheck,
+    PerfFinding,
+    check_families,
+    check_profiles,
+    worst_status,
+)
+from repro.perf.families import GATED_FAMILIES, check_for
+from repro.perf.profile import (
+    SCHEMA_VERSION,
+    Machine,
+    Metric,
+    Profile,
+    jsonable,
+    machine_fingerprint,
+    validate_profile,
+)
+from repro.perf.store import ProfileStore, current_sha
+
+__all__ = [
+    "DEFAULT_FAIL_RATIO",
+    "DEFAULT_WARN_RATIO",
+    "FamilyCheck",
+    "GATED_FAMILIES",
+    "Machine",
+    "Metric",
+    "PerfFinding",
+    "Profile",
+    "ProfileStore",
+    "SCHEMA_VERSION",
+    "STATUS_DEGRADED",
+    "STATUS_IMPROVED",
+    "STATUS_INCOMPARABLE",
+    "STATUS_MISSING",
+    "STATUS_OK",
+    "STATUS_WARN",
+    "check_families",
+    "check_for",
+    "check_profiles",
+    "current_sha",
+    "jsonable",
+    "machine_fingerprint",
+    "validate_profile",
+    "worst_status",
+]

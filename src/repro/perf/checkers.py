@@ -1,0 +1,283 @@
+"""Degradation detection between two performance profiles.
+
+The comparison unit is one metric of one benchmark family: the *baseline*
+value (usually the committed reference under ``.perf/baseline/``) against
+the *current* value (a profile filed under a git sha).  Every comparison
+is direction-aware — ``ops/s`` dropping is a regression, a latency or an
+I/O ratio dropping is an improvement — and noise-guarded: when a metric
+carries raw per-round samples, the best sample (direction-aware) is
+compared, not the mean, so one noisy round on a shared CI runner cannot
+fail the gate on its own.
+
+Every comparison emits a typed :class:`PerfFinding` whose status is one
+of:
+
+``OK``            within the warn threshold both ways.
+``WARN``          slower than baseline by more than the warn ratio
+                  (default 5%) but less than the fail ratio.
+``DEGRADED``      slower by more than the fail ratio (default 15%).
+                  ``repro-accfc perf check`` exits 1 on any of these.
+``IMPROVED``      faster than baseline by more than the warn ratio.
+``MISSING``       the baseline has the metric (or the whole family) and
+                  the current run does not.
+``INCOMPARABLE``  the numbers exist but must not be compared: the machine
+                  fingerprints differ, the units differ, the directions
+                  disagree, or a value is null/zero.  Cross-machine runs
+                  are *flagged*, never silently trusted.
+
+Thresholds and the gated-metric subset are configured per family with
+:class:`FamilyCheck`; the registry of gated families that CI enforces
+lives in :mod:`repro.perf.families`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.perf.profile import HIGHER, LOWER, Metric, Profile
+
+STATUS_OK = "OK"
+STATUS_IMPROVED = "IMPROVED"
+STATUS_MISSING = "MISSING"
+STATUS_INCOMPARABLE = "INCOMPARABLE"
+STATUS_WARN = "WARN"
+STATUS_DEGRADED = "DEGRADED"
+
+#: statuses ordered least → most severe (``worst_status`` picks the max)
+SEVERITY_ORDER = (
+    STATUS_OK,
+    STATUS_IMPROVED,
+    STATUS_MISSING,
+    STATUS_INCOMPARABLE,
+    STATUS_WARN,
+    STATUS_DEGRADED,
+)
+
+#: >5% slower than baseline → WARN
+DEFAULT_WARN_RATIO = 1.05
+#: >15% slower than baseline → DEGRADED (the CI gate)
+DEFAULT_FAIL_RATIO = 1.15
+
+
+@dataclass(frozen=True)
+class FamilyCheck:
+    """How one benchmark family is judged.
+
+    ``metrics`` restricts ``perf check`` to a gated subset (None = every
+    metric the baseline has); ``diff`` always shows everything.
+    """
+
+    warn_ratio: float = DEFAULT_WARN_RATIO
+    fail_ratio: float = DEFAULT_FAIL_RATIO
+    metrics: Optional[Tuple[str, ...]] = None
+
+    def gated(self, name: str) -> bool:
+        return self.metrics is None or name in self.metrics
+
+
+@dataclass(frozen=True)
+class PerfFinding:
+    """One verdict: ``family/metric`` compared across two profiles.
+
+    ``slowdown`` normalises both directions to "how many times slower
+    than baseline" (1.0 = unchanged, 1.2 = 20% slower, 0.9 = 10%
+    faster); None when the pair was not comparable.
+    """
+
+    family: str
+    metric: str
+    status: str
+    message: str
+    baseline: Optional[float] = None
+    current: Optional[float] = None
+    slowdown: Optional[float] = None
+    unit: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.family}/{self.metric}: {self.status} {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "family": self.family,
+            "metric": self.metric,
+            "status": self.status,
+            "message": self.message,
+            "baseline": self.baseline,
+            "current": self.current,
+            "slowdown": self.slowdown,
+            "unit": self.unit,
+        }
+
+
+def worst_status(findings: Iterable[PerfFinding]) -> str:
+    """The most severe status among ``findings`` (``OK`` when empty)."""
+    worst = 0
+    for finding in findings:
+        try:
+            worst = max(worst, SEVERITY_ORDER.index(finding.status))
+        except ValueError:
+            worst = len(SEVERITY_ORDER) - 1  # unknown status: treat as worst
+    return SEVERITY_ORDER[worst]
+
+
+def _slowdown(base: float, cur: float, direction: str) -> float:
+    """How many times slower the current value is, direction-aware."""
+    return base / cur if direction == HIGHER else cur / base
+
+
+def check_metric(
+    family: str,
+    name: str,
+    base: Metric,
+    cur: Metric,
+    check: FamilyCheck,
+) -> PerfFinding:
+    """Compare one metric pair; see the module docstring for semantics."""
+    if base.unit != cur.unit:
+        return PerfFinding(
+            family, name, STATUS_INCOMPARABLE,
+            f"unit mismatch: baseline is {base.unit!r}, current is {cur.unit!r}",
+            unit=base.unit,
+        )
+    if base.direction != cur.direction:
+        return PerfFinding(
+            family, name, STATUS_INCOMPARABLE,
+            f"direction mismatch: baseline says {base.direction!r} is better, "
+            f"current says {cur.direction!r}",
+            unit=base.unit,
+        )
+    if base.direction not in (HIGHER, LOWER):
+        return PerfFinding(
+            family, name, STATUS_INCOMPARABLE,
+            f"unknown direction {base.direction!r}", unit=base.unit,
+        )
+    base_best, cur_best = base.best(), cur.best()
+    if base_best is None or cur_best is None:
+        return PerfFinding(
+            family, name, STATUS_INCOMPARABLE,
+            "null value on "
+            + ("both sides" if base_best is None and cur_best is None
+               else "the baseline side" if base_best is None
+               else "the current side"),
+            baseline=base_best, current=cur_best, unit=base.unit,
+        )
+    if base_best <= 0 or cur_best <= 0:
+        return PerfFinding(
+            family, name, STATUS_INCOMPARABLE,
+            f"non-positive value ({base_best:g} vs {cur_best:g}) — ratios undefined",
+            baseline=base_best, current=cur_best, unit=base.unit,
+        )
+    slowdown = _slowdown(base_best, cur_best, base.direction)
+    arrow = "slower" if slowdown >= 1.0 else "faster"
+    delta = abs(slowdown - 1.0) * 100.0
+    detail = (
+        f"{cur_best:g} vs baseline {base_best:g} {base.unit} "
+        f"({delta:.1f}% {arrow}"
+        + (f", best of {len(cur.samples)}" if len(cur.samples) > 1 else "")
+        + ")"
+    )
+    if slowdown >= check.fail_ratio:
+        status = STATUS_DEGRADED
+        detail += f" — beyond the {100 * (check.fail_ratio - 1):.0f}% fail threshold"
+    elif slowdown >= check.warn_ratio:
+        status = STATUS_WARN
+    elif slowdown <= 1.0 / check.warn_ratio:
+        status = STATUS_IMPROVED
+    else:
+        status = STATUS_OK
+    return PerfFinding(
+        family, name, status, detail,
+        baseline=base_best, current=cur_best, slowdown=round(slowdown, 4),
+        unit=base.unit,
+    )
+
+
+def check_profiles(
+    base: Profile,
+    cur: Profile,
+    check: Optional[FamilyCheck] = None,
+    gated_only: bool = False,
+) -> List[PerfFinding]:
+    """Every finding from comparing ``cur`` against baseline ``base``.
+
+    With ``gated_only`` (the ``perf check`` mode) only the family's gated
+    metric subset is judged; ``perf diff`` passes False and sees all.
+    A machine-fingerprint mismatch downgrades the *whole* family to one
+    INCOMPARABLE finding — numbers from different hardware are flagged,
+    not compared.
+    """
+    if check is None:
+        check = FamilyCheck()
+    family = base.family
+    if not base.machine.comparable_with(cur.machine):
+        return [
+            PerfFinding(
+                family, "*", STATUS_INCOMPARABLE,
+                "machine fingerprint mismatch "
+                f"(baseline: {base.machine.cpu_count} cpus, "
+                f"py{base.machine.python} on {base.machine.platform}; "
+                f"current: {cur.machine.cpu_count} cpus, "
+                f"py{cur.machine.python} on {cur.machine.platform}) — "
+                "refresh the baseline on this hardware (docs/perf.md)",
+            )
+        ]
+    findings: List[PerfFinding] = []
+    for name in sorted(base.metrics):
+        if gated_only and not check.gated(name):
+            continue
+        base_metric = base.metrics[name]
+        cur_metric = cur.metrics.get(name)
+        if cur_metric is None:
+            findings.append(
+                PerfFinding(
+                    family, name, STATUS_MISSING,
+                    "metric present in the baseline but absent from the "
+                    "current profile", baseline=base_metric.best(),
+                    unit=base_metric.unit,
+                )
+            )
+            continue
+        findings.append(check_metric(family, name, base_metric, cur_metric, check))
+    if not gated_only:
+        for name in sorted(set(cur.metrics) - set(base.metrics)):
+            findings.append(
+                PerfFinding(
+                    family, name, STATUS_OK,
+                    "new metric (no baseline yet)",
+                    current=cur.metrics[name].best(),
+                    unit=cur.metrics[name].unit,
+                )
+            )
+    return findings
+
+
+def check_families(
+    baselines: Dict[str, Profile],
+    currents: Dict[str, Profile],
+    checks: Dict[str, FamilyCheck],
+    families: Optional[Sequence[str]] = None,
+    gated_only: bool = True,
+) -> List[PerfFinding]:
+    """Compare every baseline family against its current profile.
+
+    ``families`` filters (``--select``); a baseline family with no
+    current profile at all becomes a family-level MISSING finding.
+    """
+    findings: List[PerfFinding] = []
+    for family in sorted(baselines):
+        if families is not None and family not in families:
+            continue
+        check = checks.get(family, FamilyCheck())
+        cur = currents.get(family)
+        if cur is None:
+            findings.append(
+                PerfFinding(
+                    family, "*", STATUS_MISSING,
+                    "no current profile for this family — run its benchmark "
+                    "(see docs/perf.md) before checking",
+                )
+            )
+            continue
+        findings.extend(check_profiles(baselines[family], cur, check, gated_only))
+    return findings

@@ -1,0 +1,299 @@
+"""``repro-accfc perf`` — browse, diff and gate performance profiles.
+
+Subcommands (conventions mirror ``repro-lint``/``repro.check``:
+``--select``/``--ignore`` filters, ``text``/``github``/``json`` output,
+exit 0 clean / 1 findings / 2 usage or store error):
+
+``list``
+    Every sha with stored profiles, newest first, plus the committed
+    baseline when present.
+``show [SHA]``
+    Render the profiles stored at one sha (default HEAD).
+``diff [BASE] [CUR]``
+    Table of every metric comparison between two shas.  Defaults:
+    ``BASE`` = the committed baseline (the merge-base stand-in a PR
+    branch should measure against), ``CUR`` = HEAD.  Shows all metrics,
+    never exits non-zero on regressions — it is the *reading* tool.
+``check [BASE] [CUR]``
+    The gate: judge only the gated metric subset of each family (see
+    :mod:`repro.perf.families`) and exit 1 on any DEGRADED finding.
+    INCOMPARABLE (machine mismatch) is reported but does not fail — a
+    cross-machine comparison is flagged, not trusted.
+``promote [SHA]``
+    Copy SHA's profiles (default HEAD) into ``.perf/baseline/`` as the
+    new committed reference — the baseline-refresh workflow when code
+    legitimately got slower/faster or the hardware changed.
+
+Sha arguments accept the literals ``baseline``/``HEAD``/``workdir``, a
+full sha, or any unambiguous sha prefix of a stored profile directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.perf.checkers import (
+    STATUS_DEGRADED,
+    PerfFinding,
+    check_families,
+    worst_status,
+)
+from repro.perf.families import GATED_FAMILIES
+from repro.perf.profile import Profile
+from repro.perf.store import BASELINE, ProfileStore, current_sha
+
+
+class PerfCliError(Exception):
+    """A usage or store problem (exit 2), carrying the message to print."""
+
+
+def resolve_sha(store: ProfileStore, spec: Optional[str], default: str) -> str:
+    """Map a user sha spec to a stored shelf name."""
+    spec = (spec or default).strip()
+    if spec in ("baseline", BASELINE):
+        return BASELINE
+    if spec in ("HEAD", "head", ""):
+        return current_sha(store.repo_root)
+    stored = [s for s in store.shas() if s != BASELINE]
+    if spec in stored:
+        return spec
+    matches = [s for s in stored if s.startswith(spec)]
+    if len(matches) == 1:
+        return matches[0]
+    if len(matches) > 1:
+        raise PerfCliError(
+            f"sha prefix {spec!r} is ambiguous: " + ", ".join(s[:12] for s in matches)
+        )
+    return spec  # full sha with no profiles yet; caller reports it cleanly
+
+
+def _load_families(
+    store: ProfileStore, sha: str, families: Optional[Set[str]], ignore: Set[str]
+) -> Dict[str, Profile]:
+    out: Dict[str, Profile] = {}
+    for family in store.families(sha):
+        if families is not None and family not in families:
+            continue
+        if family in ignore:
+            continue
+        try:
+            out[family] = store.load(sha, family)
+        except (OSError, ValueError) as exc:
+            raise PerfCliError(f"unreadable profile {sha[:12]}/{family}: {exc}")
+    return out
+
+
+def _family_filters(args) -> Tuple[Optional[Set[str]], Set[str]]:
+    select = None
+    if args.select:
+        select = {part.strip() for part in args.select.split(",") if part.strip()}
+    ignore = set()
+    if args.ignore:
+        ignore = {part.strip() for part in args.ignore.split(",") if part.strip()}
+    return select, ignore
+
+
+# -- rendering -------------------------------------------------------------
+
+
+def render_findings_text(findings: Sequence[PerfFinding], base: str, cur: str) -> str:
+    header = f"perf: {cur[:12]} vs {base if base == BASELINE else base[:12]}"
+    if not findings:
+        return header + "\nno overlapping families — nothing to compare"
+    width = max(len(f"{f.family}/{f.metric}") for f in findings)
+    lines = [header, f"{'metric':<{width}}  {'baseline':>12} {'current':>12} {'slower':>8}  status"]
+    for f in findings:
+        slow = f"{f.slowdown:.3f}x" if f.slowdown is not None else "-"
+        base_v = f"{f.baseline:,.1f}" if f.baseline is not None else "-"
+        cur_v = f"{f.current:,.1f}" if f.current is not None else "-"
+        lines.append(
+            f"{f.family + '/' + f.metric:<{width}}  {base_v:>12} {cur_v:>12} "
+            f"{slow:>8}  {f.status}"
+            + ("" if f.status == "OK" else f" ({f.message})")
+        )
+    lines.append(f"perf: {len(findings)} comparison(s), worst {worst_status(findings)}")
+    return "\n".join(lines)
+
+
+def render_findings_github(findings: Sequence[PerfFinding]) -> str:
+    lines = []
+    for f in findings:
+        level = "error" if f.status == STATUS_DEGRADED else "warning"
+        if f.status in ("OK", "IMPROVED"):
+            continue
+        message = f.message.replace("%", "%25").replace("\r", "").replace("\n", "%0A")
+        lines.append(
+            f"::{level} title=perf {f.status} {f.family}/{f.metric}::{message}"
+        )
+    lines.append(
+        f"perf: {len(findings)} comparison(s), worst {worst_status(findings)}"
+    )
+    return "\n".join(lines)
+
+
+def findings_json(findings: Sequence[PerfFinding], base: str, cur: str) -> Dict:
+    return {
+        "version": 1,
+        "baseline": base,
+        "current": cur,
+        "worst": worst_status(findings),
+        "count": len(findings),
+        "findings": [f.to_json() for f in findings],
+    }
+
+
+def _emit(args, findings: Sequence[PerfFinding], base: str, cur: str) -> None:
+    if args.format == "json":
+        print(json.dumps(findings_json(findings, base, cur), indent=2))
+    elif args.format == "github":
+        print(render_findings_github(findings))
+    else:
+        print(render_findings_text(findings, base, cur))
+
+
+# -- subcommands -----------------------------------------------------------
+
+
+def _cmd_list(store: ProfileStore, args) -> int:
+    shas = store.shas()
+    if args.format == "json":
+        print(json.dumps(
+            {"version": 1, "shas": [
+                {"sha": sha, "families": store.families(sha),
+                 "reference": sha == BASELINE}
+                for sha in shas
+            ]}, indent=2))
+        return 0
+    if not shas:
+        print(f"perf: no profiles under {store.root} — run the benchmarks first "
+              "(see docs/perf.md)")
+        return 0
+    for sha in shas:
+        label = "baseline (committed reference)" if sha == BASELINE else sha
+        print(f"{label}: {', '.join(store.families(sha))}")
+    return 0
+
+
+def _cmd_show(store: ProfileStore, args) -> int:
+    sha = resolve_sha(store, args.base, "HEAD")
+    select, ignore = _family_filters(args)
+    profiles = _load_families(store, sha, select, ignore)
+    if not profiles:
+        raise PerfCliError(f"no profiles stored for {sha[:12]}")
+    if args.format == "json":
+        print(json.dumps(
+            {family: p.to_json() for family, p in sorted(profiles.items())},
+            indent=2, sort_keys=True))
+        return 0
+    for family, profile in sorted(profiles.items()):
+        flag = " [reference]" if profile.reference else ""
+        print(f"{family} @ {profile.sha[:12]}{flag} "
+              f"({profile.created}, {profile.machine.host}, "
+              f"{profile.machine.cpu_count} cpus, py{profile.machine.python})")
+        for name, metric in sorted(profile.metrics.items()):
+            best = metric.best()
+            shown = f"{best:,.2f}" if best is not None else "null"
+            extra = f" (best of {len(metric.samples)})" if len(metric.samples) > 1 else ""
+            print(f"  {name} = {shown} {metric.unit} [{metric.direction} is better]{extra}")
+    return 0
+
+
+def _compare(store: ProfileStore, args, gated_only: bool) -> List[PerfFinding]:
+    base = resolve_sha(store, args.base, BASELINE)
+    cur = resolve_sha(store, args.cur, "HEAD")
+    select, ignore = _family_filters(args)
+    baselines = _load_families(store, base, select, ignore)
+    currents = _load_families(store, cur, select, ignore)
+    if not baselines:
+        where = "committed baseline" if base == BASELINE else base[:12]
+        raise PerfCliError(
+            f"no baseline profiles at {where} — run the benchmarks and "
+            "'repro-accfc perf promote', or commit .perf/baseline/ (docs/perf.md)"
+        )
+    findings = check_families(
+        baselines, currents, GATED_FAMILIES,
+        families=None,  # select/ignore already applied at load time
+        gated_only=gated_only,
+    )
+    args._resolved = (base, cur)
+    return findings
+
+
+def _cmd_diff(store: ProfileStore, args) -> int:
+    findings = _compare(store, args, gated_only=False)
+    base, cur = args._resolved
+    _emit(args, findings, base, cur)
+    return 0
+
+
+def _cmd_check(store: ProfileStore, args) -> int:
+    findings = _compare(store, args, gated_only=True)
+    base, cur = args._resolved
+    _emit(args, findings, base, cur)
+    return 1 if any(f.status == STATUS_DEGRADED for f in findings) else 0
+
+
+def _cmd_promote(store: ProfileStore, args) -> int:
+    sha = resolve_sha(store, args.base, "HEAD")
+    select, ignore = _family_filters(args)
+    profiles = _load_families(store, sha, select, ignore)
+    if not profiles:
+        raise PerfCliError(f"no profiles stored for {sha[:12]} — nothing to promote")
+    for family, profile in sorted(profiles.items()):
+        path = store.save_baseline(profile)
+        print(f"perf: promoted {family} @ {sha[:12]} -> {path}")
+    print(f"perf: {len(profiles)} baseline profile(s) written — commit .perf/baseline/")
+    return 0
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "show": _cmd_show,
+    "diff": _cmd_diff,
+    "check": _cmd_check,
+    "promote": _cmd_promote,
+}
+
+
+def perf_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-accfc perf``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-accfc perf",
+        description="Performance version system: profiles keyed by git sha, "
+        "degradation detection against the committed baseline, and the CI "
+        "perf gate.  See docs/perf.md.",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS), help="subcommand")
+    parser.add_argument(
+        "base", nargs="?",
+        help="sha to read / compare against (diff+check default: baseline; "
+        "show+promote default: HEAD)",
+    )
+    parser.add_argument(
+        "cur", nargs="?",
+        help="sha under test for diff/check (default: HEAD)",
+    )
+    parser.add_argument("--select", help="comma-separated families to include")
+    parser.add_argument("--ignore", help="comma-separated families to skip")
+    parser.add_argument(
+        "--format", choices=("text", "github", "json"), default="text",
+        help="output format (github emits ::error/::warning annotations)",
+    )
+    parser.add_argument(
+        "--perf-dir", metavar="DIR",
+        help="profile store root (default: <repo>/.perf or $REPRO_PERF_DIR)",
+    )
+    args = parser.parse_args(argv)
+    store = ProfileStore(args.perf_dir) if args.perf_dir else ProfileStore()
+    try:
+        return _COMMANDS[args.command](store, args)
+    except PerfCliError as exc:
+        print(f"repro-accfc perf: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(perf_main())

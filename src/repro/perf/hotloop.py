@@ -1,0 +1,76 @@
+"""Standalone collector for the gated BUF hot-loop metrics.
+
+``benchmarks/test_micro_perf.py`` measures the same loops through
+pytest-benchmark; this module is the dependency-free twin that anything
+can call — the perf-gate tests (which re-measure the loop under an
+injected slowdown and expect ``perf check`` to catch it) and ad-hoc
+``python -m`` investigation.  Metric names match the ``micro_perf``
+family gate in :mod:`repro.perf.families` exactly, so a profile
+collected here is checkable against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.perf.profile import Machine, Profile, machine_fingerprint
+from repro.perf.store import current_sha
+
+#: accesses per round; small enough that three rounds stay sub-second
+DEFAULT_N = 4_000
+DEFAULT_ROUNDS = 3
+FRAMES = 819  # 6.4 MB of 8 KB frames, the paper's default cache
+
+
+def _access_loop(n: int, managed: bool) -> int:
+    from repro.core.acm import ACM
+    from repro.core.allocation import GLOBAL_LRU, LRU_SP
+    from repro.core.buffercache import BufferCache
+
+    if managed:
+        acm = ACM()
+        cache = BufferCache(FRAMES, acm=acm, policy=LRU_SP)
+        acm.register(1)
+        acm.set_policy(1, 0, "mru")
+    else:
+        cache = BufferCache(FRAMES, policy=GLOBAL_LRU)
+    for i in range(n):
+        out = cache.access(1, 1, (i * 17) % 2000, i, "d")
+        if out.read_needed:
+            cache.loaded(out.block)
+    return cache.stats.accesses
+
+
+def measure_ops(managed: bool, n: int = DEFAULT_N, rounds: int = DEFAULT_ROUNDS) -> List[float]:
+    """Per-round ops/s of the BUF access loop (fresh cache each round)."""
+    samples: List[float] = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        accesses = _access_loop(n, managed)
+        elapsed = time.perf_counter() - t0
+        assert accesses == n
+        samples.append(n / elapsed)
+    return samples
+
+
+def collect_profile(
+    sha: Optional[str] = None,
+    n: int = DEFAULT_N,
+    rounds: int = DEFAULT_ROUNDS,
+    machine: Optional[Machine] = None,
+) -> Profile:
+    """A ``micro_perf`` profile holding just the two gated hot-loop metrics."""
+    profile = Profile(
+        family="micro_perf",
+        sha=sha if sha is not None else current_sha(),
+        machine=machine if machine is not None else machine_fingerprint(),
+    )
+    params: Dict[str, int] = {"n": n, "rounds": rounds, "frames": FRAMES}
+    for name, managed in (
+        ("buf_access_global_lru_ops_per_sec", False),
+        ("buf_access_lru_sp_ops_per_sec", True),
+    ):
+        samples = measure_ops(managed, n, rounds)
+        profile.add(name, max(samples), "ops/s", samples=samples, params=params)
+    return profile

@@ -1,0 +1,295 @@
+"""The schema'd performance profile record.
+
+A *profile* is everything one benchmark family measured in one run:
+named metrics with units and a direction (is higher or lower better?),
+the parameters the family ran under, the git sha the code was at, and a
+fingerprint of the machine that produced the numbers.  The fingerprint
+is load-bearing: two profiles from different machines are never silently
+compared — :mod:`repro.perf.checkers` downgrades every verdict to
+INCOMPARABLE instead.
+
+The JSON layout (``SCHEMA_VERSION`` 1)::
+
+    {
+      "version": 1,
+      "family": "server_throughput",
+      "sha": "ecc35d6...",
+      "created": "2026-08-08T12:00:00+00:00",
+      "reference": false,
+      "machine": {"host": "...", "cpu_count": 4, "python": "3.11.7",
+                  "implementation": "cpython", "platform": "Linux-..."},
+      "metrics": {
+        "inproc_ops_per_sec": {
+          "value": 22512.3, "unit": "ops/s", "direction": "higher",
+          "samples": [22512.3, 22100.9], "params": {"clients": 4}
+        }
+      }
+    }
+
+``jsonable`` lives here too: it is the one normalisation funnel through
+which every benchmark result (dataclasses, tuple-keyed grids, telemetry
+histograms, non-finite floats) becomes plain JSON types, shared by the
+store and by ``benchmarks/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import math
+import os
+import platform
+import socket
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+SCHEMA_VERSION = 1
+
+#: the two legal metric directions
+HIGHER = "higher"
+LOWER = "lower"
+
+
+def jsonable(obj: Any) -> Any:
+    """Coerce a benchmark result to plain JSON types.
+
+    Handles the shapes our emitters actually produce: dataclasses,
+    tuple-keyed grids (keys joined with ``|``), telemetry histograms
+    (anything exposing ``cumulative()``/``sum``/``count`` becomes an
+    explicit bucket record), and non-finite floats (JSON has no
+    ``Infinity``/``NaN``; they normalise to ``None`` rather than
+    serialising differently per family).
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        }
+    if hasattr(obj, "cumulative") and hasattr(obj, "sum") and hasattr(obj, "count"):
+        # A telemetry Histogram (or anything quacking like one): keep the
+        # cumulative bucket layout Prometheus-style, +Inf bound included.
+        return {
+            "type": "histogram",
+            "count": jsonable(obj.count),
+            "sum": jsonable(obj.sum),
+            "buckets": [
+                [jsonable(bound), count] for bound, count in obj.cumulative()
+            ],
+        }
+    if isinstance(obj, dict):
+        return {
+            ("|".join(map(str, k)) if isinstance(k, tuple) else str(k)): jsonable(v)
+            for k, v in obj.items()
+        }
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(v) for v in obj]
+    if isinstance(obj, bool) or obj is None:
+        return obj
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, (str, int)):
+        return obj
+    return repr(obj)
+
+
+@dataclass(frozen=True)
+class Machine:
+    """Fingerprint of the host that produced a profile."""
+
+    host: str
+    cpu_count: int
+    python: str
+    implementation: str
+    platform: str
+
+    def to_json(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Machine":
+        return cls(
+            host=str(data.get("host", "")),
+            cpu_count=int(data.get("cpu_count", 0)),
+            python=str(data.get("python", "")),
+            implementation=str(data.get("implementation", "")),
+            platform=str(data.get("platform", "")),
+        )
+
+    def comparable_with(self, other: "Machine") -> bool:
+        """Whether numbers from ``self`` and ``other`` may be compared.
+
+        The hostname is informational (CI runners are ephemeral); what
+        must match is the performance-relevant shape: CPU count, python
+        version and implementation, and the platform string.
+        """
+        return (
+            self.cpu_count == other.cpu_count
+            and self.python == other.python
+            and self.implementation == other.implementation
+            and self.platform == other.platform
+        )
+
+
+def machine_fingerprint() -> Machine:
+    """The fingerprint of the current host."""
+    return Machine(
+        host=socket.gethostname(),
+        cpu_count=os.cpu_count() or 1,
+        python=platform.python_version(),
+        implementation=sys.implementation.name,
+        platform=platform.platform(),
+    )
+
+
+@dataclass
+class Metric:
+    """One measured quantity of a benchmark family."""
+
+    value: Optional[float]
+    unit: str
+    #: ``"higher"`` (throughput) or ``"lower"`` (latency, ratios, runtime)
+    direction: str = HIGHER
+    #: raw per-round samples when the family ran more than once; the
+    #: checkers compare best-of-N (direction-aware) to guard against noise
+    samples: List[float] = field(default_factory=list)
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def best(self) -> Optional[float]:
+        """The noise-guarded value: best sample if samples exist."""
+        finite = [s for s in self.samples if isinstance(s, (int, float)) and math.isfinite(s)]
+        if finite:
+            return max(finite) if self.direction == HIGHER else min(finite)
+        return self.value
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "value": jsonable(self.value),
+            "unit": self.unit,
+            "direction": self.direction,
+            "samples": [jsonable(s) for s in self.samples],
+            "params": jsonable(self.params),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Metric":
+        value = data.get("value")
+        return cls(
+            value=float(value) if isinstance(value, (int, float)) and not isinstance(value, bool) else None,
+            unit=str(data.get("unit", "")),
+            direction=str(data.get("direction", HIGHER)),
+            samples=[
+                float(s)
+                for s in data.get("samples", [])
+                if isinstance(s, (int, float)) and not isinstance(s, bool)
+            ],
+            params=dict(data.get("params", {})),
+        )
+
+
+@dataclass
+class Profile:
+    """Everything one benchmark family measured in one run."""
+
+    family: str
+    sha: str
+    machine: Machine
+    metrics: Dict[str, Metric] = field(default_factory=dict)
+    created: str = ""
+    reference: bool = False
+    version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.created:
+            self.created = (
+                datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds")
+            )
+
+    def add(
+        self,
+        name: str,
+        value: Optional[float],
+        unit: str,
+        direction: str = HIGHER,
+        samples: Optional[Sequence[float]] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> "Profile":
+        self.metrics[name] = Metric(
+            value=value,
+            unit=unit,
+            direction=direction,
+            samples=list(samples or ()),
+            params=dict(params or {}),
+        )
+        return self
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "family": self.family,
+            "sha": self.sha,
+            "created": self.created,
+            "reference": self.reference,
+            "machine": self.machine.to_json(),
+            "metrics": {
+                name: metric.to_json() for name, metric in sorted(self.metrics.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Profile":
+        errors = validate_profile(data)
+        if errors:
+            raise ValueError(
+                f"invalid profile for family {data.get('family')!r}: " + "; ".join(errors)
+            )
+        return cls(
+            family=data["family"],
+            sha=data["sha"],
+            machine=Machine.from_json(data["machine"]),
+            metrics={
+                name: Metric.from_json(m) for name, m in data.get("metrics", {}).items()
+            },
+            created=str(data.get("created", "")),
+            reference=bool(data.get("reference", False)),
+            version=int(data.get("version", SCHEMA_VERSION)),
+        )
+
+
+def validate_profile(data: Any) -> List[str]:
+    """Schema errors of a raw profile dict (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(data, dict):
+        return [f"profile must be a JSON object, got {type(data).__name__}"]
+    version = data.get("version")
+    if version != SCHEMA_VERSION:
+        errors.append(f"unknown schema version {version!r} (expected {SCHEMA_VERSION})")
+    for key in ("family", "sha"):
+        if not isinstance(data.get(key), str) or not data.get(key):
+            errors.append(f"{key!r} must be a non-empty string")
+    machine = data.get("machine")
+    if not isinstance(machine, dict):
+        errors.append("'machine' must be an object (the host fingerprint)")
+    metrics = data.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append("'metrics' must be an object of name -> metric records")
+        return errors
+    for name, metric in metrics.items():
+        where = f"metric {name!r}"
+        if not isinstance(metric, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        value = metric.get("value")
+        if value is not None and (isinstance(value, bool) or not isinstance(value, (int, float))):
+            errors.append(f"{where}: 'value' must be a number or null")
+        if not isinstance(metric.get("unit"), str):
+            errors.append(f"{where}: 'unit' must be a string")
+        if metric.get("direction") not in (HIGHER, LOWER):
+            errors.append(f"{where}: 'direction' must be 'higher' or 'lower'")
+        samples = metric.get("samples", [])
+        if not isinstance(samples, list) or any(
+            isinstance(s, bool) or not isinstance(s, (int, float)) for s in samples
+        ):
+            errors.append(f"{where}: 'samples' must be a list of numbers")
+        if not isinstance(metric.get("params", {}), dict):
+            errors.append(f"{where}: 'params' must be an object")
+    return errors

@@ -1,0 +1,148 @@
+"""On-disk profile versioning: ``.perf/profiles/<git-sha>/<family>.json``.
+
+The store is a plain directory tree next to the repository so that
+profiles survive across working trees and CI can upload them as
+artifacts::
+
+    .perf/
+      profiles/
+        <git-sha>/           # one directory per commit the benches ran at
+          micro_perf.json
+          server_throughput.json
+      baseline/              # the committed reference (see docs/perf.md)
+        micro_perf.json
+
+Shas come from ``git rev-parse HEAD`` (overridable with
+``REPRO_PERF_SHA`` for CI and tests; ``workdir`` when no git is
+available), so one benchmark session appends to the trajectory of the
+commit it ran on.  The store root resolves to the repository root by
+walking up from the current directory; ``REPRO_PERF_DIR`` pins it
+explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.perf.profile import Profile, validate_profile
+
+#: pseudo-sha naming the committed reference profiles
+BASELINE = "baseline"
+
+
+def current_sha(root: Optional[Path] = None) -> str:
+    """The git sha benchmarks should be filed under.
+
+    ``REPRO_PERF_SHA`` wins (tests, CI matrices); then ``git rev-parse
+    HEAD`` of ``root``; then the literal ``"workdir"`` so a gitless
+    checkout still gets a stable (if unversioned) shelf.
+    """
+    env = os.environ.get("REPRO_PERF_SHA", "").strip()
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(root) if root else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "workdir"
+
+
+def _find_repo_root(start: Path) -> Path:
+    probe = start.resolve()
+    while probe != probe.parent:
+        if (probe / ".git").exists() or (probe / ".perf").is_dir():
+            return probe
+        probe = probe.parent
+    return start.resolve()
+
+
+class ProfileStore:
+    """Load/save :class:`Profile` records keyed by ``(sha, family)``."""
+
+    def __init__(self, root: Optional[Path] = None) -> None:
+        if root is None:
+            env = os.environ.get("REPRO_PERF_DIR", "").strip()
+            root = Path(env) if env else _find_repo_root(Path.cwd()) / ".perf"
+        self.root = Path(root)
+        self.repo_root = self.root.parent
+
+    # -- paths ----------------------------------------------------------
+
+    def profile_path(self, sha: str, family: str) -> Path:
+        if sha == BASELINE:
+            return self.root / "baseline" / f"{family}.json"
+        return self.root / "profiles" / sha / f"{family}.json"
+
+    # -- writing --------------------------------------------------------
+
+    def save(self, profile: Profile) -> Path:
+        path = self.profile_path(profile.sha, profile.family)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(profile.to_json(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    def save_baseline(self, profile: Profile) -> Path:
+        """File ``profile`` as the committed reference for its family."""
+        path = self.root / "baseline" / f"{profile.family}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = profile.to_json()
+        record["reference"] = True
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        return path
+
+    # -- reading --------------------------------------------------------
+
+    def load(self, sha: str, family: str) -> Profile:
+        path = self.profile_path(sha, family)
+        data = json.loads(path.read_text())
+        return Profile.from_json(data)
+
+    def load_errors(self, sha: str, family: str) -> List[str]:
+        """Schema errors of one stored profile (without raising)."""
+        path = self.profile_path(sha, family)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            return [f"unreadable profile {path}: {exc}"]
+        return validate_profile(data)
+
+    def families(self, sha: str) -> List[str]:
+        base = self.profile_path(sha, "x").parent
+        if not base.is_dir():
+            return []
+        return sorted(p.stem for p in base.glob("*.json"))
+
+    def shas(self) -> List[str]:
+        """Every sha with at least one profile, newest first by mtime;
+        ``baseline`` last when present."""
+        profiles = self.root / "profiles"
+        out: List[str] = []
+        if profiles.is_dir():
+            dirs = [d for d in profiles.iterdir() if d.is_dir() and any(d.glob("*.json"))]
+            dirs.sort(key=lambda d: max(p.stat().st_mtime for p in d.glob("*.json")), reverse=True)
+            out = [d.name for d in dirs]
+        if (self.root / "baseline").is_dir() and self.families(BASELINE):
+            out.append(BASELINE)
+        return out
+
+    def load_all(self, sha: str) -> Dict[str, Profile]:
+        return {family: self.load(sha, family) for family in self.families(sha)}
+
+    # -- convenience ----------------------------------------------------
+
+    def record(self, profile: Profile) -> Path:
+        """Alias of :meth:`save` kept for call-site readability in
+        benchmark fixtures (``store.record(profile)``)."""
+        return self.save(profile)

@@ -580,6 +580,11 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="enable tracing and append finished spans to PATH as JSON lines",
     )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the listening/shutdown status lines on stderr",
+    )
     args = parser.parse_args(argv)
     try:
         faults = FaultPlan.from_spec(args.faults) if args.faults else None
@@ -617,13 +622,15 @@ async def _serve(
     daemon = CacheDaemon(
         config, window=args.window, global_limit=args.global_limit, telemetry=telemetry
     )
+    from repro.harness.cli import status_line
+
     await daemon.start()
     if args.unix:
         await daemon.start_unix(args.unix)
-        print(f"repro-accfc serve: listening on unix:{args.unix}", flush=True)
+        status_line(f"repro-accfc serve: listening on unix:{args.unix}", quiet=args.quiet)
     else:
         host, port = await daemon.start_tcp(args.host, args.port)
-        print(f"repro-accfc serve: listening on {host}:{port}", flush=True)
+        status_line(f"repro-accfc serve: listening on {host}:{port}", quiet=args.quiet)
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGINT, signal.SIGTERM):
@@ -637,10 +644,10 @@ async def _serve(
         tracer = daemon.service.telemetry.tracer
         if tracer is not None:
             tracer.flush()
-    print(
+    status_line(
         "repro-accfc serve: shut down cleanly; served "
         f"{summary['requests_served']} requests, flushed "
         f"{summary['flushed_blocks']} dirty blocks",
-        flush=True,
+        quiet=args.quiet,
     )
     return 0

@@ -1,0 +1,81 @@
+"""Stream discipline of the command-line tools.
+
+Data payloads (metrics expositions, JSON snapshots) belong on stdout as
+one flushed block; human status lines belong on stderr and disappear
+under ``--quiet``.  A regression here scrambles scripted pipelines like
+``repro-accfc metrics --port N | promtool check metrics``.
+"""
+
+import sys
+
+from repro.harness.cli import emit_payload, status_line
+
+
+class RecordingStream:
+    """A file-like stub that logs (name, event) tuples into a shared list."""
+
+    def __init__(self, name, events):
+        self.name = name
+        self.events = events
+
+    def write(self, text):
+        self.events.append((self.name, "write", text))
+        return len(text)
+
+    def flush(self):
+        self.events.append((self.name, "flush", None))
+
+
+def test_emit_payload_drains_stderr_before_stdout(monkeypatch):
+    events = []
+    monkeypatch.setattr(sys, "stdout", RecordingStream("stdout", events))
+    monkeypatch.setattr(sys, "stderr", RecordingStream("stderr", events))
+    emit_payload("cache_hits_total 42")
+    # stderr is flushed before a single byte lands on stdout, and the
+    # payload itself ends flushed and newline-terminated.
+    assert events[0] == ("stderr", "flush", None)
+    writes = [e for e in events if e[1] == "write"]
+    assert [name for name, _, _ in writes] == ["stdout", "stdout"]
+    assert "".join(text for _, _, text in writes) == "cache_hits_total 42\n"
+    assert events[-1] == ("stdout", "flush", None)
+
+
+def test_emit_payload_keeps_existing_newline(capsys):
+    emit_payload("line\n")
+    assert capsys.readouterr().out == "line\n"
+
+
+def test_status_line_goes_to_stderr(capsys):
+    status_line("serving on :9999")
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert captured.err == "serving on :9999\n"
+
+
+def test_status_line_quiet_suppresses(capsys):
+    status_line("serving on :9999", quiet=True)
+    captured = capsys.readouterr()
+    assert captured.out == "" and captured.err == ""
+
+
+def test_metrics_cli_has_quiet_flag(capsys):
+    from repro.harness.cli import metrics_main
+
+    # --help must document --quiet; argparse exits 0 after printing it.
+    try:
+        metrics_main(["--help"])
+    except SystemExit as exc:
+        assert exc.code == 0
+    assert "--quiet" in capsys.readouterr().out
+
+
+def test_serve_and_cluster_cli_have_quiet_flags(capsys):
+    from repro.cluster.cli import cluster_main
+    from repro.server.daemon import serve_main
+
+    for entry in (serve_main, cluster_main):
+        try:
+            entry(["--help"])
+        except SystemExit as exc:
+            assert exc.code == 0
+        assert "--quiet" in capsys.readouterr().out

@@ -1,0 +1,368 @@
+"""repro.perf unit tests: profile schema, jsonable funnel, store, checkers.
+
+The synthetic-profile pairs here pin the detector semantics the CI gate
+relies on: a clear regression fails, within-noise jitter passes, an
+improvement is labelled as such, and unit/machine mismatches become
+INCOMPARABLE rather than silent nonsense.
+"""
+
+import dataclasses
+import json
+import math
+import os
+import time
+
+import pytest
+
+from repro.perf import (
+    DEFAULT_FAIL_RATIO,
+    DEFAULT_WARN_RATIO,
+    FamilyCheck,
+    GATED_FAMILIES,
+    Machine,
+    Metric,
+    PerfFinding,
+    Profile,
+    ProfileStore,
+    SCHEMA_VERSION,
+    STATUS_DEGRADED,
+    STATUS_IMPROVED,
+    STATUS_INCOMPARABLE,
+    STATUS_MISSING,
+    STATUS_OK,
+    STATUS_WARN,
+    check_families,
+    check_profiles,
+    current_sha,
+    jsonable,
+    machine_fingerprint,
+    validate_profile,
+    worst_status,
+)
+from repro.perf.checkers import check_metric
+from repro.perf.profile import HIGHER, LOWER
+
+
+MACHINE = Machine(host="ci", cpu_count=4, python="3.12.0",
+                  implementation="cpython", platform="Linux-test")
+OTHER_MACHINE = Machine(host="laptop", cpu_count=8, python="3.12.0",
+                        implementation="cpython", platform="Darwin-test")
+
+
+def make_profile(family="micro_perf", sha="aaaa", machine=MACHINE, **metrics):
+    profile = Profile(family=family, sha=sha, machine=machine)
+    for name, spec in metrics.items():
+        if isinstance(spec, dict):
+            profile.add(name, **spec)
+        else:
+            profile.add(name, spec, "ops/s")
+    return profile
+
+
+# -- jsonable --------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Cell:
+    io_ratio: float
+    label: str
+
+
+class FakeHistogram:
+    count = 3
+    sum = 2.5
+
+    def cumulative(self):
+        return [(0.1, 1), (1.0, 2), (float("inf"), 3)]
+
+
+def test_jsonable_dataclass_and_tuple_keys():
+    grid = {("din", 6.4): Cell(0.29, "best"), "plain": [1, 2]}
+    out = jsonable(grid)
+    assert out == {"din|6.4": {"io_ratio": 0.29, "label": "best"}, "plain": [1, 2]}
+    json.dumps(out)  # truly JSON-serialisable
+
+
+def test_jsonable_histogram_duck_type():
+    out = jsonable({"latency": FakeHistogram()})
+    assert out["latency"]["type"] == "histogram"
+    assert out["latency"]["count"] == 3
+    assert out["latency"]["buckets"] == [[0.1, 1], [1.0, 2], [None, 3]]
+    json.dumps(out)
+
+
+def test_jsonable_non_finite_floats_become_null():
+    out = jsonable({"inf": float("inf"), "nan": float("nan"), "ok": 1.5, "none": None})
+    assert out == {"inf": None, "nan": None, "ok": 1.5, "none": None}
+    json.dumps(out)
+
+
+def test_jsonable_fallback_repr():
+    assert jsonable({1, 2}) == repr({1, 2}) or isinstance(jsonable({1, 2}), str)
+
+
+# -- profile schema --------------------------------------------------------
+
+
+def test_profile_round_trip():
+    profile = make_profile(
+        throughput={"value": 100.0, "unit": "ops/s", "samples": [98.0, 100.0],
+                    "params": {"n": 10}},
+        ratio={"value": 0.8, "unit": "ratio", "direction": LOWER},
+    )
+    data = profile.to_json()
+    assert validate_profile(data) == []
+    back = Profile.from_json(json.loads(json.dumps(data)))
+    assert back.family == profile.family
+    assert back.machine == profile.machine
+    assert back.metrics["throughput"].samples == [98.0, 100.0]
+    assert back.metrics["throughput"].params == {"n": 10}
+    assert back.metrics["ratio"].direction == LOWER
+
+
+def test_validate_profile_catches_schema_errors():
+    bad = {
+        "version": 99,
+        "family": "",
+        "sha": "x",
+        "machine": "not-a-dict",
+        "metrics": {
+            "m1": {"value": True, "unit": 3, "direction": "sideways",
+                   "samples": [1, "two"], "params": []},
+            "m2": "not-an-object",
+        },
+    }
+    errors = validate_profile(bad)
+    text = "\n".join(errors)
+    assert "schema version" in text
+    assert "'family'" in text
+    assert "machine" in text
+    assert "'value'" in text and "'unit'" in text and "'direction'" in text
+    assert "'samples'" in text and "'params'" in text
+    assert "m2" in text
+    with pytest.raises(ValueError):
+        Profile.from_json(bad)
+
+
+def test_validate_profile_rejects_non_dict():
+    assert validate_profile([1, 2]) != []
+
+
+def test_metric_best_is_direction_aware():
+    assert Metric(90.0, "ops/s", HIGHER, samples=[80.0, 95.0]).best() == 95.0
+    assert Metric(1.2, "s", LOWER, samples=[1.5, 1.1]).best() == 1.1
+    assert Metric(42.0, "ops/s", HIGHER, samples=[]).best() == 42.0
+    assert Metric(None, "ops/s", HIGHER).best() is None
+    # non-finite samples are ignored by the noise guard
+    assert Metric(50.0, "ops/s", HIGHER, samples=[float("nan")]).best() == 50.0
+
+
+def test_machine_comparability_ignores_host():
+    same_shape = Machine(host="elsewhere", cpu_count=4, python="3.12.0",
+                         implementation="cpython", platform="Linux-test")
+    assert MACHINE.comparable_with(same_shape)
+    assert not MACHINE.comparable_with(OTHER_MACHINE)
+
+
+def test_machine_fingerprint_shape():
+    fp = machine_fingerprint()
+    assert fp.cpu_count >= 1
+    assert fp.python and fp.implementation and fp.platform
+    assert fp.comparable_with(machine_fingerprint())
+
+
+# -- checkers: synthetic pairs ---------------------------------------------
+
+
+def check_pair(base_spec, cur_spec, check=None):
+    base = Metric(**base_spec) if isinstance(base_spec, dict) else Metric(base_spec, "ops/s")
+    cur = Metric(**cur_spec) if isinstance(cur_spec, dict) else Metric(cur_spec, "ops/s")
+    return check_metric("fam", "m", base, cur, check or FamilyCheck())
+
+
+def test_clear_regression_is_degraded():
+    finding = check_pair(100.0, 80.0)  # 25% slower
+    assert finding.status == STATUS_DEGRADED
+    assert finding.slowdown == pytest.approx(1.25)
+    assert "fail threshold" in finding.message
+
+
+def test_warn_band_between_thresholds():
+    finding = check_pair(100.0, 92.0)  # ~8.7% slower
+    assert finding.status == STATUS_WARN
+    assert DEFAULT_WARN_RATIO < finding.slowdown < DEFAULT_FAIL_RATIO
+
+
+def test_within_noise_jitter_is_ok():
+    finding = check_pair(
+        {"value": 100.0, "unit": "ops/s"},
+        # mean is 8% down, but the best sample is within 1%: best-of-N
+        {"value": 92.0, "unit": "ops/s", "samples": [84.0, 99.2]},
+    )
+    assert finding.status == STATUS_OK
+    assert finding.current == 99.2
+    assert "best of 2" in finding.message
+
+
+def test_improvement_is_labelled():
+    finding = check_pair(100.0, 120.0)
+    assert finding.status == STATUS_IMPROVED
+    assert finding.slowdown < 1.0
+
+
+def test_lower_is_better_direction():
+    base = {"value": 1.0, "unit": "ratio", "direction": LOWER}
+    assert check_pair(base, {"value": 1.3, "unit": "ratio", "direction": LOWER}).status \
+        == STATUS_DEGRADED
+    assert check_pair(base, {"value": 0.9, "unit": "ratio", "direction": LOWER}).status \
+        == STATUS_IMPROVED
+
+
+def test_unit_mismatch_is_incomparable():
+    finding = check_pair(
+        {"value": 100.0, "unit": "ops/s"},
+        {"value": 100.0, "unit": "ms"},
+    )
+    assert finding.status == STATUS_INCOMPARABLE
+    assert "unit mismatch" in finding.message
+
+
+def test_direction_mismatch_is_incomparable():
+    finding = check_pair(
+        {"value": 1.0, "unit": "x", "direction": HIGHER},
+        {"value": 1.0, "unit": "x", "direction": LOWER},
+    )
+    assert finding.status == STATUS_INCOMPARABLE
+
+
+def test_null_and_non_positive_values_are_incomparable():
+    assert check_pair({"value": None, "unit": "ops/s"}, 10.0).status == STATUS_INCOMPARABLE
+    assert check_pair(10.0, {"value": None, "unit": "ops/s"}).status == STATUS_INCOMPARABLE
+    assert check_pair(0.0, 10.0).status == STATUS_INCOMPARABLE
+
+
+def test_custom_thresholds_respected():
+    loose = FamilyCheck(warn_ratio=1.5, fail_ratio=2.0)
+    assert check_pair(100.0, 80.0, loose).status == STATUS_OK
+    assert check_pair(100.0, 60.0, loose).status == STATUS_WARN
+    assert check_pair(100.0, 40.0, loose).status == STATUS_DEGRADED
+
+
+def test_machine_mismatch_downgrades_whole_family():
+    base = make_profile(machine=MACHINE, ops=100.0)
+    cur = make_profile(machine=OTHER_MACHINE, ops=10.0)  # 10x slower but incomparable
+    findings = check_profiles(base, cur)
+    assert len(findings) == 1
+    assert findings[0].metric == "*"
+    assert findings[0].status == STATUS_INCOMPARABLE
+    assert "machine fingerprint mismatch" in findings[0].message
+
+
+def test_missing_metric_and_new_metric():
+    base = make_profile(ops=100.0, gone=5.0)
+    cur = make_profile(ops=100.0, brand_new=7.0)
+    findings = {f.metric: f for f in check_profiles(base, cur)}
+    assert findings["gone"].status == STATUS_MISSING
+    assert findings["ops"].status == STATUS_OK
+    assert findings["brand_new"].status == STATUS_OK
+    assert "no baseline yet" in findings["brand_new"].message
+    # gate mode hides un-gated extras and never reports current-only metrics
+    gated = check_profiles(base, cur, FamilyCheck(metrics=("ops",)), gated_only=True)
+    assert [f.metric for f in gated] == ["ops"]
+
+
+def test_check_families_reports_absent_family():
+    base = {"micro_perf": make_profile(ops=100.0)}
+    findings = check_families(base, {}, GATED_FAMILIES)
+    assert len(findings) == 1
+    assert findings[0].family == "micro_perf"
+    assert findings[0].status == STATUS_MISSING
+
+
+def test_check_families_select_filter():
+    base = {
+        "micro_perf": make_profile(ops=100.0),
+        "other": make_profile(family="other", ops=100.0),
+    }
+    findings = check_families(base, {}, GATED_FAMILIES, families=["other"])
+    assert {f.family for f in findings} == {"other"}
+
+
+def test_worst_status_ordering():
+    def finding(status):
+        return PerfFinding("f", "m", status, "")
+
+    assert worst_status([]) == STATUS_OK
+    assert worst_status([finding(STATUS_OK), finding(STATUS_IMPROVED)]) == STATUS_IMPROVED
+    assert worst_status([finding(STATUS_WARN), finding(STATUS_MISSING)]) == STATUS_WARN
+    assert worst_status(
+        [finding(STATUS_WARN), finding(STATUS_DEGRADED), finding(STATUS_OK)]
+    ) == STATUS_DEGRADED
+    assert worst_status([finding("???")]) == STATUS_DEGRADED  # unknown = worst
+
+
+def test_gated_families_registry_shape():
+    assert set(GATED_FAMILIES) == {"micro_perf", "server_throughput", "cluster_scaling"}
+    for family, check in GATED_FAMILIES.items():
+        assert check.metrics, family
+        assert check.fail_ratio == DEFAULT_FAIL_RATIO
+
+
+# -- store -----------------------------------------------------------------
+
+
+def test_store_save_load_round_trip(tmp_path):
+    store = ProfileStore(tmp_path / ".perf")
+    profile = make_profile(sha="a" * 40, ops=123.4)
+    path = store.save(profile)
+    assert path == tmp_path / ".perf" / "profiles" / ("a" * 40) / "micro_perf.json"
+    back = store.load("a" * 40, "micro_perf")
+    assert back.metrics["ops"].value == 123.4
+    assert store.families("a" * 40) == ["micro_perf"]
+    assert store.load_errors("a" * 40, "micro_perf") == []
+    assert store.record(profile) == path  # alias
+
+
+def test_store_baseline_is_marked_reference(tmp_path):
+    store = ProfileStore(tmp_path / ".perf")
+    path = store.save_baseline(make_profile(sha="b" * 40, ops=50.0))
+    assert path == tmp_path / ".perf" / "baseline" / "micro_perf.json"
+    baseline = store.load("baseline", "micro_perf")
+    assert baseline.reference is True
+    assert baseline.sha == "b" * 40  # provenance kept
+
+
+def test_store_shas_newest_first_baseline_last(tmp_path):
+    store = ProfileStore(tmp_path / ".perf")
+    store.save(make_profile(sha="old0", ops=1.0))
+    store.save(make_profile(sha="new0", ops=2.0))
+    store.save_baseline(make_profile(sha="old0", ops=1.0))
+    old_dir = tmp_path / ".perf" / "profiles" / "old0" / "micro_perf.json"
+    past = time.time() - 1000
+    os.utime(old_dir, (past, past))
+    assert store.shas() == ["new0", "old0", "baseline"]
+
+
+def test_store_load_errors_on_corrupt_file(tmp_path):
+    store = ProfileStore(tmp_path / ".perf")
+    path = store.profile_path("dead", "micro_perf")
+    path.parent.mkdir(parents=True)
+    path.write_text("{not json")
+    assert any("unreadable" in e for e in store.load_errors("dead", "micro_perf"))
+    path.write_text(json.dumps({"version": SCHEMA_VERSION, "family": "micro_perf"}))
+    assert store.load_errors("dead", "micro_perf") != []
+
+
+def test_store_env_root_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_PERF_DIR", str(tmp_path / "elsewhere"))
+    store = ProfileStore()
+    assert store.root == tmp_path / "elsewhere"
+    assert store.repo_root == tmp_path
+
+
+def test_current_sha_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_PERF_SHA", "feedface")
+    assert current_sha() == "feedface"
+    monkeypatch.delenv("REPRO_PERF_SHA")
+    sha = current_sha()
+    assert sha == "workdir" or len(sha) == 40  # git or gitless fallback

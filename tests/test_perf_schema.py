@@ -1,0 +1,104 @@
+"""Schema discipline across every benchmark emitter.
+
+Static sweeps (no benchmarks are executed): every ``benchmarks/test_*.py``
+records into the perf store via the ``perf_profile`` fixture, none writes
+results ad hoc (lint rule R011), and the committed reference baseline
+under ``.perf/baseline/`` validates against the profile schema.
+"""
+
+import ast
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.lint import lint_source
+from repro.perf import GATED_FAMILIES, Profile, validate_profile
+
+REPO = Path(__file__).resolve().parent.parent
+BENCHMARKS = sorted((REPO / "benchmarks").glob("test_*.py"))
+BASELINE_DIR = REPO / ".perf" / "baseline"
+
+
+def test_benchmark_modules_found():
+    assert len(BENCHMARKS) >= 12  # the sweep below must actually sweep
+
+
+@pytest.mark.parametrize("path", BENCHMARKS, ids=lambda p: p.stem)
+def test_every_benchmark_records_a_perf_profile(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    uses = {
+        arg.arg
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        for arg in node.args.args
+    }
+    assert "perf_profile" in uses, (
+        f"{path.name} never requests the perf_profile fixture — every "
+        "benchmark module must file metrics into the perf store"
+    )
+
+
+@pytest.mark.parametrize("path", BENCHMARKS + [REPO / "benchmarks" / "conftest.py"],
+                         ids=lambda p: p.stem)
+def test_no_ad_hoc_result_writes(path):
+    findings = lint_source(path.read_text(), f"benchmarks/{path.name}")
+    r011 = [f for f in findings if f.rule == "R011"]
+    assert not r011, "\n".join(str(f) for f in r011)
+
+
+def test_r011_exempts_conftest_and_catches_writers():
+    bad = "import json\n\ndef save(d):\n    json.dump(d, open('x.json', 'w'))\n"
+    findings = lint_source(bad, "benchmarks/test_fake.py")
+    rules = [f.rule for f in findings]
+    assert rules.count("R011") == 2  # json.dump and open(..., 'w')
+    assert not [f for f in lint_source(bad, "benchmarks/conftest.py")
+                if f.rule == "R011"]
+    # outside benchmarks/ the rule does not apply
+    assert not [f for f in lint_source(bad, "tools/test_fake.py")
+                if f.rule == "R011"]
+
+
+def test_r011_flags_write_text_and_dumps():
+    source = (
+        "import json, pathlib\n"
+        "def emit(data):\n"
+        "    pathlib.Path('out.json').write_text(json.dumps(data))\n"
+        "def read(path):\n"
+        "    return open(path).read()\n"  # read-mode open stays legal
+    )
+    findings = [f for f in lint_source(source, "benchmarks/test_fake.py")
+                if f.rule == "R011"]
+    assert len(findings) == 2
+    assert all(f.line == 3 for f in findings)
+
+
+# -- the committed baseline ------------------------------------------------
+
+
+def test_committed_baseline_exists_for_every_gated_family():
+    missing = [family for family in GATED_FAMILIES
+               if not (BASELINE_DIR / f"{family}.json").exists()]
+    assert not missing, (
+        f"no committed baseline for {missing} — run the gated benchmarks "
+        "and 'repro-accfc perf promote' (docs/perf.md)"
+    )
+
+
+@pytest.mark.parametrize("family", sorted(GATED_FAMILIES))
+def test_committed_baseline_validates(family):
+    path = BASELINE_DIR / f"{family}.json"
+    if not path.exists():
+        pytest.skip("baseline not seeded yet (covered by the existence test)")
+    data = json.loads(path.read_text())
+    assert validate_profile(data) == []
+    profile = Profile.from_json(data)
+    assert profile.reference is True, "committed baselines must be marked reference"
+    assert profile.family == family
+    gate = GATED_FAMILIES[family]
+    for metric in gate.metrics:
+        assert metric in profile.metrics, (
+            f"baseline {family} lacks gated metric {metric}"
+        )
+        best = profile.metrics[metric].best()
+        assert best is not None and best > 0
