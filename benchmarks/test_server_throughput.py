@@ -1,14 +1,18 @@
-"""Throughput of the cache daemon: requests/second through the full stack.
+"""Throughput of the cache daemon: block ops/second through the full stack.
 
 Performance benchmarks (not reproduction): four concurrent clients each
-stream block reads at a shared daemon, over the in-process queue transport
-and over loopback TCP.  Each run reports ops/sec into the
-``server_throughput`` perf profile (the in-process number is gated by
-``repro-accfc perf check``) plus ``benchmarks/results/
-server_throughput.json`` for quick inspection.
+stream block reads at a shared daemon.  Three wire configurations run over
+the in-process queue transport — JSON singles, binary singles, and binary
+with ``readv`` batching — plus binary+batched over loopback TCP.  The
+binary+batched in-process number is the one gated by ``repro-accfc perf
+check`` (metric ``inproc_ops_per_sec``); the singles numbers are recorded
+ungated so the framing and batching win stays measurable release over
+release.
 
-Under ``REPRO_PERF_SMOKE=1`` each transport runs best-of-3 rounds, so the
-CI gate compares noise-guarded maxima rather than one cold sample.
+Each run reports ops/sec into the ``server_throughput`` perf profile plus
+``benchmarks/results/server_throughput.json`` for quick inspection.
+Under ``REPRO_PERF_SMOKE=1`` each configuration runs best-of-3 rounds, so
+the CI gate compares noise-guarded maxima rather than one cold sample.
 """
 
 import asyncio
@@ -17,29 +21,44 @@ import time
 from conftest import PERF_SMOKE
 
 from repro.server import CacheClient, CacheDaemon, build_config
+from repro.server.protocol import WIRE_BINARY, WIRE_JSON
 
 CLIENTS = 4
 OPS_PER_CLIENT = 1_000
 FILE_BLOCKS = 64  # per client; small enough that the steady state is hits
+BATCH = 50  # readv ops per frame in the batched configuration
 ROUNDS = 3 if PERF_SMOKE else 1
 
 
-async def _drive(connect, teardown=None):
-    """Time CLIENTS clients doing OPS_PER_CLIENT reads each."""
+async def _drive(connect, wire, batch):
+    """Time CLIENTS clients doing OPS_PER_CLIENT block reads each."""
     daemon = CacheDaemon(build_config(cache_mb=4))
     address = await connect(daemon)
     clients = []
     for i in range(CLIENTS):
         if address is None:
-            client = await CacheClient.connect_inproc(daemon, name=f"bench-{i}")
+            client = await CacheClient.connect_inproc(
+                daemon, name=f"bench-{i}", wire=wire
+            )
         else:
-            client = await CacheClient.connect_tcp(*address, name=f"bench-{i}")
+            client = await CacheClient.connect_tcp(
+                *address, name=f"bench-{i}", wire=wire
+            )
+        assert client.wire == wire
         await client.open(f"bench-{i}", size_blocks=FILE_BLOCKS)
         clients.append(client)
 
     async def hammer(i, client):
-        for op in range(OPS_PER_CLIENT):
-            await client.read(f"bench-{i}", op % FILE_BLOCKS)
+        path = f"bench-{i}"
+        if batch:
+            await client.read_many(
+                path,
+                (op % FILE_BLOCKS for op in range(OPS_PER_CLIENT)),
+                batch=BATCH,
+            )
+        else:
+            for op in range(OPS_PER_CLIENT):
+                await client.read(path, op % FILE_BLOCKS)
 
     start = time.perf_counter()
     await asyncio.gather(*(hammer(i, c) for i, c in enumerate(clients)))
@@ -47,18 +66,17 @@ async def _drive(connect, teardown=None):
     for client in clients:
         await client.aclose()
     await daemon.aclose()
-    if teardown is not None:
-        teardown()
-    assert daemon.requests_served >= CLIENTS * OPS_PER_CLIENT
+    # Every block op reached the kernel (frames may be far fewer).
+    assert daemon.ops_served >= CLIENTS * OPS_PER_CLIENT
     return elapsed
 
 
-def _run_transport(benchmark, connect):
+def _run_config(benchmark, connect, wire, batch):
     """Best-of-ROUNDS drive; returns the per-round elapsed times."""
     elapsed_samples = []
 
     def once():
-        elapsed_samples.append(asyncio.run(_drive(connect)))
+        elapsed_samples.append(asyncio.run(_drive(connect, wire, batch)))
         return elapsed_samples[-1]
 
     benchmark.pedantic(once, rounds=ROUNDS, iterations=1)
@@ -66,7 +84,7 @@ def _run_transport(benchmark, connect):
     return elapsed_samples
 
 
-def _record(perf_profile, save_json, transport, metric_name, elapsed_samples):
+def _record(perf_profile, save_json, config, metric_name, elapsed_samples):
     ops = CLIENTS * OPS_PER_CLIENT
     samples = [ops / t for t in elapsed_samples]
     perf_profile.metric(
@@ -80,7 +98,7 @@ def _record(perf_profile, save_json, transport, metric_name, elapsed_samples):
     save_json(
         "server_throughput",
         {
-            transport: {
+            config: {
                 "clients": CLIENTS,
                 "ops": ops,
                 "elapsed_s": round(best, 4),
@@ -89,21 +107,42 @@ def _record(perf_profile, save_json, transport, metric_name, elapsed_samples):
             }
         },
     )
-    print(f"\nserver throughput [{transport}]: {ops / best:,.0f} ops/sec")
+    print(f"\nserver throughput [{config}]: {ops / best:,.0f} ops/sec")
+
+
+async def _inproc(daemon):
+    await daemon.start()
+    return None
+
+
+async def _tcp(daemon):
+    return await daemon.start_tcp("127.0.0.1", 0)
 
 
 def test_inproc_throughput(benchmark, perf_profile, save_json):
-    async def connect(daemon):
-        await daemon.start()
-        return None
+    """The gated configuration: binary framing + readv batching."""
+    elapsed = _run_config(benchmark, _inproc, WIRE_BINARY, batch=True)
+    _record(perf_profile, save_json, "inproc", "inproc_ops_per_sec", elapsed)
 
-    elapsed_samples = _run_transport(benchmark, connect)
-    _record(perf_profile, save_json, "inproc", "inproc_ops_per_sec", elapsed_samples)
+
+def test_inproc_binary_single_throughput(benchmark, perf_profile, save_json):
+    elapsed = _run_config(benchmark, _inproc, WIRE_BINARY, batch=False)
+    _record(
+        perf_profile,
+        save_json,
+        "inproc_binary_single",
+        "inproc_binary_single_ops_per_sec",
+        elapsed,
+    )
+
+
+def test_inproc_json_throughput(benchmark, perf_profile, save_json):
+    elapsed = _run_config(benchmark, _inproc, WIRE_JSON, batch=False)
+    _record(
+        perf_profile, save_json, "inproc_json", "inproc_json_ops_per_sec", elapsed
+    )
 
 
 def test_tcp_loopback_throughput(benchmark, perf_profile, save_json):
-    async def connect(daemon):
-        return await daemon.start_tcp("127.0.0.1", 0)
-
-    elapsed_samples = _run_transport(benchmark, connect)
-    _record(perf_profile, save_json, "tcp", "tcp_ops_per_sec", elapsed_samples)
+    elapsed = _run_config(benchmark, _tcp, WIRE_BINARY, batch=True)
+    _record(perf_profile, save_json, "tcp", "tcp_ops_per_sec", elapsed)

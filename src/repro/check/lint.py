@@ -55,6 +55,12 @@ R011  Benchmark results flow through the performance version system:
       / ``save_json`` fixtures and the ``perf_profile`` store
       (:mod:`repro.perf`), so every run lands in the versioned
       ``.perf/profiles/<sha>/`` trajectory with a validated schema.
+R012  Every wire verb declared in the protocol registry must carry a
+      binary wire entry: ``VERB_WIRE`` in ``repro/server/protocol.py``
+      maps each verb of ``KERNEL_VERBS``/``PROTOCOL_VERBS`` to a
+      ``(binary verb id, batchable)`` tuple — ids unique, entries only
+      for declared verbs — so a verb added to one framing can never be
+      silently unreachable (or ambiguous) on the other.
 
 The flow-sensitive passes F001–F005 (await-atomicity, blocking calls in
 ``async def``, task leaks, wire-param taint, lock discipline) live in
@@ -169,6 +175,9 @@ PRINT_EXEMPT_FILES = frozenset(
 #: declares them in.
 PROTOCOL_REGISTRY = "repro/server/protocol.py"
 VERB_SET_NAMES = ("KERNEL_VERBS", "PROTOCOL_VERBS")
+#: R012: the binary wire registry in the same module — verb name →
+#: (binary verb id, batchable) tuple.
+VERB_WIRE_NAME = "VERB_WIRE"
 #: ...and the cluster's single daemon factory.
 CLUSTER_DIR = "repro/cluster/"
 CLUSTER_DAEMON_FACTORY = "repro/cluster/supervisor.py"
@@ -595,11 +604,15 @@ def _verbs_pass(root: Path, contexts: List[FileContext]) -> List[Finding]:
     return check_verb_declarations(root)
 
 
+def _wire_pass(root: Path, contexts: List[FileContext]) -> List[Finding]:
+    return check_verb_wire(root)
+
+
 def default_manager() -> PassManager:
     """The full pass set ``repro-lint`` runs: R-rules + F-passes."""
     return PassManager(
         file_passes=[_rules_pass, _flow_pass],
-        tree_passes=[_policy_pass, _verbs_pass],
+        tree_passes=[_policy_pass, _verbs_pass, _wire_pass],
     )
 
 
@@ -865,6 +878,127 @@ def check_verb_declarations(root: Path) -> List[Finding]:
                         "registry is the single source of the verb surface",
                     )
                 )
+    return findings
+
+
+# -- R012: every declared verb has a binary wire entry (cross-file) -------
+
+
+def _verb_wire_dict(tree: ast.AST) -> Optional[Tuple[ast.Dict, int]]:
+    """The ``VERB_WIRE = {...}`` dict literal and its line, if present."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        # Annotated form (VERB_WIRE: Dict[...] = {...}) has no Assign
+        # targets of Name type — handled below.
+        if VERB_WIRE_NAME in names and isinstance(node.value, ast.Dict):
+            return node.value, node.lineno
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == VERB_WIRE_NAME
+            and isinstance(node.value, ast.Dict)
+        ):
+            return node.value, node.lineno
+    return None
+
+
+def check_verb_wire(root: Path) -> List[Finding]:
+    """R012: ``VERB_WIRE`` covers exactly the declared verb surface, each
+    entry a ``(unique int id, bool batchable)`` tuple."""
+    protocol = root / Path(PROTOCOL_REGISTRY)
+    if not protocol.exists():
+        return []
+    declared = _declared_verbs(protocol)
+    if declared is None:
+        return []  # R009 already reports the missing verb sets
+    try:
+        tree = ast.parse(protocol.read_text(), filename=str(protocol))
+    except (OSError, SyntaxError):
+        return []
+    located = _verb_wire_dict(tree)
+    if located is None:
+        return [
+            Finding(
+                "R012",
+                PROTOCOL_REGISTRY,
+                1,
+                f"no {VERB_WIRE_NAME} dict literal found — every wire verb "
+                "must declare a binary verb id and batchability flag",
+            )
+        ]
+    wire_dict, dict_line = located
+    findings: List[Finding] = []
+    entries: Dict[str, int] = {}
+    ids_seen: Dict[int, str] = {}
+    for key, value in zip(wire_dict.keys, wire_dict.values):
+        line = key.lineno if key is not None else dict_line
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            findings.append(
+                Finding(
+                    "R012",
+                    PROTOCOL_REGISTRY,
+                    line,
+                    f"{VERB_WIRE_NAME} key must be a verb string literal",
+                )
+            )
+            continue
+        verb = key.value
+        entries[verb] = line
+        ok_shape = (
+            isinstance(value, ast.Tuple)
+            and len(value.elts) == 2
+            and isinstance(value.elts[0], ast.Constant)
+            and type(value.elts[0].value) is int
+            and isinstance(value.elts[1], ast.Constant)
+            and type(value.elts[1].value) is bool
+        )
+        if not ok_shape:
+            findings.append(
+                Finding(
+                    "R012",
+                    PROTOCOL_REGISTRY,
+                    line,
+                    f"{VERB_WIRE_NAME}['{verb}'] must be a literal "
+                    "(int verb id, bool batchable) tuple",
+                )
+            )
+            continue
+        wire_id = value.elts[0].value
+        if wire_id in ids_seen:
+            findings.append(
+                Finding(
+                    "R012",
+                    PROTOCOL_REGISTRY,
+                    line,
+                    f"{VERB_WIRE_NAME}['{verb}'] reuses binary verb id "
+                    f"{wire_id} (already taken by '{ids_seen[wire_id]}')",
+                )
+            )
+        else:
+            ids_seen[wire_id] = verb
+        if verb not in declared:
+            findings.append(
+                Finding(
+                    "R012",
+                    PROTOCOL_REGISTRY,
+                    line,
+                    f"{VERB_WIRE_NAME} entry for '{verb}' which is not a "
+                    "declared wire verb (KERNEL_VERBS/PROTOCOL_VERBS)",
+                )
+            )
+    for verb in sorted(declared - set(entries)):
+        findings.append(
+            Finding(
+                "R012",
+                PROTOCOL_REGISTRY,
+                dict_line,
+                f"wire verb '{verb}' has no {VERB_WIRE_NAME} entry — every "
+                "declared verb needs a binary verb id and batchability flag",
+            )
+        )
     return findings
 
 

@@ -79,6 +79,7 @@ class ClusterClient:
         name: Optional[str] = None,
         window: int = DEFAULT_CLIENT_WINDOW,
         retry: Optional[RetryPolicy] = None,
+        wire: Optional[str] = None,
     ) -> "ClusterClient":
         """Dial every shard of a :class:`ClusterSupervisor`.
 
@@ -90,7 +91,7 @@ class ClusterClient:
             for sid in supervisor.ring.shards:
                 shard_name = f"{name}@{sid}" if name else None
                 clients[sid] = await CacheClient.connect(
-                    supervisor.endpoints(sid), shard_name, window, retry
+                    supervisor.endpoints(sid), shard_name, window, retry, wire
                 )
         except BaseException:
             await asyncio.gather(
@@ -108,6 +109,7 @@ class ClusterClient:
         window: int = DEFAULT_CLIENT_WINDOW,
         retry: Optional[RetryPolicy] = None,
         telemetry: Optional[Telemetry] = None,
+        wire: Optional[str] = None,
     ) -> "ClusterClient":
         """Dial a cluster by address list (shard i = ``addresses[i]``)."""
         ring = HashRing([f"shard-{i}" for i in range(len(addresses))], vnodes=vnodes)
@@ -116,7 +118,7 @@ class ClusterClient:
             for sid, (host, port) in zip(ring.shards, addresses):
                 shard_name = f"{name}@{sid}" if name else None
                 clients[sid] = await CacheClient.connect(
-                    [("tcp", host, port)], shard_name, window, retry
+                    [("tcp", host, port)], shard_name, window, retry, wire
                 )
         except BaseException:
             await asyncio.gather(
@@ -199,6 +201,72 @@ class ClusterClient:
 
     async def write(self, path: str, blockno: int, whole: bool = True) -> bool:
         return await self._routed("write", path, lambda c: c.write(path, blockno, whole))
+
+    # -- batched block I/O (split per ring owner, re-merged) ----------------
+
+    async def _batched(
+        self,
+        verb: str,
+        ops: List[Tuple[Any, ...]],
+        call: Callable[[CacheClient, List[Tuple[Any, ...]]], Awaitable[List[Dict[str, Any]]]],
+    ) -> List[Dict[str, Any]]:
+        """Group batch ops by owning shard, run the per-shard sub-batches
+        concurrently and re-merge the results into the original op order."""
+        groups: Dict[str, List[Tuple[int, Tuple[Any, ...]]]] = {}
+        for index, op in enumerate(ops):
+            groups.setdefault(self.shard_of(op[0]), []).append((index, op))
+        tracer = self.telemetry.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                "cluster.batch",
+                layer="cluster",
+                verb=verb,
+                ops=len(ops),
+                shards=len(groups),
+            )
+        try:
+            grouped = list(groups.items())
+            for sid, _ in grouped:
+                self._requests.labels(shard=sid).inc()
+            shard_results = await asyncio.gather(
+                *(
+                    call(self.clients[sid], [op for _, op in entries])
+                    for sid, entries in grouped
+                )
+            )
+            merged: List[Dict[str, Any]] = [{} for _ in ops]
+            for (_, entries), results in zip(grouped, shard_results):
+                for (index, _), result in zip(entries, results):
+                    merged[index] = result
+            return merged
+        finally:
+            if span is not None:
+                span.end()
+
+    async def readv(self, ops: Any) -> List[Dict[str, Any]]:
+        """Batched reads across shards; per-op results in op order."""
+        return await self._batched(
+            "readv", list(ops), lambda c, sub: c.readv(sub)
+        )
+
+    async def writev(self, ops: Any) -> List[Dict[str, Any]]:
+        """Batched writes across shards; per-op results in op order."""
+        return await self._batched(
+            "writev", list(ops), lambda c, sub: c.writev(sub)
+        )
+
+    async def read_many(self, path: str, blocknos: Any) -> List[bool]:
+        """One file's blocks via its owning shard's chunked readv path."""
+        return await self._routed("read", path, lambda c: c.read_many(path, blocknos))
+
+    async def write_many(
+        self, path: str, blocknos: Any, whole: bool = True
+    ) -> List[bool]:
+        """One file's blocks via its owning shard's chunked writev path."""
+        return await self._routed(
+            "write", path, lambda c: c.write_many(path, blocknos, whole)
+        )
 
     # -- fbehavior directives ----------------------------------------------
 

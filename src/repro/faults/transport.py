@@ -13,6 +13,11 @@ Outbound replies pass through untouched except under ``drop``: dropping a
 *reply* is how a client sees a request time out even though the kernel
 applied it — exactly the duplicate-delivery hazard that restricts
 automatic retries to idempotent verbs.
+
+Faults act at the message level, so the wrapper is framing-agnostic: a
+session negotiated onto the binary wire drops/garbles/slows exactly like
+a JSON one.  The ``wire`` attribute delegates to the wrapped transport so
+negotiation switches the real encoder underneath.
 """
 
 from __future__ import annotations
@@ -58,6 +63,13 @@ class FaultyTransport(Transport):
             # A garbled *outbound* frame reaches the client undecodable;
             # modelling that here would fault the peer, not us — deliver.
         await self._inner.send(msg)
+
+    def set_wire(self, wire: str) -> None:
+        self._inner.set_wire(wire)
+
+    @property
+    def wire(self) -> str:  # type: ignore[override]
+        return self._inner.wire
 
     def close(self) -> None:
         self._inner.close()

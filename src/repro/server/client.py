@@ -20,12 +20,20 @@ Failure replies raise :class:`ServerError` (or :class:`ServerBusy` for the
 Resilience (for lossy transports and fault-injection runs) is governed by
 a :class:`RetryPolicy`: every request carries a timeout; ``BUSY`` replies
 and — for **idempotent** verbs only — timeouts and connection losses are
-retried with bounded exponential backoff.  Non-idempotent verbs (``write``
-and the ``set_*`` directives) are never auto-retried after a timeout,
-because a dropped *reply* means the kernel may already have applied the
-request.  A lost connection is re-dialed and the session resumed with the
-token from the hello handshake, so the same kernel pid (and its manager
-state and counters) carries on.
+retried with bounded exponential backoff.  Non-idempotent verbs (``write``,
+``writev`` and the ``set_*`` directives) are never auto-retried after a
+timeout, because a dropped *reply* means the kernel may already have
+applied the request.  A lost connection is re-dialed and the session
+resumed with the token from the hello handshake, so the same kernel pid
+(and its manager state and counters) carries on.
+
+The client offers the binary framing in its hello by default (opt out
+with ``wire="json"`` or ``REPRO_WIRE=json``); an old daemon simply
+ignores the offer and the session stays on JSON.  Batch helpers
+(:meth:`CacheClient.readv`/:meth:`~CacheClient.writev` and the chunking
+:meth:`~CacheClient.read_many`/:meth:`~CacheClient.write_many`) put many
+block ops in one frame; :meth:`~CacheClient.pipeline` drives arbitrary
+verbs at a chosen depth with in-order results.
 
 Protocol only — the kernel lives on the other side of the wire (lint rule
 R006).
@@ -34,10 +42,27 @@ R006).
 from __future__ import annotations
 
 import asyncio
+import os
 from dataclasses import dataclass
-from typing import Any, Awaitable, Callable, Dict, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Awaitable,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.server.protocol import ProtocolError, Transport, request
+from repro.server.protocol import (
+    WIRE_BINARY,
+    WIRE_JSON,
+    ProtocolError,
+    Transport,
+    request,
+)
 
 #: one dialable address: ``("tcp", host, port)``, ``("unix", path)`` or
 #: ``("inproc", daemon_or_factory)`` — the in-process form accepts either a
@@ -67,10 +92,14 @@ class RequestTimeout(ConnectionError):
 #: default number of outstanding requests a client keeps in flight
 DEFAULT_CLIENT_WINDOW = 16
 
+#: default ops per readv/writev frame for the chunking helpers
+DEFAULT_BATCH_OPS = 64
+
 #: verbs safe to re-send after a timeout: applying them twice leaves the
 #: kernel in the same state (reads and gets; ``open`` re-opens, ``ping``/
-#: ``hello``/``stats`` are pure).  ``write``/``set_*`` are excluded — a
-#: duplicate would double-apply side effects the first delivery had.
+#: ``hello``/``stats`` are pure; ``readv`` is a batch of reads).
+#: ``write``/``writev``/``set_*`` are excluded — a duplicate would
+#: double-apply side effects the first delivery had.
 IDEMPOTENT_VERBS = frozenset(
     {
         "ping",
@@ -79,11 +108,18 @@ IDEMPOTENT_VERBS = frozenset(
         "metrics",
         "flush",
         "read",
+        "readv",
         "open",
         "get_priority",
         "get_policy",
     }
 )
+
+
+def default_wire() -> str:
+    """The framing a new client offers: ``REPRO_WIRE`` or binary."""
+    wire = os.environ.get("REPRO_WIRE", "").strip().lower()
+    return wire if wire in (WIRE_JSON, WIRE_BINARY) else WIRE_BINARY
 
 
 @dataclass(frozen=True)
@@ -125,18 +161,35 @@ class CacheClient:
         transport: Transport,
         window: int = DEFAULT_CLIENT_WINDOW,
         retry: Optional[RetryPolicy] = None,
+        wire: Optional[str] = None,
     ) -> None:
         if window < 1:
             raise ValueError("client window must be at least 1")
+        offer = wire if wire is not None else default_wire()
+        if offer not in (WIRE_JSON, WIRE_BINARY):
+            raise ValueError(f"unknown wire framing {offer!r}")
         self._transport = transport
+        self.window_size = window
         self._window = asyncio.Semaphore(window)
+        #: reply correlation is per connection: each transport gets its own
+        #: pending map, so a stale reply surviving a reconnect can only
+        #: land in its own (already failed) map, never a newer call's.
         self._pending: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
         self._next_id = 0
+        #: the framing this client offers at hello
+        self.wire_offer = offer
+        #: the framing actually negotiated on the current connection
+        self.wire = WIRE_JSON
         self._closing = False
         self._reader_task: Optional["asyncio.Task[None]"] = None
         self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
         #: async factory for a replacement transport (None = cannot redial)
         self._connector: Optional[Callable[[], Awaitable[Transport]]] = None
+        #: single-flight reconnect: pipelined calls that all lose the same
+        #: connection must share one redial, not orphan each other's
+        #: half-established transports (created lazily — the constructor
+        #: may run outside a loop)
+        self._reconnect_lock: Optional[asyncio.Lock] = None
         #: the kernel pid of this session (set by the hello handshake)
         self.pid: Optional[int] = None
         #: resume token from the hello handshake
@@ -200,10 +253,11 @@ class CacheClient:
         name: Optional[str] = None,
         window: int = DEFAULT_CLIENT_WINDOW,
         retry: Optional[RetryPolicy] = None,
+        wire: Optional[str] = None,
     ) -> "CacheClient":
         """Connect via an ordered address list with per-address redial."""
         dial = cls._list_dialer(endpoints)
-        return await cls._started(await dial(), name, window, retry, dial)
+        return await cls._started(await dial(), name, window, retry, dial, wire)
 
     @classmethod
     async def connect_tcp(
@@ -213,8 +267,9 @@ class CacheClient:
         name: Optional[str] = None,
         window: int = DEFAULT_CLIENT_WINDOW,
         retry: Optional[RetryPolicy] = None,
+        wire: Optional[str] = None,
     ) -> "CacheClient":
-        return await cls.connect([("tcp", host, port)], name, window, retry)
+        return await cls.connect([("tcp", host, port)], name, window, retry, wire)
 
     @classmethod
     async def connect_unix(
@@ -223,8 +278,9 @@ class CacheClient:
         name: Optional[str] = None,
         window: int = DEFAULT_CLIENT_WINDOW,
         retry: Optional[RetryPolicy] = None,
+        wire: Optional[str] = None,
     ) -> "CacheClient":
-        return await cls.connect([("unix", path)], name, window, retry)
+        return await cls.connect([("unix", path)], name, window, retry, wire)
 
     @classmethod
     async def connect_inproc(
@@ -233,10 +289,11 @@ class CacheClient:
         name: Optional[str] = None,
         window: int = DEFAULT_CLIENT_WINDOW,
         retry: Optional[RetryPolicy] = None,
+        wire: Optional[str] = None,
     ) -> "CacheClient":
         """Connect to a :class:`~repro.server.daemon.CacheDaemon` in this
         process (tests, benchmarks, demos)."""
-        return await cls.connect([("inproc", daemon)], name, window, retry)
+        return await cls.connect([("inproc", daemon)], name, window, retry, wire)
 
     @classmethod
     async def _started(
@@ -246,24 +303,59 @@ class CacheClient:
         window: int,
         retry: Optional[RetryPolicy] = None,
         connector: Optional[Callable[[], Awaitable[Transport]]] = None,
+        wire: Optional[str] = None,
     ) -> "CacheClient":
-        client = cls(transport, window=window, retry=retry)
+        client = cls(transport, window=window, retry=retry, wire=wire)
         client.name = name
         client._connector = connector
-        client._reader_task = asyncio.get_running_loop().create_task(client._read_replies())
-        hello = await client.call("hello", name=name) if name else await client.call("hello")
+        client._start_reader()
+        hello = await client.call("hello", **client._hello_params())
         client._absorb_hello(hello)
         return client
+
+    def _hello_params(self) -> Dict[str, Any]:
+        """The hello parameters for a fresh connection (name + wire offer)."""
+        params: Dict[str, Any] = {}
+        if self.name:
+            params["name"] = self.name
+        if self.wire_offer != WIRE_JSON:
+            params["wire"] = [self.wire_offer]
+        return params
 
     def _absorb_hello(self, hello: Any) -> None:
         if isinstance(hello, dict):
             self.pid = hello.get("pid", self.pid)
             self.token = hello.get("token", self.token)
+            negotiated = hello.get("wire")
+            # Only switch to a framing we offered; an old daemon's hello
+            # has no "wire" key, which means JSON.
+            if negotiated == self.wire_offer and negotiated != WIRE_JSON:
+                self._transport.set_wire(negotiated)
+                self.wire = negotiated
+            else:
+                self.wire = WIRE_JSON
 
     # -- plumbing ----------------------------------------------------------
 
-    async def _read_replies(self) -> None:
-        transport = self._transport  # one reader task per transport
+    def _start_reader(self) -> None:
+        """Start the reply reader of the current transport.
+
+        Correlation state is rebuilt per connection: the reader, the
+        transport and the pending map are bound together here, so a reply
+        arriving on an old connection after a reconnect can only touch the
+        old map (whose futures have already failed), never a newer call.
+        """
+        pending: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._pending = pending
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_replies(self._transport, pending)
+        )
+
+    async def _read_replies(
+        self,
+        transport: Transport,
+        pending: Dict[int, "asyncio.Future[Dict[str, Any]]"],
+    ) -> None:
         while True:
             try:
                 msg = await transport.recv()
@@ -273,17 +365,17 @@ class CacheClient:
                 msg = None
             if msg is None:
                 break
-            future = self._pending.pop(msg.get("id"), None)
+            future = pending.pop(msg.get("id"), None)
             if future is not None and not future.done():
                 future.set_result(msg)
         # A transport whose reply stream ended can never answer again;
         # mark it closed so the next call() knows to re-dial rather than
         # write into a dead peer and wait out the full timeout.
         transport.close()
-        for future in self._pending.values():
+        for future in pending.values():
             if not future.done():
                 future.set_exception(ConnectionError("server connection closed"))
-        self._pending.clear()
+        pending.clear()
 
     async def call(self, verb: str, **params: Any) -> Any:
         """One request/response round trip; returns the reply value.
@@ -309,6 +401,15 @@ class CacheClient:
                     # verb — the duplicate hazard only exists for requests
                     # already in flight.
                     await self._reconnect()
+                elif (
+                    self._reconnect_lock is not None
+                    and self._reconnect_lock.locked()
+                ):
+                    # A reconnect is mid-handshake: sending now would put
+                    # this request on the wire *before* the resume hello,
+                    # so the server would apply it under the wrong pid.
+                    async with self._reconnect_lock:
+                        pass
                 return await self._call_once(verb, params, policy.timeout_s)
             except ServerBusy:
                 if attempt >= policy.max_retries:
@@ -342,7 +443,11 @@ class CacheClient:
             self._next_id += 1
             req_id = self._next_id
             future: "asyncio.Future[Dict[str, Any]]" = asyncio.get_running_loop().create_future()
-            self._pending[req_id] = future
+            # Bind to this connection's map: if a reconnect swaps
+            # self._pending mid-flight, the timeout cleanup below must
+            # still target the map this request was registered in.
+            pending = self._pending
+            pending[req_id] = future
             await self._transport.send(request(req_id, verb, **params))
             try:
                 if timeout is not None:
@@ -350,7 +455,7 @@ class CacheClient:
                 else:
                     reply = await future
             except asyncio.TimeoutError:
-                self._pending.pop(req_id, None)
+                pending.pop(req_id, None)
                 self.timeouts += 1
                 raise
         if reply.get("ok"):
@@ -360,9 +465,24 @@ class CacheClient:
         raise error(code, str(reply.get("error", "")))
 
     async def _reconnect(self) -> None:
-        """Re-dial the server and resume the previous kernel session."""
+        """Re-dial the server and resume the previous kernel session.
+
+        Single-flight: with a pipeline in flight, every stalled call races
+        here at once.  They must share one redial — a second concurrent
+        attempt would reassign ``self._transport`` out from under the
+        first, orphaning a connection that may have just resumed our pid
+        on the server (wedging it against all future resumes).
+        """
         if self._connector is None:
             raise ConnectionError("transport lost and no reconnect path")
+        if self._reconnect_lock is None:
+            self._reconnect_lock = asyncio.Lock()
+        async with self._reconnect_lock:
+            if not self._transport.closed:
+                return  # another caller already re-established the session
+            await self._reconnect_once()
+
+    async def _reconnect_once(self) -> None:
         self.reconnects += 1
         old_reader = self._reader_task
         self._transport.close()
@@ -372,10 +492,9 @@ class CacheClient:
             except asyncio.CancelledError:  # pragma: no cover - teardown race
                 pass
         self._transport = await self._connector()
-        self._reader_task = asyncio.get_running_loop().create_task(self._read_replies())
-        params: Dict[str, Any] = {}
-        if self.name:
-            params["name"] = self.name
+        self.wire = WIRE_JSON  # fresh connection: renegotiate from JSON
+        self._start_reader()
+        params = self._hello_params()
         if self.pid is not None and self.token is not None:
             params["resume"] = self.pid
             params["token"] = self.token
@@ -412,6 +531,115 @@ class CacheClient:
         """Write one block (delayed write); returns whether it hit."""
         value = await self.call("write", path=path, blockno=blockno, whole=whole)
         return bool(value.get("hit"))
+
+    # -- batched block I/O -------------------------------------------------
+
+    @staticmethod
+    def _batch_results(value: Any, expected: int, verb: str) -> List[Dict[str, Any]]:
+        results = value.get("results") if isinstance(value, dict) else None
+        if not isinstance(results, list) or len(results) != expected:
+            raise ProtocolError(
+                f"{verb}: malformed batch reply for {expected} ops: {value!r}"
+            )
+        return results
+
+    async def readv(
+        self, ops: Iterable[Tuple[str, int]]
+    ) -> List[Dict[str, Any]]:
+        """One batched read frame; ``ops`` is ``(path, blockno)`` pairs.
+
+        Returns the raw per-op result list — ``{"hit": bool}`` for an
+        applied op, ``{"code", "error"}`` for a failed one.  A partial
+        failure never discards the batch: good ops are applied and their
+        results returned alongside the errors.
+        """
+        wire_ops = [{"path": path, "blockno": blockno} for path, blockno in ops]
+        value = await self.call("readv", ops=wire_ops)
+        return self._batch_results(value, len(wire_ops), "readv")
+
+    async def writev(
+        self, ops: Iterable[Tuple[Any, ...]]
+    ) -> List[Dict[str, Any]]:
+        """One batched write frame; ``ops`` is ``(path, blockno[, whole])``.
+
+        Like :meth:`readv`, results are per-op.  ``writev`` is *not*
+        auto-retried after a timeout (the batch may already be applied).
+        """
+        wire_ops = []
+        for op in ops:
+            whole = op[2] if len(op) > 2 else True
+            wire_ops.append({"path": op[0], "blockno": op[1], "whole": bool(whole)})
+        value = await self.call("writev", ops=wire_ops)
+        return self._batch_results(value, len(wire_ops), "writev")
+
+    @staticmethod
+    def unwrap_batch(results: List[Dict[str, Any]]) -> List[bool]:
+        """Per-op hit flags, raising on the first per-op error record."""
+        hits: List[bool] = []
+        for result in results:
+            if "code" in result:
+                code = result.get("code", "INTERNAL")
+                error = ServerBusy if code == "BUSY" else ServerError
+                raise error(str(code), str(result.get("error", "")))
+            hits.append(bool(result.get("hit")))
+        return hits
+
+    async def read_many(
+        self, path: str, blocknos: Iterable[int], batch: int = DEFAULT_BATCH_OPS
+    ) -> List[bool]:
+        """Read many blocks of one file in readv chunks; per-block hits."""
+        blocks = list(blocknos)
+        hits: List[bool] = []
+        for start in range(0, len(blocks), max(1, batch)):
+            chunk = blocks[start:start + max(1, batch)]
+            hits.extend(
+                self.unwrap_batch(await self.readv((path, b) for b in chunk))
+            )
+        return hits
+
+    async def write_many(
+        self,
+        path: str,
+        blocknos: Iterable[int],
+        whole: bool = True,
+        batch: int = DEFAULT_BATCH_OPS,
+    ) -> List[bool]:
+        """Write many blocks of one file in writev chunks; per-block hits."""
+        blocks = list(blocknos)
+        hits: List[bool] = []
+        for start in range(0, len(blocks), max(1, batch)):
+            chunk = blocks[start:start + max(1, batch)]
+            hits.extend(
+                self.unwrap_batch(
+                    await self.writev((path, b, whole) for b in chunk)
+                )
+            )
+        return hits
+
+    async def pipeline(
+        self,
+        calls: Sequence[Tuple[str, Dict[str, Any]]],
+        depth: Optional[int] = None,
+    ) -> List[Any]:
+        """Issue ``(verb, params)`` calls with up to ``depth`` in flight.
+
+        Results come back in call order (reply matching is id-based, so
+        the wire order underneath may interleave).  A failed call yields
+        its exception object in place of a value rather than cancelling
+        the rest of the pipeline.
+        """
+        if depth is None:
+            depth = self.window_size
+        gate = asyncio.Semaphore(max(1, depth))
+
+        async def one(verb: str, params: Dict[str, Any]) -> Any:
+            async with gate:
+                return await self.call(verb, **params)
+
+        return await asyncio.gather(
+            *(one(verb, dict(params)) for verb, params in calls),
+            return_exceptions=True,
+        )
 
     # -- the five paper directives ----------------------------------------
 

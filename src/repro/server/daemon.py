@@ -77,6 +77,9 @@ class CacheDaemon:
         self.pending_total = 0
         self.busy_rejections = 0
         self.requests_served = 0
+        #: block operations applied — a readv/writev frame counts each of
+        #: its batch entries, so this tracks kernel work not frame count
+        self.ops_served = 0
         self.protocol_errors = 0
         #: resume tokens handed out at hello, per kernel pid.  A restarted
         #: daemon (cluster failover) is seeded with its predecessor's
@@ -260,9 +263,11 @@ class CacheDaemon:
     def _try_resume(self, session: Session, resume_pid: Any, token: Any) -> bool:
         """Rebind a reconnecting client to its previous kernel pid.
 
-        Requires the token minted at the original hello, and that no live
-        session currently holds the pid.  On success the freshly allocated
-        pid is discarded and the old pid's counters/manager state carry on.
+        Requires the token minted at the original hello.  A live session
+        still holding the pid is superseded — the token is the authority,
+        so the old binding is a connection its owner abandoned.  On
+        success the freshly allocated pid is discarded and the old pid's
+        counters/manager state carry on.
         """
         if not isinstance(resume_pid, int) or resume_pid == session.pid:
             return False
@@ -270,7 +275,15 @@ class CacheDaemon:
             return False
         old = self.sessions.get(resume_pid)
         if old is not None and not old.closed:
-            return False
+            # The token is the proof of ownership, and a client is only
+            # ever in one place — so a live binding here is a *stale*
+            # connection the client abandoned (its hello reply was lost
+            # in flight, say).  Supersede it rather than wedging the pid
+            # against every future resume: mark it closed and wake its
+            # reader so its session task unwinds.
+            old.closed = True
+            old.release()
+            old.transport.close()
         self.sessions.pop(session.pid, None)
         self.service.release_session(session.pid)
         session.pid = resume_pid
@@ -321,6 +334,11 @@ class CacheDaemon:
                             )
                             continue
                         pid = session.pid
+                    # Wire negotiation: answer on the current framing, then
+                    # switch our outbound side.  The client switches after
+                    # reading the reply; inbound auto-detects both, so no
+                    # frame can be lost to the transition in either order.
+                    wire = protocol.negotiate_wire(msg.get("wire"))
                     await transport.send(
                         ok_response(
                             req_id,
@@ -329,9 +347,12 @@ class CacheDaemon:
                                 "name": session.name,
                                 "token": self._token_for(session.pid),
                                 "resumed": resumed,
+                                "wire": wire or protocol.WIRE_JSON,
                             },
                         )
                     )
+                    if wire is not None:
+                        transport.set_wire(wire)
                     continue
                 if not isinstance(verb, str) or verb not in KERNEL_VERBS:
                     await transport.send(
@@ -368,9 +389,24 @@ class CacheDaemon:
             self.service.release_session(session.pid)
             transport.close()
 
+    @staticmethod
+    def _request_cost(msg: Dict[str, Any]) -> int:
+        """Queue weight of one request: batch frames count per op.
+
+        The BUSY check still happens per frame, so one batch may overshoot
+        the global limit — by at most ``MAX_BATCH_OPS``, which the
+        validator enforces before the ops ever reach the kernel.
+        """
+        if msg.get("verb") in protocol.BATCH_VERBS:
+            ops = msg.get("ops")
+            if isinstance(ops, list) and ops:
+                return min(len(ops), protocol.MAX_BATCH_OPS)
+        return 1
+
     def _enqueue(self, session: Session, msg: Dict[str, Any]) -> None:
-        session.push(msg)
-        self.pending_total += 1
+        cost = self._request_cost(msg)
+        session.push(msg, cost)
+        self.pending_total += cost
         if not session.in_ready:
             session.in_ready = True
             self._ready.append(session)
@@ -391,11 +427,12 @@ class CacheDaemon:
             while self._ready:
                 await self._gate.wait()
                 session = self._ready.popleft()
-                msg = session.pop()
-                if msg is None:
+                item = session.pop()
+                if item is None:
                     session.in_ready = False
                     continue
-                self.pending_total -= 1
+                msg, cost = item
+                self.pending_total -= cost
                 resp = self._safe_apply(session, msg)
                 if session.queue:
                     self._ready.append(session)
@@ -403,6 +440,7 @@ class CacheDaemon:
                     session.in_ready = False
                 await session.transport.send(resp)
                 self.requests_served += 1
+                self.ops_served += cost
             if self._stopping:
                 break
 
@@ -459,6 +497,10 @@ class CacheDaemon:
             return self.service.write(
                 pid, fields["path"], fields["blockno"], fields.get("whole", True)
             )
+        if verb == "readv":
+            return {"results": self.service.read_batch(pid, fields["ops"])}
+        if verb == "writev":
+            return {"results": self.service.write_batch(pid, fields["ops"])}
         if verb == "stats":
             return self.snapshot()
         if verb == "metrics":
@@ -516,6 +558,7 @@ class CacheDaemon:
                 "pending_total": self.pending_total,
                 "busy_rejections": self.busy_rejections,
                 "requests_served": self.requests_served,
+                "ops_served": self.ops_served,
                 "protocol_errors": self.protocol_errors,
                 "window": self.window,
                 "global_limit": self.global_limit,

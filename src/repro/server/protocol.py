@@ -1,22 +1,40 @@
-"""The wire protocol: length-prefixed JSON frames over a transport.
+"""The wire protocol: JSON and binary frames over a transport.
 
-A frame is a 4-byte big-endian payload length followed by a UTF-8 JSON
-object.  Requests and responses are plain dicts:
+Two framings share every connection; frames are self-describing, so a
+single decoder handles both and a peer may switch framings mid-stream
+(that is what makes ``hello`` negotiation race-free):
+
+* **JSON** — a 4-byte big-endian payload length followed by a UTF-8 JSON
+  object.  ``MAX_FRAME_BYTES`` is 1 MiB, so the first byte of a JSON
+  frame is always ``0x00``.
+* **binary** — a 17-byte struct-packed header (2-byte magic
+  ``b"\\xac\\xfc"`` whose first byte is never ``0x00``, 1-byte version,
+  1-byte flags, 1-byte verb/reply-kind, 8-byte signed request id, 4-byte
+  payload length) followed by a packed payload.  Hot verbs
+  (``read``/``write``/``readv``/``writev``) and their replies use fixed
+  binary payloads parsed through ``memoryview`` slices; everything else
+  rides as a JSON params payload inside a binary frame
+  (``FLAG_JSON``).  Messages with no binary representation fall back to
+  whole JSON frames, which is always legal.
+
+Requests and responses are plain dicts in either framing:
 
 * request — ``{"id": <int>, "verb": <str>, ...params}``;
 * success — ``{"id": <int>, "ok": true, "value": <any>}``;
 * failure — ``{"id": <int>, "ok": false, "code": <str>, "error": <str>}``.
 
-The verbs cover the file API (``open``/``read``/``write``/``close``), the
-five paper directives (``set_priority``, ``get_priority``, ``set_policy``,
-``get_policy``, ``set_temppri``) and the service verbs (``ping``,
-``hello``, ``stats``, ``metrics``, ``flush``).  Error codes are listed in
-:data:`ERROR_CODES`; ``BUSY`` is the 429-style backpressure reply.
+The verbs cover the file API (``open``/``read``/``write``/``close``, plus
+the batched ``readv``/``writev`` carriers), the five paper directives
+(``set_priority``, ``get_priority``, ``set_policy``, ``get_policy``,
+``set_temppri``) and the service verbs (``ping``, ``hello``, ``stats``,
+``metrics``, ``flush``).  Error codes are listed in :data:`ERROR_CODES`;
+``BUSY`` is the 429-style backpressure reply.
 
 Every wire verb handled anywhere in the tree must be declared here (lint
-rule R009): this module is the single registry of the protocol surface,
-so the cluster router, the daemon and the clients can never drift apart
-silently.
+rule R009), and every declared verb must carry a binary verb id and a
+batchability flag in :data:`VERB_WIRE` (lint rule R012): this module is
+the single registry of the protocol surface, so the cluster router, the
+daemon and the clients can never drift apart silently.
 
 This module is transport- and kernel-agnostic: it knows bytes and dicts,
 nothing else (lint rule R006 keeps it that way).  The same
@@ -55,6 +73,8 @@ KERNEL_VERBS = frozenset(
         "stats",
         "metrics",
         "flush",
+        "readv",
+        "writev",
     }
 )
 
@@ -62,6 +82,13 @@ KERNEL_VERBS = frozenset(
 PROTOCOL_VERBS = frozenset({"ping", "hello"})
 
 ALL_VERBS = KERNEL_VERBS | PROTOCOL_VERBS
+
+#: batch carrier verbs: one frame holds N block ops, one reply N results
+BATCH_VERBS = frozenset({"readv", "writev"})
+
+#: refuse batches larger than this (bounds per-frame kernel work and the
+#: weighted-queue overshoot past the global pending limit)
+MAX_BATCH_OPS = 1024
 
 #: error codes a failure reply may carry
 ERROR_CODES = (
@@ -92,6 +119,60 @@ _PATH_VERBS = frozenset(
 _BLOCK_VERBS = frozenset({"read", "write"})
 
 
+def _coerce_blockno(verb: str, raw: Any) -> int:
+    if isinstance(raw, bool):
+        raise RequestValidationError(f"{verb}: bad block number {raw!r}")
+    try:
+        blockno = int(raw)
+    except (TypeError, ValueError) as exc:
+        raise RequestValidationError(f"{verb}: bad block number {raw!r}") from exc
+    if blockno < 0:
+        raise RequestValidationError(f"{verb}: negative block number {blockno}")
+    return blockno
+
+
+class _TrustedOps(list):
+    """A batch ops list decoded from the *packed* binary form.
+
+    The packed decoder can only produce already-normalised records
+    (non-empty ``str`` path, in-range ``int`` blockno, ``bool`` whole),
+    so revalidating each op would just re-prove what the byte layout
+    enforced.  The type is the provenance proof: ``json.loads`` can never
+    produce it, so nothing a JSON frame or a FLAG_JSON payload carries
+    can claim the fast path.
+    """
+
+    __slots__ = ()
+
+
+def _validated_batch_ops(verb: str, ops: Any) -> List[Dict[str, Any]]:
+    """Normalise a readv/writev ``ops`` list or raise on any bad op."""
+    if type(ops) is _TrustedOps:
+        return ops  # packed-decoded: the wire layout already validated it
+    if not isinstance(ops, list) or not ops:
+        raise RequestValidationError(f"{verb}: ops must be a non-empty list")
+    if len(ops) > MAX_BATCH_OPS:
+        raise RequestValidationError(
+            f"{verb}: batch of {len(ops)} ops exceeds {MAX_BATCH_OPS}"
+        )
+    with_whole = verb == "writev"
+    normalized: List[Dict[str, Any]] = []
+    for index, op in enumerate(ops):
+        if not isinstance(op, dict):
+            raise RequestValidationError(f"{verb}: op {index} is not an object")
+        path = op.get("path")
+        if not isinstance(path, str) or not path:
+            raise RequestValidationError(f"{verb}: op {index}: bad path {path!r}")
+        entry: Dict[str, Any] = {
+            "path": path,
+            "blockno": _coerce_blockno(verb, op.get("blockno")),
+        }
+        if with_whole:
+            entry["whole"] = bool(op.get("whole", True))
+        normalized.append(entry)
+    return normalized
+
+
 def validated_request(msg: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
     """Validate a decoded request at the wire boundary; ``(verb, fields)``.
 
@@ -99,7 +180,8 @@ def validated_request(msg: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
     the wire and may have any shape JSON allows.  This re-checks everything
     the kernel-facing layers consume — the verb must be registered,
     ``path`` must be a non-empty string where one is required, ``blockno``
-    is coerced to a non-negative ``int`` — and returns only the parameter
+    is coerced to a non-negative ``int``, batch ``ops`` lists are
+    re-normalised element by element — and returns only the parameter
     fields (never ``verb`` or the request id).  Raises
     :class:`RequestValidationError` on any violation; the daemon maps that
     onto a ``BAD_REQUEST`` reply.
@@ -115,16 +197,9 @@ def validated_request(msg: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
         if not isinstance(path, str) or not path:
             raise RequestValidationError(f"{verb}: bad path {path!r}")
     if verb in _BLOCK_VERBS:
-        raw = fields.get("blockno")
-        if isinstance(raw, bool):
-            raise RequestValidationError(f"{verb}: bad block number {raw!r}")
-        try:
-            blockno = int(raw)
-        except (TypeError, ValueError) as exc:
-            raise RequestValidationError(f"{verb}: bad block number {raw!r}") from exc
-        if blockno < 0:
-            raise RequestValidationError(f"{verb}: negative block number {blockno}")
-        fields["blockno"] = blockno
+        fields["blockno"] = _coerce_blockno(verb, fields.get("blockno"))
+    if verb in BATCH_VERBS:
+        fields["ops"] = _validated_batch_ops(verb, fields.get("ops"))
     return verb, fields
 
 
@@ -150,12 +225,527 @@ def decode_payload(payload: bytes) -> Dict[str, Any]:
     return obj
 
 
+# -- binary framing -------------------------------------------------------
+
+#: wire framing names, as negotiated in ``hello``
+WIRE_JSON = "json"
+WIRE_BINARY = "binary"
+
+#: framings this build can emit (it always decodes both)
+SUPPORTED_WIRES = (WIRE_BINARY,)
+
+#: first byte is never 0x00, so a binary frame can't be mistaken for the
+#: length prefix of a <=1MiB JSON frame (and vice versa)
+MAGIC = b"\xac\xfc"
+WIRE_VERSION = 1
+
+# Header layout: magic(2) version(1) flags(1) | kind(1) request-id(8) len(4).
+# The prefix is exactly as long as the JSON length prefix, so both stream
+# and queue decoders read 4 bytes, then branch on the first two.
+_BIN_PREFIX = struct.Struct(">2sBB")
+_BIN_REST = struct.Struct(">BqI")
+BIN_HEADER_BYTES = _BIN_PREFIX.size + _BIN_REST.size
+
+FLAG_REPLY = 0x01  # frame is a response, kind byte is a reply kind
+FLAG_ERROR = 0x02  # response carries (code, message), not a value
+FLAG_JSON = 0x04  # payload is JSON (params dict / {"value": ...})
+FLAG_NO_ID = 0x08  # message id is null (the id field is ignored)
+_KNOWN_FLAGS = FLAG_REPLY | FLAG_ERROR | FLAG_JSON | FLAG_NO_ID
+
+#: reply kinds (the kind byte of a non-error, non-JSON reply frame)
+_RT_JSON = 0
+_RT_HIT = 1  # payload: hit(1) — the read/write fast path
+_RT_BATCH = 2  # payload: count(4) then per-op ok/hit or error records
+
+#: binary verb id and batchability of every wire verb.  Lint rule R012:
+#: every verb in KERNEL_VERBS/PROTOCOL_VERBS must have an entry here, ids
+#: must be unique, and batch carriers must map to batchable ops.
+VERB_WIRE: Dict[str, Tuple[int, bool]] = {
+    "hello": (1, False),
+    "ping": (2, False),
+    "open": (3, False),
+    "read": (4, True),
+    "write": (5, True),
+    "close": (6, False),
+    "set_priority": (7, False),
+    "get_priority": (8, False),
+    "set_policy": (9, False),
+    "get_policy": (10, False),
+    "set_temppri": (11, False),
+    "stats": (12, False),
+    "metrics": (13, False),
+    "flush": (14, False),
+    "readv": (15, False),
+    "writev": (16, False),
+}
+
+_VERB_BY_ID = {wire_id: verb for verb, (wire_id, _) in VERB_WIRE.items()}
+
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+
+
+def negotiate_wire(offers: Any) -> Optional[str]:
+    """The framing to switch a session to, given a hello ``wire`` offer.
+
+    ``offers`` came off the wire: junk shapes or unknown names are never
+    fatal, they just mean the session stays on JSON (``None``).
+    """
+    if isinstance(offers, (list, tuple)):
+        for name in offers:
+            if isinstance(name, str) and name in SUPPORTED_WIRES:
+                return name
+    return None
+
+
+def _bin_id(msg: Dict[str, Any]) -> Optional[Tuple[int, int]]:
+    """(flags, id) for the header, or None if the id is unrepresentable."""
+    req_id = msg.get("id")
+    if req_id is None:
+        return FLAG_NO_ID, 0
+    if isinstance(req_id, bool) or not isinstance(req_id, int):
+        return None
+    if not -(1 << 63) <= req_id < (1 << 63):
+        return None
+    return 0, req_id
+
+
+def _pack_op(op: Any, with_whole: bool) -> Optional[bytes]:
+    """Pack one read/write op record, or None if it doesn't fit the shape."""
+    if not isinstance(op, dict):
+        return None
+    expected = {"path", "blockno", "whole"} if with_whole else {"path", "blockno"}
+    if set(op) != expected:
+        return None
+    path, blockno = op["path"], op["blockno"]
+    if not isinstance(path, str):
+        return None
+    raw = path.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        return None
+    if isinstance(blockno, bool) or not isinstance(blockno, int):
+        return None
+    if not 0 <= blockno < (1 << 64):
+        return None
+    record = _U16.pack(len(raw)) + raw + _U64.pack(blockno)
+    if with_whole:
+        if not isinstance(op["whole"], bool):
+            return None
+        record += b"\x01" if op["whole"] else b"\x00"
+    return record
+
+
+def _pack_batch(ops: Any, with_whole: bool) -> Optional[bytes]:
+    # The encode hot loop: _pack_op's checks inlined over hoisted locals,
+    # since a big batch pays this path per op.
+    if not isinstance(ops, list) or not ops or len(ops) > MAX_BATCH_OPS:
+        return None
+    parts = [_U32.pack(len(ops))]
+    append = parts.append
+    pack_u16, pack_u64 = _U16.pack, _U64.pack
+    expected_len = 3 if with_whole else 2
+    for op in ops:
+        if not isinstance(op, dict) or len(op) != expected_len:
+            return None
+        try:
+            path, blockno = op["path"], op["blockno"]
+        except KeyError:
+            return None
+        if not isinstance(path, str):
+            return None
+        raw = path.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            return None
+        if isinstance(blockno, bool) or not isinstance(blockno, int):
+            return None
+        if not 0 <= blockno < (1 << 64):
+            return None
+        append(pack_u16(len(raw)))
+        append(raw)
+        append(pack_u64(blockno))
+        if with_whole:
+            try:
+                whole = op["whole"]
+            except KeyError:
+                return None
+            if not isinstance(whole, bool):
+                return None
+            append(b"\x01" if whole else b"\x00")
+    return b"".join(parts)
+
+
+def _frame(flags: int, kind: int, req_id: int, payload: bytes) -> bytes:
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}")
+    return (
+        _BIN_PREFIX.pack(MAGIC, WIRE_VERSION, flags)
+        + _BIN_REST.pack(kind, req_id, len(payload))
+        + payload
+    )
+
+
+def _json_params_payload(msg: Dict[str, Any]) -> Optional[bytes]:
+    try:
+        return json.dumps(
+            {key: value for key, value in msg.items() if key not in ("id", "verb")},
+            separators=(",", ":"),
+        ).encode("utf-8")
+    except (TypeError, ValueError):
+        return None
+
+
+def _encode_binary_request(msg: Dict[str, Any]) -> Optional[bytes]:
+    verb = msg.get("verb")
+    wire = VERB_WIRE.get(verb) if isinstance(verb, str) else None
+    if wire is None:
+        return None
+    ids = _bin_id(msg)
+    if ids is None:
+        return None
+    flags, req_id = ids
+    params = {key for key in msg if key not in ("id", "verb")}
+    payload: Optional[bytes] = None
+    if verb == "read" and params == {"path", "blockno"}:
+        payload = _pack_op({"path": msg["path"], "blockno": msg["blockno"]}, False)
+    elif verb == "write" and params == {"path", "blockno", "whole"}:
+        payload = _pack_op(
+            {"path": msg["path"], "blockno": msg["blockno"], "whole": msg["whole"]},
+            True,
+        )
+    elif verb in BATCH_VERBS and params == {"ops"}:
+        payload = _pack_batch(msg["ops"], verb == "writev")
+    if payload is None:
+        payload = _json_params_payload(msg)
+        if payload is None:
+            return None
+        flags |= FLAG_JSON
+    return _frame(flags, wire[0], req_id, payload)
+
+
+def _pack_reply_value(value: Any) -> Optional[Tuple[int, bytes]]:
+    """(reply kind, payload) for a recognised value shape, else None."""
+    if not isinstance(value, dict):
+        return None
+    if set(value) == {"hit"} and isinstance(value["hit"], bool):
+        return _RT_HIT, (b"\x01" if value["hit"] else b"\x00")
+    if set(value) == {"results"} and isinstance(value["results"], list):
+        results = value["results"]
+        if not results or len(results) > MAX_BATCH_OPS:
+            return None
+        parts = [_U32.pack(len(results))]
+        append = parts.append
+        for result in results:
+            if not isinstance(result, dict):
+                return None
+            if len(result) == 1:
+                hit = result.get("hit")
+                if not isinstance(hit, bool):
+                    return None
+                append(b"\x00\x01" if hit else b"\x00\x00")
+            elif (
+                len(result) == 2
+                and result.get("code") in ERROR_CODES
+                and isinstance(result.get("error"), str)
+            ):
+                raw = result["error"].encode("utf-8")
+                append(
+                    b"\x01"
+                    + bytes([ERROR_CODES.index(result["code"])])
+                    + _U32.pack(len(raw))
+                    + raw
+                )
+            else:
+                return None
+        return _RT_BATCH, b"".join(parts)
+    return None
+
+
+def _encode_binary_reply(msg: Dict[str, Any]) -> Optional[bytes]:
+    ids = _bin_id(msg)
+    if ids is None:
+        return None
+    flags, req_id = ids
+    flags |= FLAG_REPLY
+    if msg.get("ok") is True:
+        if set(msg) != {"id", "ok", "value"}:
+            return None
+        packed = _pack_reply_value(msg["value"])
+        if packed is not None:
+            kind, payload = packed
+            return _frame(flags, kind, req_id, payload)
+        try:
+            payload = json.dumps(
+                {"value": msg["value"]}, separators=(",", ":")
+            ).encode("utf-8")
+        except (TypeError, ValueError):
+            return None
+        return _frame(flags | FLAG_JSON, _RT_JSON, req_id, payload)
+    if msg.get("ok") is not False or set(msg) != {"id", "ok", "code", "error"}:
+        return None
+    code, error = msg["code"], msg["error"]
+    if code not in ERROR_CODES or not isinstance(error, str):
+        return None
+    raw = error.encode("utf-8")
+    payload = bytes([ERROR_CODES.index(code)]) + _U32.pack(len(raw)) + raw
+    return _frame(flags | FLAG_ERROR, _RT_JSON, req_id, payload)
+
+
+def encode_message(msg: Dict[str, Any], wire: str = WIRE_JSON) -> bytes:
+    """Serialise one message in the given framing.
+
+    Binary framing falls back to a whole JSON frame for any message it
+    has no packed form for (unknown verbs, exotic ids, unencodable
+    values) — legal because frames are self-describing: a peer that
+    negotiated binary still decodes both framings on the same stream.
+    """
+    if wire == WIRE_BINARY and isinstance(msg, dict):
+        packed = (
+            _encode_binary_reply(msg) if "ok" in msg else _encode_binary_request(msg)
+        )
+        if packed is not None:
+            return packed
+    return encode_frame(msg)
+
+
+class _PayloadReader:
+    """Bounds-checked cursor over a binary payload ``memoryview``."""
+
+    __slots__ = ("_view", "_pos")
+
+    def __init__(self, view: memoryview) -> None:
+        self._view = view
+        self._pos = 0
+
+    def take(self, count: int) -> memoryview:
+        end = self._pos + count
+        if end > len(self._view):
+            raise ProtocolError(
+                f"truncated binary payload: wanted {count} bytes at {self._pos}, "
+                f"have {len(self._view)}"
+            )
+        chunk = self._view[self._pos:end]
+        self._pos = end
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return _U16.unpack(self.take(2))[0]
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def u64(self) -> int:
+        return _U64.unpack(self.take(8))[0]
+
+    def flag(self) -> bool:
+        value = self.u8()
+        if value > 1:
+            raise ProtocolError(f"bad boolean byte {value:#x} in binary payload")
+        return bool(value)
+
+    def string(self, length: int) -> str:
+        try:
+            return str(self.take(length), "utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"bad UTF-8 in binary payload: {exc}") from exc
+
+    def done(self) -> None:
+        if self._pos != len(self._view):
+            raise ProtocolError(
+                f"{len(self._view) - self._pos} trailing bytes after binary payload"
+            )
+
+
+def _decode_batch_ops(verb: str, payload: memoryview) -> List[Dict[str, Any]]:
+    """Decode a packed readv/writev ops payload.
+
+    This is the wire hot loop — a 1000-op batch runs it 1000 times — so
+    it works straight off the memoryview with ``unpack_from`` instead of
+    the bounds-checked :class:`_PayloadReader` cursor.  Every structural
+    violation still raises :class:`ProtocolError`; the one *semantic*
+    check the layout cannot express (a non-empty path) demotes the list
+    to untrusted so ``_validated_batch_ops`` rejects it with the same
+    per-request error a JSON frame would get.
+    """
+    size = len(payload)
+    if size < 4:
+        raise ProtocolError(f"truncated {verb} frame: no batch count")
+    (count,) = _U32.unpack_from(payload, 0)
+    if not 1 <= count <= MAX_BATCH_OPS:
+        raise ProtocolError(f"bad batch count {count} in {verb} frame")
+    with_whole = verb == "writev"
+    tail = 9 if with_whole else 8  # blockno u64 (+ whole byte)
+    ops: List[Dict[str, Any]] = []
+    append = ops.append
+    u16_at, u64_at = _U16.unpack_from, _U64.unpack_from
+    pos = 4
+    trusted = True
+    for _ in range(count):
+        if pos + 2 > size:
+            raise ProtocolError(f"truncated op record in {verb} frame")
+        (path_len,) = u16_at(payload, pos)
+        pos += 2
+        end = pos + path_len
+        if end + tail > size:
+            raise ProtocolError(f"truncated op record in {verb} frame")
+        if path_len == 0:
+            trusted = False  # empty path: a request error, not a frame error
+        try:
+            path = str(payload[pos:end], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"bad UTF-8 in binary payload: {exc}") from exc
+        (blockno,) = u64_at(payload, end)
+        pos = end + 8
+        if with_whole:
+            whole = payload[pos]
+            pos += 1
+            if whole > 1:
+                raise ProtocolError(
+                    f"bad boolean byte {whole:#x} in binary payload"
+                )
+            append({"path": path, "blockno": blockno, "whole": whole == 1})
+        else:
+            append({"path": path, "blockno": blockno})
+    if pos != size:
+        raise ProtocolError(
+            f"{size - pos} trailing bytes after binary payload"
+        )
+    return _TrustedOps(ops) if trusted else ops
+
+
+def _decode_binary_request(
+    flags: int, verb_id: int, req_id: Optional[int], payload: memoryview
+) -> Dict[str, Any]:
+    verb = _VERB_BY_ID.get(verb_id)
+    if verb is None:
+        raise ProtocolError(f"unknown binary verb id {verb_id}")
+    msg: Dict[str, Any] = {"id": req_id, "verb": verb}
+    if flags & FLAG_JSON:
+        params = decode_payload(bytes(payload))
+        for key, value in params.items():
+            if key not in ("id", "verb"):  # never let params forge the envelope
+                msg[key] = value
+        return msg
+    reader = _PayloadReader(payload)
+    if verb == "read":
+        msg["path"] = reader.string(reader.u16())
+        msg["blockno"] = reader.u64()
+    elif verb == "write":
+        msg["path"] = reader.string(reader.u16())
+        msg["blockno"] = reader.u64()
+        msg["whole"] = reader.flag()
+    elif verb in BATCH_VERBS:
+        msg["ops"] = _decode_batch_ops(verb, payload)
+        return msg
+    else:
+        raise ProtocolError(f"verb {verb!r} has no packed payload form")
+    reader.done()
+    return msg
+
+
+def _decode_binary_reply(
+    flags: int, kind: int, req_id: Optional[int], payload: memoryview
+) -> Dict[str, Any]:
+    if flags & FLAG_ERROR:
+        reader = _PayloadReader(payload)
+        code_index = reader.u8()
+        if code_index >= len(ERROR_CODES):
+            raise ProtocolError(f"unknown binary error code index {code_index}")
+        error = reader.string(reader.u32())
+        reader.done()
+        return error_response(req_id, ERROR_CODES[code_index], error)
+    if flags & FLAG_JSON:
+        obj = decode_payload(bytes(payload))
+        return ok_response(req_id, obj.get("value"))
+    if kind == _RT_HIT:
+        reader = _PayloadReader(payload)
+        hit = reader.flag()
+        reader.done()
+        return ok_response(req_id, {"hit": hit})
+    if kind == _RT_BATCH:
+        # Reply hot loop: cursor arithmetic straight off the memoryview,
+        # mirroring _decode_batch_ops on the request side.
+        size = len(payload)
+        if size < 4:
+            raise ProtocolError("truncated batch reply: no result count")
+        (count,) = _U32.unpack_from(payload, 0)
+        if not 1 <= count <= MAX_BATCH_OPS:
+            raise ProtocolError(f"bad batch count {count} in reply frame")
+        results: List[Dict[str, Any]] = []
+        append = results.append
+        pos = 4
+        for _ in range(count):
+            if pos >= size:
+                raise ProtocolError("truncated record in batch reply")
+            errflag = payload[pos]
+            pos += 1
+            if errflag == 0:
+                if pos >= size:
+                    raise ProtocolError("truncated record in batch reply")
+                hit = payload[pos]
+                pos += 1
+                if hit > 1:
+                    raise ProtocolError(
+                        f"bad boolean byte {hit:#x} in binary payload"
+                    )
+                append({"hit": hit == 1})
+            elif errflag == 1:
+                if pos + 5 > size:
+                    raise ProtocolError("truncated record in batch reply")
+                code_index = payload[pos]
+                if code_index >= len(ERROR_CODES):
+                    raise ProtocolError(
+                        f"unknown binary error code index {code_index}"
+                    )
+                (msg_len,) = _U32.unpack_from(payload, pos + 1)
+                pos += 5
+                end = pos + msg_len
+                if end > size:
+                    raise ProtocolError("truncated record in batch reply")
+                try:
+                    error = str(payload[pos:end], "utf-8")
+                except UnicodeDecodeError as exc:
+                    raise ProtocolError(
+                        f"bad UTF-8 in binary payload: {exc}"
+                    ) from exc
+                pos = end
+                append({"code": ERROR_CODES[code_index], "error": error})
+            else:
+                raise ProtocolError(
+                    f"bad boolean byte {errflag:#x} in binary payload"
+                )
+        if pos != size:
+            raise ProtocolError(
+                f"{size - pos} trailing bytes after binary payload"
+            )
+        return ok_response(req_id, {"results": results})
+    raise ProtocolError(f"unknown binary reply kind {kind}")
+
+
+def decode_binary_frame(
+    version: int, flags: int, kind: int, req_id: int, payload: memoryview
+) -> Dict[str, Any]:
+    """Decode a binary frame body given its already-unpacked header."""
+    if version != WIRE_VERSION:
+        raise ProtocolError(f"unsupported binary wire version {version}")
+    if flags & ~_KNOWN_FLAGS:
+        raise ProtocolError(f"unknown binary flags {flags:#04x}")
+    rid = None if flags & FLAG_NO_ID else req_id
+    if flags & FLAG_REPLY:
+        return _decode_binary_reply(flags, kind, rid, payload)
+    return _decode_binary_request(flags, kind, rid, payload)
+
+
 class FrameDecoder:
     """Incremental frame decoder (transport-agnostic, synchronous).
 
-    Feed it byte chunks as they arrive; it yields complete messages.  Used
-    directly by :class:`QueueTransport` and by protocol unit tests; the
-    stream transport reads exact lengths instead.
+    Feed it byte chunks as they arrive; it yields complete messages in
+    either framing — each frame declares itself through its first two
+    bytes.  Used directly by :class:`QueueTransport` and by protocol unit
+    tests; the stream transport reads exact lengths instead.
     """
 
     def __init__(self) -> None:
@@ -166,8 +756,28 @@ class FrameDecoder:
         self._buffer.extend(data)
         messages: List[Dict[str, Any]] = []
         while True:
-            if len(self._buffer) < _HEADER.size:
+            if len(self._buffer) < _BIN_PREFIX.size:
                 return messages
+            if self._buffer[:2] == MAGIC:
+                if len(self._buffer) < BIN_HEADER_BYTES:
+                    return messages
+                _, version, flags = _BIN_PREFIX.unpack_from(self._buffer)
+                kind, req_id, length = _BIN_REST.unpack_from(
+                    self._buffer, _BIN_PREFIX.size
+                )
+                if length > MAX_FRAME_BYTES:
+                    raise ProtocolError(
+                        f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}"
+                    )
+                end = BIN_HEADER_BYTES + length
+                if len(self._buffer) < end:
+                    return messages
+                payload = bytes(self._buffer[BIN_HEADER_BYTES:end])
+                del self._buffer[:end]
+                messages.append(
+                    decode_binary_frame(version, flags, kind, req_id, memoryview(payload))
+                )
+                continue
             (length,) = _HEADER.unpack_from(self._buffer)
             if length > MAX_FRAME_BYTES:
                 raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
@@ -215,7 +825,20 @@ def request_id_of(msg: Any) -> Optional[int]:
 
 
 class Transport:
-    """One bidirectional message channel (either end of a connection)."""
+    """One bidirectional message channel (either end of a connection).
+
+    ``wire`` governs only *outbound* framing; inbound frames are always
+    auto-detected, so the two directions may switch at different moments
+    during negotiation without losing a frame.
+    """
+
+    wire: str = WIRE_JSON
+
+    def set_wire(self, wire: str) -> None:
+        """Switch outbound framing (after a successful negotiation)."""
+        if wire != WIRE_JSON and wire not in SUPPORTED_WIRES:
+            raise ProtocolError(f"unknown wire framing {wire!r}")
+        self.wire = wire
 
     async def recv(self) -> Optional[Dict[str, Any]]:
         """The next message, or None once the peer is gone."""
@@ -244,8 +867,20 @@ class StreamTransport(Transport):
 
     async def recv(self) -> Optional[Dict[str, Any]]:
         try:
-            header = await self._reader.readexactly(_HEADER.size)
-            (length,) = _HEADER.unpack(header)
+            prefix = await self._reader.readexactly(_BIN_PREFIX.size)
+            if prefix[:2] == MAGIC:
+                rest = await self._reader.readexactly(_BIN_REST.size)
+                _, version, flags = _BIN_PREFIX.unpack(prefix)
+                kind, req_id, length = _BIN_REST.unpack(rest)
+                if length > MAX_FRAME_BYTES:
+                    raise ProtocolError(
+                        f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}"
+                    )
+                payload = await self._reader.readexactly(length)
+                return decode_binary_frame(
+                    version, flags, kind, req_id, memoryview(payload)
+                )
+            (length,) = _HEADER.unpack(prefix)
             if length > MAX_FRAME_BYTES:
                 raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
             payload = await self._reader.readexactly(length)
@@ -257,7 +892,7 @@ class StreamTransport(Transport):
         if self._closed:
             return
         try:
-            self._writer.write(encode_frame(msg))
+            self._writer.write(encode_message(msg, self.wire))
             await self._writer.drain()
         except (ConnectionError, OSError):
             self._closed = True
@@ -307,7 +942,7 @@ class QueueTransport(Transport):
     async def send(self, msg: Dict[str, Any]) -> None:
         if self._closed:
             return
-        await self._outbox.put(encode_frame(msg))
+        await self._outbox.put(encode_message(msg, self.wire))
 
     def close(self) -> None:
         if self._closed:

@@ -191,6 +191,31 @@ class CacheService:
             raise ServiceError("FS", f"write: {exc}") from exc
         return self._access(pid, path, f, blockno, lba, write=True, whole=bool(whole))
 
+    def read_batch(self, pid: int, ops: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Apply one ``readv`` batch op by op, same serial order a client
+        issuing singles would produce.  A failing op yields its per-op
+        ``{"code", "error"}`` record without aborting the batch — the
+        other ops are still applied."""
+        results: List[Dict[str, Any]] = []
+        for op in ops:
+            try:
+                results.append(self.read(pid, op["path"], op["blockno"]))
+            except ServiceError as exc:
+                results.append({"code": exc.code, "error": str(exc)})
+        return results
+
+    def write_batch(self, pid: int, ops: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        """Apply one ``writev`` batch; per-op errors, partial application."""
+        results: List[Dict[str, Any]] = []
+        for op in ops:
+            try:
+                results.append(
+                    self.write(pid, op["path"], op["blockno"], op.get("whole", True))
+                )
+            except ServiceError as exc:
+                results.append({"code": exc.code, "error": str(exc)})
+        return results
+
     def _resolve(self, path: str, blockno: Any):
         if not isinstance(path, str):
             raise ServiceError("BAD_REQUEST", f"bad path {path!r}")

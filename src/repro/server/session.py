@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import asyncio
 from collections import deque
-from typing import Any, Deque, Dict, Optional
+from typing import Any, Deque, Dict, Optional, Tuple
 
 from repro.server.protocol import Transport
 
@@ -36,7 +36,11 @@ class Session:
         self.name = f"client-{pid}"
         self.transport = transport
         self.window = window
-        self.queue: Deque[Dict[str, Any]] = deque()
+        self.queue: Deque[Tuple[Dict[str, Any], int]] = deque()
+        #: summed cost of queued requests — a readv/writev frame counts as
+        #: one op per batch entry so a batch can't sneak a window's worth
+        #: of kernel work through one queue slot
+        self.queued_cost = 0
         self.closed = False
         #: whether the daemon's round-robin ready list holds this session
         self.in_ready = False
@@ -49,20 +53,22 @@ class Session:
     def queue_depth(self) -> int:
         return len(self.queue)
 
-    def push(self, msg: Dict[str, Any]) -> None:
+    def push(self, msg: Dict[str, Any], cost: int = 1) -> None:
         """Queue one request for the kernel task; updates flow control."""
-        self.queue.append(msg)
-        if len(self.queue) >= self.window:
+        self.queue.append((msg, cost))
+        self.queued_cost += cost
+        if self.queued_cost >= self.window:
             self._slot_free.clear()
 
-    def pop(self) -> Optional[Dict[str, Any]]:
-        """Dequeue the oldest request (kernel task only)."""
+    def pop(self) -> Optional[Tuple[Dict[str, Any], int]]:
+        """Dequeue the oldest ``(request, cost)`` (kernel task only)."""
         if not self.queue:
             return None
-        msg = self.queue.popleft()
-        if len(self.queue) < self.window:
+        msg, cost = self.queue.popleft()
+        self.queued_cost -= cost
+        if self.queued_cost < self.window:
             self._slot_free.set()
-        return msg
+        return msg, cost
 
     async def wait_for_slot(self) -> None:
         """Block the connection reader while the window is full."""
@@ -79,6 +85,7 @@ class Session:
             "pid": self.pid,
             "name": self.name,
             "queue_depth": self.queue_depth,
+            "queued_ops": self.queued_cost,
             "window": self.window,
             "closed": self.closed,
         }

@@ -8,6 +8,7 @@ from repro.check.lint import (
     Finding,
     check_policy_registry,
     check_verb_declarations,
+    check_verb_wire,
     lint_source,
     lint_tree,
     main,
@@ -603,6 +604,130 @@ class TestR009VerbRegistry:
         (tmp_path / "repro" / "__init__.py").write_text("")
         (tmp_path / "repro" / "mod.py").write_text('VERBS = ["x"]\n')
         assert check_verb_declarations(tmp_path) == []
+
+
+class TestR012WireRegistry:
+    def _write_registry(self, tmp_path, registry):
+        server = tmp_path / "repro" / "server"
+        server.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (server / "__init__.py").write_text("")
+        (server / "protocol.py").write_text(textwrap.dedent(registry))
+        return tmp_path
+
+    def test_complete_registry_is_clean(self, tmp_path):
+        root = self._write_registry(
+            tmp_path,
+            """
+            KERNEL_VERBS = frozenset({"read", "write"})
+            PROTOCOL_VERBS = frozenset({"ping"})
+            VERB_WIRE = {
+                "read": (4, True),
+                "write": (5, True),
+                "ping": (2, False),
+            }
+            """,
+        )
+        assert check_verb_wire(root) == []
+
+    def test_annotated_assignment_form_is_recognised(self, tmp_path):
+        root = self._write_registry(
+            tmp_path,
+            """
+            from typing import Dict, Tuple
+            KERNEL_VERBS = frozenset({"read"})
+            PROTOCOL_VERBS = frozenset({"ping"})
+            VERB_WIRE: Dict[str, Tuple[int, bool]] = {
+                "read": (4, True),
+                "ping": (2, False),
+            }
+            """,
+        )
+        assert check_verb_wire(root) == []
+
+    def test_missing_dict_fires(self, tmp_path):
+        root = self._write_registry(
+            tmp_path,
+            """
+            KERNEL_VERBS = frozenset({"read"})
+            PROTOCOL_VERBS = frozenset({"ping"})
+            """,
+        )
+        findings = check_verb_wire(root)
+        assert rules(findings) == ["R012"]
+        assert "VERB_WIRE" in findings[0].message
+
+    def test_verb_without_entry_fires(self, tmp_path):
+        root = self._write_registry(
+            tmp_path,
+            """
+            KERNEL_VERBS = frozenset({"read", "write"})
+            PROTOCOL_VERBS = frozenset({"ping"})
+            VERB_WIRE = {
+                "read": (4, True),
+                "ping": (2, False),
+            }
+            """,
+        )
+        findings = check_verb_wire(root)
+        assert rules(findings) == ["R012"]
+        assert "'write'" in findings[0].message
+
+    def test_duplicate_id_fires(self, tmp_path):
+        root = self._write_registry(
+            tmp_path,
+            """
+            KERNEL_VERBS = frozenset({"read", "write"})
+            PROTOCOL_VERBS = frozenset()
+            VERB_WIRE = {
+                "read": (4, True),
+                "write": (4, True),
+            }
+            """,
+        )
+        findings = check_verb_wire(root)
+        assert rules(findings) == ["R012"]
+        assert "reuses binary verb id 4" in findings[0].message
+
+    def test_malformed_entry_fires(self, tmp_path):
+        root = self._write_registry(
+            tmp_path,
+            """
+            KERNEL_VERBS = frozenset({"read"})
+            PROTOCOL_VERBS = frozenset()
+            VERB_WIRE = {
+                "read": (4, 1),
+            }
+            """,
+        )
+        findings = check_verb_wire(root)
+        assert rules(findings) == ["R012"]
+        assert "(int verb id, bool batchable)" in findings[0].message
+
+    def test_undeclared_entry_fires(self, tmp_path):
+        root = self._write_registry(
+            tmp_path,
+            """
+            KERNEL_VERBS = frozenset({"read"})
+            PROTOCOL_VERBS = frozenset()
+            VERB_WIRE = {
+                "read": (4, True),
+                "bogus": (9, False),
+            }
+            """,
+        )
+        findings = check_verb_wire(root)
+        assert rules(findings) == ["R012"]
+        assert "'bogus'" in findings[0].message
+
+    def test_real_registry_is_complete(self):
+        from repro.server.protocol import ALL_VERBS, VERB_WIRE
+
+        assert set(VERB_WIRE) == set(ALL_VERBS)
+        ids = [wire_id for wire_id, _ in VERB_WIRE.values()]
+        assert len(ids) == len(set(ids))
+        # batch carriers wrap batchable ops
+        assert VERB_WIRE["read"][1] and VERB_WIRE["write"][1]
 
 
 class TestR011BenchmarkWrites:

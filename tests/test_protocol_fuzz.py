@@ -1,7 +1,8 @@
 """Protocol fuzz: hostile bytes and hostile messages against the daemon.
 
-Satellite of the fault-injection PR.  Two layers of attack, both seeded
-and deterministic:
+Satellite of the fault-injection PR, extended to the binary framing in
+the batched-wire PR.  Two layers of attack, both seeded and
+deterministic:
 
 * **byte-level** — truncated frames, oversized length prefixes, garbage
   payloads and plain random byte blobs written straight into a TCP
@@ -28,9 +29,23 @@ import struct
 import pytest
 
 from repro.server import CacheClient, CacheDaemon, build_config
-from repro.server.protocol import ERROR_CODES, MAX_FRAME_BYTES
+from repro.server.protocol import (
+    ERROR_CODES,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    VERB_WIRE,
+    WIRE_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    encode_message,
+)
 
 _HEADER = struct.Struct(">I")
+
+# Local copies of the binary header layout, so a test regression in the
+# real structs cannot silently fuzz the wrong shape.
+_BIN_PREFIX = struct.Struct(">2sBB")  # magic, version, flags
+_BIN_REST = struct.Struct(">BqI")  # kind/verb id, request id, payload length
 
 
 def run(coro):
@@ -201,11 +216,13 @@ def junk_value(rng, depth=0):
 PARAM_NAMES = (
     "path", "blockno", "size_blocks", "disk", "whole",
     "prio", "policy", "start", "end", "name", "resume", "token",
+    "ops", "wire",
 )
 
 #: every verb except ``close`` (which intentionally ends the session)
 FUZZ_VERBS = (
-    "open", "read", "write", "stats", "set_priority", "get_priority",
+    "open", "read", "write", "readv", "writev", "stats",
+    "set_priority", "get_priority",
     "set_policy", "get_policy", "set_temppri", "ping", "hello",
     "frobnicate", "", "OPEN", "read ", None, 7,
 )
@@ -285,6 +302,301 @@ class TestMessageLevelFuzz:
 
         run(go())
 
+# -- binary framing attacks ------------------------------------------------
+
+
+def bframe(payload=b"", *, version=WIRE_VERSION, flags=0, kind=None, req_id=1, length=None):
+    """A raw binary frame with every header field overridable."""
+    if kind is None:
+        kind = VERB_WIRE["read"][0]
+    if length is None:
+        length = len(payload)
+    return (
+        _BIN_PREFIX.pack(MAGIC, version, flags)
+        + _BIN_REST.pack(kind, req_id, length)
+        + payload
+    )
+
+
+def packed_read(path=b"f", blockno=0):
+    """The packed payload of a ``read`` request."""
+    return struct.pack(">H", len(path)) + path + struct.pack(">Q", blockno)
+
+
+async def read_frames_any(reader, n, timeout=5.0):
+    """Read ``n`` frames of either framing via the real decoder."""
+    decoder = FrameDecoder()
+    out = []
+    while len(out) < n:
+        chunk = await asyncio.wait_for(reader.read(4096), timeout)
+        if not chunk:
+            raise AssertionError(f"eof after {len(out)}/{n} frames")
+        out.extend(decoder.feed(chunk))
+    return out[:n]
+
+
+class TestBinaryByteLevelAttacks:
+    async def _expect_rejection(self, hostile: bytes, replies: int = 1):
+        """One hostile binary frame → typed error reply, clean disconnect,
+        healthy daemon afterwards."""
+        daemon, host, port = await start_daemon()
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(hostile)
+        await writer.drain()
+        got = await read_until_eof(reader)
+        assert len(got) == replies, got
+        for reply in got:
+            assert reply["ok"] is False
+            assert reply["code"] == "BAD_REQUEST"
+        if replies:
+            assert daemon.protocol_errors >= 1
+        writer.close()
+        await assert_daemon_healthy(daemon)
+        await daemon.aclose()
+
+    def test_unknown_version_rejected(self):
+        run(self._expect_rejection(bframe(packed_read(), version=9)))
+
+    def test_unknown_flag_bits_rejected(self):
+        run(self._expect_rejection(bframe(packed_read(), flags=0x80)))
+
+    def test_unknown_verb_id_rejected(self):
+        run(self._expect_rejection(bframe(packed_read(), kind=213)))
+
+    def test_oversized_binary_length_rejected(self):
+        run(self._expect_rejection(bframe(length=MAX_FRAME_BYTES + 1)))
+
+    def test_trailing_payload_bytes_rejected(self):
+        run(self._expect_rejection(bframe(packed_read() + b"stowaway")))
+
+    def test_truncated_binary_frame_is_a_clean_disconnect(self):
+        async def go():
+            daemon, host, port = await start_daemon()
+            reader, writer = await asyncio.open_connection(host, port)
+            # Claim 64 payload bytes, deliver 8, hang up mid-frame.
+            writer.write(bframe(b"not much", length=64))
+            await writer.drain()
+            writer.close()
+            assert await read_until_eof(reader) == []
+            await assert_daemon_healthy(daemon)
+            await daemon.aclose()
+
+        run(go())
+
+    def test_mid_batch_garbage_rejected(self):
+        # A readv frame whose op records dissolve into noise after op #1.
+        payload = (
+            struct.pack(">I", 3)  # three ops promised
+            + packed_read(b"f", 1)  # op 1 is fine
+            + b"\xde\xad\xbe\xef\xff"  # then the wheels come off
+        )
+        run(
+            self._expect_rejection(
+                bframe(payload, kind=VERB_WIRE["readv"][0])
+            )
+        )
+
+    def test_zero_and_oversized_batch_counts_rejected(self):
+        for count in (0, 2**31):
+            run(
+                self._expect_rejection(
+                    bframe(struct.pack(">I", count), kind=VERB_WIRE["readv"][0])
+                )
+            )
+
+    def test_binary_request_served_without_negotiation(self):
+        """Inbound framing is auto-detected per frame: a binary request on
+        a fresh connection is answered (on the still-JSON outbound)."""
+
+        async def go():
+            daemon, host, port = await start_daemon()
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_message({"id": 1, "verb": "ping"}, "binary"))
+            await writer.drain()
+            (reply,) = await read_replies(reader, 1)  # reply is JSON-framed
+            assert reply["ok"] is True and reply["value"]["pong"] is True
+            writer.close()
+            await assert_daemon_healthy(daemon)
+            await daemon.aclose()
+
+        run(go())
+
+    def test_magic_prefixed_blob_battery(self):
+        """Sixty connections opening with MAGIC then noise: every reply is
+        a typed error, never INTERNAL, and the daemon survives them all."""
+
+        async def go():
+            daemon, host, port = await start_daemon()
+            rng = random.Random(0xB14A)
+            for _ in range(60):
+                reader, writer = await asyncio.open_connection(host, port)
+                blob = MAGIC + bytes(
+                    rng.getrandbits(8) for _ in range(rng.randint(0, 200))
+                )
+                writer.write(blob)
+                await writer.drain()
+                writer.close()
+                for reply in await read_until_eof(reader):
+                    assert reply.get("ok") is False
+                    assert reply.get("code") in ERROR_CODES
+                    assert reply.get("code") != "INTERNAL"
+            assert not daemon._kernel_task.done()
+            await assert_daemon_healthy(daemon)
+            await daemon.aclose()
+
+        run(go())
+
+
+class TestBinaryDecoderFuzz:
+    """The codec in isolation: hostile frames raise ProtocolError, never
+    anything else, and never hang."""
+
+    HOSTILE = [
+        bframe(packed_read(), version=0),
+        bframe(packed_read(), flags=0x40),
+        bframe(packed_read(), kind=0),  # verb id 0 is unassigned
+        bframe(b"", kind=9, flags=0x01),  # reply kind 9 does not exist
+        bframe(b"\x07", kind=1, flags=0x01),  # hit byte must be 0 or 1
+        bframe(b"\xff" + struct.pack(">I", 1) + b"x", flags=0x01 | 0x02),  # error code index 255
+        bframe(packed_read()[:-3]),  # payload shorter than the packed form
+        bframe(struct.pack(">H", 500) + b"short", kind=VERB_WIRE["read"][0]),  # string overruns payload
+        bframe(b"{not json", flags=0x04),  # FLAG_JSON payload that isn't
+        bframe(b'"a list no"', flags=0x04),  # FLAG_JSON payload, wrong type
+    ]
+
+    def test_hostile_corpus_raises_protocol_error(self):
+        for hostile in self.HOSTILE:
+            with pytest.raises(ProtocolError):
+                FrameDecoder().feed(hostile)
+
+    def test_seeded_random_payload_battery_is_bounded(self):
+        """Random payloads under a valid header: decode, reject or wait
+        for more bytes — but always return, and never raise anything but
+        ProtocolError."""
+        rng = random.Random(0xFACE)
+        outcomes = {"decoded": 0, "rejected": 0, "partial": 0}
+        for case in range(400):
+            if case % 40 == 0:  # salt the noise with well-formed frames
+                hostile = encode_message(
+                    {"id": case, "verb": "read", "path": "f", "blockno": case},
+                    "binary",
+                )
+            else:
+                payload = bytes(
+                    rng.getrandbits(8) for _ in range(rng.randint(0, 60))
+                )
+                hostile = bframe(
+                    payload,
+                    flags=rng.choice([0, 0x01, 0x02, 0x03, 0x04, 0x05, 0x08]),
+                    kind=rng.randint(0, 20),
+                    req_id=rng.randint(0, 2**40),
+                    length=rng.randint(0, 80),
+                )
+            decoder = FrameDecoder()
+            try:
+                frames = decoder.feed(hostile)
+            except ProtocolError:
+                outcomes["rejected"] += 1
+                continue
+            if frames:
+                outcomes["decoded"] += 1
+            else:
+                outcomes["partial"] += 1
+                assert decoder.pending_bytes > 0
+        # The battery genuinely exercised all three outcomes.
+        assert all(outcomes.values()), outcomes
+
+
+class TestNegotiationFuzz:
+    JUNK_OFFERS = [
+        0,
+        1.5,
+        True,
+        "binary",  # a bare string is not an offer list
+        {"wire": "binary"},
+        ["BINARY"],
+        ["json"],  # json is the floor, not an upgrade
+        [None, 42, [], {}],
+        [["binary"]],
+        "x" * 10_000,
+    ]
+
+    def test_junk_wire_offers_never_negotiate_or_kill_the_session(self):
+        async def go():
+            daemon, host, port = await start_daemon()
+            reader, writer = await asyncio.open_connection(host, port)
+            for req_id, junk in enumerate(self.JUNK_OFFERS, start=1):
+                writer.write(jframe({"id": req_id, "verb": "hello", "wire": junk}))
+            await writer.drain()
+            replies = await read_replies(reader, len(self.JUNK_OFFERS))
+            for reply in replies:
+                assert reply["ok"] is True
+                assert reply["value"]["wire"] == "json"  # never upgraded
+            # The session is intact and still on the JSON framing.
+            writer.write(jframe({"id": 99, "verb": "ping"}))
+            await writer.drain()
+            (pong,) = await read_replies(reader, 1)
+            assert pong["value"]["pong"] is True
+            writer.close()
+            await assert_daemon_healthy(daemon)
+            await daemon.aclose()
+
+        run(go())
+
+    def test_offer_with_junk_alongside_binary_still_negotiates(self):
+        async def go():
+            daemon, host, port = await start_daemon()
+            reader, writer = await asyncio.open_connection(host, port)
+            offer = [42, "BINARY", None, "binary", "json"]
+            writer.write(jframe({"id": 1, "verb": "hello", "wire": offer}))
+            await writer.drain()
+            (hello,) = await read_frames_any(reader, 1)
+            assert hello["value"]["wire"] == "binary"
+            # Replies now arrive binary-framed; requests of either framing
+            # are still accepted (inbound always auto-detects).
+            writer.write(jframe({"id": 2, "verb": "ping"}))
+            writer.write(encode_message({"id": 3, "verb": "ping"}, "binary"))
+            await writer.drain()
+            pongs = await read_frames_any(reader, 2)
+            assert [p["value"]["pong"] for p in pongs] == [True, True]
+            writer.close()
+            await assert_daemon_healthy(daemon)
+            await daemon.aclose()
+
+        run(go())
+
+    def test_handshake_fuzz_battery(self):
+        """Seeded random hellos — junk names, junk offers, junk resumes —
+        answered one for one, never INTERNAL, kernel always survives."""
+
+        async def go():
+            daemon, host, port = await start_daemon()
+            rng = random.Random(0x4E60)
+            for _ in range(25):
+                reader, writer = await asyncio.open_connection(host, port)
+                nreq = rng.randint(2, 8)
+                for req_id in range(1, nreq + 1):
+                    msg = {"id": req_id, "verb": "hello"}
+                    for field in ("name", "wire", "resume", "token"):
+                        if rng.random() < 0.6:
+                            msg[field] = junk_value(rng)
+                    writer.write(jframe(msg))
+                await writer.drain()
+                replies = await read_frames_any(reader, nreq)
+                assert sorted(r["id"] for r in replies) == list(range(1, nreq + 1))
+                for reply in replies:
+                    if not reply["ok"]:
+                        assert reply["code"] in ERROR_CODES
+                        assert reply["code"] != "INTERNAL", reply
+                writer.close()
+            assert daemon.errors == []
+            await assert_daemon_healthy(daemon)
+            await daemon.aclose()
+
+        run(go())
+
+
+class TestMixedHostility:
     @pytest.mark.slow
     def test_long_mixed_hostility_battery(self):
         """Interleave byte noise, junk messages and honest traffic at scale."""
