@@ -1,0 +1,148 @@
+"""Replication: write fan-out overhead and post-failover warm serving.
+
+Performance benchmark (not reproduction).  Two promises of
+``repro.replication`` are quantifiable and cheap to regress silently:
+
+* **Replicated-write overhead** — the write-through fan-out issues every
+  replica's write *concurrently*, so R=2 should cost about one RPC of
+  latency, not two.  As in ``test_cluster_scaling``, the workload is made
+  latency-bound (each shard slow-lorises inbound frames by a fixed
+  delay) so the single-CPU container measures protocol shape rather than
+  interpreter contention.  The write phase runs a single serial writer:
+  per-connection frame delays overlap *across* the replica connections,
+  so sequential fan-out would show ~2.0x and the concurrent one ~1.0x.
+* **Post-failover warm throughput** — after a shard is crash-stopped,
+  reads of its span must keep flowing from the surviving replica at
+  roughly healthy-cluster speed (warm failover, no miss storm).  The
+  benchmark kills one shard and measures read ops/sec plus the hit
+  ratio over the dead shard's whole working set.
+
+Both metrics land in the gated ``replication`` perf family (baseline
+under ``.perf/baseline/replication.json``; see ``repro.perf.families``),
+raw results in ``benchmarks/results/replication.json``.
+"""
+
+import asyncio
+import time
+
+from conftest import PERF_SMOKE, run_once
+
+from repro.cluster import ClusterClient, ClusterSupervisor
+from repro.faults.plan import FaultPlan
+from repro.perf.profile import LOWER
+from repro.server.client import RetryPolicy
+
+PATHS = 12
+BLOCKS_PER_FILE = 4
+WORKERS = 8
+WRITE_OPS = 128 if PERF_SMOKE else 256
+READ_OPS = 128 if PERF_SMOKE else 256
+DELAY_S = 0.002
+
+RETRY = RetryPolicy(timeout_s=0.5, max_retries=10, backoff_base_s=0.005, backoff_max_s=0.05)
+
+
+async def _write_elapsed(replicas):
+    """Wall time of WRITE_OPS serial replicated writes, latency-bound.
+
+    One writer on purpose: each write's replica frames travel different
+    connections, whose injected delays overlap — so serial write latency
+    isolates the fan-out's concurrency (the thing under test) from
+    per-connection queueing.
+    """
+    plan = FaultPlan(seed=1, slow_loris_rate=1.0, slow_loris_s=DELAY_S)
+    sup = ClusterSupervisor(shards=3, cache_mb=4, faults=plan, replicas=replicas)
+    await sup.start()
+    cc = await ClusterClient.connect(sup, name=f"repl-w{replicas}")
+    paths = [f"/repl-bench/{i}.dat" for i in range(PATHS)]
+    for path in paths:
+        await cc.open(path, size_blocks=BLOCKS_PER_FILE)
+        for blockno in range(BLOCKS_PER_FILE):
+            await cc.write(path, blockno)  # pre-create so timing is steady
+
+    start = time.perf_counter()
+    for op in range(WRITE_OPS):
+        path = paths[op % len(paths)]
+        await cc.write(path, op % BLOCKS_PER_FILE)
+    elapsed = time.perf_counter() - start
+    await cc.aclose()
+    await sup.aclose()
+    return elapsed
+
+
+async def _failover_reads():
+    """(elapsed_s, hits, ops) for READ_OPS reads with one shard dark."""
+    plan = FaultPlan(seed=1, slow_loris_rate=1.0, slow_loris_s=DELAY_S)
+    sup = ClusterSupervisor(shards=3, cache_mb=4, faults=plan, replicas=2)
+    await sup.start()
+    cc = await ClusterClient.connect(sup, name="repl-fo", retry=RETRY)
+    paths = [f"/repl-fo/{i}.dat" for i in range(PATHS)]
+    for path in paths:
+        await cc.open(path, size_blocks=BLOCKS_PER_FILE)
+        for blockno in range(BLOCKS_PER_FILE):
+            await cc.write(path, blockno)
+
+    await sup.kill(cc.shard_of(paths[0]))
+
+    ops_per_worker = READ_OPS // WORKERS
+    hits = [0] * WORKERS
+
+    async def reader(worker):
+        for op in range(ops_per_worker):
+            path = paths[(worker + op) % len(paths)]
+            hits[worker] += bool(await cc.read(path, op % BLOCKS_PER_FILE))
+
+    start = time.perf_counter()
+    await asyncio.gather(*(reader(w) for w in range(WORKERS)))
+    elapsed = time.perf_counter() - start
+    await cc.aclose()
+    await sup.aclose()
+    return elapsed, sum(hits), ops_per_worker * WORKERS
+
+
+def _experiment():
+    single = asyncio.run(_write_elapsed(1))
+    double = asyncio.run(_write_elapsed(2))
+    fo_elapsed, fo_hits, fo_ops = asyncio.run(_failover_reads())
+    return {
+        "write_elapsed_r1_s": round(single, 4),
+        "write_elapsed_r2_s": round(double, 4),
+        "write_overhead_x": round(double / single, 4),
+        "failover_elapsed_s": round(fo_elapsed, 4),
+        "failover_ops": fo_ops,
+        "failover_hits": fo_hits,
+        "failover_ops_per_sec": round(fo_ops / fo_elapsed, 1),
+    }
+
+
+def test_replication_perf(benchmark, perf_profile, save_json):
+    results = run_once(benchmark, _experiment)
+
+    # concurrent fan-out: R=2 costs far less than 2x one-copy latency
+    assert results["write_overhead_x"] < 1.8, results
+    # warm failover: the dead shard's whole working set served warm
+    assert results["failover_hits"] == results["failover_ops"], results
+
+    params = {
+        "paths": PATHS,
+        "blocks_per_file": BLOCKS_PER_FILE,
+        "workers": WORKERS,
+        "write_ops": WRITE_OPS,
+        "read_ops": READ_OPS,
+        "slow_loris_s": DELAY_S,
+    }
+    perf_profile.metric(
+        "replicated_write_overhead", results["write_overhead_x"], "x", LOWER,
+        params=params,
+    )
+    perf_profile.metric(
+        "post_failover_warm_ops_per_sec", results["failover_ops_per_sec"], "ops/s",
+        params=params,
+    )
+
+    save_json("replication", results)
+    print(
+        f"\nreplication: write overhead {results['write_overhead_x']:.2f}x, "
+        f"post-failover {results['failover_ops_per_sec']:,.0f} ops/s "
+        f"({results['failover_hits']}/{results['failover_ops']} warm)"
+    )

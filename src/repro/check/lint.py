@@ -61,6 +61,13 @@ R012  Every wire verb declared in the protocol registry must carry a
       ``(binary verb id, batchable)`` tuple — ids unique, entries only
       for declared verbs — so a verb added to one framing can never be
       silently unreachable (or ambiguous) on the other.
+R013  Replica fan-out happens only in the replication module: within
+      ``repro/cluster``, ``.replicas(...)`` may be called only by
+      ``replication.py`` (and defined by ``ring.py``), and the
+      replication verbs (``invalidate``, ``declare_bundle``,
+      ``migrate_begin``/``migrate_chunk``/``migrate_end``) may be sent
+      or dispatched on only there — so the cluster cannot quietly grow
+      a second, divergent replication path with its own fencing rules.
 
 The flow-sensitive passes F001–F005 (await-atomicity, blocking calls in
 ``async def``, task leaks, wire-param taint, lock discipline) live in
@@ -181,6 +188,17 @@ VERB_WIRE_NAME = "VERB_WIRE"
 #: ...and the cluster's single daemon factory.
 CLUSTER_DIR = "repro/cluster/"
 CLUSTER_DAEMON_FACTORY = "repro/cluster/supervisor.py"
+
+#: R013: replica fan-out is confined to the replication module.  Within
+#: repro/cluster, only these files may call ``.replicas(...)`` (the ring
+#: defines it, the replication module consumes it), and only the
+#: replication module may initiate the replication verbs on the wire —
+#: any other caller would be a second, divergent replication path.
+REPLICATION_MODULE = "repro/cluster/replication.py"
+REPLICA_LOOKUP_FILES = frozenset({REPLICATION_MODULE, "repro/cluster/ring.py"})
+REPLICATION_VERBS = frozenset(
+    {"invalidate", "declare_bundle", "migrate_begin", "migrate_chunk", "migrate_end"}
+)
 
 #: R011: benchmark emitters persist results only through the shared
 #: conftest fixtures (save_table/save_json) and the repro.perf profile
@@ -319,6 +337,34 @@ class _FileLinter(ast.NodeVisitor):
                     "the ring, the health loop and the cluster telemetry always "
                     "know the shard exists",
                 )
+        if self.relpath.startswith(CLUSTER_DIR):
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "replicas"
+                and self.relpath not in REPLICA_LOOKUP_FILES
+            ):
+                self._add(
+                    "R013",
+                    node,
+                    "replica-set lookup outside the replication module — within "
+                    "repro/cluster only replication.py may call .replicas(...), "
+                    "so every fan-out shares one fencing and quorum policy",
+                )
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "call"
+                and self.relpath != REPLICATION_MODULE
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value in REPLICATION_VERBS
+            ):
+                self._add(
+                    "R013",
+                    node,
+                    f"replication verb '{node.args[0].value}' sent outside the "
+                    "replication module — within repro/cluster only "
+                    "replication.py speaks the replication wire protocol",
+                )
         if self._bench_file:
             self._check_benchmark_write(node, func)
         if (
@@ -338,6 +384,27 @@ class _FileLinter(ast.NodeVisitor):
                         f"isinstance dispatch on sim op '{name}' outside the kernel — "
                         "ops are consumed via the engine (repro/kernel/system.py)",
                     )
+        self.generic_visit(node)
+
+    # R013: no second replication dispatch inside repro/cluster ----------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if (
+            self.relpath.startswith(CLUSTER_DIR)
+            and self.relpath != REPLICATION_MODULE
+            and any(_is_verb_expr(side) for side in [node.left, *node.comparators])
+        ):
+            for side in [node.left, *node.comparators]:
+                elts = side.elts if isinstance(side, (ast.Tuple, ast.List, ast.Set)) else [side]
+                for elt in elts:
+                    if isinstance(elt, ast.Constant) and elt.value in REPLICATION_VERBS:
+                        self._add(
+                            "R013",
+                            node,
+                            f"replication verb '{elt.value}' dispatched on outside "
+                            "the replication module — within repro/cluster only "
+                            "replication.py interprets the replication protocol",
+                        )
         self.generic_visit(node)
 
     # R011: benchmark files must emit through the perf store -------------

@@ -10,14 +10,28 @@ fans out the service verbs; a :class:`~repro.cluster.health.HealthMonitor`
 pings shards and restarts dead ones, resuming the sessions that were
 bound to them via the hello-token mechanism.
 
-Nothing is replicated: each shard owns its ring span exclusively, so the
-cluster is a partitioned cache, not a replicated store (see
-``docs/cluster.md`` for what that does and does not promise).
+With :mod:`repro.cluster.replication` the cluster is R-way replicated:
+the ring hands each path ``r`` distinct owner shards
+(:meth:`HashRing.replicas`), a :class:`ReplicationManager` inside every
+cluster client fans writes out to all of them (quorum-acked, stale
+copies fenced under a lease and repaired by explicit invalidation) and
+falls reads over to a surviving replica when the primary is DOWN — warm
+failover instead of a cold refetch.  The supervisor's
+``add_shard``/``remove_shard`` rebalance online: the migration handshake
+moves each affected path's blocks before the ring flips, so routing
+never points at a cold shard.  With ``replicas=1`` (the default) each
+shard still owns its span exclusively and the cluster remains a purely
+partitioned cache (see ``docs/cluster.md`` for the exact promises).
 """
 
 from repro.cluster.aggregate import merge_prometheus, merge_snapshots, merge_stats
 from repro.cluster.client import PATH_VERBS, ClusterClient
 from repro.cluster.health import HealthMonitor
+from repro.cluster.replication import (
+    ReplicationError,
+    ReplicationManager,
+    default_replicas,
+)
 from repro.cluster.ring import HashRing, stable_hash
 from repro.cluster.supervisor import ClusterSupervisor, ShardHandle
 
@@ -27,7 +41,10 @@ __all__ = [
     "HashRing",
     "HealthMonitor",
     "PATH_VERBS",
+    "ReplicationError",
+    "ReplicationManager",
     "ShardHandle",
+    "default_replicas",
     "merge_prometheus",
     "merge_snapshots",
     "merge_stats",

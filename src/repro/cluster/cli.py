@@ -1,10 +1,21 @@
-"""``repro-accfc cluster``: run a sharded cache cluster from the shell.
+"""``repro-accfc cluster``: run and operate a sharded cache cluster.
 
-Starts N shards under a :class:`~repro.cluster.supervisor.ClusterSupervisor`
-(each listening on TCP so external clients can reach them), prints the
-per-shard addresses and ring spans, and runs the
+The bare command starts N shards under a
+:class:`~repro.cluster.supervisor.ClusterSupervisor` (each listening on
+TCP so external clients can reach them), prints the per-shard addresses
+and ring spans, and runs the
 :class:`~repro.cluster.health.HealthMonitor` until SIGINT/SIGTERM, then
 shuts every shard down gracefully.
+
+Three operator subcommands ride along:
+
+* ``cluster replicas`` — offline ring math: the replica set of each
+  given path under a shard count / vnode count / replication degree.
+* ``cluster add-shard`` — online rebalance a *running* TCP cluster onto
+  one more shard (started separately with ``repro-accfc serve``): the
+  new shard receives its span's blocks before any client routes to it.
+* ``cluster remove-shard`` — the inverse: drain the leaving shard's
+  span to the surviving shards, after which it can be stopped.
 
 Clients connect with :meth:`ClusterClient.connect_tcp` using the printed
 address list, or scrape any shard (or all of them) with
@@ -15,22 +26,36 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import signal
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.cluster import replication
 from repro.cluster.health import (
     DEFAULT_FAILURES,
     DEFAULT_INTERVAL_S,
     DEFAULT_TIMEOUT_S,
     HealthMonitor,
 )
+from repro.cluster.ring import HashRing
 from repro.cluster.supervisor import ClusterSupervisor
 from repro.faults.plan import FaultPlan
+from repro.server.client import CacheClient
 from repro.server.session import DEFAULT_GLOBAL_LIMIT, DEFAULT_WINDOW
+
+#: subcommands handled by their own parser (anything else = serve loop)
+_SUBCOMMANDS = ("replicas", "add-shard", "remove-shard")
 
 
 def cluster_main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of ``repro-accfc cluster``."""
+    """Entry point of ``repro-accfc cluster`` (serve loop or subcommand)."""
+    if argv and argv[0] in _SUBCOMMANDS:
+        command, rest = argv[0], argv[1:]
+        if command == "replicas":
+            return _replicas_main(rest)
+        if command == "add-shard":
+            return _rebalance_main(rest, add=True)
+        return _rebalance_main(rest, add=False)
     parser = argparse.ArgumentParser(
         prog="repro-accfc cluster",
         description="Run a sharded multi-daemon cache cluster with "
@@ -151,4 +176,150 @@ async def _cluster(args: argparse.Namespace, faults: Optional[FaultPlan]) -> int
         f"{monitor.failovers} failovers, {served} requests served",
         quiet=args.quiet,
     )
+    return 0
+
+
+# -- subcommands -----------------------------------------------------------
+
+
+def _parse_address(spec: str) -> Tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"bad address {spec!r} (expected host:port)")
+    return host, int(port)
+
+
+def _replicas_main(argv: List[str]) -> int:
+    """``repro-accfc cluster replicas``: print paths' replica sets."""
+    parser = argparse.ArgumentParser(
+        prog="repro-accfc cluster replicas",
+        description="Print the replica set (primary first) of each path "
+        "under the cluster's consistent-hash ring. Pure ring math: no "
+        "cluster needs to be running.",
+    )
+    parser.add_argument("paths", nargs="+", help="file paths to look up")
+    parser.add_argument("--shards", type=int, default=3, help="number of shards")
+    parser.add_argument("--vnodes", type=int, default=64, help="virtual nodes per shard")
+    parser.add_argument(
+        "--replicas", type=int, default=None,
+        help="replication degree (default: REPRO_REPLICAS or 1)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="payload only, no status line")
+    args = parser.parse_args(argv)
+    from repro.harness.cli import emit_payload, status_line
+
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    r = args.replicas if args.replicas is not None else replication.default_replicas()
+    ring = HashRing([f"shard-{i}" for i in range(args.shards)], vnodes=args.vnodes)
+    sets = replication.replica_sets(ring, args.paths, r)
+    status_line(
+        f"repro-accfc cluster replicas: {len(sets)} paths on {args.shards} shards, r={r}",
+        quiet=args.quiet,
+    )
+    emit_payload(json.dumps({"replicas": r, "shards": args.shards, "sets": sets}, indent=2))
+    return 0
+
+
+class _CliMigrationLog:
+    """The ``record_migration`` sink :func:`plan_and_migrate` expects,
+    accumulating per-transfer counts for the summary payload."""
+
+    def __init__(self) -> None:
+        self.transfers: List[Dict[str, Any]] = []
+
+    def record_migration(self, source: str, target: str, blocks: int) -> None:
+        if blocks:
+            self.transfers.append({"source": source, "target": target, "blocks": blocks})
+
+
+def _rebalance_main(argv: List[str], add: bool) -> int:
+    """``cluster add-shard`` / ``cluster remove-shard`` against TCP shards."""
+    kind = "add-shard" if add else "remove-shard"
+    parser = argparse.ArgumentParser(
+        prog=f"repro-accfc cluster {kind}",
+        description=(
+            "Online-rebalance a running TCP cluster onto one more shard: the new "
+            "shard (already started with 'repro-accfc serve') receives every block "
+            "of its ring span before any client routes to it."
+            if add
+            else "Online-rebalance a running TCP cluster off one shard: the leaving "
+            "shard's span drains to the survivors; stop its process afterwards."
+        ),
+    )
+    parser.add_argument(
+        "--connect",
+        action="append",
+        required=True,
+        metavar="HOST:PORT",
+        help="existing shard address, repeated in shard order (shard-i = i-th)",
+    )
+    if add:
+        parser.add_argument(
+            "--new", required=True, metavar="HOST:PORT",
+            help="address of the joining shard",
+        )
+    else:
+        parser.add_argument(
+            "--victim", required=True, type=int, metavar="INDEX",
+            help="index (into --connect order) of the leaving shard",
+        )
+    parser.add_argument("--vnodes", type=int, default=64, help="virtual nodes per shard")
+    parser.add_argument(
+        "--replicas", type=int, default=None,
+        help="replication degree (default: REPRO_REPLICAS or 1)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="payload only, no status line")
+    args = parser.parse_args(argv)
+    try:
+        addresses = [_parse_address(spec) for spec in args.connect]
+        new_address = _parse_address(args.new) if add else None
+    except ValueError as exc:
+        parser.error(str(exc))
+    if not add and not 0 <= args.victim < len(addresses):
+        parser.error(f"--victim must index --connect (0..{len(addresses) - 1})")
+    if not add and len(addresses) < 2:
+        parser.error("cannot remove the last shard")
+    r = args.replicas if args.replicas is not None else replication.default_replicas()
+    return asyncio.run(_rebalance(args, addresses, new_address, r, add))
+
+
+async def _rebalance(
+    args: argparse.Namespace,
+    addresses: List[Tuple[str, int]],
+    new_address: Optional[Tuple[str, int]],
+    replicas: int,
+    add: bool,
+) -> int:
+    from repro.harness.cli import emit_payload, status_line
+
+    sids = [f"shard-{i}" for i in range(len(addresses))]
+    by_sid = dict(zip(sids, addresses))
+    old_ring = HashRing(sids, vnodes=args.vnodes)
+    if add:
+        new_sid = f"shard-{len(addresses)}"
+        by_sid[new_sid] = new_address  # type: ignore[assignment]
+        new_ring = HashRing(sids + [new_sid], vnodes=args.vnodes)
+        moved_sid = new_sid
+    else:
+        moved_sid = sids[args.victim]
+        new_ring = HashRing([s for s in sids if s != moved_sid], vnodes=args.vnodes)
+
+    async def dial(sid: str) -> CacheClient:
+        host, port = by_sid[sid]
+        return await CacheClient.connect([("tcp", host, port)])
+
+    log = _CliMigrationLog()
+    summary = await replication.plan_and_migrate(log, old_ring, new_ring, replicas, dial)
+    summary["sid"] = moved_sid
+    summary["transfers"] = log.transfers
+    verb = "joined" if add else "left"
+    status_line(
+        f"repro-accfc cluster {'add-shard' if add else 'remove-shard'}: {moved_sid} "
+        f"{verb} the ring; {summary['moved_files']} files / "
+        f"{summary['moved_blocks']} blocks moved, "
+        f"{summary['dropped_blocks']} blocks dropped (r={replicas})",
+        quiet=args.quiet,
+    )
+    emit_payload(json.dumps(summary, indent=2))
     return 0

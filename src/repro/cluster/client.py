@@ -31,6 +31,7 @@ import asyncio
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.aggregate import merge_prometheus, merge_snapshots, merge_stats, merge_traces
+from repro.cluster.replication import ReplicationManager
 from repro.cluster.ring import HashRing
 from repro.server.client import DEFAULT_CLIENT_WINDOW, CacheClient, RetryPolicy
 from repro.telemetry import Telemetry
@@ -52,6 +53,8 @@ class ClusterClient:
         ring: HashRing,
         clients: Dict[str, CacheClient],
         telemetry: Optional[Telemetry] = None,
+        replicas: Optional[int] = None,
+        supervisor: Any = None,
     ) -> None:
         if set(ring.shards) != set(clients):
             raise ValueError("ring shards and client map disagree")
@@ -69,6 +72,15 @@ class ClusterClient:
             "Fan-out operations (all-shard verbs) by verb.",
             labels=("verb",),
         )
+        #: the supervisor this client was connected through (None for
+        #: address-list clients) — used to dial shards the ring gains
+        #: after an online rebalance and to skip known-DOWN shards.
+        self._supervisor = supervisor
+        self._dial_args: Tuple[Any, ...] = (None, DEFAULT_CLIENT_WINDOW, None, None)
+        self._dial_lock = asyncio.Lock()
+        #: replica fan-out and fallback routing (R013: the replication
+        #: module is the only place replica sets are computed/used)
+        self.replication = ReplicationManager(self, replicas=replicas)
 
     # -- constructors ------------------------------------------------------
 
@@ -80,12 +92,18 @@ class ClusterClient:
         window: int = DEFAULT_CLIENT_WINDOW,
         retry: Optional[RetryPolicy] = None,
         wire: Optional[str] = None,
+        replicas: Optional[int] = None,
     ) -> "ClusterClient":
         """Dial every shard of a :class:`ClusterSupervisor`.
 
         Shares the supervisor's cluster telemetry, so routing counters
-        and failover counters land in one registry.
+        and failover counters land in one registry.  ``replicas`` sets
+        the R-way replication degree; by default the client inherits the
+        supervisor's degree, so routing and rebalancing agree on every
+        path's replica set.
         """
+        if replicas is None:
+            replicas = getattr(supervisor, "replicas", None)
         clients: Dict[str, CacheClient] = {}
         try:
             for sid in supervisor.ring.shards:
@@ -98,7 +116,15 @@ class ClusterClient:
                 *(c.aclose() for c in clients.values()), return_exceptions=True
             )
             raise
-        return cls(supervisor.ring, clients, telemetry=supervisor.telemetry)
+        self = cls(
+            supervisor.ring,
+            clients,
+            telemetry=supervisor.telemetry,
+            replicas=replicas,
+            supervisor=supervisor,
+        )
+        self._dial_args = (name, window, retry, wire)
+        return self
 
     @classmethod
     async def connect_tcp(
@@ -110,6 +136,7 @@ class ClusterClient:
         retry: Optional[RetryPolicy] = None,
         telemetry: Optional[Telemetry] = None,
         wire: Optional[str] = None,
+        replicas: Optional[int] = None,
     ) -> "ClusterClient":
         """Dial a cluster by address list (shard i = ``addresses[i]``)."""
         ring = HashRing([f"shard-{i}" for i in range(len(addresses))], vnodes=vnodes)
@@ -125,7 +152,7 @@ class ClusterClient:
                 *(c.aclose() for c in clients.values()), return_exceptions=True
             )
             raise
-        return cls(ring, clients, telemetry=telemetry)
+        return cls(ring, clients, telemetry=telemetry, replicas=replicas)
 
     # -- routing -----------------------------------------------------------
 
@@ -135,6 +162,54 @@ class ClusterClient:
 
     def client_of(self, path: str) -> CacheClient:
         return self.clients[self.shard_of(path)]
+
+    def shard_up(self, sid: str) -> bool:
+        """Whether the supervisor reports ``sid`` serving (True if unknown)."""
+        if self._supervisor is None:
+            return True
+        handle = self._supervisor.shards.get(sid)
+        return handle is None or handle.up
+
+    def count_request(self, sid: str) -> None:
+        """Bump the per-shard routing counter (replication layer hook)."""
+        self._requests.labels(shard=sid).inc()
+
+    async def client_for(self, sid: str) -> CacheClient:
+        """The per-shard client, dialing lazily after an online rebalance.
+
+        A shard the ring gained (``add_shard``) has no client yet; when
+        this cluster client was connected through a supervisor, one is
+        dialed on first use with the same name/window/retry/wire the
+        original shards got.
+        """
+        client = self.clients.get(sid)
+        if client is not None:
+            return client
+        if self._supervisor is None or sid not in self.ring.shards:
+            raise LookupError(f"no client for shard {sid}")
+        async with self._dial_lock:
+            client = self.clients.get(sid)
+            if client is None:
+                name, window, retry, wire = self._dial_args
+                shard_name = f"{name}@{sid}" if name else None
+                client = await CacheClient.connect(
+                    self._supervisor.endpoints(sid), shard_name, window, retry, wire
+                )
+                self.clients[sid] = client
+        return client
+
+    async def sync(self) -> None:
+        """Reconcile the per-shard clients with the (possibly rebalanced)
+        ring: dial shards it gained, close and drop clients for shards it
+        lost.  A no-op when nothing changed."""
+        ring_sids = set(self.ring.shards)
+        if ring_sids == set(self.clients):
+            return
+        for sid in ring_sids - set(self.clients):
+            await self.client_for(sid)
+        for sid in set(self.clients) - ring_sids:
+            stale = self.clients.pop(sid)
+            await stale.aclose()
 
     async def _routed(self, verb: str, path: str, call: Callable[[CacheClient], Awaitable[Any]]) -> Any:
         sid = self.shard_of(path)
@@ -146,7 +221,7 @@ class ClusterClient:
                 "cluster.route", layer="cluster", verb=verb, path=path, shard=sid
             )
         try:
-            return await call(self.clients[sid])
+            return await call(await self.client_for(sid))
         finally:
             if span is not None:
                 span.end()
@@ -172,6 +247,8 @@ class ClusterClient:
     async def _fanout(
         self, verb: str, call: Callable[[CacheClient], Awaitable[Any]]
     ) -> Dict[str, Any]:
+        if self._supervisor is not None:
+            await self.sync()  # pick up ring changes before an all-shard verb
         self._fanouts.labels(verb=verb).inc()
         tracer = self.telemetry.tracer
         span = None
@@ -192,14 +269,20 @@ class ClusterClient:
     async def open(
         self, path: str, size_blocks: Optional[int] = None, disk: Optional[str] = None
     ) -> Dict[str, Any]:
+        if self.replication.active:
+            return await self.replication.open(path, size_blocks, disk)
         return await self._routed(
             "open", path, lambda c: c.open(path, size_blocks, disk)
         )
 
     async def read(self, path: str, blockno: int) -> bool:
+        if self.replication.active:
+            return await self.replication.read(path, blockno)
         return await self._routed("read", path, lambda c: c.read(path, blockno))
 
     async def write(self, path: str, blockno: int, whole: bool = True) -> bool:
+        if self.replication.active:
+            return await self.replication.write(path, blockno, whole)
         return await self._routed("write", path, lambda c: c.write(path, blockno, whole))
 
     # -- batched block I/O (split per ring owner, re-merged) ----------------
@@ -229,10 +312,13 @@ class ClusterClient:
             grouped = list(groups.items())
             for sid, _ in grouped:
                 self._requests.labels(shard=sid).inc()
+            shard_clients = await asyncio.gather(
+                *(self.client_for(sid) for sid, _ in grouped)
+            )
             shard_results = await asyncio.gather(
                 *(
-                    call(self.clients[sid], [op for _, op in entries])
-                    for sid, entries in grouped
+                    call(client, [op for _, op in entries])
+                    for client, (_, entries) in zip(shard_clients, grouped)
                 )
             )
             merged: List[Dict[str, Any]] = [{} for _ in ops]
@@ -245,28 +331,56 @@ class ClusterClient:
                 span.end()
 
     async def readv(self, ops: Any) -> List[Dict[str, Any]]:
-        """Batched reads across shards; per-op results in op order."""
+        """Batched reads split by replica set; per-op results in op order.
+
+        With replication active each sub-batch routes to the op's best
+        live replica and fails over whole sub-batches mid-flight, so a
+        DOWN shard never stalls a batch; single-copy clusters keep the
+        one-owner split.
+        """
+        if self.replication.active:
+            return await self.replication.readv(list(ops))
         return await self._batched(
             "readv", list(ops), lambda c, sub: c.readv(sub)
         )
 
     async def writev(self, ops: Any) -> List[Dict[str, Any]]:
         """Batched writes across shards; per-op results in op order."""
+        if self.replication.active:
+            return await self.replication.writev(list(ops))
         return await self._batched(
             "writev", list(ops), lambda c, sub: c.writev(sub)
         )
 
     async def read_many(self, path: str, blocknos: Any) -> List[bool]:
-        """One file's blocks via its owning shard's chunked readv path."""
+        """One file's blocks via chunked readv; per-block hit flags."""
+        if self.replication.active:
+            ops = [(path, blockno) for blockno in blocknos]
+            return CacheClient.unwrap_batch(await self.readv(ops))
         return await self._routed("read", path, lambda c: c.read_many(path, blocknos))
 
     async def write_many(
         self, path: str, blocknos: Any, whole: bool = True
     ) -> List[bool]:
-        """One file's blocks via its owning shard's chunked writev path."""
+        """One file's blocks via chunked writev; per-block hit flags."""
+        if self.replication.active:
+            ops = [(path, blockno, whole) for blockno in blocknos]
+            return CacheClient.unwrap_batch(await self.writev(ops))
         return await self._routed(
             "write", path, lambda c: c.write_many(path, blocknos, whole)
         )
+
+    # -- replication directives --------------------------------------------
+
+    async def invalidate(self, path: str, blockno: Optional[int] = None) -> int:
+        """Drop ``path``'s cached block(s) on every replica; dropped count."""
+        return await self.replication.invalidate(path, blockno)
+
+    async def declare_bundle(
+        self, bundle: str, paths: Sequence[str], action: str = "fetch"
+    ) -> Dict[str, Any]:
+        """Declare (and fetch/evict) a file bundle across its replicas."""
+        return await self.replication.declare_bundle(bundle, paths, action)
 
     # -- fbehavior directives ----------------------------------------------
 

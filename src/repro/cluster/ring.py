@@ -87,6 +87,31 @@ class HashRing:
                 return owner
         raise LookupError("every shard is excluded")
 
+    def replicas(self, key: str, r: int) -> List[str]:
+        """The ``r`` distinct shards replicating ``key``, primary first.
+
+        Walks clockwise from the key's hash collecting each *new* owner
+        until ``r`` distinct shards are found, so ``replicas(k, 1)[0] ==
+        shard_for(k)`` and growing ``r`` only appends successors — the
+        stability that bounds key movement when shards join or leave.
+        ``r`` is clamped to the ring size: a 2-shard ring answers an
+        ``r=3`` request with both shards rather than failing, which is
+        what a degraded cluster wants.
+        """
+        if r < 1:
+            raise ValueError("replica count must be >= 1")
+        want = min(r, len(self._shards))
+        start = bisect.bisect_right(self._hashes, stable_hash(key))
+        n = len(self._hashes)
+        owners: List[str] = []
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner not in owners:
+                owners.append(owner)
+                if len(owners) == want:
+                    break
+        return owners
+
     def partition(self, keys: Iterable[str]) -> Dict[str, List[str]]:
         """Group ``keys`` by owning shard (order preserved within a shard)."""
         groups: Dict[str, List[str]] = {shard: [] for shard in self._shards}

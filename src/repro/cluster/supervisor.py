@@ -33,9 +33,10 @@ import re
 import sys
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.cluster import replication
 from repro.cluster.ring import HashRing
 from repro.faults.plan import FaultPlan
-from repro.server.client import EndpointSpec
+from repro.server.client import CacheClient, EndpointSpec
 from repro.server.daemon import CacheDaemon
 from repro.server.protocol import StreamTransport, Transport
 from repro.server.service import build_config
@@ -46,6 +47,12 @@ from repro.telemetry.spans import Tracer
 _LISTENING = re.compile(r"listening on ([^:\s]+):(\d+)")
 
 
+async def _drain_stream(stream: asyncio.StreamReader) -> None:
+    """Read a child's pipe to EOF, discarding, so it never blocks on it."""
+    while await stream.read(65536):
+        pass
+
+
 class ShardHandle:
     """One shard: its daemon (or subprocess), address and status."""
 
@@ -54,6 +61,7 @@ class ShardHandle:
         self.index = index
         self.daemon: Optional[CacheDaemon] = None
         self.proc: Optional[asyncio.subprocess.Process] = None
+        self.drain: Optional[asyncio.Future] = None
         self.address: Optional[Tuple[str, int]] = None
         self.status = "up"
         self.restarts = 0
@@ -85,12 +93,17 @@ class ClusterSupervisor:
         telemetry: Optional[bool] = None,
         trace: bool = False,
         spawn: str = "inproc",
+        replicas: Optional[int] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("cluster needs at least one shard")
         if spawn not in ("inproc", "subprocess"):
             raise ValueError(f"unknown spawn mode {spawn!r}")
         self.spawn = spawn
+        #: the cluster's replication degree — a cluster property, not a
+        #: per-client choice: rebalancing must compute the same replica
+        #: sets clients route by, or migration misses secondary copies.
+        self.replicas = replicas if replicas is not None else replication.default_replicas()
         self.cache_mb = cache_mb
         self.policy = policy
         self.window = window
@@ -127,9 +140,22 @@ class ClusterSupervisor:
             "Shard daemon restarts performed by the supervisor.",
             labels=("shard",),
         )
+        self._migrated_blocks = registry.counter(
+            "repro_cluster_migrated_blocks_total",
+            "Cache blocks moved between shards by online rebalancing.",
+            labels=("source", "target"),
+        )
+        self._rebalances = registry.counter(
+            "repro_cluster_rebalances_total",
+            "Online rebalances executed, by kind.",
+            labels=("kind",),
+        )
         self._host = "127.0.0.1"
         self._tcp = False
         self._started = False
+        #: serializes add_shard/remove_shard — migration planning assumes
+        #: the ring holds still between the manifest probe and the flip
+        self._rebalance_lock = asyncio.Lock()
 
     # -- shard construction ------------------------------------------------
 
@@ -223,11 +249,12 @@ class ClusterSupervisor:
             argv.append("--sanitize")
         proc = await asyncio.create_subprocess_exec(
             *argv,
-            stdout=asyncio.subprocess.PIPE,
-            stderr=asyncio.subprocess.DEVNULL,
+            stdout=asyncio.subprocess.DEVNULL,
+            stderr=asyncio.subprocess.PIPE,
         )
-        assert proc.stdout is not None
-        line = (await proc.stdout.readline()).decode("utf-8", "replace")
+        # the listening banner is a status line, so it arrives on stderr
+        assert proc.stderr is not None
+        line = (await proc.stderr.readline()).decode("utf-8", "replace")
         match = _LISTENING.search(line)
         if not match:
             proc.kill()
@@ -235,6 +262,8 @@ class ClusterSupervisor:
             raise RuntimeError(f"shard {handle.sid} failed to start: {line!r}")
         handle.proc = proc
         handle.address = (match.group(1), int(match.group(2)))
+        # keep draining stderr so later status lines can't fill the pipe
+        handle.drain = asyncio.ensure_future(_drain_stream(proc.stderr))
 
     # -- addressing --------------------------------------------------------
 
@@ -312,6 +341,129 @@ class ClusterSupervisor:
     def record_failover(self, sid: str) -> None:
         """Bump the failover counter (the health loop calls this)."""
         self._failovers.labels(shard=sid).inc()
+
+    def record_migration(self, source: str, target: str, blocks: int) -> None:
+        """Count blocks one rebalancing transfer moved (replication layer)."""
+        if blocks:
+            self._migrated_blocks.labels(source=source, target=target).inc(blocks)
+
+    # -- online rebalancing ------------------------------------------------
+
+    async def _rebalance_dial(self, sid: str) -> CacheClient:
+        """A short-lived wire client to one shard for migration traffic."""
+        return await CacheClient.connect(self.endpoints(sid))
+
+    async def add_shard(
+        self, sid: Optional[str] = None, replicas: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Grow the cluster by one shard, online.
+
+        The new shard starts, receives its span's blocks via the
+        migration handshake (computed against the *new* ring, sourced
+        from each path's old primary), and only then joins the ring — so
+        the moment routing flips, the new shard is already warm.  Every
+        existing shard must be up.  Returns a migration summary.
+        """
+        async with self._rebalance_lock:
+            return await self._add_shard(sid, replicas)
+
+    async def _add_shard(
+        self, sid: Optional[str], replicas: Optional[int]
+    ) -> Dict[str, Any]:
+        if not self._started:
+            raise RuntimeError("cluster is not running")
+        if sid is None:
+            index = 0
+            while f"shard-{index}" in self.shards:
+                index += 1
+            sid = f"shard-{index}"
+        if sid in self.shards:
+            raise ValueError(f"shard {sid!r} already in the cluster")
+        r = replicas if replicas is not None else self.replicas
+        span = self._trace_span("cluster.rebalance", kind="add", shard=sid)
+        handle = ShardHandle(sid, max(h.index for h in self.shards.values()) + 1)
+        # reserve the slot before the first await so the shard map never
+        # hands out the same name twice; withdrawn if startup fails
+        self.shards[sid] = handle
+        try:
+            if self.spawn == "subprocess":
+                await self._spawn_subprocess(handle, self._host, 0)
+            else:
+                handle.daemon = self._build_daemon(sid)
+                if self._tcp:
+                    handle.address = await handle.daemon.start_tcp(self._host, 0)
+                else:
+                    await handle.daemon.start()
+        except BaseException:
+            self.shards.pop(sid, None)
+            raise
+        handle.status = "up"
+        self._up_gauge.labels(shard=sid).set(1)
+        self._shards_gauge.set(len(self.shards))
+        old_ring = HashRing(list(self.ring.shards), vnodes=self.ring.vnodes)
+        new_ring = HashRing(list(self.ring.shards) + [sid], vnodes=self.ring.vnodes)
+        summary = await replication.plan_and_migrate(
+            self, old_ring, new_ring, r, self._rebalance_dial
+        )
+        # The flip: clients sharing this ring object start routing the new
+        # shard's span to it on their next lookup.
+        self.ring.add_shard(sid)
+        self._rebalances.labels(kind="add").inc()
+        self._end_span(span, ok=True, moved_blocks=summary["moved_blocks"])
+        summary["sid"] = sid
+        return summary
+
+    async def remove_shard(
+        self, sid: str, replicas: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Shrink the cluster by one shard, online.
+
+        The leaving shard's blocks migrate to their new owners first
+        (again computed against the new ring), then the ring flips, the
+        shard flushes and stops.  Returns a migration summary.
+        """
+        async with self._rebalance_lock:
+            return await self._remove_shard(sid, replicas)
+
+    async def _remove_shard(self, sid: str, replicas: Optional[int]) -> Dict[str, Any]:
+        if sid not in self.shards:
+            raise ValueError(f"shard {sid!r} not in the cluster")
+        if len(self.shards) < 2:
+            raise ValueError("cannot remove the last shard")
+        r = replicas if replicas is not None else self.replicas
+        span = self._trace_span("cluster.rebalance", kind="remove", shard=sid)
+        new_ring = HashRing(
+            [s for s in self.ring.shards if s != sid], vnodes=self.ring.vnodes
+        )
+        old_ring = HashRing(list(self.ring.shards), vnodes=self.ring.vnodes)
+        summary = await replication.plan_and_migrate(
+            self, old_ring, new_ring, r, self._rebalance_dial
+        )
+        self.ring.remove_shard(sid)
+        handle = self.shards.pop(sid)
+        if handle.proc is not None:
+            if handle.proc.returncode is None:
+                handle.proc.terminate()
+                await handle.proc.wait()
+        elif handle.daemon is not None:
+            await handle.daemon.aclose()
+        self._up_gauge.labels(shard=sid).set(0)
+        self._shards_gauge.set(len(self.shards))
+        self._rebalances.labels(kind="remove").inc()
+        self._end_span(span, ok=True, moved_blocks=summary["moved_blocks"])
+        summary["sid"] = sid
+        return summary
+
+    def _trace_span(self, name: str, **attrs: Any) -> Any:
+        tracer = self.telemetry.tracer
+        if tracer is None:
+            return None
+        return tracer.start_span(name, layer="cluster", **attrs)
+
+    @staticmethod
+    def _end_span(span: Any, **attrs: Any) -> None:
+        if span is not None:
+            span.end(**attrs)
 
     # -- observation -------------------------------------------------------
 

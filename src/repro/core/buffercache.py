@@ -330,6 +330,22 @@ class BufferCache:
             self.sanitizer.verify("abort_load")
         return waiters
 
+    def discard(self, block: CacheBlock) -> None:
+        """Drop one resident block with *no* write-back.
+
+        The replication layer's invalidation path: the block's data is
+        known stale (a newer copy was acknowledged elsewhere) or has
+        already travelled in a migration record, so writing it back would
+        resurrect old bytes.  Dirty state is cleared first — a discard is
+        an intentional forfeit, not a dirty eviction.
+        """
+        block.in_flight = False
+        block.dirty = False
+        block.waiters = []
+        self._evict(block)
+        if self.sanitizer is not None:
+            self.sanitizer.verify("discard")
+
     def invalidate_file(self, file_id: int) -> List[CacheBlock]:
         """Drop a deleted file's blocks with *no* write-back.
 

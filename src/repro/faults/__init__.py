@@ -31,6 +31,7 @@ from repro.faults.errors import (
 )
 from repro.faults.injector import DiskFault, FaultInjector, FaultStats
 from repro.faults.plan import BlockFault, FaultPlan
+from repro.faults.replicas import merge_plans, replica_fault_plans
 
 __all__ = [
     "BlockFault",
@@ -43,4 +44,6 @@ __all__ = [
     "ManagerFaultError",
     "TornWriteError",
     "TransportFaultError",
+    "merge_plans",
+    "replica_fault_plans",
 ]

@@ -1,0 +1,87 @@
+"""Replica-targeted fault plans for the cluster failover battery.
+
+A replicated cluster is only worth testing if faults land on *chosen*
+replicas: "the primary's disk starts erroring" and "one secondary's
+transport drops frames" are different experiments, and a cluster-wide
+fault plan cannot express either.  The helpers here turn one
+:class:`~repro.faults.plan.FaultPlan` into the ``shard_faults`` mapping a
+:class:`~repro.cluster.supervisor.ClusterSupervisor` takes, keyed by the
+shards that replicate the targeted paths.
+
+The package rule (see ``repro.faults.__init__``) is that ``repro.faults``
+imports no kernel or cluster code — the dependency arrow points one way.
+So these helpers take *any* ring-like object exposing
+``replicas(path, r) -> [sid, ...]`` (primary first) rather than importing
+:class:`~repro.cluster.ring.HashRing`; the supervisor's ring satisfies
+the contract, and so does a stub in a unit test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Any, Dict, Iterable, Sequence
+
+from repro.faults.plan import FaultPlan
+
+#: which members of a replica set a targeted plan lands on
+REPLICA_ROLES = ("primary", "secondaries", "all")
+
+
+def replica_sids(ring: Any, path: str, replicas: int, role: str = "primary") -> list:
+    """The shard ids a ``role`` selects from ``path``'s replica set."""
+    if role not in REPLICA_ROLES:
+        raise ValueError(f"unknown replica role {role!r}")
+    sids = list(ring.replicas(path, replicas))
+    if role == "primary":
+        return sids[:1]
+    if role == "secondaries":
+        return sids[1:]
+    return sids
+
+
+def merge_plans(first: FaultPlan, second: FaultPlan) -> FaultPlan:
+    """Combine two plans targeting the same shard.
+
+    Rates and delays take the elementwise maximum (the shard suffers the
+    worse of the two regimes); schedules and pid lists concatenate.  The
+    merged plan keeps ``first``'s seed so determinism is stable under
+    merge order only when seeds agree — targeted batteries should use one
+    seed per experiment.
+    """
+    kwargs: Dict[str, Any] = {}
+    for f in fields(FaultPlan):
+        a, b = getattr(first, f.name), getattr(second, f.name)
+        if isinstance(a, tuple):
+            kwargs[f.name] = a + tuple(x for x in b if x not in a)
+        elif isinstance(a, (int, float)) and f.name != "seed":
+            kwargs[f.name] = max(a, b)
+        else:
+            kwargs[f.name] = a
+    return FaultPlan(**kwargs)
+
+
+def replica_fault_plans(
+    ring: Any,
+    paths: Sequence[str] | str,
+    replicas: int,
+    plan: FaultPlan,
+    role: str = "primary",
+    base: Dict[str, FaultPlan] | None = None,
+) -> Dict[str, FaultPlan]:
+    """Build a ``shard_faults`` mapping that pins ``plan`` to the shards
+    playing ``role`` in the replica set of each of ``paths``.
+
+    Shards selected via several paths (or already present in ``base``)
+    get the plans merged with :func:`merge_plans`, so batteries can stack
+    experiments: primary disk errors for one file, secondary frame drops
+    for another, one mapping for the supervisor.
+    """
+    targets: Dict[str, FaultPlan] = dict(base or {})
+    path_list: Iterable[str] = [paths] if isinstance(paths, str) else paths
+    for path in path_list:
+        for sid in replica_sids(ring, path, replicas, role):
+            if sid in targets:
+                targets[sid] = merge_plans(targets[sid], plan)
+            else:
+                targets[sid] = plan
+    return targets

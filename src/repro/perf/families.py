@@ -13,7 +13,10 @@ regress:
   the in-process transport;
 * ``cluster_scaling`` — absolute 1-shard throughput plus the 1→2 shard
   speedup of the consistent-hash router (latency-bound by the injected
-  slow-loris delay, so it is stable even on a noisy runner).
+  slow-loris delay, so it is stable even on a noisy runner);
+* ``replication`` — the R=2 write fan-out's latency overhead over one
+  copy (concurrent fan-out keeps it near 1x) and read throughput with a
+  shard crash-stopped (warm failover; latency-bound like the above).
 
 Un-gated families (the figure/table reproductions, telemetry overhead)
 still write profiles every run — ``repro-accfc perf diff`` compares all
@@ -44,6 +47,9 @@ GATED_FAMILIES: Dict[str, FamilyCheck] = {
     ),
     "cluster_scaling": FamilyCheck(
         metrics=("ops_per_sec_1_shard", "speedup_1_to_2"),
+    ),
+    "replication": FamilyCheck(
+        metrics=("replicated_write_overhead", "post_failover_warm_ops_per_sec"),
     ),
 }
 

@@ -112,6 +112,10 @@ IDEMPOTENT_VERBS = frozenset(
         "open",
         "get_priority",
         "get_policy",
+        # Replication repair converges: dropping an already-dropped block
+        # and re-fetching a declared bundle are both no-ops the second time.
+        "invalidate",
+        "declare_bundle",
     }
 )
 

@@ -510,6 +510,22 @@ class CacheDaemon:
         if verb == "close":
             session.closed = True
             return {"closed": True}
+        if verb == "invalidate":
+            return self.service.invalidate(pid, fields["path"], fields.get("blockno"))
+        if verb == "declare_bundle":
+            return self.service.declare_bundle(
+                pid, fields["bundle"], fields["paths"], fields.get("action", "fetch")
+            )
+        if verb == "migrate_begin":
+            return self.service.migrate_begin(pid, fields["paths"])
+        if verb == "migrate_chunk":
+            if "records" in fields:
+                return self.service.migrate_ingest(pid, fields["records"])
+            return self.service.migrate_pull(pid, fields["token"], fields.get("max", 256))
+        if verb == "migrate_end":
+            return self.service.migrate_end(
+                pid, fields["token"], bool(fields.get("drop", True))
+            )
         return self.service.directive(pid, verb, fields)
 
     # -- stats -------------------------------------------------------------

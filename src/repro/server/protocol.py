@@ -75,6 +75,11 @@ KERNEL_VERBS = frozenset(
         "flush",
         "readv",
         "writev",
+        "invalidate",
+        "declare_bundle",
+        "migrate_begin",
+        "migrate_chunk",
+        "migrate_end",
     }
 )
 
@@ -113,7 +118,7 @@ class RequestValidationError(ProtocolError):
 
 #: verbs whose ``path`` parameter must be a non-empty string
 _PATH_VERBS = frozenset(
-    {"open", "read", "write", "set_priority", "get_priority", "set_temppri"}
+    {"open", "read", "write", "set_priority", "get_priority", "set_temppri", "invalidate"}
 )
 #: verbs whose ``blockno`` parameter must be a non-negative integer
 _BLOCK_VERBS = frozenset({"read", "write"})
@@ -173,6 +178,92 @@ def _validated_batch_ops(verb: str, ops: Any) -> List[Dict[str, Any]]:
     return normalized
 
 
+def _validated_path_list(verb: str, raw: Any, allow_empty: bool) -> List[str]:
+    if not isinstance(raw, list) or (not raw and not allow_empty):
+        raise RequestValidationError(f"{verb}: paths must be a non-empty list")
+    if len(raw) > MAX_BATCH_OPS:
+        raise RequestValidationError(
+            f"{verb}: list of {len(raw)} paths exceeds {MAX_BATCH_OPS}"
+        )
+    paths: List[str] = []
+    for index, path in enumerate(raw):
+        if not isinstance(path, str) or not path:
+            raise RequestValidationError(f"{verb}: path {index}: bad path {path!r}")
+        paths.append(path)
+    return paths
+
+
+def _validated_migration_records(verb: str, raw: Any) -> List[Dict[str, Any]]:
+    """Normalise a migrate_chunk ``records`` list or raise on any bad record."""
+    if not isinstance(raw, list):
+        raise RequestValidationError(f"{verb}: records must be a list")
+    if len(raw) > MAX_BATCH_OPS:
+        raise RequestValidationError(
+            f"{verb}: chunk of {len(raw)} records exceeds {MAX_BATCH_OPS}"
+        )
+    records: List[Dict[str, Any]] = []
+    for index, record in enumerate(raw):
+        if not isinstance(record, dict):
+            raise RequestValidationError(f"{verb}: record {index} is not an object")
+        path = record.get("path")
+        if not isinstance(path, str) or not path:
+            raise RequestValidationError(f"{verb}: record {index}: bad path {path!r}")
+        entry: Dict[str, Any] = {
+            "path": path,
+            "blockno": _coerce_blockno(verb, record.get("blockno")),
+            "dirty": bool(record.get("dirty", False)),
+        }
+        size_blocks = record.get("size_blocks")
+        if size_blocks is not None:
+            entry["size_blocks"] = _coerce_blockno(verb, size_blocks)
+        disk = record.get("disk")
+        if disk is not None:
+            if not isinstance(disk, str) or not disk:
+                raise RequestValidationError(
+                    f"{verb}: record {index}: bad disk {disk!r}"
+                )
+            entry["disk"] = disk
+        records.append(entry)
+    return records
+
+
+def _validate_replication_verb(verb: str, fields: Dict[str, Any]) -> None:
+    """Shape checks for the replication/migration verb family."""
+    if verb == "invalidate":
+        blockno = fields.get("blockno")
+        if blockno is not None:
+            fields["blockno"] = _coerce_blockno(verb, blockno)
+    elif verb == "declare_bundle":
+        bundle = fields.get("bundle")
+        if not isinstance(bundle, str) or not bundle:
+            raise RequestValidationError(f"{verb}: bad bundle name {bundle!r}")
+        fields["paths"] = _validated_path_list(verb, fields.get("paths"), False)
+    elif verb == "migrate_begin":
+        # An empty list is a pure manifest probe (list the shard's files).
+        fields["paths"] = _validated_path_list(verb, fields.get("paths", []), True)
+    elif verb == "migrate_chunk":
+        if "records" in fields:
+            fields["records"] = _validated_migration_records(verb, fields["records"])
+        else:
+            token = fields.get("token")
+            if not isinstance(token, str) or not token:
+                raise RequestValidationError(f"{verb}: bad migration token {token!r}")
+            if "max" in fields:
+                limit = fields["max"]
+                if isinstance(limit, bool) or not isinstance(limit, int) or limit < 1:
+                    raise RequestValidationError(f"{verb}: bad chunk limit {limit!r}")
+    elif verb == "migrate_end":
+        token = fields.get("token")
+        if not isinstance(token, str) or not token:
+            raise RequestValidationError(f"{verb}: bad migration token {token!r}")
+
+
+#: the replication/migration verb family (shape-validated together)
+_REPLICATION_VERBS = frozenset(
+    {"invalidate", "declare_bundle", "migrate_begin", "migrate_chunk", "migrate_end"}
+)
+
+
 def validated_request(msg: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
     """Validate a decoded request at the wire boundary; ``(verb, fields)``.
 
@@ -200,6 +291,8 @@ def validated_request(msg: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
         fields["blockno"] = _coerce_blockno(verb, fields.get("blockno"))
     if verb in BATCH_VERBS:
         fields["ops"] = _validated_batch_ops(verb, fields.get("ops"))
+    if verb in _REPLICATION_VERBS:
+        _validate_replication_verb(verb, fields)
     return verb, fields
 
 
@@ -277,6 +370,11 @@ VERB_WIRE: Dict[str, Tuple[int, bool]] = {
     "flush": (14, False),
     "readv": (15, False),
     "writev": (16, False),
+    "invalidate": (17, False),
+    "declare_bundle": (18, False),
+    "migrate_begin": (19, False),
+    "migrate_chunk": (20, False),
+    "migrate_end": (21, False),
 }
 
 _VERB_BY_ID = {wire_id: verb for verb, (wire_id, _) in VERB_WIRE.items()}

@@ -36,6 +36,7 @@ from repro.core.interface import (
 )
 from repro.core.policies import PoolPolicy
 from repro.disk.model import ServiceTimeModel
+from repro.disk.params import BLOCK_SIZE
 from repro.faults import FaultInjector, FaultPlan
 from repro.fs.filesystem import FsError, SimFilesystem
 from repro.kernel.system import MachineConfig
@@ -129,6 +130,31 @@ class CacheService:
         self.counters: Dict[int, SessionCounters] = {}
         self._next_pid = 1
         self.flushed_blocks = 0
+        #: declared bundles: name -> member paths (replication directives)
+        self.bundles: Dict[str, List[str]] = {}
+        #: in-progress outbound migrations: token -> export state
+        self._migrations: Dict[str, Dict[str, Any]] = {}
+        self._next_migration = 1
+        registry = self.telemetry.registry
+        self._invalidated = registry.counter(
+            "repro_replication_invalidations_total",
+            "Cache blocks dropped by the invalidate verb (stale-replica repair).",
+        ).unlabelled
+        self._migration_blocks = registry.counter(
+            "repro_migration_blocks_total",
+            "Cache blocks moved by shard migration, by direction.",
+            labels=("direction",),
+        )
+        self._migration_bytes = registry.counter(
+            "repro_migration_bytes_total",
+            "Bytes of cache payload moved by shard migration, by direction.",
+            labels=("direction",),
+        )
+        self._bundle_blocks = registry.counter(
+            "repro_bundle_blocks_total",
+            "Blocks fetched or evicted by bundle directives, by action.",
+            labels=("action",),
+        )
 
     # -- session lifecycle -------------------------------------------------
 
@@ -393,6 +419,250 @@ class CacheService:
             flushed += 1
         self.flushed_blocks += flushed
         return flushed
+
+    # -- replication: invalidation, bundles, migration ---------------------
+
+    def invalidate(self, pid: int, path: str, blockno: Optional[int] = None) -> Dict[str, Any]:
+        """Drop stale replica block(s) with no write-back.
+
+        The replication layer's repair verb: a newer copy of the data was
+        acknowledged on another replica, so this shard's cached copy must
+        not survive (and must never be written back over it).  Idempotent
+        by design — invalidating an unknown file or a non-resident block
+        drops nothing and still succeeds, because repair retries must
+        converge, not error.
+        """
+        self._op_seq += 1
+        if not self.fs.exists(path):
+            return {"dropped": 0}
+        f = self.fs.lookup(path)
+        if blockno is None:
+            dropped = len(self.cache.invalidate_file(f.file_id))
+        else:
+            block = self.cache.peek(f.file_id, int(blockno))
+            dropped = 0
+            if block is not None:
+                self.cache.discard(block)
+                dropped = 1
+        if dropped:
+            self._invalidated.inc(dropped)
+        return {"dropped": dropped}
+
+    def declare_bundle(
+        self, pid: int, bundle: str, paths: List[str], action: str = "fetch"
+    ) -> Dict[str, Any]:
+        """Register a file bundle and fetch or evict it atomically.
+
+        A bundle is a group of files the application accesses together
+        (the grouped-object generalisation of the paper's per-file
+        directives).  Registration is all-or-nothing: every member path
+        must resolve before anything mutates, so no action ever applies
+        to half a bundle.  ``fetch`` pre-loads every member block through
+        the prefetch path (no access/hit/miss accounting — warming is not
+        a reference); ``evict`` writes back dirty members and drops them;
+        ``declare`` just registers.
+        """
+        if action not in ("declare", "fetch", "evict"):
+            raise ServiceError("BAD_REQUEST", f"declare_bundle: unknown action {action!r}")
+        files = []
+        for path in paths:
+            try:
+                files.append(self.fs.lookup(path))
+            except FsError as exc:
+                raise ServiceError("FS", f"declare_bundle: {exc}") from exc
+        self.bundles[bundle] = list(paths)
+        self._op_seq += 1
+        moved = 0
+        if action == "fetch":
+            moved = self._bundle_fetch(pid, files)
+        elif action == "evict":
+            moved = self._bundle_evict(files)
+        if moved:
+            self._bundle_blocks.labels(action=action).inc(moved)
+        return {"bundle": bundle, "files": len(files), "blocks": moved, "action": action}
+
+    def _bundle_fetch(self, pid: int, files: List[Any]) -> int:
+        """Warm every member block via prefetch; returns blocks loaded.
+
+        Stops early if the bundle outgrows the cache (a prefetch that
+        would evict another bundle member means the working set no longer
+        fits — continuing would just thrash the bundle against itself).
+        """
+        member_ids = {f.file_id for f in files}
+        loaded = 0
+        budget = self.cache.nframes
+        for f in files:
+            for blockno in range(f.nblocks):
+                if loaded >= budget:
+                    return loaded
+                block, evicted = self.cache.prefetch(
+                    pid, f.file_id, blockno, f.lba_of(blockno), f.disk
+                )
+                if evicted is not None:
+                    if evicted.dirty:
+                        if not self._store_block(evicted.disk, evicted.lba):
+                            self.lost_writes += 1
+                        self.counters_for(evicted.owner_pid).inc("disk_writes")
+                    if evicted.file_id in member_ids:
+                        if block is not None:
+                            self.cache.loaded(block)
+                            loaded += 1
+                        return loaded
+                if block is not None:
+                    self.cache.loaded(block)
+                    loaded += 1
+        return loaded
+
+    def _bundle_evict(self, files: List[Any]) -> int:
+        """Write back and drop every resident member block; returns count."""
+        dropped = 0
+        for f in files:
+            for block in self.cache.blocks_of_file(f.file_id):
+                if block.dirty:
+                    if not self._store_block(block.disk, block.lba, flush=True):
+                        self.lost_writes += 1
+                    self.cache.mark_clean(block)
+                    self.counters_for(block.owner_pid).inc("disk_writes")
+                self.cache.discard(block)
+                dropped += 1
+        return dropped
+
+    def migrate_begin(self, pid: int, paths: List[str]) -> Dict[str, Any]:
+        """Open an outbound migration for ``paths``; returns its manifest.
+
+        With an empty ``paths`` list this is a pure probe: it lists every
+        file this shard holds (the supervisor computes which of them move
+        from the ring) and opens nothing.  Otherwise the resident cache
+        blocks of each named file are queued as export records — dirty
+        state travels with the record, so the source never writes a
+        migrated block back.
+        """
+        if not paths:
+            return {
+                "token": None,
+                "files": [
+                    {"path": f.path, "size_blocks": f.nblocks, "disk": f.disk}
+                    for f in self.fs.files()
+                ],
+                "blocks": 0,
+            }
+        files = []
+        for path in paths:
+            if self.fs.exists(path):
+                files.append(self.fs.lookup(path))
+        queue: List[Dict[str, Any]] = []
+        for f in files:
+            for block in sorted(self.cache.blocks_of_file(f.file_id), key=lambda b: b.blockno):
+                queue.append(
+                    {
+                        "path": f.path,
+                        "blockno": block.blockno,
+                        "dirty": block.dirty,
+                        "size_blocks": f.nblocks,
+                        "disk": f.disk,
+                    }
+                )
+        token = f"mig-{self._next_migration}"
+        self._next_migration += 1
+        self._migrations[token] = {"paths": [f.path for f in files], "queue": queue}
+        self._op_seq += 1
+        return {
+            "token": token,
+            "files": [
+                {"path": f.path, "size_blocks": f.nblocks, "disk": f.disk} for f in files
+            ],
+            "blocks": len(queue),
+        }
+
+    def migrate_pull(self, pid: int, token: str, limit: int = 256) -> Dict[str, Any]:
+        """Hand out the next chunk of export records for ``token``."""
+        state = self._migrations.get(token)
+        if state is None:
+            raise ServiceError("BAD_REQUEST", f"migrate_chunk: unknown token {token!r}")
+        queue = state["queue"]
+        chunk, state["queue"] = queue[:limit], queue[limit:]
+        if chunk:
+            self._migration_blocks.labels(direction="out").inc(len(chunk))
+            self._migration_bytes.labels(direction="out").inc(len(chunk) * BLOCK_SIZE)
+        return {"records": chunk, "done": not state["queue"]}
+
+    def migrate_ingest(self, pid: int, records: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """Install migrated blocks into this shard, warm.
+
+        Files are created on demand from the record's metadata.  Blocks
+        enter through the prefetch path — a migration is not a reference
+        stream, so hit/miss accounting stays untouched and the
+        post-failover hit ratio measures real reads only.  Dirty records
+        re-dirty the installed block: the write obligation moved here
+        with the data.
+        """
+        ingested = 0
+        for record in records:
+            path = record["path"]
+            if not self.fs.exists(path):
+                try:
+                    self.fs.create(
+                        path,
+                        size_blocks=int(record.get("size_blocks", 0)),
+                        disk=record.get("disk"),
+                    )
+                except FsError:
+                    # Unknown disk name on this shard: place on the default.
+                    self.fs.create(path, size_blocks=int(record.get("size_blocks", 0)))
+            f = self.fs.lookup(path)
+            try:
+                lba = self.fs.ensure_block(f, int(record["blockno"]))
+            except FsError as exc:
+                raise ServiceError("FS", f"migrate_chunk: {exc}") from exc
+            self._op_seq += 1
+            block, evicted = self.cache.prefetch(
+                pid, f.file_id, int(record["blockno"]), lba, f.disk
+            )
+            if evicted is not None and evicted.dirty:
+                if not self._store_block(evicted.disk, evicted.lba):
+                    self.lost_writes += 1
+                self.counters_for(evicted.owner_pid).inc("disk_writes")
+            if block is not None:
+                self.cache.loaded(block)
+                if record.get("dirty"):
+                    self.cache.mark_dirty(block)
+                ingested += 1
+            else:
+                # Already resident here (e.g. this shard was a replica):
+                # merge the dirty obligation, never lose it.
+                resident = self.cache.peek(f.file_id, int(record["blockno"]))
+                if resident is not None and record.get("dirty"):
+                    self.cache.mark_dirty(resident)
+        if ingested:
+            self._migration_blocks.labels(direction="in").inc(ingested)
+            self._migration_bytes.labels(direction="in").inc(ingested * BLOCK_SIZE)
+        return {"ingested": ingested}
+
+    def migrate_end(self, pid: int, token: str, drop: bool = True) -> Dict[str, Any]:
+        """Close a migration; for a *move* drop the source's blocks.
+
+        The drop happens with no write-back — dirty state travelled with
+        the records, and the target now owns the write obligation — and
+        only after the last chunk was pulled, so a migration aborted
+        mid-stream loses nothing.  ``drop=False`` is the *copy* close:
+        this shard stays in the paths' replica set and keeps its blocks.
+        """
+        state = self._migrations.pop(token, None)
+        if state is None:
+            raise ServiceError("BAD_REQUEST", f"migrate_end: unknown token {token!r}")
+        if state["queue"]:
+            raise ServiceError(
+                "BAD_REQUEST",
+                f"migrate_end: {len(state['queue'])} records not yet pulled for {token!r}",
+            )
+        dropped = 0
+        if drop:
+            for path in state["paths"]:
+                if self.fs.exists(path):
+                    f = self.fs.lookup(path)
+                    dropped += len(self.cache.invalidate_file(f.file_id))
+        self._op_seq += 1
+        return {"dropped": dropped}
 
     # -- stats -------------------------------------------------------------
 

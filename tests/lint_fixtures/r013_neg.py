@@ -1,0 +1,37 @@
+"""R013 near-misses: cluster code that stays on the right side of the
+line.
+
+Delegating to the replication manager, routing plain verbs, naming a
+method ``invalidate`` and comparing non-replication verbs are all fine —
+only raw replica-set lookups and replication verbs on the wire are the
+replication module's monopoly.
+"""
+
+
+async def delegated_invalidate(replication_mgr, path):
+    # delegation to the replication module is the sanctioned path
+    return await replication_mgr.invalidate(path)
+
+
+async def plain_routing(ring, client, path, blockno):
+    sid = ring.shard_for(path)
+    del sid
+    return await client.call("read", path=path, blockno=blockno)
+
+
+async def invalidate(self, path):
+    # a method merely *named* invalidate is not a wire verb
+    return await self.replication.invalidate(path)
+
+
+def plain_dispatch(verb):
+    if verb == "read":
+        return "routed"
+    if verb in ("flush", "stats"):
+        return "fanout"
+    return None
+
+
+def replica_count_attribute(manager):
+    # attribute reads named 'replicas' (the degree) are not lookups
+    return manager.replicas

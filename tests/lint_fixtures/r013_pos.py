@@ -1,0 +1,26 @@
+"""R013 positives: a cluster module growing its own replication path.
+
+Each marked line is a shape the rule must catch when this file lives
+anywhere under ``repro/cluster/`` other than ``replication.py``: raw
+replica-set lookups, replication verbs sent over the wire, and a private
+dispatch on the replication protocol.
+"""
+
+
+async def stale_fanout(ring, client, path):
+    owners = ring.replicas(path, 2)  # EXPECT[R013]
+    for _ in owners:
+        await client.call("invalidate", path=path)  # EXPECT[R013]
+
+
+async def private_migration(client, paths):
+    begin = await client.call("migrate_begin", paths=paths)  # EXPECT[R013]
+    return begin["token"]
+
+
+def private_dispatch(verb):
+    if verb == "migrate_chunk":  # EXPECT[R013]
+        return "pull"
+    if verb in ("migrate_end", "declare_bundle"):  # EXPECT[R013]
+        return "finish"
+    return None

@@ -140,7 +140,7 @@ class TestMergePrometheus:
 class TestClusterBasics:
     def test_routed_ops_land_on_the_owning_shard(self):
         async def go():
-            sup = ClusterSupervisor(shards=3, cache_mb=1)
+            sup = ClusterSupervisor(shards=3, cache_mb=1, replicas=1)
             await sup.start()
             cc = await ClusterClient.connect(sup, name="t")
             paths = [f"/f{i}.bin" for i in range(30)]
@@ -161,7 +161,7 @@ class TestClusterBasics:
 
     def test_fanout_stats_flush_and_policy(self):
         async def go():
-            sup = ClusterSupervisor(shards=3, cache_mb=1)
+            sup = ClusterSupervisor(shards=3, cache_mb=1, replicas=1)
             await sup.start()
             cc = await ClusterClient.connect(sup, name="t")
             for i in range(12):
@@ -212,7 +212,7 @@ class TestClusterBasics:
 
     def test_route_spans_and_request_counters(self):
         async def go():
-            sup = ClusterSupervisor(shards=2, cache_mb=1, trace=True)
+            sup = ClusterSupervisor(shards=2, cache_mb=1, trace=True, replicas=1)
             await sup.start()
             cc = await ClusterClient.connect(sup, name="t")
             await cc.open("/s.bin", size_blocks=2)
@@ -300,7 +300,7 @@ class TestClusterEquivalence:
             paths = [f"/eq{i}.dat" for i in range(18)]
             script = _trace(paths, blocks_per_file=4, ops=160)
             # small cache -> real eviction pressure on every shard
-            sup = ClusterSupervisor(shards=3, cache_mb=0.25)
+            sup = ClusterSupervisor(shards=3, cache_mb=0.25, replicas=1)
             await sup.start()
             cc = await ClusterClient.connect(sup, name="eq")
             for op in script:

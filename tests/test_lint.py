@@ -787,6 +787,61 @@ class TestR011BenchmarkWrites:
         assert lint(src, "tools/test_gen.py") == []
 
 
+class TestR013ReplicationMonopoly:
+    FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+    def _expected(self, src):
+        return sorted(
+            lineno
+            for lineno, line in enumerate(src.splitlines(), 1)
+            if "EXPECT[R013]" in line
+        )
+
+    def test_positive_fixture_fires_on_every_marked_line(self):
+        src = (self.FIXTURES / "r013_pos.py").read_text()
+        findings = lint_source(src, "repro/cluster/health.py")
+        got = sorted({f.line for f in findings if f.rule == "R013"})
+        assert got == self._expected(src), findings
+
+    def test_negative_fixture_is_clean(self):
+        src = (self.FIXTURES / "r013_neg.py").read_text()
+        findings = lint_source(src, "repro/cluster/client.py")
+        assert [f for f in findings if f.rule == "R013"] == []
+
+    def test_replication_module_is_exempt(self):
+        src = (self.FIXTURES / "r013_pos.py").read_text()
+        findings = lint_source(src, "repro/cluster/replication.py")
+        assert [f for f in findings if f.rule == "R013"] == []
+
+    def test_ring_may_call_replicas_but_not_send_verbs(self):
+        findings = lint(
+            """
+            def spans(self, key, r):
+                return self.replicas(key, r)
+            """,
+            "repro/cluster/ring.py",
+        )
+        assert [f for f in findings if f.rule == "R013"] == []
+        findings = lint(
+            """
+            async def sneak(client, path):
+                return await client.call("invalidate", path=path)
+            """,
+            "repro/cluster/ring.py",
+        )
+        assert rules(findings) == ["R013"]
+
+    def test_outside_cluster_is_allowed(self):
+        findings = lint(
+            """
+            def plans(ring, path, r):
+                return ring.replicas(path, r)
+            """,
+            "repro/faults/replicas.py",
+        )
+        assert [f for f in findings if f.rule == "R013"] == []
+
+
 class TestRealTree:
     def test_src_is_clean(self):
         findings = lint_tree(SRC_ROOT)

@@ -302,7 +302,12 @@ def test_worst_status_ordering():
 
 
 def test_gated_families_registry_shape():
-    assert set(GATED_FAMILIES) == {"micro_perf", "server_throughput", "cluster_scaling"}
+    assert set(GATED_FAMILIES) == {
+        "micro_perf",
+        "server_throughput",
+        "cluster_scaling",
+        "replication",
+    }
     for family, check in GATED_FAMILIES.items():
         assert check.metrics, family
         assert check.fail_ratio == DEFAULT_FAIL_RATIO
