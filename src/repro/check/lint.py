@@ -68,6 +68,16 @@ R013  Replica fan-out happens only in the replication module: within
       ``migrate_begin``/``migrate_chunk``/``migrate_end``) may be sent
       or dispatched on only there — so the cluster cannot quietly grow
       a second, divergent replication path with its own fencing rules.
+R014  Workload generators are reproducible: under ``repro/workloads/``
+      every random draw goes through a seeded ``random.Random`` instance
+      — the module-level ``random.*`` functions (and an unseeded
+      ``random.Random()``) are banned, because one stray draw makes
+      "identical seeds ⇒ identical reference streams" silently false.
+      And the production pattern kit stays discoverable: every concrete
+      ``*Pattern`` class, ``Workload`` subclass and ``*_profile``
+      factory in ``repro/workloads/production.py`` must be referenced
+      from the ``WORKLOADS``/``PATTERNS``/``PROFILES`` dicts of
+      ``repro/workloads/registry.py``.
 
 The flow-sensitive passes F001–F005 (await-atomicity, blocking calls in
 ``async def``, task leaks, wire-param taint, lock discipline) live in
@@ -209,6 +219,17 @@ BENCHMARK_EXEMPT_BASENAMES = frozenset({"conftest.py"})
 BENCHMARK_JSON_WRITERS = frozenset({"json.dump", "json.dumps"})
 BENCHMARK_WRITE_ATTRS = frozenset({"write_text", "write_bytes"})
 
+#: R014: the workload generators are the one place the repository *does*
+#: allow randomness — and only through seeded random.Random instances.
+WORKLOADS_DIR = "repro/workloads/"
+#: ...and the production pattern kit must stay reachable through the
+#: workload registry's dict literals.
+WORKLOAD_PATTERN_MODULE = "repro/workloads/production.py"
+WORKLOAD_REGISTRY = "repro/workloads/registry.py"
+WORKLOAD_REGISTRY_DICTS = ("WORKLOADS", "PATTERNS", "PROFILES")
+WORKLOAD_PATTERN_SUFFIX = "Pattern"
+WORKLOAD_PROFILE_SUFFIX = "_profile"
+
 
 def _dotted(node: ast.expr) -> Optional[str]:
     """``a.b.c`` for a Name/Attribute chain, else None."""
@@ -251,8 +272,8 @@ def _local_dict_names(func: ast.AST) -> Set[str]:
 
 
 class _FileLinter(ast.NodeVisitor):
-    """Runs the per-file rules (R001, R002, R004–R009, R011) over one
-    module."""
+    """Runs the per-file rules (R001, R002, R004–R009, R011, R013 and
+    the RNG half of R014) over one module."""
 
     def __init__(self, relpath: str, file_path: str = "") -> None:
         self.relpath = relpath
@@ -313,6 +334,22 @@ class _FileLinter(ast.NodeVisitor):
                             f"'{dotted}' uses the unseeded module-level RNG — "
                             "construct random.Random(seed) instead",
                         )
+        if self.relpath.startswith(WORKLOADS_DIR):
+            dotted = _dotted(func)
+            if (
+                dotted is not None
+                and dotted.startswith("random.")
+                and dotted.count(".") == 1
+                and not (dotted == "random.Random" and (node.args or node.keywords))
+            ):
+                self._add(
+                    "R014",
+                    node,
+                    f"'{dotted}' draws from the unseeded module-level RNG in a "
+                    "workload generator — all randomness in repro/workloads "
+                    "goes through a seeded random.Random(seed), or identical "
+                    "seeds stop reproducing identical streams",
+                )
         if (
             isinstance(func, ast.Name)
             and func.id == "print"
@@ -641,8 +678,8 @@ class _FileLinter(ast.NodeVisitor):
 
 
 def _rules_pass(ctx: FileContext) -> List[Finding]:
-    """R001/R002/R004–R009 (per-file half) and R011 over one parsed
-    module."""
+    """R001/R002/R004–R009 (per-file half), R011, R013 and the RNG half
+    of R014 over one parsed module."""
     linter = _FileLinter(ctx.relpath, ctx.file_path)
     linter.visit(ctx.tree)
     return linter.findings
@@ -675,11 +712,15 @@ def _wire_pass(root: Path, contexts: List[FileContext]) -> List[Finding]:
     return check_verb_wire(root)
 
 
+def _workloads_pass(root: Path, contexts: List[FileContext]) -> List[Finding]:
+    return check_workload_registry(root)
+
+
 def default_manager() -> PassManager:
     """The full pass set ``repro-lint`` runs: R-rules + F-passes."""
     return PassManager(
         file_passes=[_rules_pass, _flow_pass],
-        tree_passes=[_policy_pass, _verbs_pass, _wire_pass],
+        tree_passes=[_policy_pass, _verbs_pass, _wire_pass, _workloads_pass],
     )
 
 
@@ -1066,6 +1107,115 @@ def check_verb_wire(root: Path) -> List[Finding]:
                 "declared verb needs a binary verb id and batchability flag",
             )
         )
+    return findings
+
+
+# -- R014: the production pattern kit is registered (cross-file) ----------
+
+
+def check_workload_registry(root: Path) -> List[Finding]:
+    """R014 (registry half): every concrete ``*Pattern`` class, Workload
+    subclass and ``*_profile`` factory defined in the production module
+    must be referenced from the workload registry's dict literals —
+    otherwise the pattern exists but no profile name, CLI flag or perf
+    harness can reach it."""
+    production = root / Path(WORKLOAD_PATTERN_MODULE)
+    registry = root / Path(WORKLOAD_REGISTRY)
+    if not production.exists() or not registry.exists():
+        return []
+    try:
+        prod_tree = ast.parse(production.read_text(), filename=str(production))
+        reg_tree = ast.parse(registry.read_text(), filename=str(registry))
+    except (OSError, SyntaxError):
+        return []
+    rel_production = production.relative_to(root).as_posix()
+    rel_registry = registry.relative_to(root).as_posix()
+
+    classes: Dict[str, Tuple[List[str], int]] = {}
+    factories: Dict[str, int] = {}
+    for node in prod_tree.body:  # top level only: helpers may nest freely
+        if isinstance(node, ast.ClassDef):
+            bases = [
+                b.attr if isinstance(b, ast.Attribute) else getattr(b, "id", "")
+                for b in node.bases
+            ]
+            classes[node.name] = (bases, node.lineno)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.endswith(WORKLOAD_PROFILE_SUFFIX) and not node.name.startswith("_"):
+                factories[node.name] = node.lineno
+    in_file_bases = {
+        base for bases, _ in classes.values() for base in bases if base in classes
+    }
+
+    referenced: Set[str] = set()
+    dicts_seen: Set[str] = set()
+    for node in ast.walk(reg_tree):
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        named = [
+            t.id
+            for t in targets
+            if isinstance(t, ast.Name) and t.id in WORKLOAD_REGISTRY_DICTS
+        ]
+        if not named or not isinstance(value, ast.Dict):
+            continue
+        dicts_seen.update(named)
+        for entry in value.values:
+            for sub in ast.walk(entry):
+                if isinstance(sub, ast.Name):
+                    referenced.add(sub.id)
+                elif isinstance(sub, ast.Attribute):
+                    referenced.add(sub.attr)
+
+    missing_dicts = sorted(set(WORKLOAD_REGISTRY_DICTS) - dicts_seen)
+    if missing_dicts:
+        return [
+            Finding(
+                "R014",
+                rel_registry,
+                1,
+                "workload registry is missing the "
+                + "/".join(missing_dicts)
+                + " dict literal(s) the production pattern kit registers into",
+            )
+        ]
+
+    findings: List[Finding] = []
+    for name, (bases, line) in sorted(classes.items()):
+        concrete_pattern = (
+            name.endswith(WORKLOAD_PATTERN_SUFFIX) and name not in in_file_bases
+        )
+        is_workload = "Workload" in bases
+        if (concrete_pattern or is_workload) and name not in referenced:
+            what = "workload class" if is_workload else "pattern class"
+            findings.append(
+                Finding(
+                    "R014",
+                    rel_production,
+                    line,
+                    f"{what} '{name}' is not referenced from the "
+                    "WORKLOADS/PATTERNS/PROFILES dicts in "
+                    f"{WORKLOAD_REGISTRY} — unregistered generators are "
+                    "unreachable from profiles, the CLI and the perf gate",
+                )
+            )
+    for name, line in sorted(factories.items()):
+        if name not in referenced:
+            findings.append(
+                Finding(
+                    "R014",
+                    rel_production,
+                    line,
+                    f"profile factory '{name}' is not referenced from the "
+                    "WORKLOADS/PATTERNS/PROFILES dicts in "
+                    f"{WORKLOAD_REGISTRY} — unregistered generators are "
+                    "unreachable from profiles, the CLI and the perf gate",
+                )
+            )
     return findings
 
 

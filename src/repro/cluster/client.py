@@ -34,6 +34,7 @@ from repro.cluster.aggregate import merge_prometheus, merge_snapshots, merge_sta
 from repro.cluster.replication import ReplicationManager
 from repro.cluster.ring import HashRing
 from repro.server.client import DEFAULT_CLIENT_WINDOW, CacheClient, RetryPolicy
+from repro.server.protocol import MAX_BATCH_OPS
 from repro.telemetry import Telemetry
 
 #: verbs routed to a single shard by their ``path`` parameter
@@ -294,7 +295,16 @@ class ClusterClient:
         call: Callable[[CacheClient, List[Tuple[Any, ...]]], Awaitable[List[Dict[str, Any]]]],
     ) -> List[Dict[str, Any]]:
         """Group batch ops by owning shard, run the per-shard sub-batches
-        concurrently and re-merge the results into the original op order."""
+        concurrently and re-merge the results into the original op order.
+
+        Each shard's sub-batch is chunked at the wire's ``MAX_BATCH_OPS``
+        and the chunks run *sequentially* per shard: a caller-sized mega
+        batch must neither exceed the server's frame validation limit nor
+        pile more than one frame's worth of ops onto a slow shard at once
+        — the per-connection backpressure window stays the bound on
+        in-flight work.  Shards still proceed concurrently with each
+        other, so one stalled shard never blocks the rest of the batch.
+        """
         groups: Dict[str, List[Tuple[int, Tuple[Any, ...]]]] = {}
         for index, op in enumerate(ops):
             groups.setdefault(self.shard_of(op[0]), []).append((index, op))
@@ -315,9 +325,20 @@ class ClusterClient:
             shard_clients = await asyncio.gather(
                 *(self.client_for(sid) for sid, _ in grouped)
             )
+            async def run_shard(
+                client: CacheClient, entries: List[Tuple[int, Tuple[Any, ...]]]
+            ) -> List[Dict[str, Any]]:
+                sub = [op for _, op in entries]
+                results: List[Dict[str, Any]] = []
+                for start in range(0, len(sub), MAX_BATCH_OPS):
+                    results.extend(
+                        await call(client, sub[start : start + MAX_BATCH_OPS])
+                    )
+                return results
+
             shard_results = await asyncio.gather(
                 *(
-                    call(client, [op for _, op in entries])
+                    run_shard(client, entries)
                     for client, (_, entries) in zip(shard_clients, grouped)
                 )
             )

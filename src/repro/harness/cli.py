@@ -11,6 +11,8 @@ Examples::
     repro-accfc cluster --shards 3 --port-base 7490   # sharded cache cluster
     repro-accfc metrics --port 7481  # scrape a running daemon (Prometheus text)
     repro-accfc metrics --port 7490 --all-shards 3    # merged cluster scrape
+    repro-accfc load --profile etc --shards 16 --sessions 1024   # traffic engine
+    repro-accfc load --trace ops.csv --shards 4 --json           # trace replay
     repro-accfc perf diff            # compare HEAD profiles to the baseline
     repro-accfc perf check           # the CI perf gate (exit 1 on DEGRADED)
     repro-accfc all                  # everything (several minutes)
@@ -283,6 +285,27 @@ def metrics_main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     endpoints = _metrics_endpoints(args, parser)
 
+    def ensure_quantiles(node) -> None:
+        """Fill bucket-estimated p50/p99 into histogram samples in place.
+
+        Current daemons export them already; scraping an older daemon (or
+        a merged snapshot of mixed versions) gets the same fields computed
+        client-side from the cumulative buckets.
+        """
+        from repro.telemetry.metrics import histogram_quantiles
+
+        if isinstance(node, dict):
+            if "buckets" in node and "quantiles" not in node:
+                try:
+                    node["quantiles"] = histogram_quantiles(node["buckets"])
+                except (KeyError, TypeError, ValueError):
+                    pass
+            for value in node.values():
+                ensure_quantiles(value)
+        elif isinstance(node, list):
+            for value in node:
+                ensure_quantiles(value)
+
     async def scrape_one(endpoint: tuple):
         from repro.server.client import CacheClient
 
@@ -304,6 +327,9 @@ def metrics_main(argv: Optional[List[str]] = None) -> int:
                 quiet=args.quiet,
             )
         replies = [await scrape_one(endpoint) for endpoint in endpoints]
+        if args.format != "prometheus":
+            for reply in replies:
+                ensure_quantiles(reply)
         if len(replies) == 1:
             reply = replies[0]
             if args.format == "prometheus":
@@ -345,6 +371,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.perf.cli import perf_main
 
         return perf_main(argv[1:])
+    if argv and argv[0] == "load":
+        from repro.harness.load import load_main
+
+        return load_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-accfc",
         description="Regenerate the figures and tables of 'Application-Controlled File Caching' (OSDI '94). "

@@ -17,6 +17,11 @@ regress:
 * ``replication`` — the R=2 write fan-out's latency overhead over one
   copy (concurrent fan-out keeps it near 1x) and read throughput with a
   shard crash-stopped (warm failover; latency-bound like the above).
+* ``production_load`` — the traffic engine's end-to-end path: sustained
+  ops/s of a subprocess cluster under closed-loop ETC-like Zipf load,
+  plus the hit ratio under that skew (an admission or replacement
+  regression moves it before any latency chart does).  Tail latency is
+  recorded un-gated in the same family.
 
 Un-gated families (the figure/table reproductions, telemetry overhead)
 still write profiles every run — ``repro-accfc perf diff`` compares all
@@ -50,6 +55,9 @@ GATED_FAMILIES: Dict[str, FamilyCheck] = {
     ),
     "replication": FamilyCheck(
         metrics=("replicated_write_overhead", "post_failover_warm_ops_per_sec"),
+    ),
+    "production_load": FamilyCheck(
+        metrics=("sustained_ops_per_sec", "hit_ratio"),
     ),
 }
 

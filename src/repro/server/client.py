@@ -452,16 +452,22 @@ class CacheClient:
             # still target the map this request was registered in.
             pending = self._pending
             pending[req_id] = future
-            await self._transport.send(request(req_id, verb, **params))
             try:
+                await self._transport.send(request(req_id, verb, **params))
                 if timeout is not None:
                     reply = await asyncio.wait_for(future, timeout)
                 else:
                     reply = await future
             except asyncio.TimeoutError:
-                pending.pop(req_id, None)
                 self.timeouts += 1
                 raise
+            finally:
+                # Every exit path must unregister: a send() that raises with
+                # the transport still open, or a cancelled waiter, would
+                # otherwise strand the entry forever — with thousands of
+                # sessions that is unbounded pending-map growth.  On the
+                # success path the reader already popped it (no-op here).
+                pending.pop(req_id, None)
         if reply.get("ok"):
             return reply.get("value")
         code = reply.get("code", "INTERNAL")

@@ -41,6 +41,9 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricFamily,
     MetricsRegistry,
+    bucket_quantile,
+    histogram_quantiles,
+    quantile_label,
 )
 from repro.telemetry.spans import Span, Tracer
 from repro.telemetry.collectors import (
@@ -62,6 +65,9 @@ __all__ = [
     "Span",
     "render_prometheus",
     "render_snapshot",
+    "bucket_quantile",
+    "histogram_quantiles",
+    "quantile_label",
     "telemetry_enabled",
     "attach_standard_collectors",
     "cache_collector",

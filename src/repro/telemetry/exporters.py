@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Optional
 
-from repro.telemetry.metrics import Histogram, MetricsRegistry
+from repro.telemetry.metrics import Histogram, MetricsRegistry, histogram_quantiles
 from repro.telemetry.spans import Tracer
 
 __all__ = ["render_prometheus", "render_snapshot"]
@@ -63,6 +63,7 @@ def render_snapshot(
         samples = []
         for labels, child in family.children():
             if isinstance(child, Histogram):
+                cumulative = child.cumulative()
                 samples.append(
                     {
                         "labels": labels,
@@ -70,8 +71,11 @@ def render_snapshot(
                         "sum": child.sum,
                         "buckets": [
                             {"le": b if not math.isinf(b) else "+Inf", "count": n}
-                            for b, n in child.cumulative()
+                            for b, n in cumulative
                         ],
+                        # bucket-estimated p50/p99 so dashboards and the
+                        # metrics CLI need no client-side bucket math
+                        "quantiles": histogram_quantiles(cumulative),
                     }
                 )
             else:

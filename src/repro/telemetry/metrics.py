@@ -20,8 +20,9 @@ Two idioms keep the hot-path cost negligible:
 
 from __future__ import annotations
 
+import math
 import re
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "Counter",
@@ -31,6 +32,9 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_DEPTH_BUCKETS",
+    "bucket_quantile",
+    "histogram_quantiles",
+    "quantile_label",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -127,6 +131,84 @@ class Histogram:
             out.append((bound, running))
         out.append((float("inf"), running + self.counts[-1]))
         return out
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile of the observed values."""
+        return bucket_quantile(self.cumulative(), q)
+
+
+#: inputs `bucket_quantile`/`histogram_quantiles` accept: a Histogram, its
+#: `cumulative()` output, or a JSON-snapshot bucket list
+#: (`[{"le": bound-or-"+Inf", "count": n}, ...]`, cumulative counts)
+CumulativeLike = Union[
+    "Histogram",
+    Sequence[Tuple[float, int]],
+    Sequence[Dict[str, object]],
+]
+
+
+def _as_cumulative(source: CumulativeLike) -> List[Tuple[float, int]]:
+    if isinstance(source, Histogram):
+        return source.cumulative()
+    out: List[Tuple[float, int]] = []
+    for entry in source:
+        if isinstance(entry, dict):
+            bound = entry["le"]
+            if isinstance(bound, str):
+                bound = float("inf") if bound in ("+Inf", "inf") else float(bound)
+            out.append((float(bound), int(entry["count"])))  # type: ignore[arg-type]
+        else:
+            bound, count = entry  # type: ignore[misc]
+            out.append((float(bound), int(count)))
+    return out
+
+
+def bucket_quantile(source: CumulativeLike, q: float) -> Optional[float]:
+    """Estimate the ``q``-quantile from cumulative histogram buckets.
+
+    Prometheus ``histogram_quantile`` semantics: linear interpolation
+    within the bucket the target rank lands in, the first bucket's lower
+    edge taken as 0, and ranks falling in the ``+Inf`` bucket clamped to
+    the last finite upper bound (the layout can't resolve further).
+    Returns ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    cumulative = _as_cumulative(source)
+    if not cumulative:
+        return None
+    total = cumulative[-1][1]
+    if total == 0:
+        return None
+    target = q * total
+    prev_bound = 0.0
+    prev_count = 0
+    last_finite = 0.0
+    for bound, count in cumulative:
+        if count >= target and count > prev_count:
+            if math.isinf(bound):
+                return last_finite
+            lo = min(prev_bound, bound)
+            fraction = (target - prev_count) / (count - prev_count)
+            return lo + (bound - lo) * fraction
+        if not math.isinf(bound):
+            last_finite = bound
+            prev_bound = bound
+        prev_count = count
+    return last_finite
+
+
+def quantile_label(q: float) -> str:
+    """``0.5`` → ``"p50"``, ``0.999`` → ``"p99.9"``."""
+    return f"p{q * 100:g}"
+
+
+def histogram_quantiles(
+    source: CumulativeLike, qs: Sequence[float] = (0.5, 0.99)
+) -> Dict[str, Optional[float]]:
+    """Named quantile estimates, e.g. ``{"p50": ..., "p99": ...}``."""
+    cumulative = _as_cumulative(source)
+    return {quantile_label(q): bucket_quantile(cumulative, q) for q in qs}
 
 
 class MetricFamily:

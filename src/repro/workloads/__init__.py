@@ -31,7 +31,39 @@ from repro.workloads.postgres import PostgresJoin
 from repro.workloads.readn import ReadN
 from repro.workloads.sort import ExternalSort
 from repro.workloads.synthetic import Phased, SequentialScan, WriteBurst, ZipfHotCold
-from repro.workloads.registry import WORKLOADS, make_workload
+from repro.workloads.production import (
+    ArrivalProcess,
+    ClosedLoop,
+    FlashCrowdPattern,
+    HotspotPattern,
+    KeyPattern,
+    OnOffArrivals,
+    PoissonArrivals,
+    ProductionTraffic,
+    TraceError,
+    TrafficOp,
+    TrafficProfile,
+    UniformPattern,
+    ZipfianPattern,
+    etc_profile,
+    flashcrowd_profile,
+    format_trace,
+    hotspot_profile,
+    load_trace,
+    parse_trace,
+    parse_trace_lines,
+    reference_stream,
+    rtdata_profile,
+    uniform_profile,
+    zipfian_profile,
+)
+from repro.workloads.registry import (
+    PATTERNS,
+    PROFILES,
+    WORKLOADS,
+    make_profile,
+    make_workload,
+)
 
 __all__ = [
     "Workload",
@@ -54,6 +86,33 @@ __all__ = [
     "ZipfHotCold",
     "WriteBurst",
     "Phased",
+    "KeyPattern",
+    "UniformPattern",
+    "ZipfianPattern",
+    "HotspotPattern",
+    "FlashCrowdPattern",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "ClosedLoop",
+    "TrafficOp",
+    "TrafficProfile",
+    "TraceError",
+    "ProductionTraffic",
+    "etc_profile",
+    "rtdata_profile",
+    "uniform_profile",
+    "zipfian_profile",
+    "hotspot_profile",
+    "flashcrowd_profile",
+    "parse_trace",
+    "parse_trace_lines",
+    "load_trace",
+    "format_trace",
+    "reference_stream",
     "WORKLOADS",
+    "PATTERNS",
+    "PROFILES",
     "make_workload",
+    "make_profile",
 ]

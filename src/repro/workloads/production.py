@@ -1,0 +1,692 @@
+"""Production traffic: skewed key popularity, open-loop arrivals, trace replay.
+
+The paper evaluates caching on faithful single-application traces;
+production traffic serving millions of users looks different — Zipf-skewed
+popularity, hotspots that migrate, flash crowds, and *open-loop* arrivals
+whose offered rate does not slow down when the server does.  This module
+is the seeded, deterministic generator kit behind ``repro-accfc load``:
+
+* **Key patterns** (:class:`UniformPattern`, :class:`ZipfianPattern`,
+  :class:`HotspotPattern`, :class:`FlashCrowdPattern`) map draws from a
+  caller-supplied ``random.Random`` to key ranks over millions of
+  distinct file paths.  The Zipf sampler uses Hörmann's
+  rejection-inversion (the YCSB / Apache-commons algorithm): O(1) time
+  and memory per draw regardless of the keyspace size, exact Zipf(s)
+  frequencies.
+* **Arrival processes** (:class:`PoissonArrivals`, :class:`OnOffArrivals`,
+  :class:`ClosedLoop`) stamp each operation with an offered arrival time,
+  decoupling load from service rate; ``ClosedLoop`` is the back-to-back
+  fallback.
+* :class:`TrafficProfile` composes a pattern with read/write mix,
+  value-size, and phase-shift knobs into a named profile; the ETC- and
+  RTDATA-like presets (:func:`etc_profile`, :func:`rtdata_profile`)
+  mirror the memcached workload shapes from SNIPPETS.md.
+* A forgiving CSV trace format (``path,op,block[,size,ts]``) with
+  :func:`parse_trace` / :func:`format_trace`; hard errors raise
+  :class:`TraceError` carrying the 1-based line number.
+
+Everything is deterministic under a seed: ``TrafficProfile.ops(seed, n)``
+yields a reference stream that is byte-for-byte reproducible via
+:func:`reference_stream`.  Per lint rule R014, all randomness flows
+through seeded ``random.Random`` instances — no module-level ``random.*``
+calls — and every concrete pattern class here is registered in
+``repro.workloads.registry``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.sim.ops import BlockRead, BlockWrite, Compute
+from repro.workloads.base import FileSpec, Workload, set_priority
+
+__all__ = [
+    "KeyPattern",
+    "UniformPattern",
+    "ZipfianPattern",
+    "HotspotPattern",
+    "FlashCrowdPattern",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "OnOffArrivals",
+    "ClosedLoop",
+    "TrafficOp",
+    "TrafficProfile",
+    "ProductionTraffic",
+    "TraceError",
+    "etc_profile",
+    "rtdata_profile",
+    "uniform_profile",
+    "zipfian_profile",
+    "hotspot_profile",
+    "flashcrowd_profile",
+    "parse_trace",
+    "parse_trace_lines",
+    "load_trace",
+    "format_trace",
+    "reference_stream",
+]
+
+
+# --------------------------------------------------------------------------
+# key-popularity patterns
+
+
+class KeyPattern:
+    """Maps uniform randomness to a key rank in ``[0, paths)``.
+
+    Patterns are stateless between draws: ``sample`` is a pure function of
+    the supplied ``rng`` stream and ``progress`` (run fraction in
+    ``[0, 1]``), which is what makes profile streams reproducible and lets
+    one pattern instance serve many seeds.
+    """
+
+    def __init__(self, paths: int) -> None:
+        if paths < 1:
+            raise ValueError(f"paths must be >= 1, got {paths}")
+        self.paths = int(paths)
+
+    def sample(self, rng: random.Random, progress: float = 0.0) -> int:
+        raise NotImplementedError
+
+    def hot_keys(self) -> int:
+        """How many top ranks a cache-priority hint should pin (heuristic)."""
+        return max(1, self.paths // 10)
+
+
+class UniformPattern(KeyPattern):
+    """Every path equally popular — the no-skew control."""
+
+    def sample(self, rng: random.Random, progress: float = 0.0) -> int:
+        return rng.randrange(self.paths)
+
+
+class ZipfianPattern(KeyPattern):
+    """Zipf(s) popularity: rank ``k`` drawn with probability ∝ ``(k+1)^-s``.
+
+    Hörmann rejection-inversion sampling (W. Hörmann & G. Derflinger,
+    "Rejection-inversion to generate variates from monotone discrete
+    distributions", 1996) as used by YCSB and Apache commons-rng: exact,
+    O(1) per draw, no per-rank tables — essential over millions of paths.
+    """
+
+    def __init__(self, paths: int, skew: float = 0.99) -> None:
+        super().__init__(paths)
+        if skew <= 0.0:
+            raise ValueError(f"skew must be > 0, got {skew}")
+        self.skew = float(skew)
+        self._h_x1 = self._h_integral(1.5) - 1.0
+        self._h_n = self._h_integral(self.paths + 0.5)
+        self._s = 2.0 - self._h_integral_inverse(
+            self._h_integral(2.5) - self._h(2.0)
+        )
+
+    def _h(self, x: float) -> float:
+        return math.exp(-self.skew * math.log(x))
+
+    def _h_integral(self, x: float) -> float:
+        log_x = math.log(x)
+        if abs(1.0 - self.skew) < 1e-12:
+            return log_x
+        return (math.exp((1.0 - self.skew) * log_x) - 1.0) / (1.0 - self.skew)
+
+    def _h_integral_inverse(self, x: float) -> float:
+        if abs(1.0 - self.skew) < 1e-12:
+            return math.exp(x)
+        t = max(x * (1.0 - self.skew) + 1.0, 1e-300)
+        return math.exp(math.log(t) / (1.0 - self.skew))
+
+    def sample(self, rng: random.Random, progress: float = 0.0) -> int:
+        while True:
+            u = self._h_n + rng.random() * (self._h_x1 - self._h_n)
+            x = self._h_integral_inverse(u)
+            k = int(x + 0.5)
+            if k < 1:
+                k = 1
+            elif k > self.paths:
+                k = self.paths
+            if k - x <= self._s or u >= self._h_integral(k + 0.5) - self._h(k):
+                return k - 1
+
+    def hot_keys(self) -> int:
+        # With s≈1 the head is extremely heavy; pinning ~1% of ranks
+        # covers most of the mass.
+        return max(1, self.paths // 100)
+
+
+class HotspotPattern(KeyPattern):
+    """A hot set gets a fixed share of accesses; the rest spread uniformly.
+
+    ``hot_weight`` of draws land uniformly in the first ``hot`` ranks;
+    the remainder land uniformly in the cold tail.  This is the shared
+    hot/cold skew math behind ``repro.workloads.synthetic.ZipfHotCold``.
+    """
+
+    def __init__(
+        self,
+        paths: int,
+        hot_fraction: float = 0.1,
+        hot_weight: float = 0.9,
+        hot: Optional[int] = None,
+    ) -> None:
+        super().__init__(paths)
+        if not 0.0 < hot_weight < 1.0:
+            raise ValueError(f"hot_weight must be in (0, 1), got {hot_weight}")
+        if hot is None:
+            if not 0.0 < hot_fraction <= 1.0:
+                raise ValueError(
+                    f"hot_fraction must be in (0, 1], got {hot_fraction}"
+                )
+            hot = max(1, int(paths * hot_fraction))
+        if not 1 <= hot <= paths:
+            raise ValueError(f"hot set must be within 1..{paths}, got {hot}")
+        self.hot = int(hot)
+        self.hot_weight = float(hot_weight)
+
+    def sample(self, rng: random.Random, progress: float = 0.0) -> int:
+        if self.hot >= self.paths:
+            return rng.randrange(self.paths)
+        if rng.random() < self.hot_weight:
+            return rng.randrange(self.hot)
+        return self.hot + rng.randrange(self.paths - self.hot)
+
+    def hot_keys(self) -> int:
+        return self.hot
+
+
+class FlashCrowdPattern(KeyPattern):
+    """A crowd descends on a few paths mid-run, then disperses.
+
+    Outside the event the crowd set draws ``base_weight`` of accesses
+    (background popularity); between ``ramp_start`` and ``peak`` the crowd
+    weight climbs linearly to ``peak_weight``, holds nothing, and decays
+    back to ``base_weight`` by ``ramp_end``.  Non-crowd draws are uniform
+    over the remaining ranks.
+    """
+
+    def __init__(
+        self,
+        paths: int,
+        crowd: int = 16,
+        base_weight: float = 0.05,
+        peak_weight: float = 0.8,
+        ramp_start: float = 0.25,
+        peak: float = 0.5,
+        ramp_end: float = 0.75,
+    ) -> None:
+        super().__init__(paths)
+        if not 1 <= crowd <= paths:
+            raise ValueError(f"crowd must be within 1..{paths}, got {crowd}")
+        if not 0.0 <= base_weight < peak_weight <= 1.0:
+            raise ValueError(
+                "need 0 <= base_weight < peak_weight <= 1, got "
+                f"{base_weight}/{peak_weight}"
+            )
+        if not 0.0 <= ramp_start < peak < ramp_end <= 1.0:
+            raise ValueError(
+                "need 0 <= ramp_start < peak < ramp_end <= 1, got "
+                f"{ramp_start}/{peak}/{ramp_end}"
+            )
+        self.crowd = int(crowd)
+        self.base_weight = float(base_weight)
+        self.peak_weight = float(peak_weight)
+        self.ramp_start = float(ramp_start)
+        self.peak = float(peak)
+        self.ramp_end = float(ramp_end)
+
+    def crowd_weight(self, progress: float) -> float:
+        """The crowd's share of accesses at run fraction ``progress``."""
+        p = min(max(progress, 0.0), 1.0)
+        if p <= self.ramp_start or p >= self.ramp_end:
+            return self.base_weight
+        span = self.peak_weight - self.base_weight
+        if p <= self.peak:
+            return self.base_weight + span * (
+                (p - self.ramp_start) / (self.peak - self.ramp_start)
+            )
+        return self.base_weight + span * (
+            (self.ramp_end - p) / (self.ramp_end - self.peak)
+        )
+
+    def sample(self, rng: random.Random, progress: float = 0.0) -> int:
+        if self.crowd >= self.paths:
+            return rng.randrange(self.paths)
+        if rng.random() < self.crowd_weight(progress):
+            return rng.randrange(self.crowd)
+        return self.crowd + rng.randrange(self.paths - self.crowd)
+
+    def hot_keys(self) -> int:
+        return self.crowd
+
+
+# --------------------------------------------------------------------------
+# arrival processes
+
+
+class ArrivalProcess:
+    """Yields offered arrival times (seconds from run start), monotone."""
+
+    #: open-loop processes stamp timestamps the driver honours even when
+    #: the service is slower than the offered rate
+    open_loop = True
+
+    def times(self, rng: random.Random) -> Iterator[float]:
+        raise NotImplementedError
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at ``rate`` requests/second."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0.0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.rate = float(rate)
+
+    def times(self, rng: random.Random) -> Iterator[float]:
+        t = 0.0
+        while True:
+            t += rng.expovariate(self.rate)
+            yield t
+
+
+class OnOffArrivals(ArrivalProcess):
+    """Bursts: Poisson at ``rate`` for ``on_s`` seconds, silent ``off_s``."""
+
+    def __init__(self, rate: float, on_s: float = 0.5, off_s: float = 0.5) -> None:
+        if rate <= 0.0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if on_s <= 0.0 or off_s < 0.0:
+            raise ValueError(f"need on_s > 0 and off_s >= 0, got {on_s}/{off_s}")
+        self.rate = float(rate)
+        self.on_s = float(on_s)
+        self.off_s = float(off_s)
+
+    def times(self, rng: random.Random) -> Iterator[float]:
+        cycle_start = 0.0
+        while True:
+            t = cycle_start
+            while True:
+                t += rng.expovariate(self.rate)
+                if t >= cycle_start + self.on_s:
+                    break
+                yield t
+            cycle_start += self.on_s + self.off_s
+
+
+class ClosedLoop(ArrivalProcess):
+    """No offered timestamps: each session issues back-to-back."""
+
+    open_loop = False
+
+    def times(self, rng: random.Random) -> Iterator[float]:
+        while True:
+            yield 0.0
+
+
+# --------------------------------------------------------------------------
+# traffic ops and profiles
+
+
+@dataclass(frozen=True)
+class TrafficOp:
+    """One logical request in a reference stream or replay trace."""
+
+    path: str
+    op: str  # "r" or "w"
+    blockno: int
+    size: int = 1  # consecutive blocks covered, >= 1
+    ts: Optional[float] = None  # offered arrival time (s), None = closed loop
+
+    def blocks(self) -> Iterator[int]:
+        return iter(range(self.blockno, self.blockno + self.size))
+
+
+#: derived-stream offset so arrival timestamps consume their own RNG and
+#: the key/op stream stays identical across arrival-process choices
+_ARRIVAL_SEED_SALT = 0x9E3779B9
+
+
+class TrafficProfile:
+    """A named, composable traffic shape: pattern × mix × size × arrivals.
+
+    ``ops(seed, count)`` yields the deterministic reference stream — the
+    same ``(seed, profile)`` pair always produces byte-for-byte identical
+    output (see :func:`reference_stream`).
+
+    Knobs:
+
+    * ``read_fraction`` — read/write mix (1.0 = read-only);
+    * ``value_blocks`` — blocks per logical request, either a fixed int
+      or an inclusive ``(lo, hi)`` range sampled per-op;
+    * ``phase_shift`` — rotates key identity by up to this fraction of
+      the keyspace over the run, so "who is hot" migrates with time;
+    * ``arrivals`` — an :class:`ArrivalProcess` stamping offered times.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pattern: KeyPattern,
+        read_fraction: float = 0.95,
+        value_blocks: Union[int, Tuple[int, int]] = 1,
+        phase_shift: float = 0.0,
+        arrivals: Optional[ArrivalProcess] = None,
+        blocks_per_file: int = 16,
+        prefix: str = "prod",
+    ) -> None:
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError(
+                f"read_fraction must be in [0, 1], got {read_fraction}"
+            )
+        if not 0.0 <= phase_shift <= 1.0:
+            raise ValueError(f"phase_shift must be in [0, 1], got {phase_shift}")
+        if blocks_per_file < 1:
+            raise ValueError(f"blocks_per_file must be >= 1, got {blocks_per_file}")
+        if isinstance(value_blocks, int):
+            lo = hi = value_blocks
+        else:
+            lo, hi = value_blocks
+        if not 1 <= lo <= hi <= blocks_per_file:
+            raise ValueError(
+                f"value_blocks must satisfy 1 <= lo <= hi <= blocks_per_file, "
+                f"got {value_blocks} with blocks_per_file={blocks_per_file}"
+            )
+        self.name = name
+        self.pattern = pattern
+        self.read_fraction = float(read_fraction)
+        self.value_lo = int(lo)
+        self.value_hi = int(hi)
+        self.phase_shift = float(phase_shift)
+        self.arrivals: ArrivalProcess = arrivals or ClosedLoop()
+        self.blocks_per_file = int(blocks_per_file)
+        self.prefix = prefix.strip("/")
+
+    @property
+    def paths(self) -> int:
+        return self.pattern.paths
+
+    def path_of(self, key: int) -> str:
+        """Deterministic rank → path mapping, directory-sharded.
+
+        Millions of files in one flat directory is its own pathology;
+        shard ranks into 4096-entry directories like object stores do.
+        """
+        return f"{self.prefix}/{key >> 12:05x}/{key & 0xFFF:03x}.dat"
+
+    def hot_paths(self) -> List[str]:
+        """The paths a priority hint should pin, hottest first."""
+        return [self.path_of(k) for k in range(self.pattern.hot_keys())]
+
+    def ops(self, seed: int, count: int) -> Iterator[TrafficOp]:
+        """The seeded reference stream: ``count`` deterministic ops."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        rng = random.Random(seed)
+        arrival_rng = random.Random((seed ^ _ARRIVAL_SEED_SALT) & 0xFFFFFFFF)
+        open_loop = self.arrivals.open_loop
+        times = self.arrivals.times(arrival_rng) if open_loop else None
+        span = self.value_hi - self.value_lo
+        for i in range(count):
+            progress = i / count if count else 0.0
+            key = self.pattern.sample(rng, progress)
+            if self.phase_shift:
+                shift = int(progress * self.phase_shift * self.pattern.paths)
+                key = (key + shift) % self.pattern.paths
+            op = "r" if rng.random() < self.read_fraction else "w"
+            size = self.value_lo + (rng.randrange(span + 1) if span else 0)
+            blockno = rng.randrange(self.blocks_per_file - size + 1)
+            ts = round(next(times), 9) if times is not None else None
+            yield TrafficOp(self.path_of(key), op, blockno, size, ts)
+
+
+def reference_stream(profile: TrafficProfile, seed: int, count: int) -> str:
+    """The canonical byte-for-byte form of a seeded stream (trace CSV)."""
+    return format_trace(profile.ops(seed, count))
+
+
+# --------------------------------------------------------------------------
+# named presets (ETC- and RTDATA-like, after kv-emulator's memcached shapes)
+
+
+def etc_profile(
+    paths: int = 1_000_000,
+    skew: float = 0.99,
+    rate: Optional[float] = 2000.0,
+    **knobs: object,
+) -> TrafficProfile:
+    """ETC-like: the classic memcached 'everything' pool — tiny values,
+    ~97% reads, heavy Zipf skew over a huge keyspace."""
+    options: Dict[str, object] = {
+        "read_fraction": 0.97,
+        "value_blocks": 1,
+        "arrivals": PoissonArrivals(rate) if rate else ClosedLoop(),
+    }
+    options.update(knobs)
+    return TrafficProfile("etc", ZipfianPattern(paths, skew=skew), **options)  # type: ignore[arg-type]
+
+
+def rtdata_profile(
+    paths: int = 250_000,
+    skew: float = 0.8,
+    rate: Optional[float] = 1000.0,
+    **knobs: object,
+) -> TrafficProfile:
+    """RTDATA-like: real-time data pool — write-heavier (~75/25), milder
+    skew, multi-block values, bursty on/off arrivals."""
+    options: Dict[str, object] = {
+        "read_fraction": 0.75,
+        "value_blocks": (1, 4),
+        "arrivals": OnOffArrivals(rate, on_s=0.5, off_s=0.25)
+        if rate
+        else ClosedLoop(),
+    }
+    options.update(knobs)
+    return TrafficProfile("rtdata", ZipfianPattern(paths, skew=skew), **options)  # type: ignore[arg-type]
+
+
+def uniform_profile(paths: int = 1_000_000, **knobs: object) -> TrafficProfile:
+    """No-skew control: uniform popularity, read-mostly, closed loop."""
+    return TrafficProfile("uniform", UniformPattern(paths), **knobs)  # type: ignore[arg-type]
+
+
+def zipfian_profile(
+    paths: int = 1_000_000, skew: float = 0.99, **knobs: object
+) -> TrafficProfile:
+    """Bare Zipf(s) profile with default mix knobs."""
+    return TrafficProfile("zipf", ZipfianPattern(paths, skew=skew), **knobs)  # type: ignore[arg-type]
+
+
+def hotspot_profile(
+    paths: int = 1_000_000,
+    hot_fraction: float = 0.01,
+    hot_weight: float = 0.9,
+    **knobs: object,
+) -> TrafficProfile:
+    """90% of accesses on 1% of paths (tunable)."""
+    pattern = HotspotPattern(paths, hot_fraction=hot_fraction, hot_weight=hot_weight)
+    return TrafficProfile("hotspot", pattern, **knobs)  # type: ignore[arg-type]
+
+
+def flashcrowd_profile(
+    paths: int = 1_000_000, crowd: int = 16, **knobs: object
+) -> TrafficProfile:
+    """A mid-run flash crowd on ``crowd`` paths over a uniform background."""
+    return TrafficProfile("flashcrowd", FlashCrowdPattern(paths, crowd=crowd), **knobs)  # type: ignore[arg-type]
+
+
+# --------------------------------------------------------------------------
+# CSV trace replay
+
+
+class TraceError(ValueError):
+    """A hard trace-parse error; carries the 1-based source line number."""
+
+    def __init__(self, line_no: int, message: str, source: str = "<trace>") -> None:
+        self.line_no = line_no
+        self.source = source
+        super().__init__(f"{source}:{line_no}: {message}")
+
+
+_OP_ALIASES = {
+    "r": "r",
+    "read": "r",
+    "get": "r",
+    "w": "w",
+    "write": "w",
+    "put": "w",
+    "set": "w",
+}
+
+
+def _parse_int(raw: str, field: str, line_no: int, source: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise TraceError(line_no, f"{field} must be an integer, got {raw!r}", source) from None
+    if value < 0:
+        raise TraceError(line_no, f"{field} must be >= 0, got {value}", source)
+    return value
+
+
+def parse_trace_lines(
+    lines: Iterable[str], source: str = "<trace>"
+) -> Iterator[TrafficOp]:
+    """Parse ``path,op,block[,size,ts]`` lines into :class:`TrafficOp`\\ s.
+
+    Forgiving: blank lines and ``#`` comments are skipped, field
+    whitespace is stripped, op aliases (``read``/``get``/``write``/...)
+    and missing optional columns are accepted.  Anything else is a hard
+    :class:`TraceError` carrying the line number.
+    """
+    for line_no, raw in enumerate(lines, 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split(",")]
+        if len(parts) < 3:
+            raise TraceError(
+                line_no, f"expected path,op,block[,size,ts], got {line!r}", source
+            )
+        path, op_raw, block_raw = parts[0], parts[1], parts[2]
+        if not path:
+            raise TraceError(line_no, "empty path", source)
+        op = _OP_ALIASES.get(op_raw.lower())
+        if op is None:
+            raise TraceError(
+                line_no,
+                f"unknown op {op_raw!r} (want r/read/get or w/write/put/set)",
+                source,
+            )
+        blockno = _parse_int(block_raw, "block", line_no, source)
+        size = 1
+        if len(parts) > 3 and parts[3]:
+            size = _parse_int(parts[3], "size", line_no, source)
+            if size < 1:
+                raise TraceError(line_no, f"size must be >= 1, got {size}", source)
+        ts: Optional[float] = None
+        if len(parts) > 4 and parts[4]:
+            try:
+                ts = float(parts[4])
+            except ValueError:
+                raise TraceError(
+                    line_no, f"ts must be a number, got {parts[4]!r}", source
+                ) from None
+            if ts < 0.0:
+                raise TraceError(line_no, f"ts must be >= 0, got {ts}", source)
+        yield TrafficOp(path, op, blockno, size, ts)
+
+
+def parse_trace(text: str, source: str = "<trace>") -> List[TrafficOp]:
+    """Parse a whole trace document; see :func:`parse_trace_lines`."""
+    return list(parse_trace_lines(text.splitlines(), source))
+
+
+def load_trace(path: str) -> List[TrafficOp]:
+    """Read and parse a trace file; errors carry ``path:line``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return list(parse_trace_lines(handle, source=path))
+
+
+def format_trace(ops: Iterable[TrafficOp]) -> str:
+    """Serialize ops to the CSV trace format (round-trips via parse)."""
+    lines = []
+    for op in ops:
+        if op.ts is not None:
+            lines.append(f"{op.path},{op.op},{op.blockno},{op.size},{op.ts:.9f}")
+        elif op.size != 1:
+            lines.append(f"{op.path},{op.op},{op.blockno},{op.size}")
+        else:
+            lines.append(f"{op.path},{op.op},{op.blockno}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# --------------------------------------------------------------------------
+# simulator-facing workload wrapper
+
+
+class ProductionTraffic(Workload):
+    """Runs a :class:`TrafficProfile` stream against the paper simulator.
+
+    The cluster-scale driver lives in ``repro.harness.load``; this wrapper
+    shrinks the same generators to simulator scale (tens of files, not
+    millions) so ``make_workload("etc")`` and the policy suite can consume
+    production-shaped streams too.  ``smart`` pins the pattern's hot set
+    with a priority hint, mirroring ``ZipfHotCold``.
+    """
+
+    kind = "production"
+
+    def __init__(
+        self,
+        name: Optional[str] = None,
+        smart: bool = True,
+        disk=None,
+        profile: Optional[Union[TrafficProfile, Callable[..., TrafficProfile]]] = None,
+        paths: int = 64,
+        blocks_per_file: int = 16,
+        accesses: int = 2000,
+        seed: int = 31,
+        cpu_per_op: float = 0.0005,
+        **profile_knobs: object,
+    ) -> None:
+        super().__init__(name=name, smart=smart, disk=disk)
+        if paths > 65536:
+            raise ValueError(
+                f"simulator wrapper caps paths at 65536 (got {paths}); "
+                "use repro.harness.load for cluster-scale keyspaces"
+            )
+        if callable(profile):
+            profile = profile(
+                paths=paths, blocks_per_file=blocks_per_file, **profile_knobs
+            )
+        elif profile is None:
+            profile = zipfian_profile(
+                paths=paths, blocks_per_file=blocks_per_file, **profile_knobs
+            )
+        self.profile = profile
+        self.accesses = int(accesses)
+        self.seed = int(seed)
+        self.cpu_per_op = float(cpu_per_op)
+
+    def file_specs(self) -> List[FileSpec]:
+        return [
+            FileSpec(self.path(self.profile.path_of(k)), self.profile.blocks_per_file)
+            for k in range(self.profile.paths)
+        ]
+
+    def program(self) -> Iterator:
+        if self.smart:
+            for hot in self.profile.hot_paths():
+                yield set_priority(self.path(hot), 1)
+        for op in self.profile.ops(self.seed, self.accesses):
+            full = self.path(op.path)
+            for blockno in op.blocks():
+                if op.op == "r":
+                    yield BlockRead(full, blockno)
+                else:
+                    yield BlockWrite(full, blockno)
+            if self.cpu_per_op:
+                yield Compute(self.cpu_per_op)

@@ -1,7 +1,11 @@
 """Workload registry: the paper's application names → factories.
 
 The disks follow the paper's placement: cs[1-3], din, gli and ldk run on
-the RZ56; pjn and sort on the RZ26.
+the RZ56; pjn and sort on the RZ26.  Production traffic shapes from
+:mod:`repro.workloads.production` register here too (lint rule R014
+enforces that every pattern class and profile preset is reachable through
+this module), so ``make_workload("etc")`` and ``make_profile("zipf")``
+find them.
 """
 
 from __future__ import annotations
@@ -14,6 +18,21 @@ from repro.workloads.dinero import Dinero
 from repro.workloads.glimpse import Glimpse
 from repro.workloads.ld import LinkEditor
 from repro.workloads.postgres import PostgresJoin
+from repro.workloads.production import (
+    FlashCrowdPattern,
+    HotspotPattern,
+    KeyPattern,
+    ProductionTraffic,
+    TrafficProfile,
+    UniformPattern,
+    ZipfianPattern,
+    etc_profile,
+    flashcrowd_profile,
+    hotspot_profile,
+    rtdata_profile,
+    uniform_profile,
+    zipfian_profile,
+)
 from repro.workloads.readn import ReadN
 from repro.workloads.sort import ExternalSort
 
@@ -35,7 +54,45 @@ WORKLOADS: Dict[str, Callable[..., Workload]] = {
         behavior=kw.pop("behavior", "smart" if smart else "oblivious"),
         **kw,
     ),
+    # production traffic shapes (simulator-scale wrappers; the cluster-scale
+    # driver consumes the profiles directly via repro.harness.load)
+    "production": lambda name="production", **kw: ProductionTraffic(name=name, **kw),
+    "etc": lambda name="etc", **kw: ProductionTraffic(
+        name=name, profile=etc_profile, **kw
+    ),
+    "rtdata": lambda name="rtdata", **kw: ProductionTraffic(
+        name=name, profile=rtdata_profile, **kw
+    ),
 }
+
+#: key-popularity pattern classes of the production kit, by short name
+PATTERNS: Dict[str, Callable[..., KeyPattern]] = {
+    "uniform": UniformPattern,
+    "zipf": ZipfianPattern,
+    "hotspot": HotspotPattern,
+    "flashcrowd": FlashCrowdPattern,
+}
+
+#: named traffic-profile presets for `repro-accfc load --profile`
+PROFILES: Dict[str, Callable[..., TrafficProfile]] = {
+    "etc": etc_profile,
+    "rtdata": rtdata_profile,
+    "uniform": uniform_profile,
+    "zipf": zipfian_profile,
+    "hotspot": hotspot_profile,
+    "flashcrowd": flashcrowd_profile,
+}
+
+
+def make_profile(kind: str, **kwargs) -> TrafficProfile:
+    """Instantiate a production traffic profile preset by name."""
+    try:
+        factory = PROFILES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile {kind!r} (expected one of {sorted(PROFILES)})"
+        ) from None
+    return factory(**kwargs)
 
 #: The paper's access-pattern categories (used to pick the Figure 5 mixes).
 CATEGORIES = {
@@ -47,6 +104,9 @@ CATEGORIES = {
     "pjn": "hot/cold",
     "ldk": "ld",
     "sort": "sort",
+    "production": "production",
+    "etc": "production",
+    "rtdata": "production",
 }
 
 

@@ -25,6 +25,14 @@ from repro.workloads.base import (
     set_priority,
 )
 
+# The skew math lives in the production pattern kit; re-exported here so
+# synthetic and production traffic share one implementation (no duplicated
+# samplers — see docs/workloads.md).
+from repro.workloads.production import (  # noqa: F401  (re-exports)
+    HotspotPattern,
+    ZipfianPattern,
+)
+
 
 class SequentialScan(Workload):
     """Scan one file start-to-finish, optionally repeatedly.
@@ -107,6 +115,10 @@ class ZipfHotCold(Workload):
         self.hot_fraction = hot_fraction
         self.cpu_per_block = cpu_per_block
         self.seed = seed
+        # one key rank per block; ranks < hot_blocks live in the hot file
+        self._pattern = HotspotPattern(
+            hot_blocks + cold_blocks, hot=hot_blocks, hot_weight=hot_fraction
+        )
 
     @property
     def hot_path(self) -> str:
@@ -127,10 +139,11 @@ class ZipfHotCold(Workload):
             yield set_priority(self.hot_path, 1)
         rng = random.Random(self.seed)
         for _ in range(self.accesses):
-            if rng.random() < self.hot_fraction:
-                yield BlockRead(self.hot_path, rng.randrange(self.hot_blocks))
+            key = self._pattern.sample(rng)
+            if key < self.hot_blocks:
+                yield BlockRead(self.hot_path, key)
             else:
-                yield BlockRead(self.cold_path, rng.randrange(self.cold_blocks))
+                yield BlockRead(self.cold_path, key - self.hot_blocks)
             if self.cpu_per_block:
                 yield Compute(self.cpu_per_block)
 

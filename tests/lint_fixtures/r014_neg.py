@@ -1,0 +1,37 @@
+"""R014 negatives: the blessed shapes for workload randomness.
+
+Seeded ``random.Random(seed)`` construction, draws through an rng
+instance passed in or stored on self, and non-RNG uses of names that
+merely resemble the random module.
+"""
+
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def sample_key(rng, paths):
+    return rng.randrange(paths)
+
+
+class SeededPattern:
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+
+    def draw(self, paths):
+        if self.rng.random() < 0.5:
+            return 0
+        return self.rng.randrange(paths)
+
+
+def derived_stream(seed, salt):
+    rng = random.Random((seed ^ salt) & 0xFFFFFFFF)
+    return [rng.expovariate(100.0) for _ in range(4)]
+
+
+def not_the_module(random_table):
+    # attribute access on a local that happens to be named like the
+    # module is not a module-level draw
+    return random_table.lookup("x")

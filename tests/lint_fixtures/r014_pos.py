@@ -1,0 +1,32 @@
+"""R014 positives: a workload generator leaning on the module-level RNG.
+
+Each marked line is a shape the rule must catch when this file lives
+anywhere under ``repro/workloads/``: direct module-level draws, draws
+used inline in expressions, and an unseeded ``random.Random()`` — every
+one of them breaks "identical seeds reproduce identical streams".
+"""
+
+import random
+
+
+def sample_key(paths):
+    return random.randrange(paths)  # EXPECT[R014]
+
+
+def mixed_stream(count):
+    ops = []
+    for _ in range(count):
+        if random.random() < 0.95:  # EXPECT[R014]
+            ops.append("r")
+        else:
+            ops.append("w")
+    random.shuffle(ops)  # EXPECT[R014]
+    return ops
+
+
+def fresh_rng():
+    return random.Random()  # EXPECT[R014]
+
+
+def jittered_gap(rate):
+    return random.expovariate(rate)  # EXPECT[R014]

@@ -9,6 +9,7 @@ from repro.check.lint import (
     check_policy_registry,
     check_verb_declarations,
     check_verb_wire,
+    check_workload_registry,
     lint_source,
     lint_tree,
     main,
@@ -840,6 +841,130 @@ class TestR013ReplicationMonopoly:
             "repro/faults/replicas.py",
         )
         assert [f for f in findings if f.rule == "R013"] == []
+
+
+class TestR014SeededWorkloadRandomness:
+    FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+    def _expected(self, src):
+        return sorted(
+            lineno
+            for lineno, line in enumerate(src.splitlines(), 1)
+            if "EXPECT[R014]" in line
+        )
+
+    def test_positive_fixture_fires_on_every_marked_line(self):
+        src = (self.FIXTURES / "r014_pos.py").read_text()
+        findings = lint_source(src, "repro/workloads/rogue.py")
+        got = sorted({f.line for f in findings if f.rule == "R014"})
+        assert got == self._expected(src), findings
+
+    def test_negative_fixture_is_clean(self):
+        src = (self.FIXTURES / "r014_neg.py").read_text()
+        findings = lint_source(src, "repro/workloads/production.py")
+        assert [f for f in findings if f.rule == "R014"] == []
+
+    def test_outside_workloads_is_unaffected(self):
+        # the module-level RNG is R014's concern only inside the
+        # generators (the deterministic core has its own rule, R002)
+        src = "import random\n\ndef f():\n    return random.random()\n"
+        findings = lint_source(src, "repro/harness/demo.py")
+        assert [f for f in findings if f.rule == "R014"] == []
+
+    def test_seeded_random_construction_is_allowed(self):
+        findings = lint(
+            """
+            import random
+
+            def rng_for(seed):
+                return random.Random(seed)
+            """,
+            "repro/workloads/production.py",
+        )
+        assert [f for f in findings if f.rule == "R014"] == []
+
+    def _registry_findings(self, tmp_path, production_src, registry_src):
+        pkg = tmp_path / "repro" / "workloads"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "production.py").write_text(textwrap.dedent(production_src))
+        (pkg / "registry.py").write_text(textwrap.dedent(registry_src))
+        return check_workload_registry(tmp_path)
+
+    REGISTRY_OK = """
+        WORKLOADS = {"traffic": lambda **kw: ProductionTraffic(**kw)}
+        PATTERNS = {"zipf": ZipfianPattern}
+        PROFILES = {"etc": etc_profile}
+    """
+
+    def test_unregistered_pattern_class_fires(self, tmp_path):
+        findings = self._registry_findings(
+            tmp_path,
+            """
+            class KeyPattern:
+                pass
+
+            class ZipfianPattern(KeyPattern):
+                pass
+
+            class RoguePattern(KeyPattern):
+                pass
+            """,
+            self.REGISTRY_OK,
+        )
+        assert rules(findings) == ["R014"]
+        assert "RoguePattern" in findings[0].message
+        # the in-file base class is not itself registrable
+        assert all("KeyPattern" not in f.message for f in findings)
+
+    def test_unregistered_workload_and_profile_fire(self, tmp_path):
+        findings = self._registry_findings(
+            tmp_path,
+            """
+            class ShadowTraffic(Workload):
+                pass
+
+            def burst_profile(paths=10):
+                return None
+            """,
+            self.REGISTRY_OK,
+        )
+        assert rules(findings) == ["R014"]
+        messages = " ".join(f.message for f in findings)
+        assert "ShadowTraffic" in messages and "burst_profile" in messages
+
+    def test_fully_registered_kit_is_clean(self, tmp_path):
+        findings = self._registry_findings(
+            tmp_path,
+            """
+            class KeyPattern:
+                pass
+
+            class ZipfianPattern(KeyPattern):
+                pass
+
+            class ProductionTraffic(Workload):
+                pass
+
+            def etc_profile(paths=10):
+                return None
+            """,
+            self.REGISTRY_OK,
+        )
+        assert findings == []
+
+    def test_missing_registry_dict_reported_once(self, tmp_path):
+        findings = self._registry_findings(
+            tmp_path,
+            "class ZipfianPattern:\n    pass\n",
+            'WORKLOADS = {"x": ZipfianPattern}\n',
+        )
+        assert rules(findings) == ["R014"]
+        assert "PATTERNS" in findings[0].message and "PROFILES" in findings[0].message
+
+    def test_real_workload_registry_is_clean(self):
+        assert check_workload_registry(SRC_ROOT) == []
 
 
 class TestRealTree:

@@ -307,6 +307,7 @@ def test_gated_families_registry_shape():
         "server_throughput",
         "cluster_scaling",
         "replication",
+        "production_load",
     }
     for family, check in GATED_FAMILIES.items():
         assert check.metrics, family

@@ -16,7 +16,12 @@ from repro.telemetry import (
     render_snapshot,
     telemetry_enabled,
 )
-from repro.telemetry.metrics import Histogram
+from repro.telemetry.metrics import (
+    Histogram,
+    bucket_quantile,
+    histogram_quantiles,
+    quantile_label,
+)
 
 
 class TestRegistry:
@@ -88,6 +93,73 @@ class TestHistogram:
 
     def test_default_latency_buckets_are_increasing(self):
         assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestBucketQuantile:
+    """The Prometheus-style estimator shared by ``repro-accfc metrics``
+    and the load driver's latency report, on synthetic bucket layouts."""
+
+    def test_interpolates_within_target_bucket(self):
+        # cumulative counts: 50 samples in (0,1], 40 in (2,4], 10 in (8,+Inf]
+        layout = [(1.0, 50), (2.0, 50), (4.0, 90), (8.0, 90), (float("inf"), 100)]
+        # target rank 50 lands exactly on the first bucket's upper edge
+        assert bucket_quantile(layout, 0.5) == pytest.approx(1.0)
+        # rank 75 sits 25/40 of the way through the (2,4] bucket
+        assert bucket_quantile(layout, 0.75) == pytest.approx(2.0 + 2.0 * 25 / 40)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        layout = [(2.0, 100), (float("inf"), 100)]
+        assert bucket_quantile(layout, 0.5) == pytest.approx(1.0)
+
+    def test_inf_bucket_clamps_to_last_finite_bound(self):
+        layout = [(1.0, 10), (float("inf"), 100)]
+        assert bucket_quantile(layout, 0.99) == pytest.approx(1.0)
+
+    def test_extremes_and_empty(self):
+        layout = [(1.0, 4), (2.0, 8), (float("inf"), 8)]
+        assert bucket_quantile(layout, 0.0) == pytest.approx(0.0)
+        assert bucket_quantile(layout, 1.0) == pytest.approx(2.0)
+        assert bucket_quantile([], 0.5) is None
+        assert bucket_quantile([(1.0, 0), (float("inf"), 0)], 0.5) is None
+
+    def test_q_validated(self):
+        with pytest.raises(ValueError):
+            bucket_quantile([(1.0, 1)], -0.1)
+        with pytest.raises(ValueError):
+            bucket_quantile([(1.0, 1)], 1.1)
+
+    def test_accepts_histogram_and_snapshot_shapes(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        for value in (0.5,) * 5 + (3.0,) * 5:
+            h.observe(value)
+        median = bucket_quantile(h, 0.5)
+        assert median == pytest.approx(1.0)
+        # the same layout as snapshot-style dicts with a "+Inf" string
+        snapshot = [
+            {"le": 1.0, "count": 5},
+            {"le": 2.0, "count": 5},
+            {"le": 4.0, "count": 10},
+            {"le": "+Inf", "count": 10},
+        ]
+        assert bucket_quantile(snapshot, 0.5) == pytest.approx(median)
+        assert h.quantile(0.5) == pytest.approx(median)
+
+    def test_histogram_quantiles_labels(self):
+        h = Histogram((1.0, 2.0))
+        h.observe(0.5)
+        qs = histogram_quantiles(h)
+        assert set(qs) == {"p50", "p99"}
+        assert quantile_label(0.5) == "p50"
+        assert quantile_label(0.999) == "p99.9"
+
+    def test_render_snapshot_carries_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_test_seconds", "t", buckets=(0.1, 1.0))
+        h.labels().observe(0.05)
+        snap = render_snapshot(reg)
+        sample = snap["metrics"]["repro_test_seconds"]["samples"][0]
+        assert "quantiles" in sample
+        assert sample["quantiles"]["p50"] is not None
 
 
 class TestPrometheusExposition:
